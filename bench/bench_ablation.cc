@@ -1,0 +1,148 @@
+// Ablation study for the design choices DESIGN.md §3 calls out:
+//
+//  1. SAPLA phase contributions: initialization only -> + split&merge ->
+//     + endpoint movement (max deviation and CPU time).
+//  2. beta bounds: O(1) probe surrogate vs exact max deviation in the
+//     movement phase, and fully exact bounds everywhere.
+//  3. Index bounding: R-tree MBR vs DBCH hull, pruning power at fixed K.
+
+#include <cstdio>
+
+#include "core/sapla.h"
+#include "harness_common.h"
+#include "search/knn.h"
+#include "search/metrics.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace sapla {
+namespace bench {
+namespace {
+
+struct Variant {
+  const char* name;
+  SaplaOptions options;
+};
+
+int Run(int argc, char** argv) {
+  HarnessConfig config = ParseFlags(argc, argv);
+  const size_t m = config.budgets.front();
+
+  std::vector<Variant> variants;
+  {
+    Variant v{"full (default)", SaplaOptions{}};
+    variants.push_back(v);
+  }
+  {
+    SaplaOptions o;
+    o.endpoint_movement = false;
+    variants.push_back({"no endpoint movement", o});
+  }
+  {
+    SaplaOptions o;
+    o.split_merge_iteration = false;
+    variants.push_back({"no split&merge improve loop", o});
+  }
+  {
+    SaplaOptions o;
+    o.split_merge_iteration = false;
+    o.endpoint_movement = false;
+    variants.push_back({"init + forced merges only", o});
+  }
+  {
+    SaplaOptions o;
+    o.exact_movement = false;
+    variants.push_back({"O(1) surrogate movement", o});
+  }
+  {
+    SaplaOptions o;
+    o.use_exact_deviation = true;
+    variants.push_back({"exact deviation everywhere", o});
+  }
+
+  // Index variants.size() is the extra "full + minimax refit" row (the
+  // L-infinity polish of DESIGN.md §3).
+  std::vector<SummaryStats> dev(variants.size() + 1);
+  std::vector<SummaryStats> seconds(variants.size() + 1);
+
+  for (size_t d = 0; d < config.num_datasets; ++d) {
+    const Dataset ds = MakeDataset(config, d);
+    for (size_t vi = 0; vi < variants.size(); ++vi) {
+      const SaplaReducer reducer(variants[vi].options);
+      CpuTimer timer;
+      double dev_sum = 0.0;
+      for (const TimeSeries& ts : ds.series) {
+        const Representation rep = reducer.Reduce(ts.values, m);
+        dev_sum += rep.SumMaxDeviation(ts.values);
+      }
+      seconds[vi].Add(timer.Seconds() / static_cast<double>(ds.size()));
+      dev[vi].Add(dev_sum / static_cast<double>(ds.size()));
+    }
+    {
+      const SaplaReducer reducer;
+      CpuTimer timer;
+      double dev_sum = 0.0;
+      for (const TimeSeries& ts : ds.series) {
+        Representation rep = reducer.Reduce(ts.values, m);
+        MinimaxRefit(&rep, ts.values);
+        dev_sum += rep.SumMaxDeviation(ts.values);
+      }
+      seconds.back().Add(timer.Seconds() / static_cast<double>(ds.size()));
+      dev.back().Add(dev_sum / static_cast<double>(ds.size()));
+    }
+    if ((d + 1) % 20 == 0)
+      fprintf(stderr, "ablation: %zu/%zu datasets\n", d + 1,
+              config.num_datasets);
+  }
+
+  Table t("Ablation: SAPLA variants (M=" + std::to_string(m) + ", n=" +
+          std::to_string(config.n) + ", avg over " +
+          std::to_string(config.num_datasets) + " datasets)");
+  t.SetHeader({"Variant", "SumMaxDev", "vs full", "CPU s/series"});
+  const double base = dev[0].mean();
+  for (size_t vi = 0; vi < variants.size(); ++vi) {
+    t.AddRow({variants[vi].name, Table::Num(dev[vi].mean()),
+              Table::Num(dev[vi].mean() / base, 4),
+              Table::Num(seconds[vi].mean(), 3)});
+  }
+  t.AddRow({"full + minimax refit", Table::Num(dev.back().mean()),
+            Table::Num(dev.back().mean() / base, 4),
+            Table::Num(seconds.back().mean(), 3)});
+  t.Print(config.CsvPath("ablation_sapla_variants"));
+
+  // Index-bounding ablation: SAPLA on R-tree vs DBCH-tree, first K.
+  const size_t k = config.ks.front();
+  SummaryStats rho_rtree, rho_dbch, acc_rtree, acc_dbch;
+  const size_t index_datasets = std::min<size_t>(config.num_datasets, 40);
+  for (size_t d = 0; d < index_datasets; ++d) {
+    const Dataset ds = MakeDataset(config, d);
+    SimilarityIndex rtree(Method::kSapla, m, IndexKind::kRTree);
+    SimilarityIndex dbch(Method::kSapla, m, IndexKind::kDbchTree);
+    if (!rtree.Build(ds).ok() || !dbch.Build(ds).ok()) continue;
+    for (const size_t qi : QueryIndices(config, d)) {
+      const std::vector<double>& q = ds.series[qi].values;
+      const KnnResult truth = LinearScanKnn(ds, q, k);
+      const KnnResult r1 = rtree.Knn(q, k);
+      const KnnResult r2 = dbch.Knn(q, k);
+      rho_rtree.Add(PruningPower(r1, ds.size()));
+      rho_dbch.Add(PruningPower(r2, ds.size()));
+      acc_rtree.Add(Accuracy(r1, truth, k));
+      acc_dbch.Add(Accuracy(r2, truth, k));
+    }
+  }
+  Table t2("Ablation: SAPLA index bounding (K=" + std::to_string(k) + ")");
+  t2.SetHeader({"Bounding", "PruningPower", "Accuracy"});
+  t2.AddRow({"APCA-style MBR (R-tree)", Table::Num(rho_rtree.mean(), 3),
+             Table::Num(acc_rtree.mean(), 3)});
+  t2.AddRow({"Dist_PAR hull (DBCH-tree)", Table::Num(rho_dbch.mean(), 3),
+             Table::Num(acc_dbch.mean(), 3)});
+  t2.Print(config.CsvPath("ablation_index_bounding"));
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace sapla
+
+int main(int argc, char** argv) { return sapla::bench::Run(argc, argv); }

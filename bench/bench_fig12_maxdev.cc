@@ -1,0 +1,143 @@
+// Regenerates Fig. 12 (a: max deviation, b: dimensionality reduction time)
+// for every method and coefficient budget over the synthetic archive, plus
+// a Table 1 header for orientation.
+//
+// Expected shape (paper): adaptive methods APLA <= SAPLA < APCA < equal-
+// length methods on max deviation; PAALM worst. Reduction time: APLA orders
+// of magnitude slower than everything else; SAPLA ~ APCA ~ CHEBY within
+// small factors of the O(n) methods.
+
+#include <cstdio>
+#include <fstream>
+
+#include "harness_common.h"
+#include "reduction/representation.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace sapla {
+namespace bench {
+namespace {
+
+void PrintTable1() {
+  Table t("Table 1: Dimensionality Reduction Methods Comparison");
+  t.SetHeader({"Name", "Time", "Coefficients", "Seg.Num", "Seg.Size"});
+  t.AddRow({"SAPLA", "O(n(N+log n))", "a_i,b_i,r_i", "N=M/3", "Adaptive"});
+  t.AddRow({"APLA", "O(N n^2)", "a_i,b_i,r_i", "N=M/3", "Adaptive"});
+  t.AddRow({"APCA", "O(n log n)", "v_i,r_i", "N=M/2", "Adaptive"});
+  t.AddRow({"PLA", "O(n)", "a_i,b_i", "N=M/2", "Equal"});
+  t.AddRow({"PAA", "O(n)", "v_i", "N=M", "Equal"});
+  t.AddRow({"PAALM", "O(n)", "v_i", "N=M", "Equal"});
+  t.AddRow({"CHEBY", "O(N n)", "che_i", "N=M", "Equal"});
+  t.AddRow({"SAX", "O(n)", "alphabet", "N=M", "Equal"});
+  t.Print();
+}
+
+int Run(int argc, char** argv) {
+  const HarnessConfig config = ParseFlags(argc, argv);
+  PrintTable1();
+
+  // stats[method][budget] -> (sum max deviation, reduction seconds)
+  struct Cell {
+    SummaryStats dev;         // sum of per-segment max deviations (Fig. 1)
+    SummaryStats global_dev;  // max over all points
+    SummaryStats seconds;
+  };
+  std::vector<std::vector<Cell>> cells(
+      config.methods.size(), std::vector<Cell>(config.budgets.size()));
+
+  // Optional per-dataset detail (the paper's technical-report breakdown).
+  Table detail("Per-dataset max deviation (sum form), M=" +
+               std::to_string(config.budgets.front()));
+  {
+    std::vector<std::string> header{"Dataset"};
+    for (const Method method : config.methods)
+      if (method != Method::kSax) header.push_back(MethodName(method));
+    detail.SetHeader(header);
+  }
+
+  for (size_t d = 0; d < config.num_datasets; ++d) {
+    const Dataset ds = MakeDataset(config, d);
+    std::vector<std::string> detail_row{ds.name};
+    for (size_t mi = 0; mi < config.methods.size(); ++mi) {
+      const Method method = config.methods[mi];
+      if (method == Method::kSax) continue;  // paper: SAX excluded (symbolic)
+      const auto reducer = MakeReducer(method);
+      for (size_t bi = 0; bi < config.budgets.size(); ++bi) {
+        const size_t m = config.budgets[bi];
+        CpuTimer timer;
+        std::vector<Representation> reps;
+        reps.reserve(ds.size());
+        for (const TimeSeries& ts : ds.series)
+          reps.push_back(reducer->Reduce(ts.values, m));
+        cells[mi][bi].seconds.Add(timer.Seconds() /
+                                  static_cast<double>(ds.size()));
+        double dev_sum = 0.0, global_sum = 0.0;
+        for (size_t s = 0; s < ds.size(); ++s) {
+          dev_sum += reps[s].SumMaxDeviation(ds.series[s].values);
+          global_sum += reps[s].GlobalMaxDeviation(ds.series[s].values);
+        }
+        cells[mi][bi].dev.Add(dev_sum / static_cast<double>(ds.size()));
+        cells[mi][bi].global_dev.Add(global_sum /
+                                     static_cast<double>(ds.size()));
+        if (config.per_dataset && bi == 0)
+          detail_row.push_back(
+              Table::Num(dev_sum / static_cast<double>(ds.size())));
+      }
+    }
+    if (config.per_dataset) detail.AddRow(detail_row);
+    if ((d + 1) % 20 == 0)
+      fprintf(stderr, "fig12: %zu/%zu datasets\n", d + 1, config.num_datasets);
+  }
+
+  Table dev_table(
+      "Fig. 12a: Max deviation (sum of segment max deviations, avg per "
+      "series over " +
+      std::to_string(config.num_datasets) + " datasets, n=" +
+      std::to_string(config.n) + ")");
+  Table global_table(
+      "Fig. 12a': Global max deviation (max over all points, avg per "
+      "series)");
+  Table time_table(
+      "Fig. 12b: Dimensionality reduction CPU time per series (seconds)");
+  std::vector<std::string> header{"Method"};
+  for (const size_t m : config.budgets)
+    header.push_back("M=" + std::to_string(m));
+  dev_table.SetHeader(header);
+  global_table.SetHeader(header);
+  time_table.SetHeader(header);
+
+  for (size_t mi = 0; mi < config.methods.size(); ++mi) {
+    const Method method = config.methods[mi];
+    if (method == Method::kSax) continue;
+    std::vector<std::string> dev_row{MethodName(method)};
+    std::vector<std::string> global_row{MethodName(method)};
+    std::vector<std::string> time_row{MethodName(method)};
+    for (size_t bi = 0; bi < config.budgets.size(); ++bi) {
+      dev_row.push_back(Table::Num(cells[mi][bi].dev.mean()));
+      global_row.push_back(Table::Num(cells[mi][bi].global_dev.mean()));
+      time_row.push_back(Table::Num(cells[mi][bi].seconds.mean(), 3));
+    }
+    dev_table.AddRow(dev_row);
+    global_table.AddRow(global_row);
+    time_table.AddRow(time_row);
+  }
+  dev_table.Print(config.CsvPath("fig12a_maxdev"));
+  global_table.Print(config.CsvPath("fig12a_global_maxdev"));
+  time_table.Print(config.CsvPath("fig12b_reduction_time"));
+  if (config.per_dataset && !config.csv_dir.empty()) {
+    // CSV only: 117 rows would drown the terminal.
+    std::ofstream f(config.CsvPath("fig12_per_dataset"));
+    f << detail.ToCsv();
+    fprintf(stderr, "wrote %s\n",
+            config.CsvPath("fig12_per_dataset").c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace sapla
+
+int main(int argc, char** argv) { return sapla::bench::Run(argc, argv); }

@@ -1,0 +1,90 @@
+// Regenerates Fig. 13 (a: pruning power rho, b: accuracy) — every method on
+// the plain R-tree vs the DBCH-tree, across K in {4, 8, 16, 32, 64}.
+//
+// Expected shape (paper): adaptive methods (SAPLA/APLA/APCA) gain the most
+// from the DBCH-tree (the APCA-MBR overlap problem hurts them on the
+// R-tree); PLA and CHEBY, which use their own MBRs, look similar on both;
+// PAALM's poor max deviation costs it accuracy on the DBCH-tree.
+
+#include <cstdio>
+
+#include "harness_common.h"
+#include "search/knn.h"
+#include "search/metrics.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace sapla {
+namespace bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  const HarnessConfig config = ParseFlags(argc, argv);
+  const size_t m = config.budgets.front();
+
+  struct Cell {
+    SummaryStats rho;
+    SummaryStats accuracy;
+  };
+  // [method][tree][k]
+  std::vector<std::vector<std::vector<Cell>>> cells(
+      config.methods.size(),
+      std::vector<std::vector<Cell>>(2, std::vector<Cell>(config.ks.size())));
+
+  for (size_t d = 0; d < config.num_datasets; ++d) {
+    const Dataset ds = MakeDataset(config, d);
+    const std::vector<size_t> queries = QueryIndices(config, d);
+    for (size_t mi = 0; mi < config.methods.size(); ++mi) {
+      for (int tree = 0; tree < 2; ++tree) {
+        SimilarityIndex index(config.methods[mi], m,
+                              tree == 0 ? IndexKind::kRTree
+                                        : IndexKind::kDbchTree);
+        if (!index.Build(ds).ok()) continue;
+        for (const size_t qi : queries) {
+          const std::vector<double>& q = ds.series[qi].values;
+          for (size_t ki = 0; ki < config.ks.size(); ++ki) {
+            const size_t k = config.ks[ki];
+            const KnnResult truth = LinearScanKnn(ds, q, k);
+            const KnnResult res = index.Knn(q, k);
+            cells[mi][tree][ki].rho.Add(PruningPower(res, ds.size()));
+            cells[mi][tree][ki].accuracy.Add(Accuracy(res, truth, k));
+          }
+        }
+      }
+    }
+    if ((d + 1) % 10 == 0)
+      fprintf(stderr, "fig13: %zu/%zu datasets\n", d + 1, config.num_datasets);
+  }
+
+  for (int what = 0; what < 2; ++what) {
+    Table t(what == 0
+                ? "Fig. 13a: Pruning power rho (lower is better), M=" +
+                      std::to_string(m)
+                : "Fig. 13b: Accuracy (fraction of true k-NN found), M=" +
+                      std::to_string(m));
+    std::vector<std::string> header{"Method", "Tree"};
+    for (const size_t k : config.ks) header.push_back("K=" + std::to_string(k));
+    t.SetHeader(header);
+    for (size_t mi = 0; mi < config.methods.size(); ++mi) {
+      for (int tree = 0; tree < 2; ++tree) {
+        std::vector<std::string> row{MethodName(config.methods[mi]),
+                                     tree == 0 ? "R-tree" : "DBCH-tree"};
+        for (size_t ki = 0; ki < config.ks.size(); ++ki) {
+          const Cell& c = cells[mi][tree][ki];
+          row.push_back(Table::Num(what == 0 ? c.rho.mean()
+                                             : c.accuracy.mean(), 3));
+        }
+        t.AddRow(row);
+      }
+    }
+    t.Print(config.CsvPath(what == 0 ? "fig13a_pruning_power"
+                                     : "fig13b_accuracy"));
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace sapla
+
+int main(int argc, char** argv) { return sapla::bench::Run(argc, argv); }

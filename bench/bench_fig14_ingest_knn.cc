@@ -1,0 +1,104 @@
+// Regenerates Fig. 14 (a: data ingest CPU time, b: k-NN CPU time with a
+// linear-scan reference bar).
+//
+// Expected shape (paper): APLA dominates ingest time (its O(Nn^2) reduction
+// is the bottleneck — the motivation for SAPLA); SAPLA ingest is close to
+// the O(n)/O(n log n) methods. k-NN time: SAPLA/APLA spend slightly more
+// per query on the DBCH-tree (tight Dist_PAR computations) but measure far
+// fewer raw series.
+
+#include <cstdio>
+
+#include "harness_common.h"
+#include "search/knn.h"
+#include "search/metrics.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace sapla {
+namespace bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  const HarnessConfig config = ParseFlags(argc, argv);
+  const size_t m = config.budgets.front();
+  const size_t k = config.ks.size() >= 3 ? config.ks[2] : config.ks.back();
+
+  struct Cell {
+    SummaryStats ingest_reduce;
+    SummaryStats ingest_insert;
+    SummaryStats knn_seconds;
+  };
+  std::vector<std::vector<Cell>> cells(config.methods.size(),
+                                       std::vector<Cell>(2));
+  SummaryStats linear_scan_seconds;
+
+  for (size_t d = 0; d < config.num_datasets; ++d) {
+    const Dataset ds = MakeDataset(config, d);
+    const std::vector<size_t> queries = QueryIndices(config, d);
+
+    {
+      CpuTimer timer;
+      for (const size_t qi : queries)
+        LinearScanKnn(ds, ds.series[qi].values, k);
+      linear_scan_seconds.Add(timer.Seconds() /
+                              static_cast<double>(queries.size()));
+    }
+
+    for (size_t mi = 0; mi < config.methods.size(); ++mi) {
+      for (int tree = 0; tree < 2; ++tree) {
+        SimilarityIndex index(config.methods[mi], m,
+                              tree == 0 ? IndexKind::kRTree
+                                        : IndexKind::kDbchTree);
+        BuildInfo info;
+        if (!index.Build(ds, &info).ok()) continue;
+        cells[mi][tree].ingest_reduce.Add(info.reduce_cpu_seconds);
+        cells[mi][tree].ingest_insert.Add(info.insert_cpu_seconds);
+        CpuTimer timer;
+        for (const size_t qi : queries) index.Knn(ds.series[qi].values, k);
+        cells[mi][tree].knn_seconds.Add(timer.Seconds() /
+                                        static_cast<double>(queries.size()));
+      }
+    }
+    if ((d + 1) % 10 == 0)
+      fprintf(stderr, "fig14: %zu/%zu datasets\n", d + 1, config.num_datasets);
+  }
+
+  Table ingest("Fig. 14a: Data ingest CPU time per dataset (seconds; reduce "
+               "+ insert), M=" +
+               std::to_string(m));
+  ingest.SetHeader({"Method", "Tree", "Reduce", "Insert", "Total"});
+  for (size_t mi = 0; mi < config.methods.size(); ++mi) {
+    for (int tree = 0; tree < 2; ++tree) {
+      const Cell& c = cells[mi][tree];
+      ingest.AddRow({MethodName(config.methods[mi]),
+                     tree == 0 ? "R-tree" : "DBCH-tree",
+                     Table::Num(c.ingest_reduce.mean(), 3),
+                     Table::Num(c.ingest_insert.mean(), 3),
+                     Table::Num(c.ingest_reduce.mean() +
+                                c.ingest_insert.mean(), 3)});
+    }
+  }
+  ingest.Print(config.CsvPath("fig14a_ingest_time"));
+
+  Table knn("Fig. 14b: k-NN CPU time per query (seconds), K=" +
+            std::to_string(k) + ", M=" + std::to_string(m));
+  knn.SetHeader({"Method", "Tree", "Seconds"});
+  for (size_t mi = 0; mi < config.methods.size(); ++mi) {
+    for (int tree = 0; tree < 2; ++tree) {
+      knn.AddRow({MethodName(config.methods[mi]),
+                  tree == 0 ? "R-tree" : "DBCH-tree",
+                  Table::Num(cells[mi][tree].knn_seconds.mean(), 3)});
+    }
+  }
+  knn.AddRow({"LinearScan", "-", Table::Num(linear_scan_seconds.mean(), 3)});
+  knn.Print(config.CsvPath("fig14b_knn_time"));
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace sapla
+
+int main(int argc, char** argv) { return sapla::bench::Run(argc, argv); }

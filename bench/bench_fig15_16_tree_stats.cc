@@ -1,0 +1,80 @@
+// Regenerates Figs. 15 and 16: average internal-node count, leaf-node
+// count, total nodes and tree height for each method on the R-tree vs the
+// DBCH-tree (min fill 2, max fill 5, 100 series — the paper's setup).
+//
+// Expected shape (paper): DBCH-tree leaves hold ~4 entries on average vs
+// ~2 for the R-tree under APCA MBRs; the R-tree uses roughly 4x as many
+// internal nodes; DBCH-tree height is lower by about one level. PLA and
+// CHEBY (own MBRs) show only minor differences.
+
+#include <cstdio>
+
+#include "harness_common.h"
+#include "search/knn.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace sapla {
+namespace bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  const HarnessConfig config = ParseFlags(argc, argv);
+  const size_t m = config.budgets.front();
+
+  struct Cell {
+    SummaryStats internal_nodes, leaf_nodes, total_nodes, height,
+        leaf_entries;
+  };
+  std::vector<std::vector<Cell>> cells(config.methods.size(),
+                                       std::vector<Cell>(2));
+
+  for (size_t d = 0; d < config.num_datasets; ++d) {
+    const Dataset ds = MakeDataset(config, d);
+    for (size_t mi = 0; mi < config.methods.size(); ++mi) {
+      for (int tree = 0; tree < 2; ++tree) {
+        SimilarityIndex index(config.methods[mi], m,
+                              tree == 0 ? IndexKind::kRTree
+                                        : IndexKind::kDbchTree);
+        BuildInfo info;
+        if (!index.Build(ds, &info).ok()) continue;
+        Cell& c = cells[mi][tree];
+        c.internal_nodes.Add(static_cast<double>(info.stats.internal_nodes));
+        c.leaf_nodes.Add(static_cast<double>(info.stats.leaf_nodes));
+        c.total_nodes.Add(static_cast<double>(info.stats.total_nodes()));
+        c.height.Add(static_cast<double>(info.stats.height));
+        c.leaf_entries.Add(info.stats.avg_leaf_entries);
+      }
+    }
+    if ((d + 1) % 20 == 0)
+      fprintf(stderr, "fig15/16: %zu/%zu datasets\n", d + 1,
+              config.num_datasets);
+  }
+
+  Table t("Figs. 15-16: Tree structure (avg over " +
+          std::to_string(config.num_datasets) + " datasets, " +
+          std::to_string(config.num_series) +
+          " series, min fill 2 / max fill 5), M=" + std::to_string(m));
+  t.SetHeader({"Method", "Tree", "Internal", "Leaves", "Total", "Height",
+               "Entries/Leaf"});
+  for (size_t mi = 0; mi < config.methods.size(); ++mi) {
+    for (int tree = 0; tree < 2; ++tree) {
+      const Cell& c = cells[mi][tree];
+      t.AddRow({MethodName(config.methods[mi]),
+                tree == 0 ? "R-tree" : "DBCH-tree",
+                Table::Num(c.internal_nodes.mean(), 3),
+                Table::Num(c.leaf_nodes.mean(), 3),
+                Table::Num(c.total_nodes.mean(), 3),
+                Table::Num(c.height.mean(), 3),
+                Table::Num(c.leaf_entries.mean(), 3)});
+    }
+  }
+  t.Print(config.CsvPath("fig15_16_tree_stats"));
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace sapla
+
+int main(int argc, char** argv) { return sapla::bench::Run(argc, argv); }

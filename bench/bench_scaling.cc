@@ -1,0 +1,103 @@
+// Microbenchmarks for the paper's headline claim: SAPLA's reduction is
+// ~n times faster than APLA's O(Nn^2) dynamic program, and in the same
+// league as the O(n)/O(n log n) baselines.
+//
+// Run with --benchmark_filter=... to narrow; the n sweep (64..1024) shows
+// SAPLA growing near-linearly while APLA grows ~quadratically.
+
+#include <benchmark/benchmark.h>
+
+#include "core/sapla.h"
+#include "distance/distance.h"
+#include "distance/mindist.h"
+#include "reduction/representation.h"
+#include "ts/synthetic_archive.h"
+
+namespace sapla {
+namespace {
+
+std::vector<double> BenchSeries(size_t n) {
+  SyntheticOptions opt;
+  opt.length = n;
+  opt.num_series = 1;
+  return MakeSyntheticDataset(0, opt).series[0].values;
+}
+
+constexpr size_t kBudget = 24;  // M = 24 -> N = 8 for SAPLA/APLA
+
+void BM_Sapla(benchmark::State& state) {
+  const std::vector<double> v = BenchSeries(static_cast<size_t>(state.range(0)));
+  const SaplaReducer reducer;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(reducer.Reduce(v, kBudget));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Sapla)->RangeMultiplier(2)->Range(64, 1024)->Complexity();
+
+void BM_Apla(benchmark::State& state) {
+  const std::vector<double> v = BenchSeries(static_cast<size_t>(state.range(0)));
+  const auto reducer = MakeReducer(Method::kApla);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(reducer->Reduce(v, kBudget));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Apla)->RangeMultiplier(2)->Range(64, 1024)->Complexity();
+
+void BM_Baseline(benchmark::State& state, Method method) {
+  const std::vector<double> v = BenchSeries(256);
+  const auto reducer = MakeReducer(method);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(reducer->Reduce(v, kBudget));
+}
+BENCHMARK_CAPTURE(BM_Baseline, APCA, Method::kApca);
+BENCHMARK_CAPTURE(BM_Baseline, PLA, Method::kPla);
+BENCHMARK_CAPTURE(BM_Baseline, PAA, Method::kPaa);
+BENCHMARK_CAPTURE(BM_Baseline, PAALM, Method::kPaalm);
+BENCHMARK_CAPTURE(BM_Baseline, CHEBY, Method::kCheby);
+BENCHMARK_CAPTURE(BM_Baseline, SAX, Method::kSax);
+
+void BM_DistPar(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  SyntheticOptions opt;
+  opt.length = n;
+  opt.num_series = 2;
+  const Dataset ds = MakeSyntheticDataset(2, opt);
+  const SaplaReducer reducer;
+  const Representation a = reducer.Reduce(ds.series[0].values, kBudget);
+  const Representation b = reducer.Reduce(ds.series[1].values, kBudget);
+  for (auto _ : state) benchmark::DoNotOptimize(DistPar(a, b));
+}
+BENCHMARK(BM_DistPar)->RangeMultiplier(4)->Range(64, 1024);
+
+void BM_DistAe(benchmark::State& state) {
+  // The O(n) competitor Dist_PAR avoids.
+  const size_t n = static_cast<size_t>(state.range(0));
+  SyntheticOptions opt;
+  opt.length = n;
+  opt.num_series = 2;
+  const Dataset ds = MakeSyntheticDataset(2, opt);
+  const SaplaReducer reducer;
+  const Representation b = reducer.Reduce(ds.series[1].values, kBudget);
+  const std::vector<double>& q = ds.series[0].values;
+  for (auto _ : state) benchmark::DoNotOptimize(DistAe(q, b));
+}
+BENCHMARK(BM_DistAe)->RangeMultiplier(4)->Range(64, 1024);
+
+void BM_SaplaPhases(benchmark::State& state) {
+  // Phase cost split: initialization only vs full pipeline.
+  const std::vector<double> v = BenchSeries(512);
+  const SaplaReducer reducer;
+  const bool init_only = state.range(0) == 0;
+  for (auto _ : state) {
+    if (init_only)
+      benchmark::DoNotOptimize(reducer.InitializeOnly(v, 8));
+    else
+      benchmark::DoNotOptimize(reducer.ReduceToSegments(v, 8));
+  }
+}
+BENCHMARK(BM_SaplaPhases)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace sapla
+
+BENCHMARK_MAIN();

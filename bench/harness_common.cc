@@ -1,0 +1,108 @@
+#include "harness_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/rng.h"
+
+namespace sapla {
+namespace bench {
+namespace {
+
+std::vector<std::string> SplitCsv(const std::string& s) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= s.size()) {
+    const size_t comma = s.find(',', start);
+    if (comma == std::string::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+std::vector<size_t> ParseSizeList(const std::string& s) {
+  std::vector<size_t> out;
+  for (const std::string& tok : SplitCsv(s))
+    out.push_back(static_cast<size_t>(std::strtoull(tok.c_str(), nullptr, 10)));
+  return out;
+}
+
+[[noreturn]] void Usage(const char* argv0) {
+  fprintf(stderr,
+          "usage: %s [--n=N] [--series=S] [--datasets=D] [--queries=Q]\n"
+          "          [--methods=SAPLA,APLA,...] [--budgets=12,18,24]\n"
+          "          [--ks=4,8,16,32,64] [--csv=DIR]\n",
+          argv0);
+  exit(2);
+}
+
+}  // namespace
+
+Method MethodFromName(const std::string& name) {
+  for (const Method m : AllMethods())
+    if (MethodName(m) == name) return m;
+  fprintf(stderr, "unknown method '%s'\n", name.c_str());
+  exit(2);
+}
+
+std::string HarnessConfig::CsvPath(const std::string& table_name) const {
+  if (csv_dir.empty()) return "";
+  return csv_dir + "/" + table_name + ".csv";
+}
+
+HarnessConfig ParseFlags(int argc, char** argv) {
+  HarnessConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const size_t eq = arg.find('=');
+    if (arg.rfind("--", 0) != 0 || eq == std::string::npos) Usage(argv[0]);
+    const std::string key = arg.substr(2, eq - 2);
+    const std::string value = arg.substr(eq + 1);
+    if (key == "n") {
+      config.n = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "series") {
+      config.num_series = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "datasets") {
+      config.num_datasets = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "queries") {
+      config.num_queries = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "budgets") {
+      config.budgets = ParseSizeList(value);
+    } else if (key == "ks") {
+      config.ks = ParseSizeList(value);
+    } else if (key == "methods") {
+      config.methods.clear();
+      for (const std::string& name : SplitCsv(value))
+        config.methods.push_back(MethodFromName(name));
+    } else if (key == "csv") {
+      config.csv_dir = value;
+    } else if (key == "per-dataset") {
+      config.per_dataset = value != "0";
+    } else {
+      Usage(argv[0]);
+    }
+  }
+  return config;
+}
+
+Dataset MakeDataset(const HarnessConfig& config, size_t id) {
+  SyntheticOptions opt;
+  opt.length = config.n;
+  opt.num_series = config.num_series;
+  return MakeSyntheticDataset(id, opt);
+}
+
+std::vector<size_t> QueryIndices(const HarnessConfig& config,
+                                 size_t dataset_id) {
+  Rng rng(0xBEEF ^ (dataset_id * 0x2545F4914F6CDD1DULL));
+  return rng.SampleWithoutReplacement(
+      config.num_series, std::min(config.num_queries, config.num_series));
+}
+
+}  // namespace bench
+}  // namespace sapla

@@ -1,0 +1,58 @@
+#ifndef SAPLA_BENCH_HARNESS_COMMON_H_
+#define SAPLA_BENCH_HARNESS_COMMON_H_
+
+// Shared configuration for the figure-regeneration harnesses.
+//
+// Each bench/bench_fig*.cc binary regenerates one of the paper's figures as
+// an ASCII table (plus optional CSV). The paper's full configuration is
+// n = 1024, 100 series, 117 datasets, 5 queries; the defaults here are
+// scaled (n = 128, 100 series, 117 datasets, 3 queries) so the whole suite —
+// including APLA's O(Nn^2) ingest — finishes in minutes on one core. Every
+// knob has a flag:
+//
+//   --n=1024 --series=100 --datasets=117 --queries=5
+//   --methods=SAPLA,APLA,APCA --budgets=12,18,24 --ks=4,8,16,32,64
+//   --csv=/tmp/out   (write one CSV per table into this directory)
+
+#include <string>
+#include <vector>
+
+#include "reduction/representation.h"
+#include "ts/synthetic_archive.h"
+
+namespace sapla {
+namespace bench {
+
+struct HarnessConfig {
+  size_t n = 128;
+  size_t num_series = 100;
+  size_t num_datasets = 117;
+  size_t num_queries = 3;
+  std::vector<size_t> budgets = {12, 18, 24};
+  std::vector<size_t> ks = {4, 8, 16, 32, 64};
+  std::vector<Method> methods = AllMethods();
+  std::string csv_dir;
+  /// Also emit per-dataset rows (the paper's technical-report detail);
+  /// needs --csv since the output is large.
+  bool per_dataset = false;
+
+  /// CSV path for a table name, or "" when --csv is unset.
+  std::string CsvPath(const std::string& table_name) const;
+};
+
+/// Parses --key=value flags (unknown flags abort with usage).
+HarnessConfig ParseFlags(int argc, char** argv);
+
+/// Generates dataset `id` under the config's shape.
+Dataset MakeDataset(const HarnessConfig& config, size_t id);
+
+/// Query indices for one dataset (deterministic per dataset id).
+std::vector<size_t> QueryIndices(const HarnessConfig& config, size_t dataset_id);
+
+/// "SAPLA" -> Method; aborts on unknown names.
+Method MethodFromName(const std::string& name);
+
+}  // namespace bench
+}  // namespace sapla
+
+#endif  // SAPLA_BENCH_HARNESS_COMMON_H_

@@ -1,0 +1,74 @@
+// Anomaly localization with two-resolution SAPLA: a coarse reduction
+// (few segments) cannot follow a short anomalous excursion, while a fine
+// reduction tracks it — adaptive segmentation dedicates a segment to the
+// spike. The point-wise gap between the two reconstructions peaks exactly
+// at the anomaly.
+//
+//   $ ./build/examples/anomaly_detection
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/sapla.h"
+#include "ts/synthetic_archive.h"
+#include "ts/time_series.h"
+
+using namespace sapla;
+
+int main() {
+  // A smooth trend+seasonal series with an injected level spike.
+  SyntheticOptions opt;
+  opt.length = 512;
+  opt.num_series = 1;
+  opt.z_normalize = false;
+  Dataset ds = MakeSyntheticDataset(9, opt);  // TrendSeasonal family
+  std::vector<double> series = ds.series[0].values;
+
+  constexpr size_t kAnomalyStart = 301;
+  constexpr size_t kAnomalyLen = 9;
+  for (size_t t = kAnomalyStart; t < kAnomalyStart + kAnomalyLen; ++t)
+    series[t] += 6.0;
+  ZNormalize(&series);
+
+  // Coarse model: 4 segments — enough for trend+season envelope, far too
+  // few to spend one on a 9-point spike. Fine model: 32 segments — the
+  // adaptive initialization gives the spike its own segment.
+  const SaplaReducer sapla;
+  const std::vector<double> coarse =
+      sapla.ReduceToSegments(series, 4).Reconstruct();
+  const std::vector<double> fine =
+      sapla.ReduceToSegments(series, 32).Reconstruct();
+
+  // Anomaly score = |fine - coarse| per point.
+  size_t peak = 0;
+  double peak_score = 0.0;
+  std::vector<double> score(series.size());
+  for (size_t t = 0; t < series.size(); ++t) {
+    score[t] = std::fabs(fine[t] - coarse[t]);
+    if (score[t] > peak_score) {
+      peak_score = score[t];
+      peak = t;
+    }
+  }
+
+  printf("top-5 anomaly scores (|fine reconstruction - coarse|):\n");
+  std::vector<std::pair<double, size_t>> ranked;
+  for (size_t t = 0; t < score.size(); ++t) ranked.emplace_back(score[t], t);
+  std::sort(ranked.rbegin(), ranked.rend());
+  for (size_t k = 0; k < 5; ++k) {
+    printf("  t=%3zu  score %.4f%s\n", ranked[k].second, ranked[k].first,
+           ranked[k].second >= kAnomalyStart &&
+                   ranked[k].second < kAnomalyStart + kAnomalyLen
+               ? "   <-- inside injected anomaly"
+               : "");
+  }
+
+  const bool hit =
+      peak >= kAnomalyStart && peak < kAnomalyStart + kAnomalyLen;
+  printf("\ninjected anomaly at [%zu, %zu]; peak score at t=%zu -> %s\n",
+         kAnomalyStart, kAnomalyStart + kAnomalyLen - 1, peak,
+         hit ? "LOCALIZED" : "missed");
+  return hit ? 0 : 1;
+}

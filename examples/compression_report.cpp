@@ -1,0 +1,56 @@
+// Compression study: reconstruction quality versus coefficient budget for
+// every reduction method — the storage-side view of dimensionality
+// reduction (smart-grid style archiving, cf. the paper's related work).
+//
+//   $ ./build/examples/compression_report
+
+#include <cmath>
+#include <cstdio>
+
+#include "reduction/representation.h"
+#include "ts/synthetic_archive.h"
+#include "ts/time_series.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+using namespace sapla;
+
+int main() {
+  SyntheticOptions opt;
+  opt.length = 512;
+  opt.num_series = 20;
+  const Dataset ds = MakeSyntheticDataset(5, opt);  // EogSaccade family
+
+  Table t("Reconstruction RMSE by coefficient budget (dataset " + ds.name +
+          ", n=512, 20 series)");
+  std::vector<size_t> budgets{12, 24, 48, 96};
+  std::vector<std::string> header{"Method"};
+  for (const size_t m : budgets) {
+    char buf[48];
+    snprintf(buf, sizeof(buf), "M=%zu (%.1fx)", m,
+             static_cast<double>(opt.length) / static_cast<double>(m));
+    header.push_back(buf);
+  }
+  t.SetHeader(header);
+
+  for (const Method method : AllMethods()) {
+    const auto reducer = MakeReducer(method);
+    std::vector<std::string> row{MethodName(method)};
+    for (const size_t m : budgets) {
+      SummaryStats rmse;
+      for (const TimeSeries& ts : ds.series) {
+        const Representation rep = reducer->Reduce(ts.values, m);
+        const std::vector<double> rec = rep.Reconstruct();
+        rmse.Add(std::sqrt(SquaredEuclideanDistance(ts.values, rec) /
+                           static_cast<double>(ts.size())));
+      }
+      row.push_back(Table::Num(rmse.mean(), 3));
+    }
+    t.AddRow(row);
+  }
+  t.Print();
+  printf("columns show the compression ratio n/M; adaptive linear methods\n"
+         "(SAPLA/APLA) hold quality at high compression where constant and\n"
+         "equal-length methods degrade.\n");
+  return 0;
+}

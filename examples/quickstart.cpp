@@ -1,0 +1,66 @@
+// Quickstart: reduce a time series with SAPLA, inspect the segments,
+// reconstruct, and compare methods — the 60-second tour of the library.
+//
+//   $ ./build/examples/quickstart
+
+#include <cstdio>
+#include <vector>
+
+#include "core/sapla.h"
+#include "distance/distance.h"
+#include "reduction/representation.h"
+#include "ts/synthetic_archive.h"
+#include "util/table.h"
+
+using namespace sapla;
+
+int main() {
+  // 1. Get a time series (here: a synthetic ECG-like series; swap in your
+  //    own std::vector<double>).
+  SyntheticOptions opt;
+  opt.length = 256;
+  opt.num_series = 2;
+  const Dataset ds = MakeSyntheticDataset(6, opt);  // EcgPqrst family
+  const std::vector<double>& series = ds.series[0].values;
+
+  // 2. Reduce it to M = 24 representation coefficients (N = 8 adaptive
+  //    linear segments <a_i, b_i, r_i>).
+  const SaplaReducer sapla;
+  const Representation rep = sapla.Reduce(series, 24);
+
+  printf("Reduced %zu points to %zu segments (%zu coefficients):\n",
+         series.size(), rep.num_segments(),
+         rep.num_segments() * CoefficientsPerSegment(Method::kSapla));
+  for (size_t i = 0; i < rep.num_segments(); ++i) {
+    printf("  segment %zu: a=%8.4f  b=%8.4f  r=%3zu  (len %zu)\n", i,
+           rep.segments[i].a, rep.segments[i].b, rep.segments[i].r,
+           rep.segment_length(i));
+  }
+
+  // 3. Reconstruct and measure the approximation quality.
+  printf("\nsum of per-segment max deviations: %.4f\n",
+         rep.SumMaxDeviation(series));
+  printf("global max deviation:              %.4f\n",
+         rep.GlobalMaxDeviation(series));
+
+  // 4. Compare against the other reduction methods at the same budget.
+  Table t("Max deviation at M = 24 (lower is better)");
+  t.SetHeader({"Method", "Segments", "SumMaxDev"});
+  for (const Method m : AllMethods()) {
+    if (m == Method::kSax) continue;  // symbolic; no numeric deviation story
+    const Representation r = MakeReducer(m)->Reduce(series, 24);
+    t.AddRow({MethodName(m),
+              std::to_string(r.segments.empty() ? r.coeffs.size()
+                                                : r.num_segments()),
+              Table::Num(r.SumMaxDeviation(series))});
+  }
+  t.Print();
+
+  // 5. Lower-bounding distance between two series in reduced space
+  //    (Dist_PAR never needs the raw n-point arrays).
+  const Representation other = sapla.Reduce(ds.series[1].values, 24);
+  printf("Dist_PAR(reduced, reduced) = %.4f\n", DistPar(rep, other));
+  printf("Euclidean(raw, raw)        = %.4f\n",
+         EuclideanDistance(series, ds.series[1].values));
+  return 0;
+}

@@ -1,0 +1,121 @@
+#include "core/paper_equations.h"
+
+#include "util/status.h"
+
+namespace sapla {
+
+Line Eq1Fit(const double* values, size_t l) {
+  SAPLA_DCHECK(l >= 2);
+  const double ld = static_cast<double>(l);
+  double sa = 0.0, sb = 0.0;
+  for (size_t t = 0; t < l; ++t) {
+    const double td = static_cast<double>(t);
+    sa += (td - (ld - 1.0) / 2.0) * values[t];
+    sb += (2.0 * ld - 1.0 - 3.0 * td) * values[t];
+  }
+  Line out;
+  out.a = 12.0 * sa / (ld * (ld - 1.0) * (ld + 1.0));
+  out.b = 2.0 * sb / (ld * (ld + 1.0));
+  return out;
+}
+
+Line Eq2Increment(const Line& fit, size_t l, double c_new) {
+  SAPLA_DCHECK(l >= 2);
+  const double li = static_cast<double>(l);
+  Line out;
+  out.a = ((li - 2.0) * (li - 1.0) * fit.a + 6.0 * (c_new - fit.b)) /
+          ((li + 1.0) * (li + 2.0));
+  out.b = (2.0 * (li - 1.0) * (fit.a * li - c_new) +
+           (li + 5.0) * li * fit.b) /
+          ((li + 1.0) * (li + 2.0));
+  return out;
+}
+
+Line Eq34Merge(const Line& left, size_t l_left, const Line& right,
+               size_t l_right) {
+  SAPLA_DCHECK(l_left >= 1 && l_right >= 1);
+  const double li = static_cast<double>(l_left);
+  const double lj = static_cast<double>(l_right);
+  const double lm = li + lj;
+  Line out;
+  out.a = (left.a * li * (li - 1.0) * (li + 1.0 - 3.0 * lj) -
+           6.0 * li * lj * left.b +
+           right.a * lj * (lj - 1.0) * (lj + 1.0 + 3.0 * li) +
+           6.0 * li * lj * right.b) /
+          (lm * (lm - 1.0) * (lm + 1.0));
+  out.b = (left.b * li * (li + 1.0) + 2.0 * left.a * lj * li * (li - 1.0) +
+           4.0 * li * lj * left.b + right.b * lj * (lj + 1.0) -
+           right.a * li * lj * (lj - 1.0) - 2.0 * li * lj * right.b) /
+          (lm * (lm + 1.0));
+  return out;
+}
+
+void FitToSums(const Line& fit, size_t l, double* s1, double* st) {
+  const double ld = static_cast<double>(l);
+  // Invert the normal equations: S1 = l*b + a*l(l-1)/2,
+  // St = [a*l(l^2-1) + 6(l-1)*S1] / 12.
+  *s1 = ld * fit.b + fit.a * ld * (ld - 1.0) / 2.0;
+  *st = (fit.a * ld * (ld - 1.0) * (ld + 1.0) + 6.0 * (ld - 1.0) * (*s1)) / 12.0;
+}
+
+Line Eq56Left(const Line& merged, size_t l_left, const Line& right,
+              size_t l_right) {
+  SAPLA_DCHECK(l_left >= 1 && l_right >= 1);
+  // Exact inverse of Eqs. (3)+(4) via the sufficient statistics: the printed
+  // forms (5)/(6) are this same algebra expanded; we keep the statistic form
+  // (tested identical to direct refits and consistent with Eq34Merge).
+  double s1_m, st_m, s1_r, st_r;
+  FitToSums(merged, l_left + l_right, &s1_m, &st_m);
+  FitToSums(right, l_right, &s1_r, &st_r);
+  const double s1_l = s1_m - s1_r;
+  // Right points sit at offset l_left inside the merged segment.
+  const double st_l =
+      st_m - (st_r + static_cast<double>(l_left) * s1_r);
+  return FitFromSums(s1_l, st_l, l_left);
+}
+
+Line Eq78Right(const Line& merged, const Line& left, size_t l_left,
+               size_t l_right) {
+  SAPLA_DCHECK(l_left >= 1 && l_right >= 1);
+  double s1_m, st_m, s1_l, st_l;
+  FitToSums(merged, l_left + l_right, &s1_m, &st_m);
+  FitToSums(left, l_left, &s1_l, &st_l);
+  const double s1_r = s1_m - s1_l;
+  const double st_r =
+      (st_m - st_l) - static_cast<double>(l_left) * s1_r;
+  return FitFromSums(s1_r, st_r, l_right);
+}
+
+Line Eq9ShrinkRight(const Line& fit, size_t l, double c_last) {
+  SAPLA_DCHECK(l >= 3);
+  const double li = static_cast<double>(l);
+  Line out;
+  out.a = (li + 4.0) * fit.a / (li - 2.0) +
+          6.0 * (fit.b - c_last) / ((li - 1.0) * (li - 2.0));
+  out.b = (li - 3.0) * fit.b / (li - 1.0) - 2.0 * fit.a +
+          2.0 * c_last / (li - 1.0);
+  return out;
+}
+
+Line Eq10GrowLeft(const Line& fit, size_t l, double c_prev) {
+  SAPLA_DCHECK(l >= 2);
+  const double li = static_cast<double>(l);
+  Line out;
+  out.a = (fit.a * (li - 1.0) * (li + 4.0) + 6.0 * (fit.b - c_prev)) /
+          ((li + 1.0) * (li + 2.0));
+  out.b = (2.0 * (2.0 * li + 1.0) * c_prev +
+           li * (li - 1.0) * (fit.b - fit.a)) /
+          ((li + 1.0) * (li + 2.0));
+  return out;
+}
+
+Line Eq11ShrinkLeft(const Line& fit, size_t l, double c_first) {
+  SAPLA_DCHECK(l >= 3);
+  const double li = static_cast<double>(l);
+  Line out;
+  out.a = fit.a + 6.0 * (c_first - fit.b) / ((li - 1.0) * (li - 2.0));
+  out.b = fit.a + ((li + 3.0) * fit.b - 4.0 * c_first) / (li - 1.0);
+  return out;
+}
+
+}  // namespace sapla

@@ -1,0 +1,72 @@
+#ifndef SAPLA_CORE_PAPER_EQUATIONS_H_
+#define SAPLA_CORE_PAPER_EQUATIONS_H_
+
+// The paper's closed-form coefficient updates, Eqs. (1)-(11), implemented
+// verbatim as printed in §4.
+//
+// Each equation transforms least-squares line coefficients in O(1) instead
+// of refitting in O(l):
+//   Eq. (1)      fit a length-l segment from scratch
+//   Eq. (2)      extend a fit one point to the right (Increment Segment)
+//   Eqs. (3),(4) merge the fits of two adjacent segments
+//   Eqs. (5),(6) recover the LEFT sub-fit from a merged fit + right sub-fit
+//   Eqs. (7),(8) recover the RIGHT sub-fit from a merged fit + left sub-fit
+//   Eq. (9)      shrink the right endpoint by one point
+//   Eq. (10)     extend the left endpoint by one point
+//   Eq. (11)     shrink the left endpoint by one point
+//
+// All are exact consequences of the bijection (for l >= 2) between (a, b)
+// and the sufficient statistics S1 = sum(c_t), St = sum(t*c_t); the
+// equivalence with direct prefix-sum refits is property-tested in
+// tests/paper_equations_test.cc. The SAPLA engine itself uses the
+// numerically cleaner sufficient-statistics engine (geom/line_fit.h), which
+// these equations are proven (by those tests) to match.
+
+#include <cstddef>
+
+#include "geom/line_fit.h"
+
+namespace sapla {
+
+/// Eq. (1): least-squares <a, b> of c_0..c_{l-1}. l >= 2.
+Line Eq1Fit(const double* values, size_t l);
+
+/// Eq. (2): coefficients after appending point `c_new` at local index l to a
+/// fit of l points. Requires l >= 2.
+Line Eq2Increment(const Line& fit, size_t l, double c_new);
+
+/// Eqs. (3)+(4): coefficients of the merged segment covering a left fit of
+/// l_left points followed by a right fit of l_right points.
+Line Eq34Merge(const Line& left, size_t l_left, const Line& right,
+               size_t l_right);
+
+/// Eqs. (5)+(6): left sub-segment coefficients from the merged fit and the
+/// right sub-fit.
+Line Eq56Left(const Line& merged, size_t l_left, const Line& right,
+              size_t l_right);
+
+/// Eqs. (7)+(8): right sub-segment coefficients from the merged fit and the
+/// left sub-fit.
+Line Eq78Right(const Line& merged, const Line& left, size_t l_left,
+               size_t l_right);
+
+/// Eq. (9): coefficients after removing the segment's last point, whose
+/// value is `c_last`. Requires l >= 3.
+Line Eq9ShrinkRight(const Line& fit, size_t l, double c_last);
+
+/// Eq. (10): coefficients after prepending point `c_prev` (the segment's new
+/// first point). Requires l >= 2.
+Line Eq10GrowLeft(const Line& fit, size_t l, double c_prev);
+
+/// Eq. (11): coefficients after removing the segment's first point, whose
+/// value is `c_first`. Requires l >= 3.
+Line Eq11ShrinkLeft(const Line& fit, size_t l, double c_first);
+
+/// Sufficient statistics S1 = sum(c_t), St = sum(t*c_t) recovered from a
+/// fit's coefficients (exact for l >= 2) — the bridge used to prove the
+/// equations above.
+void FitToSums(const Line& fit, size_t l, double* s1, double* st);
+
+}  // namespace sapla
+
+#endif  // SAPLA_CORE_PAPER_EQUATIONS_H_

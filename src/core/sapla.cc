@@ -1,0 +1,424 @@
+#include "core/sapla.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <vector>
+
+#include "geom/areas.h"
+#include "geom/line_fit.h"
+#include "util/status.h"
+
+namespace sapla {
+namespace {
+
+constexpr double kImproveEps = 1e-12;
+
+struct Seg {
+  size_t s, e;  // inclusive global range
+  Line line;
+  double beta;
+};
+
+// The three-phase SAPLA pipeline over one series. Every fit is O(1) via the
+// prefix-sum engine, so structural operations dominate the cost.
+class Engine {
+ public:
+  Engine(const std::vector<double>& values, size_t target,
+         const SaplaOptions& opt)
+      : fit_(values), n_(values.size()), target_(target), opt_(opt) {}
+
+  Representation RunInitOnly() {
+    Initialize();
+    Representation rep;
+    rep.method = Method::kSapla;
+    rep.n = n_;
+    rep.segments.reserve(segs_.size());
+    for (const Seg& sg : segs_)
+      rep.segments.push_back({sg.line.a, sg.line.b, sg.e});
+    return rep;
+  }
+
+  Representation Run(SaplaProfile* prof) {
+    SaplaProfile local;
+    if (prof == nullptr) prof = &local;
+
+    Initialize();
+    prof->segments_after_init = segs_.size();
+    prof->beta_after_init = SumBeta();
+
+    // Reach exactly N segments (merges/splits are also what Algorithm 4.3
+    // does before its improvement loop).
+    while (segs_.size() > target_) {
+      MergeOnce();
+      ++prof->merges;
+    }
+    while (segs_.size() < target_) {
+      if (!SplitOnce()) break;  // series too short to split further
+      ++prof->splits;
+    }
+    if (opt_.split_merge_iteration) ImproveLoop(prof);
+    prof->beta_after_sm = SumBeta();
+
+    if (opt_.endpoint_movement) {
+      // Alternate phases 2 and 3: a round of endpoint movement changes
+      // which segment carries the worst bound, re-opening split+merge
+      // opportunities (and vice versa). Iterate to a fixed point, bounded
+      // by max_phase_cycles.
+      double best_total = TotalExactDeviation();
+      std::vector<Seg> best_cfg = segs_;
+      for (size_t cycle = 0; cycle < opt_.max_phase_cycles; ++cycle) {
+        EndpointMovement(prof);
+        {
+          // Movement alone is exact-monotone only in exact mode; keep the
+          // better of pre/post states.
+          const double total = TotalExactDeviation();
+          if (total < best_total - kImproveEps) {
+            best_total = total;
+            best_cfg = segs_;
+          }
+        }
+        if (opt_.split_merge_iteration) ImproveLoop(prof);
+        const double total = TotalExactDeviation();
+        if (total < best_total - kImproveEps) {
+          best_total = total;
+          best_cfg = segs_;
+        } else {
+          segs_ = best_cfg;  // roll back a non-improving cycle
+          break;
+        }
+      }
+    }
+    prof->beta_final = SumBeta();
+
+    Representation rep;
+    rep.method = Method::kSapla;
+    rep.n = n_;
+    rep.segments.reserve(segs_.size());
+    for (const Seg& sg : segs_)
+      rep.segments.push_back({sg.line.a, sg.line.b, sg.e});
+    return rep;
+  }
+
+ private:
+  // Segment upper bound beta_i (paper §4.1.2/4.1.4/4.3.1): the max absolute
+  // point difference at O(1) probe positions (both endpoints + midpoint)
+  // scaled by (l-1). With use_exact_deviation it is the exact epsilon_i.
+  double Beta(size_t s, size_t e, const Line& line) const {
+    const size_t l = e - s + 1;
+    if (l <= 1) return 0.0;
+    if (opt_.use_exact_deviation) return fit_.MaxDeviation(s, e, line);
+    const std::vector<double>& v = fit_.values();
+    const size_t mid = s + l / 2;
+    double m = std::fabs(v[s] - line.At(0.0));
+    m = std::max(m, std::fabs(v[e] - line.At(static_cast<double>(l - 1))));
+    m = std::max(m, std::fabs(v[mid] - line.At(static_cast<double>(mid - s))));
+    return m * static_cast<double>(l - 1);
+  }
+
+  Seg Make(size_t s, size_t e) const {
+    Seg sg;
+    sg.s = s;
+    sg.e = e;
+    sg.line = fit_.Fit(s, e);
+    sg.beta = Beta(s, e, sg.line);
+    return sg;
+  }
+
+  double SumBeta() const {
+    double sum = 0.0;
+    for (const Seg& sg : segs_) sum += sg.beta;
+    return sum;
+  }
+
+  // Exact sum of segment max deviations (O(n)); used only between phase
+  // cycles as the convergence check.
+  double TotalExactDeviation() const {
+    double sum = 0.0;
+    for (const Seg& sg : segs_)
+      sum += fit_.MaxDeviation(sg.s, sg.e, sg.line);
+    return sum;
+  }
+
+  // Phase 1 — Algorithm 4.2. The current segment [s, e] grows one point at
+  // a time; the Increment Area between the refit including the candidate
+  // point and the old line extrapolated one step decides whether to close.
+  // The first N-1 candidates close unconditionally (eta filling up); after
+  // that a close requires beating the smallest of the N-1 largest areas.
+  void Initialize() {
+    segs_.clear();
+    if (n_ < 2) {
+      segs_.push_back(Make(0, n_ - 1));
+      return;
+    }
+    std::priority_queue<double, std::vector<double>, std::greater<double>> eta;
+    size_t s = 0;
+    size_t e = 1;
+    size_t pos = 2;
+    while (pos < n_) {
+      const Line cur = fit_.Fit(s, e);
+      const Line inc = fit_.Fit(s, pos);
+      const double area = IncrementArea(inc, cur, pos - s);
+      bool close = false;
+      if (eta.size() + 1 < target_) {
+        eta.push(area);
+        close = true;
+      } else if (!eta.empty() && area > eta.top()) {
+        eta.pop();
+        eta.push(area);
+        close = true;
+      }
+      if (close) {
+        segs_.push_back(Make(s, e));
+        s = pos;
+        e = std::min(pos + 1, n_ - 1);
+        pos = e + 1;
+      } else {
+        e = pos++;
+      }
+    }
+    segs_.push_back(Make(s, e));
+    // A close right before the end can leave a single-point tail; fold it
+    // into its neighbor to honor the paper's l > 1 convention.
+    if (segs_.size() >= 2 && segs_.back().e == segs_.back().s) {
+      const Seg merged = Make(segs_[segs_.size() - 2].s, segs_.back().e);
+      segs_.pop_back();
+      segs_.back() = merged;
+    }
+  }
+
+  // Reconstruction Area (Definition 4.2) of merging segs_[i] and segs_[i+1].
+  double ReconAreaOfPair(size_t i) const {
+    const Seg& a = segs_[i];
+    const Seg& b = segs_[i + 1];
+    const Line merged = fit_.Fit(a.s, b.e);
+    return ReconstructionArea(merged, a.line, a.e - a.s + 1, b.line,
+                              b.e - b.s + 1);
+  }
+
+  size_t MinReconPair() const {
+    SAPLA_DCHECK(segs_.size() >= 2);
+    size_t best = 0;
+    double best_area = ReconAreaOfPair(0);
+    for (size_t i = 1; i + 1 < segs_.size(); ++i) {
+      const double area = ReconAreaOfPair(i);
+      if (area < best_area) {
+        best_area = area;
+        best = i;
+      }
+    }
+    return best;
+  }
+
+  void MergeOnce() {
+    const size_t i = MinReconPair();
+    const Seg merged = Make(segs_[i].s, segs_[i + 1].e);
+    segs_[i] = merged;
+    segs_.erase(segs_.begin() + static_cast<ptrdiff_t>(i) + 1);
+  }
+
+  // Best split point of segment i: the interior endpoint r maximizing the
+  // Reconstruction Area between the segment's line and the two sub-fits
+  // (§4.3.2; we scan all candidates — same O(l) as the peak search bound).
+  bool FindBestSplit(size_t i, size_t* split_r) const {
+    const Seg& sg = segs_[i];
+    if (sg.e - sg.s + 1 < 4) return false;  // both halves must have l >= 2
+    double best_area = -1.0;
+    size_t best_r = 0;
+    for (size_t r = sg.s + 1; r + 2 <= sg.e; ++r) {
+      const Line left = fit_.Fit(sg.s, r);
+      const Line right = fit_.Fit(r + 1, sg.e);
+      const double area = ReconstructionArea(sg.line, left, r - sg.s + 1,
+                                             right, sg.e - r);
+      if (area > best_area) {
+        best_area = area;
+        best_r = r;
+      }
+    }
+    *split_r = best_r;
+    return true;
+  }
+
+  size_t MaxBetaSeg() const {
+    size_t best = 0;
+    for (size_t i = 1; i < segs_.size(); ++i)
+      if (segs_[i].beta > segs_[best].beta) best = i;
+    return best;
+  }
+
+  bool SplitOnce() {
+    // Split the splittable segment with the largest beta.
+    size_t best = segs_.size();
+    for (size_t i = 0; i < segs_.size(); ++i) {
+      if (segs_[i].e - segs_[i].s + 1 < 4) continue;
+      if (best == segs_.size() || segs_[i].beta > segs_[best].beta) best = i;
+    }
+    if (best == segs_.size()) return false;
+    size_t r = 0;
+    if (!FindBestSplit(best, &r)) return false;
+    const Seg left = Make(segs_[best].s, r);
+    const Seg right = Make(r + 1, segs_[best].e);
+    segs_[best] = left;
+    segs_.insert(segs_.begin() + static_cast<ptrdiff_t>(best) + 1, right);
+    return true;
+  }
+
+  // Phase 2 improvement loop — Algorithm 4.3's while over beta^{sm} /
+  // beta^{ms}: try split-then-merge and merge-then-split at constant segment
+  // count, keep whichever lowers the sum upper bound, stop when neither does.
+  void ImproveLoop(SaplaProfile* prof) {
+    const size_t max_rounds =
+        opt_.max_improve_rounds ? opt_.max_improve_rounds : 4 * target_ + 8;
+    double beta = SumBeta();
+    for (size_t round = 0; round < max_rounds; ++round) {
+      const std::vector<Seg> saved = segs_;
+      double best = beta;
+      std::vector<Seg> best_cfg;
+
+      // Split-then-merge (beta^{sm}).
+      if (SplitOnce()) {
+        MergeOnce();
+        const double nb = SumBeta();
+        if (nb < best - kImproveEps) {
+          best = nb;
+          best_cfg = segs_;
+        }
+      }
+      segs_ = saved;
+
+      // Merge-then-split (beta^{ms}).
+      if (segs_.size() >= 2) {
+        MergeOnce();
+        if (SplitOnce()) {
+          const double nb = SumBeta();
+          if (nb < best - kImproveEps) {
+            best = nb;
+            best_cfg = segs_;
+          }
+        }
+        segs_ = saved;
+      }
+
+      if (best_cfg.empty()) break;
+      segs_ = std::move(best_cfg);
+      beta = best;
+      ++prof->improve_rounds;
+    }
+  }
+
+  // Shifts the boundary between segs_[li] and segs_[li+1] by dir (+1 moves
+  // it right) when that lowers the pair's beta sum. Both segments keep
+  // length >= 2 (the paper's l > 1 convention).
+  // Objective used to accept a boundary move: exact pair max deviation by
+  // default (the paper's movement bound tracks a running max over all
+  // scanned points, i.e. is effectively exact), or the O(1) surrogate when
+  // exact_movement is off (ablation).
+  double MoveObjective(const Seg& sg) const {
+    if (opt_.exact_movement && !opt_.use_exact_deviation)
+      return fit_.MaxDeviation(sg.s, sg.e, sg.line);
+    return sg.beta;
+  }
+
+  // Walks the boundary between segs_[li] and segs_[li+1] in direction dir
+  // (+1 = right), accepting the best position found. Up to
+  // `move_lookahead` consecutive non-improving steps are explored before
+  // giving up, so small plateaus in the objective do not trap the walk.
+  bool HillClimbBoundary(size_t li, int dir) {
+    Seg& left = segs_[li];
+    Seg& right = segs_[li + 1];
+    const double start_obj = MoveObjective(left) + MoveObjective(right);
+    double best_obj = start_obj;
+    size_t best_steps = 0;
+    size_t steps = 0;
+    // Current boundary = left.e; both segments keep length >= 2.
+    while (true) {
+      const size_t next = steps + 1;
+      if (dir > 0 && right.e - right.s + 1 <= 2 + steps) break;
+      if (dir < 0 && left.e - left.s + 1 <= 2 + steps) break;
+      const size_t boundary =
+          dir > 0 ? left.e + next : left.e - next;
+      const Seg cand_left = Make(left.s, boundary);
+      const Seg cand_right = Make(boundary + 1, right.e);
+      const double obj = MoveObjective(cand_left) + MoveObjective(cand_right);
+      steps = next;
+      if (obj < best_obj - kImproveEps) {
+        best_obj = obj;
+        best_steps = steps;
+      }
+      if (steps - best_steps >= opt_.move_lookahead) break;
+    }
+    if (best_steps == 0) return false;
+    const size_t boundary =
+        dir > 0 ? left.e + best_steps : left.e - best_steps;
+    left = Make(left.s, boundary);
+    right = Make(boundary + 1, right.e);
+    return true;
+  }
+
+  // Phase 3 — Algorithm 4.4: visit segments in decreasing beta order; for
+  // each, hill-climb its left and right boundaries in both directions while
+  // the bound sum keeps dropping; repeat passes until a full pass makes no
+  // move.
+  void EndpointMovement(SaplaProfile* prof) {
+    for (size_t pass = 0; pass < opt_.max_move_passes; ++pass) {
+      bool any = false;
+      std::vector<bool> done(segs_.size(), false);
+      for (size_t k = 0; k < segs_.size(); ++k) {
+        size_t i = segs_.size();
+        for (size_t j = 0; j < segs_.size(); ++j) {
+          if (done[j]) continue;
+          if (i == segs_.size() || segs_[j].beta > segs_[i].beta) i = j;
+        }
+        if (i == segs_.size()) break;
+        done[i] = true;
+        // Right boundary (cases 1 and 2 of Fig. 9), then left (cases 3, 4).
+        for (size_t b = 0; b < 2; ++b) {
+          if (b == 0 && i + 1 >= segs_.size()) continue;
+          if (b == 1 && i == 0) continue;
+          const size_t li = b == 0 ? i : i - 1;
+          for (const int dir : {+1, -1}) {
+            while (HillClimbBoundary(li, dir)) {
+              any = true;
+              ++prof->moves;
+            }
+          }
+        }
+      }
+      if (!any) break;
+    }
+  }
+
+  PrefixFitter fit_;
+  size_t n_;
+  size_t target_;
+  SaplaOptions opt_;
+  std::vector<Seg> segs_;
+};
+
+}  // namespace
+
+Representation SaplaReducer::Reduce(const std::vector<double>& values,
+                                    size_t m) const {
+  return ReduceToSegments(values, SegmentsForBudget(Method::kSapla, m));
+}
+
+Representation SaplaReducer::ReduceToSegments(const std::vector<double>& values,
+                                              size_t num_segments,
+                                              SaplaProfile* profile) const {
+  SAPLA_DCHECK(values.size() >= 2);
+  SAPLA_DCHECK(num_segments >= 1);
+  // Every segment needs >= 2 points.
+  const size_t max_segments = std::max<size_t>(1, values.size() / 2);
+  Engine engine(values, std::min(num_segments, max_segments), options_);
+  return engine.Run(profile);
+}
+
+Representation SaplaReducer::InitializeOnly(const std::vector<double>& values,
+                                            size_t num_segments) const {
+  SAPLA_DCHECK(values.size() >= 2);
+  const size_t max_segments = std::max<size_t>(1, values.size() / 2);
+  Engine engine(values, std::min(num_segments, max_segments), options_);
+  return engine.RunInitOnly();
+}
+
+}  // namespace sapla

@@ -1,0 +1,115 @@
+#ifndef SAPLA_CORE_SAPLA_H_
+#define SAPLA_CORE_SAPLA_H_
+
+// SAPLA — Self Adaptive Piecewise Linear Approximation (paper §4).
+//
+// Adaptive-length linear segments <a_i, b_i, r_i> computed in three phases:
+//
+//  1. Initialization (Algorithm 4.2): one scan of the series. The current
+//     segment is extended point by point; when the Increment Area (the area
+//     between the refit line and the old line extrapolated one step,
+//     Definition 4.1) exceeds the (N-1)-th largest area seen so far, the
+//     segment is closed and a new one starts. Produces >= N segments.
+//  2. Split & merge iteration (Algorithm 4.3): merge the adjacent pair with
+//     the minimum Reconstruction Area (Definition 4.2) while there are too
+//     many segments; split the segment with the maximum upper bound beta_i
+//     while there are too few; then repeatedly try a paired split+merge (and
+//     merge+split) and keep it whenever the sum upper bound beta decreases.
+//  3. Segment endpoint movement iteration (Algorithm 4.4): hill-climb each
+//     boundary of the highest-beta segments left/right while the bound sum
+//     keeps dropping.
+//
+// Worst-case O(n(N + log n)) versus APLA's O(Nn^2), at a small max-deviation
+// penalty (Fig. 12a).
+//
+// beta_i is the paper's O(1) surrogate bound on a segment's max deviation
+// (endpoint/midpoint probe differences scaled by l-1). Setting
+// SaplaOptions::use_exact_deviation replaces it with the exact per-segment
+// max deviation (O(l) per evaluation) — the ablation DESIGN.md §3 calls out.
+
+#include "reduction/representation.h"
+
+namespace sapla {
+
+/// Tuning knobs; the defaults reproduce the paper's configuration.
+struct SaplaOptions {
+  /// Phase 2 (Algorithm 4.3). Disabling keeps the raw initialization and
+  /// merges down to N segments with no optimization loop.
+  bool split_merge_iteration = true;
+
+  /// Phase 3 (Algorithm 4.4).
+  bool endpoint_movement = true;
+
+  /// Replace the O(1) beta surrogate with exact max deviations in EVERY
+  /// phase (split/merge thresholds included).
+  bool use_exact_deviation = false;
+
+  /// Drive phase 3 by exact per-segment max deviation (O(l) per accepted
+  /// step) instead of the O(1) surrogate. The paper's movement bound tracks
+  /// a running max over all scanned points — effectively exact — and the
+  /// cheap probe surrogate measurably degrades the final deviation (see
+  /// bench_ablation), so exact movement is the default.
+  bool exact_movement = true;
+
+  /// Cap on paired split+merge improvement rounds; 0 = auto (4N).
+  size_t max_improve_rounds = 0;
+
+  /// Plateau tolerance of the endpoint-movement hill climb: how many
+  /// consecutive non-improving boundary positions to look past before
+  /// stopping a walk.
+  size_t move_lookahead = 3;
+
+  /// Passes of the endpoint-movement iteration (within one phase cycle).
+  size_t max_move_passes = 3;
+
+  /// Alternations of (endpoint movement -> split&merge improvement): the
+  /// movement phase re-opens structural opportunities and vice versa;
+  /// cycling to a fixed point recovers most of the remaining gap to APLA.
+  size_t max_phase_cycles = 3;
+};
+
+/// Phase-by-phase telemetry for ablation studies.
+struct SaplaProfile {
+  size_t segments_after_init = 0;
+  double beta_after_init = 0.0;    ///< sum upper bound after phase 1
+  double beta_after_sm = 0.0;      ///< after split & merge
+  double beta_final = 0.0;         ///< after endpoint movement
+  size_t merges = 0;
+  size_t splits = 0;
+  size_t improve_rounds = 0;       ///< accepted paired split+merge rounds
+  size_t moves = 0;                ///< accepted endpoint move steps
+};
+
+/// \brief The paper's primary contribution.
+class SaplaReducer : public Reducer {
+ public:
+  explicit SaplaReducer(const SaplaOptions& options = {})
+      : options_(options) {}
+
+  Method method() const override { return Method::kSapla; }
+
+  /// Reduces to N = M/3 segments (Table 1 coefficient accounting).
+  Representation Reduce(const std::vector<double>& values,
+                        size_t m) const override;
+
+  /// Reduces to exactly `num_segments` segments, optionally reporting
+  /// phase telemetry. Requires values.size() >= 2.
+  Representation ReduceToSegments(const std::vector<double>& values,
+                                  size_t num_segments,
+                                  SaplaProfile* profile = nullptr) const;
+
+  /// Runs only phase 1 (Algorithm 4.2) and returns the raw initialized
+  /// representation — at least `num_segments` segments, usually more (the
+  /// paper's Fig. 5). Intended for inspection and ablation.
+  Representation InitializeOnly(const std::vector<double>& values,
+                                size_t num_segments) const;
+
+  const SaplaOptions& options() const { return options_; }
+
+ private:
+  SaplaOptions options_;
+};
+
+}  // namespace sapla
+
+#endif  // SAPLA_CORE_SAPLA_H_

@@ -1,0 +1,132 @@
+#include "core/streaming_sapla.h"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+
+#include "geom/areas.h"
+#include "util/status.h"
+
+namespace sapla {
+
+StreamingSapla::StreamingSapla(size_t max_segments)
+    : max_segments_(std::max<size_t>(1, max_segments)) {}
+
+size_t StreamingSapla::num_segments() const {
+  return segs_.size() + (has_open_ ? 1 : 0);
+}
+
+StreamingSapla::Seg StreamingSapla::MergeSegs(const Seg& a, const Seg& b) {
+  Seg m;
+  m.start = a.start;
+  m.end = b.end;
+  m.s1 = a.s1 + b.s1;
+  // b's points shift to offset (b.start - a.start) in the merged frame.
+  m.st = a.st + b.st +
+         static_cast<double>(b.start - a.start) * b.s1;
+  return m;
+}
+
+void StreamingSapla::CloseOpenSegment() {
+  SAPLA_DCHECK(has_open_);
+  segs_.push_back(open_);
+  has_open_ = false;
+  while (num_segments() > max_segments_) MergeCheapestPair();
+}
+
+void StreamingSapla::MergeCheapestPair() {
+  SAPLA_DCHECK(segs_.size() >= 2);
+  size_t best = 0;
+  double best_area = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i + 1 < segs_.size(); ++i) {
+    const Seg merged = MergeSegs(segs_[i], segs_[i + 1]);
+    const double area =
+        ReconstructionArea(merged.line(), segs_[i].line(), segs_[i].length(),
+                           segs_[i + 1].line(), segs_[i + 1].length());
+    if (area < best_area) {
+      best_area = area;
+      best = i;
+    }
+  }
+  segs_[best] = MergeSegs(segs_[best], segs_[best + 1]);
+  segs_.erase(segs_.begin() + static_cast<ptrdiff_t>(best) + 1);
+}
+
+void StreamingSapla::Append(double value) {
+  const size_t t = count_++;
+  if (!has_open_) {
+    open_ = Seg{t, t, value, 0.0};
+    has_open_ = true;
+    return;
+  }
+  if (open_.length() == 1) {
+    // Always grow to the minimum length 2 before area decisions apply.
+    open_.end = t;
+    open_.s1 += value;
+    open_.st += static_cast<double>(t - open_.start) * value;
+    return;
+  }
+
+  // Increment Area of admitting the new point (Definition 4.1).
+  const Line cur = open_.line();
+  Seg inc = open_;
+  inc.end = t;
+  inc.s1 += value;
+  inc.st += static_cast<double>(t - open_.start) * value;
+  const double area = IncrementArea(inc.line(), cur, open_.length());
+
+  bool close = false;
+  if (eta_.size() + 1 < max_segments_) {
+    eta_.push_back(area);
+    std::push_heap(eta_.begin(), eta_.end(), std::greater<>());
+    close = true;
+  } else if (!eta_.empty() && area > eta_.front()) {
+    std::pop_heap(eta_.begin(), eta_.end(), std::greater<>());
+    eta_.back() = area;
+    std::push_heap(eta_.begin(), eta_.end(), std::greater<>());
+    close = true;
+  }
+
+  if (close) {
+    CloseOpenSegment();
+    open_ = Seg{t, t, value, 0.0};
+    has_open_ = true;
+  } else {
+    open_ = inc;
+  }
+}
+
+Representation StreamingSapla::Snapshot() const {
+  // Work on a copy so the open segment can be folded in without touching
+  // the live stream state.
+  std::vector<Seg> all = segs_;
+  if (has_open_) all.push_back(open_);
+  while (all.size() > max_segments_) {
+    size_t best = 0;
+    double best_area = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i + 1 < all.size(); ++i) {
+      const Seg merged = MergeSegs(all[i], all[i + 1]);
+      const double area =
+          ReconstructionArea(merged.line(), all[i].line(), all[i].length(),
+                             all[i + 1].line(), all[i + 1].length());
+      if (area < best_area) {
+        best_area = area;
+        best = i;
+      }
+    }
+    all[best] = MergeSegs(all[best], all[best + 1]);
+    all.erase(all.begin() + static_cast<ptrdiff_t>(best) + 1);
+  }
+
+  Representation rep;
+  rep.method = Method::kSapla;
+  rep.n = count_;
+  rep.segments.reserve(all.size());
+  for (const Seg& sg : all) {
+    const Line line = sg.line();
+    rep.segments.push_back({line.a, line.b, sg.end});
+  }
+  return rep;
+}
+
+}  // namespace sapla

@@ -1,0 +1,72 @@
+#ifndef SAPLA_CORE_STREAMING_SAPLA_H_
+#define SAPLA_CORE_STREAMING_SAPLA_H_
+
+// Streaming SAPLA — online adaptive segmentation in O(N) memory.
+//
+// SAPLA's initialization (Algorithm 4.2) is already a single left-to-right
+// scan; this class runs it continuously over an unbounded stream. Each
+// segment is represented only by its least-squares sufficient statistics
+// (S1 = sum c, St = sum t*c, l), which support every operation the scan
+// needs in O(1): incremental refits (Eq. 2), merged fits (Eqs. 3-4),
+// Increment Areas and Reconstruction Areas. When the segment budget
+// overflows, the adjacent pair with the smallest Reconstruction Area is
+// merged — the streaming analog of the split & merge iteration's merge
+// side. Raw points are never retained, so the endpoint-movement phase
+// (which needs them) does not apply; batch SaplaReducer remains the
+// higher-quality offline choice.
+//
+// This implements the natural online extension of the paper's method (its
+// motivation section targets exactly such continuously collected series).
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/line_fit.h"
+#include "reduction/representation.h"
+
+namespace sapla {
+
+/// \brief Online SAPLA over an unbounded stream, O(max_segments) memory.
+class StreamingSapla {
+ public:
+  /// \param max_segments segment budget N (>= 1). The representation holds
+  /// at most this many closed segments plus the open one.
+  explicit StreamingSapla(size_t max_segments);
+
+  /// Consumes the next stream value. Amortized O(log N) (threshold heap)
+  /// plus O(N) on the rare overflow merges.
+  void Append(double value);
+
+  /// Points consumed so far.
+  size_t size() const { return count_; }
+
+  /// Number of segments currently held (closed + open).
+  size_t num_segments() const;
+
+  /// Current representation of everything consumed so far. O(N).
+  Representation Snapshot() const;
+
+ private:
+  struct Seg {
+    size_t start, end;  // global inclusive range
+    double s1, st;      // sufficient statistics (local time origin = start)
+    size_t length() const { return end - start + 1; }
+    Line line() const { return FitFromSums(s1, st, end - start + 1); }
+  };
+
+  void CloseOpenSegment();
+  void MergeCheapestPair();
+  static Seg MergeSegs(const Seg& a, const Seg& b);
+
+  size_t max_segments_;
+  size_t count_ = 0;
+  std::vector<Seg> segs_;  // closed segments
+  Seg open_{};             // the growing segment (valid once length >= 1)
+  bool has_open_ = false;
+  // The (N-1) largest increment areas seen (min at front of the heap).
+  std::vector<double> eta_;
+};
+
+}  // namespace sapla
+
+#endif  // SAPLA_CORE_STREAMING_SAPLA_H_

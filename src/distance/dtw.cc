@@ -1,0 +1,118 @@
+#include "distance/dtw.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+
+#include "util/status.h"
+
+namespace sapla {
+
+double DtwDistance(const std::vector<double>& a, const std::vector<double>& b,
+                   size_t band) {
+  SAPLA_DCHECK(a.size() == b.size() && !a.empty());
+  const size_t n = a.size();
+  const size_t w = std::min(band, n - 1);
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  // Rolling two-row DP over the banded cost matrix.
+  std::vector<double> prev(n, kInf), cur(n, kInf);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t j_lo = i > w ? i - w : 0;
+    const size_t j_hi = std::min(n - 1, i + w);
+    std::fill(cur.begin(), cur.end(), kInf);
+    for (size_t j = j_lo; j <= j_hi; ++j) {
+      const double d = a[i] - b[j];
+      double best;
+      if (i == 0 && j == 0) {
+        best = 0.0;
+      } else {
+        best = kInf;
+        if (i > 0) best = std::min(best, prev[j]);                  // up
+        if (j > 0) best = std::min(best, cur[j - 1]);               // left
+        if (i > 0 && j > 0) best = std::min(best, prev[j - 1]);     // diag
+      }
+      cur[j] = best + d * d;
+    }
+    std::swap(prev, cur);
+  }
+  return std::sqrt(prev[n - 1]);
+}
+
+void DtwEnvelope(const std::vector<double>& series, size_t band,
+                 std::vector<double>* lower, std::vector<double>* upper) {
+  const size_t n = series.size();
+  lower->assign(n, 0.0);
+  upper->assign(n, 0.0);
+  // Sliding-window min/max over [t - band, t + band] via monotonic index
+  // deques (amortized O(1) per point).
+  std::deque<size_t> min_q, max_q;
+  size_t next_push = 0;
+  for (size_t t = 0; t < n; ++t) {
+    const size_t hi = std::min(n - 1, t + band);
+    while (next_push <= hi) {
+      while (!min_q.empty() && series[min_q.back()] >= series[next_push])
+        min_q.pop_back();
+      min_q.push_back(next_push);
+      while (!max_q.empty() && series[max_q.back()] <= series[next_push])
+        max_q.pop_back();
+      max_q.push_back(next_push);
+      ++next_push;
+    }
+    const size_t lo = t > band ? t - band : 0;
+    while (min_q.front() < lo) min_q.pop_front();
+    while (max_q.front() < lo) max_q.pop_front();
+    (*lower)[t] = series[min_q.front()];
+    (*upper)[t] = series[max_q.front()];
+  }
+}
+
+double LbKeogh(const std::vector<double>& candidate,
+               const std::vector<double>& query_lower,
+               const std::vector<double>& query_upper) {
+  SAPLA_DCHECK(candidate.size() == query_lower.size());
+  SAPLA_DCHECK(candidate.size() == query_upper.size());
+  double sum = 0.0;
+  for (size_t t = 0; t < candidate.size(); ++t) {
+    double gap = 0.0;
+    if (candidate[t] > query_upper[t]) gap = candidate[t] - query_upper[t];
+    if (candidate[t] < query_lower[t]) gap = query_lower[t] - candidate[t];
+    sum += gap * gap;
+  }
+  return std::sqrt(sum);
+}
+
+KnnDtwResult DtwKnn(const Dataset& dataset, const std::vector<double>& query,
+                    size_t k, size_t band) {
+  SAPLA_DCHECK(dataset.size() > 0 && query.size() == dataset.length());
+  std::vector<double> lower, upper;
+  DtwEnvelope(query, band, &lower, &upper);
+
+  // Order candidates by LB_Keogh so the k-NN bound tightens early.
+  std::vector<std::pair<double, size_t>> by_lb;
+  by_lb.reserve(dataset.size());
+  for (size_t i = 0; i < dataset.size(); ++i)
+    by_lb.emplace_back(LbKeogh(dataset.series[i].values, lower, upper), i);
+  std::sort(by_lb.begin(), by_lb.end());
+
+  KnnDtwResult result;
+  std::vector<std::pair<double, size_t>> best;  // max at back
+  for (const auto& [lb, id] : by_lb) {
+    const double bound = best.size() < k
+                             ? std::numeric_limits<double>::infinity()
+                             : best.back().first;
+    if (lb > bound) break;  // sorted LBs: everything after is pruned too
+    const double d = DtwDistance(query, dataset.series[id].values, band);
+    ++result.num_dtw_computations;
+    if (d < bound || best.size() < k) {
+      best.emplace_back(d, id);
+      std::sort(best.begin(), best.end());
+      if (best.size() > k) best.pop_back();
+    }
+  }
+  result.neighbors = std::move(best);
+  return result;
+}
+
+}  // namespace sapla

@@ -1,0 +1,54 @@
+#ifndef SAPLA_DISTANCE_DTW_H_
+#define SAPLA_DISTANCE_DTW_H_
+
+// Dynamic Time Warping with Sakoe-Chiba band + LB_Keogh pruning.
+//
+// Extension module: the paper's evaluation is Euclidean, but its similarity
+// search framing cites the UCR-DTW line of work (reference [20]); a
+// production time-series library needs warping-invariant search. DTW here
+// is the standard O(n * band) DP on squared point costs; LB_Keogh is the
+// envelope lower bound enabling GEMINI-style filtering, and DtwKnn combines
+// them into an exact k-NN with cascading pruning.
+
+#include <cstddef>
+#include <vector>
+
+#include "ts/time_series.h"
+
+namespace sapla {
+
+/// \brief DTW distance (sqrt of summed squared costs along the optimal
+/// warping path) between equal-length series under a Sakoe-Chiba band of
+/// half-width `band` (band >= 0; band >= n-1 means unconstrained).
+/// O(n * band) time, O(n) memory.
+double DtwDistance(const std::vector<double>& a, const std::vector<double>& b,
+                   size_t band);
+
+/// Upper/lower warping envelope of `series` under band half-width `band`:
+/// upper[t] = max(series[t-band .. t+band]), lower[t] = min(...).
+/// O(n) via monotonic deques.
+void DtwEnvelope(const std::vector<double>& series, size_t band,
+                 std::vector<double>* lower, std::vector<double>* upper);
+
+/// \brief LB_Keogh(query, candidate): distance from `candidate` to the
+/// query's envelope. A true lower bound of DtwDistance(query, candidate)
+/// at the same band. O(n).
+double LbKeogh(const std::vector<double>& candidate,
+               const std::vector<double>& query_lower,
+               const std::vector<double>& query_upper);
+
+struct KnnDtwResult {
+  std::vector<std::pair<double, size_t>> neighbors;
+  size_t num_dtw_computations = 0;
+};
+
+/// \brief Exact DTW k-NN over a dataset with LB_Keogh cascading pruning.
+///
+/// Returns ascending (dtw distance, id) pairs; num_dtw_computations counts
+/// full DTW evaluations (the pruning-power analog under warping).
+KnnDtwResult DtwKnn(const Dataset& dataset, const std::vector<double>& query,
+                    size_t k, size_t band);
+
+}  // namespace sapla
+
+#endif  // SAPLA_DISTANCE_DTW_H_

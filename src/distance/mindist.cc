@@ -1,0 +1,73 @@
+#include "distance/mindist.h"
+
+#include <cmath>
+
+#include "distance/distance.h"
+#include "reduction/dft.h"
+#include "util/normal.h"
+#include "util/status.h"
+
+namespace sapla {
+
+double SaxMinDist(const Representation& q, const Representation& c) {
+  SAPLA_DCHECK(q.method == Method::kSax && c.method == Method::kSax);
+  SAPLA_DCHECK(q.alphabet == c.alphabet && q.n == c.n);
+  SAPLA_DCHECK(q.symbols.size() == c.symbols.size());
+  const std::vector<double> bp = SaxBreakpoints(q.alphabet);
+  const double n = static_cast<double>(q.n);
+  const double num_segments = static_cast<double>(q.symbols.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < q.symbols.size(); ++i) {
+    const int a = q.symbols[i];
+    const int b = c.symbols[i];
+    if (std::abs(a - b) <= 1) continue;  // adjacent regions contribute 0
+    const int hi = std::max(a, b);
+    const int lo = std::min(a, b);
+    const double cell = bp[static_cast<size_t>(hi - 1)] -
+                        bp[static_cast<size_t>(lo)];
+    sum += cell * cell;
+  }
+  return std::sqrt(n / num_segments) * std::sqrt(sum);
+}
+
+double ChebyDist(const Representation& q, const Representation& c) {
+  SAPLA_DCHECK(q.method == Method::kCheby && c.method == Method::kCheby);
+  const size_t k = std::min(q.coeffs.size(), c.coeffs.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < k; ++i) {
+    const double d = q.coeffs[i] - c.coeffs[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+double LowerBoundDistance(const Representation& q, const Representation& c) {
+  SAPLA_DCHECK(q.method == c.method);
+  switch (q.method) {
+    case Method::kCheby:
+      return ChebyDist(q, c);
+    case Method::kDft:
+      return DftDist(q, c);
+    case Method::kSax:
+      return SaxMinDist(q, c);
+    default:
+      return DistPar(q, c);
+  }
+}
+
+double FilterDistance(const PrefixFitter& query_fitter,
+                      const Representation& q, const Representation& c) {
+  SAPLA_DCHECK(q.method == c.method);
+  switch (q.method) {
+    case Method::kCheby:
+      return ChebyDist(q, c);
+    case Method::kDft:
+      return DftDist(q, c);
+    case Method::kSax:
+      return SaxMinDist(q, c);
+    default:
+      return DistLb(query_fitter, c);
+  }
+}
+
+}  // namespace sapla

@@ -1,0 +1,40 @@
+#ifndef SAPLA_DISTANCE_MINDIST_H_
+#define SAPLA_DISTANCE_MINDIST_H_
+
+// Method-generic lower-bounding distance between two representations.
+//
+// This is the distance the GEMINI filter step and both trees use to prune:
+//   SAPLA / APLA / APCA  -> Dist_PAR (paper §5.1)
+//   PLA / PAA / PAALM    -> Dist_PAR degenerates to the classic Dist_PLA /
+//                           PAA lower bound (identical endpoints, Eq. 12)
+//   CHEBY                -> L2 over coefficients (Parseval lower bound)
+//   SAX                  -> classic MINDIST over breakpoint gaps
+
+#include "geom/line_fit.h"
+#include "reduction/representation.h"
+
+namespace sapla {
+
+/// Lower-bounding distance between a query representation and a data
+/// representation of the SAME method. Dispatches per method as above.
+double LowerBoundDistance(const Representation& q, const Representation& c);
+
+/// Filter distance used at the refinement step when the RAW query is
+/// available: Dist_LB (a rigorous lower bound — the raw query is projected
+/// onto the data's own breakpoints) for segment methods, the coefficient /
+/// MINDIST bounds for CHEBY and SAX. `query_fitter` must wrap the raw query.
+double FilterDistance(const PrefixFitter& query_fitter,
+                      const Representation& q, const Representation& c);
+
+/// SAX MINDIST (Lin et al. 2007): sqrt(n/N) * sqrt(sum cell(q_i, c_i)^2)
+/// where cell is the gap between the symbols' nearest breakpoints (0 for
+/// adjacent symbols).
+double SaxMinDist(const Representation& q, const Representation& c);
+
+/// CHEBY / coefficient-space distance: L2 over the shared coefficients —
+/// a true lower bound of the Euclidean distance by orthonormality.
+double ChebyDist(const Representation& q, const Representation& c);
+
+}  // namespace sapla
+
+#endif  // SAPLA_DISTANCE_MINDIST_H_

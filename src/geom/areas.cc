@@ -1,0 +1,50 @@
+#include "geom/areas.h"
+
+#include <cmath>
+
+#include "util/status.h"
+
+namespace sapla {
+
+double AbsLinearIntegral(double alpha, double beta, double x0, double x1) {
+  SAPLA_DCHECK(x1 >= x0);
+  auto antiderivative_abs = [&](double lo, double hi) {
+    // Integral of |alpha x + beta| when the sign is constant on [lo, hi]:
+    // |F(hi) - F(lo)| with F the antiderivative of (alpha x + beta).
+    const double f_lo = 0.5 * alpha * lo * lo + beta * lo;
+    const double f_hi = 0.5 * alpha * hi * hi + beta * hi;
+    return std::fabs(f_hi - f_lo);
+  };
+  if (alpha == 0.0) return std::fabs(beta) * (x1 - x0);
+  const double root = -beta / alpha;
+  if (root <= x0 || root >= x1) return antiderivative_abs(x0, x1);
+  return antiderivative_abs(x0, root) + antiderivative_abs(root, x1);
+}
+
+double IncrementArea(const Line& incremented, const Line& extended,
+                     size_t old_length) {
+  // Difference of the two lines is itself linear; integrate its absolute
+  // value over the increment segment's support [0, l_old].
+  const double alpha = incremented.a - extended.a;
+  const double beta = incremented.b - extended.b;
+  return AbsLinearIntegral(alpha, beta, 0.0, static_cast<double>(old_length));
+}
+
+double ReconstructionArea(const Line& merged, const Line& left, size_t l_left,
+                          const Line& right, size_t l_right) {
+  SAPLA_DCHECK(l_left >= 1 && l_right >= 1);
+  const double ll = static_cast<double>(l_left);
+  const double lr = static_cast<double>(l_right);
+  // Left piece: merged(x) - left(x) over [0, l_left - 1].
+  const double area_left = AbsLinearIntegral(merged.a - left.a,
+                                             merged.b - left.b, 0.0, ll - 1.0);
+  // Right piece: merged(x) - right(x - l_left) over [l_left, l_left+l_right-1].
+  // Substituting u = x - l_left: (merged.a - right.a) u + merged(l_left) -
+  // right(0) over u in [0, l_right - 1].
+  const double area_right =
+      AbsLinearIntegral(merged.a - right.a,
+                        merged.a * ll + merged.b - right.b, 0.0, lr - 1.0);
+  return area_left + area_right;
+}
+
+}  // namespace sapla

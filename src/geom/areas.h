@@ -1,0 +1,39 @@
+#ifndef SAPLA_GEOM_AREAS_H_
+#define SAPLA_GEOM_AREAS_H_
+
+// Analytic Increment Area and Reconstruction Area (paper §4.1).
+//
+// Both areas are integrals of the absolute difference of two lines over an
+// interval. Because two lines cross at most once (Lemma 4.1 shows the
+// increment/extended pair crosses exactly once), each integral is one or two
+// triangles and has a closed form — no point-by-point accumulation needed.
+
+#include "geom/line_fit.h"
+
+namespace sapla {
+
+/// Integral over x in [x0, x1] of |alpha*x + beta|. Closed form; splits at
+/// the sign change when it falls inside the interval.
+double AbsLinearIntegral(double alpha, double beta, double x0, double x1);
+
+/// \brief Increment Area (Definition 4.1).
+///
+/// Area between the Increment Segment line `incremented` (LS fit including
+/// the new point) and the Extended Segment line `extended` (old fit
+/// extrapolated one step), both in local coordinates over x in [0, l_old]
+/// (l_old+1 points after the increment).
+double IncrementArea(const Line& incremented, const Line& extended,
+                     size_t old_length);
+
+/// \brief Reconstruction Area (Definition 4.2).
+///
+/// Area between the merged segment's line (local x in [0, l_left+l_right-1])
+/// and the two original lines: `left` over x in [0, l_left-1] and `right`
+/// over x in [l_left, l_left+l_right-1] (right uses its own local
+/// coordinate x - l_left).
+double ReconstructionArea(const Line& merged, const Line& left, size_t l_left,
+                          const Line& right, size_t l_right);
+
+}  // namespace sapla
+
+#endif  // SAPLA_GEOM_AREAS_H_

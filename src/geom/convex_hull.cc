@@ -1,0 +1,85 @@
+#include "geom/convex_hull.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/status.h"
+
+namespace sapla {
+namespace {
+
+// Cross product (b-a) x (c-a); > 0 means c is left of a->b.
+double Cross(const double ax, const double ay, const double bx,
+             const double by, const double cx, const double cy) {
+  return (bx - ax) * (cy - ay) - (by - ay) * (cx - ax);
+}
+
+}  // namespace
+
+void IncrementalHull::Clear() {
+  upper_.clear();
+  lower_.clear();
+  num_points_ = 0;
+}
+
+void IncrementalHull::Add(double x, double y) {
+  SAPLA_DCHECK(num_points_ == 0 || x > upper_.back().x);
+  ++num_points_;
+  // Upper hull: keep right turns (clockwise), i.e. pop while the new point
+  // makes the chain turn left.
+  while (upper_.size() >= 2) {
+    const Point& a = upper_[upper_.size() - 2];
+    const Point& b = upper_[upper_.size() - 1];
+    if (Cross(a.x, a.y, b.x, b.y, x, y) >= 0.0)
+      upper_.pop_back();
+    else
+      break;
+  }
+  upper_.push_back({x, y});
+  // Lower hull: mirror image.
+  while (lower_.size() >= 2) {
+    const Point& a = lower_[lower_.size() - 2];
+    const Point& b = lower_[lower_.size() - 1];
+    if (Cross(a.x, a.y, b.x, b.y, x, y) <= 0.0)
+      lower_.pop_back();
+    else
+      break;
+  }
+  lower_.push_back({x, y});
+}
+
+double IncrementalHull::MaxOverChain(const std::vector<Point>& chain, double a,
+                                     double b, double sign) {
+  SAPLA_DCHECK(!chain.empty());
+  // f(i) = sign * (y_i - (a*x_i + b)) is concave along the chain because the
+  // chain's edge slopes are monotone; ternary search on indices.
+  auto f = [&](size_t i) { return sign * (chain[i].y - (a * chain[i].x + b)); };
+  size_t lo = 0, hi = chain.size() - 1;
+  while (hi - lo > 2) {
+    const size_t m1 = lo + (hi - lo) / 3;
+    const size_t m2 = hi - (hi - lo) / 3;
+    if (f(m1) < f(m2))
+      lo = m1 + 1;
+    else
+      hi = m2;
+  }
+  double best = f(lo);
+  for (size_t i = lo + 1; i <= hi; ++i) best = std::max(best, f(i));
+  return best;
+}
+
+double IncrementalHull::MaxAbove(const Line& line) const {
+  SAPLA_DCHECK(num_points_ > 0);
+  return MaxOverChain(upper_, line.a, line.b, +1.0);
+}
+
+double IncrementalHull::MaxBelow(const Line& line) const {
+  SAPLA_DCHECK(num_points_ > 0);
+  return MaxOverChain(lower_, line.a, line.b, -1.0);
+}
+
+double IncrementalHull::MaxDeviation(const Line& line) const {
+  return std::max(0.0, std::max(MaxAbove(line), MaxBelow(line)));
+}
+
+}  // namespace sapla

@@ -1,0 +1,58 @@
+#ifndef SAPLA_GEOM_CONVEX_HULL_H_
+#define SAPLA_GEOM_CONVEX_HULL_H_
+
+// Incremental convex hull with O(log h) max-deviation queries.
+//
+// APLA's dynamic program needs the max deviation of every prefix-extensible
+// range against its (changing) least-squares line. The residual extrema of
+// any line over a point set lie on the set's upper/lower convex hulls, and
+// because hull slopes are monotone the signed distance to a fixed line is
+// concave along each hull — so the max is found by ternary search. Points
+// arrive with strictly increasing x (time), so a monotone-chain push is
+// amortized O(1). This turns the naive O(n) per-range deviation scan into
+// O(log n), which is what makes APLA's stated O(Nn^2) bound achievable.
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/line_fit.h"
+
+namespace sapla {
+
+/// \brief Upper+lower convex hull of points appended in increasing x order.
+class IncrementalHull {
+ public:
+  /// Removes all points.
+  void Clear();
+
+  /// Appends a point; x must be strictly greater than all previous x.
+  /// Amortized O(1).
+  void Add(double x, double y);
+
+  size_t num_points() const { return num_points_; }
+
+  /// Max over all inserted points of (y - line(x)); can be negative when all
+  /// points lie below the line. O(log h).
+  double MaxAbove(const Line& line) const;
+
+  /// Max over all inserted points of (line(x) - y). O(log h).
+  double MaxBelow(const Line& line) const;
+
+  /// Max |y - line(x)| over all inserted points. O(log h).
+  double MaxDeviation(const Line& line) const;
+
+ private:
+  struct Point {
+    double x, y;
+  };
+  static double MaxOverChain(const std::vector<Point>& chain, double a,
+                             double b, double sign);
+
+  std::vector<Point> upper_;
+  std::vector<Point> lower_;
+  size_t num_points_ = 0;
+};
+
+}  // namespace sapla
+
+#endif  // SAPLA_GEOM_CONVEX_HULL_H_

@@ -1,0 +1,51 @@
+#include "geom/haar.h"
+
+#include <cmath>
+
+#include "util/status.h"
+
+namespace sapla {
+
+size_t NextPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+std::vector<double> HaarTransform(const std::vector<double>& values) {
+  const size_t n = values.size();
+  SAPLA_DCHECK(n >= 1 && (n & (n - 1)) == 0);
+  std::vector<double> coeffs = values;
+  std::vector<double> scratch(n);
+  const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+  // Repeatedly split the approximation band into (approx, detail) halves;
+  // details accumulate from the back of the pyramid inward.
+  for (size_t len = n; len >= 2; len /= 2) {
+    const size_t half = len / 2;
+    for (size_t i = 0; i < half; ++i) {
+      scratch[i] = (coeffs[2 * i] + coeffs[2 * i + 1]) * inv_sqrt2;
+      scratch[half + i] = (coeffs[2 * i] - coeffs[2 * i + 1]) * inv_sqrt2;
+    }
+    for (size_t i = 0; i < len; ++i) coeffs[i] = scratch[i];
+  }
+  return coeffs;
+}
+
+std::vector<double> HaarInverse(const std::vector<double>& coeffs) {
+  const size_t n = coeffs.size();
+  SAPLA_DCHECK(n >= 1 && (n & (n - 1)) == 0);
+  std::vector<double> values = coeffs;
+  std::vector<double> scratch(n);
+  const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+  for (size_t len = 2; len <= n; len *= 2) {
+    const size_t half = len / 2;
+    for (size_t i = 0; i < half; ++i) {
+      scratch[2 * i] = (values[i] + values[half + i]) * inv_sqrt2;
+      scratch[2 * i + 1] = (values[i] - values[half + i]) * inv_sqrt2;
+    }
+    for (size_t i = 0; i < len; ++i) values[i] = scratch[i];
+  }
+  return values;
+}
+
+}  // namespace sapla

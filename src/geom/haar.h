@@ -1,0 +1,30 @@
+#ifndef SAPLA_GEOM_HAAR_H_
+#define SAPLA_GEOM_HAAR_H_
+
+// Orthonormal Haar wavelet transform.
+//
+// Substrate for the original APCA construction (Keogh et al. 2001): APCA
+// computes the Haar DWT, keeps the largest coefficients, reconstructs, and
+// repairs the segment count. The transform here is the standard orthonormal
+// decimating filter bank; power-of-two lengths round-trip exactly, other
+// lengths are handled by the callers via padding.
+
+#include <cstddef>
+#include <vector>
+
+namespace sapla {
+
+/// Forward orthonormal Haar DWT. Requires a power-of-two length >= 1.
+/// Output layout: [approx | detail_level_1 | ... | detail_level_log2(n)]
+/// (the usual pyramid, coarsest first).
+std::vector<double> HaarTransform(const std::vector<double>& values);
+
+/// Inverse of HaarTransform.
+std::vector<double> HaarInverse(const std::vector<double>& coeffs);
+
+/// Smallest power of two >= n.
+size_t NextPowerOfTwo(size_t n);
+
+}  // namespace sapla
+
+#endif  // SAPLA_GEOM_HAAR_H_

@@ -1,0 +1,92 @@
+#include "geom/minimax.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/status.h"
+
+namespace sapla {
+namespace {
+
+// Half-width of the residual band at slope a, plus the band center.
+double BandHalfWidth(const double* values, size_t l, double a,
+                     double* center) {
+  double lo = values[0], hi = values[0];
+  for (size_t t = 1; t < l; ++t) {
+    const double r = values[t] - a * static_cast<double>(t);
+    lo = std::min(lo, r);
+    hi = std::max(hi, r);
+  }
+  *center = 0.5 * (lo + hi);
+  return 0.5 * (hi - lo);
+}
+
+}  // namespace
+
+MinimaxFitResult MinimaxFit(const double* values, size_t l) {
+  SAPLA_DCHECK(l >= 1);
+  MinimaxFitResult result;
+  if (l == 1) {
+    result.line = Line{0.0, values[0]};
+    return result;
+  }
+  if (l == 2) {
+    result.line = Line{values[1] - values[0], values[0]};
+    return result;
+  }
+
+  // Bracket the optimal slope: it always lies within the range of pairwise
+  // slopes; the extreme adjacent-point slopes bound it safely.
+  double a_lo = values[1] - values[0];
+  double a_hi = a_lo;
+  for (size_t t = 1; t + 1 < l; ++t) {
+    const double s = values[t + 1] - values[t];
+    a_lo = std::min(a_lo, s);
+    a_hi = std::max(a_hi, s);
+  }
+  if (a_lo == a_hi) {
+    // Collinear in steps; the exact line through the first point.
+    double center;
+    const double dev = BandHalfWidth(values, l, a_lo, &center);
+    result.line = Line{a_lo, center};
+    result.max_deviation = dev;
+    return result;
+  }
+
+  // Golden-section search on the convex band half-width f(a).
+  constexpr double kInvPhi = 0.6180339887498949;
+  double lo = a_lo, hi = a_hi;
+  double m1 = hi - kInvPhi * (hi - lo);
+  double m2 = lo + kInvPhi * (hi - lo);
+  double c1, c2;
+  double f1 = BandHalfWidth(values, l, m1, &c1);
+  double f2 = BandHalfWidth(values, l, m2, &c2);
+  const double scale = std::max(1.0, std::max(std::fabs(a_lo), std::fabs(a_hi)));
+  for (int iter = 0; iter < 200 && hi - lo > 1e-13 * scale; ++iter) {
+    if (f1 <= f2) {
+      hi = m2;
+      m2 = m1;
+      f2 = f1;
+      c2 = c1;
+      m1 = hi - kInvPhi * (hi - lo);
+      f1 = BandHalfWidth(values, l, m1, &c1);
+    } else {
+      lo = m1;
+      m1 = m2;
+      f1 = f2;
+      c1 = c2;
+      m2 = lo + kInvPhi * (hi - lo);
+      f2 = BandHalfWidth(values, l, m2, &c2);
+    }
+  }
+  if (f1 <= f2) {
+    result.line = Line{m1, c1};
+    result.max_deviation = f1;
+  } else {
+    result.line = Line{m2, c2};
+    result.max_deviation = f2;
+  }
+  return result;
+}
+
+}  // namespace sapla

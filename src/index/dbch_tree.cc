@@ -1,0 +1,254 @@
+#include "index/dbch_tree.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "util/status.h"
+
+namespace sapla {
+
+DbchTree::DbchTree(PairDistFn pair_dist, const Options& options)
+    : pair_dist_(std::move(pair_dist)), options_(options) {
+  SAPLA_DCHECK(options_.min_fill >= 1 &&
+               options_.max_fill >= 2 * options_.min_fill - 1);
+  nodes_.push_back(Node{});
+  root_ = 0;
+}
+
+std::vector<size_t> DbchTree::HullCandidates(const Node& node) const {
+  if (node.leaf) return node.entries;
+  // Internal node: only the children's hull endpoints (paper §5.3 limits
+  // the pair computation to the sub-hull constructors).
+  std::vector<size_t> cands;
+  cands.reserve(2 * node.children.size());
+  for (const int c : node.children) {
+    const Node& child = nodes_[static_cast<size_t>(c)];
+    cands.push_back(child.hull_a);
+    if (child.hull_b != child.hull_a) cands.push_back(child.hull_b);
+  }
+  return cands;
+}
+
+void DbchTree::RecomputeHull(int node_id) {
+  Node& node = nodes_[static_cast<size_t>(node_id)];
+  const std::vector<size_t> cands = HullCandidates(node);
+  SAPLA_DCHECK(!cands.empty());
+  node.hull_a = node.hull_b = cands[0];
+  node.volume = 0.0;
+  for (size_t i = 0; i < cands.size(); ++i) {
+    for (size_t j = i + 1; j < cands.size(); ++j) {
+      const double d = pair_dist_(cands[i], cands[j]);
+      if (d > node.volume) {
+        node.volume = d;
+        node.hull_a = cands[i];
+        node.hull_b = cands[j];
+      }
+    }
+  }
+}
+
+void DbchTree::Insert(size_t id) {
+  const int sibling = InsertRec(root_, id);
+  if (sibling >= 0) {
+    Node new_root;
+    new_root.leaf = false;
+    new_root.children = {root_, sibling};
+    nodes_.push_back(std::move(new_root));
+    root_ = static_cast<int>(nodes_.size()) - 1;
+    RecomputeHull(root_);
+  }
+  ++num_entries_;
+}
+
+int DbchTree::InsertRec(int node_id, size_t entry) {
+  {
+    Node& node = nodes_[static_cast<size_t>(node_id)];
+    if (node.leaf) {
+      node.entries.push_back(entry);
+      if (node.entries.size() <= options_.max_fill) {
+        RecomputeHull(node_id);
+        return -1;
+      }
+      return SplitNode(node_id);
+    }
+  }
+
+  // Branch picking: the child whose hull volume grows least when `entry`
+  // joins it (growth estimated from the entry's distances to the child's
+  // hull endpoints); ties broken by the smaller current volume.
+  int best_child = -1;
+  double best_increase = std::numeric_limits<double>::infinity();
+  double best_volume = std::numeric_limits<double>::infinity();
+  {
+    const Node& node = nodes_[static_cast<size_t>(node_id)];
+    for (const int c : node.children) {
+      const Node& child = nodes_[static_cast<size_t>(c)];
+      const double grown =
+          std::max({child.volume, pair_dist_(entry, child.hull_a),
+                    pair_dist_(entry, child.hull_b)});
+      const double increase = grown - child.volume;
+      if (increase < best_increase ||
+          (increase == best_increase && child.volume < best_volume)) {
+        best_increase = increase;
+        best_volume = child.volume;
+        best_child = c;
+      }
+    }
+  }
+  SAPLA_DCHECK(best_child >= 0);
+
+  const int split = InsertRec(best_child, entry);
+  Node& node = nodes_[static_cast<size_t>(node_id)];  // may have moved
+  if (split >= 0) node.children.push_back(split);
+  if (node.children.size() <= options_.max_fill) {
+    RecomputeHull(node_id);
+    return -1;
+  }
+  return SplitNode(node_id);
+}
+
+int DbchTree::SplitNode(int node_id) {
+  const bool leaf = nodes_[static_cast<size_t>(node_id)].leaf;
+
+  // A representative entry per member: the member itself for leaves, the
+  // child's hull_a for internal nodes (used for seed/assignment distances).
+  std::vector<size_t> reps;
+  std::vector<int> members;  // child node ids for internal splits
+  if (leaf) {
+    reps = nodes_[static_cast<size_t>(node_id)].entries;
+  } else {
+    members = nodes_[static_cast<size_t>(node_id)].children;
+    for (const int c : members)
+      reps.push_back(nodes_[static_cast<size_t>(c)].hull_a);
+  }
+  const size_t count = reps.size();
+  SAPLA_DCHECK(count > options_.max_fill);
+
+  // Seeds: the pair with the maximum lower-bounding distance (§5.3),
+  // replacing Guttman's max-area-waste pair.
+  size_t seed_a = 0, seed_b = 1;
+  double worst = -1.0;
+  for (size_t i = 0; i < count; ++i) {
+    for (size_t j = i + 1; j < count; ++j) {
+      const double d = pair_dist_(reps[i], reps[j]);
+      if (d > worst) {
+        worst = d;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+
+  // Assign members to the nearer seed, honoring min fill.
+  std::vector<size_t> group_a{seed_a}, group_b{seed_b};
+  std::vector<std::pair<double, size_t>> rest;  // (d_a - d_b, index)
+  for (size_t i = 0; i < count; ++i) {
+    if (i == seed_a || i == seed_b) continue;
+    const double da = pair_dist_(reps[i], reps[seed_a]);
+    const double db = pair_dist_(reps[i], reps[seed_b]);
+    rest.emplace_back(da - db, i);
+  }
+  // Strongest preferences first so min-fill forcing displaces the weakest.
+  std::sort(rest.begin(), rest.end(), [](const auto& x, const auto& y) {
+    return std::abs(x.first) > std::abs(y.first);
+  });
+  size_t remaining = rest.size();
+  for (const auto& [pref, idx] : rest) {
+    if (group_a.size() + remaining == options_.min_fill) {
+      group_a.push_back(idx);
+    } else if (group_b.size() + remaining == options_.min_fill) {
+      group_b.push_back(idx);
+    } else if (pref < 0.0 ||
+               (pref == 0.0 && group_a.size() <= group_b.size())) {
+      group_a.push_back(idx);
+    } else {
+      group_b.push_back(idx);
+    }
+    --remaining;
+  }
+
+  Node a, b;
+  a.leaf = b.leaf = leaf;
+  if (leaf) {
+    for (const size_t i : group_a) a.entries.push_back(reps[i]);
+    for (const size_t i : group_b) b.entries.push_back(reps[i]);
+  } else {
+    for (const size_t i : group_a) a.children.push_back(members[i]);
+    for (const size_t i : group_b) b.children.push_back(members[i]);
+  }
+  nodes_[static_cast<size_t>(node_id)] = std::move(a);
+  nodes_.push_back(std::move(b));
+  const int sibling = static_cast<int>(nodes_.size()) - 1;
+  RecomputeHull(node_id);
+  RecomputeHull(sibling);
+  return sibling;
+}
+
+double DbchTree::NodeDist(const Node& node,
+                          const QueryDistFn& query_dist) const {
+  // §5.3: inside the hull -> 0; outside -> the smaller hull distance.
+  const double du = query_dist(node.hull_a);
+  const double dl =
+      node.hull_b == node.hull_a ? du : query_dist(node.hull_b);
+  if (du < node.volume && dl < node.volume) return 0.0;
+  return std::min(du, dl);
+}
+
+TreeStats DbchTree::ComputeStats() const {
+  TreeStats stats;
+  stats.entries = num_entries_;
+  size_t leaf_entry_sum = 0;
+  struct Item {
+    int node;
+    size_t depth;
+  };
+  std::queue<Item> q;
+  q.push({root_, 1});
+  while (!q.empty()) {
+    const Item item = q.front();
+    q.pop();
+    const Node& node = nodes_[static_cast<size_t>(item.node)];
+    stats.height = std::max(stats.height, item.depth);
+    if (node.leaf) {
+      ++stats.leaf_nodes;
+      leaf_entry_sum += node.entries.size();
+    } else {
+      ++stats.internal_nodes;
+      for (const int c : node.children) q.push({c, item.depth + 1});
+    }
+  }
+  stats.avg_leaf_entries =
+      stats.leaf_nodes ? static_cast<double>(leaf_entry_sum) /
+                             static_cast<double>(stats.leaf_nodes)
+                       : 0.0;
+  return stats;
+}
+
+void DbchTree::BestFirstSearch(const QueryDistFn& query_dist,
+                               const VisitFn& visit) const {
+  struct QItem {
+    double dist;
+    int node;
+    bool operator>(const QItem& o) const { return dist > o.dist; }
+  };
+  std::priority_queue<QItem, std::vector<QItem>, std::greater<>> pq;
+  pq.push({0.0, root_});
+  double bound = std::numeric_limits<double>::infinity();
+  while (!pq.empty()) {
+    const QItem item = pq.top();
+    pq.pop();
+    if (item.dist > bound) break;
+    const Node& node = nodes_[static_cast<size_t>(item.node)];
+    if (node.leaf) {
+      for (const size_t id : node.entries) bound = visit(id, bound);
+    } else {
+      for (const int c : node.children) {
+        const double d = NodeDist(nodes_[static_cast<size_t>(c)], query_dist);
+        if (d <= bound) pq.push({d, c});
+      }
+    }
+  }
+}
+
+}  // namespace sapla

@@ -1,0 +1,194 @@
+#include "index/feature_map.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "distance/distance.h"
+#include "reduction/pla.h"
+#include "util/status.h"
+
+namespace sapla {
+namespace {
+
+double ClampGap(double v, double lo, double hi) {
+  if (v < lo) return lo - v;
+  if (v > hi) return v - hi;
+  return 0.0;
+}
+
+}  // namespace
+
+double ConvexQuadMinOnBox(double A, double B, double C, double xlo, double xhi,
+                          double ylo, double yhi) {
+  // f(x, y) = A x^2 + B x y + C y^2 is convex (A, C >= 0, 4AC >= B^2 for the
+  // Eq. 12 coefficients); its unconstrained minimum is the origin.
+  if (xlo <= 0.0 && 0.0 <= xhi && ylo <= 0.0 && 0.0 <= yhi) return 0.0;
+  auto eval = [&](double x, double y) { return A * x * x + B * x * y + C * y * y; };
+  double best = std::numeric_limits<double>::infinity();
+  // Vertical edges x = const: minimize over y.
+  for (const double x : {xlo, xhi}) {
+    const double y = C > 0.0 ? std::clamp(-B * x / (2.0 * C), ylo, yhi) : ylo;
+    best = std::min(best, eval(x, y));
+  }
+  // Horizontal edges y = const: minimize over x.
+  for (const double y : {ylo, yhi}) {
+    const double x = A > 0.0 ? std::clamp(-B * y / (2.0 * A), xlo, xhi) : xlo;
+    best = std::min(best, eval(x, y));
+  }
+  return best;
+}
+
+FeatureMapper::FeatureMapper(Method method, size_t m, size_t n)
+    : method_(method), n_(n), num_segments_(SegmentsForBudget(method, m)) {
+  switch (method_) {
+    case Method::kCheby:
+      dims_ = std::min(num_segments_, n_);
+      break;
+    case Method::kDft:
+      // (re, im) per kept bin.
+      dims_ = 2 * std::min(std::max<size_t>(1, m / 2), n_);
+      break;
+    default:
+      // (value, right endpoint) per segment — the APCA mapping — and
+      // (a, b) per segment for PLA: both are 2 dims per segment.
+      dims_ = 2 * std::min(num_segments_, n_);
+      break;
+  }
+}
+
+FeatureMapper::Box FeatureMapper::MapBox(const Representation& rep,
+                                         const std::vector<double>& raw) const {
+  SAPLA_DCHECK(rep.method == method_ && rep.n == n_);
+  Box box;
+  if (method_ == Method::kCheby || method_ == Method::kDft) {
+    box.lo = rep.coeffs;
+    box.lo.resize(dims_, 0.0);
+    box.hi = box.lo;
+    return box;
+  }
+  box.lo.reserve(dims_);
+  box.hi.reserve(dims_);
+  if (method_ == Method::kPla) {
+    for (const auto& seg : rep.segments) {
+      box.lo.push_back(seg.a);
+      box.lo.push_back(seg.b);
+    }
+    box.hi = box.lo;
+  } else {
+    // APCA construction: per segment, the RAW value range (every raw point
+    // of the member lies inside it — the key to the MINDIST lower bound)
+    // paired with the right endpoint.
+    SAPLA_DCHECK(raw.size() == n_);
+    for (size_t i = 0; i < rep.segments.size(); ++i) {
+      const size_t s = rep.segment_start(i);
+      double vmin = raw[s], vmax = raw[s];
+      for (size_t t = s + 1; t <= rep.segments[i].r; ++t) {
+        vmin = std::min(vmin, raw[t]);
+        vmax = std::max(vmax, raw[t]);
+      }
+      const double r = static_cast<double>(rep.segments[i].r);
+      box.lo.push_back(vmin);
+      box.hi.push_back(vmax);
+      box.lo.push_back(r);
+      box.hi.push_back(r);
+    }
+  }
+  // Short series can yield fewer segments than the budget; pad by repeating
+  // the final segment pair so all boxes share the tree's dimensionality.
+  while (box.lo.size() < dims_) {
+    box.lo.push_back(box.lo[box.lo.size() - 2]);
+    box.hi.push_back(box.hi[box.hi.size() - 2]);
+  }
+  return box;
+}
+
+double FeatureMapper::ApcaRegionMinDist(const std::vector<double>& q,
+                                        const std::vector<double>& lo,
+                                        const std::vector<double>& hi) const {
+  // Keogh's APCA MBR MINDIST: region i spans time
+  //   [ lo[2(i-1)+1] + 1 , hi[2i+1] ]   (region 0 starts at t = 0)
+  // with value range [ lo[2i], hi[2i] ]. Every t is covered by >= 1 region;
+  // its contribution is the min squared gap to any covering region's value
+  // range. Both region boundaries are nondecreasing in i, so a two-pointer
+  // sweep gives O(n + N + total overlap).
+  const size_t num_regions = dims_ / 2;
+  auto tmin = [&](size_t i) -> double {
+    return i == 0 ? 0.0 : lo[2 * (i - 1) + 1] + 1.0;
+  };
+  auto tmax = [&](size_t i) -> double { return hi[2 * i + 1]; };
+
+  double sum = 0.0;
+  size_t j_lo = 0;
+  for (size_t t = 0; t < q.size(); ++t) {
+    const double td = static_cast<double>(t);
+    while (j_lo + 1 < num_regions && tmax(j_lo) < td) ++j_lo;
+    double best = std::numeric_limits<double>::infinity();
+    for (size_t j = j_lo; j < num_regions && tmin(j) <= td; ++j) {
+      if (tmax(j) < td) continue;
+      const double gap = ClampGap(q[t], lo[2 * j], hi[2 * j]);
+      best = std::min(best, gap * gap);
+      if (best == 0.0) break;
+    }
+    if (best == std::numeric_limits<double>::infinity()) best = 0.0;
+    sum += best;
+  }
+  return std::sqrt(sum);
+}
+
+double FeatureMapper::PlaBoxMinDist(const Representation& q,
+                                    const std::vector<double>& lo,
+                                    const std::vector<double>& hi) const {
+  // Chen et al.: per equal-length segment, the squared distance between two
+  // lines is the convex quadratic of Eq. (12) in (da, db); minimize it over
+  // the MBR's (a, b) rectangle relative to the query's coefficients.
+  const std::vector<size_t> ends = EqualLengthEndpoints(n_, num_segments_);
+  double sum = 0.0;
+  size_t start = 0;
+  for (size_t i = 0; i < ends.size() && 2 * i + 1 < dims_; ++i) {
+    const double l = static_cast<double>(ends[i] - start + 1);
+    const double A = l * (l - 1.0) * (2.0 * l - 1.0) / 6.0;
+    const double B = l * (l - 1.0);
+    const double C = l;
+    const double qa = q.segments[i].a;
+    const double qb = q.segments[i].b;
+    sum += ConvexQuadMinOnBox(A, B, C, lo[2 * i] - qa, hi[2 * i] - qa,
+                              lo[2 * i + 1] - qb, hi[2 * i + 1] - qb);
+    start = ends[i] + 1;
+  }
+  return std::sqrt(sum);
+}
+
+double FeatureMapper::MinDist(const std::vector<double>& query_raw,
+                              const Representation& query_rep,
+                              const std::vector<double>& lo,
+                              const std::vector<double>& hi) const {
+  SAPLA_DCHECK(lo.size() == dims_ && hi.size() == dims_);
+  switch (method_) {
+    case Method::kCheby: {
+      double sum = 0.0;
+      for (size_t i = 0; i < dims_ && i < query_rep.coeffs.size(); ++i) {
+        const double gap = ClampGap(query_rep.coeffs[i], lo[i], hi[i]);
+        sum += gap * gap;
+      }
+      return std::sqrt(sum);
+    }
+    case Method::kDft: {
+      // Conjugate-mirror weighting: interior bins count twice (cf. DftDist).
+      double sum = 0.0;
+      for (size_t i = 0; i < dims_ && i < query_rep.coeffs.size(); ++i) {
+        const size_t k = i / 2;
+        const double weight = (k == 0 || 2 * k == n_) ? 1.0 : 2.0;
+        const double gap = ClampGap(query_rep.coeffs[i], lo[i], hi[i]);
+        sum += weight * gap * gap;
+      }
+      return std::sqrt(sum);
+    }
+    case Method::kPla:
+      return PlaBoxMinDist(query_rep, lo, hi);
+    default:
+      return ApcaRegionMinDist(query_raw, lo, hi);
+  }
+}
+
+}  // namespace sapla

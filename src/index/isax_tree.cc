@@ -1,0 +1,278 @@
+#include "index/isax_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "reduction/pla.h"
+#include "util/normal.h"
+
+namespace sapla {
+
+IsaxIndex::IsaxIndex(const Options& options) : options_(options) {
+  SAPLA_DCHECK(options_.word_length >= 1);
+  SAPLA_DCHECK(options_.max_cardinality_bits >= 1 &&
+               options_.max_cardinality_bits <= 8);
+  SAPLA_DCHECK(options_.leaf_capacity >= 2);
+  breakpoints_.resize(options_.max_cardinality_bits);
+  for (size_t b = 1; b <= options_.max_cardinality_bits; ++b)
+    breakpoints_[b - 1] = SaxBreakpoints(static_cast<size_t>(1) << b);
+}
+
+std::vector<double> IsaxIndex::PaaMeans(const std::vector<double>& values) const {
+  const std::vector<size_t> ends =
+      EqualLengthEndpoints(values.size(), options_.word_length);
+  std::vector<double> means(ends.size());
+  size_t start = 0;
+  for (size_t i = 0; i < ends.size(); ++i) {
+    double sum = 0.0;
+    for (size_t t = start; t <= ends[i]; ++t) sum += values[t];
+    means[i] = sum / static_cast<double>(ends[i] - start + 1);
+    start = ends[i] + 1;
+  }
+  return means;
+}
+
+std::vector<uint8_t> IsaxIndex::Symbolize(
+    const std::vector<double>& values) const {
+  const std::vector<double> means = PaaMeans(values);
+  const std::vector<double>& bp =
+      breakpoints_[options_.max_cardinality_bits - 1];
+  std::vector<uint8_t> word(means.size());
+  for (size_t i = 0; i < means.size(); ++i) {
+    word[i] = static_cast<uint8_t>(
+        std::upper_bound(bp.begin(), bp.end(), means[i]) - bp.begin());
+  }
+  return word;
+}
+
+double IsaxIndex::NodeMinDist(const Node& node,
+                              const std::vector<double>& paa) const {
+  // Per segment: the node prefix at b bits covers a breakpoint interval at
+  // cardinality 2^b; contribution = gap from the query's PAA mean, weighted
+  // by the segment length (n / word_length) as in PAA/SAX MINDIST.
+  SAPLA_DCHECK(dataset_ != nullptr);
+  const double weight = static_cast<double>(dataset_->length()) /
+                        static_cast<double>(options_.word_length);
+  double sum = 0.0;
+  for (size_t i = 0; i < node.bits.size(); ++i) {
+    const uint8_t b = node.bits[i];
+    if (b == 0) continue;  // whole real line: no contribution
+    const std::vector<double>& bp = breakpoints_[b - 1];
+    const uint8_t p = node.prefix[i];
+    const double lo = p == 0 ? -std::numeric_limits<double>::infinity()
+                             : bp[static_cast<size_t>(p) - 1];
+    const double hi = static_cast<size_t>(p) == bp.size()
+                          ? std::numeric_limits<double>::infinity()
+                          : bp[p];
+    double gap = 0.0;
+    if (paa[i] < lo) gap = lo - paa[i];
+    if (paa[i] > hi) gap = paa[i] - hi;
+    sum += weight * gap * gap;
+  }
+  return std::sqrt(sum);
+}
+
+Status IsaxIndex::Build(const Dataset& dataset) {
+  if (dataset.size() == 0) return Status::InvalidArgument("empty dataset");
+  if (dataset.length() < options_.word_length)
+    return Status::InvalidArgument("series shorter than the word length");
+  dataset_ = &dataset;
+  nodes_.clear();
+  num_entries_ = 0;
+  Node root;
+  root.bits.assign(options_.word_length, 0);
+  root.prefix.assign(options_.word_length, 0);
+  nodes_.push_back(std::move(root));
+  root_ = 0;
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    InsertEntry(root_, Entry{i, Symbolize(dataset.series[i].values)});
+    ++num_entries_;
+  }
+  return Status::OK();
+}
+
+void IsaxIndex::InsertEntry(int node_id, Entry entry) {
+  while (!nodes_[static_cast<size_t>(node_id)].leaf) {
+    const Node& node = nodes_[static_cast<size_t>(node_id)];
+    const size_t seg = node.split_segment;
+    const uint8_t child_bits = node.bits[seg] + 1;
+    const uint8_t bit =
+        (entry.word[seg] >>
+         (options_.max_cardinality_bits - child_bits)) & 1;
+    node_id = bit ? node.child1 : node.child0;
+  }
+  Node& leaf = nodes_[static_cast<size_t>(node_id)];
+  leaf.entries.push_back(std::move(entry));
+  if (leaf.entries.size() > options_.leaf_capacity) SplitLeaf(node_id);
+}
+
+void IsaxIndex::SplitLeaf(int node_id) {
+  // Split on the segment with the fewest bits that can still grow; if all
+  // segments are at max cardinality the leaf simply stays oversized.
+  {
+    const Node& node = nodes_[static_cast<size_t>(node_id)];
+    size_t seg = node.bits.size();
+    for (size_t i = 0; i < node.bits.size(); ++i) {
+      if (node.bits[i] >= options_.max_cardinality_bits) continue;
+      if (seg == node.bits.size() || node.bits[i] < node.bits[seg]) seg = i;
+    }
+    if (seg == node.bits.size()) return;
+    nodes_[static_cast<size_t>(node_id)].split_segment = seg;
+  }
+
+  // Create the two children (nodes_ may reallocate; index-based access).
+  for (int bit = 0; bit < 2; ++bit) {
+    const Node& parent = nodes_[static_cast<size_t>(node_id)];
+    Node child;
+    child.bits = parent.bits;
+    child.prefix = parent.prefix;
+    const size_t seg = parent.split_segment;
+    ++child.bits[seg];
+    child.prefix[seg] = static_cast<uint8_t>((parent.prefix[seg] << 1) | bit);
+    nodes_.push_back(std::move(child));
+    if (bit == 0)
+      nodes_[static_cast<size_t>(node_id)].child0 =
+          static_cast<int>(nodes_.size()) - 1;
+    else
+      nodes_[static_cast<size_t>(node_id)].child1 =
+          static_cast<int>(nodes_.size()) - 1;
+  }
+
+  Node& parent = nodes_[static_cast<size_t>(node_id)];
+  std::vector<Entry> entries = std::move(parent.entries);
+  parent.entries.clear();
+  parent.leaf = false;
+  const size_t seg = parent.split_segment;
+  const uint8_t child_bits = parent.bits[seg] + 1;
+  const int child0 = parent.child0, child1 = parent.child1;
+  for (Entry& e : entries) {
+    const uint8_t bit =
+        (e.word[seg] >> (options_.max_cardinality_bits - child_bits)) & 1;
+    // Direct append (recursing through InsertEntry would re-split eagerly;
+    // a one-sided split can legitimately leave one child overfull, which
+    // the next insert resolves).
+    Node& child =
+        nodes_[static_cast<size_t>(bit ? child1 : child0)];
+    child.entries.push_back(std::move(e));
+  }
+  // Resolve any overfull child now.
+  for (const int c : {child0, child1}) {
+    if (nodes_[static_cast<size_t>(c)].entries.size() >
+        options_.leaf_capacity)
+      SplitLeaf(c);
+  }
+}
+
+int IsaxIndex::DescendLeaf(const std::vector<uint8_t>& word) const {
+  int node_id = root_;
+  while (!nodes_[static_cast<size_t>(node_id)].leaf) {
+    const Node& node = nodes_[static_cast<size_t>(node_id)];
+    const size_t seg = node.split_segment;
+    const uint8_t child_bits = node.bits[seg] + 1;
+    const uint8_t bit =
+        (word[seg] >> (options_.max_cardinality_bits - child_bits)) & 1;
+    node_id = bit ? node.child1 : node.child0;
+  }
+  return node_id;
+}
+
+KnnResult IsaxIndex::KnnApproximate(const std::vector<double>& query,
+                                    size_t k) const {
+  SAPLA_DCHECK(dataset_ != nullptr && query.size() == dataset_->length());
+  const int leaf = DescendLeaf(Symbolize(query));
+  KnnResult result;
+  std::vector<std::pair<double, size_t>> hits;
+  for (const Entry& e : nodes_[static_cast<size_t>(leaf)].entries) {
+    hits.emplace_back(EuclideanDistance(query, dataset_->series[e.id].values),
+                      e.id);
+    ++result.num_measured;
+  }
+  std::sort(hits.begin(), hits.end());
+  if (hits.size() > k) hits.resize(k);
+  result.neighbors = std::move(hits);
+  return result;
+}
+
+KnnResult IsaxIndex::Knn(const std::vector<double>& query, size_t k) const {
+  SAPLA_DCHECK(dataset_ != nullptr && query.size() == dataset_->length());
+  const std::vector<double> paa = PaaMeans(query);
+
+  struct QItem {
+    double dist;
+    int node;
+    bool operator>(const QItem& o) const { return dist > o.dist; }
+  };
+  std::priority_queue<QItem, std::vector<QItem>, std::greater<>> pq;
+  pq.push({0.0, root_});
+  KnnResult result;
+  std::priority_queue<std::pair<double, size_t>> best;  // max-heap of k best
+  const auto bound = [&] {
+    return best.size() < k ? std::numeric_limits<double>::infinity()
+                           : best.top().first;
+  };
+  while (!pq.empty()) {
+    const QItem item = pq.top();
+    pq.pop();
+    if (item.dist > bound()) break;
+    const Node& node = nodes_[static_cast<size_t>(item.node)];
+    if (node.leaf) {
+      for (const Entry& e : node.entries) {
+        const double d =
+            EuclideanDistance(query, dataset_->series[e.id].values);
+        ++result.num_measured;
+        if (best.size() < k) {
+          best.emplace(d, e.id);
+        } else if (d < best.top().first) {
+          best.pop();
+          best.emplace(d, e.id);
+        }
+      }
+    } else {
+      for (const int c : {node.child0, node.child1}) {
+        const double d = NodeMinDist(nodes_[static_cast<size_t>(c)], paa);
+        if (d <= bound()) pq.push({d, c});
+      }
+    }
+  }
+  result.neighbors.resize(best.size());
+  for (size_t i = result.neighbors.size(); i-- > 0;) {
+    result.neighbors[i] = best.top();
+    best.pop();
+  }
+  return result;
+}
+
+TreeStats IsaxIndex::ComputeStats() const {
+  TreeStats stats;
+  stats.entries = num_entries_;
+  size_t leaf_entry_sum = 0;
+  struct Item {
+    int node;
+    size_t depth;
+  };
+  std::queue<Item> q;
+  q.push({root_, 1});
+  while (!q.empty()) {
+    const Item item = q.front();
+    q.pop();
+    const Node& node = nodes_[static_cast<size_t>(item.node)];
+    stats.height = std::max(stats.height, item.depth);
+    if (node.leaf) {
+      ++stats.leaf_nodes;
+      leaf_entry_sum += node.entries.size();
+    } else {
+      ++stats.internal_nodes;
+      q.push({node.child0, item.depth + 1});
+      q.push({node.child1, item.depth + 1});
+    }
+  }
+  stats.avg_leaf_entries =
+      stats.leaf_nodes ? static_cast<double>(leaf_entry_sum) /
+                             static_cast<double>(stats.leaf_nodes)
+                       : 0.0;
+  return stats;
+}
+
+}  // namespace sapla

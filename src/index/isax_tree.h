@@ -1,0 +1,87 @@
+#ifndef SAPLA_INDEX_ISAX_TREE_H_
+#define SAPLA_INDEX_ISAX_TREE_H_
+
+// iSAX index (Shieh & Keogh; iSAX 2+ is the paper's reference [3] for
+// billion-scale series collections).
+//
+// Extension substrate: an indexable, variable-cardinality symbolic index.
+// Every series is symbolized at the maximum cardinality (2^max_bits per
+// segment); tree nodes hold a PREFIX of those symbols (b_i bits for segment
+// i). An overflowing leaf splits by adding one bit to the segment with the
+// fewest bits, partitioning its entries by that bit. The query-to-node
+// distance is the PAA/SAX MINDIST against the node's breakpoint box — a
+// true lower bound on z-normalized data — so best-first search yields exact
+// k-NN, and descending straight to the query's own leaf gives iSAX's
+// hallmark fast approximate search.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "index/tree_stats.h"
+#include "search/knn.h"
+#include "ts/time_series.h"
+#include "util/status.h"
+
+namespace sapla {
+
+/// Index parameters (word length = SAX segments; cardinality 2^bits).
+struct IsaxOptions {
+  size_t word_length = 8;          ///< SAX segments per word
+  size_t max_cardinality_bits = 8; ///< bits per segment
+  size_t leaf_capacity = 10;       ///< entries per leaf before splitting
+};
+
+/// \brief Variable-cardinality symbolic tree index over one dataset.
+class IsaxIndex {
+ public:
+  using Options = IsaxOptions;
+
+  explicit IsaxIndex(const Options& options = {});
+
+  /// Indexes every series of `dataset` (kept alive by the caller).
+  Status Build(const Dataset& dataset);
+
+  /// Exact k-NN via best-first search with the MINDIST lower bound.
+  KnnResult Knn(const std::vector<double>& query, size_t k) const;
+
+  /// Approximate k-NN: evaluates only the single leaf the query's own word
+  /// descends to (plus nothing else) — iSAX's constant-leaf heuristic.
+  KnnResult KnnApproximate(const std::vector<double>& query, size_t k) const;
+
+  TreeStats ComputeStats() const;
+  size_t size() const { return num_entries_; }
+
+ private:
+  struct Entry {
+    size_t id;
+    std::vector<uint8_t> word;  // symbols at max cardinality
+  };
+  struct Node {
+    std::vector<uint8_t> bits;     // prefix length per segment
+    std::vector<uint8_t> prefix;   // symbol prefix per segment (b_i bits)
+    bool leaf = true;
+    int child0 = -1, child1 = -1;  // split children (bit 0 / bit 1)
+    size_t split_segment = 0;
+    std::vector<Entry> entries;    // leaf payload
+  };
+
+  std::vector<uint8_t> Symbolize(const std::vector<double>& values) const;
+  std::vector<double> PaaMeans(const std::vector<double>& values) const;
+  double NodeMinDist(const Node& node, const std::vector<double>& paa) const;
+  void InsertEntry(int node_id, Entry entry);
+  void SplitLeaf(int node_id);
+  int DescendLeaf(const std::vector<uint8_t>& word) const;
+
+  Options options_;
+  const Dataset* dataset_ = nullptr;
+  std::vector<Node> nodes_;
+  int root_ = -1;
+  size_t num_entries_ = 0;
+  // breakpoints_[b] = SAX breakpoints at cardinality 2^(b+1).
+  std::vector<std::vector<double>> breakpoints_;
+};
+
+}  // namespace sapla
+
+#endif  // SAPLA_INDEX_ISAX_TREE_H_

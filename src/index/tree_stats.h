@@ -1,0 +1,24 @@
+#ifndef SAPLA_INDEX_TREE_STATS_H_
+#define SAPLA_INDEX_TREE_STATS_H_
+
+// Structural statistics shared by the R-tree and the DBCH-tree — exactly the
+// quantities the paper's Figs. 15 and 16 report (internal/leaf node counts,
+// total nodes, height, leaf occupancy).
+
+#include <cstddef>
+
+namespace sapla {
+
+struct TreeStats {
+  size_t internal_nodes = 0;
+  size_t leaf_nodes = 0;
+  size_t height = 0;           ///< root-to-leaf levels (leaf-only tree = 1)
+  size_t entries = 0;          ///< data entries stored
+  double avg_leaf_entries = 0; ///< mean entries per leaf
+
+  size_t total_nodes() const { return internal_nodes + leaf_nodes; }
+};
+
+}  // namespace sapla
+
+#endif  // SAPLA_INDEX_TREE_STATS_H_

@@ -1,0 +1,154 @@
+#include "mining/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "distance/mindist.h"
+#include "util/rng.h"
+
+namespace sapla {
+namespace {
+
+// k-means++ seeding: first centroid uniform, then proportional to the
+// squared distance to the nearest chosen centroid.
+std::vector<size_t> KMeansPlusPlusSeeds(const Dataset& dataset, size_t k,
+                                        Rng* rng) {
+  std::vector<size_t> seeds;
+  seeds.push_back(rng->UniformInt(dataset.size()));
+  std::vector<double> d2(dataset.size(),
+                         std::numeric_limits<double>::infinity());
+  while (seeds.size() < k) {
+    const std::vector<double>& last = dataset.series[seeds.back()].values;
+    double total = 0.0;
+    for (size_t i = 0; i < dataset.size(); ++i) {
+      d2[i] = std::min(d2[i],
+                       SquaredEuclideanDistance(dataset.series[i].values, last));
+      total += d2[i];
+    }
+    if (total <= 0.0) {
+      // All points coincide with the chosen seeds; pick uniformly.
+      seeds.push_back(rng->UniformInt(dataset.size()));
+      continue;
+    }
+    double pick = rng->Uniform() * total;
+    size_t chosen = dataset.size() - 1;
+    for (size_t i = 0; i < dataset.size(); ++i) {
+      pick -= d2[i];
+      if (pick <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    seeds.push_back(chosen);
+  }
+  return seeds;
+}
+
+}  // namespace
+
+Result<KMeansResult> KMeansCluster(const Dataset& dataset,
+                                   const KMeansOptions& options) {
+  if (dataset.size() == 0) return Status::InvalidArgument("empty dataset");
+  if (options.k < 1 || options.k > dataset.size())
+    return Status::InvalidArgument("k must be in [1, dataset size]");
+  if (dataset.length() < 2)
+    return Status::InvalidArgument("series shorter than 2 points");
+
+  const size_t n = dataset.length();
+  const auto reducer = MakeReducer(options.method);
+
+  // Series reductions are fixed across iterations.
+  std::vector<Representation> series_reps;
+  if (options.use_reduced_filter) {
+    series_reps.reserve(dataset.size());
+    for (const TimeSeries& ts : dataset.series)
+      series_reps.push_back(reducer->Reduce(ts.values, options.budget_m));
+  }
+
+  Rng rng(options.seed);
+  KMeansResult result;
+  result.centroids.reserve(options.k);
+  for (const size_t s : KMeansPlusPlusSeeds(dataset, options.k, &rng))
+    result.centroids.push_back(dataset.series[s].values);
+  result.assignment.assign(dataset.size(), 0);
+
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+
+    // Reduce the current centroids once per iteration.
+    std::vector<Representation> centroid_reps;
+    if (options.use_reduced_filter) {
+      centroid_reps.reserve(options.k);
+      for (const auto& c : result.centroids)
+        centroid_reps.push_back(reducer->Reduce(c, options.budget_m));
+    }
+
+    // Assignment step with the GEMINI filter.
+    bool changed = false;
+    result.inertia = 0.0;
+    for (size_t i = 0; i < dataset.size(); ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      size_t best_c = result.assignment[i];
+      // Evaluate the previous assignment first so the filter has a tight
+      // bound immediately.
+      std::vector<size_t> order(options.k);
+      for (size_t c = 0; c < options.k; ++c) order[c] = c;
+      std::swap(order[0], order[result.assignment[i]]);
+      for (const size_t c : order) {
+        if (options.use_reduced_filter) {
+          const double lb =
+              LowerBoundDistance(series_reps[i], centroid_reps[c]);
+          if (lb * lb >= best) continue;  // cannot win; skip the raw arrays
+        }
+        const double d2 = SquaredEuclideanDistance(dataset.series[i].values,
+                                                   result.centroids[c]);
+        ++result.exact_distance_computations;
+        if (d2 < best) {
+          best = d2;
+          best_c = c;
+        }
+      }
+      if (best_c != result.assignment[i]) changed = true;
+      result.assignment[i] = best_c;
+      result.inertia += best;
+    }
+
+    // Update step.
+    std::vector<std::vector<double>> sums(options.k,
+                                          std::vector<double>(n, 0.0));
+    std::vector<size_t> counts(options.k, 0);
+    for (size_t i = 0; i < dataset.size(); ++i) {
+      const size_t c = result.assignment[i];
+      ++counts[c];
+      for (size_t t = 0; t < n; ++t)
+        sums[c][t] += dataset.series[i].values[t];
+    }
+    for (size_t c = 0; c < options.k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster at the point farthest from its centroid.
+        size_t far = 0;
+        double far_d = -1.0;
+        for (size_t i = 0; i < dataset.size(); ++i) {
+          const double d = SquaredEuclideanDistance(
+              dataset.series[i].values,
+              result.centroids[result.assignment[i]]);
+          if (d > far_d) {
+            far_d = d;
+            far = i;
+          }
+        }
+        result.centroids[c] = dataset.series[far].values;
+        continue;
+      }
+      for (size_t t = 0; t < n; ++t)
+        result.centroids[c][t] =
+            sums[c][t] / static_cast<double>(counts[c]);
+    }
+
+    if (!changed && iter > 0) break;
+  }
+  return result;
+}
+
+}  // namespace sapla

@@ -1,0 +1,49 @@
+#ifndef SAPLA_MINING_KMEANS_H_
+#define SAPLA_MINING_KMEANS_H_
+
+// Time-series k-means with lower-bound acceleration — one of the high-level
+// mining tasks the paper's introduction motivates (clustering) and a second
+// consumer of the reduction + lower-bound stack beyond k-NN.
+//
+// Lloyd's algorithm with k-means++ seeding. In the accelerated mode, each
+// assignment step first compares a series to candidate centroids in reduced
+// space: centroids are reduced once per iteration, and a candidate whose
+// lower-bound distance (distance/mindist.h) already exceeds the best exact
+// distance found so far is skipped without touching the raw arrays — the
+// GEMINI filter applied to clustering.
+
+#include <cstdint>
+#include <vector>
+
+#include "reduction/representation.h"
+#include "ts/time_series.h"
+#include "util/status.h"
+
+namespace sapla {
+
+struct KMeansOptions {
+  size_t k = 3;
+  size_t max_iterations = 50;
+  uint64_t seed = 1;            ///< k-means++ seeding stream
+  Method method = Method::kSapla;
+  size_t budget_m = 24;
+  /// Use reduced-space lower bounds to skip exact distance computations.
+  bool use_reduced_filter = true;
+};
+
+struct KMeansResult {
+  std::vector<size_t> assignment;               ///< cluster id per series
+  std::vector<std::vector<double>> centroids;   ///< k mean series
+  double inertia = 0.0;                         ///< sum of squared distances
+  size_t iterations = 0;
+  size_t exact_distance_computations = 0;       ///< raw-array distances
+};
+
+/// Clusters the dataset. Requires 1 <= options.k <= dataset.size() and
+/// equal-length series of length >= 2.
+Result<KMeansResult> KMeansCluster(const Dataset& dataset,
+                                   const KMeansOptions& options);
+
+}  // namespace sapla
+
+#endif  // SAPLA_MINING_KMEANS_H_

@@ -1,0 +1,120 @@
+#include "mining/matrix_profile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace sapla {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kStdEps = 1e-10;
+
+// Per-window mean and std via prefix sums.
+void WindowStats(const std::vector<double>& v, size_t m,
+                 std::vector<double>* mean, std::vector<double>* stddev) {
+  const size_t num = v.size() - m + 1;
+  mean->resize(num);
+  stddev->resize(num);
+  double s = 0.0, s2 = 0.0;
+  for (size_t t = 0; t < m; ++t) {
+    s += v[t];
+    s2 += v[t] * v[t];
+  }
+  for (size_t i = 0;; ++i) {
+    const double mu = s / static_cast<double>(m);
+    double var = s2 / static_cast<double>(m) - mu * mu;
+    if (var < 0.0) var = 0.0;
+    (*mean)[i] = mu;
+    (*stddev)[i] = std::sqrt(var);
+    if (i + 1 >= num) break;
+    s += v[i + m] - v[i];
+    s2 += v[i + m] * v[i + m] - v[i] * v[i];
+  }
+}
+
+// z-normalized distance from the dot product QT of windows i and j.
+double ZDist(double qt, double mu_i, double sd_i, double mu_j, double sd_j,
+             size_t m) {
+  const double md = static_cast<double>(m);
+  if (sd_i < kStdEps && sd_j < kStdEps) return 0.0;  // both flat: identical
+  if (sd_i < kStdEps || sd_j < kStdEps) return std::sqrt(2.0 * md);
+  double corr = (qt - md * mu_i * mu_j) / (md * sd_i * sd_j);
+  corr = std::clamp(corr, -1.0, 1.0);
+  return std::sqrt(2.0 * md * (1.0 - corr));
+}
+
+}  // namespace
+
+Result<MatrixProfile> ComputeMatrixProfile(
+    const std::vector<double>& series, const MatrixProfileOptions& options) {
+  const size_t m = options.window;
+  if (m < 4) return Status::InvalidArgument("window must be >= 4");
+  if (series.size() < 2 * m)
+    return Status::InvalidArgument("series shorter than two windows");
+  const size_t num = series.size() - m + 1;
+  const size_t excl = options.exclusion ? options.exclusion : m / 2;
+
+  std::vector<double> mean, sd;
+  WindowStats(series, m, &mean, &sd);
+
+  MatrixProfile mp;
+  mp.window = m;
+  mp.profile.assign(num, kInf);
+  mp.index.assign(num, 0);
+
+  // STOMP: for each diagonal k >= excl+1, slide the dot product
+  // QT(i, i+k) down the diagonal with an O(1) update, scoring both (i, i+k)
+  // and (i+k, i).
+  for (size_t k = excl + 1; k < num; ++k) {
+    double qt = 0.0;
+    for (size_t t = 0; t < m; ++t) qt += series[t] * series[t + k];
+    for (size_t i = 0;; ++i) {
+      const size_t j = i + k;
+      const double d = ZDist(qt, mean[i], sd[i], mean[j], sd[j], m);
+      if (d < mp.profile[i]) {
+        mp.profile[i] = d;
+        mp.index[i] = j;
+      }
+      if (d < mp.profile[j]) {
+        mp.profile[j] = d;
+        mp.index[j] = i;
+      }
+      if (j + 1 >= num) break;
+      qt += series[i + m] * series[j + m] - series[i] * series[j];
+    }
+  }
+  return mp;
+}
+
+std::pair<size_t, size_t> TopMotif(const MatrixProfile& mp) {
+  size_t best = 0;
+  for (size_t i = 1; i < mp.num_windows(); ++i)
+    if (mp.profile[i] < mp.profile[best]) best = i;
+  return {std::min(best, mp.index[best]), std::max(best, mp.index[best])};
+}
+
+std::vector<size_t> TopDiscords(const MatrixProfile& mp, size_t k) {
+  std::vector<size_t> order(mp.num_windows());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return mp.profile[a] > mp.profile[b];
+  });
+  std::vector<size_t> discords;
+  for (const size_t i : order) {
+    if (discords.size() >= k) break;
+    if (mp.profile[i] == kInf) continue;
+    bool shadowed = false;
+    for (const size_t d : discords) {
+      const size_t gap = d > i ? d - i : i - d;
+      if (gap < mp.window) {
+        shadowed = true;
+        break;
+      }
+    }
+    if (!shadowed) discords.push_back(i);
+  }
+  return discords;
+}
+
+}  // namespace sapla

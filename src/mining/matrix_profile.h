@@ -1,0 +1,54 @@
+#ifndef SAPLA_MINING_MATRIX_PROFILE_H_
+#define SAPLA_MINING_MATRIX_PROFILE_H_
+
+// Matrix profile (STOMP) — the exact all-pairs subsequence-similarity
+// engine behind modern motif discovery, discord (anomaly) detection and
+// semantic segmentation, i.e. the remaining mining tasks the paper's
+// introduction motivates. Complements search/subsequence.h: the
+// SubsequenceIndex answers ad-hoc queries approximately through the
+// reduction stack; the matrix profile computes, exactly and in O(L^2)
+// via incrementally-updated sliding dot products, each window's distance
+// to its nearest non-trivial neighbor under the z-normalized Euclidean
+// distance.
+
+#include <cstddef>
+#include <vector>
+
+#include "util/status.h"
+
+namespace sapla {
+
+/// profile[i] = z-normalized Euclidean distance from window i to its
+/// nearest neighbor outside the exclusion zone; index[i] = that neighbor.
+struct MatrixProfile {
+  std::vector<double> profile;
+  std::vector<size_t> index;
+  size_t window = 0;
+
+  size_t num_windows() const { return profile.size(); }
+};
+
+struct MatrixProfileOptions {
+  size_t window = 64;
+  /// Windows closer than this to i are trivial matches and excluded;
+  /// 0 = default (window / 2, the usual convention).
+  size_t exclusion = 0;
+};
+
+/// Computes the self-join matrix profile of `series`.
+/// Requires series.size() >= 2 * window and window >= 4.
+Result<MatrixProfile> ComputeMatrixProfile(const std::vector<double>& series,
+                                           const MatrixProfileOptions& options);
+
+/// Offsets of the top motif pair (the two mutually nearest non-trivial
+/// windows — the global minimum of the profile).
+std::pair<size_t, size_t> TopMotif(const MatrixProfile& mp);
+
+/// Offsets of the `k` strongest discords (windows FARTHEST from their
+/// nearest neighbor — the classic anomaly definition), each at least one
+/// window apart from previously selected discords.
+std::vector<size_t> TopDiscords(const MatrixProfile& mp, size_t k);
+
+}  // namespace sapla
+
+#endif  // SAPLA_MINING_MATRIX_PROFILE_H_

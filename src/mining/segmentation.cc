@@ -1,0 +1,55 @@
+#include "mining/segmentation.h"
+
+#include <algorithm>
+
+#include "core/sapla.h"
+#include "reduction/apla.h"
+#include "util/status.h"
+
+namespace sapla {
+
+std::vector<size_t> DetectChangepoints(const std::vector<double>& values,
+                                       size_t num_changepoints,
+                                       SegmenterKind kind) {
+  SAPLA_DCHECK(values.size() >= 2 * (num_changepoints + 1));
+  const size_t num_segments = num_changepoints + 1;
+  Representation rep;
+  if (kind == SegmenterKind::kSapla) {
+    rep = SaplaReducer().ReduceToSegments(values, num_segments);
+  } else {
+    rep = AplaReducer().Reduce(
+        values, num_segments * CoefficientsPerSegment(Method::kApla));
+  }
+  std::vector<size_t> cps;
+  cps.reserve(num_changepoints);
+  // Interior endpoints only (the last endpoint is the series end).
+  for (size_t i = 0; i + 1 < rep.segments.size(); ++i)
+    cps.push_back(rep.segments[i].r);
+  return cps;
+}
+
+double ChangepointRecall(const std::vector<size_t>& detected,
+                         const std::vector<size_t>& truth, size_t tolerance) {
+  if (truth.empty()) return 1.0;
+  std::vector<bool> used(detected.size(), false);
+  size_t hits = 0;
+  for (const size_t t : truth) {
+    size_t best = detected.size();
+    size_t best_gap = tolerance + 1;
+    for (size_t i = 0; i < detected.size(); ++i) {
+      if (used[i]) continue;
+      const size_t gap = detected[i] > t ? detected[i] - t : t - detected[i];
+      if (gap < best_gap) {
+        best_gap = gap;
+        best = i;
+      }
+    }
+    if (best < detected.size()) {
+      used[best] = true;
+      ++hits;
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(truth.size());
+}
+
+}  // namespace sapla

@@ -1,0 +1,37 @@
+#ifndef SAPLA_MINING_SEGMENTATION_H_
+#define SAPLA_MINING_SEGMENTATION_H_
+
+// Semantic segmentation / changepoint detection — another of the paper's
+// motivating tasks. An adaptive-length segmentation IS a changepoint model:
+// the segment endpoints of a SAPLA or APLA reduction are the positions
+// where the series' linear regime changes. This module exposes that view
+// directly and scores detected changepoints against ground truth.
+
+#include <cstddef>
+#include <vector>
+
+#include "reduction/representation.h"
+
+namespace sapla {
+
+/// Which segmenter supplies the breakpoints.
+enum class SegmenterKind {
+  kSapla,  ///< O(n(N + log n)) — the paper's method
+  kApla,   ///< O(Nn^2) exact DP — the quality ceiling
+};
+
+/// \brief Returns `num_changepoints` interior breakpoints (ascending global
+/// indices; the position of the last point of each regime except the final
+/// one). Requires values.size() >= 2*(num_changepoints+1).
+std::vector<size_t> DetectChangepoints(const std::vector<double>& values,
+                                       size_t num_changepoints,
+                                       SegmenterKind kind = SegmenterKind::kSapla);
+
+/// \brief Fraction of true changepoints matched by a detection within
+/// `tolerance` positions (each true point consumes at most one detection).
+double ChangepointRecall(const std::vector<size_t>& detected,
+                         const std::vector<size_t>& truth, size_t tolerance);
+
+}  // namespace sapla
+
+#endif  // SAPLA_MINING_SEGMENTATION_H_

@@ -1,0 +1,116 @@
+#include "reduction/apca.h"
+
+#include <queue>
+#include <vector>
+
+#include "util/status.h"
+
+namespace sapla {
+namespace {
+
+// Constant-model SSE of a range given sum and square-sum: sum (c - mean)^2.
+double ConstSse(double s1, double s2, size_t l) {
+  const double ld = static_cast<double>(l);
+  const double sse = s2 - s1 * s1 / ld;
+  return sse > 0.0 ? sse : 0.0;
+}
+
+struct Node {
+  size_t start, end;     // inclusive range
+  double s1, s2;         // range sum / square-sum
+  int prev, next;        // linked list; -1 = none
+  bool alive = true;
+  uint32_t version = 0;  // bumps on every merge touching this node
+};
+
+struct HeapEntry {
+  double cost;  // SSE increase of merging node with its next neighbor
+  int node;
+  uint32_t version_self, version_next;
+  bool operator>(const HeapEntry& o) const { return cost > o.cost; }
+};
+
+}  // namespace
+
+Representation ApcaReducer::Reduce(const std::vector<double>& values,
+                                   size_t m) const {
+  const size_t n = values.size();
+  SAPLA_DCHECK(n >= 1);
+  size_t target = SegmentsForBudget(Method::kApca, m);
+  if (target > n) target = n;
+
+  // Initial segments of length 2 (odd tail gets length 3 or 1 handled by a
+  // final 1-length node) — length-2 seeding matches the n/2 starting pool
+  // the paper's complexity analysis assumes.
+  std::vector<Node> nodes;
+  for (size_t s = 0; s < n; s += 2) {
+    Node nd;
+    nd.start = s;
+    nd.end = std::min(s + 1, n - 1);
+    nd.s1 = values[s] + (nd.end > s ? values[nd.end] : 0.0);
+    nd.s2 = values[s] * values[s] +
+            (nd.end > s ? values[nd.end] * values[nd.end] : 0.0);
+    nd.prev = static_cast<int>(nodes.size()) - 1;
+    nd.next = -1;
+    nodes.push_back(nd);
+  }
+  for (size_t i = 0; i + 1 < nodes.size(); ++i)
+    nodes[i].next = static_cast<int>(i + 1);
+  size_t alive = nodes.size();
+
+  auto merge_cost = [&](int i) {
+    const Node& a = nodes[i];
+    const Node& b = nodes[a.next];
+    const double merged = ConstSse(a.s1 + b.s1, a.s2 + b.s2,
+                                   b.end - a.start + 1);
+    const double separate = ConstSse(a.s1, a.s2, a.end - a.start + 1) +
+                            ConstSse(b.s1, b.s2, b.end - b.start + 1);
+    return merged - separate;
+  };
+
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
+  for (size_t i = 0; i + 1 < nodes.size(); ++i) {
+    heap.push({merge_cost(static_cast<int>(i)), static_cast<int>(i),
+               nodes[i].version, nodes[i + 1].version});
+  }
+
+  while (alive > target && !heap.empty()) {
+    const HeapEntry top = heap.top();
+    heap.pop();
+    Node& a = nodes[top.node];
+    if (!a.alive || a.next < 0) continue;
+    Node& b = nodes[a.next];
+    // Stale entries (either endpoint merged since push) are skipped.
+    if (top.version_self != a.version || top.version_next != b.version)
+      continue;
+
+    // Merge b into a.
+    a.end = b.end;
+    a.s1 += b.s1;
+    a.s2 += b.s2;
+    a.next = b.next;
+    if (b.next >= 0) nodes[b.next].prev = top.node;
+    b.alive = false;
+    ++a.version;
+    --alive;
+
+    if (a.next >= 0)
+      heap.push({merge_cost(top.node), top.node, a.version,
+                 nodes[a.next].version});
+    if (a.prev >= 0)
+      heap.push({merge_cost(a.prev), a.prev, nodes[a.prev].version,
+                 a.version});
+  }
+
+  Representation rep;
+  rep.method = Method::kApca;
+  rep.n = n;
+  for (int i = 0; i >= 0; i = nodes[i].next) {
+    const Node& nd = nodes[i];
+    rep.segments.push_back(
+        {0.0, nd.s1 / static_cast<double>(nd.end - nd.start + 1), nd.end});
+  }
+  return rep;
+}
+
+}  // namespace sapla

@@ -1,0 +1,29 @@
+#ifndef SAPLA_REDUCTION_APCA_H_
+#define SAPLA_REDUCTION_APCA_H_
+
+// APCA — Adaptive Piecewise Constant Approximation
+// (Keogh, Chakrabarti, Pazzani, Mehrotra, SIGMOD/TODS 2001-2002).
+//
+// Adaptive-length segments with constant value <v_i, r_i>, N = M/2.
+// The original computes a Haar transform, keeps the largest coefficients and
+// repairs the segment count; we implement the equivalent (and more direct)
+// bottom-up merge: start from length-2 segments and repeatedly merge the
+// adjacent pair whose merge adds the least squared error, until exactly N
+// segments remain. A lazy-invalidation heap over a doubly linked segment
+// list gives the paper's O(n log n).
+
+#include "reduction/representation.h"
+
+namespace sapla {
+
+/// \brief Bottom-up adaptive piecewise-constant approximation.
+class ApcaReducer : public Reducer {
+ public:
+  Method method() const override { return Method::kApca; }
+  Representation Reduce(const std::vector<double>& values,
+                        size_t m) const override;
+};
+
+}  // namespace sapla
+
+#endif  // SAPLA_REDUCTION_APCA_H_

@@ -1,0 +1,120 @@
+#include "reduction/apca_haar.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "geom/haar.h"
+#include "geom/line_fit.h"
+#include "util/status.h"
+
+namespace sapla {
+namespace {
+
+// Merges adjacent plateaus (constant ranges) with minimal SSE increase
+// until `target` remain, then sets exact means. Plateau count is small
+// (<= 3N+1), so a quadratic merge loop is cheap.
+Representation PlateausToSegments(const std::vector<double>& values,
+                                  std::vector<size_t> ends, size_t target) {
+  PrefixFitter fitter(values);
+  auto sse = [&](size_t s, size_t e) {
+    const double s1 = fitter.RangeSum(s, e);
+    const double s2 = fitter.RangeSquareSum(s, e);
+    const double l = static_cast<double>(e - s + 1);
+    const double v = s2 - s1 * s1 / l;
+    return v > 0.0 ? v : 0.0;
+  };
+  auto start_of = [&](size_t i) {
+    return i == 0 ? static_cast<size_t>(0) : ends[i - 1] + 1;
+  };
+  while (ends.size() > target) {
+    size_t best = 0;
+    double best_cost = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i + 1 < ends.size(); ++i) {
+      const size_t s = start_of(i);
+      const double cost = sse(s, ends[i + 1]) - sse(s, ends[i]) -
+                          sse(ends[i] + 1, ends[i + 1]);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = i;
+      }
+    }
+    ends.erase(ends.begin() + static_cast<ptrdiff_t>(best));
+  }
+  Representation rep;
+  rep.method = Method::kApca;
+  rep.n = values.size();
+  for (size_t i = 0; i < ends.size(); ++i) {
+    const size_t s = start_of(i);
+    rep.segments.push_back(
+        {0.0, fitter.RangeSum(s, ends[i]) /
+                  static_cast<double>(ends[i] - s + 1),
+         ends[i]});
+  }
+  return rep;
+}
+
+}  // namespace
+
+Representation ApcaHaarReducer::Reduce(const std::vector<double>& values,
+                                       size_t m) const {
+  const size_t n = values.size();
+  SAPLA_DCHECK(n >= 1);
+  size_t target = SegmentsForBudget(Method::kApca, m);
+  if (target > n) target = n;
+
+  // 1. Pad (repeat last value) to a power of two and transform.
+  const size_t padded_n = NextPowerOfTwo(n);
+  std::vector<double> padded = values;
+  padded.resize(padded_n, values.back());
+  std::vector<double> coeffs = HaarTransform(padded);
+
+  // 2. Keep the `target` largest-magnitude coefficients (always keep the
+  //    overall average, index 0).
+  std::vector<size_t> order(coeffs.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return std::fabs(coeffs[a]) > std::fabs(coeffs[b]);
+  });
+  std::vector<bool> keep(coeffs.size(), false);
+  keep[0] = true;
+  size_t kept = 1;
+  for (const size_t i : order) {
+    if (kept >= target) break;
+    if (!keep[i]) {
+      keep[i] = true;
+      ++kept;
+    }
+  }
+  for (size_t i = 0; i < coeffs.size(); ++i)
+    if (!keep[i]) coeffs[i] = 0.0;
+
+  // 3. Reconstruct and extract plateau boundaries (truncated to n).
+  const std::vector<double> rec = HaarInverse(coeffs);
+  std::vector<size_t> ends;
+  for (size_t t = 0; t + 1 < n; ++t)
+    if (std::fabs(rec[t] - rec[t + 1]) > 1e-12) ends.push_back(t);
+  ends.push_back(n - 1);
+
+  // 4./5. Repair the segment count and set exact means. If truncation left
+  // fewer plateaus than segments wanted, split the longest plateaus at
+  // their midpoint first.
+  while (ends.size() < target) {
+    size_t longest = 0, longest_len = 0, prev = 0;
+    for (size_t i = 0; i < ends.size(); ++i) {
+      const size_t s = i == 0 ? 0 : ends[i - 1] + 1;
+      if (ends[i] - s + 1 > longest_len) {
+        longest_len = ends[i] - s + 1;
+        longest = i;
+        prev = s;
+      }
+    }
+    if (longest_len < 2) break;
+    ends.insert(ends.begin() + static_cast<ptrdiff_t>(longest),
+                prev + longest_len / 2 - 1);
+  }
+  return PlateausToSegments(values, std::move(ends), target);
+}
+
+}  // namespace sapla

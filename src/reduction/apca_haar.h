@@ -1,0 +1,32 @@
+#ifndef SAPLA_REDUCTION_APCA_HAAR_H_
+#define SAPLA_REDUCTION_APCA_HAAR_H_
+
+// APCA via the original Haar-wavelet construction (Keogh, Chakrabarti,
+// Pazzani, Mehrotra, SIGMOD 2001 §4.2):
+//
+//   1. pad the series to a power of two and take the Haar DWT,
+//   2. keep the N largest-magnitude (normalized) coefficients,
+//   3. reconstruct — a piecewise-constant signal with <= 3N+1 plateaus,
+//   4. merge adjacent plateaus with the lowest error increase until exactly
+//      N segments remain, and
+//   5. replace each segment value by the exact mean of the raw points
+//      (the reconstruction's plateau values are only approximate means).
+//
+// Provided alongside the default bottom-up ApcaReducer as a construction
+// ablation; both are O(n log n) and produce <v_i, r_i> segments.
+
+#include "reduction/representation.h"
+
+namespace sapla {
+
+/// \brief Haar-based APCA (the paper-original construction).
+class ApcaHaarReducer : public Reducer {
+ public:
+  Method method() const override { return Method::kApca; }
+  Representation Reduce(const std::vector<double>& values,
+                        size_t m) const override;
+};
+
+}  // namespace sapla
+
+#endif  // SAPLA_REDUCTION_APCA_HAAR_H_

@@ -1,0 +1,100 @@
+#include "reduction/apla.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "geom/convex_hull.h"
+#include "geom/line_fit.h"
+#include "util/status.h"
+
+namespace sapla {
+
+Representation AplaReducer::Reduce(const std::vector<double>& values,
+                                   size_t m) const {
+  const size_t n = values.size();
+  SAPLA_DCHECK(n >= 2 && n <= max_length_);
+  size_t num_segments = SegmentsForBudget(Method::kApla, m);
+  // Paper convention: every segment has length >= 2.
+  if (num_segments > n / 2) num_segments = std::max<size_t>(1, n / 2);
+
+  PrefixFitter fitter(values);
+
+  // err[s*n + e] = max deviation of the LS line over [s, e] (e >= s+1).
+  std::vector<float> err(n * n, 0.0f);
+  {
+    IncrementalHull hull;
+    for (size_t s = 0; s + 1 < n; ++s) {
+      hull.Clear();
+      hull.Add(static_cast<double>(s), values[s]);
+      double s1 = values[s], st = 0.0;
+      for (size_t e = s + 1; e < n; ++e) {
+        hull.Add(static_cast<double>(e), values[e]);
+        s1 += values[e];
+        st += static_cast<double>(e - s) * values[e];
+        const Line local = FitFromSums(s1, st, e - s + 1);
+        // Convert to global coordinates for the hull query.
+        const Line global{local.a, local.b - local.a * static_cast<double>(s)};
+        err[s * n + e] = static_cast<float>(hull.MaxDeviation(global));
+      }
+    }
+  }
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // dp_prev[e] = best sum of segment max deviations for prefix [0, e] using
+  // (t-1) segments; parent[t][e] = the chosen previous segment end.
+  std::vector<double> dp_prev(n, kInf), dp_cur(n, kInf);
+  std::vector<std::vector<int>> parent(num_segments,
+                                       std::vector<int>(n, -1));
+  for (size_t e = 1; e < n; ++e) dp_prev[e] = err[0 * n + e];
+
+  for (size_t t = 2; t <= num_segments; ++t) {
+    std::fill(dp_cur.begin(), dp_cur.end(), kInf);
+    // Prefix [0, e] needs at least 2t points.
+    for (size_t e = 2 * t - 1; e < n; ++e) {
+      double best = kInf;
+      int best_alpha = -1;
+      // Previous prefix ends at alpha; current segment is [alpha+1, e] with
+      // length >= 2.
+      for (size_t alpha = 2 * (t - 1) - 1; alpha + 2 <= e; ++alpha) {
+        if (dp_prev[alpha] == kInf) continue;
+        const double cand =
+            dp_prev[alpha] + static_cast<double>(err[(alpha + 1) * n + e]);
+        if (cand < best) {
+          best = cand;
+          best_alpha = static_cast<int>(alpha);
+        }
+      }
+      dp_cur[e] = best;
+      parent[t - 1][e] = best_alpha;
+    }
+    std::swap(dp_prev, dp_cur);
+  }
+
+  // Backtrack the optimal endpoints from e = n-1.
+  std::vector<size_t> ends;
+  {
+    size_t e = n - 1;
+    for (size_t t = num_segments; t >= 1; --t) {
+      ends.push_back(e);
+      if (t == 1) break;
+      const int alpha = parent[t - 1][e];
+      SAPLA_DCHECK(alpha >= 0);
+      e = static_cast<size_t>(alpha);
+    }
+    std::reverse(ends.begin(), ends.end());
+  }
+
+  Representation rep;
+  rep.method = Method::kApla;
+  rep.n = n;
+  size_t start = 0;
+  for (size_t r : ends) {
+    const Line line = fitter.Fit(start, r);
+    rep.segments.push_back({line.a, line.b, r});
+    start = r + 1;
+  }
+  return rep;
+}
+
+}  // namespace sapla

@@ -1,0 +1,38 @@
+#ifndef SAPLA_REDUCTION_APLA_H_
+#define SAPLA_REDUCTION_APLA_H_
+
+// APLA — Adaptive Piecewise Linear Approximation (Ljosa & Singh, ICDE 2007),
+// as characterized in the SAPLA paper §2: dynamic programming over
+//   w[m, t] = min_alpha ( w[alpha, t-1] + eps(alpha+1, m) )
+// where eps is the max deviation of the range's least-squares line. APLA is
+// the quality gold standard (guaranteed error bounds) and the main speed
+// baseline: O(Nn^2) versus SAPLA's O(n(N + log n)).
+//
+// The max-deviation oracle eps(s, e) is evaluated on incremental convex
+// hulls (geom/convex_hull.h) in O(log) per range, so building the full
+// range-error table costs O(n^2 log n) and the DP O(Nn^2) — the bound the
+// paper states. The table stores float to halve memory (n^2 entries).
+
+#include "reduction/representation.h"
+
+namespace sapla {
+
+/// \brief Exact DP adaptive piecewise-linear approximation.
+class AplaReducer : public Reducer {
+ public:
+  /// \param max_length guard against the O(n^2) error table: series longer
+  /// than this are rejected by SAPLA_DCHECK (debug) / clamped table cost in
+  /// release. Default 8192 keeps the table under 256 MiB.
+  explicit AplaReducer(size_t max_length = 8192) : max_length_(max_length) {}
+
+  Method method() const override { return Method::kApla; }
+  Representation Reduce(const std::vector<double>& values,
+                        size_t m) const override;
+
+ private:
+  size_t max_length_;
+};
+
+}  // namespace sapla
+
+#endif  // SAPLA_REDUCTION_APLA_H_

@@ -1,0 +1,30 @@
+#include "reduction/cheby.h"
+
+#include <cmath>
+
+#include "util/status.h"
+
+namespace sapla {
+
+Representation ChebyReducer::Reduce(const std::vector<double>& values,
+                                    size_t m) const {
+  SAPLA_DCHECK(values.size() >= 1);
+  Representation rep;
+  rep.method = Method::kCheby;
+  rep.n = values.size();
+  const size_t n = rep.n;
+  const double nd = static_cast<double>(n);
+  const size_t num_coeffs = std::min(SegmentsForBudget(Method::kCheby, m), n);
+  rep.coeffs.resize(num_coeffs);
+  for (size_t k = 0; k < num_coeffs; ++k) {
+    double s = 0.0;
+    for (size_t t = 0; t < n; ++t) {
+      s += values[t] * std::cos(M_PI * (static_cast<double>(t) + 0.5) *
+                                static_cast<double>(k) / nd);
+    }
+    rep.coeffs[k] = s * (k == 0 ? std::sqrt(1.0 / nd) : std::sqrt(2.0 / nd));
+  }
+  return rep;
+}
+
+}  // namespace sapla

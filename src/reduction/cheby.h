@@ -1,0 +1,29 @@
+#ifndef SAPLA_REDUCTION_CHEBY_H_
+#define SAPLA_REDUCTION_CHEBY_H_
+
+// CHEBY — Chebyshev polynomial coefficients (Cai & Ng, SIGMOD 2004).
+//
+// SUBSTITUTION NOTE (see DESIGN.md §5): on a uniform discrete grid the
+// Chebyshev approximation is the type-II discrete cosine transform (DCT-II
+// evaluates Chebyshev polynomials at the discrete cosine nodes). We use the
+// orthonormal DCT-II and keep the first M coefficients; orthonormality gives
+// Parseval's identity, so the truncated-coefficient Euclidean distance is a
+// PROVABLE lower bound of the raw Euclidean distance — the property CHEBY
+// contributes in the paper's index experiments. Computed directly in O(Mn)
+// (the paper's stated O(Nn)).
+
+#include "reduction/representation.h"
+
+namespace sapla {
+
+/// \brief Truncated orthonormal DCT-II / Chebyshev coefficients.
+class ChebyReducer : public Reducer {
+ public:
+  Method method() const override { return Method::kCheby; }
+  Representation Reduce(const std::vector<double>& values,
+                        size_t m) const override;
+};
+
+}  // namespace sapla
+
+#endif  // SAPLA_REDUCTION_CHEBY_H_

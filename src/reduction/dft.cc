@@ -1,0 +1,53 @@
+#include "reduction/dft.h"
+
+#include <cmath>
+
+#include "util/status.h"
+
+namespace sapla {
+
+// Layout of rep.coeffs: [re_0, im_0, re_1, im_1, ...] for bins 0..K-1 with
+// K = M/2 (im_0 is always 0 for real input but kept for regularity).
+
+Representation DftReducer::Reduce(const std::vector<double>& values,
+                                  size_t m) const {
+  const size_t n = values.size();
+  SAPLA_DCHECK(n >= 1);
+  Representation rep;
+  rep.method = Method::kDft;
+  rep.n = n;
+  const size_t num_bins = std::min(std::max<size_t>(1, m / 2), n);
+  rep.coeffs.resize(2 * num_bins);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(n));
+  for (size_t k = 0; k < num_bins; ++k) {
+    double re = 0.0, im = 0.0;
+    for (size_t t = 0; t < n; ++t) {
+      const double angle = -2.0 * M_PI * static_cast<double>(k) *
+                           static_cast<double>(t) / static_cast<double>(n);
+      re += values[t] * std::cos(angle);
+      im += values[t] * std::sin(angle);
+    }
+    rep.coeffs[2 * k] = re * scale;
+    rep.coeffs[2 * k + 1] = im * scale;
+  }
+  return rep;
+}
+
+double DftDist(const Representation& q, const Representation& c) {
+  SAPLA_DCHECK(q.method == Method::kDft && c.method == Method::kDft);
+  SAPLA_DCHECK(q.n == c.n);
+  const size_t bins = std::min(q.coeffs.size(), c.coeffs.size()) / 2;
+  const size_t n = q.n;
+  double sum = 0.0;
+  for (size_t k = 0; k < bins; ++k) {
+    const double dre = q.coeffs[2 * k] - c.coeffs[2 * k];
+    const double dim = q.coeffs[2 * k + 1] - c.coeffs[2 * k + 1];
+    // Bin k in (0, n/2) represents bin n-k too (conjugate symmetry of real
+    // signals), contributing the same energy again.
+    const bool self_mirrored = k == 0 || 2 * k == n;
+    sum += (self_mirrored ? 1.0 : 2.0) * (dre * dre + dim * dim);
+  }
+  return std::sqrt(sum);
+}
+
+}  // namespace sapla

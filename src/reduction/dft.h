@@ -1,0 +1,33 @@
+#ifndef SAPLA_REDUCTION_DFT_H_
+#define SAPLA_REDUCTION_DFT_H_
+
+// DFT — truncated Discrete Fourier Transform (Faloutsos, Ranganathan &
+// Manolopoulos, SIGMOD 1994 — the paper's reference [10] and the original
+// GEMINI reduction).
+//
+// Extension method (not part of the paper's Table 1 comparison): keeps the
+// first M/2 complex coefficients of the orthonormal DFT, i.e. M real
+// values. For real signals the spectrum is conjugate-symmetric, so each
+// retained bin k in (0, n/2) implicitly carries bin n-k as well; the
+// coefficient-space distance doubles those bins' energy and remains a true
+// lower bound of the Euclidean distance by Parseval.
+
+#include "reduction/representation.h"
+
+namespace sapla {
+
+/// \brief Truncated orthonormal real-signal DFT.
+class DftReducer : public Reducer {
+ public:
+  Method method() const override { return Method::kDft; }
+  Representation Reduce(const std::vector<double>& values,
+                        size_t m) const override;
+};
+
+/// Coefficient-space lower-bound distance between two DFT representations
+/// (conjugate-symmetry aware). Exposed for the filter dispatch and tests.
+double DftDist(const Representation& q, const Representation& c);
+
+}  // namespace sapla
+
+#endif  // SAPLA_REDUCTION_DFT_H_

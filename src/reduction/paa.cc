@@ -1,0 +1,27 @@
+#include "reduction/paa.h"
+
+#include "reduction/pla.h"
+#include "util/status.h"
+
+namespace sapla {
+
+Representation PaaReducer::Reduce(const std::vector<double>& values,
+                                  size_t m) const {
+  SAPLA_DCHECK(values.size() >= 1);
+  Representation rep;
+  rep.method = Method::kPaa;
+  rep.n = values.size();
+  const size_t num_segments = SegmentsForBudget(Method::kPaa, m);
+  const std::vector<size_t> ends = EqualLengthEndpoints(rep.n, num_segments);
+  size_t start = 0;
+  for (size_t r : ends) {
+    double sum = 0.0;
+    for (size_t t = start; t <= r; ++t) sum += values[t];
+    rep.segments.push_back(
+        {0.0, sum / static_cast<double>(r - start + 1), r});
+    start = r + 1;
+  }
+  return rep;
+}
+
+}  // namespace sapla

@@ -1,0 +1,23 @@
+#ifndef SAPLA_REDUCTION_PAA_H_
+#define SAPLA_REDUCTION_PAA_H_
+
+// Piecewise Aggregate Approximation (Keogh et al., KAIS 2001).
+//
+// Equal-length segments replaced by their mean value v_i. N = M segments,
+// O(n) total.
+
+#include "reduction/representation.h"
+
+namespace sapla {
+
+/// \brief Equal-length segment means.
+class PaaReducer : public Reducer {
+ public:
+  Method method() const override { return Method::kPaa; }
+  Representation Reduce(const std::vector<double>& values,
+                        size_t m) const override;
+};
+
+}  // namespace sapla
+
+#endif  // SAPLA_REDUCTION_PAA_H_

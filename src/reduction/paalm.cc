@@ -1,0 +1,50 @@
+#include "reduction/paalm.h"
+
+#include "reduction/pla.h"
+#include "util/status.h"
+
+namespace sapla {
+
+Representation PaalmReducer::Reduce(const std::vector<double>& values,
+                                    size_t m) const {
+  SAPLA_DCHECK(values.size() >= 1);
+  Representation rep;
+  rep.method = Method::kPaalm;
+  rep.n = values.size();
+  const size_t num_segments = SegmentsForBudget(Method::kPaalm, m);
+  const std::vector<size_t> ends = EqualLengthEndpoints(rep.n, num_segments);
+
+  // Segment means (the PAA stage).
+  std::vector<double> mean(ends.size());
+  size_t start = 0;
+  for (size_t i = 0; i < ends.size(); ++i) {
+    double sum = 0.0;
+    for (size_t t = start; t <= ends[i]; ++t) sum += values[t];
+    mean[i] = sum / static_cast<double>(ends[i] - start + 1);
+    start = ends[i] + 1;
+  }
+
+  // Solve (I + lambda*L) v = mean where L is the 1-D graph Laplacian —
+  // the stationarity system of the Lagrangian. Thomas algorithm, O(N).
+  const size_t k = mean.size();
+  std::vector<double> diag(k), off(k, -lambda_), rhs = mean;
+  for (size_t i = 0; i < k; ++i) {
+    const double degree = (i == 0 || i + 1 == k) ? 1.0 : 2.0;
+    diag[i] = 1.0 + lambda_ * degree;
+  }
+  // Forward elimination.
+  for (size_t i = 1; i < k; ++i) {
+    const double w = off[i - 1] / diag[i - 1];
+    diag[i] -= w * off[i - 1];
+    rhs[i] -= w * rhs[i - 1];
+  }
+  // Back substitution.
+  std::vector<double> v(k);
+  v[k - 1] = rhs[k - 1] / diag[k - 1];
+  for (size_t i = k - 1; i-- > 0;) v[i] = (rhs[i] - off[i] * v[i + 1]) / diag[i];
+
+  for (size_t i = 0; i < k; ++i) rep.segments.push_back({0.0, v[i], ends[i]});
+  return rep;
+}
+
+}  // namespace sapla

@@ -1,0 +1,37 @@
+#ifndef SAPLA_REDUCTION_PAALM_H_
+#define SAPLA_REDUCTION_PAALM_H_
+
+// PAALM — PAA with Lagrangian-multiplier pattern smoothing
+// (Rezvani, Barnaghi, Enshaeifar, TKDE 2019).
+//
+// SUBSTITUTION NOTE (see DESIGN.md §5): the original PAALM represents
+// continuous data as a series of patterns via Lagrangian multipliers and is
+// not designed for max-deviation reduction — the paper includes it to show
+// the cost of ignoring max deviation. We reproduce its experimental role
+// with PAA segment means smoothed by a Lagrangian (quadratic-penalty)
+// system: minimize sum_i (v_i - mean_i)^2 + lambda * sum_i (v_{i+1} - v_i)^2,
+// solved exactly with the Thomas tridiagonal algorithm. The smoothing biases
+// values away from the per-segment optimum, giving PAALM the worst max
+// deviation among the compared methods, exactly as in the paper. O(n).
+
+#include "reduction/representation.h"
+
+namespace sapla {
+
+/// \brief PAA means smoothed by a tridiagonal Lagrangian system.
+class PaalmReducer : public Reducer {
+ public:
+  /// \param lambda smoothing strength; 0 degenerates to PAA.
+  explicit PaalmReducer(double lambda = 1.0) : lambda_(lambda) {}
+
+  Method method() const override { return Method::kPaalm; }
+  Representation Reduce(const std::vector<double>& values,
+                        size_t m) const override;
+
+ private:
+  double lambda_;
+};
+
+}  // namespace sapla
+
+#endif  // SAPLA_REDUCTION_PAALM_H_

@@ -1,0 +1,36 @@
+#include "reduction/pla.h"
+
+#include "geom/line_fit.h"
+#include "util/status.h"
+
+namespace sapla {
+
+std::vector<size_t> EqualLengthEndpoints(size_t n, size_t num_segments) {
+  SAPLA_DCHECK(n >= 1);
+  if (num_segments > n) num_segments = n;
+  std::vector<size_t> ends(num_segments);
+  for (size_t i = 0; i < num_segments; ++i) {
+    // Balanced partition: segment i ends at floor((i+1)*n/N) - 1.
+    ends[i] = (i + 1) * n / num_segments - 1;
+  }
+  return ends;
+}
+
+Representation PlaReducer::Reduce(const std::vector<double>& values,
+                                  size_t m) const {
+  SAPLA_DCHECK(values.size() >= 2);
+  Representation rep;
+  rep.method = Method::kPla;
+  rep.n = values.size();
+  const size_t num_segments = SegmentsForBudget(Method::kPla, m);
+  const std::vector<size_t> ends = EqualLengthEndpoints(rep.n, num_segments);
+  size_t start = 0;
+  for (size_t r : ends) {
+    const Line line = FitLine(values.data() + start, r - start + 1);
+    rep.segments.push_back({line.a, line.b, r});
+    start = r + 1;
+  }
+  return rep;
+}
+
+}  // namespace sapla

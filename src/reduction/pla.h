@@ -1,0 +1,28 @@
+#ifndef SAPLA_REDUCTION_PLA_H_
+#define SAPLA_REDUCTION_PLA_H_
+
+// Piecewise Linear Approximation (Chen et al., VLDB 2007).
+//
+// Equal-length segments, each replaced by its least-squares line
+// <a_i, b_i> (the paper's Eq. (1)). N = M/2 segments, O(n) total.
+
+#include "reduction/representation.h"
+
+namespace sapla {
+
+/// \brief Equal-length least-squares PLA.
+class PlaReducer : public Reducer {
+ public:
+  Method method() const override { return Method::kPla; }
+  Representation Reduce(const std::vector<double>& values,
+                        size_t m) const override;
+};
+
+/// Splits [0, n) into `num_segments` near-equal contiguous ranges; returns
+/// the inclusive right endpoints. Shared by all equal-length methods so PLA,
+/// PAA, PAALM and SAX agree on the segmentation.
+std::vector<size_t> EqualLengthEndpoints(size_t n, size_t num_segments);
+
+}  // namespace sapla
+
+#endif  // SAPLA_REDUCTION_PLA_H_

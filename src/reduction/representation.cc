@@ -1,0 +1,180 @@
+#include "reduction/representation.h"
+
+#include <cmath>
+
+#include "core/sapla.h"
+#include "reduction/apca.h"
+#include "reduction/apla.h"
+#include "reduction/cheby.h"
+#include "reduction/dft.h"
+#include "reduction/paa.h"
+#include "reduction/paalm.h"
+#include "reduction/pla.h"
+#include "reduction/sax.h"
+#include "geom/minimax.h"
+#include "util/normal.h"
+
+namespace sapla {
+
+std::vector<Method> AllMethods() {
+  return {Method::kSapla, Method::kApla,  Method::kApca, Method::kPla,
+          Method::kPaa,   Method::kPaalm, Method::kCheby, Method::kSax};
+}
+
+std::vector<Method> AllMethodsExtended() {
+  std::vector<Method> methods = AllMethods();
+  methods.push_back(Method::kDft);
+  return methods;
+}
+
+std::string MethodName(Method method) {
+  switch (method) {
+    case Method::kSapla: return "SAPLA";
+    case Method::kApla: return "APLA";
+    case Method::kApca: return "APCA";
+    case Method::kPla: return "PLA";
+    case Method::kPaa: return "PAA";
+    case Method::kPaalm: return "PAALM";
+    case Method::kCheby: return "CHEBY";
+    case Method::kSax: return "SAX";
+    case Method::kDft: return "DFT";
+  }
+  return "Unknown";
+}
+
+size_t CoefficientsPerSegment(Method method) {
+  switch (method) {
+    case Method::kSapla:
+    case Method::kApla:
+      return 3;  // <a_i, b_i, r_i>
+    case Method::kApca:
+    case Method::kPla:
+      return 2;  // <v_i, r_i> / <a_i, b_i>
+    default:
+      return 1;  // v_i / che_i / symbol
+  }
+}
+
+size_t SegmentsForBudget(Method method, size_t m) {
+  const size_t per = CoefficientsPerSegment(method);
+  const size_t n_seg = m / per;
+  return n_seg > 0 ? n_seg : 1;
+}
+
+std::vector<double> Representation::Reconstruct() const {
+  std::vector<double> out(n, 0.0);
+  if (method == Method::kDft) {
+    // Inverse orthonormal DFT using the kept bins plus their conjugate
+    // mirrors (real signal).
+    const double nd = static_cast<double>(n);
+    const double scale = 1.0 / std::sqrt(nd);
+    const size_t bins = coeffs.size() / 2;
+    for (size_t t = 0; t < n; ++t) {
+      double x = bins > 0 ? coeffs[0] : 0.0;  // bin 0 (im is 0)
+      for (size_t k = 1; k < bins; ++k) {
+        const double angle = 2.0 * M_PI * static_cast<double>(k) *
+                             static_cast<double>(t) / nd;
+        const double term =
+            coeffs[2 * k] * std::cos(angle) - coeffs[2 * k + 1] * std::sin(angle);
+        x += (2 * k == n ? 1.0 : 2.0) * term;
+      }
+      out[t] = x * scale;
+    }
+    return out;
+  }
+  if (method == Method::kCheby) {
+    // Inverse orthonormal DCT-II truncated to the stored coefficients.
+    const double nd = static_cast<double>(n);
+    for (size_t t = 0; t < n; ++t) {
+      double x = coeffs.empty() ? 0.0 : coeffs[0] * std::sqrt(1.0 / nd);
+      for (size_t k = 1; k < coeffs.size(); ++k) {
+        x += coeffs[k] * std::sqrt(2.0 / nd) *
+             std::cos(M_PI * (static_cast<double>(t) + 0.5) *
+                      static_cast<double>(k) / nd);
+      }
+      out[t] = x;
+    }
+    return out;
+  }
+  if (method == Method::kSax) {
+    // Symbols decode to the central quantile of their region — the natural
+    // numeric de-symbolization (the paper notes this loses accuracy vs PAA).
+    SAPLA_DCHECK(alphabet >= 2 && symbols.size() == segments.size());
+    for (size_t i = 0; i < segments.size(); ++i) {
+      const double v = NormalQuantile(
+          (static_cast<double>(symbols[i]) + 0.5) /
+          static_cast<double>(alphabet));
+      for (size_t t = segment_start(i); t <= segments[i].r; ++t) out[t] = v;
+    }
+    return out;
+  }
+  for (size_t i = 0; i < segments.size(); ++i) {
+    const size_t s = segment_start(i);
+    for (size_t t = s; t <= segments[i].r; ++t) {
+      out[t] = segments[i].a * static_cast<double>(t - s) + segments[i].b;
+    }
+  }
+  return out;
+}
+
+double Representation::SegmentMaxDeviation(const std::vector<double>& original,
+                                           size_t i) const {
+  SAPLA_DCHECK(original.size() == n);
+  const size_t s = segment_start(i);
+  double m = 0.0;
+  for (size_t t = s; t <= segments[i].r; ++t) {
+    const double rec =
+        segments[i].a * static_cast<double>(t - s) + segments[i].b;
+    m = std::max(m, std::fabs(original[t] - rec));
+  }
+  return m;
+}
+
+double Representation::SumMaxDeviation(
+    const std::vector<double>& original) const {
+  if (segments.empty() || method == Method::kCheby ||
+      method == Method::kSax || method == Method::kDft)
+    return GlobalMaxDeviation(original);
+  double sum = 0.0;
+  for (size_t i = 0; i < segments.size(); ++i)
+    sum += SegmentMaxDeviation(original, i);
+  return sum;
+}
+
+double Representation::GlobalMaxDeviation(
+    const std::vector<double>& original) const {
+  SAPLA_DCHECK(original.size() == n);
+  const std::vector<double> rec = Reconstruct();
+  double m = 0.0;
+  for (size_t t = 0; t < n; ++t)
+    m = std::max(m, std::fabs(original[t] - rec[t]));
+  return m;
+}
+
+void MinimaxRefit(Representation* rep, const std::vector<double>& original) {
+  SAPLA_DCHECK(original.size() == rep->n);
+  for (size_t i = 0; i < rep->segments.size(); ++i) {
+    const size_t s = rep->segment_start(i);
+    const MinimaxFitResult fit =
+        MinimaxFit(original.data() + s, rep->segments[i].r - s + 1);
+    rep->segments[i].a = fit.line.a;
+    rep->segments[i].b = fit.line.b;
+  }
+}
+
+std::unique_ptr<Reducer> MakeReducer(Method method) {
+  switch (method) {
+    case Method::kSapla: return std::make_unique<SaplaReducer>();
+    case Method::kApla: return std::make_unique<AplaReducer>();
+    case Method::kApca: return std::make_unique<ApcaReducer>();
+    case Method::kPla: return std::make_unique<PlaReducer>();
+    case Method::kPaa: return std::make_unique<PaaReducer>();
+    case Method::kPaalm: return std::make_unique<PaalmReducer>();
+    case Method::kCheby: return std::make_unique<ChebyReducer>();
+    case Method::kSax: return std::make_unique<SaxReducer>();
+    case Method::kDft: return std::make_unique<DftReducer>();
+  }
+  return nullptr;
+}
+
+}  // namespace sapla

@@ -1,0 +1,135 @@
+#ifndef SAPLA_REDUCTION_REPRESENTATION_H_
+#define SAPLA_REDUCTION_REPRESENTATION_H_
+
+// Common representation model for all dimensionality-reduction methods.
+//
+// Every method reduces a length-n series to M representation coefficients
+// (Table 1 of the paper). Segment-based methods store <a_i, b_i, r_i>
+// triples (constant methods use a_i = 0); CHEBY stores transform
+// coefficients; SAX stores symbols. A single model lets distances, MBR
+// adapters, trees and the experiment harness stay method-generic.
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace sapla {
+
+/// The eight methods compared in the paper (Table 1), plus the classic DFT
+/// (GEMINI's original reduction — an extension, not part of Table 1).
+enum class Method {
+  kSapla = 0,
+  kApla,
+  kApca,
+  kPla,
+  kPaa,
+  kPaalm,
+  kCheby,
+  kSax,
+  kDft,
+};
+
+/// The paper's eight methods, in Table 1 order (excludes extensions).
+std::vector<Method> AllMethods();
+
+/// All implemented methods including extensions (currently + DFT).
+std::vector<Method> AllMethodsExtended();
+
+/// Display name ("SAPLA", "APLA", ...).
+std::string MethodName(Method method);
+
+/// Number of segments N for a coefficient budget M (Table 1):
+/// N = M/3 for SAPLA/APLA, M/2 for APCA/PLA, M for PAA/PAALM/CHEBY/SAX.
+size_t SegmentsForBudget(Method method, size_t m);
+
+/// Coefficients consumed per segment (3, 2 or 1 — Table 1).
+size_t CoefficientsPerSegment(Method method);
+
+/// \brief One adaptive- or equal-length segment <a, b, r>.
+///
+/// `r` is the inclusive global index of the segment's last point
+/// (Definition 3.2); the segment covers (prev_r, r]. Constant-value methods
+/// (PAA/APCA/PAALM) set a = 0 and use b as the segment mean.
+struct LinearSegment {
+  double a = 0.0;
+  double b = 0.0;
+  size_t r = 0;
+};
+
+/// \brief A reduced representation of one time series.
+struct Representation {
+  Method method = Method::kSapla;
+  size_t n = 0;  ///< original series length
+
+  /// Segment methods (SAPLA/APLA/APCA/PLA/PAA/PAALM/SAX-PAA backing).
+  std::vector<LinearSegment> segments;
+
+  /// CHEBY: truncated orthonormal transform coefficients.
+  std::vector<double> coeffs;
+
+  /// SAX: one symbol per segment plus the alphabet size.
+  std::vector<int> symbols;
+  size_t alphabet = 0;
+
+  size_t num_segments() const { return segments.size(); }
+
+  /// Length of segment i (r_i - r_{i-1}).
+  size_t segment_length(size_t i) const {
+    return segments[i].r - (i == 0 ? static_cast<size_t>(0)
+                                   : segments[i - 1].r + 1) +
+           1;
+  }
+
+  /// Global index of segment i's first point.
+  size_t segment_start(size_t i) const {
+    return i == 0 ? 0 : segments[i - 1].r + 1;
+  }
+
+  /// \brief Reconstructs the full-length series C-check (Definition 3.3).
+  std::vector<double> Reconstruct() const;
+
+  /// Max deviation (Definition 3.4) of segment i against the original.
+  double SegmentMaxDeviation(const std::vector<double>& original,
+                             size_t i) const;
+
+  /// Sum over segments of per-segment max deviations — the quantity the
+  /// paper's Fig. 1 captions and Fig. 12a report. For coefficient methods
+  /// (CHEBY) this is the global max deviation (single "segment").
+  double SumMaxDeviation(const std::vector<double>& original) const;
+
+  /// Global max deviation over all points.
+  double GlobalMaxDeviation(const std::vector<double>& original) const;
+};
+
+/// \brief Interface implemented by every dimensionality-reduction method.
+class Reducer {
+ public:
+  virtual ~Reducer() = default;
+
+  virtual Method method() const = 0;
+  std::string name() const { return MethodName(method()); }
+
+  /// Reduces `values` to at most `m` representation coefficients.
+  /// Requires values.size() >= 2 and m >= CoefficientsPerSegment(method()).
+  virtual Representation Reduce(const std::vector<double>& values,
+                                size_t m) const = 0;
+};
+
+/// Factory for any of the eight methods with default options.
+std::unique_ptr<Reducer> MakeReducer(Method method);
+
+/// \brief Replaces every segment's line with the minimax (Chebyshev-best)
+/// fit of its raw range — the L-infinity-optimal polish once boundaries are
+/// fixed. Strictly lowers (never raises) each segment's max deviation.
+///
+/// CAUTION: minimax lines are not least-squares projections, so Dist_LB's
+/// lower-bound guarantee no longer applies to a refit representation; use
+/// this for compression/deviation workloads, not for index filtering.
+void MinimaxRefit(Representation* rep, const std::vector<double>& original);
+
+}  // namespace sapla
+
+#endif  // SAPLA_REDUCTION_REPRESENTATION_H_

@@ -1,0 +1,33 @@
+#include "reduction/sax.h"
+
+#include <algorithm>
+
+#include "reduction/paa.h"
+#include "util/normal.h"
+#include "util/status.h"
+
+namespace sapla {
+
+SaxReducer::SaxReducer(size_t alphabet_size)
+    : alphabet_size_(alphabet_size), breakpoints_(SaxBreakpoints(alphabet_size)) {
+  SAPLA_DCHECK(alphabet_size >= 2 && alphabet_size <= 256);
+}
+
+Representation SaxReducer::Reduce(const std::vector<double>& values,
+                                  size_t m) const {
+  // PAA stage reuses the shared equal-length segmentation.
+  Representation rep = PaaReducer().Reduce(values, m);
+  rep.method = Method::kSax;
+  rep.alphabet = alphabet_size_;
+  rep.symbols.resize(rep.segments.size());
+  for (size_t i = 0; i < rep.segments.size(); ++i) {
+    const double v = rep.segments[i].b;
+    // Symbol = number of breakpoints below the PAA value.
+    rep.symbols[i] = static_cast<int>(
+        std::upper_bound(breakpoints_.begin(), breakpoints_.end(), v) -
+        breakpoints_.begin());
+  }
+  return rep;
+}
+
+}  // namespace sapla

@@ -1,0 +1,34 @@
+#ifndef SAPLA_REDUCTION_SAX_H_
+#define SAPLA_REDUCTION_SAX_H_
+
+// SAX — Symbolic Aggregate approXimation (Lin et al., DMKD 2007).
+//
+// PAA followed by symbolization against the equiprobable breakpoints of
+// N(0,1). N = M symbols; MINDIST (distance/mindist.h) lower-bounds the
+// Euclidean distance on z-normalized series. O(n).
+
+#include "reduction/representation.h"
+
+namespace sapla {
+
+/// \brief PAA + Gaussian-breakpoint symbolization.
+class SaxReducer : public Reducer {
+ public:
+  /// \param alphabet_size number of symbols (2..256). The classic SAX papers
+  /// use 3-10; 8 is a common default.
+  explicit SaxReducer(size_t alphabet_size = 8);
+
+  Method method() const override { return Method::kSax; }
+  Representation Reduce(const std::vector<double>& values,
+                        size_t m) const override;
+
+  size_t alphabet_size() const { return alphabet_size_; }
+
+ private:
+  size_t alphabet_size_;
+  std::vector<double> breakpoints_;
+};
+
+}  // namespace sapla
+
+#endif  // SAPLA_REDUCTION_SAX_H_

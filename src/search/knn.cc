@@ -1,0 +1,199 @@
+#include "search/knn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "distance/mindist.h"
+#include "util/timer.h"
+
+namespace sapla {
+namespace {
+
+// Max-heap of the k best (distance, id) pairs; exposes the pruning bound.
+class TopK {
+ public:
+  explicit TopK(size_t k) : k_(k) {}
+
+  void Offer(double dist, size_t id) {
+    if (heap_.size() < k_) {
+      heap_.emplace(dist, id);
+    } else if (dist < heap_.top().first) {
+      heap_.pop();
+      heap_.emplace(dist, id);
+    }
+  }
+
+  double Bound() const {
+    return heap_.size() < k_ ? std::numeric_limits<double>::infinity()
+                             : heap_.top().first;
+  }
+
+  std::vector<std::pair<double, size_t>> Sorted() const {
+    std::vector<std::pair<double, size_t>> v(heap_.size());
+    auto copy = heap_;
+    for (size_t i = v.size(); i-- > 0;) {
+      v[i] = copy.top();
+      copy.pop();
+    }
+    return v;
+  }
+
+ private:
+  size_t k_;
+  std::priority_queue<std::pair<double, size_t>> heap_;
+};
+
+}  // namespace
+
+KnnResult LinearScanKnn(const Dataset& dataset,
+                        const std::vector<double>& query, size_t k) {
+  TopK top(k);
+  for (size_t i = 0; i < dataset.size(); ++i)
+    top.Offer(EuclideanDistance(query, dataset.series[i].values), i);
+  KnnResult result;
+  result.neighbors = top.Sorted();
+  result.num_measured = dataset.size();
+  return result;
+}
+
+SimilarityIndex::SimilarityIndex(Method method, size_t m, IndexKind kind,
+                                 const Options& options)
+    : method_(method), m_(m), kind_(kind), options_(options) {
+  reducer_ = MakeReducer(method);
+}
+
+Status SimilarityIndex::Build(const Dataset& dataset, BuildInfo* info) {
+  if (dataset.size() == 0)
+    return Status::InvalidArgument("empty dataset");
+  if (dataset.length() < 2)
+    return Status::InvalidArgument("series shorter than 2 points");
+  for (const TimeSeries& ts : dataset.series) {
+    if (ts.size() != dataset.length())
+      return Status::InvalidArgument("dataset series have unequal lengths");
+    for (const double v : ts.values) {
+      if (!std::isfinite(v))
+        return Status::InvalidArgument(
+            "dataset contains non-finite values; clean or impute first");
+    }
+  }
+  dataset_ = &dataset;
+
+  CpuTimer reduce_timer;
+  reps_.clear();
+  reps_.reserve(dataset.size());
+  for (const TimeSeries& ts : dataset.series)
+    reps_.push_back(reducer_->Reduce(ts.values, m_));
+  const double reduce_s = reduce_timer.Seconds();
+
+  CpuTimer insert_timer;
+  if (kind_ == IndexKind::kRTree) {
+    mapper_ = std::make_unique<FeatureMapper>(method_, m_, dataset.length());
+    rtree_ = std::make_unique<RTree>(
+        mapper_->dims(), RTree::Options{options_.min_fill, options_.max_fill});
+    for (size_t i = 0; i < reps_.size(); ++i) {
+      const FeatureMapper::Box box =
+          mapper_->MapBox(reps_[i], dataset.series[i].values);
+      rtree_->InsertBox(box.lo, box.hi, i);
+    }
+  } else {
+    dbch_ = std::make_unique<DbchTree>(
+        [this](size_t a, size_t b) {
+          return LowerBoundDistance(reps_[a], reps_[b]);
+        },
+        DbchTree::Options{options_.min_fill, options_.max_fill});
+    for (size_t i = 0; i < reps_.size(); ++i) dbch_->Insert(i);
+  }
+  const double insert_s = insert_timer.Seconds();
+
+  if (info != nullptr) {
+    info->reduce_cpu_seconds = reduce_s;
+    info->insert_cpu_seconds = insert_s;
+    info->stats = stats();
+  }
+  return Status::OK();
+}
+
+TreeStats SimilarityIndex::stats() const {
+  if (rtree_) return rtree_->ComputeStats();
+  if (dbch_) return dbch_->ComputeStats();
+  return TreeStats{};
+}
+
+KnnResult SimilarityIndex::Knn(const std::vector<double>& query,
+                               size_t k) const {
+  SAPLA_DCHECK(dataset_ != nullptr);
+  SAPLA_DCHECK(query.size() == dataset_->length());
+  const Representation query_rep = reducer_->Reduce(query, m_);
+  const PrefixFitter query_fitter(query);
+
+  TopK top(k);
+  KnnResult result;
+  // Leaf-entry handler shared by both trees: lower-bound filter (Dist_LB
+  // against the raw query for segment methods — rigorous), then the exact
+  // (counted) refinement on the raw series.
+  const auto visit = [&](size_t id, double bound) {
+    const double lb = FilterDistance(query_fitter, query_rep, reps_[id]);
+    if (lb <= bound) {
+      const double exact =
+          EuclideanDistance(query, dataset_->series[id].values);
+      ++result.num_measured;
+      top.Offer(exact, id);
+    }
+    return top.Bound();
+  };
+
+  if (rtree_) {
+    rtree_->BestFirstSearch(
+        [&](const std::vector<double>& lo, const std::vector<double>& hi) {
+          return mapper_->MinDist(query, query_rep, lo, hi);
+        },
+        visit);
+  } else {
+    dbch_->BestFirstSearch(
+        [&](size_t id) { return LowerBoundDistance(query_rep, reps_[id]); },
+        visit);
+  }
+
+  result.neighbors = top.Sorted();
+  return result;
+}
+
+KnnResult SimilarityIndex::RangeSearch(const std::vector<double>& query,
+                                       double radius) const {
+  SAPLA_DCHECK(dataset_ != nullptr);
+  SAPLA_DCHECK(query.size() == dataset_->length());
+  const Representation query_rep = reducer_->Reduce(query, m_);
+  const PrefixFitter query_fitter(query);
+
+  KnnResult result;
+  // The pruning bound is the fixed radius: visit never tightens it, so the
+  // traversal enumerates exactly the nodes/entries within range.
+  const auto visit = [&](size_t id, double /*bound*/) {
+    const double lb = FilterDistance(query_fitter, query_rep, reps_[id]);
+    if (lb <= radius) {
+      const double exact =
+          EuclideanDistance(query, dataset_->series[id].values);
+      ++result.num_measured;
+      if (exact <= radius) result.neighbors.emplace_back(exact, id);
+    }
+    return radius;
+  };
+
+  if (rtree_) {
+    rtree_->BestFirstSearch(
+        [&](const std::vector<double>& lo, const std::vector<double>& hi) {
+          return mapper_->MinDist(query, query_rep, lo, hi);
+        },
+        visit);
+  } else {
+    dbch_->BestFirstSearch(
+        [&](size_t id) { return LowerBoundDistance(query_rep, reps_[id]); },
+        visit);
+  }
+  std::sort(result.neighbors.begin(), result.neighbors.end());
+  return result;
+}
+
+}  // namespace sapla

@@ -1,0 +1,95 @@
+#ifndef SAPLA_SEARCH_KNN_H_
+#define SAPLA_SEARCH_KNN_H_
+
+// k-NN similarity search (GEMINI framework, paper §1 and §6).
+//
+// SimilarityIndex owns one dataset's reduced representations plus either an
+// R-tree over feature MBRs or a DBCH-tree over lower-bounding distances.
+// Queries run best-first branch-and-bound: nodes are expanded in increasing
+// lower-bound order; leaf entries are filtered by the per-method
+// lower-bounding distance and only survivors are measured against the raw
+// series. The number of raw measurements is the numerator of the paper's
+// pruning power (Eq. 14).
+
+#include <vector>
+
+#include "index/dbch_tree.h"
+#include "index/feature_map.h"
+#include "index/rtree.h"
+#include "reduction/representation.h"
+#include "ts/time_series.h"
+#include "util/status.h"
+
+namespace sapla {
+
+/// One answer set: (exact distance, series id) ascending by distance.
+struct KnnResult {
+  std::vector<std::pair<double, size_t>> neighbors;
+  /// Series whose raw distance was computed ("had to be measured").
+  size_t num_measured = 0;
+};
+
+/// Exact k-NN by full linear scan; num_measured == dataset size.
+KnnResult LinearScanKnn(const Dataset& dataset, const std::vector<double>& query,
+                        size_t k);
+
+/// Which index structure backs a SimilarityIndex.
+enum class IndexKind { kRTree, kDbchTree };
+
+/// Build-time telemetry (Fig. 14a's ingest time, Figs. 15/16 tree shape).
+struct BuildInfo {
+  double reduce_cpu_seconds = 0.0;  ///< dimensionality-reduction time
+  double insert_cpu_seconds = 0.0;  ///< tree insertion time
+  TreeStats stats;
+};
+
+/// Tree fill factors; defaults follow the paper's §6 setup.
+struct SimilarityIndexOptions {
+  size_t min_fill = 2;
+  size_t max_fill = 5;
+};
+
+/// \brief A memory-resident similarity index over one dataset.
+class SimilarityIndex {
+ public:
+  using Options = SimilarityIndexOptions;
+
+  /// \param method reduction method used for every series and query.
+  /// \param m representation-coefficient budget (Table 1).
+  SimilarityIndex(Method method, size_t m, IndexKind kind,
+                  const Options& options = {});
+
+  /// Reduces and inserts every series of `dataset`. The dataset must stay
+  /// alive for the index's lifetime (raw series are referenced for the
+  /// refinement step). Requires equal-length series of length >= 2.
+  Status Build(const Dataset& dataset, BuildInfo* info = nullptr);
+
+  /// Branch-and-bound k-NN for a raw query of the dataset's length.
+  KnnResult Knn(const std::vector<double>& query, size_t k) const;
+
+  /// GEMINI epsilon-range query: every series whose exact Euclidean
+  /// distance to `query` is <= radius, ascending by distance. Nodes and
+  /// entries are pruned at `radius` by the same lower bounds as Knn.
+  KnnResult RangeSearch(const std::vector<double>& query, double radius) const;
+
+  Method method() const { return method_; }
+  IndexKind kind() const { return kind_; }
+  TreeStats stats() const;
+
+ private:
+  Method method_;
+  size_t m_;
+  IndexKind kind_;
+  Options options_;
+
+  const Dataset* dataset_ = nullptr;
+  std::unique_ptr<Reducer> reducer_;
+  std::vector<Representation> reps_;
+  std::unique_ptr<FeatureMapper> mapper_;
+  std::unique_ptr<RTree> rtree_;
+  std::unique_ptr<DbchTree> dbch_;
+};
+
+}  // namespace sapla
+
+#endif  // SAPLA_SEARCH_KNN_H_

@@ -1,0 +1,53 @@
+#include "search/metrics.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace sapla {
+
+double PruningPower(const KnnResult& result, size_t dataset_size) {
+  SAPLA_DCHECK(dataset_size > 0);
+  return static_cast<double>(result.num_measured) /
+         static_cast<double>(dataset_size);
+}
+
+double Accuracy(const KnnResult& result, const KnnResult& ground_truth,
+                size_t k) {
+  SAPLA_DCHECK(k > 0);
+  size_t hits = 0;
+  const size_t limit = std::min(k, ground_truth.neighbors.size());
+  for (size_t i = 0; i < limit; ++i) {
+    const size_t truth_id = ground_truth.neighbors[i].second;
+    for (const auto& [dist, id] : result.neighbors) {
+      if (id == truth_id) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+double OneNnClassificationAccuracy(const Dataset& dataset,
+                                   const std::vector<TimeSeries>& queries,
+                                   const SimilarityIndex& index) {
+  if (queries.empty()) return 0.0;
+  size_t correct = 0;
+  for (const TimeSeries& q : queries) {
+    // Ask for 2 so an exact self-match (distance ~0) can be skipped.
+    const KnnResult res = index.Knn(q.values, 2);
+    int predicted = -1;
+    for (const auto& [dist, id] : res.neighbors) {
+      if (dist < 1e-9) continue;
+      predicted = dataset.series[id].label;
+      break;
+    }
+    if (predicted < 0 && !res.neighbors.empty())
+      predicted = dataset.series[res.neighbors[0].second].label;
+    if (predicted == q.label) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(queries.size());
+}
+
+}  // namespace sapla

@@ -1,0 +1,28 @@
+#ifndef SAPLA_SEARCH_METRICS_H_
+#define SAPLA_SEARCH_METRICS_H_
+
+// Index-quality metrics (paper Eqs. 14 and 15).
+
+#include "search/knn.h"
+
+namespace sapla {
+
+/// Pruning power rho (Eq. 14): fraction of the dataset whose raw distance
+/// had to be measured. Lower is better; a linear scan scores 1.0.
+double PruningPower(const KnnResult& result, size_t dataset_size);
+
+/// Accuracy (Eq. 15): |returned ∩ true k-NN| / K, measuring false
+/// dismissals caused by non-lower-bounding node distances.
+double Accuracy(const KnnResult& result, const KnnResult& ground_truth,
+                size_t k);
+
+/// 1-NN leave-one-out style classification: fraction of `queries` whose
+/// nearest neighbor in `dataset` (excluding exact self-matches at distance
+/// ~0) has the same label. Used by the classification example.
+double OneNnClassificationAccuracy(const Dataset& dataset,
+                                   const std::vector<TimeSeries>& queries,
+                                   const SimilarityIndex& index);
+
+}  // namespace sapla
+
+#endif  // SAPLA_SEARCH_METRICS_H_

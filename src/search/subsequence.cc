@@ -1,0 +1,126 @@
+#include "search/subsequence.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/status.h"
+
+namespace sapla {
+
+std::vector<double> SubsequenceIndex::Window(size_t offset) const {
+  std::vector<double> w(sequence_.begin() + static_cast<ptrdiff_t>(offset),
+                        sequence_.begin() +
+                            static_cast<ptrdiff_t>(offset + options_.window));
+  if (options_.z_normalize_windows) ZNormalize(&w);
+  return w;
+}
+
+Result<std::unique_ptr<SubsequenceIndex>> SubsequenceIndex::Build(
+    std::vector<double> sequence, const Options& options) {
+  if (options.window < 4)
+    return Status::InvalidArgument("window must be >= 4");
+  if (options.stride < 1)
+    return Status::InvalidArgument("stride must be >= 1");
+  if (sequence.size() < options.window)
+    return Status::InvalidArgument("sequence shorter than one window");
+
+  auto index = std::unique_ptr<SubsequenceIndex>(new SubsequenceIndex());
+  index->options_ = options;
+  index->sequence_ = std::move(sequence);
+
+  for (size_t off = 0; off + options.window <= index->sequence_.size();
+       off += options.stride) {
+    index->offsets_.push_back(off);
+  }
+  index->windows_as_dataset_.name = "subsequences";
+  index->windows_as_dataset_.series.reserve(index->offsets_.size());
+  index->windows_.reserve(index->offsets_.size());
+  for (const size_t off : index->offsets_) {
+    index->windows_as_dataset_.series.emplace_back(index->Window(off));
+    index->windows_.push_back(off);
+  }
+
+  index->index_ = std::make_unique<SimilarityIndex>(
+      options.method, options.budget_m, options.kind);
+  SAPLA_RETURN_NOT_OK(index->index_->Build(index->windows_as_dataset_));
+  return index;
+}
+
+std::vector<SubsequenceMatch> SubsequenceIndex::Search(
+    const std::vector<double>& query, size_t k, bool exclude_overlaps) const {
+  SAPLA_DCHECK(query.size() == options_.window);
+  std::vector<double> q = query;
+  if (options_.z_normalize_windows) ZNormalize(&q);
+
+  // Over-fetch when suppressing overlaps: each accepted hit can shadow up
+  // to 2*(window/stride) neighbors.
+  const size_t fetch =
+      exclude_overlaps
+          ? std::min(windows_.size(),
+                     k * (2 * options_.window / options_.stride + 1))
+          : k;
+  const KnnResult res = index_->Knn(q, fetch);
+
+  std::vector<SubsequenceMatch> out;
+  for (const auto& [dist, id] : res.neighbors) {
+    const size_t off = windows_[id];
+    if (exclude_overlaps) {
+      bool shadowed = false;
+      for (const SubsequenceMatch& m : out) {
+        const size_t lo = m.offset > options_.window ? m.offset - options_.window : 0;
+        if (off >= lo && off < m.offset + options_.window) {
+          shadowed = true;
+          break;
+        }
+      }
+      if (shadowed) continue;
+    }
+    out.push_back({dist, off});
+    if (out.size() >= k) break;
+  }
+  return out;
+}
+
+std::vector<SubsequenceMatch> SubsequenceIndex::RangeSearch(
+    const std::vector<double>& query, double radius) const {
+  SAPLA_DCHECK(query.size() == options_.window);
+  std::vector<double> q = query;
+  if (options_.z_normalize_windows) ZNormalize(&q);
+  const KnnResult res = index_->RangeSearch(q, radius);
+  std::vector<SubsequenceMatch> out;
+  out.reserve(res.neighbors.size());
+  for (const auto& [dist, id] : res.neighbors)
+    out.push_back({dist, windows_[id]});
+  return out;
+}
+
+SubsequenceMatch SubsequenceIndex::FindMotif(size_t* second_offset) const {
+  SubsequenceMatch best{std::numeric_limits<double>::infinity(), 0};
+  size_t best_partner = 0;
+  for (size_t i = 0; i < windows_.size(); ++i) {
+    // Each window asks for its nearest non-overlapping neighbor; fetch a
+    // few to skip trivial matches.
+    const std::vector<double> q = Window(windows_[i]);
+    std::vector<double> qq = q;
+    if (options_.z_normalize_windows) ZNormalize(&qq);
+    const KnnResult res = index_->Knn(
+        qq, std::min<size_t>(windows_.size(),
+                             2 * options_.window / options_.stride + 2));
+    for (const auto& [dist, id] : res.neighbors) {
+      const size_t off = windows_[id];
+      const size_t gap = off > windows_[i] ? off - windows_[i]
+                                           : windows_[i] - off;
+      if (gap < options_.window) continue;  // overlapping: trivial match
+      if (dist < best.distance) {
+        best = {dist, windows_[i]};
+        best_partner = off;
+      }
+      break;  // nearest non-overlapping found for this window
+    }
+  }
+  if (second_offset != nullptr) *second_offset = best_partner;
+  return best;
+}
+
+}  // namespace sapla

@@ -1,0 +1,80 @@
+#ifndef SAPLA_SEARCH_SUBSEQUENCE_H_
+#define SAPLA_SEARCH_SUBSEQUENCE_H_
+
+// Subsequence similarity search over one long sequence (the GEMINI /
+// FRM setting of Faloutsos, Ranganathan & Manolopoulos — the paper's
+// reference [10] and the origin of the indexing framework SAPLA plugs
+// into).
+//
+// A SubsequenceIndex slides a length-w window over the sequence (stride
+// configurable; stride 1 = every offset), reduces each window with a chosen
+// method, and indexes the reductions in a DBCH-tree or R-tree. Queries find
+// the closest windows under the Euclidean distance; overlapping hits can be
+// suppressed so motif/top-k results are trivial matches-free.
+
+#include <memory>
+#include <vector>
+
+#include "search/knn.h"
+
+namespace sapla {
+
+/// One subsequence hit: exact distance and the window's start offset.
+struct SubsequenceMatch {
+  double distance = 0.0;
+  size_t offset = 0;
+};
+
+/// \brief Sliding-window similarity index over a long sequence.
+class SubsequenceIndex {
+ public:
+  struct Options {
+    size_t window = 128;      ///< subsequence length w
+    size_t stride = 1;        ///< window start step (1 = every offset)
+    size_t budget_m = 24;     ///< representation coefficients per window
+    Method method = Method::kSapla;
+    IndexKind kind = IndexKind::kDbchTree;
+    bool z_normalize_windows = false;  ///< normalize each window (UCR style)
+  };
+
+  /// Builds the index over `sequence`. Requires
+  /// sequence.size() >= options.window >= 4.
+  static Result<std::unique_ptr<SubsequenceIndex>> Build(
+      std::vector<double> sequence, const Options& options);
+
+  /// Top-k closest windows to `query` (query.size() == window). When
+  /// `exclude_overlaps` is set, hits whose ranges overlap an already
+  /// accepted better hit are dropped (trivial-match suppression).
+  std::vector<SubsequenceMatch> Search(const std::vector<double>& query,
+                                       size_t k,
+                                       bool exclude_overlaps = true) const;
+
+  /// All windows within `radius` of `query`, ascending by distance.
+  std::vector<SubsequenceMatch> RangeSearch(const std::vector<double>& query,
+                                            double radius) const;
+
+  /// \brief Best motif: the closest pair of non-overlapping windows.
+  ///
+  /// Classic motif-discovery primitive; uses the index to shortlist
+  /// candidates (each window queries its nearest non-trivial neighbor).
+  SubsequenceMatch FindMotif(size_t* second_offset) const;
+
+  size_t num_windows() const { return windows_.size(); }
+  const Options& options() const { return options_; }
+
+ private:
+  SubsequenceIndex() = default;
+
+  std::vector<double> Window(size_t offset) const;
+
+  Options options_;
+  std::vector<double> sequence_;
+  std::vector<size_t> offsets_;
+  Dataset windows_as_dataset_;  // backing storage for the SimilarityIndex
+  std::vector<size_t> windows_;  // offsets_[i] of dataset entry i
+  std::unique_ptr<SimilarityIndex> index_;
+};
+
+}  // namespace sapla
+
+#endif  // SAPLA_SEARCH_SUBSEQUENCE_H_

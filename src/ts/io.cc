@@ -1,0 +1,146 @@
+#include "ts/io.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace sapla {
+namespace {
+
+constexpr char kMagic[] = "SAPLA-REP v1";
+
+Result<Method> MethodFromString(const std::string& name) {
+  for (const Method m : AllMethods())
+    if (MethodName(m) == name) return m;
+  return Status::InvalidArgument("unknown method '" + name + "'");
+}
+
+}  // namespace
+
+std::string SerializeRepresentation(const Representation& rep) {
+  std::ostringstream out;
+  out.precision(17);
+  out << kMagic << "\n";
+  out << "method " << MethodName(rep.method) << " n " << rep.n;
+  if (rep.method == Method::kSax) out << " alphabet " << rep.alphabet;
+  out << "\n";
+  for (const auto& seg : rep.segments)
+    out << "seg " << seg.a << " " << seg.b << " " << seg.r << "\n";
+  if (!rep.coeffs.empty()) {
+    out << "coef";
+    for (const double c : rep.coeffs) out << " " << c;
+    out << "\n";
+  }
+  if (!rep.symbols.empty()) {
+    out << "sym";
+    for (const int s : rep.symbols) out << " " << s;
+    out << "\n";
+  }
+  out << "end\n";
+  return out.str();
+}
+
+Result<std::vector<Representation>> ParseRepresentations(
+    const std::string& text) {
+  std::istringstream in(text);
+  std::vector<Representation> reps;
+  std::string line;
+  size_t line_no = 0;
+  auto fail = [&](const std::string& msg) {
+    return Status::InvalidArgument("line " + std::to_string(line_no) + ": " +
+                                   msg);
+  };
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (line != kMagic) return fail("expected '" + std::string(kMagic) + "'");
+
+    Representation rep;
+    // Header line.
+    if (!std::getline(in, line)) return fail("truncated header");
+    ++line_no;
+    {
+      std::istringstream hdr(line);
+      std::string key, method_name;
+      if (!(hdr >> key >> method_name) || key != "method")
+        return fail("bad header");
+      const Result<Method> method = MethodFromString(method_name);
+      SAPLA_RETURN_NOT_OK(method.status());
+      rep.method = *method;
+      std::string k2;
+      if (!(hdr >> k2 >> rep.n) || k2 != "n") return fail("missing n");
+      std::string k3;
+      if (hdr >> k3) {
+        if (k3 != "alphabet" || !(hdr >> rep.alphabet))
+          return fail("bad alphabet field");
+      }
+    }
+    // Body.
+    bool ended = false;
+    while (std::getline(in, line)) {
+      ++line_no;
+      if (line.empty()) continue;
+      std::istringstream body(line);
+      std::string tag;
+      body >> tag;
+      if (tag == "end") {
+        ended = true;
+        break;
+      }
+      if (tag == "seg") {
+        LinearSegment seg;
+        if (!(body >> seg.a >> seg.b >> seg.r)) return fail("bad seg line");
+        rep.segments.push_back(seg);
+      } else if (tag == "coef") {
+        double c;
+        while (body >> c) rep.coeffs.push_back(c);
+      } else if (tag == "sym") {
+        int s;
+        while (body >> s) rep.symbols.push_back(s);
+      } else {
+        return fail("unknown tag '" + tag + "'");
+      }
+    }
+    if (!ended) return fail("missing 'end'");
+    // Structural sanity.
+    if (!rep.segments.empty() && rep.segments.back().r != rep.n - 1)
+      return fail("segments do not cover the series");
+    reps.push_back(std::move(rep));
+  }
+  if (reps.empty()) return Status::InvalidArgument("no representations found");
+  return reps;
+}
+
+Status SaveRepresentations(const std::string& path,
+                           const std::vector<Representation>& reps) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  for (const Representation& rep : reps) out << SerializeRepresentation(rep);
+  if (!out) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+Result<std::vector<Representation>> LoadRepresentations(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseRepresentations(buf.str());
+}
+
+Status SaveDatasetTsv(const std::string& path, const Dataset& dataset) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out.precision(17);
+  for (const TimeSeries& ts : dataset.series) {
+    out << ts.label;
+    for (const double v : ts.values) out << '\t' << v;
+    out << '\n';
+  }
+  if (!out) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+}  // namespace sapla

@@ -1,0 +1,50 @@
+#ifndef SAPLA_TS_IO_H_
+#define SAPLA_TS_IO_H_
+
+// Persistence for representations and datasets.
+//
+// A reduced archive is the artifact a user actually stores (that is the
+// point of dimensionality reduction); this module defines a small,
+// versioned, human-readable text format for representations and a CSV/TSV
+// writer for datasets (the loader lives in ts/ucr_loader.h).
+//
+// Representation file format (line oriented):
+//   SAPLA-REP v1
+//   method <name>  n <n>  [alphabet <a>]
+//   seg <a> <b> <r>        (repeated, segment methods)
+//   coef <c0> <c1> ...     (CHEBY)
+//   sym <s0> <s1> ...      (SAX)
+//   end
+// Multiple representations may be concatenated in one file.
+
+#include <string>
+#include <vector>
+
+#include "reduction/representation.h"
+#include "ts/time_series.h"
+#include "util/status.h"
+
+namespace sapla {
+
+/// Serializes one representation (appendable; see file format above).
+std::string SerializeRepresentation(const Representation& rep);
+
+/// Parses one or more concatenated representations.
+Result<std::vector<Representation>> ParseRepresentations(
+    const std::string& text);
+
+/// Writes representations to a file.
+Status SaveRepresentations(const std::string& path,
+                           const std::vector<Representation>& reps);
+
+/// Reads representations from a file.
+Result<std::vector<Representation>> LoadRepresentations(
+    const std::string& path);
+
+/// Writes a dataset in UCR TSV format (label + values per line), readable
+/// by LoadUcrDataset.
+Status SaveDatasetTsv(const std::string& path, const Dataset& dataset);
+
+}  // namespace sapla
+
+#endif  // SAPLA_TS_IO_H_

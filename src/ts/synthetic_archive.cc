@@ -1,0 +1,328 @@
+#include "ts/synthetic_archive.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace sapla {
+namespace {
+
+// Per-class prototype parameters are drawn once from the dataset Rng; each
+// series then perturbs its class prototype with its own fork. `t01` below is
+// time normalized to [0, 1).
+
+double T01(size_t t, size_t n) {
+  return static_cast<double>(t) / static_cast<double>(n);
+}
+
+std::vector<double> GenRandomWalk(Rng* rng, size_t n, double drift,
+                                  double step) {
+  std::vector<double> v(n);
+  double x = 0.0;
+  for (size_t t = 0; t < n; ++t) {
+    x += drift + step * rng->Gaussian();
+    v[t] = x;
+  }
+  return v;
+}
+
+std::vector<double> GenAr1(Rng* rng, size_t n, double phi, double noise) {
+  std::vector<double> v(n);
+  double x = 0.0;
+  for (size_t t = 0; t < n; ++t) {
+    x = phi * x + noise * rng->Gaussian();
+    v[t] = x;
+  }
+  return v;
+}
+
+std::vector<double> GenSineMixture(Rng* rng, size_t n,
+                                   const std::vector<double>& freqs,
+                                   const std::vector<double>& amps,
+                                   double noise) {
+  std::vector<double> v(n);
+  std::vector<double> phases(freqs.size());
+  for (auto& p : phases) p = rng->Uniform(0.0, 2.0 * M_PI);
+  for (size_t t = 0; t < n; ++t) {
+    double x = 0.0;
+    for (size_t k = 0; k < freqs.size(); ++k)
+      x += amps[k] * std::sin(2.0 * M_PI * freqs[k] * T01(t, n) + phases[k]);
+    v[t] = x + noise * rng->Gaussian();
+  }
+  return v;
+}
+
+// Cylinder-Bell-Funnel style: a flat/ramping event of random extent on a
+// noisy baseline. `shape` 0=cylinder 1=bell 2=funnel.
+std::vector<double> GenCbf(Rng* rng, size_t n, int shape, double noise) {
+  std::vector<double> v(n);
+  const size_t a = 1 + rng->UniformInt(n / 3);
+  const size_t b = a + n / 4 + rng->UniformInt(n / 3);
+  const double amp = rng->Uniform(4.0, 8.0);
+  for (size_t t = 0; t < n; ++t) {
+    double x = noise * rng->Gaussian();
+    if (t >= a && t < b && b > a) {
+      const double frac =
+          static_cast<double>(t - a) / static_cast<double>(b - a);
+      if (shape == 0) x += amp;                  // cylinder
+      if (shape == 1) x += amp * frac;           // bell (rising ramp)
+      if (shape == 2) x += amp * (1.0 - frac);   // funnel (falling ramp)
+    }
+    v[t] = x;
+  }
+  return v;
+}
+
+std::vector<double> GenChirp(Rng* rng, size_t n, double f0, double f1,
+                             double noise) {
+  std::vector<double> v(n);
+  const double phase = rng->Uniform(0.0, 2.0 * M_PI);
+  for (size_t t = 0; t < n; ++t) {
+    const double u = T01(t, n);
+    const double f = f0 + (f1 - f0) * u;  // instantaneous frequency sweep
+    v[t] = std::sin(2.0 * M_PI * f * u * static_cast<double>(n) / 64.0 +
+                    phase) +
+           noise * rng->Gaussian();
+  }
+  return v;
+}
+
+// EOG-like: slow smooth pursuit baseline with sparse fast saccade jumps and
+// exponential recovery. The paper singles out EOG datasets as the regularly
+// changing series where adaptive segmentation is slow/valuable.
+std::vector<double> GenEog(Rng* rng, size_t n, double saccade_rate,
+                           double noise) {
+  std::vector<double> v(n);
+  double base = 0.0;
+  double level = 0.0;
+  for (size_t t = 0; t < n; ++t) {
+    base += 0.02 * rng->Gaussian();
+    if (rng->Uniform() < saccade_rate)
+      level += rng->Uniform(-6.0, 6.0);  // saccade jump
+    level *= 0.995;                      // slow drift back
+    v[t] = base + level + noise * rng->Gaussian();
+  }
+  return v;
+}
+
+// ECG-like: periodic PQRST-ish complexes: sharp R spike flanked by small
+// Q/S dips and smoother P/T waves.
+std::vector<double> GenEcg(Rng* rng, size_t n, double period_frac,
+                           double noise) {
+  std::vector<double> v(n, 0.0);
+  const size_t period =
+      std::max<size_t>(16, static_cast<size_t>(period_frac * n));
+  const size_t jitter = period / 8;
+  auto bump = [&](size_t center, double width, double amp) {
+    const int w = static_cast<int>(width * 4.0);
+    for (int d = -w; d <= w; ++d) {
+      const int idx = static_cast<int>(center) + d;
+      if (idx < 0 || idx >= static_cast<int>(n)) continue;
+      const double z = static_cast<double>(d) / width;
+      v[idx] += amp * std::exp(-0.5 * z * z);
+    }
+  };
+  for (size_t c = period / 2; c < n; c += period) {
+    const size_t center =
+        c + (jitter ? rng->UniformInt(2 * jitter + 1) - jitter : 0);
+    bump(center > 10 ? center - 10 : 0, 4.0, 1.0);   // P
+    bump(center > 3 ? center - 3 : 0, 1.2, -1.5);    // Q
+    bump(center, 1.5, 10.0);                         // R
+    bump(center + 3, 1.2, -2.0);                     // S
+    bump(center + 14, 5.0, 2.0);                     // T
+  }
+  for (size_t t = 0; t < n; ++t) v[t] += noise * rng->Gaussian();
+  return v;
+}
+
+std::vector<double> GenGaussianBumps(Rng* rng, size_t n, size_t num_bumps,
+                                     double noise) {
+  std::vector<double> v(n, 0.0);
+  for (size_t k = 0; k < num_bumps; ++k) {
+    const double center = rng->Uniform(0.05, 0.95) * static_cast<double>(n);
+    const double width = rng->Uniform(0.01, 0.06) * static_cast<double>(n);
+    const double amp = rng->Uniform(-5.0, 5.0);
+    for (size_t t = 0; t < n; ++t) {
+      const double z = (static_cast<double>(t) - center) / width;
+      v[t] += amp * std::exp(-0.5 * z * z);
+    }
+  }
+  for (size_t t = 0; t < n; ++t) v[t] += noise * rng->Gaussian();
+  return v;
+}
+
+std::vector<double> GenPiecewiseLinear(Rng* rng, size_t n, size_t num_knots,
+                                       double noise) {
+  // Random knot positions/values, linear in between.
+  std::vector<size_t> knots{0};
+  for (size_t k = 0; k < num_knots; ++k)
+    knots.push_back(1 + rng->UniformInt(n - 2));
+  knots.push_back(n - 1);
+  std::sort(knots.begin(), knots.end());
+  knots.erase(std::unique(knots.begin(), knots.end()), knots.end());
+  std::vector<double> kv(knots.size());
+  for (auto& x : kv) x = rng->Uniform(-5.0, 5.0);
+  std::vector<double> v(n);
+  size_t seg = 0;
+  for (size_t t = 0; t < n; ++t) {
+    while (seg + 1 < knots.size() && t > knots[seg + 1]) ++seg;
+    const size_t lo = knots[seg];
+    const size_t hi = knots[std::min(seg + 1, knots.size() - 1)];
+    const double frac =
+        hi > lo ? static_cast<double>(t - lo) / static_cast<double>(hi - lo)
+                : 0.0;
+    v[t] = kv[seg] * (1.0 - frac) + kv[std::min(seg + 1, kv.size() - 1)] * frac +
+           noise * rng->Gaussian();
+  }
+  return v;
+}
+
+std::vector<double> GenTrendSeasonal(Rng* rng, size_t n, double slope,
+                                     double season_freq, double noise) {
+  std::vector<double> v(n);
+  const double phase = rng->Uniform(0.0, 2.0 * M_PI);
+  for (size_t t = 0; t < n; ++t) {
+    const double u = T01(t, n);
+    v[t] = slope * u + 2.0 * std::sin(2.0 * M_PI * season_freq * u + phase) +
+           noise * rng->Gaussian();
+  }
+  return v;
+}
+
+std::vector<double> GenVolatilityBursts(Rng* rng, size_t n, double burst_rate,
+                                        double calm_sd, double burst_sd) {
+  std::vector<double> v(n);
+  bool bursting = false;
+  for (size_t t = 0; t < n; ++t) {
+    if (rng->Uniform() < burst_rate) bursting = !bursting;
+    v[t] = (bursting ? burst_sd : calm_sd) * rng->Gaussian();
+  }
+  return v;
+}
+
+std::vector<double> GenSmoothNoise(Rng* rng, size_t n, double alpha) {
+  // Exponentially smoothed white noise: very smooth, no structure.
+  std::vector<double> v(n);
+  double x = 0.0;
+  for (size_t t = 0; t < n; ++t) {
+    x = (1.0 - alpha) * x + alpha * rng->Gaussian();
+    v[t] = x;
+  }
+  // Second smoothing pass removes residual jaggedness.
+  double y = v[0];
+  for (size_t t = 0; t < n; ++t) {
+    y = (1.0 - alpha) * y + alpha * v[t];
+    v[t] = y;
+  }
+  return v;
+}
+
+std::vector<double> GenImpulseTrain(Rng* rng, size_t n, double rate,
+                                    double noise) {
+  std::vector<double> v(n);
+  for (size_t t = 0; t < n; ++t) {
+    double x = noise * rng->Gaussian();
+    if (rng->Uniform() < rate) x += rng->Uniform(-10.0, 10.0);
+    v[t] = x;
+  }
+  return v;
+}
+
+// Generates one series of the family, parameterized by the class id so each
+// class has a distinct prototype regime.
+std::vector<double> GenerateSeries(SyntheticFamily family, Rng* rng, size_t n,
+                                   int cls) {
+  const double c = static_cast<double>(cls);
+  switch (family) {
+    case SyntheticFamily::kRandomWalk:
+      return GenRandomWalk(rng, n, 0.01 * c, 0.5 + 0.2 * c);
+    case SyntheticFamily::kAr1:
+      return GenAr1(rng, n, 0.85 + 0.03 * c, 1.0);
+    case SyntheticFamily::kSineMixture:
+      return GenSineMixture(rng, n, {1.0 + c, 3.0 + 2.0 * c, 9.0 + c},
+                            {2.0, 1.0, 0.4}, 0.15);
+    case SyntheticFamily::kCbfSteps:
+      return GenCbf(rng, n, cls % 3, 0.4);
+    case SyntheticFamily::kChirp:
+      return GenChirp(rng, n, 0.5 + 0.5 * c, 4.0 + c, 0.1);
+    case SyntheticFamily::kEogSaccade:
+      return GenEog(rng, n, 0.01 + 0.01 * c, 0.1);
+    case SyntheticFamily::kEcgPqrst:
+      return GenEcg(rng, n, 0.08 + 0.03 * c, 0.15);
+    case SyntheticFamily::kGaussianBumps:
+      return GenGaussianBumps(rng, n, 3 + static_cast<size_t>(cls), 0.1);
+    case SyntheticFamily::kPiecewiseLinear:
+      return GenPiecewiseLinear(rng, n, 4 + 2 * static_cast<size_t>(cls), 0.2);
+    case SyntheticFamily::kTrendSeasonal:
+      return GenTrendSeasonal(rng, n, 3.0 * (c - 1.0), 4.0 + 2.0 * c, 0.3);
+    case SyntheticFamily::kVolatilityBursts:
+      return GenVolatilityBursts(rng, n, 0.01, 0.5, 2.0 + c);
+    case SyntheticFamily::kSmoothNoise:
+      return GenSmoothNoise(rng, n, 0.02 + 0.02 * c);
+    case SyntheticFamily::kImpulseTrain:
+      return GenImpulseTrain(rng, n, 0.01 + 0.005 * c, 0.5);
+    case SyntheticFamily::kNumFamilies:
+      break;
+  }
+  SAPLA_DCHECK(false && "invalid family");
+  return std::vector<double>(n, 0.0);
+}
+
+}  // namespace
+
+std::string FamilyName(SyntheticFamily family) {
+  switch (family) {
+    case SyntheticFamily::kRandomWalk: return "RandomWalk";
+    case SyntheticFamily::kAr1: return "AR1";
+    case SyntheticFamily::kSineMixture: return "SineMixture";
+    case SyntheticFamily::kCbfSteps: return "CBF";
+    case SyntheticFamily::kChirp: return "Chirp";
+    case SyntheticFamily::kEogSaccade: return "EogSaccade";
+    case SyntheticFamily::kEcgPqrst: return "EcgPqrst";
+    case SyntheticFamily::kGaussianBumps: return "GaussianBumps";
+    case SyntheticFamily::kPiecewiseLinear: return "PiecewiseLinear";
+    case SyntheticFamily::kTrendSeasonal: return "TrendSeasonal";
+    case SyntheticFamily::kVolatilityBursts: return "VolatilityBursts";
+    case SyntheticFamily::kSmoothNoise: return "SmoothNoise";
+    case SyntheticFamily::kImpulseTrain: return "ImpulseTrain";
+    case SyntheticFamily::kNumFamilies: break;
+  }
+  return "Unknown";
+}
+
+Dataset MakeSyntheticDataset(size_t id, const SyntheticOptions& options) {
+  const auto family = static_cast<SyntheticFamily>(
+      id % static_cast<size_t>(SyntheticFamily::kNumFamilies));
+  // Dataset seed depends only on the id, not on options, so scaling n or the
+  // series count preserves the per-series streams' independence.
+  Rng dataset_rng(0xC0FFEE ^ (id * 0x9E3779B97F4A7C15ULL));
+  const int num_classes = 2 + static_cast<int>(dataset_rng.UniformInt(7));
+
+  Dataset ds;
+  char buf[64];
+  snprintf(buf, sizeof(buf), "Syn%03zu_%s", id, FamilyName(family).c_str());
+  ds.name = buf;
+  ds.series.reserve(options.num_series);
+  for (size_t s = 0; s < options.num_series; ++s) {
+    Rng series_rng = dataset_rng.Fork();
+    const int cls = static_cast<int>(s % static_cast<size_t>(num_classes));
+    TimeSeries ts(GenerateSeries(family, &series_rng, options.length, cls),
+                  cls);
+    if (options.z_normalize) ZNormalize(&ts.values);
+    ds.series.push_back(std::move(ts));
+  }
+  return ds;
+}
+
+std::vector<Dataset> MakeSyntheticArchive(size_t num_datasets,
+                                          const SyntheticOptions& options) {
+  std::vector<Dataset> archive;
+  archive.reserve(num_datasets);
+  for (size_t id = 0; id < num_datasets; ++id)
+    archive.push_back(MakeSyntheticDataset(id, options));
+  return archive;
+}
+
+}  // namespace sapla

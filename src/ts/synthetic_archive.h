@@ -1,0 +1,65 @@
+#ifndef SAPLA_TS_SYNTHETIC_ARCHIVE_H_
+#define SAPLA_TS_SYNTHETIC_ARCHIVE_H_
+
+// Synthetic stand-in for the UCR2018 archive.
+//
+// The paper evaluates on the 117 equal-length UCR2018 datasets (n = 1024,
+// 100 series each). That archive is not redistributable with this repo, so
+// the benchmark harnesses default to a deterministic synthetic archive of
+// the same shape: 117 datasets, each drawn from one of 13 generator
+// families spanning the regimes that differentiate the compared methods
+// (smooth drifts, regime switches, sharp spikes, oscillations, noise).
+// Every dataset is class-structured (2-8 classes) so 1-NN accuracy is
+// meaningful, and fully reproducible from the dataset id alone.
+//
+// Users with the real archive can substitute ts/ucr_loader.h.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ts/time_series.h"
+
+namespace sapla {
+
+/// Generator families; one is assigned per dataset (round-robin with varied
+/// parameters so two datasets of the same family still differ).
+enum class SyntheticFamily {
+  kRandomWalk = 0,     // integrated Gaussian noise
+  kAr1,                // first-order autoregressive
+  kSineMixture,        // sum of 2-4 sinusoids
+  kCbfSteps,           // Cylinder-Bell-Funnel style plateaus/ramps
+  kChirp,              // frequency sweep
+  kEogSaccade,         // smooth baseline + rapid saccade jumps (paper's EOG)
+  kEcgPqrst,           // periodic spike complexes on a smooth baseline
+  kGaussianBumps,      // Mallat-style localized bumps
+  kPiecewiseLinear,    // random piecewise-linear trajectory
+  kTrendSeasonal,      // linear trend + seasonal component + noise
+  kVolatilityBursts,   // noise with time-varying variance
+  kSmoothNoise,        // heavily smoothed noise (low-pass random walk)
+  kImpulseTrain,       // sparse impulses on noise
+  kNumFamilies,
+};
+
+/// Parameters for one synthetic dataset.
+struct SyntheticOptions {
+  size_t length = 1024;       ///< points per series (paper: 1024)
+  size_t num_series = 100;    ///< series per dataset (paper: 100)
+  bool z_normalize = true;    ///< UCR convention
+};
+
+/// Human-readable family name ("RandomWalk", "EogSaccade", ...).
+std::string FamilyName(SyntheticFamily family);
+
+/// \brief Generates dataset `id` of the archive (id in [0, 117) by
+/// convention, but any id is valid). Deterministic: the same id and options
+/// always produce bit-identical data.
+Dataset MakeSyntheticDataset(size_t id, const SyntheticOptions& options = {});
+
+/// \brief Generates the full 117-dataset archive.
+std::vector<Dataset> MakeSyntheticArchive(size_t num_datasets = 117,
+                                          const SyntheticOptions& options = {});
+
+}  // namespace sapla
+
+#endif  // SAPLA_TS_SYNTHETIC_ARCHIVE_H_

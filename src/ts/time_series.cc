@@ -1,0 +1,64 @@
+#include "ts/time_series.h"
+
+#include <cmath>
+
+#include "util/status.h"
+
+namespace sapla {
+
+void ZNormalize(std::vector<double>* values) {
+  const size_t n = values->size();
+  if (n == 0) return;
+  double mean = 0.0;
+  for (double v : *values) mean += v;
+  mean /= static_cast<double>(n);
+  double var = 0.0;
+  for (double v : *values) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(n);
+  const double sd = std::sqrt(var);
+  if (sd < 1e-12) {
+    for (double& v : *values) v = 0.0;
+    return;
+  }
+  for (double& v : *values) v = (v - mean) / sd;
+}
+
+std::vector<double> ResampleToLength(const std::vector<double>& values,
+                                     size_t target_length) {
+  SAPLA_DCHECK(!values.empty());
+  SAPLA_DCHECK(target_length >= 1);
+  const size_t n = values.size();
+  std::vector<double> out(target_length);
+  if (n == 1 || target_length == 1) {
+    for (auto& v : out) v = values[0];
+    return out;
+  }
+  const double scale =
+      static_cast<double>(n - 1) / static_cast<double>(target_length - 1);
+  for (size_t i = 0; i < target_length; ++i) {
+    const double x = static_cast<double>(i) * scale;
+    const size_t lo = static_cast<size_t>(x);
+    const size_t hi = lo + 1 < n ? lo + 1 : n - 1;
+    const double frac = x - static_cast<double>(lo);
+    out[i] = values[lo] * (1.0 - frac) + values[hi] * frac;
+  }
+  return out;
+}
+
+double SquaredEuclideanDistance(const std::vector<double>& a,
+                                const std::vector<double>& b) {
+  SAPLA_DCHECK(a.size() == b.size());
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+double EuclideanDistance(const std::vector<double>& a,
+                         const std::vector<double>& b) {
+  return std::sqrt(SquaredEuclideanDistance(a, b));
+}
+
+}  // namespace sapla

@@ -1,0 +1,59 @@
+#ifndef SAPLA_TS_TIME_SERIES_H_
+#define SAPLA_TS_TIME_SERIES_H_
+
+// Time-series container and basic preprocessing.
+//
+// Matches the paper's setup (Definition 3.1): a time series is a sequence
+// C = {c_0, ..., c_{n-1}}. Datasets carry an integer class label per series
+// so the 1-NN classification example and accuracy experiments work.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sapla {
+
+/// \brief One time series plus an optional class label.
+struct TimeSeries {
+  std::vector<double> values;
+  int label = -1;
+
+  TimeSeries() = default;
+  explicit TimeSeries(std::vector<double> v, int lab = -1)
+      : values(std::move(v)), label(lab) {}
+
+  size_t size() const { return values.size(); }
+  double operator[](size_t i) const { return values[i]; }
+};
+
+/// \brief A named collection of equal-length time series.
+struct Dataset {
+  std::string name;
+  std::vector<TimeSeries> series;
+
+  size_t size() const { return series.size(); }
+  /// Length of the series (0 for an empty dataset). All series are equal
+  /// length by construction.
+  size_t length() const { return series.empty() ? 0 : series[0].size(); }
+};
+
+/// Z-normalizes in place: zero mean, unit variance. Constant series become
+/// all-zero (the UCR convention) instead of dividing by zero.
+void ZNormalize(std::vector<double>* values);
+
+/// Returns the series linearly resampled to `target_length` points.
+/// Requires a non-empty input and target_length >= 1.
+std::vector<double> ResampleToLength(const std::vector<double>& values,
+                                     size_t target_length);
+
+/// Euclidean distance between two equal-length raw series.
+double EuclideanDistance(const std::vector<double>& a,
+                         const std::vector<double>& b);
+
+/// Squared Euclidean distance between two equal-length raw series.
+double SquaredEuclideanDistance(const std::vector<double>& a,
+                                const std::vector<double>& b);
+
+}  // namespace sapla
+
+#endif  // SAPLA_TS_TIME_SERIES_H_

@@ -1,0 +1,79 @@
+#include "ts/ucr_loader.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace sapla {
+
+Result<Dataset> LoadUcrDataset(const std::string& path,
+                               const UcrLoadOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+
+  Dataset ds;
+  // Dataset name = file name without directory / extension.
+  const size_t slash = path.find_last_of('/');
+  const size_t start = slash == std::string::npos ? 0 : slash + 1;
+  const size_t dot = path.find_last_of('.');
+  ds.name = path.substr(start, dot == std::string::npos || dot < start
+                                   ? std::string::npos
+                                   : dot - start);
+
+  std::string line;
+  size_t expected_len = 0;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    // Accept tab or comma separators.
+    for (char& c : line) {
+      if (c == ',' || c == '\t') c = ' ';
+    }
+    std::istringstream cells(line);
+    std::string cell;
+    TimeSeries ts;
+    bool first = true;
+    while (cells >> cell) {
+      char* end = nullptr;
+      const double v = std::strtod(cell.c_str(), &end);
+      if (end == cell.c_str() || *end != '\0') {
+        return Status::InvalidArgument("non-numeric cell '" + cell +
+                                       "' in " + path + " line " +
+                                       std::to_string(line_no));
+      }
+      if (first) {
+        ts.label = static_cast<int>(v);
+        first = false;
+      } else {
+        ts.values.push_back(v);
+      }
+    }
+    if (ts.values.empty()) {
+      return Status::InvalidArgument("row with no values in " + path +
+                                     " line " + std::to_string(line_no));
+    }
+    if (expected_len == 0) {
+      expected_len = ts.values.size();
+    } else if (ts.values.size() != expected_len) {
+      return Status::InvalidArgument(
+          "ragged rows in " + path + ": expected length " +
+          std::to_string(expected_len) + ", line " + std::to_string(line_no) +
+          " has " + std::to_string(ts.values.size()));
+    }
+    ds.series.push_back(std::move(ts));
+    if (options.max_series != 0 && ds.series.size() >= options.max_series)
+      break;
+  }
+  if (ds.series.empty())
+    return Status::InvalidArgument("no series parsed from " + path);
+
+  for (auto& ts : ds.series) {
+    if (options.target_length != 0 && ts.values.size() != options.target_length)
+      ts.values = ResampleToLength(ts.values, options.target_length);
+    if (options.z_normalize) ZNormalize(&ts.values);
+  }
+  return ds;
+}
+
+}  // namespace sapla

@@ -1,0 +1,40 @@
+#ifndef SAPLA_TS_UCR_LOADER_H_
+#define SAPLA_TS_UCR_LOADER_H_
+
+// Loader for UCR2018-format files.
+//
+// The UCR Time Series Classification Archive distributes each dataset as
+// <Name>_TRAIN.tsv / <Name>_TEST.tsv where every line is
+//   <label> \t v_0 \t v_1 ... \t v_{m-1}
+// (older releases are comma-separated; both are accepted). The paper
+// evaluates the 117 equal-length datasets, resampled to length 1024 with 100
+// series per dataset; LoadUcrDataset applies the same preprocessing.
+
+#include <string>
+
+#include "ts/time_series.h"
+#include "util/status.h"
+
+namespace sapla {
+
+/// Preprocessing options applied after parsing a UCR file.
+struct UcrLoadOptions {
+  /// Resample every series to this length; 0 keeps the native length.
+  size_t target_length = 1024;
+  /// Keep at most this many series (0 = all), in file order.
+  size_t max_series = 100;
+  /// Z-normalize each series after resampling.
+  bool z_normalize = true;
+};
+
+/// \brief Parses one UCR TSV/CSV file into a Dataset.
+///
+/// Fails with IOError if the file cannot be read, and InvalidArgument if
+/// rows are ragged (the equal-length requirement the paper imposes) or
+/// contain non-numeric cells.
+Result<Dataset> LoadUcrDataset(const std::string& path,
+                               const UcrLoadOptions& options = {});
+
+}  // namespace sapla
+
+#endif  // SAPLA_TS_UCR_LOADER_H_

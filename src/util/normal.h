@@ -1,0 +1,32 @@
+#ifndef SAPLA_UTIL_NORMAL_H_
+#define SAPLA_UTIL_NORMAL_H_
+
+// Standard normal distribution helpers.
+//
+// SAX needs the equiprobable breakpoints of N(0,1) for arbitrary alphabet
+// sizes; rather than hard-coding the usual table up to alphabet 10 we compute
+// them with a high-accuracy inverse CDF so any alphabet in [2, 256] works.
+
+#include <cstddef>
+#include <vector>
+
+namespace sapla {
+
+/// Standard normal cumulative distribution function Phi(x).
+double NormalCdf(double x);
+
+/// \brief Inverse standard normal CDF (quantile function).
+///
+/// Acklam's rational approximation refined with one Halley step; absolute
+/// error below 1e-12 over (0, 1). Requires 0 < p < 1.
+double NormalQuantile(double p);
+
+/// \brief SAX breakpoints for an alphabet of the given size.
+///
+/// Returns `alphabet_size - 1` ascending values b_1..b_{a-1} splitting N(0,1)
+/// into `alphabet_size` equiprobable regions. Requires alphabet_size >= 2.
+std::vector<double> SaxBreakpoints(size_t alphabet_size);
+
+}  // namespace sapla
+
+#endif  // SAPLA_UTIL_NORMAL_H_

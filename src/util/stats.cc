@@ -1,0 +1,4 @@
+#include "util/stats.h"
+
+// SummaryStats is header-only; this TU exists so the target has a stable
+// object for the module and a place for future out-of-line helpers.

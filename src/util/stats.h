@@ -1,0 +1,69 @@
+#ifndef SAPLA_UTIL_STATS_H_
+#define SAPLA_UTIL_STATS_H_
+
+// Streaming summary statistics used by the benchmark harnesses to aggregate
+// per-dataset results the way the paper's "summary comparison on 117
+// datasets" figures do.
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+
+namespace sapla {
+
+/// \brief Welford-style streaming accumulator for mean/stddev/min/max.
+class SummaryStats {
+ public:
+  /// Adds one observation.
+  void Add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+    sum_ += x;
+  }
+
+  size_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+
+  /// Population variance; 0 for fewer than two observations.
+  double variance() const {
+    return count_ > 1 ? m2_ / static_cast<double>(count_) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+  /// Merges another accumulator into this one (parallel Welford).
+  void Merge(const SummaryStats& o) {
+    if (o.count_ == 0) return;
+    if (count_ == 0) {
+      *this = o;
+      return;
+    }
+    const double delta = o.mean_ - mean_;
+    const double n = static_cast<double>(count_);
+    const double m = static_cast<double>(o.count_);
+    mean_ += delta * m / (n + m);
+    m2_ += o.m2_ + delta * delta * n * m / (n + m);
+    count_ += o.count_;
+    sum_ += o.sum_;
+    if (o.min_ < min_) min_ = o.min_;
+    if (o.max_ > max_) max_ = o.max_;
+  }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace sapla
+
+#endif  // SAPLA_UTIL_STATS_H_

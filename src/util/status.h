@@ -1,0 +1,131 @@
+#ifndef SAPLA_UTIL_STATUS_H_
+#define SAPLA_UTIL_STATUS_H_
+
+// Arrow/RocksDB-style Status and Result<T> error model.
+//
+// Library code does not throw for expected failures (bad input files,
+// out-of-range parameters): fallible entry points return Status or Result<T>.
+// Programming errors (violated preconditions inside the library) use
+// SAPLA_DCHECK which aborts in debug builds.
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace sapla {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kIOError,
+  kNotFound,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+};
+
+/// \brief Outcome of a fallible operation.
+///
+/// A `Status` is cheap to copy when OK (no allocation) and carries a
+/// code + message otherwise.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable "CODE: message" string.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// \brief Either a value of type T or an error Status.
+///
+/// Mirrors arrow::Result. `ValueOrDie()` aborts on error and is intended for
+/// examples/tests; production callers check `ok()` first.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}            // NOLINT(runtime/explicit)
+  Result(Status status) : v_(std::move(status)) {      // NOLINT(runtime/explicit)
+    assert(!std::get<Status>(v_).ok() && "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(v_);
+  }
+
+  const T& ValueOrDie() const& {
+    if (!ok()) {
+      fprintf(stderr, "Result::ValueOrDie on error: %s\n",
+              std::get<Status>(v_).ToString().c_str());
+      abort();
+    }
+    return std::get<T>(v_);
+  }
+  T&& ValueOrDie() && {
+    if (!ok()) {
+      fprintf(stderr, "Result::ValueOrDie on error: %s\n",
+              std::get<Status>(v_).ToString().c_str());
+      abort();
+    }
+    return std::get<T>(std::move(v_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define SAPLA_RETURN_NOT_OK(expr)          \
+  do {                                     \
+    ::sapla::Status _st = (expr);          \
+    if (!_st.ok()) return _st;             \
+  } while (0)
+
+#ifndef NDEBUG
+#define SAPLA_DCHECK(cond) assert(cond)
+#else
+#define SAPLA_DCHECK(cond) ((void)0)
+#endif
+
+}  // namespace sapla
+
+#endif  // SAPLA_UTIL_STATUS_H_

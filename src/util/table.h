@@ -1,0 +1,48 @@
+#ifndef SAPLA_UTIL_TABLE_H_
+#define SAPLA_UTIL_TABLE_H_
+
+// Aligned ASCII table and CSV emission for the benchmark harnesses.
+//
+// Each paper figure is regenerated as one table: a header row naming the
+// series (methods / index types), then one row per parameter setting. The
+// same Table can be printed human-readable and dumped as CSV for plotting.
+
+#include <string>
+#include <vector>
+
+namespace sapla {
+
+/// \brief Column-aligned table builder.
+class Table {
+ public:
+  /// \param title caption printed above the table.
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  /// Sets the header row.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends a row of pre-formatted cells.
+  void AddRow(std::vector<std::string> row);
+
+  /// Formats a double with `precision` significant decimals.
+  static std::string Num(double v, int precision = 4);
+
+  /// Renders the aligned table (with title and separator rules).
+  std::string ToString() const;
+
+  /// Renders as CSV (header first, comma-separated, quoted when needed).
+  std::string ToCsv() const;
+
+  /// Prints ToString() to stdout and, when `csv_path` is non-empty, writes
+  /// ToCsv() to that file. Returns false if the file could not be written.
+  bool Print(const std::string& csv_path = "") const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sapla
+
+#endif  // SAPLA_UTIL_TABLE_H_

@@ -1,0 +1,50 @@
+#ifndef SAPLA_UTIL_TIMER_H_
+#define SAPLA_UTIL_TIMER_H_
+
+// Wall-clock and CPU-time measurement.
+//
+// The paper reports CPU time (not wall time) for dimensionality reduction,
+// ingest, and k-NN because its index is memory-resident; CpuTimer mirrors
+// that methodology.
+
+#include <chrono>
+#include <ctime>
+
+namespace sapla {
+
+/// Monotonic wall-clock timer in seconds.
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+  /// Seconds elapsed since construction/Restart().
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Process CPU-time timer in seconds (user+system of this process).
+class CpuTimer {
+ public:
+  CpuTimer() { Restart(); }
+  void Restart() { start_ = Now(); }
+  /// CPU seconds consumed since construction/Restart().
+  double Seconds() const { return Now() - start_; }
+
+ private:
+  static double Now() {
+    timespec ts;
+    clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) + 1e-9 * static_cast<double>(ts.tv_nsec);
+  }
+  double start_;
+};
+
+}  // namespace sapla
+
+#endif  // SAPLA_UTIL_TIMER_H_

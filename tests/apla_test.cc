@@ -1,0 +1,137 @@
+// Tests for the APLA dynamic program: exactness against brute force on
+// small inputs and dominance over every heuristic method.
+
+#include "reduction/apla.h"
+
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/sapla.h"
+#include "geom/line_fit.h"
+#include "reduction/apca.h"
+#include "reduction/pla.h"
+#include "util/rng.h"
+
+namespace sapla {
+namespace {
+
+std::vector<double> RandomSeries(uint64_t seed, size_t n) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.Gaussian(0.0, 3.0);
+  return v;
+}
+
+// Brute force: enumerate all segmentations into `k` segments of length >= 2
+// and return the minimum sum of per-segment max deviations.
+double BruteBest(const std::vector<double>& v, size_t k) {
+  const size_t n = v.size();
+  PrefixFitter fit(v);
+  auto seg_err = [&](size_t s, size_t e) {
+    return fit.MaxDeviation(s, e, fit.Fit(s, e));
+  };
+  double best = std::numeric_limits<double>::infinity();
+  // Recursive enumeration of breakpoints.
+  std::vector<size_t> ends;
+  std::function<void(size_t, size_t, double)> rec = [&](size_t start,
+                                                        size_t left,
+                                                        double acc) {
+    if (left == 1) {
+      if (n - start >= 2) {
+        const double total = acc + seg_err(start, n - 1);
+        best = std::min(best, total);
+      }
+      return;
+    }
+    for (size_t e = start + 1; e + 2 * left - 2 <= n; ++e) {
+      rec(e + 1, left - 1, acc + seg_err(start, e));
+    }
+  };
+  rec(0, k, 0.0);
+  return best;
+}
+
+TEST(Apla, MatchesBruteForceOnSmallInputs) {
+  for (uint64_t seed : {1, 2, 3, 4, 5}) {
+    const std::vector<double> v = RandomSeries(seed, 14);
+    for (size_t k : {2, 3, 4}) {
+      const Representation rep =
+          AplaReducer().Reduce(v, k * CoefficientsPerSegment(Method::kApla));
+      ASSERT_EQ(rep.segments.size(), k);
+      EXPECT_NEAR(rep.SumMaxDeviation(v), BruteBest(v, k), 1e-4)
+          << "seed=" << seed << " k=" << k;
+    }
+  }
+}
+
+TEST(Apla, PerfectOnPiecewiseLinearData) {
+  // A series that IS 3 lines must be recovered with ~zero deviation.
+  std::vector<double> v;
+  for (int t = 0; t < 10; ++t) v.push_back(2.0 * t);
+  for (int t = 0; t < 10; ++t) v.push_back(18.0 - 3.0 * t);
+  for (int t = 0; t < 10; ++t) v.push_back(-12.0 + 1.5 * t);
+  const Representation rep = AplaReducer().Reduce(v, 9);  // N = 3
+  EXPECT_NEAR(rep.SumMaxDeviation(v), 0.0, 1e-9);
+}
+
+TEST(Apla, DominatesHeuristicsAtEqualSegmentCount) {
+  // With the SAME number of segments, the DP's sum of max deviations is
+  // minimal — SAPLA/APCA/PLA cannot beat it.
+  for (uint64_t seed : {10, 20, 30}) {
+    Rng rng(seed);
+    std::vector<double> v(120);
+    double x = 0.0;
+    for (auto& p : v) {
+      x += rng.Gaussian();
+      p = x;
+    }
+    const size_t n_seg = 6;
+    const double apla =
+        AplaReducer().Reduce(v, 3 * n_seg).SumMaxDeviation(v);
+    const double sapla =
+        SaplaReducer().ReduceToSegments(v, n_seg).SumMaxDeviation(v);
+    EXPECT_LE(apla, sapla + 1e-9);
+  }
+}
+
+TEST(Apla, SegmentCountClampsForShortSeries) {
+  const std::vector<double> v = RandomSeries(7, 6);
+  // Requesting more segments than n/2 clamps to n/2 = 3.
+  const Representation rep = AplaReducer().Reduce(v, 30);
+  EXPECT_LE(rep.segments.size(), 3u);
+  EXPECT_EQ(rep.segments.back().r, v.size() - 1);
+}
+
+TEST(Apla, HullErrorOracleMatchesScan) {
+  // The DP's convex-hull max-deviation oracle must agree with a direct scan
+  // (spot-checked through the public API: 1-segment reduction).
+  const std::vector<double> v = RandomSeries(8, 40);
+  const Representation rep = AplaReducer().Reduce(v, 3);  // N = 1
+  ASSERT_EQ(rep.segments.size(), 1u);
+  PrefixFitter fit(v);
+  const Line line = fit.Fit(0, v.size() - 1);
+  EXPECT_NEAR(rep.segments[0].a, line.a, 1e-9);
+  EXPECT_NEAR(rep.segments[0].b, line.b, 1e-9);
+}
+
+class AplaQualitySweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AplaQualitySweep, NeverWorseThanSaplaOrApcaOrPla) {
+  Rng rng(GetParam());
+  std::vector<double> v(150);
+  for (auto& x : v) x = rng.Gaussian(0.0, 2.0);
+  const size_t m = 24;
+  const double apla = AplaReducer().Reduce(v, m).SumMaxDeviation(v);
+  // APLA uses N=8 segments at M=24; SAPLA the same.
+  const double sapla = SaplaReducer().Reduce(v, m).SumMaxDeviation(v);
+  EXPECT_LE(apla, sapla + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AplaQualitySweep,
+                         ::testing::Values(100, 200, 300, 400, 500, 600));
+
+}  // namespace
+}  // namespace sapla

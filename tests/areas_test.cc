@@ -1,0 +1,138 @@
+// Tests for the analytic Increment/Reconstruction areas against numerical
+// integration, plus Lemma 4.1 (increment & extended segments intersect once).
+
+#include "geom/areas.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "geom/line_fit.h"
+#include "util/rng.h"
+
+namespace sapla {
+namespace {
+
+// Dense numerical integration of |alpha x + beta| over [x0, x1].
+double NumericAbsIntegral(double alpha, double beta, double x0, double x1) {
+  const int steps = 200000;
+  const double h = (x1 - x0) / steps;
+  double sum = 0.0;
+  for (int i = 0; i < steps; ++i) {
+    const double x = x0 + (i + 0.5) * h;
+    sum += std::fabs(alpha * x + beta) * h;
+  }
+  return sum;
+}
+
+TEST(AbsLinearIntegral, ConstantFunction) {
+  EXPECT_DOUBLE_EQ(AbsLinearIntegral(0.0, 3.0, 0.0, 4.0), 12.0);
+  EXPECT_DOUBLE_EQ(AbsLinearIntegral(0.0, -3.0, 1.0, 4.0), 9.0);
+}
+
+TEST(AbsLinearIntegral, NoSignChange) {
+  // f(x) = x + 1 over [0, 2]: integral = 4.
+  EXPECT_DOUBLE_EQ(AbsLinearIntegral(1.0, 1.0, 0.0, 2.0), 4.0);
+}
+
+TEST(AbsLinearIntegral, SignChangeSplitsIntoTriangles) {
+  // f(x) = x - 1 over [0, 2]: two unit right triangles of area 1/2 each.
+  EXPECT_DOUBLE_EQ(AbsLinearIntegral(1.0, -1.0, 0.0, 2.0), 1.0);
+}
+
+TEST(AbsLinearIntegral, ZeroWidthInterval) {
+  EXPECT_DOUBLE_EQ(AbsLinearIntegral(2.0, 1.0, 3.0, 3.0), 0.0);
+}
+
+class AreaPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AreaPropertyTest, MatchesNumericIntegration) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 10; ++trial) {
+    const double alpha = rng.Uniform(-5.0, 5.0);
+    const double beta = rng.Uniform(-5.0, 5.0);
+    const double x0 = rng.Uniform(-10.0, 5.0);
+    const double x1 = x0 + rng.Uniform(0.0, 15.0);
+    EXPECT_NEAR(AbsLinearIntegral(alpha, beta, x0, x1),
+                NumericAbsIntegral(alpha, beta, x0, x1), 1e-3);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AreaPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(IncrementArea, Lemma41IntersectionProperty) {
+  // d1 * d4 <= 0 (Eq. 16/17): the increment and extended lines cross within
+  // the segment, so the area decomposes into two triangles.
+  Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t l = 2 + rng.UniformInt(30);
+    std::vector<double> v(l + 1);
+    for (auto& x : v) x = rng.Gaussian(0.0, 5.0);
+    const Line old_fit = FitLine(v.data(), l);
+    const Line inc_fit = FitLine(v.data(), l + 1);
+    const double d1 = inc_fit.b - old_fit.b;
+    const double d4 = inc_fit.At(static_cast<double>(l)) -
+                      old_fit.At(static_cast<double>(l));
+    EXPECT_LE(d1 * d4, 1e-12);
+  }
+}
+
+TEST(IncrementArea, ZeroWhenNewPointOnLine) {
+  // Extending with a point already on the fitted line leaves the fit (and
+  // hence the area) unchanged.
+  std::vector<double> v{1.0, 3.0, 5.0, 7.0};
+  const Line old_fit = FitLine(v.data(), 3);
+  const Line inc_fit = FitLine(v.data(), 4);
+  EXPECT_NEAR(IncrementArea(inc_fit, old_fit, 3), 0.0, 1e-12);
+}
+
+TEST(IncrementArea, GrowsWithOutlierMagnitude) {
+  std::vector<double> base{0.0, 0.0, 0.0, 0.0};
+  const Line old_fit = FitLine(base.data(), 4);
+  double prev = -1.0;
+  for (double outlier : {1.0, 5.0, 25.0}) {
+    std::vector<double> v = base;
+    v.push_back(outlier);
+    const Line inc_fit = FitLine(v.data(), 5);
+    const double area = IncrementArea(inc_fit, old_fit, 4);
+    EXPECT_GT(area, prev);
+    prev = area;
+  }
+}
+
+TEST(ReconstructionArea, ZeroForCollinearSegments) {
+  // Two halves of one straight line merge with zero reconstruction area.
+  std::vector<double> v(12);
+  for (size_t t = 0; t < v.size(); ++t) v[t] = 2.0 * static_cast<double>(t);
+  const Line left = FitLine(v.data(), 6);
+  const Line right = FitLine(v.data() + 6, 6);
+  const Line merged = FitLine(v.data(), 12);
+  EXPECT_NEAR(ReconstructionArea(merged, left, 6, right, 6), 0.0, 1e-10);
+}
+
+TEST(ReconstructionArea, MatchesNumericIntegration) {
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t ll = 2 + rng.UniformInt(10);
+    const size_t lr = 2 + rng.UniformInt(10);
+    std::vector<double> v(ll + lr);
+    for (auto& x : v) x = rng.Gaussian(0.0, 3.0);
+    const Line left = FitLine(v.data(), ll);
+    const Line right = FitLine(v.data() + ll, lr);
+    const Line merged = FitLine(v.data(), ll + lr);
+    const double lld = static_cast<double>(ll);
+    const double expected =
+        NumericAbsIntegral(merged.a - left.a, merged.b - left.b, 0.0,
+                           lld - 1.0) +
+        NumericAbsIntegral(merged.a - right.a,
+                           merged.a * lld + merged.b - right.b, 0.0,
+                           static_cast<double>(lr) - 1.0);
+    EXPECT_NEAR(ReconstructionArea(merged, left, ll, right, lr), expected,
+                1e-2);
+  }
+}
+
+}  // namespace
+}  // namespace sapla

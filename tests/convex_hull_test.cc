@@ -1,0 +1,92 @@
+// Tests for the incremental convex hull and its max-deviation queries.
+
+#include "geom/convex_hull.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "geom/line_fit.h"
+#include "util/rng.h"
+
+namespace sapla {
+namespace {
+
+double BruteMaxDeviation(const std::vector<double>& xs,
+                         const std::vector<double>& ys, const Line& line) {
+  double m = 0.0;
+  for (size_t i = 0; i < xs.size(); ++i)
+    m = std::max(m, std::fabs(ys[i] - line.At(xs[i])));
+  return m;
+}
+
+TEST(IncrementalHull, SinglePoint) {
+  IncrementalHull hull;
+  hull.Add(0.0, 5.0);
+  const Line line{0.0, 3.0};
+  EXPECT_DOUBLE_EQ(hull.MaxAbove(line), 2.0);
+  EXPECT_DOUBLE_EQ(hull.MaxBelow(line), -2.0);
+  EXPECT_DOUBLE_EQ(hull.MaxDeviation(line), 2.0);
+}
+
+TEST(IncrementalHull, CollinearPointsHaveZeroDeviation) {
+  IncrementalHull hull;
+  const Line line{2.0, -1.0};
+  for (int t = 0; t < 20; ++t)
+    hull.Add(static_cast<double>(t), line.At(static_cast<double>(t)));
+  EXPECT_NEAR(hull.MaxDeviation(line), 0.0, 1e-12);
+}
+
+TEST(IncrementalHull, VShapeExtremes) {
+  // y = |x - 5| against the zero line: extreme below at the tip is 0,
+  // extreme above at the ends is 5.
+  IncrementalHull hull;
+  for (int t = 0; t <= 10; ++t)
+    hull.Add(static_cast<double>(t), std::fabs(static_cast<double>(t) - 5.0));
+  const Line zero{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(hull.MaxAbove(zero), 5.0);
+  EXPECT_DOUBLE_EQ(hull.MaxBelow(zero), 0.0);
+}
+
+TEST(IncrementalHull, MaxAboveCanBeNegative) {
+  // All points strictly below the line.
+  IncrementalHull hull;
+  hull.Add(0.0, -1.0);
+  hull.Add(1.0, -2.0);
+  hull.Add(2.0, -1.5);
+  const Line line{0.0, 0.0};
+  EXPECT_LT(hull.MaxAbove(line), 0.0);
+  EXPECT_DOUBLE_EQ(hull.MaxBelow(line), 2.0);
+}
+
+class HullPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HullPropertyTest, MatchesBruteForceOnRandomData) {
+  Rng rng(GetParam());
+  const size_t n = 5 + rng.UniformInt(300);
+  std::vector<double> xs(n), ys(n);
+  IncrementalHull hull;
+  for (size_t t = 0; t < n; ++t) {
+    xs[t] = static_cast<double>(t);
+    ys[t] = rng.Gaussian(0.0, 10.0);
+    hull.Add(xs[t], ys[t]);
+    // Query against several random lines at every prefix length.
+    if (t % 17 == 0 || t + 1 == n) {
+      for (int trial = 0; trial < 5; ++trial) {
+        const Line line{rng.Uniform(-3.0, 3.0), rng.Uniform(-10.0, 10.0)};
+        std::vector<double> px(xs.begin(), xs.begin() + static_cast<long>(t) + 1);
+        std::vector<double> py(ys.begin(), ys.begin() + static_cast<long>(t) + 1);
+        EXPECT_NEAR(hull.MaxDeviation(line), BruteMaxDeviation(px, py, line),
+                    1e-9);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HullPropertyTest,
+                         ::testing::Values(7, 17, 27, 37, 47, 57, 67, 77, 87,
+                                           97));
+
+}  // namespace
+}  // namespace sapla

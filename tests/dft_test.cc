@@ -1,0 +1,116 @@
+// Tests for the DFT extension reducer (GEMINI's original transform).
+
+#include "reduction/dft.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "search/knn.h"
+#include "search/metrics.h"
+#include "ts/synthetic_archive.h"
+#include "ts/time_series.h"
+#include "util/rng.h"
+
+namespace sapla {
+namespace {
+
+std::vector<double> ZNormSeries(uint64_t seed, size_t n) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  double x = 0.0;
+  for (auto& p : v) {
+    x += rng.Gaussian();
+    p = x;
+  }
+  ZNormalize(&v);
+  return v;
+}
+
+TEST(Dft, FullBudgetReconstructsExactly) {
+  const std::vector<double> v = ZNormSeries(1, 64);
+  // 2*bins real values with bins = n/2+1 covers the whole real spectrum;
+  // request enough budget for every bin.
+  const Representation rep = DftReducer().Reduce(v, 2 * (64 / 2 + 1));
+  const std::vector<double> rec = rep.Reconstruct();
+  for (size_t t = 0; t < v.size(); ++t) EXPECT_NEAR(rec[t], v[t], 1e-8);
+}
+
+TEST(Dft, DcBinIsScaledMean) {
+  std::vector<double> v(32, 3.0);
+  const Representation rep = DftReducer().Reduce(v, 8);
+  EXPECT_NEAR(rep.coeffs[0], 3.0 * std::sqrt(32.0), 1e-9);
+  EXPECT_NEAR(rep.coeffs[1], 0.0, 1e-12);
+}
+
+TEST(Dft, PureToneConcentratesInOneBin) {
+  std::vector<double> v(64);
+  for (size_t t = 0; t < 64; ++t)
+    v[t] = std::cos(2.0 * M_PI * 5.0 * static_cast<double>(t) / 64.0);
+  const Representation rep = DftReducer().Reduce(v, 20);  // bins 0..9
+  for (size_t k = 0; k < 10; ++k) {
+    const double mag = std::hypot(rep.coeffs[2 * k], rep.coeffs[2 * k + 1]);
+    if (k == 5) {
+      EXPECT_GT(mag, 3.0);
+    } else {
+      EXPECT_NEAR(mag, 0.0, 1e-9) << "bin " << k;
+    }
+  }
+}
+
+TEST(Dft, DistLowerBoundsEuclidean) {
+  const DftReducer reducer;
+  for (uint64_t seed = 0; seed < 30; ++seed) {
+    const std::vector<double> a = ZNormSeries(seed + 10, 100);
+    const std::vector<double> b = ZNormSeries(seed + 700, 100);
+    const Representation ra = reducer.Reduce(a, 16);
+    const Representation rb = reducer.Reduce(b, 16);
+    EXPECT_LE(DftDist(ra, rb), EuclideanDistance(a, b) + 1e-9) << seed;
+  }
+}
+
+TEST(Dft, DistWithFullSpectrumEqualsEuclidean) {
+  const std::vector<double> a = ZNormSeries(40, 64);
+  const std::vector<double> b = ZNormSeries(41, 64);
+  const DftReducer reducer;
+  const size_t full = 2 * (64 / 2 + 1);
+  EXPECT_NEAR(DftDist(reducer.Reduce(a, full), reducer.Reduce(b, full)),
+              EuclideanDistance(a, b), 1e-8);
+}
+
+TEST(Dft, TruncationErrorDecreasesWithBudget) {
+  const std::vector<double> v = ZNormSeries(5, 128);
+  double prev = 1e300;
+  for (const size_t m : {4, 8, 16, 32, 64}) {
+    const double err = SquaredEuclideanDistance(
+        v, DftReducer().Reduce(v, m).Reconstruct());
+    EXPECT_LE(err, prev + 1e-9);
+    prev = err;
+  }
+}
+
+TEST(Dft, EndToEndRTreeKnnIsExact) {
+  SyntheticOptions opt;
+  opt.length = 128;
+  opt.num_series = 50;
+  const Dataset ds = MakeSyntheticDataset(2, opt);
+  SimilarityIndex index(Method::kDft, 12, IndexKind::kRTree);
+  ASSERT_TRUE(index.Build(ds).ok());
+  const std::vector<double>& q = ds.series[8].values;
+  const KnnResult truth = LinearScanKnn(ds, q, 5);
+  const KnnResult res = index.Knn(q, 5);
+  EXPECT_DOUBLE_EQ(Accuracy(res, truth, 5), 1.0);
+}
+
+TEST(Dft, ListedInExtendedMethodsOnly) {
+  const auto base = AllMethods();
+  const auto extended = AllMethodsExtended();
+  EXPECT_EQ(base.size(), 8u);
+  EXPECT_EQ(extended.size(), 9u);
+  EXPECT_EQ(extended.back(), Method::kDft);
+  for (const Method m : base) EXPECT_NE(m, Method::kDft);
+}
+
+}  // namespace
+}  // namespace sapla

@@ -1,0 +1,188 @@
+// Tests for DTW, the warping envelope, LB_Keogh, and the pruned DTW k-NN.
+
+#include "distance/dtw.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ts/synthetic_archive.h"
+#include "util/rng.h"
+
+namespace sapla {
+namespace {
+
+std::vector<double> RandomSeries(uint64_t seed, size_t n) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.Gaussian();
+  return v;
+}
+
+TEST(Dtw, IdenticalSeriesHaveZeroDistance) {
+  const std::vector<double> v = RandomSeries(1, 50);
+  EXPECT_DOUBLE_EQ(DtwDistance(v, v, 5), 0.0);
+  EXPECT_DOUBLE_EQ(DtwDistance(v, v, 0), 0.0);
+}
+
+TEST(Dtw, BandZeroIsEuclidean) {
+  const std::vector<double> a = RandomSeries(2, 40);
+  const std::vector<double> b = RandomSeries(3, 40);
+  EXPECT_NEAR(DtwDistance(a, b, 0), EuclideanDistance(a, b), 1e-9);
+}
+
+TEST(Dtw, NeverExceedsEuclidean) {
+  // The identity path is always inside the band, so warping only helps.
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    const std::vector<double> a = RandomSeries(seed + 10, 60);
+    const std::vector<double> b = RandomSeries(seed + 500, 60);
+    for (const size_t band : {1u, 5u, 59u}) {
+      EXPECT_LE(DtwDistance(a, b, band), EuclideanDistance(a, b) + 1e-9);
+    }
+  }
+}
+
+TEST(Dtw, WiderBandNeverHurts) {
+  const std::vector<double> a = RandomSeries(30, 80);
+  const std::vector<double> b = RandomSeries(31, 80);
+  double prev = 1e300;
+  for (const size_t band : {0u, 2u, 5u, 10u, 40u, 79u}) {
+    const double d = DtwDistance(a, b, band);
+    EXPECT_LE(d, prev + 1e-9);
+    prev = d;
+  }
+}
+
+TEST(Dtw, SymmetricInArguments) {
+  const std::vector<double> a = RandomSeries(4, 45);
+  const std::vector<double> b = RandomSeries(5, 45);
+  EXPECT_NEAR(DtwDistance(a, b, 7), DtwDistance(b, a, 7), 1e-9);
+}
+
+TEST(Dtw, AbsorbsSmallShift) {
+  // A shifted copy should be nearly free under warping but costly under
+  // Euclidean.
+  std::vector<double> a(100), b(100);
+  for (size_t t = 0; t < 100; ++t) {
+    a[t] = std::sin(2.0 * M_PI * static_cast<double>(t) / 25.0);
+    b[t] = std::sin(2.0 * M_PI * static_cast<double>(t + 3) / 25.0);
+  }
+  const double euc = EuclideanDistance(a, b);
+  const double dtw = DtwDistance(a, b, 5);
+  EXPECT_LT(dtw, euc * 0.25);
+}
+
+TEST(Dtw, MatchesBruteForceOnTinyInputs) {
+  // Full-band DTW vs an explicit recursive enumeration.
+  const std::vector<double> a{1.0, 3.0, 2.0};
+  const std::vector<double> b{1.0, 2.0, 2.0};
+  // DP by hand: costs (a_i - b_j)^2.
+  // Path (0,0)->(1,1)->(2,2): 0 + 1 + 0 = 1.
+  EXPECT_NEAR(DtwDistance(a, b, 2), std::sqrt(1.0), 1e-12);
+}
+
+TEST(DtwEnvelope, BandZeroIsIdentity) {
+  const std::vector<double> v = RandomSeries(6, 30);
+  std::vector<double> lo, hi;
+  DtwEnvelope(v, 0, &lo, &hi);
+  for (size_t t = 0; t < v.size(); ++t) {
+    EXPECT_DOUBLE_EQ(lo[t], v[t]);
+    EXPECT_DOUBLE_EQ(hi[t], v[t]);
+  }
+}
+
+TEST(DtwEnvelope, MatchesBruteForceWindows) {
+  const std::vector<double> v = RandomSeries(7, 64);
+  for (const size_t band : {1u, 4u, 16u, 63u}) {
+    std::vector<double> lo, hi;
+    DtwEnvelope(v, band, &lo, &hi);
+    for (size_t t = 0; t < v.size(); ++t) {
+      const size_t s = t > band ? t - band : 0;
+      const size_t e = std::min(v.size() - 1, t + band);
+      const double want_lo = *std::min_element(v.begin() + s, v.begin() + e + 1);
+      const double want_hi = *std::max_element(v.begin() + s, v.begin() + e + 1);
+      EXPECT_DOUBLE_EQ(lo[t], want_lo) << "band " << band << " t " << t;
+      EXPECT_DOUBLE_EQ(hi[t], want_hi) << "band " << band << " t " << t;
+    }
+  }
+}
+
+TEST(LbKeogh, LowerBoundsDtw) {
+  for (uint64_t seed = 0; seed < 30; ++seed) {
+    const std::vector<double> q = RandomSeries(seed + 40, 64);
+    const std::vector<double> c = RandomSeries(seed + 800, 64);
+    for (const size_t band : {1u, 5u, 15u}) {
+      std::vector<double> lo, hi;
+      DtwEnvelope(q, band, &lo, &hi);
+      EXPECT_LE(LbKeogh(c, lo, hi), DtwDistance(q, c, band) + 1e-9)
+          << "seed " << seed << " band " << band;
+    }
+  }
+}
+
+TEST(LbKeogh, ZeroInsideEnvelope) {
+  const std::vector<double> q = RandomSeries(8, 50);
+  std::vector<double> lo, hi;
+  DtwEnvelope(q, 3, &lo, &hi);
+  EXPECT_DOUBLE_EQ(LbKeogh(q, lo, hi), 0.0);  // q is inside its own envelope
+}
+
+TEST(DtwKnn, MatchesBruteForce) {
+  SyntheticOptions opt;
+  opt.length = 64;
+  opt.num_series = 40;
+  const Dataset ds = MakeSyntheticDataset(4, opt);
+  const std::vector<double>& q = ds.series[7].values;
+  const size_t band = 6, k = 5;
+
+  std::vector<std::pair<double, size_t>> brute;
+  for (size_t i = 0; i < ds.size(); ++i)
+    brute.emplace_back(DtwDistance(q, ds.series[i].values, band), i);
+  std::sort(brute.begin(), brute.end());
+
+  const KnnDtwResult res = DtwKnn(ds, q, k, band);
+  ASSERT_EQ(res.neighbors.size(), k);
+  for (size_t i = 0; i < k; ++i) {
+    EXPECT_NEAR(res.neighbors[i].first, brute[i].first, 1e-9);
+  }
+}
+
+TEST(DtwKnn, PrunesOnClusteredData) {
+  // Half the series hug the query, half sit far away: LB_Keogh must prune
+  // the distant half without full DTW evaluations.
+  Rng rng(77);
+  Dataset ds;
+  ds.name = "clustered";
+  std::vector<double> center(64);
+  for (auto& x : center) x = rng.Gaussian();
+  for (int i = 0; i < 20; ++i) {
+    std::vector<double> v = center;
+    for (auto& x : v) x += 0.01 * rng.Gaussian();
+    ds.series.emplace_back(std::move(v));
+  }
+  for (int i = 0; i < 20; ++i) {
+    std::vector<double> v(64);
+    for (auto& x : v) x = 50.0 + rng.Gaussian();
+    ds.series.emplace_back(std::move(v));
+  }
+  const KnnDtwResult res = DtwKnn(ds, center, 5, 4);
+  ASSERT_EQ(res.neighbors.size(), 5u);
+  for (const auto& [dist, id] : res.neighbors) EXPECT_LT(id, 20u);
+  EXPECT_LE(res.num_dtw_computations, 25u);
+}
+
+TEST(DtwKnn, SelfQueryTopHitIsSelf) {
+  SyntheticOptions opt;
+  opt.length = 48;
+  opt.num_series = 25;
+  const Dataset ds = MakeSyntheticDataset(5, opt);
+  const KnnDtwResult res = DtwKnn(ds, ds.series[3].values, 1, 4);
+  ASSERT_EQ(res.neighbors.size(), 1u);
+  EXPECT_EQ(res.neighbors[0].second, 3u);
+  EXPECT_NEAR(res.neighbors[0].first, 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace sapla

@@ -1,0 +1,139 @@
+// Tests for the Haar transform and the Haar-based APCA construction.
+
+#include "geom/haar.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "reduction/apca.h"
+#include "reduction/apca_haar.h"
+#include "util/rng.h"
+
+namespace sapla {
+namespace {
+
+TEST(Haar, NextPowerOfTwo) {
+  EXPECT_EQ(NextPowerOfTwo(1), 1u);
+  EXPECT_EQ(NextPowerOfTwo(2), 2u);
+  EXPECT_EQ(NextPowerOfTwo(3), 4u);
+  EXPECT_EQ(NextPowerOfTwo(1000), 1024u);
+  EXPECT_EQ(NextPowerOfTwo(1024), 1024u);
+}
+
+TEST(Haar, RoundTripIsExact) {
+  Rng rng(1);
+  for (size_t n : {1, 2, 4, 8, 64, 256, 1024}) {
+    std::vector<double> v(n);
+    for (auto& x : v) x = rng.Gaussian(0.0, 5.0);
+    const std::vector<double> back = HaarInverse(HaarTransform(v));
+    ASSERT_EQ(back.size(), n);
+    for (size_t t = 0; t < n; ++t) EXPECT_NEAR(back[t], v[t], 1e-9);
+  }
+}
+
+TEST(Haar, OrthonormalityPreservesEnergy) {
+  Rng rng(2);
+  std::vector<double> v(128);
+  for (auto& x : v) x = rng.Gaussian();
+  const std::vector<double> c = HaarTransform(v);
+  double e_time = 0, e_coeff = 0;
+  for (double x : v) e_time += x * x;
+  for (double x : c) e_coeff += x * x;
+  EXPECT_NEAR(e_time, e_coeff, 1e-9);
+}
+
+TEST(Haar, ConstantSignalConcentratesInDc) {
+  const std::vector<double> v(64, 3.0);
+  const std::vector<double> c = HaarTransform(v);
+  EXPECT_NEAR(c[0], 3.0 * std::sqrt(64.0), 1e-9);
+  for (size_t i = 1; i < c.size(); ++i) EXPECT_NEAR(c[i], 0.0, 1e-12);
+}
+
+TEST(Haar, StepSignalConcentratesInOneDetail) {
+  std::vector<double> v(8, 1.0);
+  for (size_t t = 4; t < 8; ++t) v[t] = -1.0;
+  const std::vector<double> c = HaarTransform(v);
+  // DC zero, first detail (coarsest) carries everything.
+  EXPECT_NEAR(c[0], 0.0, 1e-12);
+  EXPECT_GT(std::fabs(c[1]), 2.0);
+  for (size_t i = 2; i < 8; ++i) EXPECT_NEAR(c[i], 0.0, 1e-12);
+}
+
+TEST(ApcaHaar, ProducesValidStructure) {
+  Rng rng(3);
+  std::vector<double> v(200);
+  double x = 0.0;
+  for (auto& p : v) {
+    x += rng.Gaussian();
+    p = x;
+  }
+  for (size_t m : {4, 8, 12, 24}) {
+    const Representation rep = ApcaHaarReducer().Reduce(v, m);
+    EXPECT_EQ(rep.segments.size(), SegmentsForBudget(Method::kApca, m));
+    EXPECT_EQ(rep.segments.back().r, v.size() - 1);
+    size_t start = 0;
+    for (const auto& seg : rep.segments) {
+      EXPECT_LE(start, seg.r);
+      EXPECT_DOUBLE_EQ(seg.a, 0.0);
+      start = seg.r + 1;
+    }
+  }
+}
+
+TEST(ApcaHaar, ValuesAreExactSegmentMeans) {
+  Rng rng(4);
+  std::vector<double> v(100);
+  for (auto& x : v) x = rng.Uniform(-5, 5);
+  const Representation rep = ApcaHaarReducer().Reduce(v, 10);
+  size_t start = 0;
+  for (const auto& seg : rep.segments) {
+    double mean = 0.0;
+    for (size_t t = start; t <= seg.r; ++t) mean += v[t];
+    mean /= static_cast<double>(seg.r - start + 1);
+    EXPECT_NEAR(seg.b, mean, 1e-9);
+    start = seg.r + 1;
+  }
+}
+
+TEST(ApcaHaar, RecoversCleanStepsExactly) {
+  // A dyadic two-level step is one Haar coefficient: zero deviation.
+  std::vector<double> v(64, 1.0);
+  for (size_t t = 32; t < 64; ++t) v[t] = 5.0;
+  const Representation rep = ApcaHaarReducer().Reduce(v, 4);  // N = 2
+  EXPECT_NEAR(rep.GlobalMaxDeviation(v), 0.0, 1e-9);
+}
+
+TEST(ApcaHaar, ComparableQualityToBottomUp) {
+  // Construction ablation: the two APCA builds should land in the same
+  // quality regime (neither catastrophically worse).
+  Rng rng(5);
+  double haar_total = 0.0, bottom_up_total = 0.0;
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<double> v(256);
+    double x = 0.0;
+    for (auto& p : v) {
+      x += rng.Gaussian();
+      p = x;
+    }
+    haar_total += ApcaHaarReducer().Reduce(v, 16).SumMaxDeviation(v);
+    bottom_up_total += ApcaReducer().Reduce(v, 16).SumMaxDeviation(v);
+  }
+  EXPECT_LT(haar_total, bottom_up_total * 2.5);
+  EXPECT_LT(bottom_up_total, haar_total * 2.5);
+}
+
+TEST(ApcaHaar, NonPowerOfTwoLengths) {
+  Rng rng(6);
+  for (size_t n : {7, 100, 255, 1000}) {
+    std::vector<double> v(n);
+    for (auto& x : v) x = rng.Gaussian();
+    const Representation rep = ApcaHaarReducer().Reduce(v, 8);
+    EXPECT_EQ(rep.segments.back().r, n - 1);
+    EXPECT_EQ(rep.n, n);
+  }
+}
+
+}  // namespace
+}  // namespace sapla

@@ -1,0 +1,140 @@
+// Tests for the iSAX variable-cardinality index.
+
+#include "index/isax_tree.h"
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "search/metrics.h"
+#include "ts/synthetic_archive.h"
+#include "util/rng.h"
+
+namespace sapla {
+namespace {
+
+Dataset MakeData(size_t id = 2, size_t n = 128, size_t count = 200) {
+  SyntheticOptions opt;
+  opt.length = n;
+  opt.num_series = count;
+  return MakeSyntheticDataset(id, opt);
+}
+
+TEST(IsaxIndex, BuildValidation) {
+  IsaxIndex index;
+  Dataset empty;
+  EXPECT_FALSE(index.Build(empty).ok());
+  Dataset tiny = MakeData(1, 4, 3);  // shorter than word length 8
+  EXPECT_FALSE(index.Build(tiny).ok());
+}
+
+TEST(IsaxIndex, AllEntriesReachable) {
+  const Dataset ds = MakeData();
+  IsaxIndex index;
+  ASSERT_TRUE(index.Build(ds).ok());
+  EXPECT_EQ(index.size(), ds.size());
+  // An unbounded range query through exact k-NN with k = all.
+  const KnnResult res = index.Knn(ds.series[0].values, ds.size());
+  std::set<size_t> seen;
+  for (const auto& [dist, id] : res.neighbors) seen.insert(id);
+  EXPECT_EQ(seen.size(), ds.size());
+}
+
+TEST(IsaxIndex, LeavesRespectCapacity) {
+  const Dataset ds = MakeData(3, 128, 300);
+  IsaxIndex::Options opt;
+  opt.leaf_capacity = 8;
+  IsaxIndex index(opt);
+  ASSERT_TRUE(index.Build(ds).ok());
+  const TreeStats stats = index.ComputeStats();
+  EXPECT_GT(stats.leaf_nodes, 300u / 8u / 2u);
+  // Mean occupancy cannot exceed capacity unless cardinality saturated.
+  EXPECT_LE(stats.avg_leaf_entries, 8.0 + 1e-9);
+}
+
+TEST(IsaxIndex, ExactKnnMatchesLinearScan) {
+  const Dataset ds = MakeData(5);
+  IsaxIndex index;
+  ASSERT_TRUE(index.Build(ds).ok());
+  for (const size_t qi : {0u, 57u, 123u}) {
+    const std::vector<double>& q = ds.series[qi].values;
+    const KnnResult truth = LinearScanKnn(ds, q, 7);
+    const KnnResult res = index.Knn(q, 7);
+    EXPECT_DOUBLE_EQ(Accuracy(res, truth, 7), 1.0) << "query " << qi;
+    for (size_t i = 0; i < res.neighbors.size(); ++i)
+      EXPECT_NEAR(res.neighbors[i].first, truth.neighbors[i].first, 1e-9);
+  }
+}
+
+TEST(IsaxIndex, ExactKnnPrunesOnClusteredData) {
+  // Two far-apart level clusters: the query's cluster resolves to different
+  // symbols than the other, which MINDIST must prune.
+  Rng rng(66);
+  Dataset ds;
+  ds.name = "levels";
+  for (int cluster = 0; cluster < 2; ++cluster) {
+    for (int i = 0; i < 150; ++i) {
+      std::vector<double> v(128);
+      for (size_t t = 0; t < v.size(); ++t) {
+        const double base = cluster == 0 ? -1.0 : 1.0;
+        // Alternate halves so the PAA word is informative.
+        v[t] = (t < 64 ? base : -base) + 0.05 * rng.Gaussian();
+      }
+      ds.series.emplace_back(std::move(v), cluster);
+    }
+  }
+  IsaxIndex index;
+  ASSERT_TRUE(index.Build(ds).ok());
+  const KnnResult res = index.Knn(ds.series[11].values, 3);
+  EXPECT_LT(res.num_measured, ds.size() / 2 + 10);
+  for (const auto& [dist, id] : res.neighbors)
+    EXPECT_EQ(ds.series[id].label, 0);
+}
+
+TEST(IsaxIndex, ApproximateSearchTouchesOneLeaf) {
+  const Dataset ds = MakeData(7, 128, 300);
+  IsaxIndex::Options opt;
+  opt.leaf_capacity = 10;
+  IsaxIndex index(opt);
+  ASSERT_TRUE(index.Build(ds).ok());
+  const KnnResult res = index.KnnApproximate(ds.series[42].values, 3);
+  EXPECT_LE(res.num_measured, 10u + 1u);
+  ASSERT_GE(res.neighbors.size(), 1u);
+  // The query's own series shares its leaf, so the top hit is itself.
+  EXPECT_EQ(res.neighbors[0].second, 42u);
+  EXPECT_NEAR(res.neighbors[0].first, 0.0, 1e-9);
+}
+
+TEST(IsaxIndex, ApproximateIsReasonableExactIsBetter) {
+  const Dataset ds = MakeData(8, 128, 250);
+  IsaxIndex index;
+  ASSERT_TRUE(index.Build(ds).ok());
+  Rng rng(9);
+  double approx_acc = 0.0;
+  int queries = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    const size_t qi = rng.UniformInt(ds.size());
+    const KnnResult truth = LinearScanKnn(ds, ds.series[qi].values, 5);
+    const KnnResult approx = index.KnnApproximate(ds.series[qi].values, 5);
+    approx_acc += Accuracy(approx, truth, 5);
+    ++queries;
+  }
+  approx_acc /= queries;
+  EXPECT_GT(approx_acc, 0.2);  // useful, far better than random
+  EXPECT_LE(approx_acc, 1.0);
+}
+
+TEST(IsaxIndex, DeterministicStructure) {
+  const Dataset ds = MakeData(9, 64, 150);
+  IsaxIndex a, b;
+  ASSERT_TRUE(a.Build(ds).ok());
+  ASSERT_TRUE(b.Build(ds).ok());
+  const TreeStats sa = a.ComputeStats(), sb = b.ComputeStats();
+  EXPECT_EQ(sa.leaf_nodes, sb.leaf_nodes);
+  EXPECT_EQ(sa.internal_nodes, sb.internal_nodes);
+  EXPECT_EQ(sa.height, sb.height);
+}
+
+}  // namespace
+}  // namespace sapla

@@ -1,0 +1,196 @@
+// End-to-end k-NN tests across the GEMINI stack: linear scan ground truth,
+// SimilarityIndex over both trees, pruning power and accuracy metrics.
+
+#include "search/knn.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "search/metrics.h"
+#include "ts/synthetic_archive.h"
+#include "util/rng.h"
+
+namespace sapla {
+namespace {
+
+Dataset SmallDataset(size_t id = 3, size_t n = 128, size_t count = 60) {
+  SyntheticOptions opt;
+  opt.length = n;
+  opt.num_series = count;
+  return MakeSyntheticDataset(id, opt);
+}
+
+TEST(LinearScanKnn, ReturnsSortedExactNeighbors) {
+  const Dataset ds = SmallDataset();
+  const std::vector<double>& q = ds.series[7].values;
+  const KnnResult res = LinearScanKnn(ds, q, 5);
+  ASSERT_EQ(res.neighbors.size(), 5u);
+  EXPECT_EQ(res.num_measured, ds.size());
+  // Self-match first at distance 0, ascending thereafter.
+  EXPECT_EQ(res.neighbors[0].second, 7u);
+  EXPECT_NEAR(res.neighbors[0].first, 0.0, 1e-9);
+  for (size_t i = 1; i < res.neighbors.size(); ++i)
+    EXPECT_GE(res.neighbors[i].first, res.neighbors[i - 1].first);
+}
+
+TEST(LinearScanKnn, KLargerThanDatasetClamps) {
+  const Dataset ds = SmallDataset(4, 64, 8);
+  const KnnResult res = LinearScanKnn(ds, ds.series[0].values, 20);
+  EXPECT_EQ(res.neighbors.size(), 8u);
+}
+
+TEST(SimilarityIndex, BuildRejectsBadInput) {
+  SimilarityIndex index(Method::kPaa, 12, IndexKind::kRTree);
+  Dataset empty;
+  EXPECT_FALSE(index.Build(empty).ok());
+
+  Dataset ragged = SmallDataset(5, 64, 4);
+  ragged.series[2].values.pop_back();
+  EXPECT_FALSE(index.Build(ragged).ok());
+}
+
+TEST(SimilarityIndex, BuildInfoPopulated) {
+  const Dataset ds = SmallDataset();
+  SimilarityIndex index(Method::kSapla, 12, IndexKind::kDbchTree);
+  BuildInfo info;
+  ASSERT_TRUE(index.Build(ds, &info).ok());
+  EXPECT_EQ(info.stats.entries, ds.size());
+  EXPECT_GE(info.stats.height, 2u);
+  EXPECT_GE(info.reduce_cpu_seconds, 0.0);
+}
+
+// PAA's region MINDIST and MBRs are provably lower-bounding, so R-tree k-NN
+// must return the exact k-NN set (accuracy 1.0).
+TEST(SimilarityIndex, PaaRTreeKnnIsExact) {
+  const Dataset ds = SmallDataset(6);
+  SimilarityIndex index(Method::kPaa, 12, IndexKind::kRTree);
+  ASSERT_TRUE(index.Build(ds).ok());
+  for (size_t qi : {0u, 11u, 23u}) {
+    const std::vector<double>& q = ds.series[qi].values;
+    const KnnResult truth = LinearScanKnn(ds, q, 8);
+    const KnnResult res = index.Knn(q, 8);
+    EXPECT_DOUBLE_EQ(Accuracy(res, truth, 8), 1.0) << "query " << qi;
+    EXPECT_LE(res.num_measured, ds.size());
+  }
+}
+
+TEST(SimilarityIndex, SegmentMethodsRTreeKnnIsExact) {
+  // Raw-range MBRs + the Dist_LB leaf filter are rigorous for every method
+  // whose stored coefficients are LS fits of the raw ranges, so R-tree k-NN
+  // must return the exact answer for SAPLA/APLA/APCA/PLA too.
+  const Dataset ds = SmallDataset(11);
+  for (const Method method :
+       {Method::kSapla, Method::kApla, Method::kApca, Method::kPla}) {
+    SimilarityIndex index(method, 12, IndexKind::kRTree);
+    ASSERT_TRUE(index.Build(ds).ok()) << MethodName(method);
+    for (size_t qi : {2u, 17u}) {
+      const std::vector<double>& q = ds.series[qi].values;
+      const KnnResult truth = LinearScanKnn(ds, q, 6);
+      const KnnResult res = index.Knn(q, 6);
+      EXPECT_DOUBLE_EQ(Accuracy(res, truth, 6), 1.0)
+          << MethodName(method) << " query " << qi;
+    }
+  }
+}
+
+TEST(SimilarityIndex, ChebyRTreeKnnIsExact) {
+  const Dataset ds = SmallDataset(7);
+  SimilarityIndex index(Method::kCheby, 12, IndexKind::kRTree);
+  ASSERT_TRUE(index.Build(ds).ok());
+  const std::vector<double>& q = ds.series[3].values;
+  const KnnResult truth = LinearScanKnn(ds, q, 4);
+  const KnnResult res = index.Knn(q, 4);
+  EXPECT_DOUBLE_EQ(Accuracy(res, truth, 4), 1.0);
+}
+
+TEST(SimilarityIndex, SelfQueryFindsSelf) {
+  // Whatever the method/tree, querying with an indexed series must return
+  // that series as the nearest neighbor (distance 0 passes every filter).
+  const Dataset ds = SmallDataset(8);
+  for (const Method method : AllMethods()) {
+    for (const IndexKind kind : {IndexKind::kRTree, IndexKind::kDbchTree}) {
+      SimilarityIndex index(method, 12, kind);
+      ASSERT_TRUE(index.Build(ds).ok()) << MethodName(method);
+      const KnnResult res = index.Knn(ds.series[9].values, 1);
+      ASSERT_EQ(res.neighbors.size(), 1u) << MethodName(method);
+      EXPECT_NEAR(res.neighbors[0].first, 0.0, 1e-9)
+          << MethodName(method) << (kind == IndexKind::kRTree ? " R" : " D");
+    }
+  }
+}
+
+TEST(SimilarityIndex, ReportedDistancesAreExact) {
+  const Dataset ds = SmallDataset(9);
+  SimilarityIndex index(Method::kSapla, 18, IndexKind::kDbchTree);
+  ASSERT_TRUE(index.Build(ds).ok());
+  const std::vector<double>& q = ds.series[1].values;
+  const KnnResult res = index.Knn(q, 5);
+  for (const auto& [dist, id] : res.neighbors)
+    EXPECT_NEAR(dist, EuclideanDistance(q, ds.series[id].values), 1e-9);
+}
+
+TEST(Metrics, PruningPowerDefinition) {
+  KnnResult r;
+  r.num_measured = 25;
+  EXPECT_DOUBLE_EQ(PruningPower(r, 100), 0.25);
+}
+
+TEST(Metrics, AccuracyCountsIntersection) {
+  KnnResult truth, res;
+  truth.neighbors = {{0.0, 1}, {1.0, 2}, {2.0, 3}, {3.0, 4}};
+  res.neighbors = {{0.0, 1}, {1.5, 3}, {9.0, 7}, {9.5, 8}};
+  EXPECT_DOUBLE_EQ(Accuracy(res, truth, 4), 0.5);
+}
+
+// Parameterized sweep: every (method, index kind) builds, searches, and
+// yields sane metrics on a class-structured dataset.
+struct StackCase {
+  Method method;
+  IndexKind kind;
+};
+
+class StackSweep : public ::testing::TestWithParam<StackCase> {};
+
+TEST_P(StackSweep, EndToEndKnn) {
+  const auto [method, kind] = GetParam();
+  const Dataset ds = SmallDataset(10);
+  SimilarityIndex index(method, 12, kind);
+  BuildInfo info;
+  ASSERT_TRUE(index.Build(ds, &info).ok());
+  EXPECT_EQ(info.stats.entries, ds.size());
+
+  Rng rng(77);
+  for (int trial = 0; trial < 3; ++trial) {
+    const size_t qi = rng.UniformInt(ds.size());
+    const std::vector<double>& q = ds.series[qi].values;
+    const KnnResult truth = LinearScanKnn(ds, q, 4);
+    const KnnResult res = index.Knn(q, 4);
+    ASSERT_GE(res.neighbors.size(), 1u);
+    const double rho = PruningPower(res, ds.size());
+    EXPECT_GT(rho, 0.0);
+    EXPECT_LE(rho, 1.0);
+    const double acc = Accuracy(res, truth, 4);
+    EXPECT_GE(acc, 0.25);  // the self-match is always found
+    EXPECT_LE(acc, 1.0);
+  }
+}
+
+std::vector<StackCase> AllStackCases() {
+  std::vector<StackCase> cases;
+  for (const Method method : AllMethods())
+    for (const IndexKind kind : {IndexKind::kRTree, IndexKind::kDbchTree})
+      cases.push_back({method, kind});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MethodsTimesTrees, StackSweep, ::testing::ValuesIn(AllStackCases()),
+    [](const ::testing::TestParamInfo<StackCase>& info) {
+      return MethodName(info.param.method) +
+             (info.param.kind == IndexKind::kRTree ? "_RTree" : "_DbchTree");
+    });
+
+}  // namespace
+}  // namespace sapla

@@ -1,0 +1,168 @@
+// Unit + property tests for the prefix-sum least-squares engine.
+
+#include "geom/line_fit.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace sapla {
+namespace {
+
+TEST(FitFromSums, TwoPointsExact) {
+  // The line through two points is their exact fit.
+  const std::vector<double> v{3.0, 7.0};
+  const Line line = FitLine(v.data(), 2);
+  EXPECT_DOUBLE_EQ(line.a, 4.0);
+  EXPECT_DOUBLE_EQ(line.b, 3.0);
+}
+
+TEST(FitFromSums, SinglePoint) {
+  const std::vector<double> v{5.5};
+  const Line line = FitLine(v.data(), 1);
+  EXPECT_DOUBLE_EQ(line.a, 0.0);
+  EXPECT_DOUBLE_EQ(line.b, 5.5);
+}
+
+TEST(FitFromSums, ExactOnCollinearData) {
+  // Points already on a line are reproduced exactly.
+  std::vector<double> v(17);
+  for (size_t t = 0; t < v.size(); ++t)
+    v[t] = -2.5 * static_cast<double>(t) + 11.0;
+  const Line line = FitLine(v.data(), v.size());
+  EXPECT_NEAR(line.a, -2.5, 1e-12);
+  EXPECT_NEAR(line.b, 11.0, 1e-12);
+}
+
+TEST(PrefixFitter, RangeSumsMatchDirect) {
+  Rng rng(1);
+  std::vector<double> v(64);
+  for (auto& x : v) x = rng.Gaussian();
+  PrefixFitter fit(v);
+  for (size_t s = 0; s < v.size(); s += 7) {
+    for (size_t e = s; e < v.size(); e += 5) {
+      double s1 = 0, st = 0, s2 = 0;
+      for (size_t t = s; t <= e; ++t) {
+        s1 += v[t];
+        st += static_cast<double>(t - s) * v[t];
+        s2 += v[t] * v[t];
+      }
+      EXPECT_NEAR(fit.RangeSum(s, e), s1, 1e-9);
+      EXPECT_NEAR(fit.RangeLocalTimeSum(s, e), st, 1e-9);
+      EXPECT_NEAR(fit.RangeSquareSum(s, e), s2, 1e-9);
+    }
+  }
+}
+
+TEST(PrefixFitter, FitMatchesDirectFit) {
+  Rng rng(2);
+  std::vector<double> v(100);
+  for (auto& x : v) x = rng.Uniform(-10.0, 10.0);
+  PrefixFitter fit(v);
+  for (size_t s = 0; s < 90; s += 11) {
+    for (size_t l = 2; s + l <= v.size(); l += 13) {
+      const Line range = fit.Fit(s, s + l - 1);
+      const Line direct = FitLine(v.data() + s, l);
+      EXPECT_NEAR(range.a, direct.a, 1e-9);
+      EXPECT_NEAR(range.b, direct.b, 1e-9);
+    }
+  }
+}
+
+TEST(PrefixFitter, ResidualsSumToZero) {
+  // Lemma A.1's Eq. (22): LS residuals of any range sum to zero.
+  Rng rng(3);
+  std::vector<double> v(80);
+  for (auto& x : v) x = rng.Gaussian(2.0, 5.0);
+  PrefixFitter fit(v);
+  for (size_t s = 0; s < 70; s += 9) {
+    const size_t e = std::min(v.size() - 1, s + 17);
+    const Line line = fit.Fit(s, e);
+    double sum = 0.0;
+    for (size_t t = s; t <= e; ++t)
+      sum += v[t] - line.At(static_cast<double>(t - s));
+    EXPECT_NEAR(sum, 0.0, 1e-8);
+  }
+}
+
+TEST(PrefixFitter, ResidualSseMatchesDirect) {
+  Rng rng(4);
+  std::vector<double> v(60);
+  for (auto& x : v) x = rng.Gaussian();
+  PrefixFitter fit(v);
+  for (size_t s = 0; s < 50; s += 7) {
+    const size_t e = std::min(v.size() - 1, s + 12);
+    const Line line = fit.Fit(s, e);
+    double sse = 0.0;
+    for (size_t t = s; t <= e; ++t) {
+      const double r = v[t] - line.At(static_cast<double>(t - s));
+      sse += r * r;
+    }
+    EXPECT_NEAR(fit.ResidualSse(s, e, line), sse, 1e-8);
+  }
+}
+
+TEST(PrefixFitter, LeastSquaresIsOptimal) {
+  // Perturbing the fitted coefficients never lowers the SSE.
+  Rng rng(5);
+  std::vector<double> v(40);
+  for (auto& x : v) x = rng.Gaussian();
+  PrefixFitter fit(v);
+  const Line line = fit.Fit(5, 30);
+  const double base = fit.ResidualSse(5, 30, line);
+  for (int trial = 0; trial < 50; ++trial) {
+    Line perturbed = line;
+    perturbed.a += rng.Uniform(-0.5, 0.5);
+    perturbed.b += rng.Uniform(-0.5, 0.5);
+    EXPECT_GE(fit.ResidualSse(5, 30, perturbed) + 1e-9, base);
+  }
+}
+
+TEST(PrefixFitter, MaxDeviationMatchesScan) {
+  Rng rng(6);
+  std::vector<double> v(50);
+  for (auto& x : v) x = rng.Uniform(-3.0, 3.0);
+  PrefixFitter fit(v);
+  const Line line = fit.Fit(10, 35);
+  double expect = 0.0;
+  for (size_t t = 10; t <= 35; ++t)
+    expect = std::max(expect,
+                      std::fabs(v[t] - line.At(static_cast<double>(t - 10))));
+  EXPECT_DOUBLE_EQ(fit.MaxDeviation(10, 35, line), expect);
+}
+
+// Property sweep: Eq. (1)-style fits over many random ranges agree with the
+// brute-force normal-equation solution.
+class FitPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FitPropertyTest, RandomRangeFitsAreLeastSquares) {
+  Rng rng(GetParam());
+  const size_t n = 32 + rng.UniformInt(200);
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.Gaussian(0.0, 4.0);
+  PrefixFitter fit(v);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t s = rng.UniformInt(n - 2);
+    const size_t e = s + 1 + rng.UniformInt(n - s - 1);
+    const Line line = fit.Fit(s, e);
+    // Normal equations residual orthogonality: residuals orthogonal to both
+    // the constant and the linear basis vector.
+    double r_const = 0.0, r_lin = 0.0;
+    for (size_t t = s; t <= e; ++t) {
+      const double r = v[t] - line.At(static_cast<double>(t - s));
+      r_const += r;
+      r_lin += static_cast<double>(t - s) * r;
+    }
+    EXPECT_NEAR(r_const, 0.0, 1e-7);
+    EXPECT_NEAR(r_lin, 0.0, 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FitPropertyTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+}  // namespace
+}  // namespace sapla

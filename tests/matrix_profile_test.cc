@@ -1,0 +1,177 @@
+// Tests for the STOMP matrix profile: brute-force equivalence, planted
+// motif/discord recovery, exclusion-zone semantics, degenerate windows.
+
+#include "mining/matrix_profile.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ts/time_series.h"
+#include "util/rng.h"
+
+namespace sapla {
+namespace {
+
+// Brute force: z-normalize both windows and take the Euclidean distance.
+double BruteZDist(const std::vector<double>& v, size_t i, size_t j, size_t m) {
+  std::vector<double> a(v.begin() + static_cast<ptrdiff_t>(i),
+                        v.begin() + static_cast<ptrdiff_t>(i + m));
+  std::vector<double> b(v.begin() + static_cast<ptrdiff_t>(j),
+                        v.begin() + static_cast<ptrdiff_t>(j + m));
+  ZNormalize(&a);
+  ZNormalize(&b);
+  return EuclideanDistance(a, b);
+}
+
+std::vector<double> NoisySeries(uint64_t seed, size_t n) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  double x = 0.0;
+  for (auto& p : v) {
+    x = 0.8 * x + rng.Gaussian();
+    p = x;
+  }
+  return v;
+}
+
+TEST(MatrixProfile, ValidatesInput) {
+  MatrixProfileOptions opt;
+  opt.window = 2;
+  EXPECT_FALSE(ComputeMatrixProfile(NoisySeries(1, 100), opt).ok());
+  opt.window = 64;
+  EXPECT_FALSE(ComputeMatrixProfile(NoisySeries(1, 100), opt).ok());
+}
+
+TEST(MatrixProfile, MatchesBruteForce) {
+  const std::vector<double> v = NoisySeries(2, 120);
+  MatrixProfileOptions opt;
+  opt.window = 16;
+  const auto mp = ComputeMatrixProfile(v, opt);
+  ASSERT_TRUE(mp.ok());
+  const size_t num = v.size() - opt.window + 1;
+  ASSERT_EQ(mp->num_windows(), num);
+  const size_t excl = opt.window / 2;
+  for (size_t i = 0; i < num; ++i) {
+    double best = std::numeric_limits<double>::infinity();
+    size_t best_j = 0;
+    for (size_t j = 0; j < num; ++j) {
+      const size_t gap = j > i ? j - i : i - j;
+      if (gap <= excl) continue;
+      const double d = BruteZDist(v, i, j, opt.window);
+      if (d < best) {
+        best = d;
+        best_j = j;
+      }
+    }
+    EXPECT_NEAR(mp->profile[i], best, 1e-6) << "window " << i;
+    // The index must achieve (within fp noise) the same distance.
+    EXPECT_NEAR(BruteZDist(v, i, mp->index[i], opt.window), best, 1e-6)
+        << "window " << i << " got j=" << best_j;
+  }
+}
+
+TEST(MatrixProfile, ExclusionZoneBlocksTrivialMatches) {
+  const std::vector<double> v = NoisySeries(3, 300);
+  MatrixProfileOptions opt;
+  opt.window = 32;
+  const auto mp = ComputeMatrixProfile(v, opt);
+  ASSERT_TRUE(mp.ok());
+  for (size_t i = 0; i < mp->num_windows(); ++i) {
+    const size_t j = mp->index[i];
+    const size_t gap = j > i ? j - i : i - j;
+    EXPECT_GT(gap, opt.window / 2) << i;
+  }
+}
+
+TEST(MatrixProfile, PlantedMotifIsGlobalMinimum) {
+  Rng rng(4);
+  std::vector<double> v = NoisySeries(5, 600);
+  std::vector<double> pattern(48);
+  for (size_t t = 0; t < pattern.size(); ++t)
+    pattern[t] = 6.0 * std::sin(2.0 * M_PI * static_cast<double>(t) / 12.0);
+  for (size_t t = 0; t < pattern.size(); ++t) {
+    v[120 + t] = pattern[t] + 0.01 * rng.Gaussian();
+    v[430 + t] = pattern[t] + 0.01 * rng.Gaussian();
+  }
+  MatrixProfileOptions opt;
+  opt.window = 48;
+  const auto mp = ComputeMatrixProfile(v, opt);
+  ASSERT_TRUE(mp.ok());
+  const auto [a, b] = TopMotif(*mp);
+  EXPECT_NEAR(static_cast<double>(a), 120.0, 2.0);
+  EXPECT_NEAR(static_cast<double>(b), 430.0, 2.0);
+}
+
+TEST(MatrixProfile, PlantedDiscordIsTopAnomaly) {
+  // A periodic signal with one corrupted cycle: the discord.
+  std::vector<double> v(800);
+  for (size_t t = 0; t < v.size(); ++t)
+    v[t] = std::sin(2.0 * M_PI * static_cast<double>(t) / 40.0);
+  Rng rng(6);
+  for (size_t t = 400; t < 440; ++t) v[t] = rng.Uniform(-2.0, 2.0);
+
+  MatrixProfileOptions opt;
+  opt.window = 40;
+  const auto mp = ComputeMatrixProfile(v, opt);
+  ASSERT_TRUE(mp.ok());
+  const std::vector<size_t> discords = TopDiscords(*mp, 1);
+  ASSERT_EQ(discords.size(), 1u);
+  // The discord window overlaps the corrupted cycle.
+  EXPECT_GE(discords[0] + opt.window, 400u);
+  EXPECT_LE(discords[0], 440u);
+}
+
+TEST(MatrixProfile, TopDiscordsAreMutuallyNonOverlapping) {
+  const std::vector<double> v = NoisySeries(7, 500);
+  MatrixProfileOptions opt;
+  opt.window = 25;
+  const auto mp = ComputeMatrixProfile(v, opt);
+  ASSERT_TRUE(mp.ok());
+  const std::vector<size_t> discords = TopDiscords(*mp, 5);
+  ASSERT_EQ(discords.size(), 5u);
+  for (size_t i = 0; i < discords.size(); ++i) {
+    for (size_t j = i + 1; j < discords.size(); ++j) {
+      const size_t gap = discords[i] > discords[j]
+                             ? discords[i] - discords[j]
+                             : discords[j] - discords[i];
+      EXPECT_GE(gap, opt.window);
+    }
+  }
+}
+
+TEST(MatrixProfile, FlatRegionsHandled) {
+  // Constant stretches have zero variance; they must neither crash nor
+  // produce non-finite values.
+  std::vector<double> v(300, 1.0);
+  Rng rng(8);
+  for (size_t t = 150; t < 300; ++t) v[t] = rng.Gaussian();
+  MatrixProfileOptions opt;
+  opt.window = 20;
+  const auto mp = ComputeMatrixProfile(v, opt);
+  ASSERT_TRUE(mp.ok());
+  for (const double d : mp->profile) {
+    EXPECT_TRUE(std::isfinite(d));
+    EXPECT_GE(d, 0.0);
+  }
+  // Two flat windows are identical under z-normalization: distance 0.
+  EXPECT_NEAR(mp->profile[0], 0.0, 1e-9);
+}
+
+TEST(MatrixProfile, RepeatedSignalHasLowProfileEverywhere) {
+  // A clean periodic signal: every window recurs, so the whole profile is
+  // near zero.
+  std::vector<double> v(400);
+  for (size_t t = 0; t < v.size(); ++t)
+    v[t] = std::cos(2.0 * M_PI * static_cast<double>(t) / 25.0);
+  MatrixProfileOptions opt;
+  opt.window = 25;
+  const auto mp = ComputeMatrixProfile(v, opt);
+  ASSERT_TRUE(mp.ok());
+  for (const double d : mp->profile) EXPECT_LT(d, 1e-5);
+}
+
+}  // namespace
+}  // namespace sapla

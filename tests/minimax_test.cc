@@ -1,0 +1,123 @@
+// Tests for the minimax (Chebyshev-best) line fit and the MinimaxRefit
+// post-processing step.
+
+#include "geom/minimax.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/sapla.h"
+#include "reduction/apla.h"
+#include "util/rng.h"
+
+namespace sapla {
+namespace {
+
+double MaxDev(const std::vector<double>& v, const Line& line) {
+  double m = 0.0;
+  for (size_t t = 0; t < v.size(); ++t)
+    m = std::max(m, std::fabs(v[t] - line.At(static_cast<double>(t))));
+  return m;
+}
+
+TEST(MinimaxFit, ExactOnTinyInputs) {
+  const std::vector<double> one{4.0};
+  const MinimaxFitResult r1 = MinimaxFit(one.data(), 1);
+  EXPECT_DOUBLE_EQ(r1.line.b, 4.0);
+  EXPECT_DOUBLE_EQ(r1.max_deviation, 0.0);
+
+  const std::vector<double> two{1.0, 5.0};
+  const MinimaxFitResult r2 = MinimaxFit(two.data(), 2);
+  EXPECT_DOUBLE_EQ(r2.line.a, 4.0);
+  EXPECT_DOUBLE_EQ(r2.line.b, 1.0);
+}
+
+TEST(MinimaxFit, CollinearDataIsExact) {
+  std::vector<double> v(20);
+  for (size_t t = 0; t < v.size(); ++t)
+    v[t] = 1.75 * static_cast<double>(t) - 3.0;
+  const MinimaxFitResult r = MinimaxFit(v.data(), v.size());
+  EXPECT_NEAR(r.line.a, 1.75, 1e-9);
+  EXPECT_NEAR(r.line.b, -3.0, 1e-9);
+  EXPECT_NEAR(r.max_deviation, 0.0, 1e-9);
+}
+
+TEST(MinimaxFit, VShapeKnownOptimum) {
+  // y = |t - 2| over t=0..4: optimal line is y = 1 (slope 0), max dev 1.
+  const std::vector<double> v{2, 1, 0, 1, 2};
+  const MinimaxFitResult r = MinimaxFit(v.data(), v.size());
+  EXPECT_NEAR(r.line.a, 0.0, 1e-9);
+  EXPECT_NEAR(r.line.b, 1.0, 1e-9);
+  EXPECT_NEAR(r.max_deviation, 1.0, 1e-9);
+}
+
+TEST(MinimaxFit, ReportedDeviationMatchesLine) {
+  Rng rng(1);
+  for (int trial = 0; trial < 40; ++trial) {
+    const size_t l = 3 + rng.UniformInt(60);
+    std::vector<double> v(l);
+    for (auto& x : v) x = rng.Gaussian(0.0, 5.0);
+    const MinimaxFitResult r = MinimaxFit(v.data(), l);
+    EXPECT_NEAR(r.max_deviation, MaxDev(v, r.line), 1e-8);
+  }
+}
+
+TEST(MinimaxFit, NeverWorseThanLeastSquaresOnMaxDeviation) {
+  Rng rng(2);
+  for (int trial = 0; trial < 60; ++trial) {
+    const size_t l = 3 + rng.UniformInt(80);
+    std::vector<double> v(l);
+    for (auto& x : v) x = rng.Gaussian(0.0, 3.0);
+    const MinimaxFitResult mm = MinimaxFit(v.data(), l);
+    const Line ls = FitLine(v.data(), l);
+    EXPECT_LE(mm.max_deviation, MaxDev(v, ls) + 1e-8) << "l=" << l;
+  }
+}
+
+TEST(MinimaxFit, BeatsGridSearchWithinTolerance) {
+  // The reported optimum must be no worse than any line on a dense grid.
+  Rng rng(3);
+  std::vector<double> v(25);
+  for (auto& x : v) x = rng.Uniform(-4.0, 4.0);
+  const MinimaxFitResult mm = MinimaxFit(v.data(), v.size());
+  for (double a = -2.0; a <= 2.0; a += 0.01) {
+    for (double b = -5.0; b <= 5.0; b += 0.05) {
+      EXPECT_LE(mm.max_deviation, MaxDev(v, Line{a, b}) + 1e-6);
+    }
+  }
+}
+
+TEST(MinimaxRefit, LowersEverySegmentDeviation) {
+  Rng rng(4);
+  std::vector<double> v(200);
+  double x = 0.0;
+  for (auto& p : v) {
+    x += rng.Gaussian();
+    p = x;
+  }
+  Representation rep = SaplaReducer().ReduceToSegments(v, 8);
+  const double before = rep.SumMaxDeviation(v);
+  std::vector<double> seg_before(rep.num_segments());
+  for (size_t i = 0; i < rep.num_segments(); ++i)
+    seg_before[i] = rep.SegmentMaxDeviation(v, i);
+
+  MinimaxRefit(&rep, v);
+  EXPECT_LE(rep.SumMaxDeviation(v), before + 1e-9);
+  for (size_t i = 0; i < rep.num_segments(); ++i)
+    EXPECT_LE(rep.SegmentMaxDeviation(v, i), seg_before[i] + 1e-8) << i;
+}
+
+TEST(MinimaxRefit, ImprovesAplaToo) {
+  Rng rng(5);
+  std::vector<double> v(150);
+  for (auto& p : v) p = rng.Gaussian(0.0, 2.0);
+  Representation rep = AplaReducer().Reduce(v, 18);
+  const double before = rep.SumMaxDeviation(v);
+  MinimaxRefit(&rep, v);
+  EXPECT_LT(rep.SumMaxDeviation(v), before);
+}
+
+}  // namespace
+}  // namespace sapla

@@ -1,0 +1,167 @@
+// Tests for the mining layer: k-means clustering and changepoint detection.
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mining/kmeans.h"
+#include "mining/segmentation.h"
+#include "ts/synthetic_archive.h"
+#include "util/rng.h"
+
+namespace sapla {
+namespace {
+
+// Three well-separated waveform clusters.
+Dataset SeparatedClusters(size_t per_cluster = 15, size_t n = 128) {
+  Rng rng(11);
+  Dataset ds;
+  ds.name = "separated";
+  for (int cls = 0; cls < 3; ++cls) {
+    for (size_t i = 0; i < per_cluster; ++i) {
+      std::vector<double> v(n);
+      for (size_t t = 0; t < n; ++t) {
+        const double u = static_cast<double>(t) / static_cast<double>(n);
+        switch (cls) {
+          case 0: v[t] = std::sin(2.0 * M_PI * 3.0 * u); break;
+          case 1: v[t] = 2.0 * u - 1.0; break;
+          default: v[t] = u < 0.5 ? 1.0 : -1.0; break;
+        }
+        v[t] += 0.05 * rng.Gaussian();
+      }
+      ds.series.emplace_back(std::move(v), cls);
+    }
+  }
+  return ds;
+}
+
+TEST(KMeans, ValidatesOptions) {
+  const Dataset ds = SeparatedClusters();
+  KMeansOptions opt;
+  opt.k = 0;
+  EXPECT_FALSE(KMeansCluster(ds, opt).ok());
+  opt.k = ds.size() + 1;
+  EXPECT_FALSE(KMeansCluster(ds, opt).ok());
+  EXPECT_FALSE(KMeansCluster(Dataset{}, KMeansOptions{}).ok());
+}
+
+TEST(KMeans, RecoversSeparatedClusters) {
+  const Dataset ds = SeparatedClusters();
+  KMeansOptions opt;
+  opt.k = 3;
+  const auto result = KMeansCluster(ds, opt);
+  ASSERT_TRUE(result.ok());
+  // Every true class must map to exactly one cluster id (purity 1).
+  std::vector<std::set<size_t>> clusters_of_class(3);
+  for (size_t i = 0; i < ds.size(); ++i)
+    clusters_of_class[static_cast<size_t>(ds.series[i].label)].insert(
+        result->assignment[i]);
+  std::set<size_t> used;
+  for (const auto& c : clusters_of_class) {
+    EXPECT_EQ(c.size(), 1u);
+    used.insert(*c.begin());
+  }
+  EXPECT_EQ(used.size(), 3u);
+}
+
+TEST(KMeans, SingleClusterCentroidIsMean) {
+  const Dataset ds = SeparatedClusters(5, 32);
+  KMeansOptions opt;
+  opt.k = 1;
+  const auto result = KMeansCluster(ds, opt);
+  ASSERT_TRUE(result.ok());
+  for (size_t t = 0; t < ds.length(); ++t) {
+    double mean = 0.0;
+    for (const TimeSeries& ts : ds.series) mean += ts.values[t];
+    mean /= static_cast<double>(ds.size());
+    EXPECT_NEAR(result->centroids[0][t], mean, 1e-9);
+  }
+}
+
+TEST(KMeans, FilterSkipsExactComputations) {
+  const Dataset ds = SeparatedClusters(20, 256);
+  KMeansOptions plain;
+  plain.k = 3;
+  plain.use_reduced_filter = false;
+  KMeansOptions filtered = plain;
+  filtered.use_reduced_filter = true;
+
+  const auto a = KMeansCluster(ds, plain);
+  const auto b = KMeansCluster(ds, filtered);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_LT(b->exact_distance_computations, a->exact_distance_computations);
+  // Same seeding; the filter's rare lower-bound slips may perturb single
+  // assignments but the clustering quality must match closely.
+  EXPECT_NEAR(b->inertia, a->inertia, 0.05 * a->inertia + 1e-9);
+}
+
+TEST(KMeans, DeterministicForFixedSeed) {
+  const Dataset ds = SeparatedClusters();
+  KMeansOptions opt;
+  opt.k = 3;
+  opt.seed = 77;
+  const auto a = KMeansCluster(ds, opt);
+  const auto b = KMeansCluster(ds, opt);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->assignment, b->assignment);
+  EXPECT_DOUBLE_EQ(a->inertia, b->inertia);
+}
+
+TEST(KMeans, KEqualsNZeroInertia) {
+  const Dataset ds = SeparatedClusters(3, 32);  // 9 series
+  KMeansOptions opt;
+  opt.k = ds.size();
+  const auto result = KMeansCluster(ds, opt);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->inertia, 0.0, 1e-9);
+}
+
+TEST(Changepoints, ExactOnCleanRegimeChanges) {
+  // Three linear regimes with breaks at 49 and 99.
+  std::vector<double> v;
+  for (int t = 0; t < 50; ++t) v.push_back(0.2 * t);
+  for (int t = 0; t < 50; ++t) v.push_back(10.0 - 0.5 * t);
+  for (int t = 0; t < 50; ++t) v.push_back(-15.0 + 1.0 * t);
+  for (const SegmenterKind kind :
+       {SegmenterKind::kSapla, SegmenterKind::kApla}) {
+    const std::vector<size_t> cps = DetectChangepoints(v, 2, kind);
+    ASSERT_EQ(cps.size(), 2u);
+    EXPECT_NEAR(static_cast<double>(cps[0]), 49.0, 1.0);
+    EXPECT_NEAR(static_cast<double>(cps[1]), 99.0, 1.0);
+  }
+}
+
+TEST(Changepoints, NoisyRegimesRecoveredWithinTolerance) {
+  Rng rng(5);
+  std::vector<double> v;
+  const std::vector<double> slopes{0.3, -0.4, 0.1, 0.6};
+  double level = 0.0;
+  std::vector<size_t> truth;
+  for (size_t r = 0; r < slopes.size(); ++r) {
+    for (int t = 0; t < 60; ++t) {
+      level += slopes[r];
+      v.push_back(level + 0.3 * rng.Gaussian());
+    }
+    if (r + 1 < slopes.size()) truth.push_back(v.size() - 1);
+  }
+  const std::vector<size_t> sapla_cps =
+      DetectChangepoints(v, 3, SegmenterKind::kSapla);
+  const std::vector<size_t> apla_cps =
+      DetectChangepoints(v, 3, SegmenterKind::kApla);
+  EXPECT_GE(ChangepointRecall(sapla_cps, truth, 10), 2.0 / 3.0);
+  EXPECT_GE(ChangepointRecall(apla_cps, truth, 10), 2.0 / 3.0);
+}
+
+TEST(ChangepointRecall, ScoringRules) {
+  EXPECT_DOUBLE_EQ(ChangepointRecall({10, 20}, {}, 5), 1.0);
+  EXPECT_DOUBLE_EQ(ChangepointRecall({}, {10}, 5), 0.0);
+  EXPECT_DOUBLE_EQ(ChangepointRecall({12}, {10}, 2), 1.0);
+  EXPECT_DOUBLE_EQ(ChangepointRecall({13}, {10}, 2), 0.0);
+  // One detection cannot match two true points.
+  EXPECT_DOUBLE_EQ(ChangepointRecall({10}, {10, 11}, 2), 0.5);
+}
+
+}  // namespace
+}  // namespace sapla

@@ -1,0 +1,165 @@
+// End-to-end integration test of the paper's comparative claims on a
+// miniature version of the full experiment (a handful of archive datasets,
+// full reduce -> index -> query -> metrics pipeline). Each TEST pins one
+// sentence from the paper's abstract/evaluation.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/sapla.h"
+#include "reduction/apca.h"
+#include "reduction/apla.h"
+#include "reduction/paa.h"
+#include "reduction/paalm.h"
+#include "reduction/pla.h"
+#include "search/knn.h"
+#include "search/metrics.h"
+#include "ts/synthetic_archive.h"
+#include "util/stats.h"
+#include "util/timer.h"
+
+namespace sapla {
+namespace {
+
+constexpr size_t kBudget = 12;
+constexpr size_t kNumDatasets = 8;
+
+Dataset ArchiveDataset(size_t id) {
+  SyntheticOptions opt;
+  opt.length = 128;
+  opt.num_series = 60;
+  return MakeSyntheticDataset(id, opt);
+}
+
+// "Adaptive-length methods SAPLA, APLA and APCA have better max deviation
+// than equal-length methods with fewer segment numbers N when M is same."
+TEST(PaperClaims, AdaptiveBeatsEqualLengthOnMaxDeviation) {
+  SummaryStats sapla, apla, apca, pla, paa, paalm;
+  for (size_t d = 0; d < kNumDatasets; ++d) {
+    const Dataset ds = ArchiveDataset(d);
+    for (const TimeSeries& ts : ds.series) {
+      sapla.Add(SaplaReducer().Reduce(ts.values, kBudget)
+                    .SumMaxDeviation(ts.values));
+      apla.Add(AplaReducer().Reduce(ts.values, kBudget)
+                   .SumMaxDeviation(ts.values));
+      apca.Add(ApcaReducer().Reduce(ts.values, kBudget)
+                   .SumMaxDeviation(ts.values));
+      pla.Add(PlaReducer().Reduce(ts.values, kBudget)
+                  .SumMaxDeviation(ts.values));
+      paa.Add(PaaReducer().Reduce(ts.values, kBudget)
+                  .SumMaxDeviation(ts.values));
+      paalm.Add(PaalmReducer().Reduce(ts.values, kBudget)
+                    .SumMaxDeviation(ts.values));
+    }
+  }
+  EXPECT_LT(apla.mean(), sapla.mean());   // DP is the optimum
+  EXPECT_LT(sapla.mean(), apca.mean());   // linear beats constant
+  EXPECT_LT(apca.mean(), paa.mean());     // adaptive beats equal-length
+  EXPECT_LT(pla.mean(), paa.mean());
+  EXPECT_GT(paalm.mean(), paa.mean());    // PAALM worst (by design)
+}
+
+// "SAPLA outperforms APLA by n times with a minor maximum deviation loss."
+TEST(PaperClaims, SaplaIsFarFasterThanAplaWithBoundedQualityLoss) {
+  double sapla_dev = 0.0, apla_dev = 0.0;
+  double sapla_s = 0.0, apla_s = 0.0;
+  for (size_t d = 0; d < 4; ++d) {
+    const Dataset ds = ArchiveDataset(d);
+    CpuTimer t1;
+    for (const TimeSeries& ts : ds.series)
+      sapla_dev += SaplaReducer().Reduce(ts.values, kBudget)
+                       .SumMaxDeviation(ts.values);
+    sapla_s += t1.Seconds();
+    CpuTimer t2;
+    for (const TimeSeries& ts : ds.series)
+      apla_dev += AplaReducer().Reduce(ts.values, kBudget)
+                      .SumMaxDeviation(ts.values);
+    apla_s += t2.Seconds();
+  }
+  EXPECT_GT(apla_s, 4.0 * sapla_s);      // large speed gap even at n=128
+  EXPECT_LT(sapla_dev, 3.0 * apla_dev);  // bounded quality loss
+}
+
+// "DBCH-tree improves pruning power for adaptive-length methods; PLA and
+// CHEBY have similar performance in R-tree and DBCH-tree."
+TEST(PaperClaims, DbchImprovesAdaptiveMethodsOnly) {
+  SummaryStats sapla_gain, pla_gain;
+  for (size_t d = 0; d < kNumDatasets; ++d) {
+    const Dataset ds = ArchiveDataset(d);
+    for (const Method method : {Method::kSapla, Method::kPla}) {
+      SimilarityIndex rtree(method, kBudget, IndexKind::kRTree);
+      SimilarityIndex dbch(method, kBudget, IndexKind::kDbchTree);
+      ASSERT_TRUE(rtree.Build(ds).ok());
+      ASSERT_TRUE(dbch.Build(ds).ok());
+      for (const size_t qi : {3u, 31u}) {
+        const std::vector<double>& q = ds.series[qi].values;
+        const double gain =
+            PruningPower(rtree.Knn(q, 8), ds.size()) -
+            PruningPower(dbch.Knn(q, 8), ds.size());
+        (method == Method::kSapla ? sapla_gain : pla_gain).Add(gain);
+      }
+    }
+  }
+  EXPECT_GT(sapla_gain.mean(), 0.02);            // real improvement
+  EXPECT_GT(sapla_gain.mean(), pla_gain.mean()); // concentrated on adaptive
+  EXPECT_NEAR(pla_gain.mean(), 0.0, 0.06);       // PLA ~unchanged
+}
+
+// "DBCH-tree helps space efficiency: fewer internal nodes, fuller leaves."
+TEST(PaperClaims, DbchPacksBetterThanRtree) {
+  SummaryStats rtree_total, dbch_total, rtree_occ, dbch_occ;
+  for (size_t d = 0; d < kNumDatasets; ++d) {
+    const Dataset ds = ArchiveDataset(d);
+    for (const IndexKind kind : {IndexKind::kRTree, IndexKind::kDbchTree}) {
+      SimilarityIndex index(Method::kSapla, kBudget, kind);
+      BuildInfo info;
+      ASSERT_TRUE(index.Build(ds, &info).ok());
+      if (kind == IndexKind::kRTree) {
+        rtree_total.Add(static_cast<double>(info.stats.total_nodes()));
+        rtree_occ.Add(info.stats.avg_leaf_entries);
+      } else {
+        dbch_total.Add(static_cast<double>(info.stats.total_nodes()));
+        dbch_occ.Add(info.stats.avg_leaf_entries);
+      }
+    }
+  }
+  EXPECT_LT(dbch_total.mean(), rtree_total.mean());
+  EXPECT_GT(dbch_occ.mean(), rtree_occ.mean());
+}
+
+// "Accuracy: the R-tree with rigorous bounds never misses; the DBCH-tree's
+// internal-node distance may cause (few) false dismissals."
+TEST(PaperClaims, AccuracyContrast) {
+  SummaryStats rtree_acc, dbch_acc;
+  for (size_t d = 0; d < kNumDatasets; ++d) {
+    const Dataset ds = ArchiveDataset(d);
+    SimilarityIndex rtree(Method::kSapla, kBudget, IndexKind::kRTree);
+    SimilarityIndex dbch(Method::kSapla, kBudget, IndexKind::kDbchTree);
+    ASSERT_TRUE(rtree.Build(ds).ok());
+    ASSERT_TRUE(dbch.Build(ds).ok());
+    for (const size_t qi : {7u, 44u}) {
+      const std::vector<double>& q = ds.series[qi].values;
+      const KnnResult truth = LinearScanKnn(ds, q, 8);
+      rtree_acc.Add(Accuracy(rtree.Knn(q, 8), truth, 8));
+      dbch_acc.Add(Accuracy(dbch.Knn(q, 8), truth, 8));
+    }
+  }
+  EXPECT_DOUBLE_EQ(rtree_acc.mean(), 1.0);
+  EXPECT_GT(dbch_acc.mean(), 0.85);
+  EXPECT_LE(dbch_acc.mean(), 1.0);
+}
+
+// Non-finite inputs are rejected up front rather than corrupting the index.
+TEST(PaperClaims, IndexRejectsNonFiniteInput) {
+  Dataset ds = ArchiveDataset(0);
+  ds.series[5].values[17] = std::nan("");
+  SimilarityIndex index(Method::kSapla, kBudget, IndexKind::kDbchTree);
+  const Status s = index.Build(ds);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace sapla

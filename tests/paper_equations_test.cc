@@ -1,0 +1,174 @@
+// Verifies the paper's Eqs. (1)-(11) against direct least-squares refits.
+//
+// Every equation is an O(1) coefficient transform; the refit it must equal
+// is computed from scratch over the raw points. Agreement to ~1e-8 across
+// random sweeps proves the printed equations are exact (and that the
+// sufficient-statistics engine used by SAPLA matches the paper).
+
+#include "core/paper_equations.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "geom/line_fit.h"
+#include "util/rng.h"
+
+namespace sapla {
+namespace {
+
+constexpr double kTol = 1e-8;
+
+std::vector<double> RandomSeries(Rng* rng, size_t n) {
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng->Gaussian(0.0, 5.0);
+  return v;
+}
+
+TEST(Eq1Fit, MatchesNormalEquationFit) {
+  Rng rng(1);
+  for (size_t l : {2, 3, 5, 17, 64, 301}) {
+    const std::vector<double> v = RandomSeries(&rng, l);
+    const Line paper = Eq1Fit(v.data(), l);
+    const Line direct = FitLine(v.data(), l);
+    EXPECT_NEAR(paper.a, direct.a, kTol) << "l=" << l;
+    EXPECT_NEAR(paper.b, direct.b, kTol) << "l=" << l;
+  }
+}
+
+TEST(FitToSums, RoundTripsThroughFitFromSums) {
+  Rng rng(2);
+  for (size_t l : {2, 3, 9, 40}) {
+    const std::vector<double> v = RandomSeries(&rng, l);
+    double s1 = 0, st = 0;
+    for (size_t t = 0; t < l; ++t) {
+      s1 += v[t];
+      st += static_cast<double>(t) * v[t];
+    }
+    const Line fit = FitFromSums(s1, st, l);
+    double rs1, rst;
+    FitToSums(fit, l, &rs1, &rst);
+    EXPECT_NEAR(rs1, s1, kTol);
+    EXPECT_NEAR(rst, st, kTol);
+  }
+}
+
+class EquationSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EquationSweep, Eq2IncrementEqualsRefit) {
+  Rng rng(GetParam());
+  for (size_t l = 2; l <= 40; ++l) {
+    const std::vector<double> v = RandomSeries(&rng, l + 1);
+    const Line fit = FitLine(v.data(), l);
+    const Line inc = Eq2Increment(fit, l, v[l]);
+    const Line refit = FitLine(v.data(), l + 1);
+    EXPECT_NEAR(inc.a, refit.a, kTol);
+    EXPECT_NEAR(inc.b, refit.b, kTol);
+  }
+}
+
+TEST_P(EquationSweep, Eq34MergeEqualsRefit) {
+  Rng rng(GetParam() + 100);
+  for (int trial = 0; trial < 30; ++trial) {
+    const size_t ll = 2 + rng.UniformInt(20);
+    const size_t lr = 2 + rng.UniformInt(20);
+    const std::vector<double> v = RandomSeries(&rng, ll + lr);
+    const Line left = FitLine(v.data(), ll);
+    const Line right = FitLine(v.data() + ll, lr);
+    const Line merged = Eq34Merge(left, ll, right, lr);
+    const Line refit = FitLine(v.data(), ll + lr);
+    EXPECT_NEAR(merged.a, refit.a, kTol);
+    EXPECT_NEAR(merged.b, refit.b, kTol);
+  }
+}
+
+TEST_P(EquationSweep, Eq56LeftRecoversLeftFit) {
+  Rng rng(GetParam() + 200);
+  for (int trial = 0; trial < 30; ++trial) {
+    const size_t ll = 2 + rng.UniformInt(20);
+    const size_t lr = 2 + rng.UniformInt(20);
+    const std::vector<double> v = RandomSeries(&rng, ll + lr);
+    const Line merged = FitLine(v.data(), ll + lr);
+    const Line right = FitLine(v.data() + ll, lr);
+    const Line left = Eq56Left(merged, ll, right, lr);
+    const Line refit = FitLine(v.data(), ll);
+    EXPECT_NEAR(left.a, refit.a, 1e-6);
+    EXPECT_NEAR(left.b, refit.b, 1e-6);
+  }
+}
+
+TEST_P(EquationSweep, Eq78RightRecoversRightFit) {
+  Rng rng(GetParam() + 300);
+  for (int trial = 0; trial < 30; ++trial) {
+    const size_t ll = 2 + rng.UniformInt(20);
+    const size_t lr = 2 + rng.UniformInt(20);
+    const std::vector<double> v = RandomSeries(&rng, ll + lr);
+    const Line merged = FitLine(v.data(), ll + lr);
+    const Line left = FitLine(v.data(), ll);
+    const Line right = Eq78Right(merged, left, ll, lr);
+    const Line refit = FitLine(v.data() + ll, lr);
+    EXPECT_NEAR(right.a, refit.a, 1e-6);
+    EXPECT_NEAR(right.b, refit.b, 1e-6);
+  }
+}
+
+TEST_P(EquationSweep, Eq9ShrinkRightEqualsRefit) {
+  Rng rng(GetParam() + 400);
+  for (size_t l = 3; l <= 40; ++l) {
+    const std::vector<double> v = RandomSeries(&rng, l);
+    const Line fit = FitLine(v.data(), l);
+    const Line shrunk = Eq9ShrinkRight(fit, l, v[l - 1]);
+    const Line refit = FitLine(v.data(), l - 1);
+    EXPECT_NEAR(shrunk.a, refit.a, kTol);
+    EXPECT_NEAR(shrunk.b, refit.b, kTol);
+  }
+}
+
+TEST_P(EquationSweep, Eq10GrowLeftEqualsRefit) {
+  Rng rng(GetParam() + 500);
+  for (size_t l = 2; l <= 40; ++l) {
+    const std::vector<double> v = RandomSeries(&rng, l + 1);
+    const Line fit = FitLine(v.data() + 1, l);
+    const Line grown = Eq10GrowLeft(fit, l, v[0]);
+    const Line refit = FitLine(v.data(), l + 1);
+    EXPECT_NEAR(grown.a, refit.a, kTol);
+    EXPECT_NEAR(grown.b, refit.b, kTol);
+  }
+}
+
+TEST_P(EquationSweep, Eq11ShrinkLeftEqualsRefit) {
+  Rng rng(GetParam() + 600);
+  for (size_t l = 3; l <= 40; ++l) {
+    const std::vector<double> v = RandomSeries(&rng, l);
+    const Line fit = FitLine(v.data(), l);
+    const Line shrunk = Eq11ShrinkLeft(fit, l, v[0]);
+    const Line refit = FitLine(v.data() + 1, l - 1);
+    EXPECT_NEAR(shrunk.a, refit.a, kTol);
+    EXPECT_NEAR(shrunk.b, refit.b, kTol);
+  }
+}
+
+TEST_P(EquationSweep, MergeThenSplitRoundTrips) {
+  // Eq. (3)(4) composed with Eq. (5)(6)/(7)(8) is the identity.
+  Rng rng(GetParam() + 700);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t ll = 2 + rng.UniformInt(15);
+    const size_t lr = 2 + rng.UniformInt(15);
+    const std::vector<double> v = RandomSeries(&rng, ll + lr);
+    const Line left = FitLine(v.data(), ll);
+    const Line right = FitLine(v.data() + ll, lr);
+    const Line merged = Eq34Merge(left, ll, right, lr);
+    const Line left2 = Eq56Left(merged, ll, right, lr);
+    const Line right2 = Eq78Right(merged, left, ll, lr);
+    EXPECT_NEAR(left2.a, left.a, 1e-6);
+    EXPECT_NEAR(left2.b, left.b, 1e-6);
+    EXPECT_NEAR(right2.a, right.a, 1e-6);
+    EXPECT_NEAR(right2.b, right.b, 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EquationSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace sapla

@@ -1,0 +1,105 @@
+// Tests for the GEMINI epsilon-range query on SimilarityIndex.
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "search/knn.h"
+#include "ts/synthetic_archive.h"
+
+namespace sapla {
+namespace {
+
+Dataset SmallDataset(size_t id = 3, size_t n = 128, size_t count = 60) {
+  SyntheticOptions opt;
+  opt.length = n;
+  opt.num_series = count;
+  return MakeSyntheticDataset(id, opt);
+}
+
+std::set<size_t> BruteRange(const Dataset& ds, const std::vector<double>& q,
+                            double radius) {
+  std::set<size_t> ids;
+  for (size_t i = 0; i < ds.size(); ++i)
+    if (EuclideanDistance(q, ds.series[i].values) <= radius) ids.insert(i);
+  return ids;
+}
+
+TEST(RangeSearch, ZeroRadiusFindsSelf) {
+  const Dataset ds = SmallDataset();
+  SimilarityIndex index(Method::kSapla, 12, IndexKind::kDbchTree);
+  ASSERT_TRUE(index.Build(ds).ok());
+  const KnnResult res = index.RangeSearch(ds.series[5].values, 1e-9);
+  ASSERT_GE(res.neighbors.size(), 1u);
+  EXPECT_EQ(res.neighbors[0].second, 5u);
+}
+
+TEST(RangeSearch, ResultsSortedAndWithinRadius) {
+  const Dataset ds = SmallDataset(7);
+  SimilarityIndex index(Method::kSapla, 18, IndexKind::kDbchTree);
+  ASSERT_TRUE(index.Build(ds).ok());
+  const double radius = 10.0;
+  const KnnResult res = index.RangeSearch(ds.series[0].values, radius);
+  for (size_t i = 0; i < res.neighbors.size(); ++i) {
+    EXPECT_LE(res.neighbors[i].first, radius);
+    if (i) {
+      EXPECT_GE(res.neighbors[i].first, res.neighbors[i - 1].first);
+    }
+  }
+}
+
+TEST(RangeSearch, ExactWithPaaRTree) {
+  // PAA bounds are rigorous end to end: the range result must equal brute
+  // force exactly.
+  const Dataset ds = SmallDataset(6);
+  SimilarityIndex index(Method::kPaa, 12, IndexKind::kRTree);
+  ASSERT_TRUE(index.Build(ds).ok());
+  for (const double radius : {5.0, 10.0, 15.0}) {
+    const std::vector<double>& q = ds.series[3].values;
+    const std::set<size_t> truth = BruteRange(ds, q, radius);
+    std::set<size_t> got;
+    for (const auto& [dist, id] : index.RangeSearch(q, radius).neighbors)
+      got.insert(id);
+    EXPECT_EQ(got, truth) << "radius " << radius;
+  }
+}
+
+TEST(RangeSearch, ExactWithSegmentMethodsOnRTree) {
+  // Dist_LB + raw-range MBRs are rigorous for all segment methods whose
+  // coefficients are LS fits (SAPLA/APLA/APCA/PLA).
+  const Dataset ds = SmallDataset(8);
+  for (const Method method :
+       {Method::kSapla, Method::kApla, Method::kApca, Method::kPla}) {
+    SimilarityIndex index(method, 12, IndexKind::kRTree);
+    ASSERT_TRUE(index.Build(ds).ok()) << MethodName(method);
+    const std::vector<double>& q = ds.series[10].values;
+    const double radius = 8.0;
+    const std::set<size_t> truth = BruteRange(ds, q, radius);
+    std::set<size_t> got;
+    for (const auto& [dist, id] : index.RangeSearch(q, radius).neighbors)
+      got.insert(id);
+    EXPECT_EQ(got, truth) << MethodName(method);
+  }
+}
+
+TEST(RangeSearch, LargeRadiusReturnsEverything) {
+  const Dataset ds = SmallDataset(9, 64, 30);
+  SimilarityIndex index(Method::kApca, 12, IndexKind::kDbchTree);
+  ASSERT_TRUE(index.Build(ds).ok());
+  const KnnResult res = index.RangeSearch(ds.series[0].values, 1e9);
+  EXPECT_EQ(res.neighbors.size(), ds.size());
+}
+
+TEST(RangeSearch, PrunesComparedToScan) {
+  const Dataset ds = SmallDataset(2, 128, 100);
+  SimilarityIndex index(Method::kSapla, 18, IndexKind::kDbchTree);
+  ASSERT_TRUE(index.Build(ds).ok());
+  // A tight radius should measure only a fraction of the dataset.
+  const KnnResult res = index.RangeSearch(ds.series[0].values, 2.0);
+  EXPECT_LT(res.num_measured, ds.size());
+}
+
+}  // namespace
+}  // namespace sapla

@@ -1,0 +1,323 @@
+// Unit and property tests for the baseline reducers
+// (PLA, PAA, APCA, CHEBY, PAALM, SAX).
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "reduction/apca.h"
+#include "reduction/cheby.h"
+#include "reduction/paa.h"
+#include "reduction/paalm.h"
+#include "reduction/pla.h"
+#include "reduction/representation.h"
+#include "reduction/sax.h"
+#include "ts/time_series.h"
+#include "util/rng.h"
+
+namespace sapla {
+namespace {
+
+std::vector<double> RandomWalk(uint64_t seed, size_t n) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  double x = 0.0;
+  for (auto& p : v) {
+    x += rng.Gaussian();
+    p = x;
+  }
+  return v;
+}
+
+TEST(Table1, SegmentBudgets) {
+  EXPECT_EQ(SegmentsForBudget(Method::kSapla, 12), 4u);
+  EXPECT_EQ(SegmentsForBudget(Method::kApla, 12), 4u);
+  EXPECT_EQ(SegmentsForBudget(Method::kApca, 12), 6u);
+  EXPECT_EQ(SegmentsForBudget(Method::kPla, 12), 6u);
+  EXPECT_EQ(SegmentsForBudget(Method::kPaa, 12), 12u);
+  EXPECT_EQ(SegmentsForBudget(Method::kPaalm, 12), 12u);
+  EXPECT_EQ(SegmentsForBudget(Method::kCheby, 12), 12u);
+  EXPECT_EQ(SegmentsForBudget(Method::kSax, 12), 12u);
+}
+
+TEST(Table1, FactoryCoversAllMethods) {
+  for (const Method m : AllMethods()) {
+    const auto reducer = MakeReducer(m);
+    ASSERT_NE(reducer, nullptr) << MethodName(m);
+    EXPECT_EQ(reducer->method(), m);
+  }
+}
+
+TEST(EqualLengthEndpoints, CoversSeriesExactly) {
+  for (size_t n : {10, 20, 100, 1023}) {
+    for (size_t k : {1, 3, 6, 12}) {
+      const auto ends = EqualLengthEndpoints(n, k);
+      ASSERT_EQ(ends.size(), std::min(k, n));
+      EXPECT_EQ(ends.back(), n - 1);
+      size_t start = 0;
+      for (const size_t e : ends) {
+        EXPECT_GE(e, start);
+        start = e + 1;
+      }
+      // Balanced: lengths differ by at most 1.
+      size_t lo = n, hi = 0, s = 0;
+      for (const size_t e : ends) {
+        lo = std::min(lo, e - s + 1);
+        hi = std::max(hi, e - s + 1);
+        s = e + 1;
+      }
+      EXPECT_LE(hi - lo, 1u);
+    }
+  }
+}
+
+TEST(Paa, SegmentValuesAreMeans) {
+  const std::vector<double> v{1, 2, 3, 4, 5, 6};
+  const Representation rep = PaaReducer().Reduce(v, 2);
+  ASSERT_EQ(rep.segments.size(), 2u);
+  EXPECT_DOUBLE_EQ(rep.segments[0].b, 2.0);
+  EXPECT_DOUBLE_EQ(rep.segments[1].b, 5.0);
+  EXPECT_EQ(rep.segments[0].r, 2u);
+  EXPECT_EQ(rep.segments[1].r, 5u);
+}
+
+TEST(Paa, ReconstructionPreservesMeanPerSegment) {
+  const std::vector<double> v = RandomWalk(3, 120);
+  const Representation rep = PaaReducer().Reduce(v, 10);
+  const std::vector<double> rec = rep.Reconstruct();
+  size_t start = 0;
+  for (const auto& seg : rep.segments) {
+    double orig = 0.0, recon = 0.0;
+    for (size_t t = start; t <= seg.r; ++t) {
+      orig += v[t];
+      recon += rec[t];
+    }
+    EXPECT_NEAR(orig, recon, 1e-9);
+    start = seg.r + 1;
+  }
+}
+
+TEST(Pla, ReconstructionBeatsPaaInSse) {
+  // A line fit per segment explains at least as much as a constant — with
+  // half the segments it is not guaranteed, so compare at equal N.
+  const std::vector<double> v = RandomWalk(4, 200);
+  const Representation pla = PlaReducer().Reduce(v, 16);   // N = 8
+  const Representation paa = PaaReducer().Reduce(v, 8);    // N = 8
+  const std::vector<double> rec_pla = pla.Reconstruct();
+  const std::vector<double> rec_paa = paa.Reconstruct();
+  EXPECT_LE(SquaredEuclideanDistance(v, rec_pla),
+            SquaredEuclideanDistance(v, rec_paa) + 1e-9);
+}
+
+TEST(Apca, ProducesRequestedSegmentCount) {
+  const std::vector<double> v = RandomWalk(5, 256);
+  for (size_t m : {4, 8, 12, 24}) {
+    const Representation rep = ApcaReducer().Reduce(v, m);
+    EXPECT_EQ(rep.segments.size(), SegmentsForBudget(Method::kApca, m));
+    EXPECT_EQ(rep.segments.back().r, v.size() - 1);
+  }
+}
+
+TEST(Apca, SegmentsAreContiguousAndValuesAreMeans) {
+  const std::vector<double> v = RandomWalk(6, 128);
+  const Representation rep = ApcaReducer().Reduce(v, 12);
+  size_t start = 0;
+  for (const auto& seg : rep.segments) {
+    ASSERT_LE(start, seg.r);
+    double mean = 0.0;
+    for (size_t t = start; t <= seg.r; ++t) mean += v[t];
+    mean /= static_cast<double>(seg.r - start + 1);
+    EXPECT_NEAR(seg.b, mean, 1e-9);
+    EXPECT_DOUBLE_EQ(seg.a, 0.0);
+    start = seg.r + 1;
+  }
+  EXPECT_EQ(start, v.size());
+}
+
+TEST(Apca, AdaptsToStepFunction) {
+  // A two-level step should be captured near-perfectly by 2 segments even
+  // though the step is off-center (where equal-length PAA must straddle it).
+  // Bottom-up merging from length-2 seeds resolves even breakpoints (the
+  // original Haar-based APCA has the same dyadic resolution limit).
+  std::vector<double> v(100, 0.0);
+  for (size_t t = 38; t < v.size(); ++t) v[t] = 10.0;
+  const Representation apca = ApcaReducer().Reduce(v, 4);  // N=2
+  EXPECT_NEAR(apca.GlobalMaxDeviation(v), 0.0, 1e-9);
+  const Representation paa = PaaReducer().Reduce(v, 2);    // N=2
+  EXPECT_GT(paa.GlobalMaxDeviation(v), 1.0);
+}
+
+TEST(Cheby, ReconstructsExactlyWithFullBudget) {
+  const std::vector<double> v = RandomWalk(7, 64);
+  const Representation rep = ChebyReducer().Reduce(v, 64);
+  const std::vector<double> rec = rep.Reconstruct();
+  for (size_t t = 0; t < v.size(); ++t) EXPECT_NEAR(rec[t], v[t], 1e-8);
+}
+
+TEST(Cheby, ParsevalEnergyIdentity) {
+  const std::vector<double> v = RandomWalk(8, 50);
+  const Representation rep = ChebyReducer().Reduce(v, 50);
+  double energy_time = 0.0, energy_coeff = 0.0;
+  for (const double x : v) energy_time += x * x;
+  for (const double c : rep.coeffs) energy_coeff += c * c;
+  EXPECT_NEAR(energy_time, energy_coeff, 1e-8);
+}
+
+TEST(Cheby, TruncationErrorDecreasesWithBudget) {
+  const std::vector<double> v = RandomWalk(9, 128);
+  double prev = 1e300;
+  for (size_t m : {4, 8, 16, 32, 64}) {
+    const Representation rep = ChebyReducer().Reduce(v, m);
+    const double err = SquaredEuclideanDistance(v, rep.Reconstruct());
+    EXPECT_LE(err, prev + 1e-9);
+    prev = err;
+  }
+}
+
+TEST(Paalm, ZeroLambdaEqualsPaa) {
+  const std::vector<double> v = RandomWalk(10, 90);
+  const Representation paalm = PaalmReducer(0.0).Reduce(v, 9);
+  const Representation paa = PaaReducer().Reduce(v, 9);
+  ASSERT_EQ(paalm.segments.size(), paa.segments.size());
+  for (size_t i = 0; i < paa.segments.size(); ++i)
+    EXPECT_NEAR(paalm.segments[i].b, paa.segments[i].b, 1e-9);
+}
+
+TEST(Paalm, SmoothingWorsensMaxDeviation) {
+  // The paper includes PAALM to show the cost of ignoring max deviation:
+  // smoothing pulls values off the per-segment optimum.
+  const std::vector<double> v = RandomWalk(11, 200);
+  const double paa_dev = PaaReducer().Reduce(v, 10).SumMaxDeviation(v);
+  const double paalm_dev = PaalmReducer(5.0).Reduce(v, 10).SumMaxDeviation(v);
+  EXPECT_GE(paalm_dev, paa_dev - 1e-9);
+}
+
+TEST(Paalm, SmoothingPreservesTotalMass) {
+  // (I + lambda*L) has row sums 1 + lambda*0 on the interior... the
+  // Laplacian is singular wrt constants, so the solve preserves the mean of
+  // the segment values.
+  const std::vector<double> v = RandomWalk(12, 96);
+  const Representation paa = PaaReducer().Reduce(v, 8);
+  const Representation paalm = PaalmReducer(3.0).Reduce(v, 8);
+  double sum_paa = 0.0, sum_paalm = 0.0;
+  for (size_t i = 0; i < 8; ++i) {
+    sum_paa += paa.segments[i].b;
+    sum_paalm += paalm.segments[i].b;
+  }
+  EXPECT_NEAR(sum_paa, sum_paalm, 1e-8);
+}
+
+TEST(Sax, SymbolsRespectBreakpointOrder) {
+  std::vector<double> v(64);
+  Rng rng(13);
+  for (auto& x : v) x = rng.Gaussian();
+  ZNormalize(&v);
+  const SaxReducer reducer(8);
+  const Representation rep = reducer.Reduce(v, 16);
+  ASSERT_EQ(rep.symbols.size(), 16u);
+  for (size_t i = 0; i < rep.symbols.size(); ++i) {
+    EXPECT_GE(rep.symbols[i], 0);
+    EXPECT_LT(rep.symbols[i], 8);
+  }
+  // Higher PAA value => symbol at least as large.
+  for (size_t i = 0; i < rep.symbols.size(); ++i) {
+    for (size_t j = 0; j < rep.symbols.size(); ++j) {
+      if (rep.segments[i].b > rep.segments[j].b) {
+        EXPECT_GE(rep.symbols[i], rep.symbols[j]);
+      }
+    }
+  }
+}
+
+TEST(Sax, ReconstructionIsCoarserThanPaa) {
+  // Symbol -> number loses accuracy versus PAA (paper §2).
+  const std::vector<double> v = [] {
+    std::vector<double> x = RandomWalk(14, 128);
+    ZNormalize(&x);
+    return x;
+  }();
+  const double paa_err =
+      SquaredEuclideanDistance(v, PaaReducer().Reduce(v, 16).Reconstruct());
+  const double sax_err =
+      SquaredEuclideanDistance(v, SaxReducer(8).Reduce(v, 16).Reconstruct());
+  EXPECT_GE(sax_err, paa_err - 1e-9);
+}
+
+TEST(Representation, SegmentAccessors) {
+  Representation rep;
+  rep.method = Method::kApca;
+  rep.n = 10;
+  rep.segments = {{0.0, 1.0, 3}, {0.0, 2.0, 6}, {0.0, 3.0, 9}};
+  EXPECT_EQ(rep.segment_start(0), 0u);
+  EXPECT_EQ(rep.segment_start(1), 4u);
+  EXPECT_EQ(rep.segment_start(2), 7u);
+  EXPECT_EQ(rep.segment_length(0), 4u);
+  EXPECT_EQ(rep.segment_length(1), 3u);
+  EXPECT_EQ(rep.segment_length(2), 3u);
+}
+
+TEST(Representation, MaxDeviationDefinitions) {
+  const std::vector<double> v{0, 0, 10, 0, 0, 0};
+  Representation rep;
+  rep.method = Method::kApca;
+  rep.n = 6;
+  rep.segments = {{0.0, 0.0, 2}, {0.0, 0.0, 5}};
+  EXPECT_DOUBLE_EQ(rep.SegmentMaxDeviation(v, 0), 10.0);
+  EXPECT_DOUBLE_EQ(rep.SegmentMaxDeviation(v, 1), 0.0);
+  EXPECT_DOUBLE_EQ(rep.SumMaxDeviation(v), 10.0);
+  EXPECT_DOUBLE_EQ(rep.GlobalMaxDeviation(v), 10.0);
+}
+
+// Every reducer must cover the series exactly and respect its coefficient
+// budget across a parameter sweep (methods x M).
+struct BudgetCase {
+  Method method;
+  size_t m;
+};
+
+class BudgetSweep : public ::testing::TestWithParam<BudgetCase> {};
+
+TEST_P(BudgetSweep, CoversSeriesAndRespectsBudget) {
+  const auto [method, m] = GetParam();
+  const std::vector<double> v = RandomWalk(17, 256);
+  const Representation rep = MakeReducer(method)->Reduce(v, m);
+  EXPECT_EQ(rep.method, method);
+  EXPECT_EQ(rep.n, v.size());
+  if (method == Method::kCheby) {
+    EXPECT_LE(rep.coeffs.size(), m);
+  } else {
+    EXPECT_EQ(rep.segments.size(), SegmentsForBudget(method, m));
+    EXPECT_EQ(rep.segments.back().r, v.size() - 1);
+    size_t start = 0;
+    for (const auto& seg : rep.segments) {
+      EXPECT_LE(start, seg.r);
+      start = seg.r + 1;
+    }
+    // Coefficient accounting per Table 1.
+    EXPECT_LE(rep.segments.size() * CoefficientsPerSegment(method), m);
+  }
+  // Reconstruction has the right length and finite values.
+  const std::vector<double> rec = rep.Reconstruct();
+  ASSERT_EQ(rec.size(), v.size());
+  for (const double x : rec) EXPECT_TRUE(std::isfinite(x));
+}
+
+std::vector<BudgetCase> AllBudgetCases() {
+  std::vector<BudgetCase> cases;
+  for (const Method method : AllMethods())
+    for (const size_t m : {12, 18, 24})
+      cases.push_back({method, m});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MethodsTimesBudgets, BudgetSweep, ::testing::ValuesIn(AllBudgetCases()),
+    [](const ::testing::TestParamInfo<BudgetCase>& info) {
+      return MethodName(info.param.method) + "_M" +
+             std::to_string(info.param.m);
+    });
+
+}  // namespace
+}  // namespace sapla

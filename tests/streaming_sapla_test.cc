@@ -1,0 +1,150 @@
+// Tests for the streaming SAPLA extension: structure, budget, quality and
+// agreement with the batch pipeline's statistics.
+
+#include "core/streaming_sapla.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/sapla.h"
+#include "geom/line_fit.h"
+#include "ts/synthetic_archive.h"
+#include "util/rng.h"
+
+namespace sapla {
+namespace {
+
+std::vector<double> RandomWalk(uint64_t seed, size_t n) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  double x = 0.0;
+  for (auto& p : v) {
+    x += rng.Gaussian();
+    p = x;
+  }
+  return v;
+}
+
+TEST(StreamingSapla, EmptyAndTinyStreams) {
+  StreamingSapla stream(4);
+  EXPECT_EQ(stream.size(), 0u);
+  EXPECT_EQ(stream.Snapshot().segments.size(), 0u);
+
+  stream.Append(1.0);
+  EXPECT_EQ(stream.size(), 1u);
+  Representation rep = stream.Snapshot();
+  ASSERT_EQ(rep.segments.size(), 1u);
+  EXPECT_DOUBLE_EQ(rep.segments[0].b, 1.0);
+
+  stream.Append(3.0);
+  rep = stream.Snapshot();
+  ASSERT_EQ(rep.segments.size(), 1u);
+  EXPECT_DOUBLE_EQ(rep.segments[0].a, 2.0);
+  EXPECT_DOUBLE_EQ(rep.segments[0].b, 1.0);
+}
+
+TEST(StreamingSapla, RespectsSegmentBudget) {
+  const std::vector<double> v = RandomWalk(1, 1000);
+  StreamingSapla stream(8);
+  for (const double x : v) {
+    stream.Append(x);
+    EXPECT_LE(stream.Snapshot().segments.size(), 8u);
+  }
+  EXPECT_EQ(stream.size(), v.size());
+}
+
+TEST(StreamingSapla, SnapshotCoversStreamExactly) {
+  const std::vector<double> v = RandomWalk(2, 500);
+  StreamingSapla stream(6);
+  for (const double x : v) stream.Append(x);
+  const Representation rep = stream.Snapshot();
+  EXPECT_EQ(rep.n, v.size());
+  EXPECT_EQ(rep.segments.back().r, v.size() - 1);
+  size_t start = 0;
+  for (const auto& seg : rep.segments) {
+    EXPECT_LE(start, seg.r);
+    start = seg.r + 1;
+  }
+}
+
+TEST(StreamingSapla, SegmentsAreLeastSquaresFitsOfTheirRanges) {
+  // The sufficient-statistics bookkeeping must produce exactly the LS fit
+  // of the covered raw range — checked against an offline refit.
+  const std::vector<double> v = RandomWalk(3, 300);
+  StreamingSapla stream(5);
+  for (const double x : v) stream.Append(x);
+  const Representation rep = stream.Snapshot();
+  PrefixFitter fitter(v);
+  for (size_t i = 0; i < rep.num_segments(); ++i) {
+    const Line line = fitter.Fit(rep.segment_start(i), rep.segments[i].r);
+    EXPECT_NEAR(rep.segments[i].a, line.a, 1e-7) << i;
+    EXPECT_NEAR(rep.segments[i].b, line.b, 1e-7) << i;
+  }
+}
+
+TEST(StreamingSapla, PerfectOnPiecewiseLinearStream) {
+  std::vector<double> v;
+  for (int t = 0; t < 50; ++t) v.push_back(0.5 * t);
+  for (int t = 0; t < 50; ++t) v.push_back(25.0 - 2.0 * t);
+  StreamingSapla stream(4);
+  for (const double x : v) stream.Append(x);
+  const Representation rep = stream.Snapshot();
+  EXPECT_NEAR(rep.SumMaxDeviation(v), 0.0, 1e-7);
+}
+
+TEST(StreamingSapla, QualityWithinFactorOfBatch) {
+  // Streaming loses the endpoint-movement phase; it should still land in
+  // the same quality regime as batch SAPLA.
+  double stream_total = 0.0, batch_total = 0.0;
+  for (size_t id = 0; id < 6; ++id) {
+    SyntheticOptions opt;
+    opt.length = 256;
+    opt.num_series = 4;
+    const Dataset ds = MakeSyntheticDataset(id, opt);
+    for (const TimeSeries& ts : ds.series) {
+      StreamingSapla stream(8);
+      for (const double x : ts.values) stream.Append(x);
+      stream_total += stream.Snapshot().SumMaxDeviation(ts.values);
+      batch_total += SaplaReducer()
+                         .ReduceToSegments(ts.values, 8)
+                         .SumMaxDeviation(ts.values);
+    }
+  }
+  EXPECT_GE(stream_total, batch_total * 0.8);  // batch should win...
+  EXPECT_LE(stream_total, batch_total * 3.0);  // ...but not by miles
+}
+
+TEST(StreamingSapla, DeterministicGivenSameStream) {
+  const std::vector<double> v = RandomWalk(4, 400);
+  StreamingSapla a(6), b(6);
+  for (const double x : v) {
+    a.Append(x);
+    b.Append(x);
+  }
+  const Representation ra = a.Snapshot(), rb = b.Snapshot();
+  ASSERT_EQ(ra.segments.size(), rb.segments.size());
+  for (size_t i = 0; i < ra.segments.size(); ++i)
+    EXPECT_EQ(ra.segments[i].r, rb.segments[i].r);
+}
+
+TEST(StreamingSapla, LongStreamBoundedState) {
+  // 50k points through a budget of 10: must stay fast and bounded (this
+  // test exists to catch accidental O(n) state growth; it finishes in
+  // milliseconds when memory is truly O(N)).
+  Rng rng(5);
+  StreamingSapla stream(10);
+  double x = 0.0;
+  for (int t = 0; t < 50000; ++t) {
+    x += rng.Gaussian();
+    stream.Append(x);
+  }
+  EXPECT_EQ(stream.size(), 50000u);
+  const Representation rep = stream.Snapshot();
+  EXPECT_LE(rep.segments.size(), 10u);
+  EXPECT_EQ(rep.segments.back().r, 49999u);
+}
+
+}  // namespace
+}  // namespace sapla

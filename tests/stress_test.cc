@@ -1,0 +1,130 @@
+// Randomized end-to-end stress tests: many random configurations pushed
+// through the full reduce -> distance -> index -> search stack, asserting
+// only invariants that must hold for EVERY input. Catches crashes,
+// non-finite propagation, and structural corruption that targeted unit
+// tests can miss.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/sapla.h"
+#include "core/streaming_sapla.h"
+#include "distance/distance.h"
+#include "distance/mindist.h"
+#include "search/knn.h"
+#include "ts/synthetic_archive.h"
+#include "util/rng.h"
+
+namespace sapla {
+namespace {
+
+class StressSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StressSweep, ReduceStackSurvivesRandomConfigs) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 10; ++trial) {
+    const size_t n = 2 + rng.UniformInt(500);
+    const size_t m = 3 + rng.UniformInt(30);
+    std::vector<double> v(n);
+    // Mix of scales including harsh ones.
+    const double scale = std::pow(10.0, rng.Uniform(-3.0, 3.0));
+    for (auto& x : v) x = scale * rng.Gaussian();
+
+    for (const Method method : AllMethodsExtended()) {
+      if (method == Method::kApla && n > 300) continue;  // keep it quick
+      const Representation rep = MakeReducer(method)->Reduce(v, m);
+      ASSERT_EQ(rep.n, n) << MethodName(method);
+      const std::vector<double> rec = rep.Reconstruct();
+      ASSERT_EQ(rec.size(), n);
+      for (const double x : rec)
+        ASSERT_TRUE(std::isfinite(x)) << MethodName(method) << " n=" << n;
+      if (!rep.segments.empty()) {
+        ASSERT_EQ(rep.segments.back().r, n - 1) << MethodName(method);
+        size_t start = 0;
+        for (const auto& seg : rep.segments) {
+          ASSERT_LE(start, seg.r);
+          start = seg.r + 1;
+        }
+      }
+      ASSERT_GE(rep.SumMaxDeviation(v), 0.0);
+    }
+  }
+}
+
+TEST_P(StressSweep, DistancesStayFiniteAndSymmetricish) {
+  Rng rng(GetParam() + 1000);
+  for (int trial = 0; trial < 10; ++trial) {
+    const size_t n = 8 + rng.UniformInt(300);
+    const size_t m = 6 + rng.UniformInt(24);
+    std::vector<double> a(n), b(n);
+    for (auto& x : a) x = rng.Gaussian(0.0, 5.0);
+    for (auto& x : b) x = rng.Gaussian(0.0, 5.0);
+    const SaplaReducer reducer;
+    const Representation ra = reducer.Reduce(a, m);
+    const Representation rb = reducer.Reduce(b, m);
+    const double d1 = DistPar(ra, rb);
+    const double d2 = DistPar(rb, ra);
+    ASSERT_TRUE(std::isfinite(d1));
+    ASSERT_NEAR(d1, d2, 1e-6 * (1.0 + d1));
+    PrefixFitter fa(a);
+    ASSERT_LE(DistLb(fa, rb), EuclideanDistance(a, b) + 1e-6);
+    ASSERT_TRUE(std::isfinite(DistAe(a, rb)));
+  }
+}
+
+TEST_P(StressSweep, IndexStackSurvivesRandomConfigs) {
+  Rng rng(GetParam() + 2000);
+  SyntheticOptions opt;
+  opt.length = 16 + rng.UniformInt(200);
+  opt.num_series = 5 + rng.UniformInt(60);
+  const Dataset ds =
+      MakeSyntheticDataset(rng.UniformInt(117), opt);
+  const size_t m = 6 + rng.UniformInt(18);
+  const size_t k = 1 + rng.UniformInt(10);
+
+  for (const IndexKind kind : {IndexKind::kRTree, IndexKind::kDbchTree}) {
+    const Method method =
+        AllMethods()[rng.UniformInt(AllMethods().size())];
+    if (method == Method::kApla && opt.length > 256) continue;
+    SimilarityIndex index(method, m, kind);
+    ASSERT_TRUE(index.Build(ds).ok())
+        << MethodName(method) << " n=" << opt.length;
+    const size_t qi = rng.UniformInt(ds.size());
+    const KnnResult res = index.Knn(ds.series[qi].values, k);
+    ASSERT_GE(res.neighbors.size(), 1u);
+    ASSERT_LE(res.neighbors.size(), std::min(k, ds.size()));
+    for (size_t i = 1; i < res.neighbors.size(); ++i)
+      ASSERT_GE(res.neighbors[i].first, res.neighbors[i - 1].first);
+    ASSERT_LE(res.num_measured, ds.size());
+    // The self series must appear as the top hit.
+    ASSERT_EQ(res.neighbors[0].second, qi);
+  }
+}
+
+TEST_P(StressSweep, StreamingSaplaSurvivesArbitraryFeeds) {
+  Rng rng(GetParam() + 3000);
+  StreamingSapla stream(1 + rng.UniformInt(16));
+  const size_t total = 100 + rng.UniformInt(3000);
+  double x = 0.0;
+  for (size_t t = 0; t < total; ++t) {
+    // Occasionally jump scales violently.
+    if (rng.Uniform() < 0.01) x += rng.Uniform(-1e4, 1e4);
+    x += rng.Gaussian();
+    stream.Append(x);
+  }
+  const Representation rep = stream.Snapshot();
+  ASSERT_EQ(rep.n, total);
+  ASSERT_EQ(rep.segments.back().r, total - 1);
+  for (const auto& seg : rep.segments) {
+    ASSERT_TRUE(std::isfinite(seg.a));
+    ASSERT_TRUE(std::isfinite(seg.b));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StressSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace sapla

@@ -1,0 +1,154 @@
+// Tests for sliding-window subsequence search and motif discovery.
+
+#include "search/subsequence.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace sapla {
+namespace {
+
+std::vector<double> NoisySequence(uint64_t seed, size_t n) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  double x = 0.0;
+  for (auto& p : v) {
+    x = 0.95 * x + rng.Gaussian();
+    p = x;
+  }
+  return v;
+}
+
+SubsequenceIndex::Options SmallOptions() {
+  SubsequenceIndex::Options opt;
+  opt.window = 32;
+  opt.stride = 1;
+  opt.budget_m = 12;
+  return opt;
+}
+
+TEST(SubsequenceIndex, BuildValidation) {
+  SubsequenceIndex::Options opt = SmallOptions();
+  EXPECT_FALSE(SubsequenceIndex::Build(std::vector<double>(10, 0.0), opt).ok());
+  opt.window = 2;
+  EXPECT_FALSE(
+      SubsequenceIndex::Build(NoisySequence(1, 100), opt).ok());
+  opt = SmallOptions();
+  opt.stride = 0;
+  EXPECT_FALSE(
+      SubsequenceIndex::Build(NoisySequence(1, 100), opt).ok());
+}
+
+TEST(SubsequenceIndex, WindowCountMatchesStride) {
+  for (const size_t stride : {1u, 4u, 16u}) {
+    SubsequenceIndex::Options opt = SmallOptions();
+    opt.stride = stride;
+    const auto index = SubsequenceIndex::Build(NoisySequence(2, 256), opt);
+    ASSERT_TRUE(index.ok());
+    EXPECT_EQ((*index)->num_windows(), (256 - 32) / stride + 1);
+  }
+}
+
+TEST(SubsequenceIndex, FindsPlantedPattern) {
+  // Plant an exact copy of the query deep inside a noisy sequence.
+  std::vector<double> seq = NoisySequence(3, 512);
+  std::vector<double> pattern(32);
+  for (size_t t = 0; t < 32; ++t)
+    pattern[t] = 5.0 * std::sin(2.0 * M_PI * static_cast<double>(t) / 8.0);
+  const size_t planted_at = 300;
+  for (size_t t = 0; t < 32; ++t) seq[planted_at + t] = pattern[t];
+
+  const auto index = SubsequenceIndex::Build(seq, SmallOptions());
+  ASSERT_TRUE(index.ok());
+  const auto hits = (*index)->Search(pattern, 1);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].offset, planted_at);
+  EXPECT_NEAR(hits[0].distance, 0.0, 1e-9);
+}
+
+TEST(SubsequenceIndex, OverlapSuppression) {
+  std::vector<double> seq = NoisySequence(4, 400);
+  const auto index = SubsequenceIndex::Build(seq, SmallOptions());
+  ASSERT_TRUE(index.ok());
+  std::vector<double> query(seq.begin() + 100, seq.begin() + 132);
+  const auto hits = (*index)->Search(query, 4, /*exclude_overlaps=*/true);
+  for (size_t i = 0; i < hits.size(); ++i) {
+    for (size_t j = i + 1; j < hits.size(); ++j) {
+      const size_t gap = hits[i].offset > hits[j].offset
+                             ? hits[i].offset - hits[j].offset
+                             : hits[j].offset - hits[i].offset;
+      EXPECT_GE(gap, 32u) << "hits " << i << " and " << j << " overlap";
+    }
+  }
+}
+
+TEST(SubsequenceIndex, RangeSearchMatchesBruteForce) {
+  std::vector<double> seq = NoisySequence(5, 300);
+  SubsequenceIndex::Options opt = SmallOptions();
+  opt.method = Method::kPaa;       // rigorous bounds end-to-end
+  opt.kind = IndexKind::kRTree;
+  const auto index = SubsequenceIndex::Build(seq, opt);
+  ASSERT_TRUE(index.ok());
+
+  std::vector<double> query(seq.begin() + 50, seq.begin() + 82);
+  const double radius = 3.0;
+  const auto hits = (*index)->RangeSearch(query, radius);
+
+  std::vector<size_t> brute;
+  for (size_t off = 0; off + 32 <= seq.size(); ++off) {
+    std::vector<double> w(seq.begin() + static_cast<ptrdiff_t>(off),
+                          seq.begin() + static_cast<ptrdiff_t>(off) + 32);
+    if (EuclideanDistance(query, w) <= radius) brute.push_back(off);
+  }
+  ASSERT_EQ(hits.size(), brute.size());
+  std::vector<size_t> got;
+  for (const auto& h : hits) got.push_back(h.offset);
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, brute);
+}
+
+TEST(SubsequenceIndex, MotifFindsPlantedRepetition) {
+  // Plant the same pattern twice, far apart; the motif must be that pair.
+  std::vector<double> seq = NoisySequence(6, 600);
+  std::vector<double> pattern(32);
+  Rng rng(99);
+  for (auto& x : pattern) x = 10.0 * rng.Gaussian();
+  for (size_t t = 0; t < 32; ++t) {
+    seq[100 + t] = pattern[t];
+    seq[450 + t] = pattern[t];
+  }
+  const auto index = SubsequenceIndex::Build(seq, SmallOptions());
+  ASSERT_TRUE(index.ok());
+  size_t partner = 0;
+  const SubsequenceMatch motif = (*index)->FindMotif(&partner);
+  const size_t a = std::min(motif.offset, partner);
+  const size_t b = std::max(motif.offset, partner);
+  EXPECT_EQ(a, 100u);
+  EXPECT_EQ(b, 450u);
+  EXPECT_NEAR(motif.distance, 0.0, 1e-9);
+}
+
+TEST(SubsequenceIndex, ZNormalizedMatchingIsAmplitudeInvariant) {
+  // With per-window z-normalization, a scaled+shifted copy matches.
+  std::vector<double> seq = NoisySequence(7, 400);
+  std::vector<double> pattern(32);
+  for (size_t t = 0; t < 32; ++t)
+    pattern[t] = std::sin(2.0 * M_PI * static_cast<double>(t) / 10.0);
+  for (size_t t = 0; t < 32; ++t) seq[200 + t] = 7.0 * pattern[t] + 40.0;
+
+  SubsequenceIndex::Options opt = SmallOptions();
+  opt.z_normalize_windows = true;
+  const auto index = SubsequenceIndex::Build(seq, opt);
+  ASSERT_TRUE(index.ok());
+  const auto hits = (*index)->Search(pattern, 1);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].offset, 200u);
+  EXPECT_NEAR(hits[0].distance, 0.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace sapla

@@ -1,0 +1,176 @@
+// Tests for the utility layer: Status/Result, Rng, SummaryStats, Table,
+// normal-distribution helpers.
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "util/normal.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/status.h"
+#include "util/table.h"
+
+namespace sapla {
+namespace {
+
+TEST(Status, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, CarriesCodeAndMessage) {
+  const Status s = Status::InvalidArgument("bad M");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad M");
+}
+
+TEST(Result, HoldsValueOrStatus) {
+  Result<int> ok(42);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  Result<int> bad(Status::NotFound("nope"));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Rng, DeterministicStreams) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntUnbiasedRange) {
+  Rng rng(8);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(Rng, GaussianMomentsRoughlyStandard) {
+  Rng rng(9);
+  double sum = 0, sq = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.Gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(10);
+  const auto idx = rng.SampleWithoutReplacement(100, 30);
+  EXPECT_EQ(idx.size(), 30u);
+  const std::set<size_t> unique(idx.begin(), idx.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (const size_t i : idx) EXPECT_LT(i, 100u);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(11);
+  Rng child = parent.Fork();
+  EXPECT_NE(parent.NextU64(), child.NextU64());
+}
+
+TEST(SummaryStats, BasicMoments) {
+  SummaryStats s;
+  for (const double x : {1.0, 2.0, 3.0, 4.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.variance(), 1.25, 1e-12);
+}
+
+TEST(SummaryStats, MergeEqualsPooled) {
+  SummaryStats a, b, pooled;
+  Rng rng(12);
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.Gaussian();
+    (i % 2 ? a : b).Add(x);
+    pooled.Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), pooled.count());
+  EXPECT_NEAR(a.mean(), pooled.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), pooled.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(a.min(), pooled.min());
+  EXPECT_DOUBLE_EQ(a.max(), pooled.max());
+}
+
+TEST(Table, AlignedRenderAndCsv) {
+  Table t("demo");
+  t.SetHeader({"name", "value"});
+  t.AddRow({"alpha", Table::Num(1.25)});
+  t.AddRow({"b", Table::Num(100000.0)});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  const std::string csv = t.ToCsv();
+  EXPECT_NE(csv.find("name,value"), std::string::npos);
+  EXPECT_NE(csv.find("alpha,1.25"), std::string::npos);
+}
+
+TEST(Table, CsvQuotesSpecialCharacters) {
+  Table t("q");
+  t.SetHeader({"a"});
+  t.AddRow({"x,y"});
+  EXPECT_NE(t.ToCsv().find("\"x,y\""), std::string::npos);
+}
+
+TEST(Normal, CdfKnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.959963985), 0.975, 1e-6);
+  EXPECT_NEAR(NormalCdf(-1.959963985), 0.025, 1e-6);
+}
+
+TEST(Normal, QuantileInvertsCdf) {
+  for (const double p : {0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    EXPECT_NEAR(NormalCdf(NormalQuantile(p)), p, 1e-10) << p;
+  }
+}
+
+TEST(Normal, SaxBreakpointsMatchClassicTable) {
+  // The published SAX breakpoints for alphabet 4: {-0.67, 0, 0.67}.
+  const auto bp4 = SaxBreakpoints(4);
+  ASSERT_EQ(bp4.size(), 3u);
+  EXPECT_NEAR(bp4[0], -0.6745, 1e-3);
+  EXPECT_NEAR(bp4[1], 0.0, 1e-12);
+  EXPECT_NEAR(bp4[2], 0.6745, 1e-3);
+  // Alphabet 8 spot checks.
+  const auto bp8 = SaxBreakpoints(8);
+  ASSERT_EQ(bp8.size(), 7u);
+  EXPECT_NEAR(bp8[0], -1.15, 1e-2);
+  EXPECT_NEAR(bp8[3], 0.0, 1e-12);
+  EXPECT_NEAR(bp8[6], 1.15, 1e-2);
+}
+
+TEST(Normal, BreakpointsAreEquiprobableAndSorted) {
+  for (const size_t a : {2, 5, 16, 64, 256}) {
+    const auto bp = SaxBreakpoints(a);
+    ASSERT_EQ(bp.size(), a - 1);
+    for (size_t i = 1; i < bp.size(); ++i) EXPECT_GT(bp[i], bp[i - 1]);
+    for (size_t i = 0; i < bp.size(); ++i) {
+      EXPECT_NEAR(NormalCdf(bp[i]),
+                  static_cast<double>(i + 1) / static_cast<double>(a), 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sapla

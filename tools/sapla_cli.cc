@@ -1,0 +1,225 @@
+// sapla_cli — command-line front end for the library.
+//
+//   sapla_cli info      <data.tsv>
+//   sapla_cli reduce    <data.tsv> [--method=SAPLA] [--m=24] [--out=reps.txt]
+//   sapla_cli reconstruct <reps.txt> [--out=recon.tsv]
+//   sapla_cli knn       <data.tsv> [--query=0] [--k=5] [--method=SAPLA]
+//                       [--m=24] [--tree=dbch|rtree]
+//   sapla_cli motif     <data.tsv> [--row=0] [--window=64] [--m=24]
+//
+// Data files are UCR2018 format: one series per line, label first,
+// tab/comma separated. Representation files use the ts/io.h text format.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/sapla.h"
+#include "search/knn.h"
+#include "search/metrics.h"
+#include "search/subsequence.h"
+#include "ts/io.h"
+#include "ts/ucr_loader.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace sapla {
+namespace {
+
+[[noreturn]] void Usage() {
+  fprintf(stderr,
+          "usage: sapla_cli <info|reduce|reconstruct|knn|motif> <file> "
+          "[--key=value ...]\n");
+  exit(2);
+}
+
+struct Args {
+  std::string command;
+  std::string file;
+  std::map<std::string, std::string> flags;
+
+  std::string Get(const std::string& key, const std::string& dflt) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? dflt : it->second;
+  }
+  size_t GetSize(const std::string& key, size_t dflt) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? dflt : std::strtoull(it->second.c_str(),
+                                                    nullptr, 10);
+  }
+};
+
+Args Parse(int argc, char** argv) {
+  if (argc < 3) Usage();
+  Args args;
+  args.command = argv[1];
+  args.file = argv[2];
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const size_t eq = arg.find('=');
+    if (arg.rfind("--", 0) != 0 || eq == std::string::npos) Usage();
+    args.flags[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+  }
+  return args;
+}
+
+Method ParseMethod(const std::string& name) {
+  for (const Method m : AllMethods())
+    if (MethodName(m) == name) return m;
+  fprintf(stderr, "unknown method '%s'\n", name.c_str());
+  exit(2);
+}
+
+Dataset LoadOrDie(const Args& args) {
+  UcrLoadOptions opt;
+  opt.target_length = args.GetSize("length", 0);
+  opt.max_series = args.GetSize("max-series", 0);
+  opt.z_normalize = args.Get("znorm", "1") != "0";
+  const auto loaded = LoadUcrDataset(args.file, opt);
+  if (!loaded.ok()) {
+    fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+    exit(1);
+  }
+  return *loaded;
+}
+
+int CmdInfo(const Args& args) {
+  const Dataset ds = LoadOrDie(args);
+  printf("dataset: %s\n", ds.name.c_str());
+  printf("series:  %zu\n", ds.size());
+  printf("length:  %zu\n", ds.length());
+  std::map<int, size_t> labels;
+  for (const TimeSeries& ts : ds.series) ++labels[ts.label];
+  printf("classes: %zu (", labels.size());
+  bool first = true;
+  for (const auto& [label, count] : labels) {
+    printf("%s%d:%zu", first ? "" : ", ", label, count);
+    first = false;
+  }
+  printf(")\n");
+  return 0;
+}
+
+int CmdReduce(const Args& args) {
+  const Dataset ds = LoadOrDie(args);
+  const Method method = ParseMethod(args.Get("method", "SAPLA"));
+  const size_t m = args.GetSize("m", 24);
+  const std::string out = args.Get("out", "reps.txt");
+
+  const auto reducer = MakeReducer(method);
+  CpuTimer timer;
+  std::vector<Representation> reps;
+  reps.reserve(ds.size());
+  double dev = 0.0;
+  for (const TimeSeries& ts : ds.series) {
+    reps.push_back(reducer->Reduce(ts.values, m));
+    dev += reps.back().SumMaxDeviation(ts.values);
+  }
+  const double seconds = timer.Seconds();
+  if (Status s = SaveRepresentations(out, reps); !s.ok()) {
+    fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  printf("%zu series reduced with %s (M=%zu) in %.3fs CPU\n", ds.size(),
+         MethodName(method).c_str(), m, seconds);
+  printf("avg sum-max-deviation: %.4f\n", dev / static_cast<double>(ds.size()));
+  printf("wrote %s\n", out.c_str());
+  return 0;
+}
+
+int CmdReconstruct(const Args& args) {
+  const auto reps = LoadRepresentations(args.file);
+  if (!reps.ok()) {
+    fprintf(stderr, "%s\n", reps.status().ToString().c_str());
+    return 1;
+  }
+  const std::string out = args.Get("out", "recon.tsv");
+  Dataset recon;
+  recon.name = "reconstruction";
+  for (const Representation& rep : *reps)
+    recon.series.emplace_back(rep.Reconstruct());
+  if (Status s = SaveDatasetTsv(out, recon); !s.ok()) {
+    fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  printf("reconstructed %zu series -> %s\n", reps->size(), out.c_str());
+  return 0;
+}
+
+int CmdKnn(const Args& args) {
+  const Dataset ds = LoadOrDie(args);
+  const Method method = ParseMethod(args.Get("method", "SAPLA"));
+  const size_t m = args.GetSize("m", 24);
+  const size_t k = args.GetSize("k", 5);
+  const size_t query_row = args.GetSize("query", 0);
+  const IndexKind kind = args.Get("tree", "dbch") == "rtree"
+                             ? IndexKind::kRTree
+                             : IndexKind::kDbchTree;
+  if (query_row >= ds.size()) {
+    fprintf(stderr, "query row %zu out of range\n", query_row);
+    return 1;
+  }
+
+  SimilarityIndex index(method, m, kind);
+  BuildInfo info;
+  if (Status s = index.Build(ds, &info); !s.ok()) {
+    fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  const std::vector<double>& q = ds.series[query_row].values;
+  CpuTimer timer;
+  const KnnResult res = index.Knn(q, k);
+  const double seconds = timer.Seconds();
+
+  printf("%zu-NN of row %zu (%s, M=%zu, %s):\n", k, query_row,
+         MethodName(method).c_str(), m,
+         kind == IndexKind::kRTree ? "R-tree" : "DBCH-tree");
+  for (const auto& [dist, id] : res.neighbors)
+    printf("  row %4zu  distance %10.4f  label %d\n", id, dist,
+           ds.series[id].label);
+  printf("measured %zu/%zu raw series (pruning power %.3f) in %.4fs CPU\n",
+         res.num_measured, ds.size(), PruningPower(res, ds.size()), seconds);
+  return 0;
+}
+
+int CmdMotif(const Args& args) {
+  const Dataset ds = LoadOrDie(args);
+  const size_t row = args.GetSize("row", 0);
+  if (row >= ds.size()) {
+    fprintf(stderr, "row %zu out of range\n", row);
+    return 1;
+  }
+  SubsequenceIndex::Options opt;
+  opt.window = args.GetSize("window", 64);
+  opt.budget_m = args.GetSize("m", 24);
+  opt.stride = args.GetSize("stride", 1);
+  auto index = SubsequenceIndex::Build(ds.series[row].values, opt);
+  if (!index.ok()) {
+    fprintf(stderr, "%s\n", index.status().ToString().c_str());
+    return 1;
+  }
+  size_t partner = 0;
+  const SubsequenceMatch motif = (*index)->FindMotif(&partner);
+  printf("best motif in row %zu (window %zu): offsets %zu and %zu, "
+         "distance %.4f\n",
+         row, opt.window, motif.offset, partner, motif.distance);
+  return 0;
+}
+
+int Run(int argc, char** argv) {
+  const Args args = Parse(argc, argv);
+  if (args.command == "info") return CmdInfo(args);
+  if (args.command == "reduce") return CmdReduce(args);
+  if (args.command == "reconstruct") return CmdReconstruct(args);
+  if (args.command == "knn") return CmdKnn(args);
+  if (args.command == "motif") return CmdMotif(args);
+  Usage();
+}
+
+}  // namespace
+}  // namespace sapla
+
+int main(int argc, char** argv) { return sapla::Run(argc, argv); }
