@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_maxdev"
+  "../bench/bench_fig12_maxdev.pdb"
+  "CMakeFiles/bench_fig12_maxdev.dir/bench_fig12_maxdev.cc.o"
+  "CMakeFiles/bench_fig12_maxdev.dir/bench_fig12_maxdev.cc.o.d"
+  "CMakeFiles/bench_fig12_maxdev.dir/harness_common.cc.o"
+  "CMakeFiles/bench_fig12_maxdev.dir/harness_common.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_maxdev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_pruning"
+  "../bench/bench_fig13_pruning.pdb"
+  "CMakeFiles/bench_fig13_pruning.dir/bench_fig13_pruning.cc.o"
+  "CMakeFiles/bench_fig13_pruning.dir/bench_fig13_pruning.cc.o.d"
+  "CMakeFiles/bench_fig13_pruning.dir/harness_common.cc.o"
+  "CMakeFiles/bench_fig13_pruning.dir/harness_common.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_pruning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

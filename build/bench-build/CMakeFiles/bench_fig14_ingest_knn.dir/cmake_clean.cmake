@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig14_ingest_knn"
+  "../bench/bench_fig14_ingest_knn.pdb"
+  "CMakeFiles/bench_fig14_ingest_knn.dir/bench_fig14_ingest_knn.cc.o"
+  "CMakeFiles/bench_fig14_ingest_knn.dir/bench_fig14_ingest_knn.cc.o.d"
+  "CMakeFiles/bench_fig14_ingest_knn.dir/harness_common.cc.o"
+  "CMakeFiles/bench_fig14_ingest_knn.dir/harness_common.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_ingest_knn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

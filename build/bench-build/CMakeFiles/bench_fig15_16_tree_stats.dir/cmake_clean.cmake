@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig15_16_tree_stats"
+  "../bench/bench_fig15_16_tree_stats.pdb"
+  "CMakeFiles/bench_fig15_16_tree_stats.dir/bench_fig15_16_tree_stats.cc.o"
+  "CMakeFiles/bench_fig15_16_tree_stats.dir/bench_fig15_16_tree_stats.cc.o.d"
+  "CMakeFiles/bench_fig15_16_tree_stats.dir/harness_common.cc.o"
+  "CMakeFiles/bench_fig15_16_tree_stats.dir/harness_common.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_16_tree_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tightness"
+  "../bench/bench_tightness.pdb"
+  "CMakeFiles/bench_tightness.dir/bench_tightness.cc.o"
+  "CMakeFiles/bench_tightness.dir/bench_tightness.cc.o.d"
+  "CMakeFiles/bench_tightness.dir/harness_common.cc.o"
+  "CMakeFiles/bench_tightness.dir/harness_common.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tightness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classification_1nn.dir/classification_1nn.cpp.o"
+  "CMakeFiles/classification_1nn.dir/classification_1nn.cpp.o.d"
+  "classification_1nn"
+  "classification_1nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classification_1nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for classification_1nn.
+# This may be replaced when dependencies are built.

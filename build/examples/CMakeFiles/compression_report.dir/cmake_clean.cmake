@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compression_report.dir/compression_report.cpp.o"
+  "CMakeFiles/compression_report.dir/compression_report.cpp.o.d"
+  "compression_report"
+  "compression_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compression_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discord_detection.dir/discord_detection.cpp.o"
+  "CMakeFiles/discord_detection.dir/discord_detection.cpp.o.d"
+  "discord_detection"
+  "discord_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discord_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtw_search.dir/dtw_search.cpp.o"
+  "CMakeFiles/dtw_search.dir/dtw_search.cpp.o.d"
+  "dtw_search"
+  "dtw_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtw_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

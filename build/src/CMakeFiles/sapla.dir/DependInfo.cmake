@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/paper_equations.cc" "src/CMakeFiles/sapla.dir/core/paper_equations.cc.o" "gcc" "src/CMakeFiles/sapla.dir/core/paper_equations.cc.o.d"
+  "/root/repo/src/core/sapla.cc" "src/CMakeFiles/sapla.dir/core/sapla.cc.o" "gcc" "src/CMakeFiles/sapla.dir/core/sapla.cc.o.d"
+  "/root/repo/src/core/streaming_sapla.cc" "src/CMakeFiles/sapla.dir/core/streaming_sapla.cc.o" "gcc" "src/CMakeFiles/sapla.dir/core/streaming_sapla.cc.o.d"
+  "/root/repo/src/distance/distance.cc" "src/CMakeFiles/sapla.dir/distance/distance.cc.o" "gcc" "src/CMakeFiles/sapla.dir/distance/distance.cc.o.d"
+  "/root/repo/src/distance/dtw.cc" "src/CMakeFiles/sapla.dir/distance/dtw.cc.o" "gcc" "src/CMakeFiles/sapla.dir/distance/dtw.cc.o.d"
+  "/root/repo/src/distance/mindist.cc" "src/CMakeFiles/sapla.dir/distance/mindist.cc.o" "gcc" "src/CMakeFiles/sapla.dir/distance/mindist.cc.o.d"
+  "/root/repo/src/geom/areas.cc" "src/CMakeFiles/sapla.dir/geom/areas.cc.o" "gcc" "src/CMakeFiles/sapla.dir/geom/areas.cc.o.d"
+  "/root/repo/src/geom/convex_hull.cc" "src/CMakeFiles/sapla.dir/geom/convex_hull.cc.o" "gcc" "src/CMakeFiles/sapla.dir/geom/convex_hull.cc.o.d"
+  "/root/repo/src/geom/haar.cc" "src/CMakeFiles/sapla.dir/geom/haar.cc.o" "gcc" "src/CMakeFiles/sapla.dir/geom/haar.cc.o.d"
+  "/root/repo/src/geom/line_fit.cc" "src/CMakeFiles/sapla.dir/geom/line_fit.cc.o" "gcc" "src/CMakeFiles/sapla.dir/geom/line_fit.cc.o.d"
+  "/root/repo/src/geom/minimax.cc" "src/CMakeFiles/sapla.dir/geom/minimax.cc.o" "gcc" "src/CMakeFiles/sapla.dir/geom/minimax.cc.o.d"
+  "/root/repo/src/index/dbch_tree.cc" "src/CMakeFiles/sapla.dir/index/dbch_tree.cc.o" "gcc" "src/CMakeFiles/sapla.dir/index/dbch_tree.cc.o.d"
+  "/root/repo/src/index/feature_map.cc" "src/CMakeFiles/sapla.dir/index/feature_map.cc.o" "gcc" "src/CMakeFiles/sapla.dir/index/feature_map.cc.o.d"
+  "/root/repo/src/index/isax_tree.cc" "src/CMakeFiles/sapla.dir/index/isax_tree.cc.o" "gcc" "src/CMakeFiles/sapla.dir/index/isax_tree.cc.o.d"
+  "/root/repo/src/index/rtree.cc" "src/CMakeFiles/sapla.dir/index/rtree.cc.o" "gcc" "src/CMakeFiles/sapla.dir/index/rtree.cc.o.d"
+  "/root/repo/src/mining/kmeans.cc" "src/CMakeFiles/sapla.dir/mining/kmeans.cc.o" "gcc" "src/CMakeFiles/sapla.dir/mining/kmeans.cc.o.d"
+  "/root/repo/src/mining/matrix_profile.cc" "src/CMakeFiles/sapla.dir/mining/matrix_profile.cc.o" "gcc" "src/CMakeFiles/sapla.dir/mining/matrix_profile.cc.o.d"
+  "/root/repo/src/mining/segmentation.cc" "src/CMakeFiles/sapla.dir/mining/segmentation.cc.o" "gcc" "src/CMakeFiles/sapla.dir/mining/segmentation.cc.o.d"
+  "/root/repo/src/reduction/apca.cc" "src/CMakeFiles/sapla.dir/reduction/apca.cc.o" "gcc" "src/CMakeFiles/sapla.dir/reduction/apca.cc.o.d"
+  "/root/repo/src/reduction/apca_haar.cc" "src/CMakeFiles/sapla.dir/reduction/apca_haar.cc.o" "gcc" "src/CMakeFiles/sapla.dir/reduction/apca_haar.cc.o.d"
+  "/root/repo/src/reduction/apla.cc" "src/CMakeFiles/sapla.dir/reduction/apla.cc.o" "gcc" "src/CMakeFiles/sapla.dir/reduction/apla.cc.o.d"
+  "/root/repo/src/reduction/cheby.cc" "src/CMakeFiles/sapla.dir/reduction/cheby.cc.o" "gcc" "src/CMakeFiles/sapla.dir/reduction/cheby.cc.o.d"
+  "/root/repo/src/reduction/dft.cc" "src/CMakeFiles/sapla.dir/reduction/dft.cc.o" "gcc" "src/CMakeFiles/sapla.dir/reduction/dft.cc.o.d"
+  "/root/repo/src/reduction/paa.cc" "src/CMakeFiles/sapla.dir/reduction/paa.cc.o" "gcc" "src/CMakeFiles/sapla.dir/reduction/paa.cc.o.d"
+  "/root/repo/src/reduction/paalm.cc" "src/CMakeFiles/sapla.dir/reduction/paalm.cc.o" "gcc" "src/CMakeFiles/sapla.dir/reduction/paalm.cc.o.d"
+  "/root/repo/src/reduction/pla.cc" "src/CMakeFiles/sapla.dir/reduction/pla.cc.o" "gcc" "src/CMakeFiles/sapla.dir/reduction/pla.cc.o.d"
+  "/root/repo/src/reduction/representation.cc" "src/CMakeFiles/sapla.dir/reduction/representation.cc.o" "gcc" "src/CMakeFiles/sapla.dir/reduction/representation.cc.o.d"
+  "/root/repo/src/reduction/sax.cc" "src/CMakeFiles/sapla.dir/reduction/sax.cc.o" "gcc" "src/CMakeFiles/sapla.dir/reduction/sax.cc.o.d"
+  "/root/repo/src/search/knn.cc" "src/CMakeFiles/sapla.dir/search/knn.cc.o" "gcc" "src/CMakeFiles/sapla.dir/search/knn.cc.o.d"
+  "/root/repo/src/search/metrics.cc" "src/CMakeFiles/sapla.dir/search/metrics.cc.o" "gcc" "src/CMakeFiles/sapla.dir/search/metrics.cc.o.d"
+  "/root/repo/src/search/subsequence.cc" "src/CMakeFiles/sapla.dir/search/subsequence.cc.o" "gcc" "src/CMakeFiles/sapla.dir/search/subsequence.cc.o.d"
+  "/root/repo/src/ts/io.cc" "src/CMakeFiles/sapla.dir/ts/io.cc.o" "gcc" "src/CMakeFiles/sapla.dir/ts/io.cc.o.d"
+  "/root/repo/src/ts/synthetic_archive.cc" "src/CMakeFiles/sapla.dir/ts/synthetic_archive.cc.o" "gcc" "src/CMakeFiles/sapla.dir/ts/synthetic_archive.cc.o.d"
+  "/root/repo/src/ts/time_series.cc" "src/CMakeFiles/sapla.dir/ts/time_series.cc.o" "gcc" "src/CMakeFiles/sapla.dir/ts/time_series.cc.o.d"
+  "/root/repo/src/ts/ucr_loader.cc" "src/CMakeFiles/sapla.dir/ts/ucr_loader.cc.o" "gcc" "src/CMakeFiles/sapla.dir/ts/ucr_loader.cc.o.d"
+  "/root/repo/src/util/normal.cc" "src/CMakeFiles/sapla.dir/util/normal.cc.o" "gcc" "src/CMakeFiles/sapla.dir/util/normal.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/CMakeFiles/sapla.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/sapla.dir/util/rng.cc.o.d"
+  "/root/repo/src/util/stats.cc" "src/CMakeFiles/sapla.dir/util/stats.cc.o" "gcc" "src/CMakeFiles/sapla.dir/util/stats.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/sapla.dir/util/status.cc.o" "gcc" "src/CMakeFiles/sapla.dir/util/status.cc.o.d"
+  "/root/repo/src/util/table.cc" "src/CMakeFiles/sapla.dir/util/table.cc.o" "gcc" "src/CMakeFiles/sapla.dir/util/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

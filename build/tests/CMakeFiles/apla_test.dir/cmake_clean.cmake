@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apla_test.dir/apla_test.cc.o"
+  "CMakeFiles/apla_test.dir/apla_test.cc.o.d"
+  "apla_test"
+  "apla_test.pdb"
+  "apla_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apla_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

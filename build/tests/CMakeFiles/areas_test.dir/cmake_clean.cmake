@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/areas_test.dir/areas_test.cc.o"
+  "CMakeFiles/areas_test.dir/areas_test.cc.o.d"
+  "areas_test"
+  "areas_test.pdb"
+  "areas_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/areas_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

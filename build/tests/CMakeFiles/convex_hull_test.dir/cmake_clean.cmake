@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convex_hull_test.dir/convex_hull_test.cc.o"
+  "CMakeFiles/convex_hull_test.dir/convex_hull_test.cc.o.d"
+  "convex_hull_test"
+  "convex_hull_test.pdb"
+  "convex_hull_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convex_hull_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbch_tree_test.dir/dbch_tree_test.cc.o"
+  "CMakeFiles/dbch_tree_test.dir/dbch_tree_test.cc.o.d"
+  "dbch_tree_test"
+  "dbch_tree_test.pdb"
+  "dbch_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbch_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isax_tree_test.dir/isax_tree_test.cc.o"
+  "CMakeFiles/isax_tree_test.dir/isax_tree_test.cc.o.d"
+  "isax_tree_test"
+  "isax_tree_test.pdb"
+  "isax_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isax_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/line_fit_test.dir/line_fit_test.cc.o"
+  "CMakeFiles/line_fit_test.dir/line_fit_test.cc.o.d"
+  "line_fit_test"
+  "line_fit_test.pdb"
+  "line_fit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/line_fit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_equations_test.dir/paper_equations_test.cc.o"
+  "CMakeFiles/paper_equations_test.dir/paper_equations_test.cc.o.d"
+  "paper_equations_test"
+  "paper_equations_test.pdb"
+  "paper_equations_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_equations_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

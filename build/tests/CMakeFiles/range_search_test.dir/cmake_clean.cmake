@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/range_search_test.dir/range_search_test.cc.o"
+  "CMakeFiles/range_search_test.dir/range_search_test.cc.o.d"
+  "range_search_test"
+  "range_search_test.pdb"
+  "range_search_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/range_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sapla_paper_example_test.dir/sapla_paper_example_test.cc.o"
+  "CMakeFiles/sapla_paper_example_test.dir/sapla_paper_example_test.cc.o.d"
+  "sapla_paper_example_test"
+  "sapla_paper_example_test.pdb"
+  "sapla_paper_example_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sapla_paper_example_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sapla_test.dir/sapla_test.cc.o"
+  "CMakeFiles/sapla_test.dir/sapla_test.cc.o.d"
+  "sapla_test"
+  "sapla_test.pdb"
+  "sapla_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sapla_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_sapla_test.dir/streaming_sapla_test.cc.o"
+  "CMakeFiles/streaming_sapla_test.dir/streaming_sapla_test.cc.o.d"
+  "streaming_sapla_test"
+  "streaming_sapla_test.pdb"
+  "streaming_sapla_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_sapla_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/line_fit_test[1]_include.cmake")
+include("/root/repo/build/tests/convex_hull_test[1]_include.cmake")
+include("/root/repo/build/tests/areas_test[1]_include.cmake")
+include("/root/repo/build/tests/paper_equations_test[1]_include.cmake")
+include("/root/repo/build/tests/sapla_paper_example_test[1]_include.cmake")
+include("/root/repo/build/tests/reduction_test[1]_include.cmake")
+include("/root/repo/build/tests/apla_test[1]_include.cmake")
+include("/root/repo/build/tests/distance_test[1]_include.cmake")
+include("/root/repo/build/tests/mindist_test[1]_include.cmake")
+include("/root/repo/build/tests/rtree_test[1]_include.cmake")
+include("/root/repo/build/tests/dbch_tree_test[1]_include.cmake")
+include("/root/repo/build/tests/knn_test[1]_include.cmake")
+include("/root/repo/build/tests/ts_test[1]_include.cmake")
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/sapla_test[1]_include.cmake")
+include("/root/repo/build/tests/haar_test[1]_include.cmake")
+include("/root/repo/build/tests/streaming_sapla_test[1]_include.cmake")
+include("/root/repo/build/tests/range_search_test[1]_include.cmake")
+include("/root/repo/build/tests/dtw_test[1]_include.cmake")
+include("/root/repo/build/tests/subsequence_test[1]_include.cmake")
+include("/root/repo/build/tests/io_test[1]_include.cmake")
+include("/root/repo/build/tests/mining_test[1]_include.cmake")
+include("/root/repo/build/tests/dft_test[1]_include.cmake")
+include("/root/repo/build/tests/minimax_test[1]_include.cmake")
+include("/root/repo/build/tests/isax_tree_test[1]_include.cmake")
+include("/root/repo/build/tests/paper_claims_test[1]_include.cmake")
+include("/root/repo/build/tests/stress_test[1]_include.cmake")
+include("/root/repo/build/tests/matrix_profile_test[1]_include.cmake")

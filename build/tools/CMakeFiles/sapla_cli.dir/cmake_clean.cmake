@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sapla_cli.dir/sapla_cli.cc.o"
+  "CMakeFiles/sapla_cli.dir/sapla_cli.cc.o.d"
+  "sapla_cli"
+  "sapla_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sapla_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
