@@ -33,21 +33,24 @@ int Run(int argc, char** argv) {
 
   for (size_t d = 0; d < config.num_datasets; ++d) {
     const Dataset ds = MakeDataset(config, d);
-    const std::vector<size_t> queries = QueryIndices(config, d);
+    std::vector<std::vector<double>> queries;
+    for (const size_t qi : QueryIndices(config, d))
+      queries.push_back(ds.series[qi].values);
     for (size_t mi = 0; mi < config.methods.size(); ++mi) {
       for (int tree = 0; tree < 2; ++tree) {
         SimilarityIndex index(config.methods[mi], m,
                               tree == 0 ? IndexKind::kRTree
                                         : IndexKind::kDbchTree);
         if (!index.Build(ds).ok()) continue;
-        for (const size_t qi : queries) {
-          const std::vector<double>& q = ds.series[qi].values;
-          for (size_t ki = 0; ki < config.ks.size(); ++ki) {
-            const size_t k = config.ks[ki];
-            const KnnResult truth = LinearScanKnn(ds, q, k);
-            const KnnResult res = index.Knn(q, k);
-            cells[mi][tree][ki].rho.Add(PruningPower(res, ds.size()));
-            cells[mi][tree][ki].accuracy.Add(Accuracy(res, truth, k));
+        for (size_t ki = 0; ki < config.ks.size(); ++ki) {
+          const size_t k = config.ks[ki];
+          // Batch fan-out across the --threads pool; per-query results and
+          // num_measured are identical to serial Knn calls.
+          const std::vector<KnnResult> results = index.KnnBatch(queries, k);
+          for (size_t q = 0; q < queries.size(); ++q) {
+            const KnnResult truth = LinearScanKnn(ds, queries[q], k);
+            cells[mi][tree][ki].rho.Add(PruningPower(results[q], ds.size()));
+            cells[mi][tree][ki].accuracy.Add(Accuracy(results[q], truth, k));
           }
         }
       }

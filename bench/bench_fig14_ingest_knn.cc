@@ -36,12 +36,13 @@ int Run(int argc, char** argv) {
 
   for (size_t d = 0; d < config.num_datasets; ++d) {
     const Dataset ds = MakeDataset(config, d);
-    const std::vector<size_t> queries = QueryIndices(config, d);
+    std::vector<std::vector<double>> queries;
+    for (const size_t qi : QueryIndices(config, d))
+      queries.push_back(ds.series[qi].values);
 
     {
       CpuTimer timer;
-      for (const size_t qi : queries)
-        LinearScanKnn(ds, ds.series[qi].values, k);
+      for (const std::vector<double>& q : queries) LinearScanKnn(ds, q, k);
       linear_scan_seconds.Add(timer.Seconds() /
                               static_cast<double>(queries.size()));
     }
@@ -55,8 +56,11 @@ int Run(int argc, char** argv) {
         if (!index.Build(ds, &info).ok()) continue;
         cells[mi][tree].ingest_reduce.Add(info.reduce_cpu_seconds);
         cells[mi][tree].ingest_insert.Add(info.insert_cpu_seconds);
+        // CPU time sums over the pool's threads, so with --threads>1 this
+        // column still reports total work per query (wall-clock scaling is
+        // bench_parallel_scaling's job).
         CpuTimer timer;
-        for (const size_t qi : queries) index.Knn(ds.series[qi].values, k);
+        index.KnnBatch(queries, k);
         cells[mi][tree].knn_seconds.Add(timer.Seconds() /
                                         static_cast<double>(queries.size()));
       }

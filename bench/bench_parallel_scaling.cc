@@ -1,0 +1,121 @@
+// Serial-vs-parallel scaling of the batch build/query engine.
+//
+// One synthetic dataset (default 2000 series, n=256), batch k-NN over a
+// query set at 1/2/4/8 threads for each method x backend. Before any
+// timing is reported the bench verifies that every thread count returns
+// the same neighbor sets and the same aggregate num_measured as the serial
+// run — the batch layer must be a pure wall-clock optimization. Wall-clock
+// speedup tracks the core count of the machine (a single-core container
+// reports ~1x; four real cores report ~4x on the embarrassingly parallel
+// query fan-out).
+//
+//   bench_parallel_scaling [--series=2000] [--n=256] [--queries=64]
+//                          [--methods=SAPLA,PAA] [--csv=DIR]
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "harness_common.h"
+#include "search/knn.h"
+#include "util/parallel.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace sapla {
+namespace bench {
+namespace {
+
+constexpr size_t kThreadCounts[] = {1, 2, 4, 8};
+
+bool SameResults(const std::vector<KnnResult>& a,
+                 const std::vector<KnnResult>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].neighbors != b[i].neighbors) return false;
+    if (a[i].num_measured != b[i].num_measured) return false;
+  }
+  return true;
+}
+
+size_t TotalMeasured(const std::vector<KnnResult>& results) {
+  size_t total = 0;
+  for (const KnnResult& r : results) total += r.num_measured;
+  return total;
+}
+
+int Run(int argc, char** argv) {
+  HarnessConfig base;
+  base.num_series = 2000;
+  base.n = 256;
+  base.num_datasets = 1;
+  base.num_queries = 64;
+  base.methods = {Method::kSapla, Method::kPaa};
+  const HarnessConfig config = ParseFlags(argc, argv, base);
+  const size_t m = config.budgets.front();
+  const size_t k = config.ks.size() >= 3 ? config.ks[2] : config.ks.back();
+
+  const Dataset ds = MakeDataset(config, 0);
+  std::vector<std::vector<double>> queries;
+  for (const size_t qi : QueryIndices(config, 0))
+    queries.push_back(ds.series[qi].values);
+
+  Table t("Parallel scaling: batch " + std::to_string(k) +
+          "-NN wall seconds over " + std::to_string(queries.size()) +
+          " queries, " + std::to_string(ds.size()) + " series, M=" +
+          std::to_string(m));
+  t.SetHeader({"Method", "Tree", "Threads", "BuildReduceWall", "KnnBatchWall",
+               "Speedup", "Measured", "Identical"});
+
+  for (const Method method : config.methods) {
+    for (const IndexKind kind : {IndexKind::kRTree, IndexKind::kDbchTree}) {
+      std::vector<KnnResult> serial;
+      double serial_wall = 0.0;
+      for (const size_t threads : kThreadCounts) {
+        SetNumThreads(threads);
+        SimilarityIndex index(method, m, kind);
+        BuildInfo info;
+        if (!index.Build(ds, &info).ok()) {
+          fprintf(stderr, "%s build failed\n", MethodName(method).c_str());
+          return 1;
+        }
+        WallTimer timer;
+        const std::vector<KnnResult> results =
+            index.KnnBatch(queries, k, threads);
+        const double wall = timer.Seconds();
+
+        bool identical = true;
+        if (threads == 1) {
+          serial = results;
+          serial_wall = wall;
+        } else {
+          identical = SameResults(serial, results);
+        }
+        t.AddRow({MethodName(method),
+                  kind == IndexKind::kRTree ? "R-tree" : "DBCH-tree",
+                  std::to_string(threads), Table::Num(info.reduce_wall_seconds, 3),
+                  Table::Num(wall, 3),
+                  Table::Num(wall > 0.0 ? serial_wall / wall : 0.0, 2),
+                  std::to_string(TotalMeasured(results)),
+                  identical ? "yes" : "NO"});
+        if (!identical) {
+          fprintf(stderr,
+                  "FATAL: %s/%s at %zu threads diverged from the serial "
+                  "results\n",
+                  MethodName(method).c_str(),
+                  kind == IndexKind::kRTree ? "rtree" : "dbch", threads);
+          return 1;
+        }
+      }
+    }
+  }
+  SetNumThreads(config.threads);
+  t.Print(config.CsvPath("parallel_scaling"));
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace sapla
+
+int main(int argc, char** argv) { return sapla::bench::Run(argc, argv); }

@@ -3,7 +3,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <utility>
 
+#include "util/parallel.h"
 #include "util/rng.h"
 
 namespace sapla {
@@ -36,7 +38,7 @@ std::vector<size_t> ParseSizeList(const std::string& s) {
   fprintf(stderr,
           "usage: %s [--n=N] [--series=S] [--datasets=D] [--queries=Q]\n"
           "          [--methods=SAPLA,APLA,...] [--budgets=12,18,24]\n"
-          "          [--ks=4,8,16,32,64] [--csv=DIR]\n",
+          "          [--ks=4,8,16,32,64] [--threads=T] [--csv=DIR]\n",
           argv0);
   exit(2);
 }
@@ -55,8 +57,8 @@ std::string HarnessConfig::CsvPath(const std::string& table_name) const {
   return csv_dir + "/" + table_name + ".csv";
 }
 
-HarnessConfig ParseFlags(int argc, char** argv) {
-  HarnessConfig config;
+HarnessConfig ParseFlags(int argc, char** argv, HarnessConfig base) {
+  HarnessConfig config = std::move(base);
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const size_t eq = arg.find('=');
@@ -79,6 +81,8 @@ HarnessConfig ParseFlags(int argc, char** argv) {
       config.methods.clear();
       for (const std::string& name : SplitCsv(value))
         config.methods.push_back(MethodFromName(name));
+    } else if (key == "threads") {
+      config.threads = std::strtoull(value.c_str(), nullptr, 10);
     } else if (key == "csv") {
       config.csv_dir = value;
     } else if (key == "per-dataset") {
@@ -87,6 +91,7 @@ HarnessConfig ParseFlags(int argc, char** argv) {
       Usage(argv[0]);
     }
   }
+  SetNumThreads(config.threads);  // 0 = hardware concurrency
   return config;
 }
 

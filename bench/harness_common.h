@@ -12,6 +12,8 @@
 //
 //   --n=1024 --series=100 --datasets=117 --queries=5
 //   --methods=SAPLA,APLA,APCA --budgets=12,18,24 --ks=4,8,16,32,64
+//   --threads=4      (thread pool size for build/batch queries; 1 = serial,
+//                     0 = hardware concurrency)
 //   --csv=/tmp/out   (write one CSV per table into this directory)
 
 #include <string>
@@ -31,6 +33,9 @@ struct HarnessConfig {
   std::vector<size_t> budgets = {12, 18, 24};
   std::vector<size_t> ks = {4, 8, 16, 32, 64};
   std::vector<Method> methods = AllMethods();
+  /// Thread count for index build + batch queries (0 = hardware). The
+  /// default 1 keeps the paper's single-core CPU-time methodology.
+  size_t threads = 1;
   std::string csv_dir;
   /// Also emit per-dataset rows (the paper's technical-report detail);
   /// needs --csv since the output is large.
@@ -40,8 +45,9 @@ struct HarnessConfig {
   std::string CsvPath(const std::string& table_name) const;
 };
 
-/// Parses --key=value flags (unknown flags abort with usage).
-HarnessConfig ParseFlags(int argc, char** argv);
+/// Parses --key=value flags over `base` defaults (unknown flags abort with
+/// usage) and applies the thread count via SetNumThreads.
+HarnessConfig ParseFlags(int argc, char** argv, HarnessConfig base = {});
 
 /// Generates dataset `id` under the config's shape.
 Dataset MakeDataset(const HarnessConfig& config, size_t id);

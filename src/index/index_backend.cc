@@ -1,0 +1,147 @@
+#include "index/index_backend.h"
+
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "distance/mindist.h"
+#include "index/dbch_tree.h"
+#include "index/feature_map.h"
+#include "index/rtree.h"
+
+namespace sapla {
+namespace {
+
+// R-tree adapter: series ids are mapped to per-method feature boxes
+// (APCA raw-range MBRs, PLA coefficient boxes, CHEBY clamp) and queries
+// prune with the mapper's MINDIST.
+class RTreeBackend : public IndexBackend {
+ public:
+  explicit RTreeBackend(const IndexBackendContext& ctx)
+      : ctx_(ctx),
+        mapper_(ctx.method, ctx.m, ctx.dataset->length()),
+        tree_(mapper_.dims(),
+              RTree::Options{ctx.options.min_fill, ctx.options.max_fill}) {}
+
+  std::string name() const override { return "rtree"; }
+
+  void Insert(size_t id) override {
+    const FeatureMapper::Box box =
+        mapper_.MapBox((*ctx_.reps)[id], ctx_.dataset->series[id].values);
+    tree_.InsertBox(box.lo, box.hi, id);
+  }
+
+  void BestFirstSearch(const std::vector<double>& query_raw,
+                       const Representation& query_rep,
+                       const VisitFn& visit) const override {
+    tree_.BestFirstSearch(
+        [&](const std::vector<double>& lo, const std::vector<double>& hi) {
+          return mapper_.MinDist(query_raw, query_rep, lo, hi);
+        },
+        visit);
+  }
+
+  TreeStats ComputeStats() const override { return tree_.ComputeStats(); }
+
+ private:
+  IndexBackendContext ctx_;
+  FeatureMapper mapper_;
+  RTree tree_;
+};
+
+// DBCH-tree adapter: the tree stores bare ids and measures everything with
+// the method's lower-bounding distance over stored representations.
+class DbchBackend : public IndexBackend {
+ public:
+  explicit DbchBackend(const IndexBackendContext& ctx)
+      : ctx_(ctx),
+        tree_(
+            [this](size_t a, size_t b) {
+              return LowerBoundDistance((*ctx_.reps)[a], (*ctx_.reps)[b]);
+            },
+            DbchTree::Options{ctx.options.min_fill, ctx.options.max_fill}) {}
+
+  std::string name() const override { return "dbch"; }
+
+  void Insert(size_t id) override { tree_.Insert(id); }
+
+  void BestFirstSearch(const std::vector<double>& /*query_raw*/,
+                       const Representation& query_rep,
+                       const VisitFn& visit) const override {
+    tree_.BestFirstSearch(
+        [&](size_t id) {
+          return LowerBoundDistance(query_rep, (*ctx_.reps)[id]);
+        },
+        visit);
+  }
+
+  TreeStats ComputeStats() const override { return tree_.ComputeStats(); }
+
+ private:
+  IndexBackendContext ctx_;
+  DbchTree tree_;
+};
+
+std::mutex& RegistryMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::map<std::string, IndexBackendFactory>& Registry() {
+  static auto* registry = [] {
+    auto* r = new std::map<std::string, IndexBackendFactory>;
+    (*r)["rtree"] = [](const IndexBackendContext& ctx) {
+      return std::unique_ptr<IndexBackend>(new RTreeBackend(ctx));
+    };
+    (*r)["dbch"] = [](const IndexBackendContext& ctx) {
+      return std::unique_ptr<IndexBackend>(new DbchBackend(ctx));
+    };
+    // Registration point for the iSAX extension (index/isax_tree.h): the
+    // adapter is pending (IsaxIndex symbolizes internally and has no
+    // per-method representation hook yet), so the name resolves but the
+    // factory yields no backend.
+    (*r)["isax"] = [](const IndexBackendContext&) {
+      return std::unique_ptr<IndexBackend>();
+    };
+    return r;
+  }();
+  return *registry;
+}
+
+}  // namespace
+
+std::string IndexKindName(IndexKind kind) {
+  return kind == IndexKind::kRTree ? "rtree" : "dbch";
+}
+
+std::unique_ptr<IndexBackend> MakeIndexBackend(IndexKind kind,
+                                               const IndexBackendContext& ctx) {
+  return MakeIndexBackendByName(IndexKindName(kind), ctx);
+}
+
+void RegisterIndexBackend(const std::string& name,
+                          IndexBackendFactory factory) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  Registry()[name] = std::move(factory);
+}
+
+std::unique_ptr<IndexBackend> MakeIndexBackendByName(
+    const std::string& name, const IndexBackendContext& ctx) {
+  IndexBackendFactory factory;
+  {
+    std::lock_guard<std::mutex> lock(RegistryMutex());
+    const auto it = Registry().find(name);
+    if (it == Registry().end()) return nullptr;
+    factory = it->second;
+  }
+  return factory(ctx);
+}
+
+std::vector<std::string> IndexBackendNames() {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  std::vector<std::string> names;
+  for (const auto& [name, factory] : Registry()) names.push_back(name);
+  return names;
+}
+
+}  // namespace sapla

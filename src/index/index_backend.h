@@ -1,0 +1,108 @@
+#ifndef SAPLA_INDEX_INDEX_BACKEND_H_
+#define SAPLA_INDEX_INDEX_BACKEND_H_
+
+// Pluggable index-backend layer.
+//
+// SimilarityIndex (search/knn.h) used to hard-code its two tree structures
+// behind `if (rtree_) ... else dbch_` branches. IndexBackend abstracts what
+// the search layer actually needs from an index — insert one series id,
+// run a best-first branch-and-bound traversal for one query, report tree
+// statistics — so k-NN and range search have a single backend-agnostic
+// code path and new structures (iSAX, sharded trees, ...) plug in without
+// touching the search layer.
+//
+// Concurrency contract: Insert is build-time-only and single-threaded. A
+// backend is immutable once SimilarityIndex::Build returns; from then on
+// BestFirstSearch and ComputeStats must be const and safe to call from many
+// threads at once (the batch query APIs fan queries across a pool). Both
+// shipped adapters satisfy this: their traversals only read the node
+// arrays, and all per-query state lives on the caller's stack.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "index/tree_stats.h"
+#include "reduction/representation.h"
+#include "ts/time_series.h"
+
+namespace sapla {
+
+/// Which index structure backs a SimilarityIndex. (Historically defined in
+/// search/knn.h; lives here so backends do not depend on the search layer.)
+enum class IndexKind { kRTree, kDbchTree };
+
+/// Registry name of a kind ("rtree" / "dbch").
+std::string IndexKindName(IndexKind kind);
+
+/// Tree fill factors; defaults follow the paper's §6 setup (min 2, max 5).
+struct IndexBackendOptions {
+  size_t min_fill = 2;
+  size_t max_fill = 5;
+};
+
+/// \brief What a backend is built over: the dataset, its reductions, and
+/// the method configuration. The pointed-to objects are owned by the
+/// caller (SimilarityIndex) and must outlive the backend; backends resolve
+/// ids through them at call time, never copy them.
+struct IndexBackendContext {
+  Method method = Method::kSapla;
+  size_t m = 0;                                       ///< coefficient budget
+  const Dataset* dataset = nullptr;                   ///< raw series by id
+  const std::vector<Representation>* reps = nullptr;  ///< reductions by id
+  IndexBackendOptions options;
+};
+
+/// \brief Abstract index structure over series ids.
+class IndexBackend {
+ public:
+  /// Visits a leaf entry during search; receives the entry id and the
+  /// current pruning bound, returns the (possibly tightened) bound.
+  using VisitFn = std::function<double(size_t id, double bound)>;
+
+  virtual ~IndexBackend() = default;
+
+  /// Registry name of this backend ("rtree", "dbch", ...).
+  virtual std::string name() const = 0;
+
+  /// Inserts series `id` (its representation and raw values are resolved
+  /// through the context). Build-time only; not thread-safe.
+  virtual void Insert(size_t id) = 0;
+
+  /// Best-first branch-and-bound traversal for one query: nodes are
+  /// expanded in increasing lower-bound order and pruned once their bound
+  /// exceeds the bound returned by `visit`. `query_rep` is the query's
+  /// reduction under the context's (method, m). Thread-safe after Build.
+  virtual void BestFirstSearch(const std::vector<double>& query_raw,
+                               const Representation& query_rep,
+                               const VisitFn& visit) const = 0;
+
+  /// Structural statistics (Figs. 15/16). Thread-safe after Build.
+  virtual TreeStats ComputeStats() const = 0;
+};
+
+/// Creates a backend for one of the built-in kinds.
+std::unique_ptr<IndexBackend> MakeIndexBackend(IndexKind kind,
+                                               const IndexBackendContext& ctx);
+
+/// Factory signature for registered backends. May return nullptr when the
+/// backend is registered but not yet usable (a stub).
+using IndexBackendFactory =
+    std::function<std::unique_ptr<IndexBackend>(const IndexBackendContext&)>;
+
+/// Registers (or replaces) a named backend factory. Thread-safe.
+void RegisterIndexBackend(const std::string& name, IndexBackendFactory factory);
+
+/// Instantiates a registered backend by name; nullptr when the name is
+/// unknown or the factory is a stub. Built-ins: "rtree", "dbch"; "isax" is
+/// a registered stub pending an IndexBackend adapter for IsaxIndex.
+std::unique_ptr<IndexBackend> MakeIndexBackendByName(
+    const std::string& name, const IndexBackendContext& ctx);
+
+/// Names of every registered backend (including stubs), sorted.
+std::vector<std::string> IndexBackendNames();
+
+}  // namespace sapla
+
+#endif  // SAPLA_INDEX_INDEX_BACKEND_H_

@@ -6,20 +6,25 @@
 #include <queue>
 
 #include "distance/mindist.h"
+#include "util/parallel.h"
 #include "util/timer.h"
 
 namespace sapla {
 namespace {
 
 // Max-heap of the k best (distance, id) pairs; exposes the pruning bound.
+// Ordering is lexicographic on (distance, id): equal distances keep the
+// smaller id, so the answer set — not just its order — is deterministic
+// and identical between serial, batch and backend variants.
 class TopK {
  public:
   explicit TopK(size_t k) : k_(k) {}
 
   void Offer(double dist, size_t id) {
+    if (k_ == 0) return;
     if (heap_.size() < k_) {
       heap_.emplace(dist, id);
-    } else if (dist < heap_.top().first) {
+    } else if (std::make_pair(dist, id) < heap_.top()) {
       heap_.pop();
       heap_.emplace(dist, id);
     }
@@ -49,10 +54,11 @@ class TopK {
 
 KnnResult LinearScanKnn(const Dataset& dataset,
                         const std::vector<double>& query, size_t k) {
+  KnnResult result;
+  if (k == 0) return result;
   TopK top(k);
   for (size_t i = 0; i < dataset.size(); ++i)
     top.Offer(EuclideanDistance(query, dataset.series[i].values), i);
-  KnnResult result;
   result.neighbors = top.Sorted();
   result.num_measured = dataset.size();
   return result;
@@ -63,6 +69,8 @@ SimilarityIndex::SimilarityIndex(Method method, size_t m, IndexKind kind,
     : method_(method), m_(m), kind_(kind), options_(options) {
   reducer_ = MakeReducer(method);
 }
+
+SimilarityIndex::~SimilarityIndex() = default;
 
 Status SimilarityIndex::Build(const Dataset& dataset, BuildInfo* info) {
   if (dataset.size() == 0)
@@ -80,35 +88,33 @@ Status SimilarityIndex::Build(const Dataset& dataset, BuildInfo* info) {
   }
   dataset_ = &dataset;
 
-  CpuTimer reduce_timer;
-  reps_.clear();
-  reps_.reserve(dataset.size());
-  for (const TimeSeries& ts : dataset.series)
-    reps_.push_back(reducer_->Reduce(ts.values, m_));
-  const double reduce_s = reduce_timer.Seconds();
+  // Per-series reduction is embarrassingly parallel: Reducer::Reduce is
+  // const and stateless, and each iteration writes only its own slot.
+  CpuTimer reduce_cpu;
+  WallTimer reduce_wall;
+  reps_.assign(dataset.size(), Representation{});
+  ParallelFor(0, dataset.size(), [&](size_t i) {
+    reps_[i] = reducer_->Reduce(dataset.series[i].values, m_);
+  });
+  const double reduce_cpu_s = reduce_cpu.Seconds();
+  const double reduce_wall_s = reduce_wall.Seconds();
 
   CpuTimer insert_timer;
-  if (kind_ == IndexKind::kRTree) {
-    mapper_ = std::make_unique<FeatureMapper>(method_, m_, dataset.length());
-    rtree_ = std::make_unique<RTree>(
-        mapper_->dims(), RTree::Options{options_.min_fill, options_.max_fill});
-    for (size_t i = 0; i < reps_.size(); ++i) {
-      const FeatureMapper::Box box =
-          mapper_->MapBox(reps_[i], dataset.series[i].values);
-      rtree_->InsertBox(box.lo, box.hi, i);
-    }
-  } else {
-    dbch_ = std::make_unique<DbchTree>(
-        [this](size_t a, size_t b) {
-          return LowerBoundDistance(reps_[a], reps_[b]);
-        },
-        DbchTree::Options{options_.min_fill, options_.max_fill});
-    for (size_t i = 0; i < reps_.size(); ++i) dbch_->Insert(i);
-  }
+  IndexBackendContext ctx;
+  ctx.method = method_;
+  ctx.m = m_;
+  ctx.dataset = dataset_;
+  ctx.reps = &reps_;
+  ctx.options = options_;
+  backend_ = MakeIndexBackend(kind_, ctx);
+  if (backend_ == nullptr)
+    return Status::Unimplemented("index backend unavailable for this kind");
+  for (size_t i = 0; i < reps_.size(); ++i) backend_->Insert(i);
   const double insert_s = insert_timer.Seconds();
 
   if (info != nullptr) {
-    info->reduce_cpu_seconds = reduce_s;
+    info->reduce_cpu_seconds = reduce_cpu_s;
+    info->reduce_wall_seconds = reduce_wall_s;
     info->insert_cpu_seconds = insert_s;
     info->stats = stats();
   }
@@ -116,21 +122,20 @@ Status SimilarityIndex::Build(const Dataset& dataset, BuildInfo* info) {
 }
 
 TreeStats SimilarityIndex::stats() const {
-  if (rtree_) return rtree_->ComputeStats();
-  if (dbch_) return dbch_->ComputeStats();
-  return TreeStats{};
+  return backend_ ? backend_->ComputeStats() : TreeStats{};
 }
 
 KnnResult SimilarityIndex::Knn(const std::vector<double>& query,
                                size_t k) const {
   SAPLA_DCHECK(dataset_ != nullptr);
   SAPLA_DCHECK(query.size() == dataset_->length());
+  KnnResult result;
+  if (k == 0) return result;
   const Representation query_rep = reducer_->Reduce(query, m_);
   const PrefixFitter query_fitter(query);
 
   TopK top(k);
-  KnnResult result;
-  // Leaf-entry handler shared by both trees: lower-bound filter (Dist_LB
+  // Leaf-entry handler, backend-agnostic: lower-bound filter (Dist_LB
   // against the raw query for segment methods — rigorous), then the exact
   // (counted) refinement on the raw series.
   const auto visit = [&](size_t id, double bound) {
@@ -143,18 +148,7 @@ KnnResult SimilarityIndex::Knn(const std::vector<double>& query,
     }
     return top.Bound();
   };
-
-  if (rtree_) {
-    rtree_->BestFirstSearch(
-        [&](const std::vector<double>& lo, const std::vector<double>& hi) {
-          return mapper_->MinDist(query, query_rep, lo, hi);
-        },
-        visit);
-  } else {
-    dbch_->BestFirstSearch(
-        [&](size_t id) { return LowerBoundDistance(query_rep, reps_[id]); },
-        visit);
-  }
+  backend_->BestFirstSearch(query, query_rep, visit);
 
   result.neighbors = top.Sorted();
   return result;
@@ -180,20 +174,33 @@ KnnResult SimilarityIndex::RangeSearch(const std::vector<double>& query,
     }
     return radius;
   };
+  backend_->BestFirstSearch(query, query_rep, visit);
 
-  if (rtree_) {
-    rtree_->BestFirstSearch(
-        [&](const std::vector<double>& lo, const std::vector<double>& hi) {
-          return mapper_->MinDist(query, query_rep, lo, hi);
-        },
-        visit);
-  } else {
-    dbch_->BestFirstSearch(
-        [&](size_t id) { return LowerBoundDistance(query_rep, reps_[id]); },
-        visit);
-  }
+  // Pair sort: ascending distance, ties by ascending id — deterministic
+  // regardless of backend traversal order.
   std::sort(result.neighbors.begin(), result.neighbors.end());
   return result;
+}
+
+std::vector<KnnResult> SimilarityIndex::KnnBatch(
+    const std::vector<std::vector<double>>& queries, size_t k,
+    size_t num_threads) const {
+  std::vector<KnnResult> results(queries.size());
+  ParallelFor(
+      0, queries.size(),
+      [&](size_t i) { results[i] = Knn(queries[i], k); }, num_threads);
+  return results;
+}
+
+std::vector<KnnResult> SimilarityIndex::RangeSearchBatch(
+    const std::vector<std::vector<double>>& queries, double radius,
+    size_t num_threads) const {
+  std::vector<KnnResult> results(queries.size());
+  ParallelFor(
+      0, queries.size(),
+      [&](size_t i) { results[i] = RangeSearch(queries[i], radius); },
+      num_threads);
+  return results;
 }
 
 }  // namespace sapla

@@ -3,51 +3,59 @@
 
 // k-NN similarity search (GEMINI framework, paper §1 and §6).
 //
-// SimilarityIndex owns one dataset's reduced representations plus either an
-// R-tree over feature MBRs or a DBCH-tree over lower-bounding distances.
-// Queries run best-first branch-and-bound: nodes are expanded in increasing
-// lower-bound order; leaf entries are filtered by the per-method
-// lower-bounding distance and only survivors are measured against the raw
-// series. The number of raw measurements is the numerator of the paper's
-// pruning power (Eq. 14).
+// SimilarityIndex owns one dataset's reduced representations plus a
+// pluggable IndexBackend (index/index_backend.h) — an R-tree over feature
+// MBRs or a DBCH-tree over lower-bounding distances. Queries run best-first
+// branch-and-bound: nodes are expanded in increasing lower-bound order;
+// leaf entries are filtered by the per-method lower-bounding distance and
+// only survivors are measured against the raw series. The number of raw
+// measurements is the numerator of the paper's pruning power (Eq. 14).
+//
+// Concurrency model: Build is single-threaded from the caller's view (the
+// reduction loop fans across the global thread pool internally); after
+// Build returns the index is immutable, and Knn / RangeSearch / stats are
+// const and safe to call concurrently. KnnBatch / RangeSearchBatch fan
+// independent queries across the pool (util/parallel.h) and preserve the
+// serial per-query results — including exact per-query num_measured —
+// bit-identically at any thread count.
 
+#include <memory>
 #include <vector>
 
-#include "index/dbch_tree.h"
-#include "index/feature_map.h"
-#include "index/rtree.h"
+#include "index/index_backend.h"
 #include "reduction/representation.h"
 #include "ts/time_series.h"
 #include "util/status.h"
 
 namespace sapla {
 
-/// One answer set: (exact distance, series id) ascending by distance.
+/// One answer set: (exact distance, series id) ascending by distance,
+/// equal distances broken by ascending id (deterministic across thread
+/// counts and backends).
 struct KnnResult {
   std::vector<std::pair<double, size_t>> neighbors;
   /// Series whose raw distance was computed ("had to be measured").
   size_t num_measured = 0;
 };
 
-/// Exact k-NN by full linear scan; num_measured == dataset size.
+/// Exact k-NN by full linear scan; num_measured == dataset size (0 when
+/// k == 0).
 KnnResult LinearScanKnn(const Dataset& dataset, const std::vector<double>& query,
                         size_t k);
 
-/// Which index structure backs a SimilarityIndex.
-enum class IndexKind { kRTree, kDbchTree };
-
 /// Build-time telemetry (Fig. 14a's ingest time, Figs. 15/16 tree shape).
+/// CPU seconds sum over all threads (CLOCK_PROCESS_CPUTIME_ID), so with a
+/// parallel reduction reduce_cpu_seconds still measures total work while
+/// reduce_wall_seconds shows the speedup.
 struct BuildInfo {
-  double reduce_cpu_seconds = 0.0;  ///< dimensionality-reduction time
-  double insert_cpu_seconds = 0.0;  ///< tree insertion time
+  double reduce_cpu_seconds = 0.0;   ///< dimensionality-reduction CPU time
+  double reduce_wall_seconds = 0.0;  ///< dimensionality-reduction wall time
+  double insert_cpu_seconds = 0.0;   ///< tree insertion time (serial)
   TreeStats stats;
 };
 
-/// Tree fill factors; defaults follow the paper's §6 setup.
-struct SimilarityIndexOptions {
-  size_t min_fill = 2;
-  size_t max_fill = 5;
-};
+/// Back-compat alias: fill factors now live with the backend layer.
+using SimilarityIndexOptions = IndexBackendOptions;
 
 /// \brief A memory-resident similarity index over one dataset.
 class SimilarityIndex {
@@ -58,13 +66,17 @@ class SimilarityIndex {
   /// \param m representation-coefficient budget (Table 1).
   SimilarityIndex(Method method, size_t m, IndexKind kind,
                   const Options& options = {});
+  ~SimilarityIndex();
 
   /// Reduces and inserts every series of `dataset`. The dataset must stay
   /// alive for the index's lifetime (raw series are referenced for the
-  /// refinement step). Requires equal-length series of length >= 2.
+  /// refinement step). Requires equal-length series of length >= 2. The
+  /// per-series reduction fans across the global thread pool; insertion is
+  /// serial (the trees are not concurrent structures).
   Status Build(const Dataset& dataset, BuildInfo* info = nullptr);
 
   /// Branch-and-bound k-NN for a raw query of the dataset's length.
+  /// k == 0 returns an empty result without touching the index.
   KnnResult Knn(const std::vector<double>& query, size_t k) const;
 
   /// GEMINI epsilon-range query: every series whose exact Euclidean
@@ -72,8 +84,23 @@ class SimilarityIndex {
   /// entries are pruned at `radius` by the same lower bounds as Knn.
   KnnResult RangeSearch(const std::vector<double>& query, double radius) const;
 
+  /// Batch k-NN: queries fan across the global thread pool (capped at
+  /// `num_threads`; 0 = the global default, see util/parallel.h).
+  /// results[i] is exactly Knn(queries[i], k) — same neighbors, same
+  /// num_measured — at every thread count.
+  std::vector<KnnResult> KnnBatch(
+      const std::vector<std::vector<double>>& queries, size_t k,
+      size_t num_threads = 0) const;
+
+  /// Batch range query; results[i] == RangeSearch(queries[i], radius).
+  std::vector<KnnResult> RangeSearchBatch(
+      const std::vector<std::vector<double>>& queries, double radius,
+      size_t num_threads = 0) const;
+
   Method method() const { return method_; }
   IndexKind kind() const { return kind_; }
+  /// The backend after Build (nullptr before); exposed for diagnostics.
+  const IndexBackend* backend() const { return backend_.get(); }
   TreeStats stats() const;
 
  private:
@@ -85,9 +112,7 @@ class SimilarityIndex {
   const Dataset* dataset_ = nullptr;
   std::unique_ptr<Reducer> reducer_;
   std::vector<Representation> reps_;
-  std::unique_ptr<FeatureMapper> mapper_;
-  std::unique_ptr<RTree> rtree_;
-  std::unique_ptr<DbchTree> dbch_;
+  std::unique_ptr<IndexBackend> backend_;
 };
 
 }  // namespace sapla

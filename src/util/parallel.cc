@@ -1,0 +1,141 @@
+#include "util/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace sapla {
+namespace {
+
+// Global default thread count; 0 = auto (hardware concurrency).
+std::atomic<size_t> g_num_threads{0};
+
+// Set while this thread is executing a ParallelFor chunk: a nested
+// ParallelFor runs inline instead of re-entering the pool (all workers
+// could be occupied by outer chunks, which would deadlock the inner wait).
+thread_local bool t_in_parallel_for = false;
+
+size_t HardwareThreads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<size_t>(n);
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_workers) { EnsureWorkers(num_workers); }
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+size_t ThreadPool::num_workers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return workers_.size();
+}
+
+void ThreadPool::EnsureWorkers(size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (workers_.size() < n) workers_.emplace_back([this] { WorkerLoop(); });
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+ThreadPool& GlobalThreadPool() {
+  // Leaked on purpose: worker threads must not be joined during static
+  // destruction (tasks submitted from other static destructors would hang).
+  static ThreadPool* pool = new ThreadPool(NumThreads() - 1);
+  return *pool;
+}
+
+void SetNumThreads(size_t n) { g_num_threads.store(n); }
+
+size_t NumThreads() {
+  const size_t n = g_num_threads.load();
+  return n == 0 ? HardwareThreads() : n;
+}
+
+std::pair<size_t, size_t> ParallelChunk(size_t begin, size_t end,
+                                        size_t num_chunks, size_t chunk) {
+  const size_t total = end - begin;
+  const size_t base = total / num_chunks;
+  const size_t rem = total % num_chunks;
+  const size_t start =
+      begin + chunk * base + std::min(chunk, rem);
+  const size_t len = base + (chunk < rem ? 1 : 0);
+  return {start, start + len};
+}
+
+void ParallelFor(size_t begin, size_t end,
+                 const std::function<void(size_t)>& fn, size_t num_threads) {
+  if (begin >= end) return;
+  if (num_threads == 0) num_threads = NumThreads();
+  const size_t chunks = std::min(num_threads, end - begin);
+  if (chunks <= 1 || t_in_parallel_for) {
+    for (size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+
+  ThreadPool& pool = GlobalThreadPool();
+  pool.EnsureWorkers(chunks - 1);
+
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  size_t pending = chunks - 1;
+  std::exception_ptr first_error;
+
+  const auto run_chunk = [&](size_t c) {
+    const auto [start, stop] = ParallelChunk(begin, end, chunks, c);
+    t_in_parallel_for = true;
+    try {
+      for (size_t i = start; i < stop; ++i) fn(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(done_mu);
+      if (!first_error) first_error = std::current_exception();
+    }
+    t_in_parallel_for = false;
+  };
+
+  for (size_t c = 1; c < chunks; ++c) {
+    pool.Submit([&, c] {
+      run_chunk(c);
+      // Notify while holding the mutex: the waiting thread destroys done_cv
+      // as soon as it observes pending == 0, so signalling after unlock
+      // would race with that destruction.
+      std::lock_guard<std::mutex> lock(done_mu);
+      --pending;
+      done_cv.notify_one();
+    });
+  }
+  run_chunk(0);  // the calling thread always owns chunk 0
+
+  std::unique_lock<std::mutex> lock(done_mu);
+  done_cv.wait(lock, [&] { return pending == 0; });
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace sapla

@@ -1,0 +1,100 @@
+#ifndef SAPLA_UTIL_PARALLEL_H_
+#define SAPLA_UTIL_PARALLEL_H_
+
+// Shared parallel execution layer.
+//
+// A small fixed-size thread pool plus a ParallelFor(begin, end, fn) helper
+// with deterministic work partitioning: the index range is split into at
+// most `num_threads` contiguous chunks, chunk t always covers the same
+// sub-range for a given (range, num_threads), and the calling thread runs
+// chunk 0 itself. Results that are written by index (out[i] = f(i)) are
+// therefore bit-identical to the serial loop regardless of scheduling.
+//
+// The process-wide thread count defaults to the hardware concurrency and is
+// configurable (the CLI/bench `--threads` knob calls SetNumThreads). A
+// resolved count of 1 makes every helper run inline on the calling thread —
+// no pool, no synchronization — so serial behaviour is exactly the seed's.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sapla {
+
+/// \brief A fixed-size worker pool executing submitted closures.
+///
+/// Workers are started once and live until destruction; Submit enqueues a
+/// task for any idle worker. The pool is internally synchronized: Submit may
+/// be called from any thread. Task closures must synchronize their own
+/// shared state (ParallelFor partitions disjoint ranges, so its tasks need
+/// none).
+class ThreadPool {
+ public:
+  /// Starts `num_workers` worker threads (0 is allowed: a pool that can
+  /// only grow later via EnsureWorkers).
+  explicit ThreadPool(size_t num_workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_workers() const;
+
+  /// Grows the pool to at least `n` workers (never shrinks). Lets one
+  /// process-wide pool serve callers that request more parallelism than the
+  /// hardware reports (useful for oversubscription tests).
+  void EnsureWorkers(size_t n);
+
+  /// Enqueues one task. Returns immediately; the task runs on some worker.
+  void Submit(std::function<void()> task);
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+};
+
+/// The process-wide pool used by ParallelFor and the batch query APIs.
+/// Created lazily; sized by the global thread count, growing on demand.
+ThreadPool& GlobalThreadPool();
+
+/// Sets the process-wide default thread count for ParallelFor and the batch
+/// APIs. 0 restores "auto" (hardware concurrency). Not intended to be
+/// called concurrently with running ParallelFor calls.
+void SetNumThreads(size_t n);
+
+/// The resolved process-wide default thread count (always >= 1).
+size_t NumThreads();
+
+/// \brief Runs fn(i) for every i in [begin, end), fanned across the pool.
+///
+/// `num_threads` caps the parallelism for this call; 0 means the global
+/// default (NumThreads()). Partitioning is deterministic: the range is cut
+/// into min(num_threads, end - begin) contiguous chunks of near-equal size.
+/// The call returns after every index has been processed; the first
+/// exception thrown by fn (if any) is rethrown on the calling thread after
+/// all chunks finish. fn is invoked concurrently — it must not touch shared
+/// mutable state without its own synchronization (writing out[i] per index
+/// is safe).
+void ParallelFor(size_t begin, size_t end,
+                 const std::function<void(size_t)>& fn,
+                 size_t num_threads = 0);
+
+/// Deterministic chunk boundaries used by ParallelFor: returns the
+/// half-open [start, stop) of chunk `chunk` when [begin, end) is split into
+/// `num_chunks` near-equal contiguous pieces (earlier chunks get the
+/// remainder). Exposed for testing.
+std::pair<size_t, size_t> ParallelChunk(size_t begin, size_t end,
+                                        size_t num_chunks, size_t chunk);
+
+}  // namespace sapla
+
+#endif  // SAPLA_UTIL_PARALLEL_H_

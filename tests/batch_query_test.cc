@@ -1,0 +1,160 @@
+// Batch-vs-serial equivalence for the parallel query engine: for every
+// Method x IndexKind, KnnBatch / RangeSearchBatch must reproduce the
+// serial Knn / RangeSearch results exactly — same neighbor pairs (ids and
+// bit-identical distances) and the same per-query num_measured — at 1, 2
+// and 8 threads. This is the contract that makes the parallel layer a pure
+// wall-clock optimization.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "search/knn.h"
+#include "ts/synthetic_archive.h"
+#include "util/parallel.h"
+
+namespace sapla {
+namespace {
+
+constexpr size_t kThreadCounts[] = {1, 2, 8};
+
+Dataset SmallDataset(size_t id = 12, size_t n = 128, size_t count = 60) {
+  SyntheticOptions opt;
+  opt.length = n;
+  opt.num_series = count;
+  return MakeSyntheticDataset(id, opt);
+}
+
+std::vector<std::vector<double>> SomeQueries(const Dataset& ds) {
+  std::vector<std::vector<double>> queries;
+  for (const size_t qi : {0u, 7u, 19u, 33u, 58u})
+    queries.push_back(ds.series[qi].values);
+  return queries;
+}
+
+void ExpectSameResult(const KnnResult& serial, const KnnResult& batch,
+                      const std::string& label) {
+  ASSERT_EQ(serial.neighbors.size(), batch.neighbors.size()) << label;
+  for (size_t i = 0; i < serial.neighbors.size(); ++i) {
+    EXPECT_EQ(serial.neighbors[i].second, batch.neighbors[i].second)
+        << label << " rank " << i;
+    // Bit-identical, not approximately equal: the batch path runs the very
+    // same serial traversal per query.
+    EXPECT_EQ(serial.neighbors[i].first, batch.neighbors[i].first)
+        << label << " rank " << i;
+  }
+  EXPECT_EQ(serial.num_measured, batch.num_measured) << label;
+}
+
+struct BatchCase {
+  Method method;
+  IndexKind kind;
+};
+
+class BatchSweep : public ::testing::TestWithParam<BatchCase> {};
+
+TEST_P(BatchSweep, KnnBatchMatchesSerial) {
+  const auto [method, kind] = GetParam();
+  const Dataset ds = SmallDataset();
+  SimilarityIndex index(method, 12, kind);
+  ASSERT_TRUE(index.Build(ds).ok()) << MethodName(method);
+
+  const std::vector<std::vector<double>> queries = SomeQueries(ds);
+  std::vector<KnnResult> serial;
+  for (const std::vector<double>& q : queries) serial.push_back(index.Knn(q, 6));
+
+  for (const size_t threads : kThreadCounts) {
+    const std::vector<KnnResult> batch = index.KnnBatch(queries, 6, threads);
+    ASSERT_EQ(batch.size(), queries.size());
+    for (size_t q = 0; q < queries.size(); ++q)
+      ExpectSameResult(serial[q], batch[q],
+                       MethodName(method) + " knn q" + std::to_string(q) +
+                           " threads " + std::to_string(threads));
+  }
+}
+
+TEST_P(BatchSweep, RangeSearchBatchMatchesSerial) {
+  const auto [method, kind] = GetParam();
+  const Dataset ds = SmallDataset();
+  SimilarityIndex index(method, 12, kind);
+  ASSERT_TRUE(index.Build(ds).ok()) << MethodName(method);
+
+  const double radius = 9.0;
+  const std::vector<std::vector<double>> queries = SomeQueries(ds);
+  std::vector<KnnResult> serial;
+  for (const std::vector<double>& q : queries)
+    serial.push_back(index.RangeSearch(q, radius));
+
+  for (const size_t threads : kThreadCounts) {
+    const std::vector<KnnResult> batch =
+        index.RangeSearchBatch(queries, radius, threads);
+    ASSERT_EQ(batch.size(), queries.size());
+    for (size_t q = 0; q < queries.size(); ++q)
+      ExpectSameResult(serial[q], batch[q],
+                       MethodName(method) + " range q" + std::to_string(q) +
+                           " threads " + std::to_string(threads));
+  }
+}
+
+std::vector<BatchCase> AllBatchCases() {
+  std::vector<BatchCase> cases;
+  for (const Method method : AllMethods())
+    for (const IndexKind kind : {IndexKind::kRTree, IndexKind::kDbchTree})
+      cases.push_back({method, kind});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MethodsTimesTrees, BatchSweep, ::testing::ValuesIn(AllBatchCases()),
+    [](const ::testing::TestParamInfo<BatchCase>& info) {
+      return MethodName(info.param.method) +
+             (info.param.kind == IndexKind::kRTree ? "_RTree" : "_DbchTree");
+    });
+
+// Parallel Build (the reduction fan-out) must produce an index whose
+// queries agree with a serially built one.
+TEST(ParallelBuild, MatchesSerialBuild) {
+  const Dataset ds = SmallDataset(21);
+  for (const IndexKind kind : {IndexKind::kRTree, IndexKind::kDbchTree}) {
+    SetNumThreads(1);
+    SimilarityIndex serial_index(Method::kSapla, 12, kind);
+    ASSERT_TRUE(serial_index.Build(ds).ok());
+    SetNumThreads(8);
+    SimilarityIndex parallel_index(Method::kSapla, 12, kind);
+    ASSERT_TRUE(parallel_index.Build(ds).ok());
+    SetNumThreads(0);
+
+    const TreeStats a = serial_index.stats();
+    const TreeStats b = parallel_index.stats();
+    EXPECT_EQ(a.entries, b.entries);
+    EXPECT_EQ(a.height, b.height);
+    EXPECT_EQ(a.leaf_nodes, b.leaf_nodes);
+    EXPECT_EQ(a.internal_nodes, b.internal_nodes);
+
+    for (const size_t qi : {3u, 31u}) {
+      const KnnResult sr = serial_index.Knn(ds.series[qi].values, 5);
+      const KnnResult pr = parallel_index.Knn(ds.series[qi].values, 5);
+      ExpectSameResult(sr, pr, "build q" + std::to_string(qi));
+    }
+  }
+}
+
+// Concurrent queries against one shared index: the stress case the TSan CI
+// job watches. Every query's result must match its serial counterpart.
+TEST(ConcurrentQueries, SharedIndexManyThreads) {
+  const Dataset ds = SmallDataset(22, 96, 50);
+  SimilarityIndex index(Method::kSapla, 12, IndexKind::kDbchTree);
+  ASSERT_TRUE(index.Build(ds).ok());
+
+  std::vector<std::vector<double>> queries;
+  for (size_t i = 0; i < ds.size(); ++i) queries.push_back(ds.series[i].values);
+  std::vector<KnnResult> serial;
+  for (const std::vector<double>& q : queries) serial.push_back(index.Knn(q, 4));
+
+  const std::vector<KnnResult> batch = index.KnnBatch(queries, 4, 8);
+  for (size_t q = 0; q < queries.size(); ++q)
+    ExpectSameResult(serial[q], batch[q], "concurrent q" + std::to_string(q));
+}
+
+}  // namespace
+}  // namespace sapla

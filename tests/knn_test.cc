@@ -35,6 +35,68 @@ TEST(LinearScanKnn, ReturnsSortedExactNeighbors) {
     EXPECT_GE(res.neighbors[i].first, res.neighbors[i - 1].first);
 }
 
+// Regression: k == 0 used to hit heap_.top() on an empty heap (UB). Both
+// entry points must return an empty result without touching any series.
+TEST(LinearScanKnn, KZeroReturnsEmpty) {
+  const Dataset ds = SmallDataset(4, 64, 8);
+  const KnnResult res = LinearScanKnn(ds, ds.series[0].values, 0);
+  EXPECT_TRUE(res.neighbors.empty());
+  EXPECT_EQ(res.num_measured, 0u);
+}
+
+TEST(SimilarityIndex, KZeroReturnsEmpty) {
+  const Dataset ds = SmallDataset(4, 64, 8);
+  for (const IndexKind kind : {IndexKind::kRTree, IndexKind::kDbchTree}) {
+    SimilarityIndex index(Method::kSapla, 12, kind);
+    ASSERT_TRUE(index.Build(ds).ok());
+    const KnnResult res = index.Knn(ds.series[0].values, 0);
+    EXPECT_TRUE(res.neighbors.empty());
+    EXPECT_EQ(res.num_measured, 0u);
+  }
+}
+
+// Equal distances must resolve to ascending series id, so serial, batch
+// and backend variants return the same k-set in the same order even when
+// the dataset contains duplicate series.
+TEST(LinearScanKnn, TiesBreakByAscendingId) {
+  Dataset ds;
+  ds.name = "dups";
+  const std::vector<double> a{0.0, 1.0, 2.0, 3.0};
+  const std::vector<double> b{5.0, 5.0, 5.0, 5.0};
+  ds.series.emplace_back(b);  // id 0: distance d to query
+  ds.series.emplace_back(a);  // id 1: exact match
+  ds.series.emplace_back(b);  // id 2: duplicate of id 0
+  ds.series.emplace_back(b);  // id 3: duplicate of id 0
+  const KnnResult res = LinearScanKnn(ds, a, 3);
+  ASSERT_EQ(res.neighbors.size(), 3u);
+  EXPECT_EQ(res.neighbors[0].second, 1u);
+  // The two tied slots keep the smallest ids, ascending.
+  EXPECT_EQ(res.neighbors[1].second, 0u);
+  EXPECT_EQ(res.neighbors[2].second, 2u);
+  EXPECT_EQ(res.neighbors[1].first, res.neighbors[2].first);
+}
+
+TEST(SimilarityIndex, TiesBreakByAscendingIdOnBothBackends) {
+  Dataset ds;
+  ds.name = "dups";
+  std::vector<double> base(64), other(64);
+  for (size_t i = 0; i < base.size(); ++i) {
+    base[i] = static_cast<double>(i % 7) - 3.0;
+    other[i] = base[i] + 2.0;
+  }
+  for (int rep = 0; rep < 4; ++rep) ds.series.emplace_back(other);
+  ds.series.emplace_back(base);  // id 4: the query itself
+  for (const IndexKind kind : {IndexKind::kRTree, IndexKind::kDbchTree}) {
+    SimilarityIndex index(Method::kPaa, 8, kind);
+    ASSERT_TRUE(index.Build(ds).ok());
+    const KnnResult res = index.Knn(base, 3);
+    ASSERT_EQ(res.neighbors.size(), 3u);
+    EXPECT_EQ(res.neighbors[0].second, 4u);
+    EXPECT_EQ(res.neighbors[1].second, 0u);
+    EXPECT_EQ(res.neighbors[2].second, 1u);
+  }
+}
+
 TEST(LinearScanKnn, KLargerThanDatasetClamps) {
   const Dataset ds = SmallDataset(4, 64, 8);
   const KnnResult res = LinearScanKnn(ds, ds.series[0].values, 20);

@@ -1,0 +1,112 @@
+// Tests for the shared parallel execution layer (util/parallel.h):
+// deterministic partitioning, exactly-once index coverage at several
+// thread counts, global configuration, nested calls, and exception
+// propagation.
+
+#include "util/parallel.h"
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace sapla {
+namespace {
+
+TEST(ParallelChunk, PartitionsContiguouslyAndExactly) {
+  for (const size_t total : {1u, 2u, 7u, 8u, 100u, 101u}) {
+    for (const size_t chunks : {1u, 2u, 3u, 8u}) {
+      if (chunks > total) continue;
+      size_t expected_start = 5;  // begin offset
+      size_t covered = 0;
+      for (size_t c = 0; c < chunks; ++c) {
+        const auto [start, stop] = ParallelChunk(5, 5 + total, chunks, c);
+        EXPECT_EQ(start, expected_start) << total << "/" << chunks;
+        EXPECT_GE(stop, start);
+        // Near-equal: chunk sizes differ by at most one.
+        EXPECT_LE(stop - start, total / chunks + 1);
+        EXPECT_GE(stop - start, total / chunks);
+        covered += stop - start;
+        expected_start = stop;
+      }
+      EXPECT_EQ(covered, total);
+      EXPECT_EQ(expected_start, 5 + total);
+    }
+  }
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  for (const size_t threads : {1u, 2u, 8u}) {
+    std::vector<std::atomic<int>> hits(257);
+    for (auto& h : hits) h.store(0);
+    ParallelFor(0, hits.size(),
+                [&](size_t i) { hits[i].fetch_add(1); }, threads);
+    for (size_t i = 0; i < hits.size(); ++i)
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " at " << threads;
+  }
+}
+
+TEST(ParallelFor, EmptyAndSingletonRanges) {
+  int calls = 0;
+  ParallelFor(3, 3, [&](size_t) { ++calls; }, 4);
+  EXPECT_EQ(calls, 0);
+  ParallelFor(3, 4, [&](size_t i) { calls += static_cast<int>(i); }, 4);
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(ParallelFor, WriteByIndexMatchesSerial) {
+  const size_t n = 1000;
+  std::vector<double> serial(n), parallel(n);
+  const auto f = [](size_t i) {
+    return static_cast<double>(i * i) / 3.0 + 1.0;
+  };
+  for (size_t i = 0; i < n; ++i) serial[i] = f(i);
+  ParallelFor(0, n, [&](size_t i) { parallel[i] = f(i); }, 8);
+  EXPECT_EQ(serial, parallel);  // bit-identical, not just approximately
+}
+
+TEST(ParallelFor, PropagatesException) {
+  EXPECT_THROW(
+      ParallelFor(
+          0, 100,
+          [](size_t i) {
+            if (i == 57) throw std::runtime_error("boom");
+          },
+          4),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, NestedCallsRunInline) {
+  // A ParallelFor inside a ParallelFor chunk must not deadlock (inner
+  // calls run inline on the worker).
+  std::atomic<int> total{0};
+  ParallelFor(
+      0, 8,
+      [&](size_t) {
+        ParallelFor(0, 8, [&](size_t) { total.fetch_add(1); }, 4);
+      },
+      4);
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(GlobalThreads, DefaultAndOverride) {
+  EXPECT_GE(NumThreads(), 1u);
+  SetNumThreads(3);
+  EXPECT_EQ(NumThreads(), 3u);
+  SetNumThreads(0);  // back to auto
+  EXPECT_GE(NumThreads(), 1u);
+}
+
+TEST(ThreadPool, GrowsOnDemand) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_workers(), 1u);
+  pool.EnsureWorkers(3);
+  EXPECT_EQ(pool.num_workers(), 3u);
+  pool.EnsureWorkers(2);  // never shrinks
+  EXPECT_EQ(pool.num_workers(), 3u);
+}
+
+}  // namespace
+}  // namespace sapla

@@ -3,9 +3,13 @@
 //   sapla_cli info      <data.tsv>
 //   sapla_cli reduce    <data.tsv> [--method=SAPLA] [--m=24] [--out=reps.txt]
 //   sapla_cli reconstruct <reps.txt> [--out=recon.tsv]
-//   sapla_cli knn       <data.tsv> [--query=0] [--k=5] [--method=SAPLA]
-//                       [--m=24] [--tree=dbch|rtree]
+//   sapla_cli knn       <data.tsv> [--query=0 | --queries=0,3,7] [--k=5]
+//                       [--method=SAPLA] [--m=24] [--tree=dbch|rtree]
 //   sapla_cli motif     <data.tsv> [--row=0] [--window=64] [--m=24]
+//
+// Every command accepts --threads=T (default 1): the index build fans the
+// per-series reduction across T threads, and `knn` with --queries runs the
+// batch engine. --threads=0 uses the hardware concurrency.
 //
 // Data files are UCR2018 format: one series per line, label first,
 // tab/comma separated. Representation files use the ts/io.h text format.
@@ -23,6 +27,7 @@
 #include "search/subsequence.h"
 #include "ts/io.h"
 #include "ts/ucr_loader.h"
+#include "util/parallel.h"
 #include "util/table.h"
 #include "util/timer.h"
 
@@ -110,21 +115,21 @@ int CmdReduce(const Args& args) {
   const std::string out = args.Get("out", "reps.txt");
 
   const auto reducer = MakeReducer(method);
-  CpuTimer timer;
-  std::vector<Representation> reps;
-  reps.reserve(ds.size());
+  WallTimer timer;
+  std::vector<Representation> reps(ds.size());
+  ParallelFor(0, ds.size(), [&](size_t i) {
+    reps[i] = reducer->Reduce(ds.series[i].values, m);
+  });
   double dev = 0.0;
-  for (const TimeSeries& ts : ds.series) {
-    reps.push_back(reducer->Reduce(ts.values, m));
-    dev += reps.back().SumMaxDeviation(ts.values);
-  }
+  for (size_t i = 0; i < ds.size(); ++i)
+    dev += reps[i].SumMaxDeviation(ds.series[i].values);
   const double seconds = timer.Seconds();
   if (Status s = SaveRepresentations(out, reps); !s.ok()) {
     fprintf(stderr, "%s\n", s.ToString().c_str());
     return 1;
   }
-  printf("%zu series reduced with %s (M=%zu) in %.3fs CPU\n", ds.size(),
-         MethodName(method).c_str(), m, seconds);
+  printf("%zu series reduced with %s (M=%zu) in %.3fs wall on %zu threads\n",
+         ds.size(), MethodName(method).c_str(), m, seconds, NumThreads());
   printf("avg sum-max-deviation: %.4f\n", dev / static_cast<double>(ds.size()));
   printf("wrote %s\n", out.c_str());
   return 0;
@@ -154,13 +159,31 @@ int CmdKnn(const Args& args) {
   const Method method = ParseMethod(args.Get("method", "SAPLA"));
   const size_t m = args.GetSize("m", 24);
   const size_t k = args.GetSize("k", 5);
-  const size_t query_row = args.GetSize("query", 0);
   const IndexKind kind = args.Get("tree", "dbch") == "rtree"
                              ? IndexKind::kRTree
                              : IndexKind::kDbchTree;
-  if (query_row >= ds.size()) {
-    fprintf(stderr, "query row %zu out of range\n", query_row);
-    return 1;
+
+  // One row via --query=N, or a comma-separated batch via --queries=a,b,c.
+  std::vector<size_t> query_rows;
+  if (const std::string list = args.Get("queries", ""); !list.empty()) {
+    size_t start = 0;
+    while (start <= list.size()) {
+      const size_t comma = list.find(',', start);
+      const std::string tok = list.substr(
+          start, comma == std::string::npos ? std::string::npos
+                                            : comma - start);
+      query_rows.push_back(std::strtoull(tok.c_str(), nullptr, 10));
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+  } else {
+    query_rows.push_back(args.GetSize("query", 0));
+  }
+  for (const size_t row : query_rows) {
+    if (row >= ds.size()) {
+      fprintf(stderr, "query row %zu out of range\n", row);
+      return 1;
+    }
   }
 
   SimilarityIndex index(method, m, kind);
@@ -169,19 +192,27 @@ int CmdKnn(const Args& args) {
     fprintf(stderr, "%s\n", s.ToString().c_str());
     return 1;
   }
-  const std::vector<double>& q = ds.series[query_row].values;
-  CpuTimer timer;
-  const KnnResult res = index.Knn(q, k);
+  std::vector<std::vector<double>> queries;
+  for (const size_t row : query_rows) queries.push_back(ds.series[row].values);
+  WallTimer timer;
+  const std::vector<KnnResult> results = index.KnnBatch(queries, k);
   const double seconds = timer.Seconds();
 
-  printf("%zu-NN of row %zu (%s, M=%zu, %s):\n", k, query_row,
-         MethodName(method).c_str(), m,
-         kind == IndexKind::kRTree ? "R-tree" : "DBCH-tree");
-  for (const auto& [dist, id] : res.neighbors)
-    printf("  row %4zu  distance %10.4f  label %d\n", id, dist,
-           ds.series[id].label);
-  printf("measured %zu/%zu raw series (pruning power %.3f) in %.4fs CPU\n",
-         res.num_measured, ds.size(), PruningPower(res, ds.size()), seconds);
+  size_t total_measured = 0;
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const KnnResult& res = results[qi];
+    printf("%zu-NN of row %zu (%s, M=%zu, %s):\n", k, query_rows[qi],
+           MethodName(method).c_str(), m,
+           kind == IndexKind::kRTree ? "R-tree" : "DBCH-tree");
+    for (const auto& [dist, id] : res.neighbors)
+      printf("  row %4zu  distance %10.4f  label %d\n", id, dist,
+             ds.series[id].label);
+    printf("measured %zu/%zu raw series (pruning power %.3f)\n",
+           res.num_measured, ds.size(), PruningPower(res, ds.size()));
+    total_measured += res.num_measured;
+  }
+  printf("%zu queries on %zu threads in %.4fs wall (%zu raw measurements)\n",
+         queries.size(), NumThreads(), seconds, total_measured);
   return 0;
 }
 
@@ -211,6 +242,7 @@ int CmdMotif(const Args& args) {
 
 int Run(int argc, char** argv) {
   const Args args = Parse(argc, argv);
+  SetNumThreads(args.GetSize("threads", 1));  // 0 = hardware concurrency
   if (args.command == "info") return CmdInfo(args);
   if (args.command == "reduce") return CmdReduce(args);
   if (args.command == "reconstruct") return CmdReconstruct(args);
