@@ -111,6 +111,10 @@ int Run(int argc, char** argv) {
   }
   SetNumThreads(config.threads);
   t.Print(config.CsvPath("parallel_scaling"));
+  if (!config.json_path.empty() && !t.WriteJson(config.json_path)) {
+    fprintf(stderr, "could not write %s\n", config.json_path.c_str());
+    return 1;
+  }
   return 0;
 }
 

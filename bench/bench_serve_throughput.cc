@@ -1,0 +1,281 @@
+// Throughput/latency of the embedded query service vs one-request-per-call.
+//
+// Builds one index, then drives it with `--clients` closed-loop threads
+// drawing queries zipfian-skewed from a fixed pool (so the result cache has
+// something to hit). Three serving configurations are swept by default:
+//
+//   direct        every client calls SimilarityIndex::Knn itself — the
+//                 baseline the service must beat
+//   max_batch=1   the service with micro-batching disabled (pure queue +
+//                 scheduler overhead, one request per KnnBatch call)
+//   max_batch>=8  real micro-batching; each flush fans one KnnBatch out
+//                 over the pool
+//
+// For each row the table reports sustained QPS, p50/p95/p99 total latency
+// (admission -> response), mean flushed batch size, and the cache hit rate.
+// `--json` (default BENCH_serve.json) emits the same table machine-readable
+// so CI can track the serving perf trajectory across PRs.
+//
+//   bench_serve_throughput [--series=2000] [--n=256] [--m=16] [--k=16]
+//                          [--clients=8] [--requests=400] [--pool=64]
+//                          [--zipf=0.99] [--batches=1,8,32] [--cache=512]
+//                          [--method=SAPLA] [--tree=dbch] [--threads=0]
+//                          [--csv=DIR] [--json=BENCH_serve.json]
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "search/knn.h"
+#include "serve/metrics.h"
+#include "serve/service.h"
+#include "ts/synthetic_archive.h"
+#include "util/histogram.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace sapla {
+namespace {
+
+struct Config {
+  size_t series = 2000;
+  size_t n = 256;
+  size_t m = 16;           // reduction budget
+  size_t k = 16;           // neighbors per query
+  size_t clients = 8;      // closed-loop client threads
+  size_t requests = 400;   // requests per client
+  size_t pool = 64;        // distinct queries
+  double zipf = 0.99;      // query popularity skew
+  size_t cache = 512;      // result-cache capacity (entries)
+  size_t threads = 0;      // batch fan-out (0 = hardware)
+  std::vector<size_t> batches = {1, 8, 32};
+  Method method = Method::kSapla;
+  IndexKind kind = IndexKind::kDbchTree;
+  std::string csv_dir;
+  std::string json_path = "BENCH_serve.json";
+};
+
+[[noreturn]] void Usage(const char* argv0) {
+  fprintf(stderr,
+          "usage: %s [--series=S] [--n=N] [--m=M] [--k=K] [--clients=C]\n"
+          "          [--requests=R] [--pool=P] [--zipf=Z] [--batches=1,8,32]\n"
+          "          [--cache=E] [--method=SAPLA] [--tree=dbch|rtree]\n"
+          "          [--threads=T] [--csv=DIR] [--json=FILE]\n",
+          argv0);
+  exit(2);
+}
+
+Config ParseFlags(int argc, char** argv) {
+  Config config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const size_t eq = arg.find('=');
+    if (arg.rfind("--", 0) != 0 || eq == std::string::npos) Usage(argv[0]);
+    const std::string key = arg.substr(2, eq - 2);
+    const std::string value = arg.substr(eq + 1);
+    auto num = [&] { return std::strtoull(value.c_str(), nullptr, 10); };
+    if (key == "series") {
+      config.series = num();
+    } else if (key == "n") {
+      config.n = num();
+    } else if (key == "m") {
+      config.m = num();
+    } else if (key == "k") {
+      config.k = num();
+    } else if (key == "clients") {
+      config.clients = num();
+    } else if (key == "requests") {
+      config.requests = num();
+    } else if (key == "pool") {
+      config.pool = num();
+    } else if (key == "zipf") {
+      config.zipf = std::strtod(value.c_str(), nullptr);
+    } else if (key == "cache") {
+      config.cache = num();
+    } else if (key == "threads") {
+      config.threads = num();
+    } else if (key == "batches") {
+      config.batches.clear();
+      size_t start = 0;
+      while (start <= value.size()) {
+        const size_t comma = value.find(',', start);
+        const std::string tok = value.substr(
+            start, comma == std::string::npos ? comma : comma - start);
+        config.batches.push_back(std::strtoull(tok.c_str(), nullptr, 10));
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+    } else if (key == "method") {
+      bool found = false;
+      for (const Method m : AllMethods())
+        if (MethodName(m) == value) {
+          config.method = m;
+          found = true;
+        }
+      if (!found) Usage(argv[0]);
+    } else if (key == "tree") {
+      if (value == "dbch") {
+        config.kind = IndexKind::kDbchTree;
+      } else if (value == "rtree") {
+        config.kind = IndexKind::kRTree;
+      } else {
+        Usage(argv[0]);
+      }
+    } else if (key == "csv") {
+      config.csv_dir = value;
+    } else if (key == "json") {
+      config.json_path = value;
+    } else {
+      Usage(argv[0]);
+    }
+  }
+  return config;
+}
+
+/// The fixed query pool: dataset series perturbed with mild noise so no
+/// query is a stored series but every repeat is byte-identical (cacheable).
+std::vector<std::vector<double>> MakeQueryPool(const Dataset& ds,
+                                               const Config& config) {
+  Rng rng(0x5EEDF00D);
+  std::vector<std::vector<double>> pool;
+  pool.reserve(config.pool);
+  for (size_t q = 0; q < config.pool; ++q) {
+    std::vector<double> query = ds.series[rng.UniformInt(ds.size())].values;
+    for (double& v : query) v += rng.Gaussian(0.0, 0.05);
+    pool.push_back(std::move(query));
+  }
+  return pool;
+}
+
+struct RunStats {
+  double wall_seconds = 0.0;
+  HistogramSnapshot latency;  // total_us per request
+  double mean_batch = 0.0;
+  double cache_hit_rate = 0.0;
+  uint64_t errors = 0;
+};
+
+/// Baseline: every client thread calls the index directly.
+RunStats RunDirect(const SimilarityIndex& index,
+                   const std::vector<std::vector<double>>& pool,
+                   const Config& config) {
+  const ZipfSampler zipf(pool.size(), config.zipf);
+  Histogram latency;
+  WallTimer wall;
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < config.clients; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(0xC11E57 + c);
+      for (size_t r = 0; r < config.requests; ++r) {
+        WallTimer t;
+        const KnnResult result = index.Knn(pool[zipf.Sample(rng)], config.k);
+        (void)result;
+        latency.Record(static_cast<uint64_t>(t.Seconds() * 1e6));
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  RunStats stats;
+  stats.wall_seconds = wall.Seconds();
+  stats.latency = SnapshotHistogram(latency);
+  return stats;
+}
+
+/// The service under one max_batch setting, closed-loop clients.
+RunStats RunService(const SimilarityIndex& index,
+                    const std::vector<std::vector<double>>& pool,
+                    const Config& config, size_t max_batch) {
+  ServeOptions options;
+  options.max_batch = max_batch;
+  options.max_delay_us = 200;
+  options.queue_capacity = config.clients * 4;
+  options.cache_capacity = config.cache;
+  options.num_threads = config.threads;
+  QueryService service(index, options);
+
+  const ZipfSampler zipf(pool.size(), config.zipf);
+  std::atomic<uint64_t> errors{0};
+  WallTimer wall;
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < config.clients; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(0xC11E57 + c);  // same streams as the direct baseline
+      for (size_t r = 0; r < config.requests; ++r) {
+        const ServeResponse response =
+            service.Knn(pool[zipf.Sample(rng)], config.k);
+        if (!response.status.ok()) errors.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  const double wall_seconds = wall.Seconds();
+  service.Stop();
+
+  const ServeMetricsSnapshot snap = service.MetricsSnapshot();
+  RunStats stats;
+  stats.wall_seconds = wall_seconds;
+  stats.latency = snap.total_us;
+  stats.mean_batch = snap.batch_size.mean;
+  stats.cache_hit_rate = snap.CacheHitRate();
+  stats.errors = errors.load();
+  return stats;
+}
+
+int Run(int argc, char** argv) {
+  const Config config = ParseFlags(argc, argv);
+  SetNumThreads(config.threads);
+
+  SyntheticOptions opt;
+  opt.length = config.n;
+  opt.num_series = config.series;
+  const Dataset ds = MakeSyntheticDataset(0, opt);
+  const std::vector<std::vector<double>> pool = MakeQueryPool(ds, config);
+
+  SimilarityIndex index(config.method, config.m, config.kind);
+  if (Status s = index.Build(ds); !s.ok()) {
+    fprintf(stderr, "build failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  const size_t total = config.clients * config.requests;
+  Table t("Serve throughput: " + std::to_string(config.clients) +
+          " closed-loop clients x " + std::to_string(config.requests) +
+          " x " + std::to_string(config.k) + "-NN, " +
+          std::to_string(ds.size()) + " series, pool " +
+          std::to_string(config.pool) + ", zipf " +
+          Table::Num(config.zipf, 3));
+  t.SetHeader({"Mode", "QPS", "P50us", "P95us", "P99us", "MeanBatch",
+               "CacheHitRate", "Errors"});
+
+  auto add_row = [&](const std::string& mode, const RunStats& s) {
+    t.AddRow({mode,
+              Table::Num(s.wall_seconds > 0.0 ? total / s.wall_seconds : 0.0,
+                         5),
+              Table::Num(s.latency.p50, 5), Table::Num(s.latency.p95, 5),
+              Table::Num(s.latency.p99, 5), Table::Num(s.mean_batch, 3),
+              Table::Num(s.cache_hit_rate, 3), std::to_string(s.errors)});
+  };
+
+  add_row("direct", RunDirect(index, pool, config));
+  for (const size_t max_batch : config.batches)
+    add_row("max_batch=" + std::to_string(max_batch),
+            RunService(index, pool, config, max_batch));
+
+  t.Print(config.csv_dir.empty() ? ""
+                                 : config.csv_dir + "/serve_throughput.csv");
+  if (!config.json_path.empty() && !t.WriteJson(config.json_path)) {
+    fprintf(stderr, "could not write %s\n", config.json_path.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace sapla
+
+int main(int argc, char** argv) { return sapla::Run(argc, argv); }

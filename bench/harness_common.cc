@@ -38,7 +38,8 @@ std::vector<size_t> ParseSizeList(const std::string& s) {
   fprintf(stderr,
           "usage: %s [--n=N] [--series=S] [--datasets=D] [--queries=Q]\n"
           "          [--methods=SAPLA,APLA,...] [--budgets=12,18,24]\n"
-          "          [--ks=4,8,16,32,64] [--threads=T] [--csv=DIR]\n",
+          "          [--ks=4,8,16,32,64] [--threads=T] [--csv=DIR]\n"
+          "          [--json=FILE]\n",
           argv0);
   exit(2);
 }
@@ -85,6 +86,8 @@ HarnessConfig ParseFlags(int argc, char** argv, HarnessConfig base) {
       config.threads = std::strtoull(value.c_str(), nullptr, 10);
     } else if (key == "csv") {
       config.csv_dir = value;
+    } else if (key == "json") {
+      config.json_path = value;
     } else if (key == "per-dataset") {
       config.per_dataset = value != "0";
     } else {

@@ -15,6 +15,8 @@
 //   --threads=4      (thread pool size for build/batch queries; 1 = serial,
 //                     0 = hardware concurrency)
 //   --csv=/tmp/out   (write one CSV per table into this directory)
+//   --json=out.json  (write the harness' main table as one JSON document,
+//                     the machine-readable format CI tracks across PRs)
 
 #include <string>
 #include <vector>
@@ -37,6 +39,9 @@ struct HarnessConfig {
   /// default 1 keeps the paper's single-core CPU-time methodology.
   size_t threads = 1;
   std::string csv_dir;
+  /// When non-empty, the harness writes its main table via Table::WriteJson
+  /// to this path (machine-readable benchmark tracking).
+  std::string json_path;
   /// Also emit per-dataset rows (the paper's technical-report detail);
   /// needs --csv since the output is large.
   bool per_dataset = false;

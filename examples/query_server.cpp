@@ -1,0 +1,76 @@
+// Embedded query serving: wrap a built index in a QueryService and hit it
+// from several client threads at once — micro-batching, deadlines with
+// degraded answers, a result cache, and backpressure, all observable in the
+// final metrics table.
+//
+//   $ ./build/examples/query_server
+//
+// docs/SERVING.md explains every knob used here.
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "search/knn.h"
+#include "serve/metrics.h"
+#include "serve/service.h"
+#include "ts/synthetic_archive.h"
+#include "util/rng.h"
+
+using namespace sapla;
+
+int main() {
+  // A dataset and an immutable index, as in examples/knn_search.cpp.
+  SyntheticOptions opt;
+  opt.length = 256;
+  opt.num_series = 800;
+  const Dataset ds = MakeSyntheticDataset(5, opt);
+  SimilarityIndex index(Method::kSapla, /*budget=*/24, IndexKind::kDbchTree);
+  if (Status s = index.Build(ds); !s.ok()) {
+    fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  // The service: micro-batches of up to 16 requests (or whatever arrived
+  // within 200 µs), a 256-entry result cache, and degraded lower-bound
+  // answers for requests that miss their deadline.
+  ServeOptions options;
+  options.max_batch = 16;
+  options.max_delay_us = 200;
+  options.cache_capacity = 256;
+  options.degraded_answers = true;
+  QueryService service(index, options);
+
+  // Four clients, each asking for the 5 nearest neighbors of dataset
+  // series (with repeats, so the cache gets hits). A 100 µs deadline on
+  // every fourth request demonstrates degraded answers.
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < 4; ++c) {
+    clients.emplace_back([&service, &ds, c] {
+      Rng rng(42 + c);
+      for (size_t i = 0; i < 200; ++i) {
+        const auto& query = ds.series[rng.UniformInt(32)].values;
+        const uint64_t deadline_us = i % 4 == 0 ? 100 : 0;
+        const ServeResponse r = service.Knn(query, /*k=*/5, deadline_us);
+        if (c == 0 && i == 0)
+          printf("first answer: %zu neighbors, nearest distance %.4f\n",
+                 r.result.neighbors.size(),
+                 r.result.neighbors.empty() ? 0.0
+                                            : r.result.neighbors[0].first);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  // One asynchronous request too — futures are the non-blocking interface.
+  std::future<ServeResponse> pending =
+      service.SubmitKnn(ds.series[0].values, /*k=*/3);
+  const ServeResponse async_answer = pending.get();
+  printf("async answer: %s, %zu neighbors, cache_hit=%d\n",
+         async_answer.status.ok() ? "ok" : "error",
+         async_answer.result.neighbors.size(), async_answer.cache_hit);
+
+  service.Stop();
+  MetricsToTable(service.MetricsSnapshot()).Print();
+  return 0;
+}

@@ -116,7 +116,10 @@ std::string IndexKindName(IndexKind kind) {
 
 std::unique_ptr<IndexBackend> MakeIndexBackend(IndexKind kind,
                                                const IndexBackendContext& ctx) {
-  return MakeIndexBackendByName(IndexKindName(kind), ctx);
+  // The built-in kinds always resolve unless someone replaced their
+  // registration with a stub, which is a programming error.
+  return std::move(MakeIndexBackendByName(IndexKindName(kind), ctx))
+      .ValueOrDie();
 }
 
 void RegisterIndexBackend(const std::string& name,
@@ -125,16 +128,41 @@ void RegisterIndexBackend(const std::string& name,
   Registry()[name] = std::move(factory);
 }
 
-std::unique_ptr<IndexBackend> MakeIndexBackendByName(
+namespace {
+
+std::string RegisteredNamesForError() {
+  std::string out;
+  for (const std::string& name : IndexBackendNames()) {
+    if (!out.empty()) out += ", ";
+    out += "\"" + name + "\"";
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<IndexBackend>> MakeIndexBackendByName(
     const std::string& name, const IndexBackendContext& ctx) {
   IndexBackendFactory factory;
   {
     std::lock_guard<std::mutex> lock(RegistryMutex());
     const auto it = Registry().find(name);
-    if (it == Registry().end()) return nullptr;
-    factory = it->second;
+    if (it != Registry().end()) factory = it->second;
   }
-  return factory(ctx);
+  if (!factory) {
+    return Status::InvalidArgument("unknown index backend \"" + name +
+                                   "\"; registered backends: " +
+                                   RegisteredNamesForError());
+  }
+  std::unique_ptr<IndexBackend> backend = factory(ctx);
+  if (backend == nullptr) {
+    return Status::InvalidArgument(
+        "index backend \"" + name +
+        "\" is registered but has no usable implementation (stub); "
+        "registered backends: " +
+        RegisteredNamesForError());
+  }
+  return backend;
 }
 
 std::vector<std::string> IndexBackendNames() {

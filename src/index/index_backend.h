@@ -26,6 +26,7 @@
 #include "index/tree_stats.h"
 #include "reduction/representation.h"
 #include "ts/time_series.h"
+#include "util/status.h"
 
 namespace sapla {
 
@@ -94,10 +95,12 @@ using IndexBackendFactory =
 /// Registers (or replaces) a named backend factory. Thread-safe.
 void RegisterIndexBackend(const std::string& name, IndexBackendFactory factory);
 
-/// Instantiates a registered backend by name; nullptr when the name is
-/// unknown or the factory is a stub. Built-ins: "rtree", "dbch"; "isax" is
-/// a registered stub pending an IndexBackend adapter for IsaxIndex.
-std::unique_ptr<IndexBackend> MakeIndexBackendByName(
+/// Instantiates a registered backend by name. Unknown names and registered
+/// stubs (a factory that yields no backend — currently "isax", pending an
+/// IndexBackend adapter for IsaxIndex) return InvalidArgument whose message
+/// names the offender and lists every registered backend, so callers can
+/// surface an actionable error. Built-ins: "rtree", "dbch".
+Result<std::unique_ptr<IndexBackend>> MakeIndexBackendByName(
     const std::string& name, const IndexBackendContext& ctx);
 
 /// Names of every registered backend (including stubs), sorted.

@@ -106,9 +106,9 @@ Status SimilarityIndex::Build(const Dataset& dataset, BuildInfo* info) {
   ctx.dataset = dataset_;
   ctx.reps = &reps_;
   ctx.options = options_;
-  backend_ = MakeIndexBackend(kind_, ctx);
-  if (backend_ == nullptr)
-    return Status::Unimplemented("index backend unavailable for this kind");
+  auto backend = MakeIndexBackendByName(IndexKindName(kind_), ctx);
+  if (!backend.ok()) return backend.status();
+  backend_ = std::move(backend).ValueOrDie();
   for (size_t i = 0; i < reps_.size(); ++i) backend_->Insert(i);
   const double insert_s = insert_timer.Seconds();
 
@@ -182,24 +182,73 @@ KnnResult SimilarityIndex::RangeSearch(const std::vector<double>& query,
   return result;
 }
 
+KnnResult SimilarityIndex::KnnLowerBound(const std::vector<double>& query,
+                                         size_t k) const {
+  SAPLA_DCHECK(dataset_ != nullptr);
+  SAPLA_DCHECK(query.size() == dataset_->length());
+  KnnResult result;
+  if (k == 0) return result;
+  const Representation query_rep = reducer_->Reduce(query, m_);
+  const PrefixFitter query_fitter(query);
+  TopK top(k);
+  for (size_t id = 0; id < reps_.size(); ++id)
+    top.Offer(FilterDistance(query_fitter, query_rep, reps_[id]), id);
+  result.neighbors = top.Sorted();
+  return result;
+}
+
+KnnResult SimilarityIndex::RangeSearchLowerBound(
+    const std::vector<double>& query, double radius) const {
+  SAPLA_DCHECK(dataset_ != nullptr);
+  SAPLA_DCHECK(query.size() == dataset_->length());
+  const Representation query_rep = reducer_->Reduce(query, m_);
+  const PrefixFitter query_fitter(query);
+  KnnResult result;
+  for (size_t id = 0; id < reps_.size(); ++id) {
+    const double lb = FilterDistance(query_fitter, query_rep, reps_[id]);
+    if (lb <= radius) result.neighbors.emplace_back(lb, id);
+  }
+  std::sort(result.neighbors.begin(), result.neighbors.end());
+  return result;
+}
+
 std::vector<KnnResult> SimilarityIndex::KnnBatch(
     const std::vector<std::vector<double>>& queries, size_t k,
     size_t num_threads) const {
+  return KnnBatch(queries, k, BatchOptions{num_threads, nullptr});
+}
+
+std::vector<KnnResult> SimilarityIndex::KnnBatch(
+    const std::vector<std::vector<double>>& queries, size_t k,
+    const BatchOptions& options) const {
   std::vector<KnnResult> results(queries.size());
   ParallelFor(
       0, queries.size(),
-      [&](size_t i) { results[i] = Knn(queries[i], k); }, num_threads);
+      [&](size_t i) {
+        if (options.cancel && options.cancel(i)) return;
+        results[i] = Knn(queries[i], k);
+      },
+      options.num_threads);
   return results;
 }
 
 std::vector<KnnResult> SimilarityIndex::RangeSearchBatch(
     const std::vector<std::vector<double>>& queries, double radius,
     size_t num_threads) const {
+  return RangeSearchBatch(queries, radius, BatchOptions{num_threads, nullptr});
+}
+
+std::vector<KnnResult> SimilarityIndex::RangeSearchBatch(
+    const std::vector<std::vector<double>>& queries, double radius,
+    const BatchOptions& options) const {
   std::vector<KnnResult> results(queries.size());
   ParallelFor(
       0, queries.size(),
-      [&](size_t i) { results[i] = RangeSearch(queries[i], radius); },
-      num_threads);
+      [&](size_t i) {
+        if (options.cancel && options.cancel(i)) return;
+        results[i] = RangeSearch(queries[i], radius);
+      },
+      options.num_threads);
   return results;
 }
 

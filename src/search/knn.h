@@ -19,6 +19,7 @@
 // serial per-query results — including exact per-query num_measured —
 // bit-identically at any thread count.
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -79,10 +80,37 @@ class SimilarityIndex {
   /// k == 0 returns an empty result without touching the index.
   KnnResult Knn(const std::vector<double>& query, size_t k) const;
 
+  /// Approximate k-NN from the reduced representations only: every series
+  /// is ranked by its lower-bounding filter distance to the query and no
+  /// raw series is touched (num_measured == 0). The reported distances are
+  /// lower bounds on the true distances, so the answer may differ from
+  /// Knn's — this is the degraded fallback the serving layer returns for
+  /// deadline-exceeded requests (serve/service.h).
+  KnnResult KnnLowerBound(const std::vector<double>& query, size_t k) const;
+
+  /// Approximate range query from the lower bounds only: every series
+  /// whose lower-bounding distance is <= radius (a superset of the exact
+  /// answer ids, with lower-bound distances). num_measured == 0.
+  KnnResult RangeSearchLowerBound(const std::vector<double>& query,
+                                  double radius) const;
+
   /// GEMINI epsilon-range query: every series whose exact Euclidean
   /// distance to `query` is <= radius, ascending by distance. Nodes and
   /// entries are pruned at `radius` by the same lower bounds as Knn.
   KnnResult RangeSearch(const std::vector<double>& query, double radius) const;
+
+  /// Controls one batch call.
+  struct BatchOptions {
+    /// Fan-out cap; 0 = the global default (see util/parallel.h).
+    size_t num_threads = 0;
+    /// Cooperative cancellation hook: when set, invoked with the query
+    /// index immediately before that query executes; returning true skips
+    /// the query, leaving results[i] empty (no neighbors, num_measured ==
+    /// 0). Must be thread-safe — it is called from pool workers. The
+    /// serving layer uses this to drop requests whose deadline passed
+    /// while the batch was queued.
+    std::function<bool(size_t)> cancel;
+  };
 
   /// Batch k-NN: queries fan across the global thread pool (capped at
   /// `num_threads`; 0 = the global default, see util/parallel.h).
@@ -92,13 +120,29 @@ class SimilarityIndex {
       const std::vector<std::vector<double>>& queries, size_t k,
       size_t num_threads = 0) const;
 
+  /// Batch k-NN with per-query cancellation; non-cancelled entries are
+  /// exactly Knn(queries[i], k).
+  std::vector<KnnResult> KnnBatch(
+      const std::vector<std::vector<double>>& queries, size_t k,
+      const BatchOptions& options) const;
+
   /// Batch range query; results[i] == RangeSearch(queries[i], radius).
   std::vector<KnnResult> RangeSearchBatch(
       const std::vector<std::vector<double>>& queries, double radius,
       size_t num_threads = 0) const;
 
+  /// Batch range query with per-query cancellation.
+  std::vector<KnnResult> RangeSearchBatch(
+      const std::vector<std::vector<double>>& queries, double radius,
+      const BatchOptions& options) const;
+
   Method method() const { return method_; }
   IndexKind kind() const { return kind_; }
+  /// Number of indexed series (0 before Build).
+  size_t dataset_size() const { return dataset_ ? dataset_->size() : 0; }
+  /// Length of the indexed series (0 before Build). The serving layer
+  /// validates incoming query lengths against this.
+  size_t series_length() const { return dataset_ ? dataset_->length() : 0; }
   /// The backend after Build (nullptr before); exposed for diagnostics.
   const IndexBackend* backend() const { return backend_.get(); }
   TreeStats stats() const;

@@ -1,0 +1,73 @@
+#include "serve/metrics.h"
+
+namespace sapla {
+
+double ServeMetricsSnapshot::CacheHitRate() const {
+  const uint64_t lookups = cache_hits + cache_misses;
+  return lookups == 0 ? 0.0
+                      : static_cast<double>(cache_hits) /
+                            static_cast<double>(lookups);
+}
+
+HistogramSnapshot SnapshotHistogram(const Histogram& h) {
+  HistogramSnapshot s;
+  s.count = h.Count();
+  s.mean = h.Mean();
+  s.p50 = h.Quantile(0.50);
+  s.p95 = h.Quantile(0.95);
+  s.p99 = h.Quantile(0.99);
+  s.max = h.Max();
+  return s;
+}
+
+ServeMetricsSnapshot SnapshotMetrics(const ServeMetrics& metrics) {
+  ServeMetricsSnapshot s;
+  s.admitted = metrics.admitted.load();
+  s.rejected_overloaded = metrics.rejected_overloaded.load();
+  s.rejected_shutdown = metrics.rejected_shutdown.load();
+  s.completed_ok = metrics.completed_ok.load();
+  s.deadline_exceeded = metrics.deadline_exceeded.load();
+  s.degraded = metrics.degraded.load();
+  s.cache_hits = metrics.cache_hits.load();
+  s.cache_misses = metrics.cache_misses.load();
+  s.batches_flushed = metrics.batches_flushed.load();
+  s.queue_wait_us = SnapshotHistogram(metrics.queue_wait_us);
+  s.exec_us = SnapshotHistogram(metrics.exec_us);
+  s.total_us = SnapshotHistogram(metrics.total_us);
+  s.batch_size = SnapshotHistogram(metrics.batch_size);
+  s.queue_depth = SnapshotHistogram(metrics.queue_depth);
+  return s;
+}
+
+Table MetricsToTable(const ServeMetricsSnapshot& snap,
+                     const std::string& title) {
+  Table t(title);
+  t.SetHeader({"Metric", "Count", "Mean", "P50", "P95", "P99", "Max"});
+  const auto counter = [&](const std::string& name, uint64_t value) {
+    t.AddRow({name, std::to_string(value), "", "", "", "", ""});
+  };
+  const auto hist = [&](const std::string& name, const HistogramSnapshot& h) {
+    t.AddRow({name, std::to_string(h.count), Table::Num(h.mean, 4),
+              Table::Num(h.p50, 4), Table::Num(h.p95, 4), Table::Num(h.p99, 4),
+              std::to_string(h.max)});
+  };
+  counter("admitted", snap.admitted);
+  counter("rejected_overloaded", snap.rejected_overloaded);
+  counter("rejected_shutdown", snap.rejected_shutdown);
+  counter("completed_ok", snap.completed_ok);
+  counter("deadline_exceeded", snap.deadline_exceeded);
+  counter("degraded", snap.degraded);
+  counter("cache_hits", snap.cache_hits);
+  counter("cache_misses", snap.cache_misses);
+  t.AddRow({"cache_hit_rate", Table::Num(snap.CacheHitRate(), 4), "", "", "",
+            "", ""});
+  counter("batches_flushed", snap.batches_flushed);
+  hist("queue_wait_us", snap.queue_wait_us);
+  hist("exec_us", snap.exec_us);
+  hist("total_us", snap.total_us);
+  hist("batch_size", snap.batch_size);
+  hist("queue_depth", snap.queue_depth);
+  return t;
+}
+
+}  // namespace sapla

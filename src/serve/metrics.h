@@ -1,0 +1,102 @@
+#ifndef SAPLA_SERVE_METRICS_H_
+#define SAPLA_SERVE_METRICS_H_
+
+// Metrics registry for the embedded query service (serve/service.h).
+//
+// All counters are plain atomics and all distributions are fixed-bucket
+// histograms (util/histogram.h), so recording from the admission path, the
+// scheduler thread and the pool workers is wait-free and never serializes
+// request processing. Readers take an instantaneous Snapshot — a plain
+// struct of numbers — and render it through the repo's table writer
+// (util/table.h), which is how every bench/tool in this repo reports.
+//
+// Glossary (docs/SERVING.md has the full prose):
+//   admitted            requests accepted into the bounded queue
+//   rejected_overloaded requests refused at admission (queue full)
+//   rejected_shutdown   requests refused because the service was stopped
+//   completed_ok        requests answered with exact results
+//   deadline_exceeded   requests dropped because their deadline passed
+//   degraded            deadline-exceeded requests that still got an
+//                       approximate lower-bound-only answer
+//   cache_hits/misses   result-cache outcome at admission time
+//   batches_flushed     micro-batches executed
+//   queue_wait_us       admission -> start of the request's flush
+//   exec_us             wall time of the flush that ran the request
+//   total_us            admission -> response resolution
+//   batch_size          requests per flushed micro-batch
+//   queue_depth         queue length observed after each admission
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/histogram.h"
+#include "util/table.h"
+
+namespace sapla {
+
+/// \brief Live, thread-safe metrics for one QueryService instance.
+struct ServeMetrics {
+  std::atomic<uint64_t> admitted{0};
+  std::atomic<uint64_t> rejected_overloaded{0};
+  std::atomic<uint64_t> rejected_shutdown{0};
+  std::atomic<uint64_t> completed_ok{0};
+  std::atomic<uint64_t> deadline_exceeded{0};
+  std::atomic<uint64_t> degraded{0};
+  std::atomic<uint64_t> cache_hits{0};
+  std::atomic<uint64_t> cache_misses{0};
+  std::atomic<uint64_t> batches_flushed{0};
+
+  Histogram queue_wait_us;
+  Histogram exec_us;
+  Histogram total_us;
+  Histogram batch_size;
+  Histogram queue_depth;
+};
+
+/// One histogram, collapsed to the numbers reports care about.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  uint64_t max = 0;
+};
+
+/// Point-in-time copy of every metric; safe to read field by field.
+struct ServeMetricsSnapshot {
+  uint64_t admitted = 0;
+  uint64_t rejected_overloaded = 0;
+  uint64_t rejected_shutdown = 0;
+  uint64_t completed_ok = 0;
+  uint64_t deadline_exceeded = 0;
+  uint64_t degraded = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t batches_flushed = 0;
+
+  HistogramSnapshot queue_wait_us;
+  HistogramSnapshot exec_us;
+  HistogramSnapshot total_us;
+  HistogramSnapshot batch_size;
+  HistogramSnapshot queue_depth;
+
+  /// cache_hits / (cache_hits + cache_misses); 0 with no lookups.
+  double CacheHitRate() const;
+};
+
+/// Collapses one histogram (concurrent-safe; see util/histogram.h).
+HistogramSnapshot SnapshotHistogram(const Histogram& h);
+
+/// Snapshots every counter and histogram.
+ServeMetricsSnapshot SnapshotMetrics(const ServeMetrics& metrics);
+
+/// Renders a snapshot as one table (counters first, then one row per
+/// histogram with count/mean/p50/p95/p99/max), printable or CSV/JSON via
+/// util/table.h.
+Table MetricsToTable(const ServeMetricsSnapshot& snap,
+                     const std::string& title = "Serve metrics");
+
+}  // namespace sapla
+
+#endif  // SAPLA_SERVE_METRICS_H_

@@ -1,0 +1,118 @@
+#include "serve/result_cache.h"
+
+#include <cstring>
+#include <list>
+#include <unordered_map>
+#include <utility>
+
+namespace sapla {
+namespace {
+
+// FNV-1a over raw bytes; good enough to spread shards and bucket keys
+// (full-key comparison guards correctness).
+uint64_t FnvMix(uint64_t h, const void* data, size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+uint64_t ResultCacheKey::Hash() const {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  const uint32_t tag[4] = {static_cast<uint32_t>(op), static_cast<uint32_t>(k),
+                           static_cast<uint32_t>(method),
+                           static_cast<uint32_t>(kind)};
+  h = FnvMix(h, tag, sizeof(tag));
+  h = FnvMix(h, &radius, sizeof(radius));
+  if (!query.empty())
+    h = FnvMix(h, query.data(), query.size() * sizeof(double));
+  return h;
+}
+
+bool ResultCacheKey::operator==(const ResultCacheKey& other) const {
+  // Radii compare bitwise (memcmp) so NaN/-0.0 never alias distinct keys.
+  return op == other.op && k == other.k && method == other.method &&
+         kind == other.kind &&
+         std::memcmp(&radius, &other.radius, sizeof(radius)) == 0 &&
+         query.size() == other.query.size() &&
+         (query.empty() ||
+          std::memcmp(query.data(), other.query.data(),
+                      query.size() * sizeof(double)) == 0);
+}
+
+struct ResultCache::Shard {
+  using Entry = std::pair<ResultCacheKey, KnnResult>;
+
+  std::mutex mu;
+  std::list<Entry> lru;  // front = most recently used
+  std::unordered_map<uint64_t, std::list<Entry>::iterator> map;
+};
+
+ResultCache::ResultCache(size_t capacity, size_t shards)
+    : capacity_(capacity) {
+  if (shards == 0) shards = 1;
+  if (shards > capacity && capacity > 0) shards = capacity;
+  per_shard_capacity_ = capacity == 0 ? 0 : (capacity + shards - 1) / shards;
+  shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i)
+    shards_.push_back(std::make_unique<Shard>());
+}
+
+ResultCache::~ResultCache() = default;
+
+bool ResultCache::Lookup(const ResultCacheKey& key, KnnResult* out) {
+  if (capacity_ == 0) return false;
+  const uint64_t hash = key.Hash();
+  Shard& shard = *shards_[hash % shards_.size()];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.map.find(hash);
+  if (it == shard.map.end() || !(it->second->first == key)) return false;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  *out = it->second->second;
+  return true;
+}
+
+void ResultCache::Insert(const ResultCacheKey& key, const KnnResult& result) {
+  if (capacity_ == 0) return;
+  const uint64_t hash = key.Hash();
+  Shard& shard = *shards_[hash % shards_.size()];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.map.find(hash);
+  if (it != shard.map.end()) {
+    // Refresh in place; a hash collision overwrites the older key, which
+    // is a capacity decision, not a correctness one (Lookup re-verifies).
+    it->second->first = key;
+    it->second->second = result;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.emplace_front(key, result);
+  shard.map[hash] = shard.lru.begin();
+  while (shard.lru.size() > per_shard_capacity_) {
+    shard.map.erase(shard.lru.back().first.Hash());
+    shard.lru.pop_back();
+  }
+}
+
+void ResultCache::Invalidate() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+    shard->map.clear();
+  }
+}
+
+size_t ResultCache::size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->lru.size();
+  }
+  return total;
+}
+
+}  // namespace sapla

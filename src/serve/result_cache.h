@@ -1,0 +1,81 @@
+#ifndef SAPLA_SERVE_RESULT_CACHE_H_
+#define SAPLA_SERVE_RESULT_CACHE_H_
+
+// Sharded LRU cache of exact query results for the serving layer.
+//
+// Keyed by (query bytes, operation, k or radius, method, index kind): two
+// requests collide only when they would provably produce the identical
+// KnnResult, so serving from the cache preserves the service's determinism
+// contract — including the cached num_measured, which reports the work the
+// original execution did. Entries are verified by full key comparison
+// (the stored query is compared element-wise), so a 64-bit hash collision
+// degrades to a miss, never to a wrong answer.
+//
+// Sharding: the key hash picks one of `shards` independent LRU maps, each
+// behind its own mutex, so concurrent admission-path lookups from many
+// client threads do not serialize on one lock. Invalidate() clears every
+// shard; SimilarityIndex has no incremental rebuild, so whole-cache
+// invalidation on rebuild is the only coherence protocol needed.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "reduction/representation.h"
+#include "search/knn.h"
+
+namespace sapla {
+
+/// Operation discriminator for cache keys and requests.
+enum class ServeOp { kKnn = 0, kRange };
+
+/// \brief Cache key: everything that determines a request's exact answer.
+struct ResultCacheKey {
+  ServeOp op = ServeOp::kKnn;
+  size_t k = 0;             ///< kNN only
+  double radius = 0.0;      ///< range only
+  Method method = Method::kSapla;
+  IndexKind kind = IndexKind::kRTree;
+  std::vector<double> query;
+
+  uint64_t Hash() const;
+  bool operator==(const ResultCacheKey& other) const;
+};
+
+/// \brief Sharded LRU map from ResultCacheKey to KnnResult.
+class ResultCache {
+ public:
+  /// \param capacity total entry budget across all shards (0 disables the
+  ///   cache: Lookup always misses, Insert is a no-op).
+  /// \param shards number of independent LRU shards (clamped to >= 1).
+  ResultCache(size_t capacity, size_t shards);
+  ~ResultCache();
+
+  /// Copies the cached result into `out` and refreshes LRU order.
+  bool Lookup(const ResultCacheKey& key, KnnResult* out);
+
+  /// Inserts (or refreshes) an entry, evicting the shard's LRU tail beyond
+  /// its per-shard capacity.
+  void Insert(const ResultCacheKey& key, const KnnResult& result);
+
+  /// Drops every entry in every shard (rebuild invalidation).
+  void Invalidate();
+
+  /// Current number of cached entries (sums shard sizes; approximate under
+  /// concurrent mutation).
+  size_t size() const;
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Shard;
+
+  size_t capacity_;
+  size_t per_shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace sapla
+
+#endif  // SAPLA_SERVE_RESULT_CACHE_H_

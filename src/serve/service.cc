@@ -1,0 +1,286 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <map>
+#include <tuple>
+#include <utility>
+
+namespace sapla {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+uint64_t ElapsedUs(Clock::time_point from, Clock::time_point to) {
+  if (to <= from) return 0;
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(to - from)
+          .count());
+}
+
+}  // namespace
+
+/// One in-flight request. Owned by the queue / scheduler; the client holds
+/// only the future.
+struct QueryService::Request {
+  ServeOp op = ServeOp::kKnn;
+  std::vector<double> query;
+  size_t k = 0;
+  double radius = 0.0;
+
+  Clock::time_point admitted;
+  Clock::time_point deadline;
+  bool has_deadline = false;
+
+  /// Admission -> flush-start wait, filled in by Flush for the response.
+  uint64_t queue_us = 0;
+
+  /// Set by the batch path's cancellation hook (pool workers) when the
+  /// deadline passes after grouping but before execution.
+  std::atomic<bool> expired_mid_batch{false};
+
+  std::promise<ServeResponse> promise;
+
+  bool DeadlinePassed(Clock::time_point now) const {
+    return has_deadline && now >= deadline;
+  }
+};
+
+QueryService::QueryService(const SimilarityIndex& index,
+                           const ServeOptions& options)
+    : index_(index),
+      options_(options),
+      cache_(options.cache_capacity, options.cache_shards),
+      queue_(options.queue_capacity) {
+  scheduler_ = std::thread([this] { SchedulerLoop(); });
+}
+
+QueryService::~QueryService() { Stop(); }
+
+void QueryService::Stop() {
+  stopped_.store(true);
+  queue_.Close();
+  if (scheduler_.joinable()) scheduler_.join();
+}
+
+void QueryService::InvalidateCache() { cache_.Invalidate(); }
+
+std::future<ServeResponse> QueryService::SubmitKnn(std::vector<double> query,
+                                                   size_t k,
+                                                   uint64_t deadline_us) {
+  auto request = std::make_unique<Request>();
+  request->op = ServeOp::kKnn;
+  request->query = std::move(query);
+  request->k = k;
+  if (deadline_us == 0) deadline_us = options_.default_deadline_us;
+  if (deadline_us != 0) {
+    request->has_deadline = true;
+    request->deadline =
+        Clock::now() + std::chrono::microseconds(deadline_us);
+  }
+  return Submit(std::move(request));
+}
+
+std::future<ServeResponse> QueryService::SubmitRange(std::vector<double> query,
+                                                     double radius,
+                                                     uint64_t deadline_us) {
+  auto request = std::make_unique<Request>();
+  request->op = ServeOp::kRange;
+  request->query = std::move(query);
+  request->radius = radius;
+  if (deadline_us == 0) deadline_us = options_.default_deadline_us;
+  if (deadline_us != 0) {
+    request->has_deadline = true;
+    request->deadline =
+        Clock::now() + std::chrono::microseconds(deadline_us);
+  }
+  return Submit(std::move(request));
+}
+
+ServeResponse QueryService::Knn(std::vector<double> query, size_t k,
+                                uint64_t deadline_us) {
+  return SubmitKnn(std::move(query), k, deadline_us).get();
+}
+
+ServeResponse QueryService::Range(std::vector<double> query, double radius,
+                                  uint64_t deadline_us) {
+  return SubmitRange(std::move(query), radius, deadline_us).get();
+}
+
+std::future<ServeResponse> QueryService::Submit(
+    std::unique_ptr<Request> request) {
+  request->admitted = Clock::now();
+  std::future<ServeResponse> future = request->promise.get_future();
+
+  const auto reject = [&](Status status) {
+    ServeResponse response;
+    response.status = std::move(status);
+    request->promise.set_value(std::move(response));
+    return std::move(future);
+  };
+
+  if (stopped_.load()) {
+    metrics_.rejected_shutdown.fetch_add(1);
+    return reject(Status::Unavailable("query service is stopped"));
+  }
+  if (request->query.size() != index_.series_length()) {
+    return reject(Status::InvalidArgument(
+        "query length " + std::to_string(request->query.size()) +
+        " != indexed series length " +
+        std::to_string(index_.series_length())));
+  }
+
+  // Cache lookup at admission: hits bypass the queue entirely, so repeated
+  // queries cost neither capacity nor batching delay.
+  if (cache_.capacity() > 0) {
+    ResultCacheKey key;
+    key.op = request->op;
+    key.k = request->k;
+    key.radius = request->radius;
+    key.method = index_.method();
+    key.kind = index_.kind();
+    key.query = request->query;
+    KnnResult cached;
+    if (cache_.Lookup(key, &cached)) {
+      metrics_.cache_hits.fetch_add(1);
+      ServeResponse response;
+      response.status = Status::OK();
+      response.result = std::move(cached);
+      response.cache_hit = true;
+      response.total_us = ElapsedUs(request->admitted, Clock::now());
+      metrics_.total_us.Record(response.total_us);
+      metrics_.completed_ok.fetch_add(1);
+      request->promise.set_value(std::move(response));
+      return future;
+    }
+    metrics_.cache_misses.fetch_add(1);
+  }
+
+  // A failed TryPush does not consume the request, so the promise can
+  // still be resolved here.
+  if (!queue_.TryPush(std::move(request))) {
+    if (queue_.closed()) {
+      metrics_.rejected_shutdown.fetch_add(1);
+      return reject(Status::Unavailable("query service is stopped"));
+    }
+    metrics_.rejected_overloaded.fetch_add(1);
+    return reject(Status::Overloaded(
+        "admission queue full (" + std::to_string(queue_.capacity()) +
+        " pending); retry later"));
+  }
+  metrics_.admitted.fetch_add(1);
+  metrics_.queue_depth.Record(queue_.size());
+  return future;
+}
+
+void QueryService::SchedulerLoop() {
+  for (;;) {
+    std::vector<std::unique_ptr<Request>> batch = queue_.PopBatch(
+        options_.max_batch, std::chrono::microseconds(options_.max_delay_us));
+    if (batch.empty()) return;  // closed and drained
+    Flush(std::move(batch));
+  }
+}
+
+void QueryService::ResolveExpired(Request* request) {
+  metrics_.deadline_exceeded.fetch_add(1);
+  ServeResponse response;
+  response.status = Status::DeadlineExceeded("deadline passed before the "
+                                             "request could be executed");
+  response.queue_us = request->queue_us;
+  if (options_.degraded_answers) {
+    response.result = request->op == ServeOp::kKnn
+                          ? index_.KnnLowerBound(request->query, request->k)
+                          : index_.RangeSearchLowerBound(request->query,
+                                                         request->radius);
+    response.approximate = true;
+    metrics_.degraded.fetch_add(1);
+  }
+  response.total_us = ElapsedUs(request->admitted, Clock::now());
+  metrics_.total_us.Record(response.total_us);
+  request->promise.set_value(std::move(response));
+}
+
+void QueryService::Flush(std::vector<std::unique_ptr<Request>> batch) {
+  const Clock::time_point flush_start = Clock::now();
+  metrics_.batches_flushed.fetch_add(1);
+  metrics_.batch_size.Record(batch.size());
+
+  // Partition: requests already past their deadline resolve immediately
+  // (never stalling the live ones), the rest group by identical operation
+  // parameters so each group is one deterministic KnnBatch /
+  // RangeSearchBatch call.
+  // Group key: op + the exact parameter bits (map is fine — batches are
+  // small and kNN radii are not involved in ordering subtleties; bitwise
+  // radius keys keep distinct NaN payloads distinct).
+  std::map<std::tuple<ServeOp, size_t, uint64_t>, std::vector<Request*>>
+      groups;
+  for (auto& request : batch) {
+    request->queue_us = ElapsedUs(request->admitted, flush_start);
+    metrics_.queue_wait_us.Record(request->queue_us);
+    if (request->DeadlinePassed(flush_start)) {
+      ResolveExpired(request.get());
+      request.reset();
+      continue;
+    }
+    uint64_t radius_bits = 0;
+    static_assert(sizeof(radius_bits) == sizeof(request->radius));
+    std::memcpy(&radius_bits, &request->radius, sizeof(radius_bits));
+    groups[{request->op, request->k, radius_bits}].push_back(request.get());
+  }
+
+  for (auto& [key, group] : groups) {
+    std::vector<std::vector<double>> queries;
+    queries.reserve(group.size());
+    for (const Request* request : group) queries.push_back(request->query);
+
+    SimilarityIndex::BatchOptions batch_options;
+    batch_options.num_threads = options_.num_threads;
+    batch_options.cancel = [&group](size_t i) {
+      Request* request = group[i];
+      if (request->DeadlinePassed(Clock::now())) {
+        request->expired_mid_batch.store(true);
+        return true;
+      }
+      return false;
+    };
+
+    const Clock::time_point exec_start = Clock::now();
+    std::vector<KnnResult> results =
+        std::get<0>(key) == ServeOp::kKnn
+            ? index_.KnnBatch(queries, group.front()->k, batch_options)
+            : index_.RangeSearchBatch(queries, group.front()->radius,
+                                      batch_options);
+    const uint64_t exec_us = ElapsedUs(exec_start, Clock::now());
+
+    for (size_t i = 0; i < group.size(); ++i) {
+      Request* request = group[i];
+      metrics_.exec_us.Record(exec_us);
+      if (request->expired_mid_batch.load()) {
+        ResolveExpired(request);
+        continue;
+      }
+      if (cache_.capacity() > 0) {
+        ResultCacheKey cache_key;
+        cache_key.op = request->op;
+        cache_key.k = request->k;
+        cache_key.radius = request->radius;
+        cache_key.method = index_.method();
+        cache_key.kind = index_.kind();
+        cache_key.query = request->query;
+        cache_.Insert(cache_key, results[i]);
+      }
+      ServeResponse response;
+      response.status = Status::OK();
+      response.result = std::move(results[i]);
+      response.queue_us = request->queue_us;
+      response.total_us = ElapsedUs(request->admitted, Clock::now());
+      metrics_.total_us.Record(response.total_us);
+      metrics_.completed_ok.fetch_add(1);
+      request->promise.set_value(std::move(response));
+    }
+  }
+}
+
+}  // namespace sapla

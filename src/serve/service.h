@@ -1,0 +1,158 @@
+#ifndef SAPLA_SERVE_SERVICE_H_
+#define SAPLA_SERVE_SERVICE_H_
+
+// Embedded query-serving subsystem.
+//
+// QueryService turns a stream of independent kNN / range requests from any
+// number of client threads into efficient micro-batched work on top of an
+// immutable SimilarityIndex, and owns the whole request lifecycle:
+//
+//   admission   A bounded MPMC queue (util/bounded_queue.h). When it is
+//               full the request is rejected immediately with kOverloaded —
+//               explicit backpressure, never unbounded growth.
+//   batching    A dedicated scheduler thread coalesces queued requests and
+//               flushes a micro-batch when either `max_batch` requests are
+//               pending or the oldest has waited `max_delay_us`. Each flush
+//               groups requests by (op, k | radius) and runs one
+//               KnnBatch / RangeSearchBatch call on the global pool, so
+//               answers are bit-identical to per-request serial execution
+//               (the contract tests/serve_test.cc enforces).
+//   deadlines   A request past its deadline is dropped cooperatively — at
+//               flush start, or by the batch path's cancellation hook right
+//               before it would execute — and resolves to kDeadlineExceeded
+//               instead of stalling the queue. With `degraded_answers` it
+//               still carries an approximate answer computed from the
+//               reduced-representation lower bounds only (approximate=true,
+//               no raw series touched).
+//   caching     A sharded LRU result cache (serve/result_cache.h) answers
+//               repeated queries at admission time; exact results only,
+//               explicitly invalidated via InvalidateCache() on rebuild.
+//   metrics     Queue depth, batch sizes, cache hits, deadline misses and
+//               per-stage latency, exported through serve/metrics.h.
+//
+// Thread-safety: every public method may be called concurrently from any
+// thread. The index must outlive the service and stay immutable while the
+// service runs (rebuild => destroy the service, rebuild, recreate — and
+// InvalidateCache() if the old cache object is reused).
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "search/knn.h"
+#include "serve/metrics.h"
+#include "serve/result_cache.h"
+#include "util/bounded_queue.h"
+#include "util/status.h"
+
+namespace sapla {
+
+/// \brief Tuning knobs for one QueryService.
+struct ServeOptions {
+  /// Admission-queue capacity; a full queue rejects with kOverloaded.
+  size_t queue_capacity = 1024;
+  /// Flush a micro-batch once this many requests are pending...
+  size_t max_batch = 32;
+  /// ...or once the oldest pending request has waited this long (µs).
+  uint64_t max_delay_us = 200;
+  /// Fan-out of one flushed batch (0 = global default, util/parallel.h).
+  size_t num_threads = 0;
+  /// Result-cache entry budget (0 disables caching).
+  size_t cache_capacity = 0;
+  /// Result-cache shard count.
+  size_t cache_shards = 8;
+  /// Deadline applied to requests that do not set one (µs from admission;
+  /// 0 = no deadline).
+  uint64_t default_deadline_us = 0;
+  /// Answer deadline-exceeded requests with a lower-bound-only approximate
+  /// result instead of an empty one.
+  bool degraded_answers = false;
+};
+
+/// \brief One request's outcome.
+struct ServeResponse {
+  /// OK, Overloaded, DeadlineExceeded, Unavailable or InvalidArgument.
+  Status status;
+  /// The answer; empty on rejection unless `approximate` is set.
+  KnnResult result;
+  /// The result was computed from lower bounds only (degraded answer).
+  bool approximate = false;
+  /// The result came from the cache (no execution, no queueing).
+  bool cache_hit = false;
+  /// Admission -> start of the flush that handled the request (µs).
+  uint64_t queue_us = 0;
+  /// Admission -> response resolution (µs).
+  uint64_t total_us = 0;
+};
+
+/// \brief Thread-safe micro-batching query service over one index.
+class QueryService {
+ public:
+  /// The index must be built and must outlive the service.
+  explicit QueryService(const SimilarityIndex& index,
+                        const ServeOptions& options = {});
+
+  /// Stops the service (drains the queue) before destruction.
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Asynchronous k-NN. `deadline_us` counts from admission; 0 uses the
+  /// service default (which may be "none"). Rejections (overload, stopped,
+  /// bad query length) resolve the future immediately.
+  std::future<ServeResponse> SubmitKnn(std::vector<double> query, size_t k,
+                                       uint64_t deadline_us = 0);
+
+  /// Asynchronous range query; same lifecycle as SubmitKnn.
+  std::future<ServeResponse> SubmitRange(std::vector<double> query,
+                                         double radius,
+                                         uint64_t deadline_us = 0);
+
+  /// Blocking conveniences for closed-loop clients.
+  ServeResponse Knn(std::vector<double> query, size_t k,
+                    uint64_t deadline_us = 0);
+  ServeResponse Range(std::vector<double> query, double radius,
+                      uint64_t deadline_us = 0);
+
+  /// Drops every cached result (call after rebuilding the index).
+  void InvalidateCache();
+
+  /// Stops admission, drains and executes everything already queued, and
+  /// joins the scheduler. Idempotent; later submissions get kUnavailable.
+  void Stop();
+
+  /// Live metrics registry (wait-free readers, see serve/metrics.h).
+  const ServeMetrics& metrics() const { return metrics_; }
+
+  /// Point-in-time snapshot of every counter and histogram.
+  ServeMetricsSnapshot MetricsSnapshot() const {
+    return SnapshotMetrics(metrics_);
+  }
+
+  const ServeOptions& options() const { return options_; }
+
+ private:
+  struct Request;
+
+  std::future<ServeResponse> Submit(std::unique_ptr<Request> request);
+  void SchedulerLoop();
+  void Flush(std::vector<std::unique_ptr<Request>> batch);
+  void ResolveExpired(Request* request);
+
+  const SimilarityIndex& index_;
+  const ServeOptions options_;
+
+  ServeMetrics metrics_;
+  ResultCache cache_;
+  BoundedQueue<std::unique_ptr<Request>> queue_;
+  std::atomic<bool> stopped_{false};
+  std::thread scheduler_;
+};
+
+}  // namespace sapla
+
+#endif  // SAPLA_SERVE_SERVICE_H_

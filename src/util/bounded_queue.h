@@ -1,0 +1,113 @@
+#ifndef SAPLA_UTIL_BOUNDED_QUEUE_H_
+#define SAPLA_UTIL_BOUNDED_QUEUE_H_
+
+// Bounded multi-producer multi-consumer queue with batch draining.
+//
+// The admission queue of the serving layer (serve/service.h): producers
+// TryPush and get an immediate false when the queue is full — explicit
+// backpressure, never unbounded growth — and the scheduler thread drains
+// with PopBatch, which implements the micro-batching window: it blocks for
+// the first item, then waits until either `max_items` are queued or
+// `max_delay` has elapsed since the oldest queued item arrived, and only
+// then removes items. Items stay *in* the queue (holding their capacity
+// slot) while the window is open, so a full queue genuinely means
+// "max_items + capacity requests in flight" and overload is observable.
+//
+// Close() wakes everything: producers fail fast, PopBatch drains what is
+// left and then returns empty batches forever.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace sapla {
+
+/// \brief Bounded MPMC queue; see file comment for the batching contract.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Enqueues `item` unless the queue is full or closed; returns whether
+  /// the item was admitted. Never blocks. On failure `item` is NOT
+  /// consumed — the caller keeps ownership (the serving layer resolves the
+  /// rejected request's promise through it).
+  bool TryPush(T&& item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.emplace_back(std::move(item), Clock::now());
+    }
+    cv_.notify_all();
+    return true;
+  }
+
+  /// Removes up to `max_items` items as one micro-batch. Blocks until the
+  /// queue is non-empty, then until `max_items` are available or the
+  /// oldest queued item has waited `max_delay` since its arrival,
+  /// whichever comes first — so no admitted item waits longer than
+  /// `max_delay` for its flush to start. Returns an empty vector only when
+  /// the queue is closed and fully drained.
+  std::vector<T> PopBatch(size_t max_items,
+                          std::chrono::microseconds max_delay) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return {};  // closed and drained
+    const auto deadline = items_.front().second + max_delay;
+    cv_.wait_until(lock, deadline,
+                   [&] { return closed_ || items_.size() >= max_items; });
+    std::vector<T> batch;
+    const size_t take = items_.size() < max_items ? items_.size() : max_items;
+    batch.reserve(take);
+    for (size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(items_.front().first));
+      items_.pop_front();
+    }
+    lock.unlock();
+    cv_.notify_all();  // free slots for blocked producers' next TryPush
+    return batch;
+  }
+
+  /// Marks the queue closed: TryPush fails from now on, PopBatch drains the
+  /// remainder and then returns empty. Idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  /// (item, arrival time); the front arrival anchors the batch window.
+  std::deque<std::pair<T, Clock::time_point>> items_;
+  bool closed_ = false;
+};
+
+}  // namespace sapla
+
+#endif  // SAPLA_UTIL_BOUNDED_QUEUE_H_

@@ -1,0 +1,105 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sapla {
+namespace {
+
+// Strictly increasing inclusive upper bounds, ratio ~sqrt(2) starting at 1:
+// 1, 2, 3, 4, 6, 8, 11, 16, 23, 32, ... (~3.0e9 at bucket 62; the last
+// bucket is a catch-all for anything larger).
+const std::array<uint64_t, Histogram::kNumBuckets>& BucketTable() {
+  static const auto table = [] {
+    std::array<uint64_t, Histogram::kNumBuckets> t{};
+    double v = 1.0;
+    uint64_t prev = 0;
+    for (size_t b = 0; b < t.size(); ++b) {
+      t[b] = std::max(prev + 1, static_cast<uint64_t>(std::llround(v)));
+      prev = t[b];
+      v *= std::sqrt(2.0);
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+Histogram::Histogram() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+}
+
+size_t Histogram::BucketFor(uint64_t value) {
+  const auto& table = BucketTable();
+  const auto it = std::lower_bound(table.begin(), table.end(), value);
+  return it == table.end() ? kNumBuckets - 1
+                           : static_cast<size_t>(it - table.begin());
+}
+
+uint64_t Histogram::BucketUpper(size_t b) {
+  return BucketTable()[std::min(b, kNumBuckets - 1)];
+}
+
+void Histogram::Record(uint64_t value) {
+  counts_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  uint64_t prev = max_.load(std::memory_order_relaxed);
+  while (value > prev &&
+         !max_.compare_exchange_weak(prev, value, std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t Histogram::Count() const {
+  uint64_t total = 0;
+  for (const auto& c : counts_) total += c.load(std::memory_order_relaxed);
+  return total;
+}
+
+uint64_t Histogram::Sum() const { return sum_.load(std::memory_order_relaxed); }
+
+uint64_t Histogram::Max() const { return max_.load(std::memory_order_relaxed); }
+
+double Histogram::Mean() const {
+  // Snapshot counts first: a Record between reading sum_ and the buckets
+  // can only make the mean slightly stale, never divide by zero.
+  const uint64_t count = Count();
+  if (count == 0) return 0.0;
+  return static_cast<double>(Sum()) / static_cast<double>(count);
+}
+
+double Histogram::Quantile(double q) const {
+  std::array<uint64_t, kNumBuckets> snap;
+  uint64_t total = 0;
+  for (size_t b = 0; b < kNumBuckets; ++b) {
+    snap[b] = counts_[b].load(std::memory_order_relaxed);
+    total += snap[b];
+  }
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t target =
+      std::max<uint64_t>(1, static_cast<uint64_t>(std::ceil(q * total)));
+  uint64_t cum = 0;
+  for (size_t b = 0; b < kNumBuckets; ++b) {
+    if (snap[b] == 0) continue;
+    if (cum + snap[b] >= target) {
+      const double lower = b == 0 ? 0.0 : static_cast<double>(BucketUpper(b - 1));
+      const double upper = static_cast<double>(BucketUpper(b));
+      const double frac =
+          static_cast<double>(target - cum) / static_cast<double>(snap[b]);
+      // The true maximum clips the top bucket's interpolation.
+      return std::min(lower + frac * (upper - lower),
+                      static_cast<double>(Max()));
+    }
+    cum += snap[b];
+  }
+  return static_cast<double>(Max());
+}
+
+void Histogram::Reset() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace sapla

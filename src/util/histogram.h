@@ -1,0 +1,68 @@
+#ifndef SAPLA_UTIL_HISTOGRAM_H_
+#define SAPLA_UTIL_HISTOGRAM_H_
+
+// Fixed-bucket histogram for latency and size distributions.
+//
+// 64 geometric buckets (ratio sqrt(2), upper bounds 1, 2, 3, 4, 6, 8, ...)
+// cover [0, 2^31.5) — microsecond latencies from sub-µs to ~50 minutes, or
+// batch sizes / queue depths with the same resolution. Record is a single
+// relaxed atomic increment, safe from any thread with no locking; readers
+// (Count / Mean / Quantile) take an instantaneous snapshot of the bucket
+// counts, so they can run concurrently with writers. Quantiles are
+// estimated by linear interpolation inside the bucket that crosses the
+// requested rank, which bounds the relative error by the bucket ratio
+// (~41% worst case, far less in practice for smooth distributions).
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace sapla {
+
+/// \brief Lock-free fixed-bucket histogram of non-negative values.
+class Histogram {
+ public:
+  static constexpr size_t kNumBuckets = 64;
+
+  Histogram();
+
+  /// Records one observation. Thread-safe, wait-free.
+  void Record(uint64_t value);
+
+  /// Total number of recorded observations.
+  uint64_t Count() const;
+
+  /// Sum of all recorded values (exact, not bucket-approximated).
+  uint64_t Sum() const;
+
+  /// Mean of recorded values; 0 when empty.
+  double Mean() const;
+
+  /// Approximate q-quantile (q in [0, 1]) by in-bucket linear
+  /// interpolation; 0 when empty.
+  double Quantile(double q) const;
+
+  /// Largest recorded value, exact. 0 when empty.
+  uint64_t Max() const;
+
+  /// Resets every bucket to zero. Not atomic with respect to concurrent
+  /// Record calls (counts recorded during the reset may survive or not);
+  /// intended for between-run reuse, not mid-flight truncation.
+  void Reset();
+
+  /// Bucket index for a value (exposed for tests).
+  static size_t BucketFor(uint64_t value);
+
+  /// Inclusive upper bound of bucket `b` (exposed for tests).
+  static uint64_t BucketUpper(size_t b);
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> counts_;
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+};
+
+}  // namespace sapla
+
+#endif  // SAPLA_UTIL_HISTOGRAM_H_

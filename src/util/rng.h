@@ -55,6 +55,24 @@ class Rng {
   double cached_gaussian_ = 0.0;
 };
 
+/// \brief Zipfian sampler over ranks [0, n): P(r) ∝ 1 / (r + 1)^s.
+///
+/// Models skewed query popularity in the serving load generators (a small
+/// set of hot queries dominates, which is what makes a result cache pay
+/// off). s = 0 degenerates to uniform.
+class ZipfSampler {
+ public:
+  /// \param n number of distinct ranks; requires n > 0.
+  /// \param s skew exponent (>= 0); ~0.99 matches the classic YCSB setup.
+  ZipfSampler(size_t n, double s);
+
+  /// Draws one rank in [0, n) using `rng`'s stream.
+  size_t Sample(Rng& rng) const;
+
+ private:
+  std::vector<double> cdf_;  // inclusive prefix sums, cdf_.back() == 1
+};
+
 }  // namespace sapla
 
 #endif  // SAPLA_UTIL_RNG_H_

@@ -24,6 +24,12 @@ enum class StatusCode {
   kOutOfRange,
   kUnimplemented,
   kInternal,
+  /// Serving layer: admission queue full; retry later (backpressure).
+  kOverloaded,
+  /// Serving layer: the request's deadline passed before completion.
+  kDeadlineExceeded,
+  /// Serving layer: the service is stopped and accepts no new requests.
+  kUnavailable,
 };
 
 /// \brief Outcome of a fallible operation.
@@ -56,6 +62,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

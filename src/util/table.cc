@@ -1,6 +1,8 @@
 #include "util/table.h"
 
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -70,6 +72,70 @@ std::string Table::ToCsv() const {
   emit(header_);
   for (const auto& r : rows_) emit(r);
   return out.str();
+}
+
+namespace {
+
+// JSON string escaping for the small set of characters table cells can
+// reasonably contain.
+std::string JsonQuote(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+// Emits a cell as a JSON number when it parses fully as one (finite),
+// otherwise as a quoted string.
+std::string JsonCell(const std::string& s) {
+  if (!s.empty()) {
+    char* end = nullptr;
+    const double v = std::strtod(s.c_str(), &end);
+    if (end == s.c_str() + s.size() && std::isfinite(v)) return s;
+  }
+  return JsonQuote(s);
+}
+
+}  // namespace
+
+std::string Table::ToJson() const {
+  std::ostringstream out;
+  out << "{\"title\": " << JsonQuote(title_) << ", \"rows\": [";
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    if (r) out << ", ";
+    out << '{';
+    for (size_t i = 0; i < rows_[r].size(); ++i) {
+      if (i) out << ", ";
+      const std::string key =
+          i < header_.size() ? header_[i] : "col" + std::to_string(i);
+      out << JsonQuote(key) << ": " << JsonCell(rows_[r][i]);
+    }
+    out << '}';
+  }
+  out << "]}\n";
+  return out.str();
+}
+
+bool Table::WriteJson(const std::string& json_path) const {
+  std::ofstream f(json_path);
+  if (!f) return false;
+  f << ToJson();
+  return static_cast<bool>(f);
 }
 
 bool Table::Print(const std::string& csv_path) const {

@@ -33,6 +33,15 @@ class Table {
   /// Renders as CSV (header first, comma-separated, quoted when needed).
   std::string ToCsv() const;
 
+  /// Renders as a JSON document {"title": ..., "rows": [{col: cell, ...}]}
+  /// for machine-readable benchmark tracking (CI stores these across PRs).
+  /// Cells that parse fully as numbers are emitted as JSON numbers, the
+  /// rest as strings.
+  std::string ToJson() const;
+
+  /// Writes ToJson() to `json_path`. Returns false on I/O failure.
+  bool WriteJson(const std::string& json_path) const;
+
   /// Prints ToString() to stdout and, when `csv_path` is non-empty, writes
   /// ToCsv() to that file. Returns false if the file could not be written.
   bool Print(const std::string& csv_path = "") const;

@@ -1,0 +1,124 @@
+// Tests for the bounded MPMC admission queue (util/bounded_queue.h):
+// capacity enforcement, the micro-batch window (size trigger, delay
+// trigger, backlog fast-path), close/drain semantics, and concurrent
+// producers/consumers losing nothing.
+
+#include "util/bounded_queue.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace sapla {
+namespace {
+
+using std::chrono::microseconds;
+
+TEST(BoundedQueue, TryPushRespectsCapacityAndKeepsItemOnFailure) {
+  BoundedQueue<int> q(3);
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(q.TryPush(std::move(i)));
+  int extra = 99;
+  EXPECT_FALSE(q.TryPush(std::move(extra)));
+  EXPECT_EQ(extra, 99);  // not consumed
+  EXPECT_EQ(q.size(), 3u);
+}
+
+TEST(BoundedQueue, PopBatchSizeTriggerFiresBeforeTheWindow) {
+  BoundedQueue<int> q(16);
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(q.TryPush(std::move(i)));
+  // A huge window must not delay a batch that already has max_items.
+  const auto batch = q.PopBatch(4, microseconds(60'000'000));
+  EXPECT_EQ(batch, (std::vector<int>{0, 1, 2, 3}));
+  // The leftover backlog fires the size trigger again...
+  const auto rest = q.PopBatch(4, microseconds(60'000'000));
+  EXPECT_EQ(rest, (std::vector<int>{4, 5, 6, 7}));
+  // ...and a partial remainder flushes once ITS oldest item's window
+  // expires, not the huge one above.
+  int nine = 9;
+  ASSERT_TRUE(q.TryPush(std::move(nine)));
+  EXPECT_EQ(q.PopBatch(4, microseconds(5'000)), (std::vector<int>{9}));
+}
+
+TEST(BoundedQueue, PopBatchDelayTriggerFlushesPartialBatch) {
+  BoundedQueue<int> q(16);
+  int v = 7;
+  ASSERT_TRUE(q.TryPush(std::move(v)));
+  const auto start = std::chrono::steady_clock::now();
+  const auto batch = q.PopBatch(1000, microseconds(20'000));
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(batch, (std::vector<int>{7}));
+  EXPECT_LT(elapsed, std::chrono::seconds(10));  // no unbounded wait
+}
+
+TEST(BoundedQueue, CloseDrainsThenReturnsEmptyForever) {
+  BoundedQueue<int> q(8);
+  int a = 1, b = 2;
+  ASSERT_TRUE(q.TryPush(std::move(a)));
+  ASSERT_TRUE(q.TryPush(std::move(b)));
+  q.Close();
+  int c = 3;
+  EXPECT_FALSE(q.TryPush(std::move(c)));
+  EXPECT_EQ(q.PopBatch(10, microseconds(0)), (std::vector<int>{1, 2}));
+  EXPECT_TRUE(q.PopBatch(10, microseconds(0)).empty());
+  EXPECT_TRUE(q.PopBatch(10, microseconds(0)).empty());
+}
+
+TEST(BoundedQueue, PopBatchBlocksUntilFirstItemArrives) {
+  BoundedQueue<int> q(8);
+  std::thread producer([&q] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    int v = 5;
+    q.TryPush(std::move(v));
+  });
+  const auto batch = q.PopBatch(4, microseconds(1000));
+  producer.join();
+  EXPECT_EQ(batch, (std::vector<int>{5}));
+}
+
+TEST(BoundedQueue, ConcurrentProducersConsumersLoseNothing) {
+  constexpr size_t kProducers = 4;
+  constexpr size_t kConsumers = 2;
+  constexpr int kPerProducer = 500;
+  BoundedQueue<int> q(16);
+
+  std::vector<std::thread> producers;
+  for (size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        int item = static_cast<int>(p) * kPerProducer + i;
+        while (!q.TryPush(std::move(item)))  // spin on backpressure
+          std::this_thread::yield();
+      }
+    });
+  }
+
+  std::vector<std::vector<int>> popped(kConsumers);
+  std::vector<std::thread> consumers;
+  for (size_t c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&q, &popped, c] {
+      for (;;) {
+        const auto batch = q.PopBatch(8, microseconds(100));
+        if (batch.empty()) return;  // closed and drained
+        popped[c].insert(popped[c].end(), batch.begin(), batch.end());
+      }
+    });
+  }
+
+  for (auto& t : producers) t.join();
+  q.Close();
+  for (auto& t : consumers) t.join();
+
+  std::vector<int> all;
+  for (const auto& v : popped) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  ASSERT_EQ(all.size(), kProducers * kPerProducer);
+  for (size_t i = 0; i < all.size(); ++i)
+    ASSERT_EQ(all[i], static_cast<int>(i));  // each item exactly once
+}
+
+}  // namespace
+}  // namespace sapla

@@ -1,0 +1,92 @@
+// Tests for the fixed-bucket histogram (util/histogram.h): bucket table
+// shape, exact counters (count/sum/mean/max), quantile interpolation
+// bounds, reset, and concurrent recording.
+
+#include "util/histogram.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace sapla {
+namespace {
+
+TEST(HistogramBuckets, UpperBoundsStrictlyIncrease) {
+  for (size_t b = 1; b < Histogram::kNumBuckets; ++b)
+    EXPECT_GT(Histogram::BucketUpper(b), Histogram::BucketUpper(b - 1)) << b;
+  EXPECT_EQ(Histogram::BucketUpper(0), 1u);
+  // ~sqrt(2) ratio: 64 buckets reach past 2^31 microseconds (~36 minutes).
+  EXPECT_GT(Histogram::BucketUpper(Histogram::kNumBuckets - 1), 1ull << 31);
+}
+
+TEST(HistogramBuckets, BucketForIsConsistentWithUpperBounds) {
+  for (const uint64_t v :
+       {0ull, 1ull, 2ull, 3ull, 10ull, 1000ull, 123456ull}) {
+    const size_t b = Histogram::BucketFor(v);
+    EXPECT_LE(v, Histogram::BucketUpper(b)) << v;
+    if (b > 0) EXPECT_GT(v, Histogram::BucketUpper(b - 1)) << v;
+  }
+  // Values beyond the last upper bound land in the catch-all top bucket.
+  EXPECT_EQ(Histogram::BucketFor(~0ull), Histogram::kNumBuckets - 1);
+}
+
+TEST(Histogram, ExactCountersAndEmptyQuantiles) {
+  Histogram h;
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+
+  h.Record(10);
+  h.Record(20);
+  h.Record(60);
+  EXPECT_EQ(h.Count(), 3u);
+  EXPECT_EQ(h.Sum(), 90u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 30.0);
+  EXPECT_EQ(h.Max(), 60u);
+}
+
+TEST(Histogram, QuantilesRespectBucketBounds) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 1000; ++v) h.Record(v);
+  // The bucket ratio is sqrt(2); an interpolated quantile can be off by at
+  // most one bucket in each direction.
+  const double p50 = h.Quantile(0.50);
+  EXPECT_GE(p50, 500.0 / 2.0);
+  EXPECT_LE(p50, 500.0 * 2.0);
+  const double p99 = h.Quantile(0.99);
+  EXPECT_GE(p99, 990.0 / 2.0);
+  EXPECT_LE(p99, 1000.0);  // clipped by the exact max
+  EXPECT_EQ(h.Quantile(1.0), 1000.0);
+  // Quantiles are monotone in q.
+  EXPECT_LE(h.Quantile(0.1), h.Quantile(0.5));
+  EXPECT_LE(h.Quantile(0.5), h.Quantile(0.9));
+  EXPECT_LE(h.Quantile(0.9), h.Quantile(0.99));
+}
+
+TEST(Histogram, ResetZeroesEverything) {
+  Histogram h;
+  h.Record(42);
+  h.Reset();
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Sum(), 0u);
+  EXPECT_EQ(h.Max(), 0u);
+  EXPECT_EQ(h.Quantile(0.99), 0.0);
+}
+
+TEST(Histogram, ConcurrentRecordLosesNothing) {
+  Histogram h;
+  constexpr size_t kThreads = 8;
+  constexpr size_t kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (size_t i = 0; i < kPerThread; ++i) h.Record(t * 100 + i % 97);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.Count(), kThreads * kPerThread);
+}
+
+}  // namespace
+}  // namespace sapla

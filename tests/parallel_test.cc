@@ -6,8 +6,10 @@
 #include "util/parallel.h"
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -106,6 +108,39 @@ TEST(ThreadPool, GrowsOnDemand) {
   EXPECT_EQ(pool.num_workers(), 3u);
   pool.EnsureWorkers(2);  // never shrinks
   EXPECT_EQ(pool.num_workers(), 3u);
+}
+
+TEST(ThreadPool, EnsureWorkersConcurrentWithSubmit) {
+  // The oversubscription path: one thread grows the pool (as ParallelFor
+  // does when a caller requests more parallelism than the pool has) while
+  // another is concurrently submitting work. Every task must still run
+  // exactly once and the pool must end at the requested size.
+  ThreadPool pool(1);
+  constexpr int kTasks = 500;
+  constexpr size_t kTargetWorkers = 16;
+  std::atomic<int> done{0};
+
+  std::thread submitter([&] {
+    for (int i = 0; i < kTasks; ++i)
+      pool.Submit([&done] { done.fetch_add(1); });
+  });
+  std::thread grower([&] {
+    for (size_t n = 2; n <= kTargetWorkers; ++n) {
+      pool.EnsureWorkers(n);
+      std::this_thread::yield();
+    }
+  });
+  submitter.join();
+  grower.join();
+  EXPECT_EQ(pool.num_workers(), kTargetWorkers);
+
+  // The queue drains on its own; bounded wait, no sleep-forever flake.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (done.load() < kTasks &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::yield();
+  EXPECT_EQ(done.load(), kTasks);
 }
 
 }  // namespace

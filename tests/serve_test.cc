@@ -1,0 +1,327 @@
+// Tests for the embedded query-serving subsystem (serve/service.h).
+//
+// The load-bearing contract is determinism: answers served through the
+// admission queue + micro-batching scheduler must be bit-identical to
+// per-request serial execution — same neighbor pairs, same num_measured —
+// for every Method x IndexKind, at 1/2/8 execution threads and at
+// max_batch 1 (one-at-a-time), 4 and 32, and must also match a direct
+// KnnBatch call. On top of that: backpressure (kOverloaded on a full
+// queue, resolved immediately), deadlines (kDeadlineExceeded, optionally
+// with an approximate lower-bound answer), the result cache (hits,
+// accounting, invalidation) and shutdown semantics.
+
+#include "serve/service.h"
+
+#include <chrono>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ts/synthetic_archive.h"
+
+namespace sapla {
+namespace {
+
+Dataset SmallDataset(size_t id = 12, size_t n = 96, size_t count = 50) {
+  SyntheticOptions opt;
+  opt.length = n;
+  opt.num_series = count;
+  return MakeSyntheticDataset(id, opt);
+}
+
+std::vector<std::vector<double>> SomeQueries(const Dataset& ds) {
+  std::vector<std::vector<double>> queries;
+  for (const size_t qi : {0u, 7u, 19u, 33u, 41u, 48u})
+    queries.push_back(ds.series[qi].values);
+  return queries;
+}
+
+void ExpectSameResult(const KnnResult& expected, const KnnResult& actual,
+                      const std::string& label) {
+  ASSERT_EQ(expected.neighbors.size(), actual.neighbors.size()) << label;
+  for (size_t i = 0; i < expected.neighbors.size(); ++i) {
+    EXPECT_EQ(expected.neighbors[i].second, actual.neighbors[i].second)
+        << label << " rank " << i;
+    EXPECT_EQ(expected.neighbors[i].first, actual.neighbors[i].first)
+        << label << " rank " << i;  // bit-identical distances
+  }
+  EXPECT_EQ(expected.num_measured, actual.num_measured) << label;
+}
+
+struct ServeCase {
+  Method method;
+  IndexKind kind;
+};
+
+class ServeDeterminism : public ::testing::TestWithParam<ServeCase> {};
+
+TEST_P(ServeDeterminism, MicroBatchedAnswersMatchSerialAndDirectBatch) {
+  const auto [method, kind] = GetParam();
+  const Dataset ds = SmallDataset();
+  SimilarityIndex index(method, 12, kind);
+  ASSERT_TRUE(index.Build(ds).ok()) << MethodName(method);
+
+  const size_t k = 5;
+  const double radius = 8.0;
+  const std::vector<std::vector<double>> queries = SomeQueries(ds);
+
+  // Ground truth: per-request serial execution, and the direct batch APIs
+  // (whose own equivalence batch_query_test already proves).
+  std::vector<KnnResult> serial_knn, serial_range;
+  for (const std::vector<double>& q : queries) {
+    serial_knn.push_back(index.Knn(q, k));
+    serial_range.push_back(index.RangeSearch(q, radius));
+  }
+  const std::vector<KnnResult> direct_knn = index.KnnBatch(queries, k);
+
+  for (const size_t threads : {1u, 2u, 8u}) {
+    for (const size_t max_batch : {1u, 4u, 32u}) {
+      ServeOptions opt;
+      opt.queue_capacity = 256;
+      opt.max_batch = max_batch;
+      opt.max_delay_us = 100;
+      opt.num_threads = threads;
+      opt.cache_capacity = 0;  // no short-circuiting in this test
+      QueryService service(index, opt);
+
+      std::vector<std::future<ServeResponse>> knn_futures, range_futures;
+      for (const std::vector<double>& q : queries) {
+        knn_futures.push_back(service.SubmitKnn(q, k));
+        range_futures.push_back(service.SubmitRange(q, radius));
+      }
+      const std::string label = MethodName(method) + "/" +
+                                IndexKindName(kind) + " threads=" +
+                                std::to_string(threads) + " max_batch=" +
+                                std::to_string(max_batch);
+      for (size_t i = 0; i < queries.size(); ++i) {
+        const ServeResponse knn = knn_futures[i].get();
+        ASSERT_TRUE(knn.status.ok()) << label << ": " << knn.status.ToString();
+        EXPECT_FALSE(knn.approximate);
+        ExpectSameResult(serial_knn[i], knn.result,
+                         label + " knn q" + std::to_string(i));
+        ExpectSameResult(direct_knn[i], knn.result,
+                         label + " direct q" + std::to_string(i));
+
+        const ServeResponse range = range_futures[i].get();
+        ASSERT_TRUE(range.status.ok())
+            << label << ": " << range.status.ToString();
+        ExpectSameResult(serial_range[i], range.result,
+                         label + " range q" + std::to_string(i));
+      }
+      const ServeMetricsSnapshot snap = service.MetricsSnapshot();
+      EXPECT_EQ(snap.admitted, queries.size() * 2) << label;
+      EXPECT_EQ(snap.completed_ok, queries.size() * 2) << label;
+      EXPECT_EQ(snap.rejected_overloaded, 0u) << label;
+      EXPECT_EQ(snap.deadline_exceeded, 0u) << label;
+    }
+  }
+}
+
+std::vector<ServeCase> AllServeCases() {
+  std::vector<ServeCase> cases;
+  for (const Method method : AllMethods())
+    for (const IndexKind kind : {IndexKind::kRTree, IndexKind::kDbchTree})
+      cases.push_back({method, kind});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MethodsTimesTrees, ServeDeterminism, ::testing::ValuesIn(AllServeCases()),
+    [](const ::testing::TestParamInfo<ServeCase>& info) {
+      return MethodName(info.param.method) +
+             (info.param.kind == IndexKind::kRTree ? "_RTree" : "_DbchTree");
+    });
+
+class ServeFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ds_ = SmallDataset(21);
+    index_ = std::make_unique<SimilarityIndex>(Method::kSapla, 12,
+                                               IndexKind::kDbchTree);
+    ASSERT_TRUE(index_->Build(ds_).ok());
+  }
+
+  Dataset ds_;
+  std::unique_ptr<SimilarityIndex> index_;
+};
+
+TEST_F(ServeFixture, FullQueueRejectsWithOverloadedImmediately) {
+  ServeOptions opt;
+  opt.queue_capacity = 4;
+  // Neither flush trigger can fire while we submit: the size trigger is
+  // out of reach and the delay window is far longer than the loop below.
+  opt.max_batch = 1 << 20;
+  opt.max_delay_us = 200'000;
+  QueryService service(*index_, opt);
+
+  const std::vector<double>& q = ds_.series[0].values;
+  std::vector<std::future<ServeResponse>> futures;
+  size_t rejected_now = 0;
+  for (size_t i = 0; i < 40; ++i) {
+    futures.push_back(service.SubmitKnn(q, 3));
+    // A rejection resolves the future before Submit returns.
+    if (futures.back().wait_for(std::chrono::seconds(0)) ==
+        std::future_status::ready)
+      ++rejected_now;
+  }
+  // The queue holds at most 4; everything else must have been rejected
+  // promptly, not parked.
+  EXPECT_GE(rejected_now, 40u - opt.queue_capacity);
+
+  size_t ok = 0, overloaded = 0;
+  for (auto& f : futures) {
+    const ServeResponse r = f.get();
+    if (r.status.ok())
+      ++ok;
+    else if (r.status.code() == StatusCode::kOverloaded)
+      ++overloaded;
+  }
+  EXPECT_EQ(ok + overloaded, 40u);
+  EXPECT_LE(ok, opt.queue_capacity);
+  EXPECT_GE(overloaded, 40u - opt.queue_capacity);
+
+  const ServeMetricsSnapshot snap = service.MetricsSnapshot();
+  EXPECT_EQ(snap.admitted, ok);
+  EXPECT_EQ(snap.rejected_overloaded, overloaded);
+}
+
+TEST_F(ServeFixture, ExpiredRequestsReturnDeadlineExceeded) {
+  ServeOptions opt;
+  opt.queue_capacity = 64;
+  opt.max_batch = 1 << 20;     // only the 50ms window flushes
+  opt.max_delay_us = 50'000;
+  QueryService service(*index_, opt);
+
+  std::vector<std::future<ServeResponse>> futures;
+  for (size_t i = 0; i < 5; ++i)
+    futures.push_back(
+        service.SubmitKnn(ds_.series[i].values, 3, /*deadline_us=*/1000));
+  for (auto& f : futures) {
+    const ServeResponse r = f.get();
+    EXPECT_EQ(r.status.code(), StatusCode::kDeadlineExceeded)
+        << r.status.ToString();
+    EXPECT_TRUE(r.result.neighbors.empty());
+    EXPECT_FALSE(r.approximate);
+  }
+  EXPECT_EQ(service.MetricsSnapshot().deadline_exceeded, 5u);
+}
+
+TEST_F(ServeFixture, DegradedAnswersComeFromLowerBoundsOnly) {
+  ServeOptions opt;
+  opt.queue_capacity = 64;
+  opt.max_batch = 1 << 20;
+  opt.max_delay_us = 50'000;
+  opt.degraded_answers = true;
+  QueryService service(*index_, opt);
+
+  const std::vector<double>& q = ds_.series[9].values;
+  const ServeResponse r = service.Knn(q, 4, /*deadline_us=*/1000);
+  EXPECT_EQ(r.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(r.approximate);
+  EXPECT_EQ(r.result.num_measured, 0u);  // no raw series touched
+  ExpectSameResult(index_->KnnLowerBound(q, 4), r.result, "degraded knn");
+  EXPECT_EQ(service.MetricsSnapshot().degraded, 1u);
+}
+
+TEST_F(ServeFixture, CacheHitsRepeatedQueriesAndInvalidates) {
+  ServeOptions opt;
+  opt.max_batch = 1;  // flush each request immediately
+  opt.max_delay_us = 0;
+  opt.cache_capacity = 64;
+  opt.cache_shards = 4;
+  QueryService service(*index_, opt);
+
+  const std::vector<double>& q = ds_.series[3].values;
+  const ServeResponse first = service.Knn(q, 5);
+  ASSERT_TRUE(first.status.ok());
+  EXPECT_FALSE(first.cache_hit);
+
+  const ServeResponse second = service.Knn(q, 5);
+  ASSERT_TRUE(second.status.ok());
+  EXPECT_TRUE(second.cache_hit);
+  ExpectSameResult(first.result, second.result, "cached knn");
+
+  // A different k is a different key.
+  EXPECT_FALSE(service.Knn(q, 6).cache_hit);
+  // Range and kNN do not alias.
+  EXPECT_FALSE(service.Range(q, 8.0).cache_hit);
+  EXPECT_TRUE(service.Range(q, 8.0).cache_hit);
+
+  ServeMetricsSnapshot snap = service.MetricsSnapshot();
+  EXPECT_EQ(snap.cache_hits, 2u);
+  EXPECT_EQ(snap.cache_misses, 3u);
+
+  service.InvalidateCache();
+  EXPECT_FALSE(service.Knn(q, 5).cache_hit);
+}
+
+TEST_F(ServeFixture, StopDrainsPendingAndRejectsNewRequests) {
+  ServeOptions opt;
+  opt.queue_capacity = 64;
+  opt.max_batch = 1 << 20;
+  opt.max_delay_us = 500'000;  // pending requests sit until Stop drains them
+  QueryService service(*index_, opt);
+
+  std::vector<std::future<ServeResponse>> futures;
+  for (size_t i = 0; i < 3; ++i)
+    futures.push_back(service.SubmitKnn(ds_.series[i].values, 3));
+  service.Stop();
+  for (size_t i = 0; i < futures.size(); ++i) {
+    const ServeResponse r = futures[i].get();
+    ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+    ExpectSameResult(index_->Knn(ds_.series[i].values, 3), r.result,
+                     "drained q" + std::to_string(i));
+  }
+  const ServeResponse after = service.Knn(ds_.series[0].values, 3);
+  EXPECT_EQ(after.status.code(), StatusCode::kUnavailable);
+}
+
+TEST_F(ServeFixture, WrongQueryLengthIsInvalidArgument) {
+  QueryService service(*index_);
+  const ServeResponse r = service.Knn(std::vector<double>(7, 0.0), 3);
+  EXPECT_EQ(r.status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ServeFixture, ConcurrentClientsGetSerialAnswers) {
+  ServeOptions opt;
+  opt.max_batch = 16;
+  opt.max_delay_us = 200;
+  opt.cache_capacity = 128;
+  QueryService service(*index_, opt);
+
+  constexpr size_t kClients = 6;
+  constexpr size_t kPerClient = 30;
+  std::vector<std::thread> clients;
+  std::vector<std::string> failures(kClients);
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (size_t i = 0; i < kPerClient; ++i) {
+        const size_t qi = (c * 13 + i * 7) % ds_.size();
+        const ServeResponse r = service.Knn(ds_.series[qi].values, 4);
+        if (!r.status.ok()) {
+          failures[c] = r.status.ToString();
+          return;
+        }
+        const KnnResult expected = index_->Knn(ds_.series[qi].values, 4);
+        if (expected.neighbors != r.result.neighbors ||
+            expected.num_measured != r.result.num_measured) {
+          failures[c] = "mismatch at client " + std::to_string(c) +
+                        " query " + std::to_string(qi);
+          return;
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  for (const std::string& f : failures) EXPECT_EQ(f, "");
+  const ServeMetricsSnapshot snap = service.MetricsSnapshot();
+  EXPECT_EQ(snap.completed_ok, kClients * kPerClient);
+  EXPECT_GT(snap.cache_hits, 0u);  // clients repeat query indices
+}
+
+}  // namespace
+}  // namespace sapla

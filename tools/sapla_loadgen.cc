@@ -1,0 +1,326 @@
+// Load generator for the embedded query service (serve/service.h).
+//
+// Builds a synthetic dataset + index, starts one QueryService, and drives
+// it from `--threads` client threads in one of two modes:
+//
+//   --mode=closed   each client keeps exactly one request in flight
+//                   (latency-bound; measures service turnaround)
+//   --mode=open     clients submit asynchronously on a fixed schedule that
+//                   targets `--qps` aggregate, regardless of completions —
+//                   the honest way to observe overload: when the service
+//                   can't keep up the queue fills and requests come back
+//                   kOverloaded instead of silently slowing the generator
+//
+// Queries are drawn zipfian-skewed (`--zipf`) from a fixed pool of
+// `--pool` distinct queries, so `--cache` > 0 produces realistic hit rates.
+// `--deadline-us` attaches a per-request deadline; with `--degraded=1`
+// expired requests still return an approximate lower-bound-only answer.
+// The run ends after `--duration-s` seconds (open) or `--requests` per
+// client (closed) and prints the service's full metrics table plus an
+// outcome summary; `--json=FILE` writes the metrics table machine-readable.
+//
+//   sapla_loadgen --mode=open --qps=2000 --threads=4 --deadline-us=5000
+//   sapla_loadgen --mode=closed --threads=8 --requests=500 --cache=512
+//
+// Dataset/index knobs: --series --n --m --k --method --tree
+// Service knobs:       --max-batch --max-delay-us --queue --cache
+//                      --batch-threads (fan-out of one flush; 0 = hardware)
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "search/knn.h"
+#include "serve/metrics.h"
+#include "serve/service.h"
+#include "ts/synthetic_archive.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace sapla {
+namespace {
+
+struct Config {
+  // Workload.
+  std::string mode = "closed";
+  size_t threads = 4;        // client threads
+  size_t requests = 500;     // per client (closed loop)
+  double duration_s = 5.0;   // run length (open loop)
+  double qps = 1000.0;       // aggregate arrival rate (open loop)
+  size_t pool = 64;
+  double zipf = 0.99;
+  size_t k = 16;
+  uint64_t deadline_us = 0;  // 0 = none
+  // Dataset/index.
+  size_t series = 2000;
+  size_t n = 256;
+  size_t m = 16;
+  Method method = Method::kSapla;
+  IndexKind kind = IndexKind::kDbchTree;
+  // Service.
+  size_t max_batch = 32;
+  uint64_t max_delay_us = 200;
+  size_t queue = 1024;
+  size_t cache = 0;
+  size_t batch_threads = 0;
+  bool degraded = false;
+  std::string json_path;
+};
+
+[[noreturn]] void Usage(const char* argv0) {
+  fprintf(stderr,
+          "usage: %s [--mode=closed|open] [--threads=T] [--requests=R]\n"
+          "          [--duration-s=S] [--qps=Q] [--pool=P] [--zipf=Z]\n"
+          "          [--k=K] [--deadline-us=D] [--series=S] [--n=N] [--m=M]\n"
+          "          [--method=SAPLA] [--tree=dbch|rtree] [--max-batch=B]\n"
+          "          [--max-delay-us=U] [--queue=C] [--cache=E]\n"
+          "          [--batch-threads=T] [--degraded=0|1] [--json=FILE]\n",
+          argv0);
+  exit(2);
+}
+
+Config ParseFlags(int argc, char** argv) {
+  Config config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const size_t eq = arg.find('=');
+    if (arg.rfind("--", 0) != 0 || eq == std::string::npos) Usage(argv[0]);
+    const std::string key = arg.substr(2, eq - 2);
+    const std::string value = arg.substr(eq + 1);
+    auto num = [&] { return std::strtoull(value.c_str(), nullptr, 10); };
+    auto real = [&] { return std::strtod(value.c_str(), nullptr); };
+    if (key == "mode") {
+      if (value != "closed" && value != "open") Usage(argv[0]);
+      config.mode = value;
+    } else if (key == "threads") {
+      config.threads = num();
+    } else if (key == "requests") {
+      config.requests = num();
+    } else if (key == "duration-s") {
+      config.duration_s = real();
+    } else if (key == "qps") {
+      config.qps = real();
+    } else if (key == "pool") {
+      config.pool = num();
+    } else if (key == "zipf") {
+      config.zipf = real();
+    } else if (key == "k") {
+      config.k = num();
+    } else if (key == "deadline-us") {
+      config.deadline_us = num();
+    } else if (key == "series") {
+      config.series = num();
+    } else if (key == "n") {
+      config.n = num();
+    } else if (key == "m") {
+      config.m = num();
+    } else if (key == "method") {
+      bool found = false;
+      for (const Method m : AllMethods())
+        if (MethodName(m) == value) {
+          config.method = m;
+          found = true;
+        }
+      if (!found) Usage(argv[0]);
+    } else if (key == "tree") {
+      if (value == "dbch") {
+        config.kind = IndexKind::kDbchTree;
+      } else if (value == "rtree") {
+        config.kind = IndexKind::kRTree;
+      } else {
+        Usage(argv[0]);
+      }
+    } else if (key == "max-batch") {
+      config.max_batch = num();
+    } else if (key == "max-delay-us") {
+      config.max_delay_us = num();
+    } else if (key == "queue") {
+      config.queue = num();
+    } else if (key == "cache") {
+      config.cache = num();
+    } else if (key == "batch-threads") {
+      config.batch_threads = num();
+    } else if (key == "degraded") {
+      config.degraded = value != "0";
+    } else if (key == "json") {
+      config.json_path = value;
+    } else {
+      Usage(argv[0]);
+    }
+  }
+  return config;
+}
+
+std::vector<std::vector<double>> MakeQueryPool(const Dataset& ds,
+                                               const Config& config) {
+  Rng rng(0x5EEDF00D);
+  std::vector<std::vector<double>> pool;
+  pool.reserve(config.pool);
+  for (size_t q = 0; q < config.pool; ++q) {
+    std::vector<double> query = ds.series[rng.UniformInt(ds.size())].values;
+    for (double& v : query) v += rng.Gaussian(0.0, 0.05);
+    pool.push_back(std::move(query));
+  }
+  return pool;
+}
+
+/// Client-side tally (the service's own metrics are reported separately).
+struct Outcomes {
+  std::atomic<uint64_t> ok{0};
+  std::atomic<uint64_t> overloaded{0};
+  std::atomic<uint64_t> deadline{0};
+  std::atomic<uint64_t> degraded{0};
+  std::atomic<uint64_t> other{0};
+
+  void Count(const ServeResponse& response) {
+    if (response.status.ok()) {
+      ok.fetch_add(1);
+    } else if (response.status.code() == StatusCode::kOverloaded) {
+      overloaded.fetch_add(1);
+    } else if (response.status.code() == StatusCode::kDeadlineExceeded) {
+      deadline.fetch_add(1);
+      if (response.approximate) degraded.fetch_add(1);
+    } else {
+      other.fetch_add(1);
+    }
+  }
+};
+
+/// Closed loop: one request in flight per client thread.
+double RunClosed(QueryService& service,
+                 const std::vector<std::vector<double>>& pool,
+                 const Config& config, Outcomes* outcomes) {
+  const ZipfSampler zipf(pool.size(), config.zipf);
+  WallTimer wall;
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < config.threads; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(0x10AD + c);
+      for (size_t r = 0; r < config.requests; ++r)
+        outcomes->Count(service.Knn(pool[zipf.Sample(rng)], config.k,
+                                    config.deadline_us));
+    });
+  }
+  for (auto& t : clients) t.join();
+  return wall.Seconds();
+}
+
+/// Open loop: each thread submits qps/threads arrivals per second on a
+/// fixed schedule, never waiting for earlier requests to finish.
+double RunOpen(QueryService& service,
+               const std::vector<std::vector<double>>& pool,
+               const Config& config, Outcomes* outcomes) {
+  using Clock = std::chrono::steady_clock;
+  const double per_thread_qps = config.qps / config.threads;
+  const auto interval = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(1.0 / per_thread_qps));
+  WallTimer wall;
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < config.threads; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(0x10AD + c);
+      const ZipfSampler zipf(pool.size(), config.zipf);
+      std::vector<std::future<ServeResponse>> in_flight;
+      const auto start = Clock::now();
+      const auto end =
+          start + std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double>(config.duration_s));
+      auto next = start;
+      while (next < end) {
+        std::this_thread::sleep_until(next);
+        in_flight.push_back(service.SubmitKnn(pool[zipf.Sample(rng)],
+                                              config.k, config.deadline_us));
+        next += interval;
+        // Reap already-finished futures so the vector stays small.
+        while (!in_flight.empty() &&
+               in_flight.front().wait_for(std::chrono::seconds(0)) ==
+                   std::future_status::ready) {
+          outcomes->Count(in_flight.front().get());
+          in_flight.erase(in_flight.begin());
+        }
+      }
+      for (auto& f : in_flight) outcomes->Count(f.get());
+    });
+  }
+  for (auto& t : clients) t.join();
+  return wall.Seconds();
+}
+
+int Run(int argc, char** argv) {
+  const Config config = ParseFlags(argc, argv);
+  SetNumThreads(config.batch_threads);
+
+  SyntheticOptions opt;
+  opt.length = config.n;
+  opt.num_series = config.series;
+  const Dataset ds = MakeSyntheticDataset(0, opt);
+  const std::vector<std::vector<double>> pool = MakeQueryPool(ds, config);
+
+  SimilarityIndex index(config.method, config.m, config.kind);
+  WallTimer build_timer;
+  if (Status s = index.Build(ds); !s.ok()) {
+    fprintf(stderr, "build failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  printf("index: %s/%s, %zu series of length %zu, M=%zu (built in %.2fs)\n",
+         MethodName(config.method).c_str(),
+         config.kind == IndexKind::kDbchTree ? "dbch" : "rtree", ds.size(),
+         ds.length(), config.m, build_timer.Seconds());
+
+  ServeOptions options;
+  options.queue_capacity = config.queue;
+  options.max_batch = config.max_batch;
+  options.max_delay_us = config.max_delay_us;
+  options.num_threads = config.batch_threads;
+  options.cache_capacity = config.cache;
+  options.default_deadline_us = 0;
+  options.degraded_answers = config.degraded;
+  QueryService service(index, options);
+
+  Outcomes outcomes;
+  const double wall = config.mode == "closed"
+                          ? RunClosed(service, pool, config, &outcomes)
+                          : RunOpen(service, pool, config, &outcomes);
+  service.Stop();
+
+  const uint64_t total = outcomes.ok.load() + outcomes.overloaded.load() +
+                         outcomes.deadline.load() + outcomes.other.load();
+  printf("\n%s loop: %llu requests in %.2fs (%.0f QPS achieved",
+         config.mode.c_str(), static_cast<unsigned long long>(total), wall,
+         wall > 0.0 ? total / wall : 0.0);
+  if (config.mode == "open") printf(", %.0f targeted", config.qps);
+  printf(")\n");
+  printf("  ok                %llu\n",
+         static_cast<unsigned long long>(outcomes.ok.load()));
+  printf("  overloaded        %llu\n",
+         static_cast<unsigned long long>(outcomes.overloaded.load()));
+  printf("  deadline_exceeded %llu (degraded answers: %llu)\n",
+         static_cast<unsigned long long>(outcomes.deadline.load()),
+         static_cast<unsigned long long>(outcomes.degraded.load()));
+  printf("  other             %llu\n\n",
+         static_cast<unsigned long long>(outcomes.other.load()));
+
+  const ServeMetricsSnapshot snap = service.MetricsSnapshot();
+  const Table t = MetricsToTable(snap, "Serve metrics (" + config.mode +
+                                           " loop, max_batch=" +
+                                           std::to_string(config.max_batch) +
+                                           ")");
+  t.Print();
+  if (!config.json_path.empty() && !t.WriteJson(config.json_path)) {
+    fprintf(stderr, "could not write %s\n", config.json_path.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace sapla
+
+int main(int argc, char** argv) { return sapla::Run(argc, argv); }
