@@ -5,10 +5,19 @@
 // from the DBCH-tree (the APCA-MBR overlap problem hurts them on the
 // R-tree); PLA and CHEBY, which use their own MBRs, look similar on both;
 // PAALM's poor max deviation costs it accuracy on the DBCH-tree.
+//
+// Each query also cross-checks the observability SearchCounters
+// (obs/counters.h) against the figure's own bookkeeping: rho computed from
+// counters.exact_evaluations must equal rho computed from num_measured, and
+// the counter identities (lb = exact + pruned_leaf, N = lb + pruned_node)
+// must hold. A mismatch means the counters drifted from the quantities the
+// paper defines, so the harness exits non-zero instead of plotting lies.
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "harness_common.h"
+#include "obs/counters.h"
 #include "search/knn.h"
 #include "search/metrics.h"
 #include "util/stats.h"
@@ -18,12 +27,38 @@ namespace sapla {
 namespace bench {
 namespace {
 
+// rho via num_measured (the figure's historical path) and via the
+// observability counters must be the same number.
+void CrossCheckCounters(const KnnResult& r, size_t dataset_size,
+                        const char* where) {
+  const SearchCounters& c = r.counters;
+  const bool ok =
+      c.exact_evaluations == r.num_measured &&
+      c.lb_evaluations == c.exact_evaluations + c.entries_pruned_leaf &&
+      c.lb_evaluations + c.entries_pruned_node == dataset_size &&
+      PruningPower(r, dataset_size) == c.PruningPower(dataset_size);
+  if (!ok) {
+    fprintf(stderr,
+            "fig13: SearchCounters disagree with num_measured (%s): "
+            "measured=%zu exact=%llu lb=%llu pruned_leaf=%llu "
+            "pruned_node=%llu N=%zu\n",
+            where, r.num_measured,
+            static_cast<unsigned long long>(c.exact_evaluations),
+            static_cast<unsigned long long>(c.lb_evaluations),
+            static_cast<unsigned long long>(c.entries_pruned_leaf),
+            static_cast<unsigned long long>(c.entries_pruned_node),
+            dataset_size);
+    exit(1);
+  }
+}
+
 int Run(int argc, char** argv) {
   const HarnessConfig config = ParseFlags(argc, argv);
   const size_t m = config.budgets.front();
 
   struct Cell {
     SummaryStats rho;
+    SummaryStats rho_counters;  // same quantity via SearchCounters
     SummaryStats accuracy;
   };
   // [method][tree][k]
@@ -49,7 +84,11 @@ int Run(int argc, char** argv) {
           const std::vector<KnnResult> results = index.KnnBatch(queries, k);
           for (size_t q = 0; q < queries.size(); ++q) {
             const KnnResult truth = LinearScanKnn(ds, queries[q], k);
+            CrossCheckCounters(results[q], ds.size(),
+                               MethodName(config.methods[mi]).c_str());
             cells[mi][tree][ki].rho.Add(PruningPower(results[q], ds.size()));
+            cells[mi][tree][ki].rho_counters.Add(
+                results[q].counters.PruningPower(ds.size()));
             cells[mi][tree][ki].accuracy.Add(Accuracy(results[q], truth, k));
           }
         }
@@ -82,6 +121,20 @@ int Run(int argc, char** argv) {
     }
     t.Print(config.CsvPath(what == 0 ? "fig13a_pruning_power"
                                      : "fig13b_accuracy"));
+  }
+
+  // Per-query agreement was asserted in CrossCheckCounters; also log both
+  // aggregate computations so the output shows the redundancy explicitly.
+  printf("\nrho cross-check (K=%zu): num_measured vs SearchCounters\n",
+         config.ks.front());
+  for (size_t mi = 0; mi < config.methods.size(); ++mi) {
+    for (int tree = 0; tree < 2; ++tree) {
+      const Cell& c = cells[mi][tree][0];
+      printf("  %-6s %-9s rho=%.6f rho_counters=%.6f\n",
+             MethodName(config.methods[mi]).c_str(),
+             tree == 0 ? "R-tree" : "DBCH-tree", c.rho.mean(),
+             c.rho_counters.mean());
+    }
   }
   return 0;
 }

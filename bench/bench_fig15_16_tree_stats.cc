@@ -6,10 +6,18 @@
 // ~2 for the R-tree under APCA MBRs; the R-tree uses roughly 4x as many
 // internal nodes; DBCH-tree height is lower by about one level. PLA and
 // CHEBY (own MBRs) show only minor differences.
+//
+// Each built index additionally runs one k-NN query and cross-checks its
+// SearchCounters against the structural TreeStats: a traversal cannot visit
+// more internal/leaf nodes than exist, cannot reach a level at or past the
+// height, and visited + pruned cannot exceed the node total. Disagreement
+// exits non-zero. The table gains node-access columns from those counters.
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "harness_common.h"
+#include "obs/counters.h"
 #include "search/knn.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -25,6 +33,7 @@ int Run(int argc, char** argv) {
   struct Cell {
     SummaryStats internal_nodes, leaf_nodes, total_nodes, height,
         leaf_entries;
+    SummaryStats visited_internal, visited_leaf;  // per-query node accesses
   };
   std::vector<std::vector<Cell>> cells(config.methods.size(),
                                        std::vector<Cell>(2));
@@ -44,6 +53,37 @@ int Run(int argc, char** argv) {
         c.total_nodes.Add(static_cast<double>(info.stats.total_nodes()));
         c.height.Add(static_cast<double>(info.stats.height));
         c.leaf_entries.Add(info.stats.avg_leaf_entries);
+
+        // One query's SearchCounters must be consistent with the structure
+        // the tree reports (Figs. 15/16 counted these same nodes).
+        const KnnResult r = index.Knn(ds.series[0].values, config.ks.front());
+        const SearchCounters& sc = r.counters;
+        size_t deepest = 0;
+        for (size_t level = 0; level < SearchCounters::kMaxLevels; ++level)
+          if (sc.nodes_visited_by_level[level] > 0) deepest = level;
+        const bool ok =
+            sc.nodes_visited_internal <= info.stats.internal_nodes &&
+            sc.nodes_visited_leaf <= info.stats.leaf_nodes &&
+            sc.nodes_visited() + sc.nodes_pruned <=
+                info.stats.total_nodes() &&
+            deepest < info.stats.height && sc.nodes_visited_leaf >= 1;
+        if (!ok) {
+          fprintf(stderr,
+                  "fig15/16: SearchCounters disagree with TreeStats (%s/%s): "
+                  "visited_internal=%llu/%zu visited_leaf=%llu/%zu "
+                  "pruned=%llu total=%zu deepest_level=%zu height=%zu\n",
+                  MethodName(config.methods[mi]).c_str(),
+                  tree == 0 ? "rtree" : "dbch",
+                  static_cast<unsigned long long>(sc.nodes_visited_internal),
+                  info.stats.internal_nodes,
+                  static_cast<unsigned long long>(sc.nodes_visited_leaf),
+                  info.stats.leaf_nodes,
+                  static_cast<unsigned long long>(sc.nodes_pruned),
+                  info.stats.total_nodes(), deepest, info.stats.height);
+          exit(1);
+        }
+        c.visited_internal.Add(static_cast<double>(sc.nodes_visited_internal));
+        c.visited_leaf.Add(static_cast<double>(sc.nodes_visited_leaf));
       }
     }
     if ((d + 1) % 20 == 0)
@@ -56,7 +96,7 @@ int Run(int argc, char** argv) {
           std::to_string(config.num_series) +
           " series, min fill 2 / max fill 5), M=" + std::to_string(m));
   t.SetHeader({"Method", "Tree", "Internal", "Leaves", "Total", "Height",
-               "Entries/Leaf"});
+               "Entries/Leaf", "Visited(int)", "Visited(leaf)"});
   for (size_t mi = 0; mi < config.methods.size(); ++mi) {
     for (int tree = 0; tree < 2; ++tree) {
       const Cell& c = cells[mi][tree];
@@ -66,7 +106,9 @@ int Run(int argc, char** argv) {
                 Table::Num(c.leaf_nodes.mean(), 3),
                 Table::Num(c.total_nodes.mean(), 3),
                 Table::Num(c.height.mean(), 3),
-                Table::Num(c.leaf_entries.mean(), 3)});
+                Table::Num(c.leaf_entries.mean(), 3),
+                Table::Num(c.visited_internal.mean(), 3),
+                Table::Num(c.visited_leaf.mean(), 3)});
     }
   }
   t.Print(config.CsvPath("fig15_16_tree_stats"));

@@ -14,13 +14,17 @@
 // For each row the table reports sustained QPS, p50/p95/p99 total latency
 // (admission -> response), mean flushed batch size, and the cache hit rate.
 // `--json` (default BENCH_serve.json) emits the same table machine-readable
-// so CI can track the serving perf trajectory across PRs.
+// so CI can track the serving perf trajectory across PRs, and
+// `--metrics-json=FILE` dumps the last service configuration's full metrics
+// snapshot (including the aggregated search counters) through the shared
+// obs/metrics.h JSON writer.
 //
 //   bench_serve_throughput [--series=2000] [--n=256] [--m=16] [--k=16]
 //                          [--clients=8] [--requests=400] [--pool=64]
 //                          [--zipf=0.99] [--batches=1,8,32] [--cache=512]
 //                          [--method=SAPLA] [--tree=dbch] [--threads=0]
 //                          [--csv=DIR] [--json=BENCH_serve.json]
+//                          [--metrics-json=FILE]
 
 #include <atomic>
 #include <cstdio>
@@ -30,7 +34,7 @@
 #include <vector>
 
 #include "search/knn.h"
-#include "serve/metrics.h"
+#include "obs/metrics.h"
 #include "serve/service.h"
 #include "ts/synthetic_archive.h"
 #include "util/histogram.h"
@@ -58,6 +62,7 @@ struct Config {
   IndexKind kind = IndexKind::kDbchTree;
   std::string csv_dir;
   std::string json_path = "BENCH_serve.json";
+  std::string metrics_json_path;
 };
 
 [[noreturn]] void Usage(const char* argv0) {
@@ -65,7 +70,8 @@ struct Config {
           "usage: %s [--series=S] [--n=N] [--m=M] [--k=K] [--clients=C]\n"
           "          [--requests=R] [--pool=P] [--zipf=Z] [--batches=1,8,32]\n"
           "          [--cache=E] [--method=SAPLA] [--tree=dbch|rtree]\n"
-          "          [--threads=T] [--csv=DIR] [--json=FILE]\n",
+          "          [--threads=T] [--csv=DIR] [--json=FILE]\n"
+          "          [--metrics-json=FILE]\n",
           argv0);
   exit(2);
 }
@@ -130,6 +136,8 @@ Config ParseFlags(int argc, char** argv) {
       config.csv_dir = value;
     } else if (key == "json") {
       config.json_path = value;
+    } else if (key == "metrics-json") {
+      config.metrics_json_path = value;
     } else {
       Usage(argv[0]);
     }
@@ -158,6 +166,7 @@ struct RunStats {
   double mean_batch = 0.0;
   double cache_hit_rate = 0.0;
   uint64_t errors = 0;
+  ServeMetricsSnapshot snapshot;  // full registry (service modes only)
 };
 
 /// Baseline: every client thread calls the index directly.
@@ -223,6 +232,7 @@ RunStats RunService(const SimilarityIndex& index,
   stats.mean_batch = snap.batch_size.mean;
   stats.cache_hit_rate = snap.CacheHitRate();
   stats.errors = errors.load();
+  stats.snapshot = snap;
   return stats;
 }
 
@@ -262,14 +272,21 @@ int Run(int argc, char** argv) {
   };
 
   add_row("direct", RunDirect(index, pool, config));
-  for (const size_t max_batch : config.batches)
-    add_row("max_batch=" + std::to_string(max_batch),
-            RunService(index, pool, config, max_batch));
+  RunStats last_service;
+  for (const size_t max_batch : config.batches) {
+    last_service = RunService(index, pool, config, max_batch);
+    add_row("max_batch=" + std::to_string(max_batch), last_service);
+  }
 
   t.Print(config.csv_dir.empty() ? ""
                                  : config.csv_dir + "/serve_throughput.csv");
   if (!config.json_path.empty() && !t.WriteJson(config.json_path)) {
     fprintf(stderr, "could not write %s\n", config.json_path.c_str());
+    return 1;
+  }
+  if (!config.metrics_json_path.empty() && !config.batches.empty() &&
+      !WriteMetricsJson(last_service.snapshot, config.metrics_json_path)) {
+    fprintf(stderr, "could not write %s\n", config.metrics_json_path.c_str());
     return 1;
   }
   return 0;

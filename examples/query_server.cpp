@@ -1,25 +1,33 @@
 // Embedded query serving: wrap a built index in a QueryService and hit it
 // from several client threads at once — micro-batching, deadlines with
 // degraded answers, a result cache, and backpressure, all observable in the
-// final metrics table.
+// final metrics table, a Prometheus exposition and a Chrome trace.
 //
 //   $ ./build/examples/query_server
+//   $ ./build/examples/query_server metrics.prom trace.json
 //
-// docs/SERVING.md explains every knob used here.
+// docs/SERVING.md explains every knob used here; docs/OBSERVABILITY.md
+// covers the exports.
 
 #include <cstdio>
 #include <thread>
 #include <vector>
 
 #include "search/knn.h"
-#include "serve/metrics.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/service.h"
 #include "ts/synthetic_archive.h"
 #include "util/rng.h"
 
 using namespace sapla;
 
-int main() {
+int main(int argc, char** argv) {
+  // Optional export paths; tracing costs nothing measurable when off.
+  const char* metrics_path = argc > 1 ? argv[1] : nullptr;
+  const char* trace_path = argc > 2 ? argv[2] : nullptr;
+  if (trace_path != nullptr) obs::SetTraceEnabled(true);
+
   // A dataset and an immutable index, as in examples/knn_search.cpp.
   SyntheticOptions opt;
   opt.length = 256;
@@ -72,5 +80,14 @@ int main() {
 
   service.Stop();
   MetricsToTable(service.MetricsSnapshot()).Print();
+
+  // The same registry renders to every export format (docs/OBSERVABILITY.md).
+  if (metrics_path != nullptr && WritePrometheus(service.metrics(), metrics_path))
+    printf("wrote %s (Prometheus text exposition)\n", metrics_path);
+  if (trace_path != nullptr) {
+    obs::SetTraceEnabled(false);
+    if (obs::WriteChromeTrace(trace_path))
+      printf("wrote %s (load in chrome://tracing)\n", trace_path);
+  }
   return 0;
 }

@@ -226,26 +226,37 @@ TreeStats DbchTree::ComputeStats() const {
 }
 
 void DbchTree::BestFirstSearch(const QueryDistFn& query_dist,
-                               const VisitFn& visit) const {
+                               const VisitFn& visit,
+                               SearchCounters* counters) const {
   struct QItem {
     double dist;
     int node;
+    size_t level;  // root = 0
     bool operator>(const QItem& o) const { return dist > o.dist; }
   };
   std::priority_queue<QItem, std::vector<QItem>, std::greater<>> pq;
-  pq.push({0.0, root_});
+  pq.push({0.0, root_, 0});
   double bound = std::numeric_limits<double>::infinity();
   while (!pq.empty()) {
     const QItem item = pq.top();
     pq.pop();
-    if (item.dist > bound) break;
+    if (item.dist > bound) {
+      // The popped item and everything still queued were avoided.
+      if (counters != nullptr) counters->nodes_pruned += 1 + pq.size();
+      break;
+    }
     const Node& node = nodes_[static_cast<size_t>(item.node)];
+    if (counters != nullptr) counters->CountNodeVisit(item.level, node.leaf);
     if (node.leaf) {
       for (const size_t id : node.entries) bound = visit(id, bound);
     } else {
       for (const int c : node.children) {
         const double d = NodeDist(nodes_[static_cast<size_t>(c)], query_dist);
-        if (d <= bound) pq.push({d, c});
+        if (d <= bound) {
+          pq.push({d, c, item.level + 1});
+        } else if (counters != nullptr) {
+          ++counters->nodes_pruned;
+        }
       }
     }
   }

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "index/tree_stats.h"
+#include "obs/counters.h"
 
 namespace sapla {
 
@@ -55,9 +56,11 @@ class DbchTree {
   TreeStats ComputeStats() const;
 
   /// Best-first traversal using the §5.3 node distance. Nodes whose distance
-  /// exceeds the bound returned by `visit` are pruned.
-  void BestFirstSearch(const QueryDistFn& query_dist,
-                       const VisitFn& visit) const;
+  /// exceeds the bound returned by `visit` are pruned. When `counters` is
+  /// non-null the traversal records node expansions by level and node-level
+  /// pruning into it (obs/counters.h).
+  void BestFirstSearch(const QueryDistFn& query_dist, const VisitFn& visit,
+                       SearchCounters* counters = nullptr) const;
 
  private:
   struct Node {

@@ -32,13 +32,13 @@ class RTreeBackend : public IndexBackend {
   }
 
   void BestFirstSearch(const std::vector<double>& query_raw,
-                       const Representation& query_rep,
-                       const VisitFn& visit) const override {
+                       const Representation& query_rep, const VisitFn& visit,
+                       SearchCounters* counters) const override {
     tree_.BestFirstSearch(
         [&](const std::vector<double>& lo, const std::vector<double>& hi) {
           return mapper_.MinDist(query_raw, query_rep, lo, hi);
         },
-        visit);
+        visit, counters);
   }
 
   TreeStats ComputeStats() const override { return tree_.ComputeStats(); }
@@ -66,13 +66,13 @@ class DbchBackend : public IndexBackend {
   void Insert(size_t id) override { tree_.Insert(id); }
 
   void BestFirstSearch(const std::vector<double>& /*query_raw*/,
-                       const Representation& query_rep,
-                       const VisitFn& visit) const override {
+                       const Representation& query_rep, const VisitFn& visit,
+                       SearchCounters* counters) const override {
     tree_.BestFirstSearch(
         [&](size_t id) {
           return LowerBoundDistance(query_rep, (*ctx_.reps)[id]);
         },
-        visit);
+        visit, counters);
   }
 
   TreeStats ComputeStats() const override { return tree_.ComputeStats(); }

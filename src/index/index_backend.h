@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "index/tree_stats.h"
+#include "obs/counters.h"
 #include "reduction/representation.h"
 #include "ts/time_series.h"
 #include "util/status.h"
@@ -74,10 +75,14 @@ class IndexBackend {
   /// Best-first branch-and-bound traversal for one query: nodes are
   /// expanded in increasing lower-bound order and pruned once their bound
   /// exceeds the bound returned by `visit`. `query_rep` is the query's
-  /// reduction under the context's (method, m). Thread-safe after Build.
+  /// reduction under the context's (method, m). When `counters` is non-null
+  /// the backend records its node-level work (expansions by level, pruned
+  /// nodes — obs/counters.h) into it; entry-level counters belong to the
+  /// search layer's visit callback. Thread-safe after Build.
   virtual void BestFirstSearch(const std::vector<double>& query_raw,
                                const Representation& query_rep,
-                               const VisitFn& visit) const = 0;
+                               const VisitFn& visit,
+                               SearchCounters* counters = nullptr) const = 0;
 
   /// Structural statistics (Figs. 15/16). Thread-safe after Build.
   virtual TreeStats ComputeStats() const = 0;

@@ -192,6 +192,11 @@ KnnResult IsaxIndex::KnnApproximate(const std::vector<double>& query,
   std::sort(hits.begin(), hits.end());
   if (hits.size() > k) hits.resize(k);
   result.neighbors = std::move(hits);
+  result.counters.nodes_visited_leaf = 1;
+  result.counters.exact_evaluations = result.num_measured;
+  result.counters.entries_pruned_node = num_entries_ - result.num_measured;
+  result.counters.cascade_stage =
+      result.num_measured > 0 ? CascadeStage::kExact : CascadeStage::kNodePrune;
   return result;
 }
 
@@ -202,10 +207,11 @@ KnnResult IsaxIndex::Knn(const std::vector<double>& query, size_t k) const {
   struct QItem {
     double dist;
     int node;
+    size_t level;  // root = 0
     bool operator>(const QItem& o) const { return dist > o.dist; }
   };
   std::priority_queue<QItem, std::vector<QItem>, std::greater<>> pq;
-  pq.push({0.0, root_});
+  pq.push({0.0, root_, 0});
   KnnResult result;
   std::priority_queue<std::pair<double, size_t>> best;  // max-heap of k best
   const auto bound = [&] {
@@ -215,8 +221,12 @@ KnnResult IsaxIndex::Knn(const std::vector<double>& query, size_t k) const {
   while (!pq.empty()) {
     const QItem item = pq.top();
     pq.pop();
-    if (item.dist > bound()) break;
+    if (item.dist > bound()) {
+      result.counters.nodes_pruned += 1 + pq.size();
+      break;
+    }
     const Node& node = nodes_[static_cast<size_t>(item.node)];
+    result.counters.CountNodeVisit(item.level, node.leaf);
     if (node.leaf) {
       for (const Entry& e : node.entries) {
         const double d =
@@ -232,7 +242,11 @@ KnnResult IsaxIndex::Knn(const std::vector<double>& query, size_t k) const {
     } else {
       for (const int c : {node.child0, node.child1}) {
         const double d = NodeMinDist(nodes_[static_cast<size_t>(c)], paa);
-        if (d <= bound()) pq.push({d, c});
+        if (d <= bound()) {
+          pq.push({d, c, item.level + 1});
+        } else {
+          ++result.counters.nodes_pruned;
+        }
       }
     }
   }
@@ -241,6 +255,12 @@ KnnResult IsaxIndex::Knn(const std::vector<double>& query, size_t k) const {
     result.neighbors[i] = best.top();
     best.pop();
   }
+  // iSAX prunes whole subtrees with the PAA MINDIST; entries it measured
+  // are exactly its exact evaluations (no per-entry filter stage).
+  result.counters.exact_evaluations = result.num_measured;
+  result.counters.entries_pruned_node = num_entries_ - result.num_measured;
+  result.counters.cascade_stage =
+      result.num_measured > 0 ? CascadeStage::kExact : CascadeStage::kNodePrune;
   return result;
 }
 

@@ -288,27 +288,38 @@ TreeStats RTree::ComputeStats() const {
   return stats;
 }
 
-void RTree::BestFirstSearch(const BoxDistFn& box_dist,
-                            const VisitFn& visit) const {
+void RTree::BestFirstSearch(const BoxDistFn& box_dist, const VisitFn& visit,
+                            SearchCounters* counters) const {
   struct QItem {
     double dist;
     int node;
+    size_t level;  // root = 0
     bool operator>(const QItem& o) const { return dist > o.dist; }
   };
   std::priority_queue<QItem, std::vector<QItem>, std::greater<>> pq;
-  pq.push({0.0, root_});
+  pq.push({0.0, root_, 0});
   double bound = std::numeric_limits<double>::infinity();
   while (!pq.empty()) {
     const QItem item = pq.top();
     pq.pop();
-    if (item.dist > bound) break;  // everything left is at least this far
+    if (item.dist > bound) {
+      // Everything left is at least this far: the popped item and the rest
+      // of the queue were all avoided ("node accesses" saved, Figs. 15/16).
+      if (counters != nullptr) counters->nodes_pruned += 1 + pq.size();
+      break;
+    }
     const Node& node = nodes_[static_cast<size_t>(item.node)];
+    if (counters != nullptr) counters->CountNodeVisit(item.level, node.leaf);
     for (const Entry& e : node.entries) {
       if (node.leaf) {
         bound = visit(e.id, bound);
       } else {
         const double d = box_dist(e.lo, e.hi);
-        if (d <= bound) pq.push({d, e.child});
+        if (d <= bound) {
+          pq.push({d, e.child, item.level + 1});
+        } else if (counters != nullptr) {
+          ++counters->nodes_pruned;
+        }
       }
     }
   }

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "index/tree_stats.h"
+#include "obs/counters.h"
 
 namespace sapla {
 
@@ -70,7 +71,10 @@ class RTree {
   /// Best-first (branch-and-bound) traversal: nodes are expanded in
   /// increasing box-distance order and pruned once their distance exceeds
   /// the bound returned by `visit`. GEMINI's k-NN maps directly onto this.
-  void BestFirstSearch(const BoxDistFn& box_dist, const VisitFn& visit) const;
+  /// When `counters` is non-null the traversal records node expansions by
+  /// level and node-level pruning into it (obs/counters.h).
+  void BestFirstSearch(const BoxDistFn& box_dist, const VisitFn& visit,
+                       SearchCounters* counters = nullptr) const;
 
  private:
   struct Entry {

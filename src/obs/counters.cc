@@ -1,0 +1,19 @@
+#include "obs/counters.h"
+
+namespace sapla {
+
+const char* CascadeStageName(CascadeStage stage) {
+  switch (stage) {
+    case CascadeStage::kNone:
+      return "none";
+    case CascadeStage::kNodePrune:
+      return "node_prune";
+    case CascadeStage::kLeafFilter:
+      return "leaf_filter";
+    case CascadeStage::kExact:
+      return "exact";
+  }
+  return "unknown";
+}
+
+}  // namespace sapla

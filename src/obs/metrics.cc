@@ -1,0 +1,358 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace sapla {
+namespace {
+
+// Fixed-point scale for the tightness sum (wait-free double aggregation).
+constexpr double kMicro = 1e6;
+
+std::string U64(uint64_t v) { return std::to_string(v); }
+
+std::string Double(double v) {
+  char buf[64];
+  snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+void AtomicSearchCounters::Add(const SearchCounters& c, size_t dataset_size) {
+  queries.fetch_add(1, std::memory_order_relaxed);
+  candidates.fetch_add(dataset_size, std::memory_order_relaxed);
+  nodes_visited_internal.fetch_add(c.nodes_visited_internal,
+                                   std::memory_order_relaxed);
+  nodes_visited_leaf.fetch_add(c.nodes_visited_leaf,
+                               std::memory_order_relaxed);
+  nodes_pruned.fetch_add(c.nodes_pruned, std::memory_order_relaxed);
+  lb_evaluations.fetch_add(c.lb_evaluations, std::memory_order_relaxed);
+  exact_evaluations.fetch_add(c.exact_evaluations, std::memory_order_relaxed);
+  entries_pruned_leaf.fetch_add(c.entries_pruned_leaf,
+                                std::memory_order_relaxed);
+  entries_pruned_node.fetch_add(c.entries_pruned_node,
+                                std::memory_order_relaxed);
+  tightness_sum_micro.fetch_add(
+      static_cast<uint64_t>(c.lb_tightness_sum * kMicro + 0.5),
+      std::memory_order_relaxed);
+  tightness_count.fetch_add(c.lb_tightness_count, std::memory_order_relaxed);
+}
+
+double SearchCountersSnapshot::PruningPower() const {
+  return candidates == 0 ? 0.0
+                         : static_cast<double>(exact_evaluations) /
+                               static_cast<double>(candidates);
+}
+
+double SearchCountersSnapshot::MeanTightness() const {
+  return tightness_count == 0
+             ? 0.0
+             : tightness_sum / static_cast<double>(tightness_count);
+}
+
+double ServeMetricsSnapshot::CacheHitRate() const {
+  const uint64_t lookups = cache_hits + cache_misses;
+  return lookups == 0 ? 0.0
+                      : static_cast<double>(cache_hits) /
+                            static_cast<double>(lookups);
+}
+
+HistogramSnapshot SnapshotHistogram(const Histogram& h) {
+  HistogramSnapshot s;
+  s.count = h.Count();
+  s.mean = h.Mean();
+  s.p50 = h.Quantile(0.50);
+  s.p95 = h.Quantile(0.95);
+  s.p99 = h.Quantile(0.99);
+  s.max = h.Max();
+  return s;
+}
+
+SearchCountersSnapshot SnapshotSearchCounters(const AtomicSearchCounters& c) {
+  SearchCountersSnapshot s;
+  s.queries = c.queries.load();
+  s.candidates = c.candidates.load();
+  s.nodes_visited_internal = c.nodes_visited_internal.load();
+  s.nodes_visited_leaf = c.nodes_visited_leaf.load();
+  s.nodes_pruned = c.nodes_pruned.load();
+  s.lb_evaluations = c.lb_evaluations.load();
+  s.exact_evaluations = c.exact_evaluations.load();
+  s.entries_pruned_leaf = c.entries_pruned_leaf.load();
+  s.entries_pruned_node = c.entries_pruned_node.load();
+  s.tightness_sum = static_cast<double>(c.tightness_sum_micro.load()) / kMicro;
+  s.tightness_count = c.tightness_count.load();
+  return s;
+}
+
+ServeMetricsSnapshot SnapshotMetrics(const ServeMetrics& metrics) {
+  ServeMetricsSnapshot s;
+  s.admitted = metrics.admitted.load();
+  s.rejected_overloaded = metrics.rejected_overloaded.load();
+  s.rejected_shutdown = metrics.rejected_shutdown.load();
+  s.completed_ok = metrics.completed_ok.load();
+  s.deadline_exceeded = metrics.deadline_exceeded.load();
+  s.degraded = metrics.degraded.load();
+  s.cache_hits = metrics.cache_hits.load();
+  s.cache_misses = metrics.cache_misses.load();
+  s.batches_flushed = metrics.batches_flushed.load();
+  s.search = SnapshotSearchCounters(metrics.search);
+  s.queue_wait_us = SnapshotHistogram(metrics.queue_wait_us);
+  s.exec_us = SnapshotHistogram(metrics.exec_us);
+  s.total_us = SnapshotHistogram(metrics.total_us);
+  s.batch_size = SnapshotHistogram(metrics.batch_size);
+  s.queue_depth = SnapshotHistogram(metrics.queue_depth);
+  return s;
+}
+
+Table MetricsToTable(const ServeMetricsSnapshot& snap,
+                     const std::string& title) {
+  Table t(title);
+  t.SetHeader({"Metric", "Count", "Mean", "P50", "P95", "P99", "Max"});
+  const auto counter = [&](const std::string& name, uint64_t value) {
+    t.AddRow({name, std::to_string(value), "", "", "", "", ""});
+  };
+  const auto ratio = [&](const std::string& name, double value) {
+    t.AddRow({name, Table::Num(value, 4), "", "", "", "", ""});
+  };
+  // An empty histogram has no percentiles: NaN upstream, "--" in the table
+  // (the bug where an empty run reported bucket-0 edges as latencies).
+  const auto hist = [&](const std::string& name, const HistogramSnapshot& h) {
+    if (h.count == 0) {
+      t.AddRow({name, "0", "--", "--", "--", "--", "--"});
+      return;
+    }
+    t.AddRow({name, std::to_string(h.count), Table::Num(h.mean, 4),
+              Table::Num(h.p50, 4), Table::Num(h.p95, 4), Table::Num(h.p99, 4),
+              std::to_string(h.max)});
+  };
+  counter("admitted", snap.admitted);
+  counter("rejected_overloaded", snap.rejected_overloaded);
+  counter("rejected_shutdown", snap.rejected_shutdown);
+  counter("completed_ok", snap.completed_ok);
+  counter("deadline_exceeded", snap.deadline_exceeded);
+  counter("degraded", snap.degraded);
+  counter("cache_hits", snap.cache_hits);
+  counter("cache_misses", snap.cache_misses);
+  ratio("cache_hit_rate", snap.CacheHitRate());
+  counter("batches_flushed", snap.batches_flushed);
+  counter("search_queries", snap.search.queries);
+  counter("search_nodes_visited_internal", snap.search.nodes_visited_internal);
+  counter("search_nodes_visited_leaf", snap.search.nodes_visited_leaf);
+  counter("search_nodes_pruned", snap.search.nodes_pruned);
+  counter("search_lb_evaluations", snap.search.lb_evaluations);
+  counter("search_exact_evaluations", snap.search.exact_evaluations);
+  counter("search_entries_pruned_leaf", snap.search.entries_pruned_leaf);
+  counter("search_entries_pruned_node", snap.search.entries_pruned_node);
+  ratio("search_pruning_power", snap.search.PruningPower());
+  ratio("search_mean_tightness", snap.search.MeanTightness());
+  hist("queue_wait_us", snap.queue_wait_us);
+  hist("exec_us", snap.exec_us);
+  hist("total_us", snap.total_us);
+  hist("batch_size", snap.batch_size);
+  hist("queue_depth", snap.queue_depth);
+  return t;
+}
+
+namespace {
+
+void AppendCounter(std::string& out, const std::string& prefix,
+                   const std::string& name, const char* help, uint64_t value) {
+  out += "# HELP " + prefix + "_" + name + "_total " + help + "\n";
+  out += "# TYPE " + prefix + "_" + name + "_total counter\n";
+  out += prefix + "_" + name + "_total " + U64(value) + "\n";
+}
+
+void AppendGauge(std::string& out, const std::string& prefix,
+                 const std::string& name, const char* help, double value) {
+  out += "# HELP " + prefix + "_" + name + " " + help + "\n";
+  out += "# TYPE " + prefix + "_" + name + " gauge\n";
+  out += prefix + "_" + name + " " + Double(value) + "\n";
+}
+
+void AppendHistogram(std::string& out, const std::string& prefix,
+                     const std::string& name, const char* help,
+                     const Histogram& h) {
+  const std::string full = prefix + "_" + name;
+  out += "# HELP " + full + " " + help + "\n";
+  out += "# TYPE " + full + " histogram\n";
+  // One instantaneous bucket snapshot keeps _count consistent with the
+  // cumulative buckets even while writers record concurrently.
+  uint64_t counts[Histogram::kNumBuckets];
+  size_t last_used = 0;
+  for (size_t b = 0; b < Histogram::kNumBuckets; ++b) {
+    counts[b] = h.BucketCount(b);
+    if (counts[b] != 0) last_used = b;
+  }
+  uint64_t cum = 0;
+  for (size_t b = 0; b <= last_used; ++b) {
+    cum += counts[b];
+    out += full + "_bucket{le=\"" + U64(Histogram::BucketUpper(b)) + "\"} " +
+           U64(cum) + "\n";
+  }
+  for (size_t b = last_used + 1; b < Histogram::kNumBuckets; ++b)
+    cum += counts[b];  // the tail is all zeros, but keep the math honest
+  out += full + "_bucket{le=\"+Inf\"} " + U64(cum) + "\n";
+  out += full + "_sum " + U64(h.Sum()) + "\n";
+  out += full + "_count " + U64(cum) + "\n";
+}
+
+}  // namespace
+
+std::string MetricsToPrometheus(const ServeMetrics& metrics,
+                                const std::string& prefix) {
+  const ServeMetricsSnapshot snap = SnapshotMetrics(metrics);
+  std::string out;
+  out.reserve(8192);
+  AppendCounter(out, prefix, "admitted",
+                "Requests accepted into the bounded queue.", snap.admitted);
+  AppendCounter(out, prefix, "rejected_overloaded",
+                "Requests refused at admission (queue full).",
+                snap.rejected_overloaded);
+  AppendCounter(out, prefix, "rejected_shutdown",
+                "Requests refused because the service was stopped.",
+                snap.rejected_shutdown);
+  AppendCounter(out, prefix, "completed_ok",
+                "Requests answered with exact results.", snap.completed_ok);
+  AppendCounter(out, prefix, "deadline_exceeded",
+                "Requests dropped because their deadline passed.",
+                snap.deadline_exceeded);
+  AppendCounter(out, prefix, "degraded",
+                "Deadline-exceeded requests answered approximately.",
+                snap.degraded);
+  AppendCounter(out, prefix, "cache_hits",
+                "Result-cache hits at admission time.", snap.cache_hits);
+  AppendCounter(out, prefix, "cache_misses",
+                "Result-cache misses at admission time.", snap.cache_misses);
+  AppendCounter(out, prefix, "batches_flushed", "Micro-batches executed.",
+                snap.batches_flushed);
+  AppendCounter(out, prefix, "search_queries",
+                "Index traversals aggregated into the search counters.",
+                snap.search.queries);
+  AppendCounter(out, prefix, "search_candidates",
+                "Candidate entries across aggregated traversals "
+                "(pruning-power denominator).",
+                snap.search.candidates);
+  AppendCounter(out, prefix, "search_nodes_visited_internal",
+                "Internal index nodes expanded.",
+                snap.search.nodes_visited_internal);
+  AppendCounter(out, prefix, "search_nodes_visited_leaf",
+                "Leaf index nodes expanded.", snap.search.nodes_visited_leaf);
+  AppendCounter(out, prefix, "search_nodes_pruned",
+                "Index nodes discarded by the pruning bound.",
+                snap.search.nodes_pruned);
+  AppendCounter(out, prefix, "search_lb_evaluations",
+                "Lower-bound (filter) distance evaluations.",
+                snap.search.lb_evaluations);
+  AppendCounter(out, prefix, "search_exact_evaluations",
+                "Exact (refine) distance evaluations — Eq. 14 numerator.",
+                snap.search.exact_evaluations);
+  AppendCounter(out, prefix, "search_entries_pruned_leaf",
+                "Leaf entries rejected by the lower-bound filter.",
+                snap.search.entries_pruned_leaf);
+  AppendCounter(out, prefix, "search_entries_pruned_node",
+                "Entries pruned with their subtree before any leaf visit.",
+                snap.search.entries_pruned_node);
+  AppendGauge(out, prefix, "cache_hit_rate",
+              "cache_hits / (cache_hits + cache_misses).",
+              snap.CacheHitRate());
+  AppendGauge(out, prefix, "search_pruning_power",
+              "Live pruning power rho (Eq. 14); lower is better.",
+              snap.search.PruningPower());
+  AppendGauge(out, prefix, "search_mean_tightness",
+              "Mean lower-bound tightness over measured pairs.",
+              snap.search.MeanTightness());
+  AppendHistogram(out, prefix, "queue_wait_us",
+                  "Admission to flush-start wait (microseconds).",
+                  metrics.queue_wait_us);
+  AppendHistogram(out, prefix, "exec_us",
+                  "Wall time of the flush that ran the request "
+                  "(microseconds).",
+                  metrics.exec_us);
+  AppendHistogram(out, prefix, "total_us",
+                  "Admission to response resolution (microseconds).",
+                  metrics.total_us);
+  AppendHistogram(out, prefix, "batch_size",
+                  "Requests per flushed micro-batch.", metrics.batch_size);
+  AppendHistogram(out, prefix, "queue_depth",
+                  "Queue length observed after each admission.",
+                  metrics.queue_depth);
+  return out;
+}
+
+bool WritePrometheus(const ServeMetrics& metrics, const std::string& path,
+                     const std::string& prefix) {
+  FILE* f = fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string text = MetricsToPrometheus(metrics, prefix);
+  const bool ok = fwrite(text.data(), 1, text.size(), f) == text.size();
+  return fclose(f) == 0 && ok;
+}
+
+namespace {
+
+std::string JsonNumberOrNull(double v) {
+  return std::isfinite(v) ? Double(v) : "null";
+}
+
+void AppendJsonHistogram(std::string& out, const char* name,
+                         const HistogramSnapshot& h, bool last) {
+  out += std::string("    \"") + name + "\": {\"count\": " + U64(h.count) +
+         ", \"mean\": " + JsonNumberOrNull(h.mean) +
+         ", \"p50\": " + JsonNumberOrNull(h.p50) +
+         ", \"p95\": " + JsonNumberOrNull(h.p95) +
+         ", \"p99\": " + JsonNumberOrNull(h.p99) +
+         ", \"max\": " + U64(h.max) + "}";
+  out += last ? "\n" : ",\n";
+}
+
+}  // namespace
+
+std::string MetricsToJson(const ServeMetricsSnapshot& snap) {
+  std::string out = "{\n  \"counters\": {\n";
+  const auto counter = [&](const char* name, uint64_t v, bool last = false) {
+    out += std::string("    \"") + name + "\": " + U64(v) +
+           (last ? "\n" : ",\n");
+  };
+  counter("admitted", snap.admitted);
+  counter("rejected_overloaded", snap.rejected_overloaded);
+  counter("rejected_shutdown", snap.rejected_shutdown);
+  counter("completed_ok", snap.completed_ok);
+  counter("deadline_exceeded", snap.deadline_exceeded);
+  counter("degraded", snap.degraded);
+  counter("cache_hits", snap.cache_hits);
+  counter("cache_misses", snap.cache_misses);
+  counter("batches_flushed", snap.batches_flushed, /*last=*/true);
+  out += "  },\n  \"cache_hit_rate\": " + Double(snap.CacheHitRate()) +
+         ",\n  \"search\": {\n";
+  counter("queries", snap.search.queries);
+  counter("candidates", snap.search.candidates);
+  counter("nodes_visited_internal", snap.search.nodes_visited_internal);
+  counter("nodes_visited_leaf", snap.search.nodes_visited_leaf);
+  counter("nodes_pruned", snap.search.nodes_pruned);
+  counter("lb_evaluations", snap.search.lb_evaluations);
+  counter("exact_evaluations", snap.search.exact_evaluations);
+  counter("entries_pruned_leaf", snap.search.entries_pruned_leaf);
+  counter("entries_pruned_node", snap.search.entries_pruned_node);
+  out += "    \"pruning_power\": " + Double(snap.search.PruningPower()) +
+         ",\n    \"mean_tightness\": " + Double(snap.search.MeanTightness()) +
+         "\n  },\n  \"histograms\": {\n";
+  AppendJsonHistogram(out, "queue_wait_us", snap.queue_wait_us, false);
+  AppendJsonHistogram(out, "exec_us", snap.exec_us, false);
+  AppendJsonHistogram(out, "total_us", snap.total_us, false);
+  AppendJsonHistogram(out, "batch_size", snap.batch_size, false);
+  AppendJsonHistogram(out, "queue_depth", snap.queue_depth, true);
+  out += "  }\n}\n";
+  return out;
+}
+
+bool WriteMetricsJson(const ServeMetricsSnapshot& snap,
+                      const std::string& path) {
+  FILE* f = fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = MetricsToJson(snap);
+  const bool ok = fwrite(json.data(), 1, json.size(), f) == json.size();
+  return fclose(f) == 0 && ok;
+}
+
+}  // namespace sapla

@@ -1,0 +1,185 @@
+#ifndef SAPLA_OBS_METRICS_H_
+#define SAPLA_OBS_METRICS_H_
+
+// Unified metrics registry and export (formerly serve/metrics.h).
+//
+// All counters are plain atomics and all distributions are fixed-bucket
+// histograms (util/histogram.h), so recording from the admission path, the
+// scheduler thread and the pool workers is wait-free and never serializes
+// request processing. Readers take an instantaneous Snapshot — a plain
+// struct of numbers — and render it through one of three writers:
+//
+//   MetricsToTable       the repo's aligned-table format (util/table.h),
+//                        printable or CSV/JSON via the Table methods
+//   MetricsToPrometheus  Prometheus text exposition (counters as _total,
+//                        histograms with cumulative le-buckets, _sum and
+//                        _count) — scrape-ready; tools/sapla_promcheck
+//                        validates the format in CI
+//   MetricsToJson        one structured JSON snapshot document
+//
+// Beyond the serving-lifecycle metrics (see glossary below), the registry
+// aggregates per-query SearchCounters (obs/counters.h) from every executed
+// request, so the paper's pruning power (Eq. 14, Fig. 13) and node-access
+// counts (Figs. 15/16) are live serving metrics instead of bench-only
+// numbers.
+//
+// Glossary (docs/OBSERVABILITY.md has the full prose):
+//   admitted            requests accepted into the bounded queue
+//   rejected_overloaded requests refused at admission (queue full)
+//   rejected_shutdown   requests refused because the service was stopped
+//   completed_ok        requests answered with exact results
+//   deadline_exceeded   requests dropped because their deadline passed
+//   degraded            deadline-exceeded requests that still got an
+//                       approximate lower-bound-only answer
+//   cache_hits/misses   result-cache outcome at admission time
+//   batches_flushed     micro-batches executed
+//   queue_wait_us       admission -> start of the request's flush
+//   exec_us             wall time of the flush that ran the request
+//   total_us            admission -> response resolution
+//   batch_size          requests per flushed micro-batch
+//   queue_depth         queue length observed after each admission
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "obs/counters.h"
+#include "util/histogram.h"
+#include "util/table.h"
+
+namespace sapla {
+
+/// \brief Wait-free aggregate of SearchCounters across queries.
+struct AtomicSearchCounters {
+  std::atomic<uint64_t> queries{0};
+  /// Sum of dataset sizes over aggregated queries (rho's denominator).
+  std::atomic<uint64_t> candidates{0};
+  std::atomic<uint64_t> nodes_visited_internal{0};
+  std::atomic<uint64_t> nodes_visited_leaf{0};
+  std::atomic<uint64_t> nodes_pruned{0};
+  std::atomic<uint64_t> lb_evaluations{0};
+  std::atomic<uint64_t> exact_evaluations{0};
+  std::atomic<uint64_t> entries_pruned_leaf{0};
+  std::atomic<uint64_t> entries_pruned_node{0};
+  /// Tightness sum in millionths (fixed-point so the add stays wait-free).
+  std::atomic<uint64_t> tightness_sum_micro{0};
+  std::atomic<uint64_t> tightness_count{0};
+
+  /// Merges one executed query's counters. Thread-safe, wait-free.
+  void Add(const SearchCounters& c, size_t dataset_size);
+};
+
+/// Point-in-time copy of AtomicSearchCounters plus derived ratios.
+struct SearchCountersSnapshot {
+  uint64_t queries = 0;
+  uint64_t candidates = 0;
+  uint64_t nodes_visited_internal = 0;
+  uint64_t nodes_visited_leaf = 0;
+  uint64_t nodes_pruned = 0;
+  uint64_t lb_evaluations = 0;
+  uint64_t exact_evaluations = 0;
+  uint64_t entries_pruned_leaf = 0;
+  uint64_t entries_pruned_node = 0;
+  double tightness_sum = 0.0;
+  uint64_t tightness_count = 0;
+
+  /// Live pruning power rho (Eq. 14): measured / candidates; 0 when idle.
+  double PruningPower() const;
+  /// Mean filter tightness over measured pairs; 0 when idle.
+  double MeanTightness() const;
+};
+
+/// \brief Live, thread-safe metrics for one QueryService instance.
+struct ServeMetrics {
+  std::atomic<uint64_t> admitted{0};
+  std::atomic<uint64_t> rejected_overloaded{0};
+  std::atomic<uint64_t> rejected_shutdown{0};
+  std::atomic<uint64_t> completed_ok{0};
+  std::atomic<uint64_t> deadline_exceeded{0};
+  std::atomic<uint64_t> degraded{0};
+  std::atomic<uint64_t> cache_hits{0};
+  std::atomic<uint64_t> cache_misses{0};
+  std::atomic<uint64_t> batches_flushed{0};
+
+  AtomicSearchCounters search;
+
+  Histogram queue_wait_us;
+  Histogram exec_us;
+  Histogram total_us;
+  Histogram batch_size;
+  Histogram queue_depth;
+};
+
+/// One histogram, collapsed to the numbers reports care about. Quantiles
+/// and mean are NaN when the histogram is empty (rendered "--" / omitted).
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  uint64_t max = 0;
+};
+
+/// Point-in-time copy of every metric; safe to read field by field.
+struct ServeMetricsSnapshot {
+  uint64_t admitted = 0;
+  uint64_t rejected_overloaded = 0;
+  uint64_t rejected_shutdown = 0;
+  uint64_t completed_ok = 0;
+  uint64_t deadline_exceeded = 0;
+  uint64_t degraded = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t batches_flushed = 0;
+
+  SearchCountersSnapshot search;
+
+  HistogramSnapshot queue_wait_us;
+  HistogramSnapshot exec_us;
+  HistogramSnapshot total_us;
+  HistogramSnapshot batch_size;
+  HistogramSnapshot queue_depth;
+
+  /// cache_hits / (cache_hits + cache_misses); 0 with no lookups.
+  double CacheHitRate() const;
+};
+
+/// Collapses one histogram (concurrent-safe; see util/histogram.h).
+HistogramSnapshot SnapshotHistogram(const Histogram& h);
+
+/// Snapshots the search-counter aggregate.
+SearchCountersSnapshot SnapshotSearchCounters(const AtomicSearchCounters& c);
+
+/// Snapshots every counter and histogram.
+ServeMetricsSnapshot SnapshotMetrics(const ServeMetrics& metrics);
+
+/// Renders a snapshot as one table (counters first, then one row per
+/// histogram with count/mean/p50/p95/p99/max; empty histograms render "--"),
+/// printable or CSV/JSON via util/table.h.
+Table MetricsToTable(const ServeMetricsSnapshot& snap,
+                     const std::string& title = "Serve metrics");
+
+/// Prometheus text exposition of the registry. Takes the live registry (not
+/// a snapshot) because histogram export needs the raw bucket counts.
+/// Counters become `<prefix>_<name>_total`, gauges stay bare, histograms
+/// emit cumulative `_bucket{le="..."}` lines plus `_sum` and `_count`.
+std::string MetricsToPrometheus(const ServeMetrics& metrics,
+                                const std::string& prefix = "sapla");
+
+/// Writes MetricsToPrometheus to `path`. Returns false on I/O failure.
+bool WritePrometheus(const ServeMetrics& metrics, const std::string& path,
+                     const std::string& prefix = "sapla");
+
+/// One structured JSON document: {"counters": {...}, "search": {...},
+/// "histograms": {name: {count, mean, p50, p95, p99, max}}}. Empty
+/// histograms emit null for mean/quantiles (NaN is not valid JSON).
+std::string MetricsToJson(const ServeMetricsSnapshot& snap);
+
+/// Writes MetricsToJson to `path`. Returns false on I/O failure.
+bool WriteMetricsJson(const ServeMetricsSnapshot& snap,
+                      const std::string& path);
+
+}  // namespace sapla
+
+#endif  // SAPLA_OBS_METRICS_H_

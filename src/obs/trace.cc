@@ -1,0 +1,169 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+
+namespace sapla {
+namespace obs {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Spans kept per thread before new ones are dropped (and counted).
+constexpr size_t kMaxEventsPerThread = 1 << 16;
+
+std::atomic<bool> g_enabled{false};
+
+// The trace epoch: every timestamp is relative to the first trace use, so
+// exported numbers stay small and runs are comparable.
+Clock::time_point Epoch() {
+  static const Clock::time_point epoch = Clock::now();
+  return epoch;
+}
+
+uint64_t NowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            Epoch())
+          .count());
+}
+
+// Completed spans of one thread. The owning thread appends under `mu`
+// (uncontended except while an export runs); collectors copy under `mu`.
+// The registry holds shared ownership so buffers of exited threads still
+// reach the export.
+struct ThreadBuffer {
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  uint64_t dropped = 0;
+  uint32_t tid = 0;
+  uint32_t live_depth = 0;  // owner-thread only: current nesting level
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  uint32_t next_tid = 1;
+};
+
+Registry& GlobalRegistry() {
+  static auto* registry = new Registry;
+  return *registry;
+}
+
+ThreadBuffer& LocalBuffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
+    auto b = std::make_shared<ThreadBuffer>();
+    Registry& registry = GlobalRegistry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    b->tid = registry.next_tid++;
+    registry.buffers.push_back(b);
+    return b;
+  }();
+  return *buffer;
+}
+
+std::vector<std::shared_ptr<ThreadBuffer>> AllBuffers() {
+  Registry& registry = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  return registry.buffers;
+}
+
+}  // namespace
+
+void SetTraceEnabled(bool enabled) {
+  if (enabled) Epoch();  // pin the epoch before the first span
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool TraceEnabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void ClearTrace() {
+  for (const auto& buffer : AllBuffers()) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    buffer->events.clear();
+    buffer->dropped = 0;
+  }
+}
+
+std::vector<TraceEvent> CollectTrace() {
+  std::vector<TraceEvent> all;
+  for (const auto& buffer : AllBuffers()) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    all.insert(all.end(), buffer->events.begin(), buffer->events.end());
+  }
+  std::sort(all.begin(), all.end(), [](const TraceEvent& a, const TraceEvent& b) {
+    return a.tid != b.tid ? a.tid < b.tid : a.start_us < b.start_us;
+  });
+  return all;
+}
+
+uint64_t TraceDroppedEvents() {
+  uint64_t dropped = 0;
+  for (const auto& buffer : AllBuffers()) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    dropped += buffer->dropped;
+  }
+  return dropped;
+}
+
+std::string TraceToChromeJson() {
+  const std::vector<TraceEvent> events = CollectTrace();
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  char line[256];
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    // Span names are code-side string literals (path-like identifiers), so
+    // no JSON escaping is needed beyond trusting the taxonomy.
+    snprintf(line, sizeof(line),
+             "%s{\"name\":\"%s\",\"cat\":\"sapla\",\"ph\":\"X\",\"pid\":1,"
+             "\"tid\":%u,\"ts\":%llu,\"dur\":%llu}",
+             first ? "" : ",", e.name, e.tid,
+             static_cast<unsigned long long>(e.start_us),
+             static_cast<unsigned long long>(e.dur_us));
+    out += line;
+    first = false;
+  }
+  out += "]}";
+  return out;
+}
+
+bool WriteChromeTrace(const std::string& path) {
+  FILE* f = fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = TraceToChromeJson();
+  const bool ok = fwrite(json.data(), 1, json.size(), f) == json.size();
+  return fclose(f) == 0 && ok;
+}
+
+ScopedSpan::ScopedSpan(const char* name) : name_(name) {
+  if (!g_enabled.load(std::memory_order_relaxed)) return;
+  active_ = true;
+  ++LocalBuffer().live_depth;
+  start_us_ = NowUs();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  const uint64_t end_us = NowUs();
+  ThreadBuffer& buffer = LocalBuffer();
+  TraceEvent event;
+  event.name = name_;
+  event.start_us = start_us_;
+  event.dur_us = end_us - start_us_;
+  event.tid = buffer.tid;
+  event.depth = --buffer.live_depth;
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  if (buffer.events.size() >= kMaxEventsPerThread) {
+    ++buffer.dropped;
+    return;
+  }
+  buffer.events.push_back(event);
+}
+
+}  // namespace obs
+}  // namespace sapla

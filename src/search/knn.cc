@@ -6,11 +6,27 @@
 #include <queue>
 
 #include "distance/mindist.h"
+#include "obs/trace.h"
 #include "util/parallel.h"
 #include "util/timer.h"
 
 namespace sapla {
 namespace {
+
+// Post-traversal bookkeeping shared by Knn and RangeSearch: the entries a
+// backend never surfaced to the visit callback were pruned at node level,
+// and the deepest cascade stage reached classifies the query for the
+// serving-layer counters.
+void FinalizeCounters(SearchCounters* c, size_t dataset_size) {
+  c->entries_pruned_node = dataset_size - c->lb_evaluations;
+  if (c->exact_evaluations > 0) {
+    c->cascade_stage = CascadeStage::kExact;
+  } else if (c->lb_evaluations > 0) {
+    c->cascade_stage = CascadeStage::kLeafFilter;
+  } else {
+    c->cascade_stage = CascadeStage::kNodePrune;
+  }
+}
 
 // Max-heap of the k best (distance, id) pairs; exposes the pruning bound.
 // Ordering is lexicographic on (distance, id): equal distances keep the
@@ -54,6 +70,7 @@ class TopK {
 
 KnnResult LinearScanKnn(const Dataset& dataset,
                         const std::vector<double>& query, size_t k) {
+  SAPLA_TRACE_SPAN("knn/linear_scan");
   KnnResult result;
   if (k == 0) return result;
   TopK top(k);
@@ -61,6 +78,8 @@ KnnResult LinearScanKnn(const Dataset& dataset,
     top.Offer(EuclideanDistance(query, dataset.series[i].values), i);
   result.neighbors = top.Sorted();
   result.num_measured = dataset.size();
+  result.counters.exact_evaluations = dataset.size();
+  result.counters.cascade_stage = CascadeStage::kExact;
   return result;
 }
 
@@ -73,6 +92,7 @@ SimilarityIndex::SimilarityIndex(Method method, size_t m, IndexKind kind,
 SimilarityIndex::~SimilarityIndex() = default;
 
 Status SimilarityIndex::Build(const Dataset& dataset, BuildInfo* info) {
+  SAPLA_TRACE_SPAN("index/build");
   if (dataset.size() == 0)
     return Status::InvalidArgument("empty dataset");
   if (dataset.length() < 2)
@@ -127,6 +147,7 @@ TreeStats SimilarityIndex::stats() const {
 
 KnnResult SimilarityIndex::Knn(const std::vector<double>& query,
                                size_t k) const {
+  SAPLA_TRACE_SPAN("knn/query");
   SAPLA_DCHECK(dataset_ != nullptr);
   SAPLA_DCHECK(query.size() == dataset_->length());
   KnnResult result;
@@ -138,17 +159,30 @@ KnnResult SimilarityIndex::Knn(const std::vector<double>& query,
   // Leaf-entry handler, backend-agnostic: lower-bound filter (Dist_LB
   // against the raw query for segment methods — rigorous), then the exact
   // (counted) refinement on the raw series.
+  SearchCounters& c = result.counters;
   const auto visit = [&](size_t id, double bound) {
     const double lb = FilterDistance(query_fitter, query_rep, reps_[id]);
+    ++c.lb_evaluations;
     if (lb <= bound) {
       const double exact =
           EuclideanDistance(query, dataset_->series[id].values);
       ++result.num_measured;
+      ++c.exact_evaluations;
+      if (exact > 0.0) {
+        c.lb_tightness_sum += lb / exact;
+        ++c.lb_tightness_count;
+      }
       top.Offer(exact, id);
+    } else {
+      ++c.entries_pruned_leaf;
     }
     return top.Bound();
   };
-  backend_->BestFirstSearch(query, query_rep, visit);
+  {
+    SAPLA_TRACE_SPAN("knn/traverse");
+    backend_->BestFirstSearch(query, query_rep, visit, &c);
+  }
+  FinalizeCounters(&c, dataset_->size());
 
   result.neighbors = top.Sorted();
   return result;
@@ -156,6 +190,7 @@ KnnResult SimilarityIndex::Knn(const std::vector<double>& query,
 
 KnnResult SimilarityIndex::RangeSearch(const std::vector<double>& query,
                                        double radius) const {
+  SAPLA_TRACE_SPAN("range/query");
   SAPLA_DCHECK(dataset_ != nullptr);
   SAPLA_DCHECK(query.size() == dataset_->length());
   const Representation query_rep = reducer_->Reduce(query, m_);
@@ -164,17 +199,30 @@ KnnResult SimilarityIndex::RangeSearch(const std::vector<double>& query,
   KnnResult result;
   // The pruning bound is the fixed radius: visit never tightens it, so the
   // traversal enumerates exactly the nodes/entries within range.
+  SearchCounters& c = result.counters;
   const auto visit = [&](size_t id, double /*bound*/) {
     const double lb = FilterDistance(query_fitter, query_rep, reps_[id]);
+    ++c.lb_evaluations;
     if (lb <= radius) {
       const double exact =
           EuclideanDistance(query, dataset_->series[id].values);
       ++result.num_measured;
+      ++c.exact_evaluations;
+      if (exact > 0.0) {
+        c.lb_tightness_sum += lb / exact;
+        ++c.lb_tightness_count;
+      }
       if (exact <= radius) result.neighbors.emplace_back(exact, id);
+    } else {
+      ++c.entries_pruned_leaf;
     }
     return radius;
   };
-  backend_->BestFirstSearch(query, query_rep, visit);
+  {
+    SAPLA_TRACE_SPAN("range/traverse");
+    backend_->BestFirstSearch(query, query_rep, visit, &c);
+  }
+  FinalizeCounters(&c, dataset_->size());
 
   // Pair sort: ascending distance, ties by ascending id — deterministic
   // regardless of backend traversal order.
@@ -184,6 +232,7 @@ KnnResult SimilarityIndex::RangeSearch(const std::vector<double>& query,
 
 KnnResult SimilarityIndex::KnnLowerBound(const std::vector<double>& query,
                                          size_t k) const {
+  SAPLA_TRACE_SPAN("knn/lower_bound");
   SAPLA_DCHECK(dataset_ != nullptr);
   SAPLA_DCHECK(query.size() == dataset_->length());
   KnnResult result;
@@ -194,11 +243,14 @@ KnnResult SimilarityIndex::KnnLowerBound(const std::vector<double>& query,
   for (size_t id = 0; id < reps_.size(); ++id)
     top.Offer(FilterDistance(query_fitter, query_rep, reps_[id]), id);
   result.neighbors = top.Sorted();
+  result.counters.lb_evaluations = reps_.size();
+  result.counters.cascade_stage = CascadeStage::kLeafFilter;
   return result;
 }
 
 KnnResult SimilarityIndex::RangeSearchLowerBound(
     const std::vector<double>& query, double radius) const {
+  SAPLA_TRACE_SPAN("range/lower_bound");
   SAPLA_DCHECK(dataset_ != nullptr);
   SAPLA_DCHECK(query.size() == dataset_->length());
   const Representation query_rep = reducer_->Reduce(query, m_);
@@ -209,6 +261,8 @@ KnnResult SimilarityIndex::RangeSearchLowerBound(
     if (lb <= radius) result.neighbors.emplace_back(lb, id);
   }
   std::sort(result.neighbors.begin(), result.neighbors.end());
+  result.counters.lb_evaluations = reps_.size();
+  result.counters.cascade_stage = CascadeStage::kLeafFilter;
   return result;
 }
 

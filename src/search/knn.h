@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "index/index_backend.h"
+#include "obs/counters.h"
 #include "reduction/representation.h"
 #include "ts/time_series.h"
 #include "util/status.h"
@@ -37,6 +38,11 @@ struct KnnResult {
   std::vector<std::pair<double, size_t>> neighbors;
   /// Series whose raw distance was computed ("had to be measured").
   size_t num_measured = 0;
+  /// Per-query work breakdown (obs/counters.h): node expansions by level,
+  /// entries pruned at node vs. leaf, lower-bound / exact evaluation counts
+  /// and tightness. Invariant: counters.exact_evaluations == num_measured.
+  /// Deterministic — identical between Knn and KnnBatch at any thread count.
+  SearchCounters counters;
 };
 
 /// Exact k-NN by full linear scan; num_measured == dataset size (0 when

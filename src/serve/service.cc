@@ -7,6 +7,8 @@
 #include <tuple>
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace sapla {
 namespace {
 
@@ -196,6 +198,7 @@ void QueryService::ResolveExpired(Request* request) {
                                                          request->radius);
     response.approximate = true;
     metrics_.degraded.fetch_add(1);
+    metrics_.search.Add(response.result.counters, index_.dataset_size());
   }
   response.total_us = ElapsedUs(request->admitted, Clock::now());
   metrics_.total_us.Record(response.total_us);
@@ -203,6 +206,7 @@ void QueryService::ResolveExpired(Request* request) {
 }
 
 void QueryService::Flush(std::vector<std::unique_ptr<Request>> batch) {
+  SAPLA_TRACE_SPAN("serve/flush");
   const Clock::time_point flush_start = Clock::now();
   metrics_.batches_flushed.fetch_add(1);
   metrics_.batch_size.Record(batch.size());
@@ -247,11 +251,14 @@ void QueryService::Flush(std::vector<std::unique_ptr<Request>> batch) {
     };
 
     const Clock::time_point exec_start = Clock::now();
-    std::vector<KnnResult> results =
-        std::get<0>(key) == ServeOp::kKnn
-            ? index_.KnnBatch(queries, group.front()->k, batch_options)
-            : index_.RangeSearchBatch(queries, group.front()->radius,
-                                      batch_options);
+    std::vector<KnnResult> results;
+    {
+      SAPLA_TRACE_SPAN("serve/exec_group");
+      results = std::get<0>(key) == ServeOp::kKnn
+                    ? index_.KnnBatch(queries, group.front()->k, batch_options)
+                    : index_.RangeSearchBatch(queries, group.front()->radius,
+                                              batch_options);
+    }
     const uint64_t exec_us = ElapsedUs(exec_start, Clock::now());
 
     for (size_t i = 0; i < group.size(); ++i) {
@@ -261,6 +268,7 @@ void QueryService::Flush(std::vector<std::unique_ptr<Request>> batch) {
         ResolveExpired(request);
         continue;
       }
+      metrics_.search.Add(results[i].counters, index_.dataset_size());
       if (cache_.capacity() > 0) {
         ResultCacheKey cache_key;
         cache_key.op = request->op;

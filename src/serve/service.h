@@ -27,8 +27,9 @@
 //   caching     A sharded LRU result cache (serve/result_cache.h) answers
 //               repeated queries at admission time; exact results only,
 //               explicitly invalidated via InvalidateCache() on rebuild.
-//   metrics     Queue depth, batch sizes, cache hits, deadline misses and
-//               per-stage latency, exported through serve/metrics.h.
+//   metrics     Queue depth, batch sizes, cache hits, deadline misses,
+//               per-stage latency and aggregated per-query search counters,
+//               exported through obs/metrics.h (Prometheus text or JSON).
 //
 // Thread-safety: every public method may be called concurrently from any
 // thread. The index must outlive the service and stay immutable while the
@@ -42,8 +43,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "search/knn.h"
-#include "serve/metrics.h"
 #include "serve/result_cache.h"
 #include "util/bounded_queue.h"
 #include "util/status.h"
@@ -125,7 +126,7 @@ class QueryService {
   /// joins the scheduler. Idempotent; later submissions get kUnavailable.
   void Stop();
 
-  /// Live metrics registry (wait-free readers, see serve/metrics.h).
+  /// Live metrics registry (wait-free readers, see obs/metrics.h).
   const ServeMetrics& metrics() const { return metrics_; }
 
   /// Point-in-time snapshot of every counter and histogram.

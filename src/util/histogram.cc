@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace sapla {
 namespace {
@@ -41,6 +42,11 @@ uint64_t Histogram::BucketUpper(size_t b) {
   return BucketTable()[std::min(b, kNumBuckets - 1)];
 }
 
+uint64_t Histogram::BucketCount(size_t b) const {
+  return counts_[std::min(b, kNumBuckets - 1)].load(
+      std::memory_order_relaxed);
+}
+
 void Histogram::Record(uint64_t value) {
   counts_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
   sum_.fetch_add(value, std::memory_order_relaxed);
@@ -64,7 +70,7 @@ double Histogram::Mean() const {
   // Snapshot counts first: a Record between reading sum_ and the buckets
   // can only make the mean slightly stale, never divide by zero.
   const uint64_t count = Count();
-  if (count == 0) return 0.0;
+  if (count == 0) return std::numeric_limits<double>::quiet_NaN();
   return static_cast<double>(Sum()) / static_cast<double>(count);
 }
 
@@ -75,7 +81,7 @@ double Histogram::Quantile(double q) const {
     snap[b] = counts_[b].load(std::memory_order_relaxed);
     total += snap[b];
   }
-  if (total == 0) return 0.0;
+  if (total == 0) return std::numeric_limits<double>::quiet_NaN();
   q = std::clamp(q, 0.0, 1.0);
   const uint64_t target =
       std::max<uint64_t>(1, static_cast<uint64_t>(std::ceil(q * total)));

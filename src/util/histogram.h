@@ -36,11 +36,13 @@ class Histogram {
   /// Sum of all recorded values (exact, not bucket-approximated).
   uint64_t Sum() const;
 
-  /// Mean of recorded values; 0 when empty.
+  /// Mean of recorded values; NaN when empty (an empty histogram has no
+  /// mean — reporting 0 used to masquerade as a real measurement).
   double Mean() const;
 
   /// Approximate q-quantile (q in [0, 1]) by in-bucket linear
-  /// interpolation; 0 when empty.
+  /// interpolation; NaN when empty (an empty histogram has no percentiles —
+  /// the table writers render this as "--").
   double Quantile(double q) const;
 
   /// Largest recorded value, exact. 0 when empty.
@@ -56,6 +58,10 @@ class Histogram {
 
   /// Inclusive upper bound of bucket `b` (exposed for tests).
   static uint64_t BucketUpper(size_t b);
+
+  /// Current count of bucket `b` (concurrent-safe instantaneous read; the
+  /// Prometheus exposition writer emits these as cumulative le-buckets).
+  uint64_t BucketCount(size_t b) const;
 
  private:
   std::array<std::atomic<uint64_t>, kNumBuckets> counts_;

@@ -4,6 +4,8 @@
 #include <atomic>
 #include <exception>
 
+#include "obs/trace.h"
+
 namespace sapla {
 namespace {
 
@@ -109,6 +111,7 @@ void ParallelFor(size_t begin, size_t end,
   std::exception_ptr first_error;
 
   const auto run_chunk = [&](size_t c) {
+    SAPLA_TRACE_SPAN("parallel/chunk");
     const auto [start, stop] = ParallelChunk(begin, end, chunks, c);
     t_in_parallel_for = true;
     try {

@@ -4,6 +4,7 @@
 
 #include "util/histogram.h"
 
+#include <cmath>
 #include <thread>
 #include <vector>
 
@@ -34,8 +35,8 @@ TEST(HistogramBuckets, BucketForIsConsistentWithUpperBounds) {
 TEST(Histogram, ExactCountersAndEmptyQuantiles) {
   Histogram h;
   EXPECT_EQ(h.Count(), 0u);
-  EXPECT_EQ(h.Mean(), 0.0);
-  EXPECT_EQ(h.Quantile(0.5), 0.0);
+  EXPECT_TRUE(std::isnan(h.Mean()));
+  EXPECT_TRUE(std::isnan(h.Quantile(0.5)));
 
   h.Record(10);
   h.Record(20);
@@ -71,7 +72,38 @@ TEST(Histogram, ResetZeroesEverything) {
   EXPECT_EQ(h.Count(), 0u);
   EXPECT_EQ(h.Sum(), 0u);
   EXPECT_EQ(h.Max(), 0u);
-  EXPECT_EQ(h.Quantile(0.99), 0.0);
+  EXPECT_TRUE(std::isnan(h.Quantile(0.99)));
+}
+
+// Regression: an empty histogram used to report bucket 0's lower edge as
+// every percentile, so a service that had served zero requests claimed
+// p50 == p95 == p99 == 0µs with count 0 — indistinguishable from "all
+// requests were instant". Empty must be unrepresentable as a number.
+TEST(Histogram, EmptyQuantilesAreNotANumber) {
+  Histogram h;
+  for (const double q : {0.0, 0.5, 0.95, 0.99, 1.0})
+    EXPECT_TRUE(std::isnan(h.Quantile(q))) << q;
+  EXPECT_TRUE(std::isnan(h.Mean()));
+  // One sample flips every statistic back to finite.
+  h.Record(7);
+  for (const double q : {0.0, 0.5, 0.95, 0.99, 1.0})
+    EXPECT_TRUE(std::isfinite(h.Quantile(q))) << q;
+  EXPECT_DOUBLE_EQ(h.Mean(), 7.0);
+}
+
+TEST(Histogram, BucketCountExposesRawBuckets) {
+  Histogram h;
+  h.Record(1);
+  h.Record(1);
+  h.Record(1u << 20);
+  EXPECT_EQ(h.BucketCount(Histogram::BucketFor(1)), 2u);
+  EXPECT_EQ(h.BucketCount(Histogram::BucketFor(1u << 20)), 1u);
+  uint64_t total = 0;
+  for (size_t b = 0; b < Histogram::kNumBuckets; ++b) total += h.BucketCount(b);
+  EXPECT_EQ(total, h.Count());
+  // Out-of-range bucket indexes clamp to the catch-all top bucket.
+  EXPECT_EQ(h.BucketCount(Histogram::kNumBuckets + 5),
+            h.BucketCount(Histogram::kNumBuckets - 1));
 }
 
 TEST(Histogram, ConcurrentRecordLosesNothing) {

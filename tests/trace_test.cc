@@ -1,0 +1,215 @@
+// Tests for the tracing subsystem (obs/trace.h): enable/disable gating,
+// clearing, span nesting depth — including spans recorded on thread-pool
+// workers — and Chrome trace-event JSON structure.
+
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/parallel.h"
+
+namespace sapla {
+namespace {
+
+// With -DSAPLA_OBS=OFF the span macro expands to nothing, so tests that
+// assert spans were recorded cannot hold; the gating/empty-export tests
+// still run.
+#ifdef SAPLA_OBS_DISABLED
+#define SKIP_IF_TRACING_COMPILED_OUT() \
+  GTEST_SKIP() << "tracing compiled out (SAPLA_OBS=OFF)"
+#else
+#define SKIP_IF_TRACING_COMPILED_OUT() (void)0
+#endif
+
+// Every test starts from a clean, disabled recorder. Trace state is
+// process-global, so these tests must not run concurrently with each other
+// (gtest runs them serially in one process — fine).
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::SetTraceEnabled(false);
+    obs::ClearTrace();
+  }
+  void TearDown() override {
+    obs::SetTraceEnabled(false);
+    obs::ClearTrace();
+  }
+};
+
+TEST_F(TraceTest, DisabledRecordsNothing) {
+  { SAPLA_TRACE_SPAN("should-not-appear"); }
+  EXPECT_TRUE(obs::CollectTrace().empty());
+  EXPECT_EQ(obs::TraceDroppedEvents(), 0u);
+}
+
+TEST_F(TraceTest, EnabledRecordsCompletedSpans) {
+  SKIP_IF_TRACING_COMPILED_OUT();
+  obs::SetTraceEnabled(true);
+  {
+    SAPLA_TRACE_SPAN("outer");
+    { SAPLA_TRACE_SPAN("inner"); }
+  }
+  const std::vector<obs::TraceEvent> events = obs::CollectTrace();
+  ASSERT_EQ(events.size(), 2u);
+  // Same thread, so both events carry the same tid and the inner span
+  // nests one level deeper than the outer.
+  EXPECT_EQ(events[0].tid, events[1].tid);
+  const auto outer = std::find_if(events.begin(), events.end(), [](auto& e) {
+    return std::strcmp(e.name, "outer") == 0;
+  });
+  const auto inner = std::find_if(events.begin(), events.end(), [](auto& e) {
+    return std::strcmp(e.name, "inner") == 0;
+  });
+  ASSERT_NE(outer, events.end());
+  ASSERT_NE(inner, events.end());
+  EXPECT_EQ(outer->depth, 0u);
+  EXPECT_EQ(inner->depth, 1u);
+  EXPECT_GE(inner->start_us, outer->start_us);
+  EXPECT_LE(inner->dur_us, outer->dur_us);
+}
+
+TEST_F(TraceTest, ClearDropsEverything) {
+  SKIP_IF_TRACING_COMPILED_OUT();
+  obs::SetTraceEnabled(true);
+  { SAPLA_TRACE_SPAN("gone"); }
+  ASSERT_FALSE(obs::CollectTrace().empty());
+  obs::ClearTrace();
+  EXPECT_TRUE(obs::CollectTrace().empty());
+}
+
+TEST_F(TraceTest, SpanOpenedWhileDisabledNeverRecords) {
+  // Enable mid-span: the span was opened disabled, so it must not record.
+  obs::ScopedSpan* span = new obs::ScopedSpan("opened-disabled");
+  obs::SetTraceEnabled(true);
+  delete span;
+  EXPECT_TRUE(obs::CollectTrace().empty());
+}
+
+TEST_F(TraceTest, NestingAcrossThreadPoolWorkers) {
+  SKIP_IF_TRACING_COMPILED_OUT();
+  obs::SetTraceEnabled(true);
+  // ParallelFor wraps every chunk in a "parallel/chunk" span; the body
+  // opens its own span inside it. With >= 2 threads at least two distinct
+  // tids appear (the caller runs chunk 0, a worker runs chunk 1), and on
+  // every thread the body span nests under the chunk span.
+  std::atomic<size_t> sink{0};
+  ParallelFor(
+      0, 8,
+      [&](size_t i) {
+        SAPLA_TRACE_SPAN("test/body");
+        sink.fetch_add(i);
+      },
+      /*num_threads=*/2);
+  const std::vector<obs::TraceEvent> events = obs::CollectTrace();
+  std::set<uint32_t> chunk_tids;
+  size_t bodies = 0;
+  for (const obs::TraceEvent& e : events) {
+    if (std::strcmp(e.name, "parallel/chunk") == 0) {
+      EXPECT_EQ(e.depth, 0u);
+      chunk_tids.insert(e.tid);
+    } else if (std::strcmp(e.name, "test/body") == 0) {
+      EXPECT_EQ(e.depth, 1u);  // nested inside its thread's chunk span
+      ++bodies;
+    }
+  }
+  EXPECT_EQ(bodies, 8u);
+  EXPECT_GE(chunk_tids.size(), 2u);
+  // Depth bookkeeping returned to 0: a fresh span on this thread is
+  // outermost again.
+  { SAPLA_TRACE_SPAN("after"); }
+  const auto after = obs::CollectTrace();
+  const auto it = std::find_if(after.begin(), after.end(), [](auto& e) {
+    return std::strcmp(e.name, "after") == 0;
+  });
+  ASSERT_NE(it, after.end());
+  EXPECT_EQ(it->depth, 0u);
+}
+
+TEST_F(TraceTest, EventsSurviveThreadExit) {
+  SKIP_IF_TRACING_COMPILED_OUT();
+  obs::SetTraceEnabled(true);
+  std::thread t([] { SAPLA_TRACE_SPAN("ephemeral-thread"); });
+  t.join();
+  const std::vector<obs::TraceEvent> events = obs::CollectTrace();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "ephemeral-thread");
+}
+
+// A tiny structural JSON validator — enough to prove the export is
+// well-formed (balanced containers, correctly quoted strings, no trailing
+// commas), which is what chrome://tracing requires to load the file.
+bool JsonWellFormed(const std::string& s) {
+  std::vector<char> stack;
+  bool in_string = false;
+  bool escaped = false;
+  char prev_significant = '\0';
+  for (const char c : s) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+        prev_significant = '"';
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{' || c == '[') {
+      stack.push_back(c);
+      prev_significant = c;
+    } else if (c == '}' || c == ']') {
+      if (prev_significant == ',') return false;  // trailing comma
+      if (stack.empty()) return false;
+      const char open = stack.back();
+      stack.pop_back();
+      if ((c == '}') != (open == '{')) return false;
+      prev_significant = c;
+    } else if (!std::isspace(static_cast<unsigned char>(c))) {
+      prev_significant = c;
+    }
+  }
+  return !in_string && stack.empty();
+}
+
+TEST_F(TraceTest, ChromeJsonIsWellFormed) {
+  SKIP_IF_TRACING_COMPILED_OUT();
+  obs::SetTraceEnabled(true);
+  {
+    SAPLA_TRACE_SPAN("json/a");
+    SAPLA_TRACE_SPAN("json/b");
+  }
+  ParallelFor(0, 4, [](size_t) { SAPLA_TRACE_SPAN("json/worker"); }, 2);
+  const std::string json = obs::TraceToChromeJson();
+  EXPECT_TRUE(JsonWellFormed(json)) << json;
+  // Chrome trace-event structure: a traceEvents array of complete events.
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"json/worker\""), std::string::npos);
+  // One event object per collected span.
+  const std::vector<obs::TraceEvent> events = obs::CollectTrace();
+  size_t event_objects = 0;
+  for (size_t pos = 0; (pos = json.find("\"ph\"", pos)) != std::string::npos;
+       ++pos)
+    ++event_objects;
+  EXPECT_EQ(event_objects, events.size());
+}
+
+TEST_F(TraceTest, EmptyTraceIsStillValidJson) {
+  const std::string json = obs::TraceToChromeJson();
+  EXPECT_TRUE(JsonWellFormed(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sapla

@@ -16,8 +16,14 @@
 // `--deadline-us` attaches a per-request deadline; with `--degraded=1`
 // expired requests still return an approximate lower-bound-only answer.
 // The run ends after `--duration-s` seconds (open) or `--requests` per
-// client (closed) and prints the service's full metrics table plus an
-// outcome summary; `--json=FILE` writes the metrics table machine-readable.
+// client (closed) — or on SIGINT, which stops the clients gracefully so
+// the final metrics still print — and reports the service's full metrics
+// table plus an outcome summary. Exports:
+//
+//   --json=FILE         the metrics table, machine-readable
+//   --metrics-out=FILE  Prometheus text exposition of every serve metric
+//   --trace-out=FILE    enables tracing and writes a Chrome trace-event
+//                       JSON (load in chrome://tracing or Perfetto)
 //
 //   sapla_loadgen --mode=open --qps=2000 --threads=4 --deadline-us=5000
 //   sapla_loadgen --mode=closed --threads=8 --requests=500 --cache=512
@@ -25,9 +31,12 @@
 // Dataset/index knobs: --series --n --m --k --method --tree
 // Service knobs:       --max-batch --max-delay-us --queue --cache
 //                      --batch-threads (fan-out of one flush; 0 = hardware)
+// Reproducibility:     --seed perturbs the query pool and every client's
+//                      zipfian draw sequence (same seed => same workload)
 
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <future>
@@ -36,7 +45,8 @@
 #include <vector>
 
 #include "search/knn.h"
-#include "serve/metrics.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/service.h"
 #include "ts/synthetic_archive.h"
 #include "util/parallel.h"
@@ -47,6 +57,12 @@
 namespace sapla {
 namespace {
 
+// Set by the SIGINT handler; the client loops poll it so Ctrl-C ends the
+// run early but still prints (and writes) the final metrics.
+std::atomic<bool> g_interrupted{false};
+
+void HandleSigint(int) { g_interrupted.store(true); }
+
 struct Config {
   // Workload.
   std::string mode = "closed";
@@ -56,6 +72,7 @@ struct Config {
   double qps = 1000.0;       // aggregate arrival rate (open loop)
   size_t pool = 64;
   double zipf = 0.99;
+  uint64_t seed = 0;  // perturbs the query pool + zipfian draws
   size_t k = 16;
   uint64_t deadline_us = 0;  // 0 = none
   // Dataset/index.
@@ -72,16 +89,19 @@ struct Config {
   size_t batch_threads = 0;
   bool degraded = false;
   std::string json_path;
+  std::string metrics_path;  // Prometheus text exposition
+  std::string trace_path;    // Chrome trace-event JSON
 };
 
 [[noreturn]] void Usage(const char* argv0) {
   fprintf(stderr,
           "usage: %s [--mode=closed|open] [--threads=T] [--requests=R]\n"
           "          [--duration-s=S] [--qps=Q] [--pool=P] [--zipf=Z]\n"
-          "          [--k=K] [--deadline-us=D] [--series=S] [--n=N] [--m=M]\n"
-          "          [--method=SAPLA] [--tree=dbch|rtree] [--max-batch=B]\n"
-          "          [--max-delay-us=U] [--queue=C] [--cache=E]\n"
-          "          [--batch-threads=T] [--degraded=0|1] [--json=FILE]\n",
+          "          [--seed=S] [--k=K] [--deadline-us=D] [--series=S]\n"
+          "          [--n=N] [--m=M] [--method=SAPLA] [--tree=dbch|rtree]\n"
+          "          [--max-batch=B] [--max-delay-us=U] [--queue=C]\n"
+          "          [--cache=E] [--batch-threads=T] [--degraded=0|1]\n"
+          "          [--json=FILE] [--metrics-out=FILE] [--trace-out=FILE]\n",
           argv0);
   exit(2);
 }
@@ -111,6 +131,8 @@ Config ParseFlags(int argc, char** argv) {
       config.pool = num();
     } else if (key == "zipf") {
       config.zipf = real();
+    } else if (key == "seed") {
+      config.seed = num();
     } else if (key == "k") {
       config.k = num();
     } else if (key == "deadline-us") {
@@ -151,6 +173,10 @@ Config ParseFlags(int argc, char** argv) {
       config.degraded = value != "0";
     } else if (key == "json") {
       config.json_path = value;
+    } else if (key == "metrics-out") {
+      config.metrics_path = value;
+    } else if (key == "trace-out") {
+      config.trace_path = value;
     } else {
       Usage(argv[0]);
     }
@@ -160,7 +186,7 @@ Config ParseFlags(int argc, char** argv) {
 
 std::vector<std::vector<double>> MakeQueryPool(const Dataset& ds,
                                                const Config& config) {
-  Rng rng(0x5EEDF00D);
+  Rng rng(0x5EEDF00D ^ config.seed);
   std::vector<std::vector<double>> pool;
   pool.reserve(config.pool);
   for (size_t q = 0; q < config.pool; ++q) {
@@ -202,10 +228,12 @@ double RunClosed(QueryService& service,
   std::vector<std::thread> clients;
   for (size_t c = 0; c < config.threads; ++c) {
     clients.emplace_back([&, c] {
-      Rng rng(0x10AD + c);
-      for (size_t r = 0; r < config.requests; ++r)
+      Rng rng(config.seed * 0x9E3779B9 + 0x10AD + c);
+      for (size_t r = 0; r < config.requests; ++r) {
+        if (g_interrupted.load()) break;
         outcomes->Count(service.Knn(pool[zipf.Sample(rng)], config.k,
                                     config.deadline_us));
+      }
     });
   }
   for (auto& t : clients) t.join();
@@ -225,7 +253,7 @@ double RunOpen(QueryService& service,
   std::vector<std::thread> clients;
   for (size_t c = 0; c < config.threads; ++c) {
     clients.emplace_back([&, c] {
-      Rng rng(0x10AD + c);
+      Rng rng(config.seed * 0x9E3779B9 + 0x10AD + c);
       const ZipfSampler zipf(pool.size(), config.zipf);
       std::vector<std::future<ServeResponse>> in_flight;
       const auto start = Clock::now();
@@ -233,7 +261,7 @@ double RunOpen(QueryService& service,
           start + std::chrono::duration_cast<Clock::duration>(
                       std::chrono::duration<double>(config.duration_s));
       auto next = start;
-      while (next < end) {
+      while (next < end && !g_interrupted.load()) {
         std::this_thread::sleep_until(next);
         in_flight.push_back(service.SubmitKnn(pool[zipf.Sample(rng)],
                                               config.k, config.deadline_us));
@@ -256,6 +284,8 @@ double RunOpen(QueryService& service,
 int Run(int argc, char** argv) {
   const Config config = ParseFlags(argc, argv);
   SetNumThreads(config.batch_threads);
+  std::signal(SIGINT, HandleSigint);
+  if (!config.trace_path.empty()) obs::SetTraceEnabled(true);
 
   SyntheticOptions opt;
   opt.length = config.n;
@@ -289,6 +319,8 @@ int Run(int argc, char** argv) {
                           ? RunClosed(service, pool, config, &outcomes)
                           : RunOpen(service, pool, config, &outcomes);
   service.Stop();
+  if (g_interrupted.load())
+    printf("\ninterrupted; reporting metrics for the partial run\n");
 
   const uint64_t total = outcomes.ok.load() + outcomes.overloaded.load() +
                          outcomes.deadline.load() + outcomes.other.load();
@@ -316,6 +348,20 @@ int Run(int argc, char** argv) {
   if (!config.json_path.empty() && !t.WriteJson(config.json_path)) {
     fprintf(stderr, "could not write %s\n", config.json_path.c_str());
     return 1;
+  }
+  if (!config.metrics_path.empty() &&
+      !WritePrometheus(service.metrics(), config.metrics_path)) {
+    fprintf(stderr, "could not write %s\n", config.metrics_path.c_str());
+    return 1;
+  }
+  if (!config.trace_path.empty()) {
+    obs::SetTraceEnabled(false);
+    if (!obs::WriteChromeTrace(config.trace_path)) {
+      fprintf(stderr, "could not write %s\n", config.trace_path.c_str());
+      return 1;
+    }
+    printf("trace: %zu events -> %s (load in chrome://tracing)\n",
+           obs::CollectTrace().size(), config.trace_path.c_str());
   }
   return 0;
 }

@@ -1,0 +1,248 @@
+// Validates a Prometheus text-exposition file (the format sapla_loadgen's
+// --metrics-out and MetricsToPrometheus produce). Checks the things a
+// scrape would choke on:
+//
+//   - line grammar: `# HELP <name> <text>`, `# TYPE <name> <type>`, or
+//     `<name>[{labels}] <value>` with a valid metric name and finite or
+//     +Inf/-Inf/NaN value
+//   - every sample belongs to a family announced by a preceding # TYPE
+//   - counter sample names end in _total
+//   - histograms: have _bucket/_sum/_count series, bucket `le` labels parse
+//     and strictly increase, cumulative bucket counts never decrease, the
+//     last bucket is le="+Inf", and _count equals the +Inf bucket
+//
+// Usage: sapla_promcheck FILE   (exit 0 = valid, 1 = problems found,
+//                                2 = could not read the file)
+//
+// This is a format checker for CI, not a full openmetrics parser: escaped
+// label values and exemplars are out of scope because the exporter never
+// emits them.
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Checker {
+  int errors = 0;
+  int line_no = 0;
+
+  void Fail(const std::string& why, const std::string& line) {
+    fprintf(stderr, "line %d: %s\n  %s\n", line_no, why.c_str(), line.c_str());
+    ++errors;
+  }
+};
+
+bool ValidMetricName(const std::string& name) {
+  if (name.empty()) return false;
+  if (!std::isalpha(static_cast<unsigned char>(name[0])) && name[0] != '_' &&
+      name[0] != ':')
+    return false;
+  for (const char c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' && c != ':')
+      return false;
+  }
+  return true;
+}
+
+bool ParseValue(const std::string& text, double* out) {
+  if (text == "+Inf") {
+    *out = HUGE_VAL;
+    return true;
+  }
+  if (text == "-Inf") {
+    *out = -HUGE_VAL;
+    return true;
+  }
+  if (text == "NaN") {
+    *out = NAN;
+    return true;
+  }
+  char* end = nullptr;
+  *out = std::strtod(text.c_str(), &end);
+  return end != nullptr && *end == '\0' && end != text.c_str();
+}
+
+// Strips a histogram-series suffix to recover the family name.
+std::string FamilyOf(const std::string& sample_name) {
+  for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+    const size_t n = std::strlen(suffix);
+    if (sample_name.size() > n &&
+        sample_name.compare(sample_name.size() - n, n, suffix) == 0)
+      return sample_name.substr(0, sample_name.size() - n);
+  }
+  return sample_name;
+}
+
+struct HistogramSeen {
+  std::vector<std::pair<double, double>> buckets;  // (le, cumulative count)
+  bool has_sum = false;
+  bool has_count = false;
+  double count = 0.0;
+  int first_line = 0;
+};
+
+int Check(std::istream& in) {
+  Checker c;
+  std::map<std::string, std::string> types;  // family -> counter/gauge/...
+  std::map<std::string, HistogramSeen> histograms;
+  std::string line;
+  while (std::getline(in, line)) {
+    ++c.line_no;
+    if (line.empty()) continue;
+
+    if (line[0] == '#') {
+      std::istringstream ss(line);
+      std::string hash, kind, name;
+      ss >> hash >> kind >> name;
+      if (kind != "HELP" && kind != "TYPE") {
+        c.Fail("comment is neither # HELP nor # TYPE", line);
+        continue;
+      }
+      if (!ValidMetricName(name)) {
+        c.Fail("invalid metric name in comment", line);
+        continue;
+      }
+      if (kind == "TYPE") {
+        std::string type;
+        ss >> type;
+        if (type != "counter" && type != "gauge" && type != "histogram" &&
+            type != "summary" && type != "untyped") {
+          c.Fail("unknown metric type \"" + type + "\"", line);
+          continue;
+        }
+        if (types.count(name)) c.Fail("duplicate # TYPE for family", line);
+        types[name] = type;
+      }
+      continue;
+    }
+
+    // Sample line: name[{labels}] value
+    const size_t brace = line.find('{');
+    const size_t name_end = brace != std::string::npos ? brace : line.find(' ');
+    if (name_end == std::string::npos) {
+      c.Fail("sample has no value", line);
+      continue;
+    }
+    const std::string sample_name = line.substr(0, name_end);
+    if (!ValidMetricName(sample_name)) {
+      c.Fail("invalid sample name", line);
+      continue;
+    }
+    std::string labels;
+    size_t value_start;
+    if (brace != std::string::npos) {
+      const size_t close = line.find('}', brace);
+      if (close == std::string::npos) {
+        c.Fail("unterminated label set", line);
+        continue;
+      }
+      labels = line.substr(brace + 1, close - brace - 1);
+      value_start = close + 1;
+    } else {
+      value_start = name_end;
+    }
+    while (value_start < line.size() && line[value_start] == ' ')
+      ++value_start;
+    double value = 0.0;
+    if (!ParseValue(line.substr(value_start), &value)) {
+      c.Fail("unparseable sample value", line);
+      continue;
+    }
+
+    const std::string family = FamilyOf(sample_name);
+    const auto type_it =
+        types.count(sample_name) ? types.find(sample_name) : types.find(family);
+    if (type_it == types.end()) {
+      c.Fail("sample precedes its # TYPE declaration", line);
+      continue;
+    }
+    const std::string& type = type_it->second;
+
+    if (type == "counter") {
+      const size_t n = std::strlen("_total");
+      if (sample_name.size() <= n ||
+          sample_name.compare(sample_name.size() - n, n, "_total") != 0)
+        c.Fail("counter sample does not end in _total", line);
+      if (value < 0.0) c.Fail("negative counter value", line);
+    } else if (type == "histogram") {
+      HistogramSeen& h = histograms[type_it->first];
+      if (h.first_line == 0) h.first_line = c.line_no;
+      if (sample_name == type_it->first + "_bucket") {
+        const std::string key = "le=\"";
+        const size_t le = labels.find(key);
+        if (le == std::string::npos) {
+          c.Fail("histogram bucket without an le label", line);
+          continue;
+        }
+        const size_t end = labels.find('"', le + key.size());
+        double le_value = 0.0;
+        if (end == std::string::npos ||
+            !ParseValue(labels.substr(le + key.size(), end - le - key.size()),
+                        &le_value)) {
+          c.Fail("unparseable le label", line);
+          continue;
+        }
+        h.buckets.emplace_back(le_value, value);
+      } else if (sample_name == type_it->first + "_sum") {
+        h.has_sum = true;
+      } else if (sample_name == type_it->first + "_count") {
+        h.has_count = true;
+        h.count = value;
+      } else {
+        c.Fail("histogram sample is not _bucket/_sum/_count", line);
+      }
+    }
+  }
+
+  for (const auto& [name, h] : histograms) {
+    c.line_no = h.first_line;
+    const std::string tag = "histogram " + name;
+    if (h.buckets.empty()) {
+      c.Fail(tag + " has no buckets", name);
+      continue;
+    }
+    if (!h.has_sum) c.Fail(tag + " is missing _sum", name);
+    if (!h.has_count) c.Fail(tag + " is missing _count", name);
+    for (size_t i = 1; i < h.buckets.size(); ++i) {
+      if (!(h.buckets[i].first > h.buckets[i - 1].first))
+        c.Fail(tag + " le labels do not strictly increase", name);
+      if (h.buckets[i].second < h.buckets[i - 1].second)
+        c.Fail(tag + " cumulative bucket counts decrease", name);
+    }
+    if (!std::isinf(h.buckets.back().first))
+      c.Fail(tag + " does not end with an le=\"+Inf\" bucket", name);
+    else if (h.has_count && h.buckets.back().second != h.count)
+      c.Fail(tag + " _count disagrees with the +Inf bucket", name);
+  }
+
+  if (c.errors > 0) {
+    fprintf(stderr, "%d problem(s) found\n", c.errors);
+    return 1;
+  }
+  printf("ok: %d families (%zu histograms) validated\n",
+         static_cast<int>(types.size()), histograms.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    fprintf(stderr, "usage: %s FILE\n", argv[0]);
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    fprintf(stderr, "could not read %s\n", argv[1]);
+    return 2;
+  }
+  return Check(in);
+}
