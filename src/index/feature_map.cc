@@ -57,12 +57,12 @@ FeatureMapper::FeatureMapper(Method method, size_t m, size_t n)
   }
 }
 
-FeatureMapper::Box FeatureMapper::MapBox(const Representation& rep,
+FeatureMapper::Box FeatureMapper::MapBox(const RepView& rep,
                                          const std::vector<double>& raw) const {
-  SAPLA_DCHECK(rep.method == method_ && rep.n == n_);
+  SAPLA_DCHECK(rep.method() == method_ && rep.n() == n_);
   Box box;
   if (method_ == Method::kCheby || method_ == Method::kDft) {
-    box.lo = rep.coeffs;
+    box.lo.assign(rep.coeffs(), rep.coeffs() + rep.num_coeffs());
     box.lo.resize(dims_, 0.0);
     box.hi = box.lo;
     return box;
@@ -70,9 +70,9 @@ FeatureMapper::Box FeatureMapper::MapBox(const Representation& rep,
   box.lo.reserve(dims_);
   box.hi.reserve(dims_);
   if (method_ == Method::kPla) {
-    for (const auto& seg : rep.segments) {
-      box.lo.push_back(seg.a);
-      box.lo.push_back(seg.b);
+    for (size_t i = 0; i < rep.num_segments(); ++i) {
+      box.lo.push_back(rep.seg_a(i));
+      box.lo.push_back(rep.seg_b(i));
     }
     box.hi = box.lo;
   } else {
@@ -80,14 +80,14 @@ FeatureMapper::Box FeatureMapper::MapBox(const Representation& rep,
     // of the member lies inside it — the key to the MINDIST lower bound)
     // paired with the right endpoint.
     SAPLA_DCHECK(raw.size() == n_);
-    for (size_t i = 0; i < rep.segments.size(); ++i) {
+    for (size_t i = 0; i < rep.num_segments(); ++i) {
       const size_t s = rep.segment_start(i);
       double vmin = raw[s], vmax = raw[s];
-      for (size_t t = s + 1; t <= rep.segments[i].r; ++t) {
+      for (size_t t = s + 1; t <= rep.seg_r(i); ++t) {
         vmin = std::min(vmin, raw[t]);
         vmax = std::max(vmax, raw[t]);
       }
-      const double r = static_cast<double>(rep.segments[i].r);
+      const double r = static_cast<double>(rep.seg_r(i));
       box.lo.push_back(vmin);
       box.hi.push_back(vmax);
       box.lo.push_back(r);
@@ -136,7 +136,7 @@ double FeatureMapper::ApcaRegionMinDist(const std::vector<double>& q,
   return std::sqrt(sum);
 }
 
-double FeatureMapper::PlaBoxMinDist(const Representation& q,
+double FeatureMapper::PlaBoxMinDist(const RepView& q,
                                     const std::vector<double>& lo,
                                     const std::vector<double>& hi) const {
   // Chen et al.: per equal-length segment, the squared distance between two
@@ -150,8 +150,8 @@ double FeatureMapper::PlaBoxMinDist(const Representation& q,
     const double A = l * (l - 1.0) * (2.0 * l - 1.0) / 6.0;
     const double B = l * (l - 1.0);
     const double C = l;
-    const double qa = q.segments[i].a;
-    const double qb = q.segments[i].b;
+    const double qa = q.seg_a(i);
+    const double qb = q.seg_b(i);
     sum += ConvexQuadMinOnBox(A, B, C, lo[2 * i] - qa, hi[2 * i] - qa,
                               lo[2 * i + 1] - qb, hi[2 * i + 1] - qb);
     start = ends[i] + 1;
@@ -160,15 +160,15 @@ double FeatureMapper::PlaBoxMinDist(const Representation& q,
 }
 
 double FeatureMapper::MinDist(const std::vector<double>& query_raw,
-                              const Representation& query_rep,
+                              const RepView& query_rep,
                               const std::vector<double>& lo,
                               const std::vector<double>& hi) const {
   SAPLA_DCHECK(lo.size() == dims_ && hi.size() == dims_);
   switch (method_) {
     case Method::kCheby: {
       double sum = 0.0;
-      for (size_t i = 0; i < dims_ && i < query_rep.coeffs.size(); ++i) {
-        const double gap = ClampGap(query_rep.coeffs[i], lo[i], hi[i]);
+      for (size_t i = 0; i < dims_ && i < query_rep.num_coeffs(); ++i) {
+        const double gap = ClampGap(query_rep.coeffs()[i], lo[i], hi[i]);
         sum += gap * gap;
       }
       return std::sqrt(sum);
@@ -176,10 +176,10 @@ double FeatureMapper::MinDist(const std::vector<double>& query_raw,
     case Method::kDft: {
       // Conjugate-mirror weighting: interior bins count twice (cf. DftDist).
       double sum = 0.0;
-      for (size_t i = 0; i < dims_ && i < query_rep.coeffs.size(); ++i) {
+      for (size_t i = 0; i < dims_ && i < query_rep.num_coeffs(); ++i) {
         const size_t k = i / 2;
         const double weight = (k == 0 || 2 * k == n_) ? 1.0 : 2.0;
-        const double gap = ClampGap(query_rep.coeffs[i], lo[i], hi[i]);
+        const double gap = ClampGap(query_rep.coeffs()[i], lo[i], hi[i]);
         sum += weight * gap * gap;
       }
       return std::sqrt(sum);

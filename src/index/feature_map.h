@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "reduction/representation.h"
+#include "reduction/representation_store.h"
 
 namespace sapla {
 
@@ -33,26 +34,41 @@ class FeatureMapper {
     std::vector<double> lo, hi;
   };
 
-  /// Maps one representation (must match method/M/n) to its feature box.
-  /// For the APCA-family mapping the value dims span the segment's RAW
+  /// Maps one representation view (must match method/M/n) to its feature
+  /// box. For the APCA-family mapping the value dims span the segment's RAW
   /// min/max (Keogh's construction — this is what makes the region MINDIST
   /// a true lower bound), so the raw series is required; PLA and CHEBY
-  /// produce point boxes from the coefficients alone.
-  Box MapBox(const Representation& rep, const std::vector<double>& raw) const;
+  /// produce point boxes from the coefficients alone. Both corpus layouts
+  /// (columnar store slices and borrowed Representations) go through this
+  /// one implementation, so the boxes — and therefore the built trees —
+  /// are identical between them.
+  Box MapBox(const RepView& rep, const std::vector<double>& raw) const;
+
+  /// Convenience over the AoS interchange type.
+  Box MapBox(const Representation& rep, const std::vector<double>& raw) const {
+    return MapBox(RepView::Of(rep), raw);
+  }
 
   /// Lower-bound distance from a query to the axis-aligned box [lo, hi].
   /// `query_raw` is the raw series (used by the APCA region MINDIST);
   /// `query_rep` its reduction (used by the PLA and CHEBY variants).
+  double MinDist(const std::vector<double>& query_raw, const RepView& query_rep,
+                 const std::vector<double>& lo,
+                 const std::vector<double>& hi) const;
+
+  /// Convenience over the AoS interchange type.
   double MinDist(const std::vector<double>& query_raw,
                  const Representation& query_rep,
                  const std::vector<double>& lo,
-                 const std::vector<double>& hi) const;
+                 const std::vector<double>& hi) const {
+    return MinDist(query_raw, RepView::Of(query_rep), lo, hi);
+  }
 
  private:
   double ApcaRegionMinDist(const std::vector<double>& q,
                            const std::vector<double>& lo,
                            const std::vector<double>& hi) const;
-  double PlaBoxMinDist(const Representation& q, const std::vector<double>& lo,
+  double PlaBoxMinDist(const RepView& q, const std::vector<double>& lo,
                        const std::vector<double>& hi) const;
 
   Method method_;

@@ -4,7 +4,7 @@
 #include <mutex>
 #include <utility>
 
-#include "distance/mindist.h"
+#include "distance/kernels.h"
 #include "index/dbch_tree.h"
 #include "index/feature_map.h"
 #include "index/rtree.h"
@@ -14,7 +14,9 @@ namespace {
 
 // R-tree adapter: series ids are mapped to per-method feature boxes
 // (APCA raw-range MBRs, PLA coefficient boxes, CHEBY clamp) and queries
-// prune with the mapper's MINDIST.
+// prune with the mapper's MINDIST. Corpus access goes through
+// ctx.rep_view(id), so the adapter is agnostic to the columnar-vs-AoS
+// layout choice.
 class RTreeBackend : public IndexBackend {
  public:
   explicit RTreeBackend(const IndexBackendContext& ctx)
@@ -27,12 +29,12 @@ class RTreeBackend : public IndexBackend {
 
   void Insert(size_t id) override {
     const FeatureMapper::Box box =
-        mapper_.MapBox((*ctx_.reps)[id], ctx_.dataset->series[id].values);
+        mapper_.MapBox(ctx_.rep_view(id), ctx_.dataset->series[id].values);
     tree_.InsertBox(box.lo, box.hi, id);
   }
 
   void BestFirstSearch(const std::vector<double>& query_raw,
-                       const Representation& query_rep, const VisitFn& visit,
+                       const RepView& query_rep, const VisitFn& visit,
                        SearchCounters* counters) const override {
     tree_.BestFirstSearch(
         [&](const std::vector<double>& lo, const std::vector<double>& hi) {
@@ -50,14 +52,17 @@ class RTreeBackend : public IndexBackend {
 };
 
 // DBCH-tree adapter: the tree stores bare ids and measures everything with
-// the method's lower-bounding distance over stored representations.
+// the method's lower-bounding distance over stored representation views.
 class DbchBackend : public IndexBackend {
  public:
   explicit DbchBackend(const IndexBackendContext& ctx)
       : ctx_(ctx),
         tree_(
             [this](size_t a, size_t b) {
-              return LowerBoundDistance((*ctx_.reps)[a], (*ctx_.reps)[b]);
+              // Build-time only (single-threaded Insert), so one scratch
+              // amortizes the Dist_PAR endpoint buffer across the build.
+              return LowerBoundDistanceView(ctx_.rep_view(a), ctx_.rep_view(b),
+                                            &build_scratch_);
             },
             DbchTree::Options{ctx.options.min_fill, ctx.options.max_fill}) {}
 
@@ -66,11 +71,12 @@ class DbchBackend : public IndexBackend {
   void Insert(size_t id) override { tree_.Insert(id); }
 
   void BestFirstSearch(const std::vector<double>& /*query_raw*/,
-                       const Representation& query_rep, const VisitFn& visit,
+                       const RepView& query_rep, const VisitFn& visit,
                        SearchCounters* counters) const override {
+    DistanceScratch scratch;  // per-query, lives on this caller's stack
     tree_.BestFirstSearch(
         [&](size_t id) {
-          return LowerBoundDistance(query_rep, (*ctx_.reps)[id]);
+          return LowerBoundDistanceView(query_rep, ctx_.rep_view(id), &scratch);
         },
         visit, counters);
   }
@@ -79,6 +85,7 @@ class DbchBackend : public IndexBackend {
 
  private:
   IndexBackendContext ctx_;
+  DistanceScratch build_scratch_;
   DbchTree tree_;
 };
 

@@ -26,6 +26,7 @@
 #include "index/tree_stats.h"
 #include "obs/counters.h"
 #include "reduction/representation.h"
+#include "reduction/representation_store.h"
 #include "ts/time_series.h"
 #include "util/status.h"
 
@@ -42,18 +43,31 @@ std::string IndexKindName(IndexKind kind);
 struct IndexBackendOptions {
   size_t min_fill = 2;
   size_t max_fill = 5;
+  /// Keep the corpus in the legacy AoS `std::vector<Representation>`
+  /// layout instead of the columnar RepresentationStore. Both layouts run
+  /// the identical RepView kernels and produce bit-identical results
+  /// (tests/store_parity_test.cc); this knob exists for that A/B
+  /// validation and for migration benchmarking, not for production use.
+  bool legacy_aos_corpus = false;
 };
 
 /// \brief What a backend is built over: the dataset, its reductions, and
 /// the method configuration. The pointed-to objects are owned by the
 /// caller (SimilarityIndex) and must outlive the backend; backends resolve
-/// ids through them at call time, never copy them.
+/// ids through them at call time, never copy them. Exactly one of `store`
+/// (columnar, canonical) and `reps` (legacy AoS interchange) is non-null.
 struct IndexBackendContext {
   Method method = Method::kSapla;
   size_t m = 0;                                       ///< coefficient budget
   const Dataset* dataset = nullptr;                   ///< raw series by id
-  const std::vector<Representation>* reps = nullptr;  ///< reductions by id
+  const RepresentationStore* store = nullptr;         ///< columnar reductions
+  const std::vector<Representation>* reps = nullptr;  ///< legacy AoS corpus
   IndexBackendOptions options;
+
+  /// View of series `id`'s reduction, over whichever corpus layout is set.
+  RepView rep_view(size_t id) const {
+    return store != nullptr ? store->view(id) : RepView::Of((*reps)[id]);
+  }
 };
 
 /// \brief Abstract index structure over series ids.
@@ -74,14 +88,14 @@ class IndexBackend {
 
   /// Best-first branch-and-bound traversal for one query: nodes are
   /// expanded in increasing lower-bound order and pruned once their bound
-  /// exceeds the bound returned by `visit`. `query_rep` is the query's
-  /// reduction under the context's (method, m). When `counters` is non-null
-  /// the backend records its node-level work (expansions by level, pruned
+  /// exceeds the bound returned by `visit`. `query_rep` is a view of the
+  /// query's reduction under the context's (method, m) — the view must stay
+  /// valid for the duration of the call. When `counters` is non-null the
+  /// backend records its node-level work (expansions by level, pruned
   /// nodes — obs/counters.h) into it; entry-level counters belong to the
   /// search layer's visit callback. Thread-safe after Build.
   virtual void BestFirstSearch(const std::vector<double>& query_raw,
-                               const Representation& query_rep,
-                               const VisitFn& visit,
+                               const RepView& query_rep, const VisitFn& visit,
                                SearchCounters* counters = nullptr) const = 0;
 
   /// Structural statistics (Figs. 15/16). Thread-safe after Build.

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "reduction/representation_store.h"
+
 #include "core/sapla.h"
 #include "reduction/apca.h"
 #include "reduction/apla.h"
@@ -160,6 +162,11 @@ void MinimaxRefit(Representation* rep, const std::vector<double>& original) {
     rep->segments[i].a = fit.line.a;
     rep->segments[i].b = fit.line.b;
   }
+}
+
+size_t Reducer::ReduceInto(const std::vector<double>& values, size_t m,
+                           RepresentationStore* store) const {
+  return store->Append(Reduce(values, m));
 }
 
 std::unique_ptr<Reducer> MakeReducer(Method method) {

@@ -104,6 +104,8 @@ struct Representation {
   double GlobalMaxDeviation(const std::vector<double>& original) const;
 };
 
+class RepresentationStore;  // reduction/representation_store.h
+
 /// \brief Interface implemented by every dimensionality-reduction method.
 class Reducer {
  public:
@@ -116,6 +118,13 @@ class Reducer {
   /// Requires values.size() >= 2 and m >= CoefficientsPerSegment(method()).
   virtual Representation Reduce(const std::vector<double>& values,
                                 size_t m) const = 0;
+
+  /// Reduces `values` and appends the result to the columnar `store`
+  /// (reduction/representation_store.h); returns the new series id. The
+  /// corpus append path — same preconditions as Reduce, plus the store's
+  /// homogeneity contract (one (method, n, alphabet) per store).
+  virtual size_t ReduceInto(const std::vector<double>& values, size_t m,
+                            RepresentationStore* store) const;
 };
 
 /// Factory for any of the eight methods with default options.

@@ -1,0 +1,150 @@
+#include "reduction/representation_store.h"
+
+#include <atomic>
+#include <limits>
+#include <string>
+
+namespace sapla {
+namespace {
+
+uint64_t NextStoreId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+RepresentationStore::RepresentationStore() : store_id_(NextStoreId()) {}
+
+size_t RepresentationStore::Append(const Representation& rep) {
+  if (num_series_ == 0) {
+    method_ = rep.method;
+    n_ = rep.n;
+    alphabet_ = rep.alphabet;
+  } else {
+    SAPLA_DCHECK(rep.method == method_ && rep.n == n_ &&
+                 rep.alphabet == alphabet_);
+  }
+  SAPLA_DCHECK(rep.n <= std::numeric_limits<uint32_t>::max());
+  for (const LinearSegment& seg : rep.segments) {
+    a_.push_back(seg.a);
+    b_.push_back(seg.b);
+    r_.push_back(static_cast<uint32_t>(seg.r));
+  }
+  coeffs_.insert(coeffs_.end(), rep.coeffs.begin(), rep.coeffs.end());
+  symbols_.insert(symbols_.end(), rep.symbols.begin(), rep.symbols.end());
+  seg_off_.push_back(a_.size());
+  coeff_off_.push_back(coeffs_.size());
+  sym_off_.push_back(symbols_.size());
+  return num_series_++;
+}
+
+Representation RepresentationStore::ToRepresentation(size_t id) const {
+  SAPLA_DCHECK(id < num_series_);
+  Representation rep;
+  rep.method = method_;
+  rep.n = n_;
+  rep.alphabet = alphabet_;
+  for (uint64_t i = seg_off_[id]; i < seg_off_[id + 1]; ++i)
+    rep.segments.push_back({a_[i], b_[i], static_cast<size_t>(r_[i])});
+  rep.coeffs.assign(coeffs_.begin() + static_cast<ptrdiff_t>(coeff_off_[id]),
+                    coeffs_.begin() + static_cast<ptrdiff_t>(coeff_off_[id + 1]));
+  rep.symbols.assign(symbols_.begin() + static_cast<ptrdiff_t>(sym_off_[id]),
+                     symbols_.begin() + static_cast<ptrdiff_t>(sym_off_[id + 1]));
+  return rep;
+}
+
+void RepresentationStore::Reset() {
+  method_ = Method::kSapla;
+  n_ = 0;
+  alphabet_ = 0;
+  num_series_ = 0;
+  seg_off_.assign(1, 0);
+  coeff_off_.assign(1, 0);
+  sym_off_.assign(1, 0);
+  a_.clear();
+  b_.clear();
+  r_.clear();
+  coeffs_.clear();
+  symbols_.clear();
+  store_id_ = NextStoreId();
+}
+
+void RepresentationStore::Reserve(size_t num_series, size_t total_segments) {
+  seg_off_.reserve(num_series + 1);
+  coeff_off_.reserve(num_series + 1);
+  sym_off_.reserve(num_series + 1);
+  a_.reserve(total_segments);
+  b_.reserve(total_segments);
+  r_.reserve(total_segments);
+}
+
+Result<RepresentationStore> RepresentationStore::FromColumns(
+    Method method, size_t n, size_t alphabet,
+    std::vector<uint64_t> seg_offsets, std::vector<uint64_t> coeff_offsets,
+    std::vector<uint64_t> symbol_offsets, std::vector<double> a,
+    std::vector<double> b, std::vector<uint32_t> r, std::vector<double> coeffs,
+    std::vector<int> symbols) {
+  const auto bad = [](const std::string& msg) {
+    return Status::InvalidArgument("representation store: " + msg);
+  };
+  if (seg_offsets.empty() || coeff_offsets.size() != seg_offsets.size() ||
+      symbol_offsets.size() != seg_offsets.size())
+    return bad("offset tables must share one size >= 1");
+  const size_t num_series = seg_offsets.size() - 1;
+  const auto check_offsets = [&](const std::vector<uint64_t>& off,
+                                 size_t column_size, const char* name) {
+    if (off.front() != 0)
+      return bad(std::string(name) + " offsets must start at 0");
+    for (size_t i = 0; i + 1 < off.size(); ++i)
+      if (off[i] > off[i + 1])
+        return bad(std::string(name) + " offsets must be nondecreasing");
+    if (off.back() != column_size)
+      return bad(std::string(name) + " offsets do not cover the column");
+    return Status::OK();
+  };
+  if (a.size() != b.size() || a.size() != r.size())
+    return bad("segment columns a/b/r must have equal sizes");
+  Status s = check_offsets(seg_offsets, a.size(), "segment");
+  if (!s.ok()) return s;
+  s = check_offsets(coeff_offsets, coeffs.size(), "coefficient");
+  if (!s.ok()) return s;
+  s = check_offsets(symbol_offsets, symbols.size(), "symbol");
+  if (!s.ok()) return s;
+  // Per-series segment structure: endpoints strictly increasing and the
+  // last one covering the series (what ParseRepresentations checks for v1).
+  for (size_t i = 0; i < num_series; ++i) {
+    const uint64_t lo = seg_offsets[i], hi = seg_offsets[i + 1];
+    for (uint64_t j = lo + 1; j < hi; ++j)
+      if (r[j - 1] >= r[j])
+        return bad("segment endpoints must be strictly increasing (series " +
+                   std::to_string(i) + ")");
+    if (hi > lo && n > 0 && r[hi - 1] != n - 1)
+      return bad("segments do not cover the series (series " +
+                 std::to_string(i) + ")");
+  }
+  RepresentationStore store;
+  store.method_ = method;
+  store.n_ = n;
+  store.alphabet_ = alphabet;
+  store.num_series_ = num_series;
+  store.seg_off_ = std::move(seg_offsets);
+  store.coeff_off_ = std::move(coeff_offsets);
+  store.sym_off_ = std::move(symbol_offsets);
+  store.a_ = std::move(a);
+  store.b_ = std::move(b);
+  store.r_ = std::move(r);
+  store.coeffs_ = std::move(coeffs);
+  store.symbols_ = std::move(symbols);
+  return store;
+}
+
+bool operator==(const RepresentationStore& x, const RepresentationStore& y) {
+  return x.method_ == y.method_ && x.n_ == y.n_ && x.alphabet_ == y.alphabet_ &&
+         x.num_series_ == y.num_series_ && x.seg_off_ == y.seg_off_ &&
+         x.coeff_off_ == y.coeff_off_ && x.sym_off_ == y.sym_off_ &&
+         x.a_ == y.a_ && x.b_ == y.b_ && x.r_ == y.r_ &&
+         x.coeffs_ == y.coeffs_ && x.symbols_ == y.symbols_;
+}
+
+}  // namespace sapla

@@ -1,0 +1,233 @@
+#ifndef SAPLA_REDUCTION_REPRESENTATION_STORE_H_
+#define SAPLA_REDUCTION_REPRESENTATION_STORE_H_
+
+// Columnar (structure-of-arrays) corpus container for reduced
+// representations, plus the cheap non-owning RepView the hot paths consume.
+//
+// Every filter-and-refine loop in the system — Dist_PAR / Dist_LB kernels,
+// tree leaf scans, the kNN linear-scan fallback, the serving batch executor
+// — iterates the whole corpus. Storing each series as a Representation
+// (three small heap vectors per series) bottlenecks those loops on
+// pointer-chasing; the store instead keeps one contiguous arena per column:
+//
+//   a[], b[]      segment line coefficients (doubles)
+//   r[]           inclusive right endpoints (uint32_t; n < 2^32)
+//   coeffs[]      CHEBY / DFT transform coefficients
+//   symbols[]     SAX symbols
+//
+// plus per-series offset tables (seg_offsets_[i] .. seg_offsets_[i+1] is
+// series i's slice of a/b/r, and likewise for coeffs and symbols). A store
+// is homogeneous — one (method, n, alphabet) configuration, fixed by the
+// first Append — because that is what a corpus is; heterogeneous archives
+// stay on the v1 per-Representation text format (ts/io.h).
+//
+// RepView exposes the same accessor vocabulary as Representation
+// (num_segments / segment_start / segment_length plus per-field reads) over
+// either layout: a store slice (SoA) or a borrowed Representation (AoS, via
+// RepView::Of). Distance kernels (distance/kernels.h), the feature mapper
+// and the index backends are written once against RepView, so the legacy
+// AoS corpus path and the columnar path run the identical arithmetic —
+// the bit-identity contract tests/store_parity_test.cc enforces.
+//
+// Representation survives as the build/interchange type: Append() ingests
+// one (losslessly), ToRepresentation() materializes one back.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "reduction/representation.h"
+#include "util/status.h"
+
+namespace sapla {
+
+/// \brief Non-owning view of one reduced series, over either the store's
+/// columnar slices or a borrowed Representation. Trivially copyable; valid
+/// only while the underlying storage is.
+class RepView {
+ public:
+  RepView() = default;
+
+  /// Views an existing AoS Representation (the legacy/interchange layout).
+  static RepView Of(const Representation& rep) {
+    RepView v;
+    v.method_ = rep.method;
+    v.n_ = rep.n;
+    v.alphabet_ = rep.alphabet;
+    v.num_segments_ = rep.segments.size();
+    v.segs_ = rep.segments.empty() ? nullptr : rep.segments.data();
+    v.coeffs_ = rep.coeffs.empty() ? nullptr : rep.coeffs.data();
+    v.num_coeffs_ = rep.coeffs.size();
+    v.symbols_ = rep.symbols.empty() ? nullptr : rep.symbols.data();
+    v.num_symbols_ = rep.symbols.size();
+    return v;
+  }
+
+  Method method() const { return method_; }
+  size_t n() const { return n_; }
+  size_t alphabet() const { return alphabet_; }
+
+  size_t num_segments() const { return num_segments_; }
+
+  /// Segment i's line slope / intercept / inclusive right endpoint.
+  double seg_a(size_t i) const { return segs_ ? segs_[i].a : a_[i]; }
+  double seg_b(size_t i) const { return segs_ ? segs_[i].b : b_[i]; }
+  size_t seg_r(size_t i) const {
+    return segs_ ? segs_[i].r : static_cast<size_t>(r_[i]);
+  }
+
+  /// Global index of segment i's first point (same math as Representation).
+  size_t segment_start(size_t i) const { return i == 0 ? 0 : seg_r(i - 1) + 1; }
+
+  /// Length of segment i (r_i - r_{i-1}).
+  size_t segment_length(size_t i) const {
+    return seg_r(i) - (i == 0 ? static_cast<size_t>(0) : seg_r(i - 1) + 1) + 1;
+  }
+
+  const double* coeffs() const { return coeffs_; }
+  size_t num_coeffs() const { return num_coeffs_; }
+
+  const int* symbols() const { return symbols_; }
+  size_t num_symbols() const { return num_symbols_; }
+
+  /// Raw layout access for hot kernels that hoist the AoS-vs-SoA branch
+  /// out of their inner loop (distance/kernels.cc): aos_segments() is
+  /// non-null iff the view borrows a Representation; otherwise the three
+  /// soa_* columns are valid for num_segments() entries.
+  const LinearSegment* aos_segments() const { return segs_; }
+  const double* soa_a() const { return a_; }
+  const double* soa_b() const { return b_; }
+  const uint32_t* soa_r() const { return r_; }
+
+ private:
+  friend class RepresentationStore;
+
+  Method method_ = Method::kSapla;
+  size_t n_ = 0;
+  size_t alphabet_ = 0;
+  size_t num_segments_ = 0;
+  // AoS mode: segs_ != nullptr and a_/b_/r_ are unused. SoA mode: segs_ ==
+  // nullptr and the columns point into the store's arenas.
+  const LinearSegment* segs_ = nullptr;
+  const double* a_ = nullptr;
+  const double* b_ = nullptr;
+  const uint32_t* r_ = nullptr;
+  const double* coeffs_ = nullptr;
+  size_t num_coeffs_ = 0;
+  const int* symbols_ = nullptr;
+  size_t num_symbols_ = 0;
+};
+
+/// \brief Arena-backed SoA container of one corpus' representations.
+class RepresentationStore {
+ public:
+  RepresentationStore();
+
+  RepresentationStore(RepresentationStore&&) = default;
+  RepresentationStore& operator=(RepresentationStore&&) = default;
+  RepresentationStore(const RepresentationStore&) = default;
+  RepresentationStore& operator=(const RepresentationStore&) = default;
+
+  /// Appends one representation (lossless; the FromRepresentation
+  /// converter). The first append fixes the store's (method, n, alphabet);
+  /// later appends must match. Returns the new series id (== size() - 1).
+  size_t Append(const Representation& rep);
+
+  /// Materializes series `id` back into the AoS interchange type
+  /// (lossless inverse of Append).
+  Representation ToRepresentation(size_t id) const;
+
+  /// Columnar view of series `id`; valid until the store is mutated.
+  /// Inline: the filter loops construct one view per corpus entry per
+  /// query, so this must fold into the caller.
+  RepView view(size_t id) const {
+    RepView v;
+    v.method_ = method_;
+    v.n_ = n_;
+    v.alphabet_ = alphabet_;
+    const uint64_t s0 = seg_off_[id];
+    v.num_segments_ = static_cast<size_t>(seg_off_[id + 1] - s0);
+    v.a_ = a_.data() + s0;
+    v.b_ = b_.data() + s0;
+    v.r_ = r_.data() + s0;
+    const uint64_t c0 = coeff_off_[id];
+    v.num_coeffs_ = static_cast<size_t>(coeff_off_[id + 1] - c0);
+    v.coeffs_ = v.num_coeffs_ > 0 ? coeffs_.data() + c0 : nullptr;
+    const uint64_t y0 = sym_off_[id];
+    v.num_symbols_ = static_cast<size_t>(sym_off_[id + 1] - y0);
+    v.symbols_ = v.num_symbols_ > 0 ? symbols_.data() + y0 : nullptr;
+    return v;
+  }
+  RepView operator[](size_t id) const { return view(id); }
+
+  /// Drops all content and configuration and assigns a fresh store id
+  /// (used by SimilarityIndex::Build so rebuilds never alias cached
+  /// results keyed by the old corpus).
+  void Reset();
+
+  /// Pre-sizes the arenas (series count and total segment estimate).
+  void Reserve(size_t num_series, size_t total_segments);
+
+  size_t size() const { return num_series_; }
+  bool empty() const { return num_series_ == 0; }
+
+  /// Configuration; meaningful once size() > 0.
+  Method method() const { return method_; }
+  size_t series_length() const { return n_; }
+  size_t alphabet() const { return alphabet_; }
+
+  /// Stable identity of this corpus instance: unique per construction /
+  /// Reset within the process. The serving layer keys its result cache on
+  /// it, so two different corpora never alias a cache entry.
+  uint64_t id() const { return store_id_; }
+
+  /// Raw column access (persistence, future SIMD kernels). The offset
+  /// tables have size() + 1 entries; series i's segment slice is
+  /// [seg_offsets()[i], seg_offsets()[i + 1]).
+  const std::vector<uint64_t>& seg_offsets() const { return seg_off_; }
+  const std::vector<uint64_t>& coeff_offsets() const { return coeff_off_; }
+  const std::vector<uint64_t>& symbol_offsets() const { return sym_off_; }
+  const std::vector<double>& a_column() const { return a_; }
+  const std::vector<double>& b_column() const { return b_; }
+  const std::vector<uint32_t>& r_column() const { return r_; }
+  const std::vector<double>& coeff_column() const { return coeffs_; }
+  const std::vector<int>& symbol_column() const { return symbols_; }
+
+  /// Rebuilds a store from raw columns (the v2 persistence loader).
+  /// Validates offset-table monotonicity, column sizes and per-series
+  /// segment coverage (last endpoint == n - 1); returns InvalidArgument on
+  /// any structural inconsistency.
+  static Result<RepresentationStore> FromColumns(
+      Method method, size_t n, size_t alphabet,
+      std::vector<uint64_t> seg_offsets, std::vector<uint64_t> coeff_offsets,
+      std::vector<uint64_t> symbol_offsets, std::vector<double> a,
+      std::vector<double> b, std::vector<uint32_t> r,
+      std::vector<double> coeffs, std::vector<int> symbols);
+
+  /// Structural + bitwise content equality (store identity excluded).
+  friend bool operator==(const RepresentationStore& x,
+                         const RepresentationStore& y);
+
+ private:
+  Method method_ = Method::kSapla;
+  size_t n_ = 0;
+  size_t alphabet_ = 0;
+  size_t num_series_ = 0;
+
+  // Offset tables: size num_series_ + 1, entry 0 == 0.
+  std::vector<uint64_t> seg_off_{0};
+  std::vector<uint64_t> coeff_off_{0};
+  std::vector<uint64_t> sym_off_{0};
+
+  // Column arenas.
+  std::vector<double> a_, b_;
+  std::vector<uint32_t> r_;
+  std::vector<double> coeffs_;
+  std::vector<int> symbols_;
+
+  uint64_t store_id_ = 0;
+};
+
+}  // namespace sapla
+
+#endif  // SAPLA_REDUCTION_REPRESENTATION_STORE_H_

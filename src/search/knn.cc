@@ -5,6 +5,7 @@
 #include <limits>
 #include <queue>
 
+#include "distance/kernels.h"
 #include "distance/mindist.h"
 #include "obs/trace.h"
 #include "util/parallel.h"
@@ -116,6 +117,15 @@ Status SimilarityIndex::Build(const Dataset& dataset, BuildInfo* info) {
   ParallelFor(0, dataset.size(), [&](size_t i) {
     reps_[i] = reducer_->Reduce(dataset.series[i].values, m_);
   });
+  store_.Reset();
+  if (!options_.legacy_aos_corpus) {
+    // Transpose the parallel-reduced AoS batch into the columnar store
+    // (Append is order-preserving, so store ids == series ids), then drop
+    // the AoS copies — the store is the corpus from here on.
+    for (const Representation& rep : reps_) store_.Append(rep);
+    reps_.clear();
+    reps_.shrink_to_fit();
+  }
   const double reduce_cpu_s = reduce_cpu.Seconds();
   const double reduce_wall_s = reduce_wall.Seconds();
 
@@ -124,12 +134,16 @@ Status SimilarityIndex::Build(const Dataset& dataset, BuildInfo* info) {
   ctx.method = method_;
   ctx.m = m_;
   ctx.dataset = dataset_;
-  ctx.reps = &reps_;
+  if (options_.legacy_aos_corpus) {
+    ctx.reps = &reps_;
+  } else {
+    ctx.store = &store_;
+  }
   ctx.options = options_;
   auto backend = MakeIndexBackendByName(IndexKindName(kind_), ctx);
   if (!backend.ok()) return backend.status();
   backend_ = std::move(backend).ValueOrDie();
-  for (size_t i = 0; i < reps_.size(); ++i) backend_->Insert(i);
+  for (size_t i = 0; i < dataset.size(); ++i) backend_->Insert(i);
   const double insert_s = insert_timer.Seconds();
 
   if (info != nullptr) {
@@ -152,8 +166,13 @@ KnnResult SimilarityIndex::Knn(const std::vector<double>& query,
   SAPLA_DCHECK(query.size() == dataset_->length());
   KnnResult result;
   if (k == 0) return result;
-  const Representation query_rep = reducer_->Reduce(query, m_);
+  // The query reduces through the same columnar path as the corpus: into a
+  // stack-local single-entry store, viewed for the duration of the query.
+  RepresentationStore query_store;
+  reducer_->ReduceInto(query, m_, &query_store);
+  const RepView query_rep = query_store.view(0);
   const PrefixFitter query_fitter(query);
+  DistanceScratch scratch;  // amortizes Dist_PAR buffers across the query
 
   TopK top(k);
   // Leaf-entry handler, backend-agnostic: lower-bound filter (Dist_LB
@@ -161,7 +180,8 @@ KnnResult SimilarityIndex::Knn(const std::vector<double>& query,
   // (counted) refinement on the raw series.
   SearchCounters& c = result.counters;
   const auto visit = [&](size_t id, double bound) {
-    const double lb = FilterDistance(query_fitter, query_rep, reps_[id]);
+    const double lb =
+        FilterDistanceView(query_fitter, query_rep, corpus_view(id), &scratch);
     ++c.lb_evaluations;
     if (lb <= bound) {
       const double exact =
@@ -193,15 +213,19 @@ KnnResult SimilarityIndex::RangeSearch(const std::vector<double>& query,
   SAPLA_TRACE_SPAN("range/query");
   SAPLA_DCHECK(dataset_ != nullptr);
   SAPLA_DCHECK(query.size() == dataset_->length());
-  const Representation query_rep = reducer_->Reduce(query, m_);
+  RepresentationStore query_store;
+  reducer_->ReduceInto(query, m_, &query_store);
+  const RepView query_rep = query_store.view(0);
   const PrefixFitter query_fitter(query);
+  DistanceScratch scratch;
 
   KnnResult result;
   // The pruning bound is the fixed radius: visit never tightens it, so the
   // traversal enumerates exactly the nodes/entries within range.
   SearchCounters& c = result.counters;
   const auto visit = [&](size_t id, double /*bound*/) {
-    const double lb = FilterDistance(query_fitter, query_rep, reps_[id]);
+    const double lb =
+        FilterDistanceView(query_fitter, query_rep, corpus_view(id), &scratch);
     ++c.lb_evaluations;
     if (lb <= radius) {
       const double exact =
@@ -237,13 +261,28 @@ KnnResult SimilarityIndex::KnnLowerBound(const std::vector<double>& query,
   SAPLA_DCHECK(query.size() == dataset_->length());
   KnnResult result;
   if (k == 0) return result;
-  const Representation query_rep = reducer_->Reduce(query, m_);
+  RepresentationStore query_store;
+  reducer_->ReduceInto(query, m_, &query_store);
+  const RepView query_rep = query_store.view(0);
   const PrefixFitter query_fitter(query);
+  const size_t num = dataset_->size();
   TopK top(k);
-  for (size_t id = 0; id < reps_.size(); ++id)
-    top.Offer(FilterDistance(query_fitter, query_rep, reps_[id]), id);
+  if (options_.legacy_aos_corpus) {
+    DistanceScratch scratch;
+    for (size_t id = 0; id < num; ++id)
+      top.Offer(FilterDistanceView(query_fitter, query_rep,
+                                   RepView::Of(reps_[id]), &scratch),
+                id);
+  } else {
+    // Full-corpus scan: the batched kernel streams the store's columns.
+    DistanceScratch scratch;
+    std::vector<double> lbs(num);
+    FilterDistanceBatch(query_fitter, query_rep, store_, nullptr, num,
+                        lbs.data(), &scratch);
+    for (size_t id = 0; id < num; ++id) top.Offer(lbs[id], id);
+  }
   result.neighbors = top.Sorted();
-  result.counters.lb_evaluations = reps_.size();
+  result.counters.lb_evaluations = num;
   result.counters.cascade_stage = CascadeStage::kLeafFilter;
   return result;
 }
@@ -253,15 +292,29 @@ KnnResult SimilarityIndex::RangeSearchLowerBound(
   SAPLA_TRACE_SPAN("range/lower_bound");
   SAPLA_DCHECK(dataset_ != nullptr);
   SAPLA_DCHECK(query.size() == dataset_->length());
-  const Representation query_rep = reducer_->Reduce(query, m_);
+  RepresentationStore query_store;
+  reducer_->ReduceInto(query, m_, &query_store);
+  const RepView query_rep = query_store.view(0);
   const PrefixFitter query_fitter(query);
+  const size_t num = dataset_->size();
   KnnResult result;
-  for (size_t id = 0; id < reps_.size(); ++id) {
-    const double lb = FilterDistance(query_fitter, query_rep, reps_[id]);
-    if (lb <= radius) result.neighbors.emplace_back(lb, id);
+  if (options_.legacy_aos_corpus) {
+    DistanceScratch scratch;
+    for (size_t id = 0; id < num; ++id) {
+      const double lb = FilterDistanceView(query_fitter, query_rep,
+                                           RepView::Of(reps_[id]), &scratch);
+      if (lb <= radius) result.neighbors.emplace_back(lb, id);
+    }
+  } else {
+    DistanceScratch scratch;
+    std::vector<double> lbs(num);
+    FilterDistanceBatch(query_fitter, query_rep, store_, nullptr, num,
+                        lbs.data(), &scratch);
+    for (size_t id = 0; id < num; ++id)
+      if (lbs[id] <= radius) result.neighbors.emplace_back(lbs[id], id);
   }
   std::sort(result.neighbors.begin(), result.neighbors.end());
-  result.counters.lb_evaluations = reps_.size();
+  result.counters.lb_evaluations = num;
   result.counters.cascade_stage = CascadeStage::kLeafFilter;
   return result;
 }

@@ -26,6 +26,7 @@
 #include "index/index_backend.h"
 #include "obs/counters.h"
 #include "reduction/representation.h"
+#include "reduction/representation_store.h"
 #include "ts/time_series.h"
 #include "util/status.h"
 
@@ -151,9 +152,21 @@ class SimilarityIndex {
   size_t series_length() const { return dataset_ ? dataset_->length() : 0; }
   /// The backend after Build (nullptr before); exposed for diagnostics.
   const IndexBackend* backend() const { return backend_.get(); }
+  /// The columnar corpus (empty before Build or with legacy_aos_corpus).
+  const RepresentationStore& store() const { return store_; }
+  /// Stable corpus identity: regenerated by every Build, so results cached
+  /// under an old corpus (serve/result_cache.h) can never be served against
+  /// a rebuilt index.
+  uint64_t corpus_id() const { return store_.id(); }
   TreeStats stats() const;
 
  private:
+  /// View of series `id`'s reduction over the active corpus layout.
+  RepView corpus_view(size_t id) const {
+    return options_.legacy_aos_corpus ? RepView::Of(reps_[id])
+                                      : store_.view(id);
+  }
+
   Method method_;
   size_t m_;
   IndexKind kind_;
@@ -161,6 +174,10 @@ class SimilarityIndex {
 
   const Dataset* dataset_ = nullptr;
   std::unique_ptr<Reducer> reducer_;
+  /// Canonical corpus: contiguous SoA columns (representation_store.h).
+  RepresentationStore store_;
+  /// Legacy AoS corpus, populated only with Options::legacy_aos_corpus
+  /// (the A/B layout-validation path; see store_parity_test.cc).
   std::vector<Representation> reps_;
   std::unique_ptr<IndexBackend> backend_;
 };

@@ -27,6 +27,7 @@ uint64_t ResultCacheKey::Hash() const {
                            static_cast<uint32_t>(method),
                            static_cast<uint32_t>(kind)};
   h = FnvMix(h, tag, sizeof(tag));
+  h = FnvMix(h, &corpus_id, sizeof(corpus_id));
   h = FnvMix(h, &radius, sizeof(radius));
   if (!query.empty())
     h = FnvMix(h, query.data(), query.size() * sizeof(double));
@@ -36,7 +37,7 @@ uint64_t ResultCacheKey::Hash() const {
 bool ResultCacheKey::operator==(const ResultCacheKey& other) const {
   // Radii compare bitwise (memcmp) so NaN/-0.0 never alias distinct keys.
   return op == other.op && k == other.k && method == other.method &&
-         kind == other.kind &&
+         kind == other.kind && corpus_id == other.corpus_id &&
          std::memcmp(&radius, &other.radius, sizeof(radius)) == 0 &&
          query.size() == other.query.size() &&
          (query.empty() ||

@@ -142,6 +142,7 @@ std::future<ServeResponse> QueryService::Submit(
     key.radius = request->radius;
     key.method = index_.method();
     key.kind = index_.kind();
+    key.corpus_id = index_.corpus_id();
     key.query = request->query;
     KnnResult cached;
     if (cache_.Lookup(key, &cached)) {
@@ -276,6 +277,7 @@ void QueryService::Flush(std::vector<std::unique_ptr<Request>> batch) {
         cache_key.radius = request->radius;
         cache_key.method = index_.method();
         cache_key.kind = index_.kind();
+        cache_key.corpus_id = index_.corpus_id();
         cache_key.query = request->query;
         cache_.Insert(cache_key, results[i]);
       }

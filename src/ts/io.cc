@@ -1,14 +1,18 @@
 #include "ts/io.h"
 
-#include <cinttypes>
-#include <cstdio>
+#include <charconv>
+#include <cstdint>
+#include <cstring>
 #include <fstream>
 #include <sstream>
+#include <system_error>
 
 namespace sapla {
 namespace {
 
-constexpr char kMagic[] = "SAPLA-REP v1";
+constexpr char kMagicV1[] = "SAPLA-REP v1";
+constexpr char kMagicV2[] = "SAPLACOL";  // 8 bytes, no terminator on disk
+constexpr uint32_t kVersionV2 = 2;
 
 Result<Method> MethodFromString(const std::string& name) {
   for (const Method m : AllMethods())
@@ -16,29 +20,151 @@ Result<Method> MethodFromString(const std::string& name) {
   return Status::InvalidArgument("unknown method '" + name + "'");
 }
 
+// --- v1 text: locale-independent number formatting/parsing ---------------
+//
+// std::to_chars emits the shortest decimal string that round-trips the
+// exact double (including denormals and "-0"), and neither to_chars nor
+// from_chars consults the global locale — so serialize/parse are inverses
+// byte for byte regardless of the host environment.
+
+void AppendDouble(std::string* out, double v) {
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out->append(buf, res.ptr);
+}
+
+void AppendUnsigned(std::string* out, uint64_t v) {
+  char buf[24];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out->append(buf, res.ptr);
+}
+
+bool ParseDoubleToken(const std::string& tok, double* out) {
+  const char* first = tok.data();
+  const char* last = tok.data() + tok.size();
+  // from_chars rejects a leading '+' that operator>> used to accept.
+  if (first != last && *first == '+') ++first;
+  const auto res = std::from_chars(first, last, *out);
+  return res.ec == std::errc() && res.ptr == last;
+}
+
+bool ParseUnsignedToken(const std::string& tok, uint64_t* out) {
+  const char* first = tok.data();
+  const char* last = tok.data() + tok.size();
+  if (first != last && *first == '+') ++first;
+  const auto res = std::from_chars(first, last, *out);
+  return res.ec == std::errc() && res.ptr == last;
+}
+
+bool ParseIntToken(const std::string& tok, int* out) {
+  const char* first = tok.data();
+  const char* last = tok.data() + tok.size();
+  if (first != last && *first == '+') ++first;
+  const auto res = std::from_chars(first, last, *out);
+  return res.ec == std::errc() && res.ptr == last;
+}
+
+// --- v2 binary: little-endian section writers/readers --------------------
+
+void PutU32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+template <typename T>
+void PutArray(std::string* out, const std::vector<T>& v) {
+  if (!v.empty())
+    out->append(reinterpret_cast<const char*>(v.data()), v.size() * sizeof(T));
+}
+
+void Pad8(std::string* out) {
+  while (out->size() % 8 != 0) out->push_back('\0');
+}
+
+// Bounds-checked sequential reader over the serialized bytes.
+class ByteReader {
+ public:
+  explicit ByteReader(const std::string& data) : p_(data.data()), end_(p_ + data.size()) {}
+
+  bool Read(void* out, size_t len) {
+    if (static_cast<size_t>(end_ - p_) < len) return false;
+    std::memcpy(out, p_, len);
+    p_ += len;
+    return true;
+  }
+
+  bool ReadU32(uint32_t* v) { return Read(v, sizeof(*v)); }
+  bool ReadU64(uint64_t* v) { return Read(v, sizeof(*v)); }
+
+  template <typename T>
+  bool ReadArray(std::vector<T>* v, uint64_t count) {
+    // Reject counts the remaining bytes cannot possibly satisfy before
+    // resizing, so a corrupt header cannot trigger a huge allocation.
+    if (count > static_cast<uint64_t>(end_ - p_) / sizeof(T)) return false;
+    v->resize(static_cast<size_t>(count));
+    return count == 0 || Read(v->data(), static_cast<size_t>(count) * sizeof(T));
+  }
+
+  bool SkipPad8(size_t consumed_since_start) {
+    const size_t pad = (8 - consumed_since_start % 8) % 8;
+    if (static_cast<size_t>(end_ - p_) < pad) return false;
+    p_ += pad;
+    return true;
+  }
+
+  size_t consumed(const std::string& data) const {
+    return static_cast<size_t>(p_ - data.data());
+  }
+
+ private:
+  const char* p_;
+  const char* end_;
+};
+
 }  // namespace
 
 std::string SerializeRepresentation(const Representation& rep) {
-  std::ostringstream out;
-  out.precision(17);
-  out << kMagic << "\n";
-  out << "method " << MethodName(rep.method) << " n " << rep.n;
-  if (rep.method == Method::kSax) out << " alphabet " << rep.alphabet;
-  out << "\n";
-  for (const auto& seg : rep.segments)
-    out << "seg " << seg.a << " " << seg.b << " " << seg.r << "\n";
+  std::string out;
+  out += kMagicV1;
+  out += "\nmethod ";
+  out += MethodName(rep.method);
+  out += " n ";
+  AppendUnsigned(&out, rep.n);
+  if (rep.method == Method::kSax) {
+    out += " alphabet ";
+    AppendUnsigned(&out, rep.alphabet);
+  }
+  out += "\n";
+  for (const auto& seg : rep.segments) {
+    out += "seg ";
+    AppendDouble(&out, seg.a);
+    out += " ";
+    AppendDouble(&out, seg.b);
+    out += " ";
+    AppendUnsigned(&out, seg.r);
+    out += "\n";
+  }
   if (!rep.coeffs.empty()) {
-    out << "coef";
-    for (const double c : rep.coeffs) out << " " << c;
-    out << "\n";
+    out += "coef";
+    for (const double c : rep.coeffs) {
+      out += " ";
+      AppendDouble(&out, c);
+    }
+    out += "\n";
   }
   if (!rep.symbols.empty()) {
-    out << "sym";
-    for (const int s : rep.symbols) out << " " << s;
-    out << "\n";
+    out += "sym";
+    for (const int s : rep.symbols) {
+      out += " ";
+      AppendUnsigned(&out, static_cast<uint64_t>(s));
+    }
+    out += "\n";
   }
-  out << "end\n";
-  return out.str();
+  out += "end\n";
+  return out;
 }
 
 Result<std::vector<Representation>> ParseRepresentations(
@@ -54,7 +180,8 @@ Result<std::vector<Representation>> ParseRepresentations(
   while (std::getline(in, line)) {
     ++line_no;
     if (line.empty()) continue;
-    if (line != kMagic) return fail("expected '" + std::string(kMagic) + "'");
+    if (line != kMagicV1)
+      return fail("expected '" + std::string(kMagicV1) + "'");
 
     Representation rep;
     // Header line.
@@ -68,12 +195,19 @@ Result<std::vector<Representation>> ParseRepresentations(
       const Result<Method> method = MethodFromString(method_name);
       SAPLA_RETURN_NOT_OK(method.status());
       rep.method = *method;
-      std::string k2;
-      if (!(hdr >> k2 >> rep.n) || k2 != "n") return fail("missing n");
-      std::string k3;
+      std::string k2, n_tok;
+      uint64_t n_val = 0;
+      if (!(hdr >> k2 >> n_tok) || k2 != "n" ||
+          !ParseUnsignedToken(n_tok, &n_val))
+        return fail("missing n");
+      rep.n = static_cast<size_t>(n_val);
+      std::string k3, a_tok;
       if (hdr >> k3) {
-        if (k3 != "alphabet" || !(hdr >> rep.alphabet))
+        uint64_t a_val = 0;
+        if (k3 != "alphabet" || !(hdr >> a_tok) ||
+            !ParseUnsignedToken(a_tok, &a_val))
           return fail("bad alphabet field");
+        rep.alphabet = static_cast<size_t>(a_val);
       }
     }
     // Body.
@@ -90,14 +224,29 @@ Result<std::vector<Representation>> ParseRepresentations(
       }
       if (tag == "seg") {
         LinearSegment seg;
-        if (!(body >> seg.a >> seg.b >> seg.r)) return fail("bad seg line");
+        std::string a_tok, b_tok, r_tok;
+        uint64_t r_val = 0;
+        if (!(body >> a_tok >> b_tok >> r_tok) ||
+            !ParseDoubleToken(a_tok, &seg.a) ||
+            !ParseDoubleToken(b_tok, &seg.b) ||
+            !ParseUnsignedToken(r_tok, &r_val))
+          return fail("bad seg line");
+        seg.r = static_cast<size_t>(r_val);
         rep.segments.push_back(seg);
       } else if (tag == "coef") {
-        double c;
-        while (body >> c) rep.coeffs.push_back(c);
+        std::string tok;
+        while (body >> tok) {
+          double c;
+          if (!ParseDoubleToken(tok, &c)) return fail("bad coef value");
+          rep.coeffs.push_back(c);
+        }
       } else if (tag == "sym") {
-        int s;
-        while (body >> s) rep.symbols.push_back(s);
+        std::string tok;
+        while (body >> tok) {
+          int s;
+          if (!ParseIntToken(tok, &s)) return fail("bad sym value");
+          rep.symbols.push_back(s);
+        }
       } else {
         return fail("unknown tag '" + tag + "'");
       }
@@ -114,7 +263,7 @@ Result<std::vector<Representation>> ParseRepresentations(
 
 Status SaveRepresentations(const std::string& path,
                            const std::vector<Representation>& reps) {
-  std::ofstream out(path);
+  std::ofstream out(path, std::ios::binary);
   if (!out) return Status::IOError("cannot open " + path + " for writing");
   for (const Representation& rep : reps) out << SerializeRepresentation(rep);
   if (!out) return Status::IOError("write failed for " + path);
@@ -123,21 +272,144 @@ Status SaveRepresentations(const std::string& path,
 
 Result<std::vector<Representation>> LoadRepresentations(
     const std::string& path) {
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open " + path);
   std::ostringstream buf;
   buf << in.rdbuf();
   return ParseRepresentations(buf.str());
 }
 
+std::string SerializeRepresentationStore(const RepresentationStore& store) {
+  std::string out;
+  out.append(kMagicV2, 8);
+  PutU32(&out, kVersionV2);
+  const std::string method = MethodName(store.method());
+  PutU32(&out, static_cast<uint32_t>(method.size()));
+  out += method;
+  Pad8(&out);
+  PutU64(&out, store.series_length());
+  PutU64(&out, store.alphabet());
+  PutU64(&out, store.size());
+  PutU64(&out, store.a_column().size());
+  PutU64(&out, store.coeff_column().size());
+  PutU64(&out, store.symbol_column().size());
+  PutArray(&out, store.seg_offsets());
+  PutArray(&out, store.coeff_offsets());
+  PutArray(&out, store.symbol_offsets());
+  PutArray(&out, store.a_column());
+  PutArray(&out, store.b_column());
+  PutArray(&out, store.r_column());  // u32
+  Pad8(&out);
+  PutArray(&out, store.coeff_column());
+  PutArray(&out, store.symbol_column());  // i32
+  Pad8(&out);
+  return out;
+}
+
+Result<RepresentationStore> ParseRepresentationStore(const std::string& data) {
+  // v1 text auto-detection: migrate through Append (requires homogeneity).
+  if (data.compare(0, std::strlen(kMagicV1), kMagicV1) == 0) {
+    const Result<std::vector<Representation>> reps = ParseRepresentations(data);
+    SAPLA_RETURN_NOT_OK(reps.status());
+    RepresentationStore store;
+    for (size_t i = 1; i < reps->size(); ++i) {
+      const Representation& first = (*reps)[0];
+      const Representation& rep = (*reps)[i];
+      if (rep.method != first.method || rep.n != first.n ||
+          rep.alphabet != first.alphabet)
+        return Status::InvalidArgument(
+            "v1 archive is heterogeneous (representation " +
+            std::to_string(i) +
+            " differs in method/n/alphabet); columnar stores require a "
+            "homogeneous corpus");
+    }
+    for (const Representation& rep : *reps) store.Append(rep);
+    return store;
+  }
+
+  auto corrupt = [](const std::string& what) {
+    return Status::InvalidArgument("corrupt store file: " + what);
+  };
+  if (data.size() < 8 || data.compare(0, 8, kMagicV2, 8) != 0)
+    return corrupt("bad magic (neither v1 text nor v2 binary)");
+  ByteReader r(data);
+  char magic[8];
+  r.Read(magic, 8);
+  uint32_t version = 0;
+  if (!r.ReadU32(&version)) return corrupt("truncated header");
+  if (version != kVersionV2)
+    return Status::InvalidArgument("unsupported store version " +
+                                   std::to_string(version));
+  uint32_t name_len = 0;
+  if (!r.ReadU32(&name_len) || name_len > 64) return corrupt("bad method name");
+  std::string method_name(name_len, '\0');
+  if (!r.Read(method_name.data(), name_len)) return corrupt("bad method name");
+  if (!r.SkipPad8(r.consumed(data))) return corrupt("truncated padding");
+  const Result<Method> method = MethodFromString(method_name);
+  SAPLA_RETURN_NOT_OK(method.status());
+
+  uint64_t n = 0, alphabet = 0, num_series = 0;
+  uint64_t num_segments = 0, num_coeffs = 0, num_symbols = 0;
+  if (!r.ReadU64(&n) || !r.ReadU64(&alphabet) || !r.ReadU64(&num_series) ||
+      !r.ReadU64(&num_segments) || !r.ReadU64(&num_coeffs) ||
+      !r.ReadU64(&num_symbols))
+    return corrupt("truncated header");
+
+  std::vector<uint64_t> seg_off, coeff_off, sym_off;
+  std::vector<double> a, b, coeffs;
+  std::vector<uint32_t> rr;
+  std::vector<int> symbols;
+  if (!r.ReadArray(&seg_off, num_series + 1) ||
+      !r.ReadArray(&coeff_off, num_series + 1) ||
+      !r.ReadArray(&sym_off, num_series + 1))
+    return corrupt("truncated offset tables");
+  if (!r.ReadArray(&a, num_segments) || !r.ReadArray(&b, num_segments) ||
+      !r.ReadArray(&rr, num_segments) || !r.SkipPad8(r.consumed(data)) ||
+      !r.ReadArray(&coeffs, num_coeffs) ||
+      !r.ReadArray(&symbols, num_symbols) || !r.SkipPad8(r.consumed(data)))
+    return corrupt("truncated columns");
+  if (r.consumed(data) != data.size()) return corrupt("trailing bytes");
+
+  Result<RepresentationStore> store = RepresentationStore::FromColumns(
+      *method, static_cast<size_t>(n), static_cast<size_t>(alphabet),
+      std::move(seg_off), std::move(coeff_off), std::move(sym_off),
+      std::move(a), std::move(b), std::move(rr), std::move(coeffs),
+      std::move(symbols));
+  if (!store.ok())
+    return Status::InvalidArgument("corrupt store file: " +
+                                   store.status().message());
+  return store;
+}
+
+Status SaveRepresentationStore(const std::string& path,
+                               const RepresentationStore& store) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  const std::string data = SerializeRepresentationStore(store);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  if (!out) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+Result<RepresentationStore> LoadRepresentationStore(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseRepresentationStore(buf.str());
+}
+
 Status SaveDatasetTsv(const std::string& path, const Dataset& dataset) {
   std::ofstream out(path);
   if (!out) return Status::IOError("cannot open " + path + " for writing");
-  out.precision(17);
   for (const TimeSeries& ts : dataset.series) {
-    out << ts.label;
-    for (const double v : ts.values) out << '\t' << v;
-    out << '\n';
+    std::string line = std::to_string(ts.label);
+    for (const double v : ts.values) {
+      line += '\t';
+      AppendDouble(&line, v);
+    }
+    line += '\n';
+    out << line;
   }
   if (!out) return Status::IOError("write failed for " + path);
   return Status::OK();

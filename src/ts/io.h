@@ -4,42 +4,78 @@
 // Persistence for representations and datasets.
 //
 // A reduced archive is the artifact a user actually stores (that is the
-// point of dimensionality reduction); this module defines a small,
-// versioned, human-readable text format for representations and a CSV/TSV
-// writer for datasets (the loader lives in ts/ucr_loader.h).
+// point of dimensionality reduction); this module defines two formats for
+// representations plus a CSV/TSV writer for datasets (the loader lives in
+// ts/ucr_loader.h).
 //
-// Representation file format (line oriented):
+// v1 — human-readable text, one block per representation (heterogeneous
+// archives allowed):
 //   SAPLA-REP v1
 //   method <name>  n <n>  [alphabet <a>]
 //   seg <a> <b> <r>        (repeated, segment methods)
 //   coef <c0> <c1> ...     (CHEBY)
 //   sym <s0> <s1> ...      (SAX)
 //   end
-// Multiple representations may be concatenated in one file.
+// Multiple representations may be concatenated in one file. Doubles are
+// written with std::to_chars (shortest round-trip form) and parsed with
+// std::from_chars, so serialization is locale-independent and
+// save -> load -> save is byte-identical, including denormals and -0.0.
+//
+// v2 — binary columnar, the RepresentationStore's SoA layout written
+// verbatim (homogeneous corpora only). Little-endian, 8-byte aligned
+// sections:
+//   magic "SAPLACOL" (8 bytes), u32 version = 2,
+//   u32 method-name length + bytes (zero-padded to 8),
+//   u64 n, u64 alphabet, u64 num_series,
+//   u64 total_segments, u64 total_coeffs, u64 total_symbols,
+//   seg/coeff/symbol offset tables ((num_series + 1) u64 each),
+//   a[] f64, b[] f64, r[] u32 (padded), coeffs[] f64, symbols[] i32
+//   (padded).
+// LoadRepresentationStore auto-detects both formats: v1 files migrate by
+// appending each parsed representation into a store (they must be
+// homogeneous), so existing archives read transparently.
 
 #include <string>
 #include <vector>
 
 #include "reduction/representation.h"
+#include "reduction/representation_store.h"
 #include "ts/time_series.h"
 #include "util/status.h"
 
 namespace sapla {
 
-/// Serializes one representation (appendable; see file format above).
+/// Serializes one representation (appendable; see v1 format above).
 std::string SerializeRepresentation(const Representation& rep);
 
-/// Parses one or more concatenated representations.
+/// Parses one or more concatenated v1 representations.
 Result<std::vector<Representation>> ParseRepresentations(
     const std::string& text);
 
-/// Writes representations to a file.
+/// Writes representations to a v1 text file.
 Status SaveRepresentations(const std::string& path,
                            const std::vector<Representation>& reps);
 
-/// Reads representations from a file.
+/// Reads representations from a v1 text file.
 Result<std::vector<Representation>> LoadRepresentations(
     const std::string& path);
+
+/// Serializes a store to the v2 binary columnar format. Deterministic:
+/// equal stores produce byte-identical output.
+std::string SerializeRepresentationStore(const RepresentationStore& store);
+
+/// Parses a serialized store: v2 binary, or v1 text migrated through
+/// RepresentationStore::Append (v1 input must be homogeneous and
+/// non-empty). Structural validation goes through
+/// RepresentationStore::FromColumns.
+Result<RepresentationStore> ParseRepresentationStore(const std::string& data);
+
+/// Writes a store to a v2 binary file.
+Status SaveRepresentationStore(const std::string& path,
+                               const RepresentationStore& store);
+
+/// Reads a store from a v2 binary file, or migrates a v1 text file.
+Result<RepresentationStore> LoadRepresentationStore(const std::string& path);
 
 /// Writes a dataset in UCR TSV format (label + values per line), readable
 /// by LoadUcrDataset.

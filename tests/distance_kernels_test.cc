@@ -1,0 +1,187 @@
+// Bit-identity of the view/batched distance kernels against the legacy
+// per-pair Representation kernels. These are EXPECT_EQ on doubles on
+// purpose: the view kernels promise the *same arithmetic in the same
+// order*, not approximately-equal results — that contract is what lets the
+// columnar corpus replace the AoS one without changing a single search
+// answer.
+
+#include "distance/kernels.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/sapla.h"
+#include "distance/distance.h"
+#include "distance/mindist.h"
+#include "geom/line_fit.h"
+#include "reduction/dft.h"
+#include "reduction/representation.h"
+#include "reduction/representation_store.h"
+#include "ts/synthetic_archive.h"
+
+namespace sapla {
+namespace {
+
+constexpr size_t kBudgets[] = {8, 12, 24};
+
+Dataset TestDataset() {
+  SyntheticOptions opt;
+  opt.length = 200;
+  opt.num_series = 20;
+  return MakeSyntheticDataset(5, opt);
+}
+
+struct Corpus {
+  std::vector<Representation> reps;
+  RepresentationStore store;
+};
+
+Corpus ReduceAll(const Dataset& ds, Method method, size_t m) {
+  Corpus corpus;
+  const auto reducer = MakeReducer(method);
+  for (const TimeSeries& ts : ds.series) {
+    corpus.reps.push_back(reducer->Reduce(ts.values, m));
+    corpus.store.Append(corpus.reps.back());
+  }
+  return corpus;
+}
+
+TEST(DistanceKernels, DistParViewIsBitIdenticalToDistPar) {
+  const Dataset ds = TestDataset();
+  for (const Method method : {Method::kSapla, Method::kApla, Method::kApca,
+                              Method::kPla, Method::kPaa, Method::kPaalm}) {
+    for (const size_t m : kBudgets) {
+      const Corpus corpus = ReduceAll(ds, method, m);
+      DistanceScratch scratch;
+      for (size_t i = 0; i + 1 < corpus.reps.size(); ++i) {
+        const double legacy = DistPar(corpus.reps[i], corpus.reps[i + 1]);
+        // AoS view pair, SoA view pair, and mixed — all three layouts.
+        EXPECT_EQ(DistParView(RepView::Of(corpus.reps[i]),
+                              RepView::Of(corpus.reps[i + 1]), &scratch),
+                  legacy);
+        EXPECT_EQ(DistParView(corpus.store.view(i), corpus.store.view(i + 1),
+                              &scratch),
+                  legacy);
+        EXPECT_EQ(DistParView(RepView::Of(corpus.reps[i]),
+                              corpus.store.view(i + 1), &scratch),
+                  legacy);
+        // The scratch-free convenience overload.
+        EXPECT_EQ(DistParView(corpus.store.view(i), corpus.store.view(i + 1)),
+                  legacy);
+      }
+    }
+  }
+}
+
+TEST(DistanceKernels, DistLbViewIsBitIdenticalToDistLb) {
+  const Dataset ds = TestDataset();
+  for (const Method method : {Method::kSapla, Method::kApla, Method::kApca,
+                              Method::kPla, Method::kPaa, Method::kPaalm,
+                              Method::kSax}) {
+    for (const size_t m : kBudgets) {
+      const Corpus corpus = ReduceAll(ds, method, m);
+      const PrefixFitter fitter(ds.series[0].values);
+      for (size_t i = 1; i < corpus.reps.size(); ++i) {
+        const double legacy = DistLb(fitter, corpus.reps[i]);
+        EXPECT_EQ(DistLbView(fitter, RepView::Of(corpus.reps[i])), legacy);
+        EXPECT_EQ(DistLbView(fitter, corpus.store.view(i)), legacy);
+      }
+    }
+  }
+}
+
+TEST(DistanceKernels, CoefficientAndSymbolKernelsAreBitIdentical) {
+  const Dataset ds = TestDataset();
+  for (const size_t m : kBudgets) {
+    const Corpus cheby = ReduceAll(ds, Method::kCheby, m);
+    const Corpus dft = ReduceAll(ds, Method::kDft, m);
+    const Corpus sax = ReduceAll(ds, Method::kSax, m);
+    DistanceScratch scratch;
+    for (size_t i = 1; i < ds.size(); ++i) {
+      EXPECT_EQ(ChebyDistView(cheby.store.view(0), cheby.store.view(i)),
+                ChebyDist(cheby.reps[0], cheby.reps[i]));
+      EXPECT_EQ(DftDistView(dft.store.view(0), dft.store.view(i)),
+                DftDist(dft.reps[0], dft.reps[i]));
+      EXPECT_EQ(
+          SaxMinDistView(sax.store.view(0), sax.store.view(i), &scratch),
+          SaxMinDist(sax.reps[0], sax.reps[i]));
+    }
+  }
+}
+
+TEST(DistanceKernels, DispatchersMatchLegacyDispatchersForEveryMethod) {
+  const Dataset ds = TestDataset();
+  for (const Method method : AllMethods()) {
+    const Corpus corpus = ReduceAll(ds, method, 12);
+    const PrefixFitter fitter(ds.series[0].values);
+    DistanceScratch scratch;
+    for (size_t i = 1; i < ds.size(); ++i) {
+      EXPECT_EQ(LowerBoundDistanceView(corpus.store.view(0),
+                                       corpus.store.view(i), &scratch),
+                LowerBoundDistance(corpus.reps[0], corpus.reps[i]))
+          << MethodName(method) << " id " << i;
+      EXPECT_EQ(FilterDistanceView(fitter, corpus.store.view(0),
+                                   corpus.store.view(i), &scratch),
+                FilterDistance(fitter, corpus.reps[0], corpus.reps[i]))
+          << MethodName(method) << " id " << i;
+    }
+  }
+}
+
+TEST(DistanceKernels, BatchedKernelsMatchPerPairKernels) {
+  const Dataset ds = TestDataset();
+  for (const Method method : AllMethods()) {
+    const Corpus corpus = ReduceAll(ds, method, 12);
+    const PrefixFitter fitter(ds.series[0].values);
+    const RepView q = corpus.store.view(0);
+    DistanceScratch scratch;
+
+    // Full scan (ids == nullptr).
+    std::vector<double> batch(ds.size());
+    FilterDistanceBatch(fitter, q, corpus.store, nullptr, ds.size(),
+                        batch.data(), &scratch);
+    for (size_t i = 0; i < ds.size(); ++i) {
+      EXPECT_EQ(batch[i],
+                FilterDistance(fitter, corpus.reps[0], corpus.reps[i]))
+          << MethodName(method) << " id " << i;
+    }
+
+    // Gathered subset, out of order (a leaf scan's id list).
+    const std::vector<size_t> ids = {7, 2, 19, 2, 0, 11};
+    std::vector<double> gathered(ids.size());
+    FilterDistanceBatch(fitter, q, corpus.store, ids.data(), ids.size(),
+                        gathered.data(), &scratch);
+    for (size_t j = 0; j < ids.size(); ++j) {
+      EXPECT_EQ(gathered[j],
+                FilterDistance(fitter, corpus.reps[0], corpus.reps[ids[j]]));
+    }
+
+    std::vector<double> lb_batch(ds.size());
+    LowerBoundDistanceBatch(q, corpus.store, nullptr, ds.size(),
+                            lb_batch.data(), &scratch);
+    for (size_t i = 0; i < ds.size(); ++i) {
+      EXPECT_EQ(lb_batch[i],
+                LowerBoundDistance(corpus.reps[0], corpus.reps[i]))
+          << MethodName(method) << " id " << i;
+    }
+  }
+}
+
+TEST(DistanceKernels, ScratchStateDoesNotLeakAcrossPairs) {
+  // Reusing one scratch across pairs with different segmentations (and
+  // across SAX alphabets) must not change any value.
+  const Dataset ds = TestDataset();
+  const Corpus sapla = ReduceAll(ds, Method::kSapla, 24);
+  DistanceScratch reused;
+  for (size_t i = 0; i + 1 < ds.size(); ++i) {
+    DistanceScratch fresh;
+    EXPECT_EQ(DistParView(sapla.store.view(i), sapla.store.view(i + 1),
+                          &reused),
+              DistParView(sapla.store.view(i), sapla.store.view(i + 1),
+                          &fresh));
+  }
+}
+
+}  // namespace
+}  // namespace sapla

@@ -2,6 +2,7 @@
 
 #include "ts/io.h"
 
+#include <cmath>
 #include <cstdio>
 
 #include <gtest/gtest.h>
@@ -92,6 +93,52 @@ TEST(Io, DatasetTsvRoundTripsThroughUcrLoader) {
       EXPECT_DOUBLE_EQ(loaded->series[i].values[t], ds.series[i].values[t]);
   }
   std::remove(path);
+}
+
+TEST(Io, SerializeParseSerializeIsByteIdentical) {
+  // save -> load -> save must reproduce the exact bytes: the serializer
+  // emits shortest-round-trip doubles (std::to_chars) and the parser reads
+  // them back exactly (std::from_chars), with no locale dependence. The
+  // hand-built representation exercises the edge values an ostream-based
+  // writer gets wrong: negative zero, denormals, values needing all 17
+  // digits, and huge/tiny magnitudes.
+  Representation rep;
+  rep.method = Method::kSapla;
+  rep.n = 100;
+  rep.segments = {
+      {-0.0, 5e-324, 9},                      // -0 and the smallest denormal
+      {1e-310, -1e-310, 19},                  // subnormal pair
+      {0.1, 0.2, 49},                         // classic non-terminating
+      {1.7976931348623157e308, 2.2250738585072014e-308, 79},  // extremes
+      {-1.0 / 3.0, 123456789.123456789, 99},  // 17-digit survivors
+  };
+  const std::string once = SerializeRepresentation(rep);
+  const auto parsed = ParseRepresentations(once);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const std::string twice = SerializeRepresentation((*parsed)[0]);
+  EXPECT_EQ(once, twice);
+  // Bitwise equality, not just EXPECT_DOUBLE_EQ: -0.0 must stay negative.
+  for (size_t i = 0; i < rep.segments.size(); ++i) {
+    EXPECT_EQ(std::signbit((*parsed)[0].segments[i].a),
+              std::signbit(rep.segments[i].a));
+    EXPECT_EQ((*parsed)[0].segments[i].a, rep.segments[i].a);
+    EXPECT_EQ((*parsed)[0].segments[i].b, rep.segments[i].b);
+  }
+}
+
+TEST(Io, FileRoundTripIsByteIdentical) {
+  const Dataset ds = SmallDataset();
+  std::vector<Representation> reps;
+  for (size_t i = 0; i < ds.size(); ++i)
+    reps.push_back(SaplaReducer().Reduce(ds.series[i].values, 12));
+  std::string once;
+  for (const Representation& rep : reps) once += SerializeRepresentation(rep);
+  const auto loaded = ParseRepresentations(once);
+  ASSERT_TRUE(loaded.ok());
+  std::string twice;
+  for (const Representation& rep : *loaded)
+    twice += SerializeRepresentation(rep);
+  EXPECT_EQ(once, twice);
 }
 
 TEST(Io, SaxRepresentationKeepsAlphabetAndSymbols) {

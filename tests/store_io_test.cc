@@ -1,0 +1,146 @@
+// v2 binary columnar persistence: round-trip equality, byte-identical
+// re-serialization, v1 -> v2 migration, and corrupt-input rejection.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/sapla.h"
+#include "reduction/representation_store.h"
+#include "ts/io.h"
+#include "ts/synthetic_archive.h"
+
+namespace sapla {
+namespace {
+
+Dataset SmallDataset() {
+  SyntheticOptions opt;
+  opt.length = 96;
+  opt.num_series = 10;
+  return MakeSyntheticDataset(9, opt);
+}
+
+RepresentationStore MakeStore(Method method, size_t m = 12) {
+  const Dataset ds = SmallDataset();
+  const auto reducer = MakeReducer(method);
+  RepresentationStore store;
+  for (const TimeSeries& ts : ds.series)
+    reducer->ReduceInto(ts.values, m, &store);
+  return store;
+}
+
+TEST(StoreIo, RoundTripsEveryMethod) {
+  for (const Method method : AllMethods()) {
+    const RepresentationStore store = MakeStore(method);
+    const std::string data = SerializeRepresentationStore(store);
+    const auto loaded = ParseRepresentationStore(data);
+    ASSERT_TRUE(loaded.ok())
+        << MethodName(method) << ": " << loaded.status().ToString();
+    EXPECT_TRUE(*loaded == store) << MethodName(method);
+  }
+}
+
+TEST(StoreIo, ReserializationIsByteIdentical) {
+  for (const Method method : AllMethods()) {
+    const RepresentationStore store = MakeStore(method);
+    const std::string once = SerializeRepresentationStore(store);
+    const auto loaded = ParseRepresentationStore(once);
+    ASSERT_TRUE(loaded.ok());
+    EXPECT_EQ(SerializeRepresentationStore(*loaded), once)
+        << MethodName(method);
+  }
+}
+
+TEST(StoreIo, FileRoundTrip) {
+  const RepresentationStore store = MakeStore(Method::kSapla);
+  const char* path = "/tmp/sapla_store_io_test.bin";
+  ASSERT_TRUE(SaveRepresentationStore(path, store).ok());
+  const auto loaded = LoadRepresentationStore(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(*loaded == store);
+  std::remove(path);
+}
+
+TEST(StoreIo, MigratesV1TextArchives) {
+  // A homogeneous v1 text archive loads as a store transparently — the
+  // migration path for pre-columnar artifacts.
+  const RepresentationStore store = MakeStore(Method::kSapla);
+  std::string v1_text;
+  for (size_t i = 0; i < store.size(); ++i)
+    v1_text += SerializeRepresentation(store.ToRepresentation(i));
+  const auto migrated = ParseRepresentationStore(v1_text);
+  ASSERT_TRUE(migrated.ok()) << migrated.status().ToString();
+  EXPECT_TRUE(*migrated == store);
+}
+
+TEST(StoreIo, RejectsHeterogeneousV1Archives) {
+  const Dataset ds = SmallDataset();
+  std::string v1_text;
+  v1_text += SerializeRepresentation(
+      MakeReducer(Method::kSapla)->Reduce(ds.series[0].values, 12));
+  v1_text += SerializeRepresentation(
+      MakeReducer(Method::kPaa)->Reduce(ds.series[1].values, 12));
+  EXPECT_FALSE(ParseRepresentationStore(v1_text).ok());
+}
+
+TEST(StoreIo, LoadedStoreGetsFreshIdentity) {
+  // Persistence captures content, not identity: two loads of the same
+  // bytes are equal stores with distinct ids (the serve cache must never
+  // alias them with a live corpus).
+  const RepresentationStore store = MakeStore(Method::kSapla);
+  const std::string data = SerializeRepresentationStore(store);
+  const auto a = ParseRepresentationStore(data);
+  const auto b = ParseRepresentationStore(data);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_TRUE(*a == *b);
+  EXPECT_NE(a->id(), b->id());
+  EXPECT_NE(a->id(), store.id());
+}
+
+TEST(StoreIo, RejectsCorruptInput) {
+  const RepresentationStore store = MakeStore(Method::kSapla);
+  const std::string good = SerializeRepresentationStore(store);
+
+  EXPECT_FALSE(ParseRepresentationStore("").ok());
+  EXPECT_FALSE(ParseRepresentationStore("garbage bytes").ok());
+  // Truncations at every section boundary-ish length.
+  for (const size_t len : {size_t{4}, size_t{8}, size_t{16}, size_t{40},
+                           good.size() / 2, good.size() - 1}) {
+    EXPECT_FALSE(ParseRepresentationStore(good.substr(0, len)).ok())
+        << "truncated to " << len;
+  }
+  // Trailing junk.
+  EXPECT_FALSE(ParseRepresentationStore(good + "x").ok());
+  // Unsupported version.
+  std::string bad_version = good;
+  bad_version[8] = 99;
+  EXPECT_FALSE(ParseRepresentationStore(bad_version).ok());
+  // Structural corruption caught by FromColumns: break an offset table
+  // entry (bytes are little-endian u64s right after the fixed header).
+  std::string bad_offsets = good;
+  // Find the first seg_offsets entry: header is 8 (magic) + 4 (version) +
+  // 4 (name len) + padded name + 48 (six u64 fields). Corrupt deep inside
+  // the offset-table region instead of computing the exact offset.
+  bad_offsets[bad_offsets.size() / 2] ^= 0x5A;
+  // Either parse fails or content differs from the original store; it must
+  // never silently load as the same store while claiming success with the
+  // same columns. (Flipping a column byte yields different-but-valid data,
+  // which is fine — persistence has checks, not checksums.)
+  const auto mutated = ParseRepresentationStore(bad_offsets);
+  if (mutated.ok()) {
+    EXPECT_FALSE(*mutated == store);
+  }
+}
+
+TEST(StoreIo, EmptyStoreRoundTrips) {
+  const RepresentationStore empty;
+  const std::string data = SerializeRepresentationStore(empty);
+  const auto loaded = ParseRepresentationStore(data);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded->empty());
+}
+
+}  // namespace
+}  // namespace sapla

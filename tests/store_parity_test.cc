@@ -1,0 +1,183 @@
+// Columnar-vs-legacy corpus parity: a SimilarityIndex over the
+// RepresentationStore must answer every query bit-identically to one built
+// with Options::legacy_aos_corpus (the pre-columnar
+// std::vector<Representation> layout) — same neighbor ids and distances,
+// same num_measured, equal SearchCounters, same tree shape — for every
+// Method x IndexKind, serially and batched at 1/2/8 threads. This is the
+// acceptance contract of the columnar refactor: the layout change is
+// invisible to every caller.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "search/knn.h"
+#include "ts/synthetic_archive.h"
+
+namespace sapla {
+namespace {
+
+constexpr size_t kThreadCounts[] = {1, 2, 8};
+constexpr size_t kBudget = 12;
+
+Dataset SmallDataset(size_t id = 17, size_t n = 128, size_t count = 60) {
+  SyntheticOptions opt;
+  opt.length = n;
+  opt.num_series = count;
+  return MakeSyntheticDataset(id, opt);
+}
+
+std::vector<std::vector<double>> SomeQueries(const Dataset& ds) {
+  std::vector<std::vector<double>> queries;
+  for (const size_t qi : {0u, 7u, 19u, 33u, 58u})
+    queries.push_back(ds.series[qi].values);
+  return queries;
+}
+
+void ExpectIdentical(const KnnResult& columnar, const KnnResult& legacy,
+                     const std::string& label) {
+  ASSERT_EQ(columnar.neighbors.size(), legacy.neighbors.size()) << label;
+  for (size_t i = 0; i < columnar.neighbors.size(); ++i) {
+    EXPECT_EQ(columnar.neighbors[i].second, legacy.neighbors[i].second)
+        << label << " rank " << i;
+    EXPECT_EQ(columnar.neighbors[i].first, legacy.neighbors[i].first)
+        << label << " rank " << i;
+  }
+  EXPECT_EQ(columnar.num_measured, legacy.num_measured) << label;
+  EXPECT_TRUE(columnar.counters == legacy.counters) << label;
+}
+
+struct ParityCase {
+  Method method;
+  IndexKind kind;
+};
+
+class ParitySweep : public ::testing::TestWithParam<ParityCase> {
+ protected:
+  void Build() {
+    ds_ = SmallDataset();
+    const auto [method, kind] = GetParam();
+    columnar_ = std::make_unique<SimilarityIndex>(method, kBudget, kind);
+    SimilarityIndex::Options legacy_options;
+    legacy_options.legacy_aos_corpus = true;
+    legacy_ =
+        std::make_unique<SimilarityIndex>(method, kBudget, kind, legacy_options);
+    ASSERT_TRUE(columnar_->Build(ds_).ok()) << MethodName(method);
+    ASSERT_TRUE(legacy_->Build(ds_).ok()) << MethodName(method);
+  }
+
+  std::string Label(const char* op) const {
+    return MethodName(GetParam().method) + " " + op;
+  }
+
+  Dataset ds_;
+  std::unique_ptr<SimilarityIndex> columnar_, legacy_;
+};
+
+TEST_P(ParitySweep, TreesAreStructurallyIdentical) {
+  Build();
+  const TreeStats a = columnar_->stats();
+  const TreeStats b = legacy_->stats();
+  EXPECT_EQ(a.entries, b.entries);
+  EXPECT_EQ(a.height, b.height);
+  EXPECT_EQ(a.leaf_nodes, b.leaf_nodes);
+  EXPECT_EQ(a.internal_nodes, b.internal_nodes);
+}
+
+TEST_P(ParitySweep, KnnIsBitIdentical) {
+  Build();
+  for (const std::vector<double>& q : SomeQueries(ds_))
+    ExpectIdentical(columnar_->Knn(q, 6), legacy_->Knn(q, 6), Label("knn"));
+}
+
+TEST_P(ParitySweep, KnnBatchIsBitIdenticalAtEveryThreadCount) {
+  Build();
+  const auto queries = SomeQueries(ds_);
+  const std::vector<KnnResult> legacy = legacy_->KnnBatch(queries, 6, 1);
+  for (const size_t threads : kThreadCounts) {
+    const std::vector<KnnResult> batch =
+        columnar_->KnnBatch(queries, 6, threads);
+    ASSERT_EQ(batch.size(), legacy.size());
+    for (size_t q = 0; q < queries.size(); ++q)
+      ExpectIdentical(batch[q], legacy[q],
+                      Label("knn-batch") + " q" + std::to_string(q) +
+                          " threads " + std::to_string(threads));
+  }
+}
+
+TEST_P(ParitySweep, RangeSearchIsBitIdentical) {
+  Build();
+  for (const double radius : {4.0, 9.0, 100.0})
+    for (const std::vector<double>& q : SomeQueries(ds_))
+      ExpectIdentical(columnar_->RangeSearch(q, radius),
+                      legacy_->RangeSearch(q, radius), Label("range"));
+}
+
+TEST_P(ParitySweep, RangeSearchBatchIsBitIdenticalAtEveryThreadCount) {
+  Build();
+  const double radius = 9.0;
+  const auto queries = SomeQueries(ds_);
+  const std::vector<KnnResult> legacy =
+      legacy_->RangeSearchBatch(queries, radius, 1);
+  for (const size_t threads : kThreadCounts) {
+    const std::vector<KnnResult> batch =
+        columnar_->RangeSearchBatch(queries, radius, threads);
+    for (size_t q = 0; q < queries.size(); ++q)
+      ExpectIdentical(batch[q], legacy[q],
+                      Label("range-batch") + " q" + std::to_string(q) +
+                          " threads " + std::to_string(threads));
+  }
+}
+
+TEST_P(ParitySweep, LowerBoundPathsAreBitIdentical) {
+  Build();
+  for (const std::vector<double>& q : SomeQueries(ds_)) {
+    ExpectIdentical(columnar_->KnnLowerBound(q, 6), legacy_->KnnLowerBound(q, 6),
+                    Label("knn-lb"));
+    ExpectIdentical(columnar_->RangeSearchLowerBound(q, 9.0),
+                    legacy_->RangeSearchLowerBound(q, 9.0), Label("range-lb"));
+  }
+}
+
+std::vector<ParityCase> AllParityCases() {
+  std::vector<ParityCase> cases;
+  for (const Method method : AllMethods())
+    for (const IndexKind kind : {IndexKind::kRTree, IndexKind::kDbchTree})
+      cases.push_back({method, kind});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MethodsTimesTrees, ParitySweep, ::testing::ValuesIn(AllParityCases()),
+    [](const ::testing::TestParamInfo<ParityCase>& info) {
+      return MethodName(info.param.method) +
+             (info.param.kind == IndexKind::kRTree ? "_RTree" : "_DbchTree");
+    });
+
+// The columnar store is the canonical corpus: after Build it holds one
+// entry per series and round-trips each back to the reduction the legacy
+// path stores.
+TEST(StoreCorpus, StoreHoldsEveryReduction) {
+  const Dataset ds = SmallDataset(23, 96, 30);
+  SimilarityIndex index(Method::kSapla, kBudget, IndexKind::kDbchTree);
+  ASSERT_TRUE(index.Build(ds).ok());
+  EXPECT_EQ(index.store().size(), ds.size());
+  EXPECT_EQ(index.store().method(), Method::kSapla);
+  EXPECT_EQ(index.store().series_length(), ds.length());
+  EXPECT_EQ(index.corpus_id(), index.store().id());
+}
+
+// Rebuilds must change the corpus id (the serve result cache keys on it).
+TEST(StoreCorpus, RebuildChangesCorpusId) {
+  const Dataset ds = SmallDataset(24, 96, 30);
+  SimilarityIndex index(Method::kSapla, kBudget, IndexKind::kRTree);
+  ASSERT_TRUE(index.Build(ds).ok());
+  const uint64_t first = index.corpus_id();
+  ASSERT_TRUE(index.Build(ds).ok());
+  EXPECT_NE(index.corpus_id(), first);
+}
+
+}  // namespace
+}  // namespace sapla

@@ -2,17 +2,24 @@
 //
 //   sapla_cli info      <data.tsv>
 //   sapla_cli reduce    <data.tsv> [--method=SAPLA] [--m=24] [--out=reps.txt]
-//   sapla_cli reconstruct <reps.txt> [--out=recon.tsv]
+//                       [--format=v1|v2]
+//   sapla_cli reconstruct <reps.txt|reps.bin> [--out=recon.tsv]
 //   sapla_cli knn       <data.tsv> [--query=0 | --queries=0,3,7] [--k=5]
 //                       [--method=SAPLA] [--m=24] [--tree=dbch|rtree]
 //   sapla_cli motif     <data.tsv> [--row=0] [--window=64] [--m=24]
+//   sapla_cli synth     <out.tsv> [--dataset=0] [--length=256] [--series=40]
 //
 // Every command accepts --threads=T (default 1): the index build fans the
 // per-series reduction across T threads, and `knn` with --queries runs the
 // batch engine. --threads=0 uses the hardware concurrency.
 //
 // Data files are UCR2018 format: one series per line, label first,
-// tab/comma separated. Representation files use the ts/io.h text format.
+// tab/comma separated. Representation files use the ts/io.h formats:
+// --format=v1 writes the per-representation text format, --format=v2 the
+// binary columnar RepresentationStore format; `reconstruct` auto-detects
+// both. `synth` materializes a deterministic synthetic dataset
+// (ts/synthetic_archive.h) so a pipeline can be exercised without the UCR
+// archive.
 
 #include <cstdio>
 #include <cstdlib>
@@ -26,6 +33,7 @@
 #include "search/metrics.h"
 #include "search/subsequence.h"
 #include "ts/io.h"
+#include "ts/synthetic_archive.h"
 #include "ts/ucr_loader.h"
 #include "util/parallel.h"
 #include "util/table.h"
@@ -36,7 +44,7 @@ namespace {
 
 [[noreturn]] void Usage() {
   fprintf(stderr,
-          "usage: sapla_cli <info|reduce|reconstruct|knn|motif> <file> "
+          "usage: sapla_cli <info|reduce|reconstruct|knn|motif|synth> <file> "
           "[--key=value ...]\n");
   exit(2);
 }
@@ -114,6 +122,12 @@ int CmdReduce(const Args& args) {
   const size_t m = args.GetSize("m", 24);
   const std::string out = args.Get("out", "reps.txt");
 
+  const std::string format = args.Get("format", "v1");
+  if (format != "v1" && format != "v2") {
+    fprintf(stderr, "unknown --format '%s' (v1 or v2)\n", format.c_str());
+    return 2;
+  }
+
   const auto reducer = MakeReducer(method);
   WallTimer timer;
   std::vector<Representation> reps(ds.size());
@@ -124,33 +138,65 @@ int CmdReduce(const Args& args) {
   for (size_t i = 0; i < ds.size(); ++i)
     dev += reps[i].SumMaxDeviation(ds.series[i].values);
   const double seconds = timer.Seconds();
-  if (Status s = SaveRepresentations(out, reps); !s.ok()) {
-    fprintf(stderr, "%s\n", s.ToString().c_str());
+  Status saved = Status::OK();
+  if (format == "v2") {
+    RepresentationStore store;
+    for (const Representation& rep : reps) store.Append(rep);
+    saved = SaveRepresentationStore(out, store);
+  } else {
+    saved = SaveRepresentations(out, reps);
+  }
+  if (!saved.ok()) {
+    fprintf(stderr, "%s\n", saved.ToString().c_str());
     return 1;
   }
   printf("%zu series reduced with %s (M=%zu) in %.3fs wall on %zu threads\n",
          ds.size(), MethodName(method).c_str(), m, seconds, NumThreads());
   printf("avg sum-max-deviation: %.4f\n", dev / static_cast<double>(ds.size()));
-  printf("wrote %s\n", out.c_str());
+  printf("wrote %s (%s)\n", out.c_str(), format.c_str());
   return 0;
 }
 
 int CmdReconstruct(const Args& args) {
-  const auto reps = LoadRepresentations(args.file);
-  if (!reps.ok()) {
-    fprintf(stderr, "%s\n", reps.status().ToString().c_str());
-    return 1;
+  // LoadRepresentationStore auto-detects the v2 binary format and migrates
+  // v1 text; plain LoadRepresentations is the fallback for heterogeneous
+  // v1 archives (which have no columnar form).
+  std::vector<Representation> reps;
+  if (const auto store = LoadRepresentationStore(args.file); store.ok()) {
+    for (size_t i = 0; i < store->size(); ++i)
+      reps.push_back(store->ToRepresentation(i));
+  } else {
+    const auto loaded = LoadRepresentations(args.file);
+    if (!loaded.ok()) {
+      fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    reps = *loaded;
   }
   const std::string out = args.Get("out", "recon.tsv");
   Dataset recon;
   recon.name = "reconstruction";
-  for (const Representation& rep : *reps)
+  for (const Representation& rep : reps)
     recon.series.emplace_back(rep.Reconstruct());
   if (Status s = SaveDatasetTsv(out, recon); !s.ok()) {
     fprintf(stderr, "%s\n", s.ToString().c_str());
     return 1;
   }
-  printf("reconstructed %zu series -> %s\n", reps->size(), out.c_str());
+  printf("reconstructed %zu series -> %s\n", reps.size(), out.c_str());
+  return 0;
+}
+
+int CmdSynth(const Args& args) {
+  SyntheticOptions opt;
+  opt.length = args.GetSize("length", 256);
+  opt.num_series = args.GetSize("series", 40);
+  const Dataset ds = MakeSyntheticDataset(args.GetSize("dataset", 0), opt);
+  if (Status s = SaveDatasetTsv(args.file, ds); !s.ok()) {
+    fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  printf("wrote %s: %zu series of length %zu (%s)\n", args.file.c_str(),
+         ds.size(), ds.length(), ds.name.c_str());
   return 0;
 }
 
@@ -248,6 +294,7 @@ int Run(int argc, char** argv) {
   if (args.command == "reconstruct") return CmdReconstruct(args);
   if (args.command == "knn") return CmdKnn(args);
   if (args.command == "motif") return CmdMotif(args);
+  if (args.command == "synth") return CmdSynth(args);
   Usage();
 }
 
