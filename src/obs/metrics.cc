@@ -96,6 +96,11 @@ ServeMetricsSnapshot SnapshotMetrics(const ServeMetrics& metrics) {
   s.cache_hits = metrics.cache_hits.load();
   s.cache_misses = metrics.cache_misses.load();
   s.batches_flushed = metrics.batches_flushed.load();
+  s.degraded_served = metrics.degraded_served.load();
+  s.rejected_unhealthy = metrics.rejected_unhealthy.load();
+  s.flush_failures = metrics.flush_failures.load();
+  s.watchdog_stalls = metrics.watchdog_stalls.load();
+  s.health = metrics.health.load();
   s.search = SnapshotSearchCounters(metrics.search);
   s.queue_wait_us = SnapshotHistogram(metrics.queue_wait_us);
   s.exec_us = SnapshotHistogram(metrics.exec_us);
@@ -136,6 +141,11 @@ Table MetricsToTable(const ServeMetricsSnapshot& snap,
   counter("cache_misses", snap.cache_misses);
   ratio("cache_hit_rate", snap.CacheHitRate());
   counter("batches_flushed", snap.batches_flushed);
+  counter("degraded_served", snap.degraded_served);
+  counter("rejected_unhealthy", snap.rejected_unhealthy);
+  counter("flush_failures", snap.flush_failures);
+  counter("watchdog_stalls", snap.watchdog_stalls);
+  counter("health", snap.health);
   counter("search_queries", snap.search.queries);
   counter("search_nodes_visited_internal", snap.search.nodes_visited_internal);
   counter("search_nodes_visited_leaf", snap.search.nodes_visited_leaf);
@@ -226,6 +236,18 @@ std::string MetricsToPrometheus(const ServeMetrics& metrics,
                 "Result-cache misses at admission time.", snap.cache_misses);
   AppendCounter(out, prefix, "batches_flushed", "Micro-batches executed.",
                 snap.batches_flushed);
+  AppendCounter(out, prefix, "degraded_served",
+                "Requests answered inline with approximate results while "
+                "degraded.",
+                snap.degraded_served);
+  AppendCounter(out, prefix, "rejected_unhealthy",
+                "Requests refused because the service was unhealthy.",
+                snap.rejected_unhealthy);
+  AppendCounter(out, prefix, "flush_failures",
+                "Micro-batches that failed as a unit.", snap.flush_failures);
+  AppendCounter(out, prefix, "watchdog_stalls",
+                "Watchdog observations of a newly stalled scheduler.",
+                snap.watchdog_stalls);
   AppendCounter(out, prefix, "search_queries",
                 "Index traversals aggregated into the search counters.",
                 snap.search.queries);
@@ -256,6 +278,10 @@ std::string MetricsToPrometheus(const ServeMetrics& metrics,
   AppendGauge(out, prefix, "cache_hit_rate",
               "cache_hits / (cache_hits + cache_misses).",
               snap.CacheHitRate());
+  AppendGauge(out, prefix, "health",
+              "Degradation-ladder position: 0 healthy, 1 degraded, "
+              "2 unhealthy.",
+              static_cast<double>(snap.health));
   AppendGauge(out, prefix, "search_pruning_power",
               "Live pruning power rho (Eq. 14); lower is better.",
               snap.search.PruningPower());
@@ -322,7 +348,12 @@ std::string MetricsToJson(const ServeMetricsSnapshot& snap) {
   counter("degraded", snap.degraded);
   counter("cache_hits", snap.cache_hits);
   counter("cache_misses", snap.cache_misses);
-  counter("batches_flushed", snap.batches_flushed, /*last=*/true);
+  counter("batches_flushed", snap.batches_flushed);
+  counter("degraded_served", snap.degraded_served);
+  counter("rejected_unhealthy", snap.rejected_unhealthy);
+  counter("flush_failures", snap.flush_failures);
+  counter("watchdog_stalls", snap.watchdog_stalls);
+  counter("health", snap.health, /*last=*/true);
   out += "  },\n  \"cache_hit_rate\": " + Double(snap.CacheHitRate()) +
          ",\n  \"search\": {\n";
   counter("queries", snap.search.queries);

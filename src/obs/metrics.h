@@ -31,6 +31,12 @@
 //   deadline_exceeded   requests dropped because their deadline passed
 //   degraded            deadline-exceeded requests that still got an
 //                       approximate lower-bound-only answer
+//   degraded_served     requests answered inline with approximate results
+//                       because the service was in the degraded state
+//   rejected_unhealthy  requests refused because the service was unhealthy
+//   flush_failures      micro-batches that failed as a unit
+//   watchdog_stalls     watchdog observations of a newly stalled scheduler
+//   health              gauge: degradation-ladder position (0/1/2)
 //   cache_hits/misses   result-cache outcome at admission time
 //   batches_flushed     micro-batches executed
 //   queue_wait_us       admission -> start of the request's flush
@@ -101,6 +107,15 @@ struct ServeMetrics {
   std::atomic<uint64_t> cache_misses{0};
   std::atomic<uint64_t> batches_flushed{0};
 
+  // Degradation ladder (serve/service.h, docs/ROBUSTNESS.md).
+  std::atomic<uint64_t> degraded_served{0};
+  std::atomic<uint64_t> rejected_unhealthy{0};
+  std::atomic<uint64_t> flush_failures{0};
+  std::atomic<uint64_t> watchdog_stalls{0};
+  /// Gauge, not a counter: current ladder position (0 healthy, 1 degraded,
+  /// 2 unhealthy), kept up to date by the owning QueryService.
+  std::atomic<uint64_t> health{0};
+
   AtomicSearchCounters search;
 
   Histogram queue_wait_us;
@@ -132,6 +147,12 @@ struct ServeMetricsSnapshot {
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
   uint64_t batches_flushed = 0;
+
+  uint64_t degraded_served = 0;
+  uint64_t rejected_unhealthy = 0;
+  uint64_t flush_failures = 0;
+  uint64_t watchdog_stalls = 0;
+  uint64_t health = 0;
 
   SearchCountersSnapshot search;
 

@@ -8,6 +8,7 @@
 #include "distance/kernels.h"
 #include "distance/mindist.h"
 #include "obs/trace.h"
+#include "util/fault.h"
 #include "util/parallel.h"
 #include "util/timer.h"
 
@@ -94,6 +95,7 @@ SimilarityIndex::~SimilarityIndex() = default;
 
 Status SimilarityIndex::Build(const Dataset& dataset, BuildInfo* info) {
   SAPLA_TRACE_SPAN("index/build");
+  SAPLA_FAULT_POINT("index/build");
   if (dataset.size() == 0)
     return Status::InvalidArgument("empty dataset");
   if (dataset.length() < 2)

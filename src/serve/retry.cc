@@ -1,0 +1,168 @@
+#include "serve/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+namespace sapla {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+uint64_t ElapsedUs(Clock::time_point from) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            from)
+          .count());
+}
+
+// splitmix64 finalizer: full-avalanche 64-bit mix, the jitter's only
+// source of "randomness" (deterministic by construction).
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+uint64_t BackoffUs(const RetryPolicy& policy, uint32_t attempt,
+                   uint64_t request_id) {
+  if (attempt == 0) return 0;
+  // Exponential base: initial * multiplier^(attempt-1), capped. Computed in
+  // floating point so a large attempt saturates at the cap instead of
+  // overflowing.
+  double base = static_cast<double>(policy.initial_backoff_us);
+  for (uint32_t i = 1; i < attempt; ++i) {
+    base *= policy.backoff_multiplier;
+    if (base >= static_cast<double>(policy.max_backoff_us)) break;
+  }
+  base = std::min(base, static_cast<double>(policy.max_backoff_us));
+
+  const double jitter = std::clamp(policy.jitter, 0.0, 1.0);
+  if (jitter == 0.0) return static_cast<uint64_t>(base);
+  // u in [0, 1): pure in (seed, request_id, attempt).
+  const uint64_t h =
+      Mix64(policy.seed ^ Mix64(request_id ^ (uint64_t{attempt} << 32)));
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return static_cast<uint64_t>(base * (1.0 - jitter + jitter * u));
+}
+
+bool IsRetryable(const RetryPolicy& policy, StatusCode code) {
+  switch (code) {
+    case StatusCode::kOverloaded:
+      return true;
+    case StatusCode::kUnavailable:
+      return policy.retry_unavailable;
+    default:
+      return false;
+  }
+}
+
+bool ShouldRetry(const RetryPolicy& policy, uint32_t attempt, StatusCode code,
+                 uint64_t elapsed_us, uint64_t deadline_us,
+                 uint64_t request_id) {
+  if (attempt >= policy.max_attempts) return false;
+  if (!IsRetryable(policy, code)) return false;
+  if (deadline_us != 0) {
+    // A retry launched after the deadline, or whose backoff alone consumes
+    // the remainder, is a guaranteed kDeadlineExceeded — skip it.
+    if (elapsed_us >= deadline_us) return false;
+    if (BackoffUs(policy, attempt, request_id) >= deadline_us - elapsed_us)
+      return false;
+  }
+  return true;
+}
+
+RetryBudget::RetryBudget(double max_tokens, double tokens_per_success)
+    : max_tokens_(max_tokens),
+      tokens_per_success_(tokens_per_success),
+      tokens_(max_tokens) {}
+
+bool RetryBudget::TryAcquire() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tokens_ < 1.0) return false;
+  tokens_ -= 1.0;
+  return true;
+}
+
+void RetryBudget::RecordSuccess() {
+  std::lock_guard<std::mutex> lock(mu_);
+  tokens_ = std::min(max_tokens_, tokens_ + tokens_per_success_);
+}
+
+double RetryBudget::tokens() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tokens_;
+}
+
+RetryingClient::RetryingClient(QueryService& service,
+                               const RetryPolicy& policy, RetryBudget* budget)
+    : service_(service), policy_(policy), budget_(budget) {}
+
+template <typename Issue>
+ServeResponse RetryingClient::Run(Issue issue, uint64_t deadline_us,
+                                  uint64_t request_id) {
+  const Clock::time_point start = Clock::now();
+  for (uint32_t attempt = 1;; ++attempt) {
+    stats_.attempts.fetch_add(1);
+    // Each attempt gets the *remaining* allowance, so the service-side
+    // deadline machinery and this loop agree on when time is up.
+    uint64_t attempt_deadline_us = 0;
+    if (deadline_us != 0) {
+      const uint64_t elapsed = ElapsedUs(start);
+      if (elapsed >= deadline_us) {
+        ServeResponse response;
+        response.status = Status::DeadlineExceeded(
+            "deadline passed before the attempt could be issued");
+        response.total_us = elapsed;
+        return response;
+      }
+      attempt_deadline_us = deadline_us - elapsed;
+    }
+    ServeResponse response = issue(attempt_deadline_us);
+    if (response.status.ok()) {
+      if (budget_ != nullptr) budget_->RecordSuccess();
+      return response;
+    }
+    const uint64_t elapsed = ElapsedUs(start);
+    if (!ShouldRetry(policy_, attempt, response.status.code(), elapsed,
+                     deadline_us, request_id)) {
+      if (deadline_us != 0 && IsRetryable(policy_, response.status.code()) &&
+          attempt < policy_.max_attempts)
+        stats_.deadline_denied.fetch_add(1);
+      return response;
+    }
+    if (budget_ != nullptr && !budget_->TryAcquire()) {
+      stats_.budget_denied.fetch_add(1);
+      return response;
+    }
+    stats_.retries.fetch_add(1);
+    const uint64_t backoff = BackoffUs(policy_, attempt, request_id);
+    if (backoff > 0)
+      std::this_thread::sleep_for(std::chrono::microseconds(backoff));
+  }
+}
+
+ServeResponse RetryingClient::Knn(const std::vector<double>& query, size_t k,
+                                  uint64_t deadline_us, uint64_t request_id) {
+  return Run(
+      [&](uint64_t attempt_deadline_us) {
+        return service_.Knn(query, k, attempt_deadline_us);
+      },
+      deadline_us, request_id);
+}
+
+ServeResponse RetryingClient::Range(const std::vector<double>& query,
+                                    double radius, uint64_t deadline_us,
+                                    uint64_t request_id) {
+  return Run(
+      [&](uint64_t attempt_deadline_us) {
+        return service_.Range(query, radius, attempt_deadline_us);
+      },
+      deadline_us, request_id);
+}
+
+}  // namespace sapla

@@ -1,0 +1,148 @@
+#ifndef SAPLA_SERVE_RETRY_H_
+#define SAPLA_SERVE_RETRY_H_
+
+// Client-side retries around QueryService.
+//
+// The serving layer rejects fast and explicitly (kOverloaded on a full
+// queue, kUnavailable while unhealthy); this module is the matching client
+// discipline: retry only transient failures, back off exponentially with
+// deterministic jitter, never retry past the caller's deadline, and meter
+// all retries through a shared budget so a brown-out cannot snowball into
+// a retry storm.
+//
+// Every query operation is read-only, hence idempotent — retrying can never
+// double-apply anything. The retryable set is therefore gated on
+// *transience* alone: kOverloaded always (backpressure is an invitation to
+// come back later), kUnavailable only when the policy opts in (an unhealthy
+// service usually needs time, not traffic). kDeadlineExceeded is never
+// retried — the caller's time allowance is spent by definition — and
+// permanent errors (kInvalidArgument etc.) never are.
+//
+// Determinism: the backoff schedule is a pure function of
+// (policy, attempt, request_id) — see BackoffUs — so a logged request_id
+// replays its exact timing, and tests assert schedules instead of sampling
+// them. The retry budget is clock-free (token bucket refilled by
+// *successes*, gRPC-throttling style), so its decisions are a pure function
+// of the request history too.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "serve/service.h"
+#include "util/status.h"
+
+namespace sapla {
+
+/// \brief When and how to retry one logical request.
+struct RetryPolicy {
+  /// Total tries including the first (1 = no retries).
+  uint32_t max_attempts = 3;
+  /// Backoff before the first retry (µs).
+  uint64_t initial_backoff_us = 1000;
+  /// Growth factor per further retry.
+  double backoff_multiplier = 2.0;
+  /// Upper bound on any single backoff (µs).
+  uint64_t max_backoff_us = 100'000;
+  /// Fraction of each backoff that is jittered (0 = fully deterministic
+  /// spacing, 1 = anywhere in [0, backoff]). The jitter itself is
+  /// deterministic per (seed, request_id, attempt).
+  double jitter = 0.5;
+  /// Seed for the deterministic jitter.
+  uint64_t seed = 0;
+  /// Also retry kUnavailable (kOverloaded is always retryable).
+  bool retry_unavailable = false;
+};
+
+/// Backoff in µs before retry number `attempt` (1-based: attempt 1 follows
+/// the first failure) of request `request_id`. Pure function — same
+/// arguments, same backoff, on any thread in any run.
+uint64_t BackoffUs(const RetryPolicy& policy, uint32_t attempt,
+                   uint64_t request_id);
+
+/// True when `code` is a transient failure this policy retries.
+bool IsRetryable(const RetryPolicy& policy, StatusCode code);
+
+/// Pure retry decision for the failure of attempt number `attempt`
+/// (1-based) with `code`, `elapsed_us` after the logical request started,
+/// under `deadline_us` (0 = none). False when attempts are exhausted, the
+/// code is not retryable, or the next backoff cannot finish before the
+/// deadline — a retry that is guaranteed to return kDeadlineExceeded is
+/// never launched.
+bool ShouldRetry(const RetryPolicy& policy, uint32_t attempt, StatusCode code,
+                 uint64_t elapsed_us, uint64_t deadline_us,
+                 uint64_t request_id);
+
+/// \brief Clock-free token bucket metering retries across requests.
+///
+/// Starts full at `max_tokens`. Each retry costs one token; each *success*
+/// (retried or not) deposits `tokens_per_success`, capped at `max_tokens`.
+/// When the bucket is empty retries are denied — under a persistent outage
+/// the client degenerates to ~one attempt per request plus a trickle
+/// proportional to whatever still succeeds, which is exactly the storm
+/// brake wanted. Thread-safe.
+class RetryBudget {
+ public:
+  explicit RetryBudget(double max_tokens = 10.0,
+                       double tokens_per_success = 0.1);
+
+  /// Takes one token; false (and no change) when fewer than one remains.
+  bool TryAcquire();
+
+  /// Credits one successful response.
+  void RecordSuccess();
+
+  double tokens() const;
+
+ private:
+  const double max_tokens_;
+  const double tokens_per_success_;
+  mutable std::mutex mu_;
+  double tokens_;
+};
+
+/// \brief Counters for one RetryingClient (all monotonic, thread-safe).
+struct RetryStats {
+  std::atomic<uint64_t> attempts{0};
+  std::atomic<uint64_t> retries{0};
+  std::atomic<uint64_t> budget_denied{0};
+  std::atomic<uint64_t> deadline_denied{0};
+};
+
+/// \brief Blocking QueryService client that applies a RetryPolicy.
+///
+/// Wraps the blocking conveniences (Knn / Range); the per-call deadline
+/// spans the whole logical request including backoff sleeps. A shared
+/// RetryBudget may be plugged in; without one only attempts and deadlines
+/// limit retries. The service and budget must outlive the client.
+class RetryingClient {
+ public:
+  RetryingClient(QueryService& service, const RetryPolicy& policy,
+                 RetryBudget* budget = nullptr);
+
+  /// k-NN with retries. `request_id` keys the deterministic jitter (pass a
+  /// stable id to make timing replayable; 0 is a fine default).
+  ServeResponse Knn(const std::vector<double>& query, size_t k,
+                    uint64_t deadline_us = 0, uint64_t request_id = 0);
+
+  /// Range query with retries; same contract as Knn.
+  ServeResponse Range(const std::vector<double>& query, double radius,
+                      uint64_t deadline_us = 0, uint64_t request_id = 0);
+
+  const RetryStats& stats() const { return stats_; }
+  const RetryPolicy& policy() const { return policy_; }
+
+ private:
+  template <typename Issue>
+  ServeResponse Run(Issue issue, uint64_t deadline_us, uint64_t request_id);
+
+  QueryService& service_;
+  const RetryPolicy policy_;
+  RetryBudget* budget_;
+  RetryStats stats_;
+};
+
+}  // namespace sapla
+
+#endif  // SAPLA_SERVE_RETRY_H_

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "obs/trace.h"
+#include "util/fault.h"
 
 namespace sapla {
 namespace {
@@ -21,7 +22,26 @@ uint64_t ElapsedUs(Clock::time_point from, Clock::time_point to) {
           .count());
 }
 
+uint64_t NowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          Clock::now().time_since_epoch())
+          .count());
+}
+
 }  // namespace
+
+const char* ServeHealthName(ServeHealth health) {
+  switch (health) {
+    case ServeHealth::kHealthy:
+      return "healthy";
+    case ServeHealth::kDegraded:
+      return "degraded";
+    case ServeHealth::kUnhealthy:
+      return "unhealthy";
+  }
+  return "unknown";
+}
 
 /// One in-flight request. Owned by the queue / scheduler; the client holds
 /// only the future.
@@ -55,7 +75,10 @@ QueryService::QueryService(const SimilarityIndex& index,
       options_(options),
       cache_(options.cache_capacity, options.cache_shards),
       queue_(options.queue_capacity) {
+  heartbeat_us_.store(NowUs());
   scheduler_ = std::thread([this] { SchedulerLoop(); });
+  if (options_.watchdog_interval_us > 0)
+    watchdog_ = std::thread([this] { WatchdogLoop(); });
 }
 
 QueryService::~QueryService() { Stop(); }
@@ -64,6 +87,58 @@ void QueryService::Stop() {
   stopped_.store(true);
   queue_.Close();
   if (scheduler_.joinable()) scheduler_.join();
+  {
+    std::lock_guard<std::mutex> lock(watchdog_mu_);
+    watchdog_stop_ = true;
+  }
+  watchdog_cv_.notify_all();
+  if (watchdog_.joinable()) watchdog_.join();
+}
+
+void QueryService::Beat() {
+  heartbeat_us_.store(NowUs(), std::memory_order_relaxed);
+}
+
+void QueryService::RecomputeHealth() {
+  const uint64_t streak = flush_fail_streak_.load(std::memory_order_relaxed);
+  int flush_level = 0;
+  if (options_.flush_failures_unhealthy != 0 &&
+      streak >= options_.flush_failures_unhealthy)
+    flush_level = 2;
+  else if (options_.flush_failures_degraded != 0 &&
+           streak >= options_.flush_failures_degraded)
+    flush_level = 1;
+  const int level =
+      std::max(flush_level, stall_level_.load(std::memory_order_relaxed));
+  health_.store(level, std::memory_order_relaxed);
+  metrics_.health.store(static_cast<uint64_t>(level),
+                        std::memory_order_relaxed);
+}
+
+void QueryService::WatchdogLoop() {
+  std::unique_lock<std::mutex> lock(watchdog_mu_);
+  while (!watchdog_stop_) {
+    watchdog_cv_.wait_for(
+        lock, std::chrono::microseconds(options_.watchdog_interval_us));
+    if (watchdog_stop_) break;
+    // A stalled scheduler = work is waiting but the heartbeat is stale.
+    // An idle scheduler (empty queue) is blocked in PopBatch by design and
+    // never counts as stalled.
+    const uint64_t beat = heartbeat_us_.load(std::memory_order_relaxed);
+    const uint64_t now = NowUs();
+    const uint64_t stale_us = now > beat ? now - beat : 0;
+    int level = 0;
+    if (queue_.size() > 0) {
+      if (stale_us >= options_.stall_unhealthy_us)
+        level = 2;
+      else if (stale_us >= options_.stall_degraded_us)
+        level = 1;
+    }
+    if (level > stall_level_.load(std::memory_order_relaxed))
+      metrics_.watchdog_stalls.fetch_add(1);
+    stall_level_.store(level, std::memory_order_relaxed);
+    RecomputeHealth();
+  }
 }
 
 void QueryService::InvalidateCache() { cache_.Invalidate(); }
@@ -160,6 +235,34 @@ std::future<ServeResponse> QueryService::Submit(
     metrics_.cache_misses.fetch_add(1);
   }
 
+  // Degradation ladder (docs/ROBUSTNESS.md). Checked after the cache —
+  // cached answers are exact and involve no scheduler, so they are served
+  // in every state. One request in kCanaryEvery still takes the normal
+  // pipeline as a canary probe: a flush-failure-driven degradation can only
+  // observe recovery through a flush that succeeds, and without probes a
+  // degraded service would divert all traffic and stay degraded forever.
+  constexpr uint64_t kCanaryEvery = 8;
+  switch (health()) {
+    case ServeHealth::kHealthy:
+      break;
+    case ServeHealth::kDegraded: {
+      if (ladder_seq_.fetch_add(1) % kCanaryEvery != 0) {
+        ResolveDegraded(request.get());
+        return future;
+      }
+      break;  // canary: through the pipeline
+    }
+    case ServeHealth::kUnhealthy: {
+      if (ladder_seq_.fetch_add(1) % kCanaryEvery != 0) {
+        metrics_.rejected_unhealthy.fetch_add(1);
+        return reject(Status::Unavailable(
+            "query service unhealthy (scheduler stalled or flushes "
+            "failing); retry later"));
+      }
+      break;  // canary: through the pipeline
+    }
+  }
+
   // A failed TryPush does not consume the request, so the promise can
   // still be resolved here.
   if (!queue_.TryPush(std::move(request))) {
@@ -179,11 +282,32 @@ std::future<ServeResponse> QueryService::Submit(
 
 void QueryService::SchedulerLoop() {
   for (;;) {
+    Beat();
     std::vector<std::unique_ptr<Request>> batch = queue_.PopBatch(
         options_.max_batch, std::chrono::microseconds(options_.max_delay_us));
+    Beat();
     if (batch.empty()) return;  // closed and drained
     Flush(std::move(batch));
+    Beat();
   }
+}
+
+void QueryService::ResolveDegraded(Request* request) {
+  // Lower-bound-only answer from the reduced representations: cheap,
+  // deterministic, and independent of the (possibly stalled) scheduler.
+  ServeResponse response;
+  response.status = Status::OK();
+  response.result = request->op == ServeOp::kKnn
+                        ? index_.KnnLowerBound(request->query, request->k)
+                        : index_.RangeSearchLowerBound(request->query,
+                                                       request->radius);
+  response.approximate = true;
+  metrics_.degraded_served.fetch_add(1);
+  metrics_.search.Add(response.result.counters, index_.dataset_size());
+  response.total_us = ElapsedUs(request->admitted, Clock::now());
+  metrics_.total_us.Record(response.total_us);
+  metrics_.completed_ok.fetch_add(1);
+  request->promise.set_value(std::move(response));
 }
 
 void QueryService::ResolveExpired(Request* request) {
@@ -208,9 +332,31 @@ void QueryService::ResolveExpired(Request* request) {
 
 void QueryService::Flush(std::vector<std::unique_ptr<Request>> batch) {
   SAPLA_TRACE_SPAN("serve/flush");
+  // Fault point "serve/flush_stall": latency-only, freezes the scheduler
+  // mid-flush so the watchdog's stall detection can be exercised.
+  SAPLA_FAULT_DELAY("serve/flush_stall");
   const Clock::time_point flush_start = Clock::now();
   metrics_.batches_flushed.fetch_add(1);
   metrics_.batch_size.Record(batch.size());
+
+  // Fault point "serve/flush": the whole batch fails as one unit, the way
+  // a real backend outage would fail it. Every request resolves with
+  // kUnavailable; the consecutive-failure streak drives the health ladder.
+  if (SAPLA_FAULT_HIT("serve/flush")) {
+    metrics_.flush_failures.fetch_add(1);
+    flush_fail_streak_.fetch_add(1);
+    RecomputeHealth();
+    for (auto& request : batch) {
+      ServeResponse response;
+      response.status =
+          Status::Unavailable("batch flush failed; retry later");
+      response.queue_us = ElapsedUs(request->admitted, flush_start);
+      response.total_us = ElapsedUs(request->admitted, Clock::now());
+      metrics_.total_us.Record(response.total_us);
+      request->promise.set_value(std::move(response));
+    }
+    return;
+  }
 
   // Partition: requests already past their deadline resolve immediately
   // (never stalling the live ones), the rest group by identical operation
@@ -253,14 +399,40 @@ void QueryService::Flush(std::vector<std::unique_ptr<Request>> batch) {
 
     const Clock::time_point exec_start = Clock::now();
     std::vector<KnnResult> results;
-    {
+    try {
       SAPLA_TRACE_SPAN("serve/exec_group");
       results = std::get<0>(key) == ServeOp::kKnn
                     ? index_.KnnBatch(queries, group.front()->k, batch_options)
                     : index_.RangeSearchBatch(queries, group.front()->radius,
                                               batch_options);
+    } catch (const std::exception& e) {
+      // The scheduler thread must survive anything the batch path throws
+      // (e.g. bad_alloc under memory pressure): resolve the group
+      // explicitly instead of terminating the process.
+      metrics_.flush_failures.fetch_add(1);
+      flush_fail_streak_.fetch_add(1);
+      RecomputeHealth();
+      for (Request* request : group) {
+        ServeResponse response;
+        response.status = Status::Internal(
+            std::string("batch execution failed: ") + e.what());
+        response.queue_us = request->queue_us;
+        response.total_us = ElapsedUs(request->admitted, Clock::now());
+        metrics_.total_us.Record(response.total_us);
+        request->promise.set_value(std::move(response));
+      }
+      continue;
     }
     const uint64_t exec_us = ElapsedUs(exec_start, Clock::now());
+
+    // A batch reached the index and came back: the failure streak is over
+    // and any flush-driven degradation lifts. Recompute before resolving
+    // the promises so a caller who just received a successful canary
+    // answer never reads stale degraded/unhealthy health.
+    if (flush_fail_streak_.load(std::memory_order_relaxed) != 0) {
+      flush_fail_streak_.store(0, std::memory_order_relaxed);
+      RecomputeHealth();
+    }
 
     for (size_t i = 0; i < group.size(); ++i) {
       Request* request = group[i];

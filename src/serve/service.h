@@ -30,6 +30,17 @@
 //   metrics     Queue depth, batch sizes, cache hits, deadline misses,
 //               per-stage latency and aggregated per-query search counters,
 //               exported through obs/metrics.h (Prometheus text or JSON).
+//   health      A three-state degradation ladder (docs/ROBUSTNESS.md):
+//               healthy  -> exact answers through the batching pipeline;
+//               degraded -> admission answers inline from the reduced
+//                           representations only (OK + approximate=true,
+//                           never touching the stalled scheduler);
+//               unhealthy-> explicit kUnavailable.
+//               Health is driven by two signals: a watchdog thread that
+//               detects a stalled scheduler (stale heartbeat while work is
+//               queued) and a consecutive-flush-failure streak. Both
+//               recover automatically when the signal clears. Cache hits
+//               are exact and served in every state.
 //
 // Thread-safety: every public method may be called concurrently from any
 // thread. The index must outlive the service and stay immutable while the
@@ -37,9 +48,11 @@
 // InvalidateCache() if the old cache object is reused).
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -50,6 +63,16 @@
 #include "util/status.h"
 
 namespace sapla {
+
+/// \brief Position on the degradation ladder (ordered: higher is worse).
+enum class ServeHealth : int {
+  kHealthy = 0,    ///< exact answers through the batching pipeline
+  kDegraded = 1,   ///< inline lower-bound-only answers (approximate=true)
+  kUnhealthy = 2,  ///< requests rejected with kUnavailable
+};
+
+/// "healthy" / "degraded" / "unhealthy".
+const char* ServeHealthName(ServeHealth health);
 
 /// \brief Tuning knobs for one QueryService.
 struct ServeOptions {
@@ -71,6 +94,19 @@ struct ServeOptions {
   /// Answer deadline-exceeded requests with a lower-bound-only approximate
   /// result instead of an empty one.
   bool degraded_answers = false;
+  /// Watchdog poll period (µs); 0 disables the watchdog thread entirely
+  /// (health is then driven by flush failures alone).
+  uint64_t watchdog_interval_us = 0;
+  /// Scheduler-heartbeat staleness, with work queued, that flips health to
+  /// degraded. Must comfortably exceed `max_delay_us` plus a typical flush,
+  /// or a busy-but-healthy scheduler gets flagged.
+  uint64_t stall_degraded_us = 100'000;
+  /// Staleness that flips health to unhealthy.
+  uint64_t stall_unhealthy_us = 1'000'000;
+  /// Consecutive flush failures that flip health to degraded (0 = never).
+  uint64_t flush_failures_degraded = 3;
+  /// Consecutive flush failures that flip health to unhealthy (0 = never).
+  uint64_t flush_failures_unhealthy = 10;
 };
 
 /// \brief One request's outcome.
@@ -122,6 +158,11 @@ class QueryService {
   /// Drops every cached result (call after rebuilding the index).
   void InvalidateCache();
 
+  /// Current position on the degradation ladder. Wait-free.
+  ServeHealth health() const {
+    return static_cast<ServeHealth>(health_.load(std::memory_order_relaxed));
+  }
+
   /// Stops admission, drains and executes everything already queued, and
   /// joins the scheduler. Idempotent; later submissions get kUnavailable.
   void Stop();
@@ -143,6 +184,14 @@ class QueryService {
   void SchedulerLoop();
   void Flush(std::vector<std::unique_ptr<Request>> batch);
   void ResolveExpired(Request* request);
+  /// Answers one request inline from the reduced representations only
+  /// (degraded path; no scheduler involvement).
+  void ResolveDegraded(Request* request);
+  void WatchdogLoop();
+  /// Stamps the scheduler heartbeat with "now".
+  void Beat();
+  /// Re-derives health from the stall level and flush-failure streak.
+  void RecomputeHealth();
 
   const SimilarityIndex& index_;
   const ServeOptions options_;
@@ -151,7 +200,26 @@ class QueryService {
   ResultCache cache_;
   BoundedQueue<std::unique_ptr<Request>> queue_;
   std::atomic<bool> stopped_{false};
+
+  /// Degradation-ladder state. `heartbeat_us_` is the scheduler's last
+  /// sign of life (steady-clock µs); the watchdog compares it against the
+  /// stall thresholds whenever work is queued and records the verdict in
+  /// `stall_level_`. Flush maintains `flush_fail_streak_`. Health is the
+  /// worse of the two signals.
+  std::atomic<uint64_t> heartbeat_us_{0};
+  std::atomic<int> stall_level_{0};
+  std::atomic<uint64_t> flush_fail_streak_{0};
+  std::atomic<int> health_{0};
+  /// Counts requests seen while not healthy; every eighth one becomes a
+  /// canary probe through the normal pipeline so recovery is observable.
+  std::atomic<uint64_t> ladder_seq_{0};
+
+  std::mutex watchdog_mu_;
+  std::condition_variable watchdog_cv_;
+  bool watchdog_stop_ = false;
+
   std::thread scheduler_;
+  std::thread watchdog_;
 };
 
 }  // namespace sapla

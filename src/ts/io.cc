@@ -1,5 +1,9 @@
 #include "ts/io.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <charconv>
 #include <cstdint>
 #include <cstring>
@@ -7,12 +11,26 @@
 #include <sstream>
 #include <system_error>
 
+#include "util/crc32c.h"
+#include "util/fault.h"
+
 namespace sapla {
 namespace {
 
 constexpr char kMagicV1[] = "SAPLA-REP v1";
 constexpr char kMagicV2[] = "SAPLACOL";  // 8 bytes, no terminator on disk
-constexpr uint32_t kVersionV2 = 2;
+constexpr uint32_t kVersionV2 = 2;       // legacy: no section checksums
+constexpr uint32_t kVersionV3 = 3;       // current: CRC32C per section
+
+// Sanity bounds applied to declared sizes in parsed archives: large enough
+// for any real corpus, small enough that a corrupt or hostile header cannot
+// drive absurd allocations or index math.
+constexpr uint64_t kMaxSeriesLength = uint64_t{1} << 24;
+constexpr uint64_t kMaxAlphabet = uint64_t{1} << 20;
+
+Status ErrnoStatus(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
 
 Result<Method> MethodFromString(const std::string& name) {
   for (const Method m : AllMethods())
@@ -124,7 +142,59 @@ class ByteReader {
   const char* end_;
 };
 
+/// Writes all of `data` to `fd` and fsyncs it, retrying short writes.
+Status WriteAndSync(int fd, const std::string& data, const std::string& path) {
+  SAPLA_FAULT_POINT("io/write");
+  size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n =
+        ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("write failed for " + path);
+    }
+    written += static_cast<size_t>(n);
+  }
+  SAPLA_FAULT_POINT("io/fsync");
+  if (::fsync(fd) != 0) return ErrnoStatus("fsync failed for " + path);
+  return Status::OK();
+}
+
+/// Reads a whole file; fault points io/open_read and io/read.
+Result<std::string> ReadFileToString(const std::string& path) {
+  SAPLA_FAULT_POINT("io/open_read");
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) return Status::IOError("read failed for " + path);
+  SAPLA_FAULT_POINT("io/read");
+  return buf.str();
+}
+
 }  // namespace
+
+Status AtomicWriteFile(const std::string& path, const std::string& data) {
+  SAPLA_FAULT_POINT("io/open_write");
+  // The temp file lives next to the target so the rename stays within one
+  // filesystem (rename(2) is only atomic then).
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                        0644);
+  if (fd < 0) return ErrnoStatus("cannot open " + tmp + " for writing");
+
+  Status st = WriteAndSync(fd, data, tmp);
+  if (::close(fd) != 0 && st.ok())
+    st = ErrnoStatus("close failed for " + tmp);
+  if (st.ok()) st = fault::Check("io/rename");
+  if (st.ok() && ::rename(tmp.c_str(), path.c_str()) != 0)
+    st = ErrnoStatus("rename failed for " + tmp + " -> " + path);
+  // Any failure leaves the destination exactly as it was; only the temp
+  // file needs cleaning up.
+  if (!st.ok()) ::unlink(tmp.c_str());
+  return st;
+}
 
 std::string SerializeRepresentation(const Representation& rep) {
   std::string out;
@@ -200,6 +270,8 @@ Result<std::vector<Representation>> ParseRepresentations(
       if (!(hdr >> k2 >> n_tok) || k2 != "n" ||
           !ParseUnsignedToken(n_tok, &n_val))
         return fail("missing n");
+      if (n_val == 0 || n_val > kMaxSeriesLength)
+        return fail("implausible series length " + n_tok);
       rep.n = static_cast<size_t>(n_val);
       std::string k3, a_tok;
       if (hdr >> k3) {
@@ -207,6 +279,8 @@ Result<std::vector<Representation>> ParseRepresentations(
         if (k3 != "alphabet" || !(hdr >> a_tok) ||
             !ParseUnsignedToken(a_tok, &a_val))
           return fail("bad alphabet field");
+        if (a_val > kMaxAlphabet)
+          return fail("implausible alphabet size " + a_tok);
         rep.alphabet = static_cast<size_t>(a_val);
       }
     }
@@ -232,6 +306,13 @@ Result<std::vector<Representation>> ParseRepresentations(
             !ParseUnsignedToken(r_tok, &r_val))
           return fail("bad seg line");
         seg.r = static_cast<size_t>(r_val);
+        // Right endpoints are strictly increasing positions in the series;
+        // anything else is a corrupt or hand-mangled archive, and accepting
+        // it would put downstream geometry code into UB territory.
+        if (seg.r >= rep.n ||
+            (!rep.segments.empty() && seg.r <= rep.segments.back().r))
+          return fail("segment endpoint " + r_tok +
+                      " out of order or beyond declared length");
         rep.segments.push_back(seg);
       } else if (tag == "coef") {
         std::string tok;
@@ -255,6 +336,9 @@ Result<std::vector<Representation>> ParseRepresentations(
     // Structural sanity.
     if (!rep.segments.empty() && rep.segments.back().r != rep.n - 1)
       return fail("segments do not cover the series");
+    if (rep.coeffs.size() > rep.n || rep.symbols.size() > rep.n)
+      return fail("more coefficients/symbols than the declared length " +
+                  std::to_string(rep.n));
     reps.push_back(std::move(rep));
   }
   if (reps.empty()) return Status::InvalidArgument("no representations found");
@@ -263,26 +347,30 @@ Result<std::vector<Representation>> ParseRepresentations(
 
 Status SaveRepresentations(const std::string& path,
                            const std::vector<Representation>& reps) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IOError("cannot open " + path + " for writing");
-  for (const Representation& rep : reps) out << SerializeRepresentation(rep);
-  if (!out) return Status::IOError("write failed for " + path);
-  return Status::OK();
+  std::string data;
+  for (const Representation& rep : reps) data += SerializeRepresentation(rep);
+  return AtomicWriteFile(path, data);
 }
 
 Result<std::vector<Representation>> LoadRepresentations(
     const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IOError("cannot open " + path);
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  return ParseRepresentations(buf.str());
+  Result<std::string> data = ReadFileToString(path);
+  SAPLA_RETURN_NOT_OK(data.status());
+  return ParseRepresentations(*data);
 }
 
 std::string SerializeRepresentationStore(const RepresentationStore& store) {
   std::string out;
   out.append(kMagicV2, 8);
-  PutU32(&out, kVersionV2);
+  PutU32(&out, kVersionV3);
+  PutU32(&out, 0);  // flags (reserved)
+  const size_t crc_pos = out.size();
+  PutU32(&out, 0);  // crc_header, patched below
+  PutU32(&out, 0);  // crc_offsets
+  PutU32(&out, 0);  // crc_columns
+  PutU32(&out, 0);  // reserved; keeps the header section 8-aligned
+
+  const size_t header_begin = out.size();
   const std::string method = MethodName(store.method());
   PutU32(&out, static_cast<uint32_t>(method.size()));
   out += method;
@@ -293,9 +381,13 @@ std::string SerializeRepresentationStore(const RepresentationStore& store) {
   PutU64(&out, store.a_column().size());
   PutU64(&out, store.coeff_column().size());
   PutU64(&out, store.symbol_column().size());
+
+  const size_t offsets_begin = out.size();
   PutArray(&out, store.seg_offsets());
   PutArray(&out, store.coeff_offsets());
   PutArray(&out, store.symbol_offsets());
+
+  const size_t columns_begin = out.size();
   PutArray(&out, store.a_column());
   PutArray(&out, store.b_column());
   PutArray(&out, store.r_column());  // u32
@@ -303,6 +395,13 @@ std::string SerializeRepresentationStore(const RepresentationStore& store) {
   PutArray(&out, store.coeff_column());
   PutArray(&out, store.symbol_column());  // i32
   Pad8(&out);
+
+  // Patch the section checksums now that the byte ranges are final.
+  const uint32_t crcs[3] = {
+      Crc32c(out.data() + header_begin, offsets_begin - header_begin),
+      Crc32c(out.data() + offsets_begin, columns_begin - offsets_begin),
+      Crc32c(out.data() + columns_begin, out.size() - columns_begin)};
+  std::memcpy(out.data() + crc_pos, crcs, sizeof(crcs));
   return out;
 }
 
@@ -337,16 +436,33 @@ Result<RepresentationStore> ParseRepresentationStore(const std::string& data) {
   r.Read(magic, 8);
   uint32_t version = 0;
   if (!r.ReadU32(&version)) return corrupt("truncated header");
-  if (version != kVersionV2)
+  if (version != kVersionV2 && version != kVersionV3)
     return Status::InvalidArgument("unsupported store version " +
                                    std::to_string(version));
+
+  // v3 carries per-section CRC32C checksums; v2 predates them and is
+  // accepted with structural validation only.
+  const bool has_crc = version == kVersionV3;
+  uint32_t flags = 0, reserved = 0;
+  uint32_t crc_header = 0, crc_offsets = 0, crc_columns = 0;
+  if (has_crc) {
+    if (!r.ReadU32(&flags) || !r.ReadU32(&crc_header) ||
+        !r.ReadU32(&crc_offsets) || !r.ReadU32(&crc_columns) ||
+        !r.ReadU32(&reserved))
+      return corrupt("truncated checksum block");
+    if (flags != 0)
+      return corrupt("unknown flags " + std::to_string(flags));
+  }
+  const auto section_crc = [&](size_t begin, size_t end) {
+    return Crc32c(data.data() + begin, end - begin);
+  };
+
+  const size_t header_begin = r.consumed(data);
   uint32_t name_len = 0;
   if (!r.ReadU32(&name_len) || name_len > 64) return corrupt("bad method name");
   std::string method_name(name_len, '\0');
   if (!r.Read(method_name.data(), name_len)) return corrupt("bad method name");
   if (!r.SkipPad8(r.consumed(data))) return corrupt("truncated padding");
-  const Result<Method> method = MethodFromString(method_name);
-  SAPLA_RETURN_NOT_OK(method.status());
 
   uint64_t n = 0, alphabet = 0, num_series = 0;
   uint64_t num_segments = 0, num_coeffs = 0, num_symbols = 0;
@@ -354,6 +470,14 @@ Result<RepresentationStore> ParseRepresentationStore(const std::string& data) {
       !r.ReadU64(&num_segments) || !r.ReadU64(&num_coeffs) ||
       !r.ReadU64(&num_symbols))
     return corrupt("truncated header");
+  const size_t offsets_begin = r.consumed(data);
+  if (has_crc && section_crc(header_begin, offsets_begin) != crc_header)
+    return corrupt("header section checksum mismatch (torn write or "
+                   "bit flip)");
+  // Only now interpret the header values: past the checksum they are
+  // trusted to be what the writer stored.
+  const Result<Method> method = MethodFromString(method_name);
+  SAPLA_RETURN_NOT_OK(method.status());
 
   std::vector<uint64_t> seg_off, coeff_off, sym_off;
   std::vector<double> a, b, coeffs;
@@ -363,12 +487,19 @@ Result<RepresentationStore> ParseRepresentationStore(const std::string& data) {
       !r.ReadArray(&coeff_off, num_series + 1) ||
       !r.ReadArray(&sym_off, num_series + 1))
     return corrupt("truncated offset tables");
+  const size_t columns_begin = r.consumed(data);
+  if (has_crc && section_crc(offsets_begin, columns_begin) != crc_offsets)
+    return corrupt("offset-table section checksum mismatch (torn write or "
+                   "bit flip)");
   if (!r.ReadArray(&a, num_segments) || !r.ReadArray(&b, num_segments) ||
       !r.ReadArray(&rr, num_segments) || !r.SkipPad8(r.consumed(data)) ||
       !r.ReadArray(&coeffs, num_coeffs) ||
       !r.ReadArray(&symbols, num_symbols) || !r.SkipPad8(r.consumed(data)))
     return corrupt("truncated columns");
   if (r.consumed(data) != data.size()) return corrupt("trailing bytes");
+  if (has_crc && section_crc(columns_begin, data.size()) != crc_columns)
+    return corrupt("column section checksum mismatch (torn write or "
+                   "bit flip)");
 
   Result<RepresentationStore> store = RepresentationStore::FromColumns(
       *method, static_cast<size_t>(n), static_cast<size_t>(alphabet),
@@ -383,36 +514,26 @@ Result<RepresentationStore> ParseRepresentationStore(const std::string& data) {
 
 Status SaveRepresentationStore(const std::string& path,
                                const RepresentationStore& store) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IOError("cannot open " + path + " for writing");
-  const std::string data = SerializeRepresentationStore(store);
-  out.write(data.data(), static_cast<std::streamsize>(data.size()));
-  if (!out) return Status::IOError("write failed for " + path);
-  return Status::OK();
+  return AtomicWriteFile(path, SerializeRepresentationStore(store));
 }
 
 Result<RepresentationStore> LoadRepresentationStore(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IOError("cannot open " + path);
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  return ParseRepresentationStore(buf.str());
+  Result<std::string> data = ReadFileToString(path);
+  SAPLA_RETURN_NOT_OK(data.status());
+  return ParseRepresentationStore(*data);
 }
 
 Status SaveDatasetTsv(const std::string& path, const Dataset& dataset) {
-  std::ofstream out(path);
-  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  std::string data;
   for (const TimeSeries& ts : dataset.series) {
-    std::string line = std::to_string(ts.label);
+    data += std::to_string(ts.label);
     for (const double v : ts.values) {
-      line += '\t';
-      AppendDouble(&line, v);
+      data += '\t';
+      AppendDouble(&data, v);
     }
-    line += '\n';
-    out << line;
+    data += '\n';
   }
-  if (!out) return Status::IOError("write failed for " + path);
-  return Status::OK();
+  return AtomicWriteFile(path, data);
 }
 
 }  // namespace sapla

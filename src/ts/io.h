@@ -23,17 +23,30 @@
 //
 // v2 — binary columnar, the RepresentationStore's SoA layout written
 // verbatim (homogeneous corpora only). Little-endian, 8-byte aligned
-// sections:
-//   magic "SAPLACOL" (8 bytes), u32 version = 2,
+// sections. Current revision (version = 3) adds CRC32C section checksums
+// so torn writes and bit flips are detected before any corrupted byte is
+// interpreted:
+//   magic "SAPLACOL" (8 bytes), u32 version = 3, u32 flags = 0,
+//   u32 crc_header, u32 crc_offsets, u32 crc_columns, u32 reserved = 0,
+//   -- header section (crc_header) --
 //   u32 method-name length + bytes (zero-padded to 8),
 //   u64 n, u64 alphabet, u64 num_series,
 //   u64 total_segments, u64 total_coeffs, u64 total_symbols,
+//   -- offsets section (crc_offsets) --
 //   seg/coeff/symbol offset tables ((num_series + 1) u64 each),
+//   -- columns section (crc_columns) --
 //   a[] f64, b[] f64, r[] u32 (padded), coeffs[] f64, symbols[] i32
 //   (padded).
-// LoadRepresentationStore auto-detects both formats: v1 files migrate by
+// Version 2 files (the same layout without the flags/crc words) still load.
+// LoadRepresentationStore auto-detects every format: v1 files migrate by
 // appending each parsed representation into a store (they must be
 // homogeneous), so existing archives read transparently.
+//
+// Crash safety: every writer goes through AtomicWriteFile — the bytes land
+// in a temp file in the destination directory, are fsync'd, and only then
+// renamed over the target. A crash or failure at any step leaves either the
+// old file or the new file, never a torn mix; a failed save never clobbers
+// an existing archive.
 
 #include <string>
 #include <vector>
@@ -44,6 +57,13 @@
 #include "util/status.h"
 
 namespace sapla {
+
+/// Writes `data` to `path` atomically: temp file + fsync + rename. On any
+/// failure the temp file is removed, a preexisting `path` is untouched, and
+/// the returned Status says which step failed (open/write/fsync/rename).
+/// Fault points (util/fault.h): io/open_write, io/write, io/fsync,
+/// io/rename.
+Status AtomicWriteFile(const std::string& path, const std::string& data);
 
 /// Serializes one representation (appendable; see v1 format above).
 std::string SerializeRepresentation(const Representation& rep);

@@ -1,13 +1,25 @@
 #include "ts/ucr_loader.h"
 
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
+#include "util/fault.h"
+
 namespace sapla {
+namespace {
+
+// Longest row a well-formed archive can plausibly contain; anything bigger
+// is treated as corruption rather than allowed to balloon memory.
+constexpr size_t kMaxRowValues = size_t{1} << 24;
+
+}  // namespace
 
 Result<Dataset> LoadUcrDataset(const std::string& path,
                                const UcrLoadOptions& options) {
+  SAPLA_FAULT_POINT("io/open_read");
   std::ifstream in(path);
   if (!in) return Status::IOError("cannot open " + path);
 
@@ -42,10 +54,31 @@ Result<Dataset> LoadUcrDataset(const std::string& path,
                                        "' in " + path + " line " +
                                        std::to_string(line_no));
       }
+      // strtod happily parses "nan"/"inf"; none of the distance math
+      // downstream survives them, so reject here with the exact location.
+      if (!std::isfinite(v)) {
+        return Status::InvalidArgument("non-finite value '" + cell + "' in " +
+                                       path + " line " +
+                                       std::to_string(line_no));
+      }
       if (first) {
+        // Casting an out-of-range double to int is undefined behaviour, so
+        // bound the label before converting.
+        if (v < static_cast<double>(std::numeric_limits<int>::min()) ||
+            v > static_cast<double>(std::numeric_limits<int>::max())) {
+          return Status::InvalidArgument(
+              "label '" + cell + "' out of range in " + path + " line " +
+              std::to_string(line_no));
+        }
         ts.label = static_cast<int>(v);
         first = false;
       } else {
+        if (ts.values.size() >= kMaxRowValues) {
+          return Status::InvalidArgument(
+              "row longer than " + std::to_string(kMaxRowValues) +
+              " values in " + path + " line " + std::to_string(line_no) +
+              "; refusing to load a likely-corrupt file");
+        }
         ts.values.push_back(v);
       }
     }
@@ -65,8 +98,13 @@ Result<Dataset> LoadUcrDataset(const std::string& path,
     if (options.max_series != 0 && ds.series.size() >= options.max_series)
       break;
   }
-  if (ds.series.empty())
-    return Status::InvalidArgument("no series parsed from " + path);
+  if (in.bad()) return Status::IOError("read failed for " + path);
+  if (ds.series.empty()) {
+    return Status::InvalidArgument(
+        line_no == 0 ? "empty file " + path
+                     : "no series parsed from " + path + " (" +
+                           std::to_string(line_no) + " blank lines)");
+  }
 
   for (auto& ts : ds.series) {
     if (options.target_length != 0 && ts.values.size() != options.target_length)

@@ -24,6 +24,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/fault.h"
+
 namespace sapla {
 
 /// \brief Bounded MPMC queue; see file comment for the batching contract.
@@ -40,6 +42,9 @@ class BoundedQueue {
   /// consumed — the caller keeps ownership (the serving layer resolves the
   /// rejected request's promise through it).
   bool TryPush(T&& item) {
+    // Fault point "queue/admit": a trigger behaves exactly like a full
+    // queue, so callers exercise their backpressure path on demand.
+    if (SAPLA_FAULT_HIT("queue/admit")) return false;
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (closed_ || items_.size() >= capacity_) return false;

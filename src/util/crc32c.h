@@ -1,0 +1,32 @@
+#ifndef SAPLA_UTIL_CRC32C_H_
+#define SAPLA_UTIL_CRC32C_H_
+
+// CRC32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78).
+//
+// The checksum guarding the binary columnar archive sections (ts/io.h):
+// torn writes, truncations and bit flips are detected before any of the
+// corrupted bytes are interpreted structurally. Software table
+// implementation — persistence is I/O-bound, so hardware CRC instructions
+// would not move the needle; portability and determinism do.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace sapla {
+
+/// CRC32C of `data[0, len)`, with the conventional pre/post inversion
+/// (Crc32c("123456789") == 0xE3069283).
+uint32_t Crc32c(const void* data, size_t len);
+
+/// Extends `crc` (a previous Crc32c result) with more bytes, as if the two
+/// buffers had been checksummed in one call.
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t len);
+
+inline uint32_t Crc32c(const std::string& data) {
+  return Crc32c(data.data(), data.size());
+}
+
+}  // namespace sapla
+
+#endif  // SAPLA_UTIL_CRC32C_H_

@@ -1,0 +1,292 @@
+#include "util/fault.h"
+
+#ifndef SAPLA_FAULT_DISABLED
+
+#include <charconv>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace sapla {
+namespace fault {
+namespace detail {
+
+std::atomic<bool> g_enabled{false};
+
+namespace {
+
+/// One armed point. The config (and name hash) is written under the
+/// registry lock by Configure before the workload runs; macro sites read it
+/// without the lock and only touch the atomic counters.
+struct Point {
+  PointConfig config;
+  uint64_t name_hash = 0;
+  std::atomic<uint64_t> evaluations{0};
+  std::atomic<uint64_t> triggers{0};
+};
+
+struct Registry {
+  std::mutex mu;
+  uint64_t seed = 0;
+  /// unique_ptr keeps Point addresses stable across rehashes, so macro
+  /// sites can use the pointer after dropping the lock.
+  std::map<std::string, std::unique_ptr<Point>> points;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();  // leaked like the thread pool
+  return *registry;
+}
+
+uint64_t Fnv1a(const std::string& s) {
+  uint64_t h = 1469598103934665603ULL;
+  for (const char c : s)
+    h = (h ^ static_cast<unsigned char>(c)) * 1099511628211ULL;
+  return h;
+}
+
+/// splitmix64 finalizer; full-period bijection, uniform output.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Looks up an armed point and the master seed. Null when not armed.
+Point* Find(const char* name, uint64_t* seed) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  const auto it = registry.points.find(name);
+  if (it == registry.points.end()) return nullptr;
+  *seed = registry.seed;
+  return it->second.get();
+}
+
+/// One evaluation of `point`: claims the next evaluation index and decides
+/// it. The decision for index i is a pure function of (seed, name, i) —
+/// replayable — while max_triggers caps in arrival order.
+bool Evaluate(const char* name, uint64_t* delay_us, StatusCode* code) {
+  uint64_t seed = 0;
+  Point* point = Find(name, &seed);
+  if (point == nullptr) return false;
+  const PointConfig& config = point->config;
+  const uint64_t index =
+      point->evaluations.fetch_add(1, std::memory_order_relaxed);
+  if (index < config.skip_first) return false;
+  if (config.probability <= 0.0) return false;
+  if (config.probability < 1.0) {
+    const uint64_t roll = Mix64(seed ^ Mix64(point->name_hash ^ index));
+    // probability * 2^64, saturating; roll is uniform on [0, 2^64).
+    const double scaled = config.probability * 18446744073709551616.0;
+    const uint64_t threshold =
+        scaled >= 18446744073709551615.0 ? UINT64_MAX
+                                         : static_cast<uint64_t>(scaled);
+    if (roll >= threshold) return false;
+  }
+  if (config.max_triggers != 0) {
+    // Claim one of the remaining triggers; back out when over budget.
+    const uint64_t t = point->triggers.fetch_add(1, std::memory_order_relaxed);
+    if (t >= config.max_triggers) {
+      point->triggers.fetch_sub(1, std::memory_order_relaxed);
+      return false;
+    }
+  } else {
+    point->triggers.fetch_add(1, std::memory_order_relaxed);
+  }
+  *delay_us = config.delay_us;
+  *code = config.code;
+  return true;
+}
+
+void ApplyDelay(uint64_t delay_us) {
+  if (delay_us != 0)
+    std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+}
+
+const char* CodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kIOError: return "injected I/O error";
+    case StatusCode::kOverloaded: return "injected overload";
+    case StatusCode::kDeadlineExceeded: return "injected deadline expiry";
+    case StatusCode::kUnavailable: return "injected unavailability";
+    case StatusCode::kInternal: return "injected internal error";
+    case StatusCode::kInvalidArgument: return "injected invalid argument";
+    case StatusCode::kNotFound: return "injected not-found";
+    default: return "injected fault";
+  }
+}
+
+}  // namespace
+
+bool HitSlow(const char* point) {
+  uint64_t delay_us = 0;
+  StatusCode code = StatusCode::kIOError;
+  if (!Evaluate(point, &delay_us, &code)) return false;
+  ApplyDelay(delay_us);
+  return true;
+}
+
+Status CheckSlow(const char* point) {
+  uint64_t delay_us = 0;
+  StatusCode code = StatusCode::kIOError;
+  if (!Evaluate(point, &delay_us, &code)) return Status::OK();
+  ApplyDelay(delay_us);
+  return Status(code, std::string(CodeName(code)) + " at fault point '" +
+                          point + "'");
+}
+
+void DelaySlow(const char* point) {
+  uint64_t delay_us = 0;
+  StatusCode code = StatusCode::kIOError;
+  if (Evaluate(point, &delay_us, &code)) ApplyDelay(delay_us);
+}
+
+}  // namespace detail
+
+void Enable(uint64_t seed) {
+  detail::Registry& registry = detail::GetRegistry();
+  {
+    std::lock_guard<std::mutex> lock(registry.mu);
+    registry.seed = seed;
+  }
+  detail::g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void Disable() { detail::g_enabled.store(false, std::memory_order_relaxed); }
+
+void Configure(const std::string& point, const PointConfig& config) {
+  detail::Registry& registry = detail::GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto p = std::make_unique<detail::Point>();
+  p->config = config;
+  p->name_hash = detail::Fnv1a(point);
+  registry.points[point] = std::move(p);
+}
+
+void Reset() {
+  Disable();
+  detail::Registry& registry = detail::GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.seed = 0;
+  registry.points.clear();
+}
+
+std::vector<PointStats> Stats() {
+  detail::Registry& registry = detail::GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  std::vector<PointStats> out;
+  out.reserve(registry.points.size());
+  for (const auto& [name, point] : registry.points) {
+    PointStats s;
+    s.name = name;
+    s.evaluations = point->evaluations.load(std::memory_order_relaxed);
+    s.triggers = point->triggers.load(std::memory_order_relaxed);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+namespace {
+
+bool ParseU64(const std::string& tok, uint64_t* out) {
+  const char* first = tok.data();
+  const char* last = tok.data() + tok.size();
+  const auto res = std::from_chars(first, last, *out);
+  return res.ec == std::errc() && res.ptr == last;
+}
+
+bool ParseDouble(const std::string& tok, double* out) {
+  const char* first = tok.data();
+  const char* last = tok.data() + tok.size();
+  const auto res = std::from_chars(first, last, *out);
+  return res.ec == std::errc() && res.ptr == last;
+}
+
+bool ParseCode(const std::string& name, StatusCode* out) {
+  if (name == "io") *out = StatusCode::kIOError;
+  else if (name == "overloaded") *out = StatusCode::kOverloaded;
+  else if (name == "deadline") *out = StatusCode::kDeadlineExceeded;
+  else if (name == "unavailable") *out = StatusCode::kUnavailable;
+  else if (name == "internal") *out = StatusCode::kInternal;
+  else if (name == "invalid") *out = StatusCode::kInvalidArgument;
+  else if (name == "notfound") *out = StatusCode::kNotFound;
+  else return false;
+  return true;
+}
+
+}  // namespace
+
+Status ConfigureFromSpec(const std::string& spec) {
+  uint64_t seed = 0;
+  std::vector<std::pair<std::string, PointConfig>> parsed;
+
+  size_t start = 0;
+  while (start <= spec.size()) {
+    const size_t semi = spec.find(';', start);
+    const std::string entry = spec.substr(
+        start, semi == std::string::npos ? std::string::npos : semi - start);
+    start = semi == std::string::npos ? spec.size() + 1 : semi + 1;
+    if (entry.empty()) continue;
+
+    const size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0)
+      return Status::InvalidArgument("fault spec entry '" + entry +
+                                     "' is not name=value");
+    const std::string name = entry.substr(0, eq);
+    const std::string value = entry.substr(eq + 1);
+    if (name == "seed") {
+      if (!ParseU64(value, &seed))
+        return Status::InvalidArgument("fault spec: bad seed '" + value + "'");
+      continue;
+    }
+
+    PointConfig config;
+    size_t field_start = 0;
+    while (field_start <= value.size()) {
+      const size_t comma = value.find(',', field_start);
+      const std::string field = value.substr(
+          field_start,
+          comma == std::string::npos ? std::string::npos : comma - field_start);
+      field_start = comma == std::string::npos ? value.size() + 1 : comma + 1;
+      if (field.empty()) continue;
+      const char kind = field[0];
+      const std::string arg = field.substr(1);
+      bool ok = false;
+      switch (kind) {
+        case 'p': ok = ParseDouble(arg, &config.probability); break;
+        case 'n': ok = ParseU64(arg, &config.max_triggers); break;
+        case 's': ok = ParseU64(arg, &config.skip_first); break;
+        case 'd': ok = ParseU64(arg, &config.delay_us); break;
+        case 'c': ok = ParseCode(arg, &config.code); break;
+        default: ok = false;
+      }
+      if (!ok)
+        return Status::InvalidArgument("fault spec: bad field '" + field +
+                                       "' for point '" + name + "'");
+    }
+    if (config.probability < 0.0 || config.probability > 1.0)
+      return Status::InvalidArgument("fault spec: probability out of [0,1] "
+                                     "for point '" + name + "'");
+    parsed.emplace_back(name, config);
+  }
+
+  // Apply only after the whole spec parsed, so a bad spec arms nothing.
+  for (const auto& [name, config] : parsed) Configure(name, config);
+  Enable(seed);
+  return Status::OK();
+}
+
+Status InitFromEnv() {
+  const char* spec = std::getenv("SAPLA_FAULT_SPEC");
+  if (spec == nullptr || spec[0] == '\0') return Status::OK();
+  return ConfigureFromSpec(spec);
+}
+
+}  // namespace fault
+}  // namespace sapla
+
+#endif  // SAPLA_FAULT_DISABLED

@@ -1,0 +1,188 @@
+#ifndef SAPLA_UTIL_FAULT_H_
+#define SAPLA_UTIL_FAULT_H_
+
+// Deterministic, compile-time-removable fault injection.
+//
+// Production code marks the places that can actually fail with one of three
+// macros; a test or the chaos harness (tools/sapla_chaos.cc) then arms a
+// subset of those points and replays real failure modes — I/O errors, full
+// queues, stalled workers, failed flushes — on demand:
+//
+//   SAPLA_FAULT_POINT("io/write")   in a Status-returning function: when the
+//                                   point triggers, returns the configured
+//                                   Status (default kIOError) to the caller.
+//   SAPLA_FAULT_HIT("queue/admit")  boolean expression: true when the point
+//                                   triggers (the site maps it to its own
+//                                   failure convention, e.g. TryPush -> false).
+//   SAPLA_FAULT_DELAY("serve/flush_stall")
+//                                   pure latency: sleeps the configured
+//                                   delay_us when triggering, injecting slow
+//                                   workers / stalled threads without failing.
+//
+// Determinism. Every trigger decision is a pure function of
+// (seed, point name, per-point evaluation index): evaluation #i of point P
+// triggers iff mix64(seed, fnv1a(P), i) < probability * 2^64. Evaluation
+// indices are assigned by a per-point atomic counter, so for a fixed seed the
+// set of triggering evaluations is identical run to run — a failure observed
+// once is replayable exactly (the xoshiro-style splitmix finalizer gives the
+// uniformity; no RNG state is shared across points or threads).
+//
+// Configuration, from the API (Enable + Configure) or one spec string
+// (ConfigureFromSpec / InitFromEnv reading $SAPLA_FAULT_SPEC):
+//
+//   seed=42;io/write=p0.01;queue/admit=p0.05,n3;serve/flush=p0.02,cunavailable
+//
+// Per point: p<probability>, n<max triggers>, s<skip first N evaluations>,
+// d<delay microseconds>, c<code: io|overloaded|deadline|unavailable|
+// internal|invalid|notfound>. Points not configured never trigger.
+//
+// Cost. Compiled in but disabled (the default): one relaxed atomic load per
+// macro site. -DSAPLA_FAULT=OFF removes the framework entirely — the macros
+// expand to nothing ((void)0 / false constants), util/fault.cc is not built,
+// and no fault symbols exist in the library (CI's chaos-smoke job checks
+// both properties).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace sapla {
+namespace fault {
+
+/// How one armed fault point behaves. Defaults describe "always fail with
+/// kIOError" — tests usually set only `probability`.
+struct PointConfig {
+  /// Per-evaluation trigger probability in [0, 1].
+  double probability = 1.0;
+  /// Stop triggering after this many triggers (0 = unlimited).
+  uint64_t max_triggers = 0;
+  /// Never trigger on the first N evaluations.
+  uint64_t skip_first = 0;
+  /// Sleep this long when triggering (used alone by SAPLA_FAULT_DELAY
+  /// sites, or combined with a failure for slow-then-fail behaviour).
+  uint64_t delay_us = 0;
+  /// Status code injected by SAPLA_FAULT_POINT sites.
+  StatusCode code = StatusCode::kIOError;
+};
+
+/// Per-point counters, inspectable after a run (the chaos harness prints
+/// them so "nothing triggered" is visible, never silent).
+struct PointStats {
+  std::string name;
+  uint64_t evaluations = 0;
+  uint64_t triggers = 0;
+};
+
+}  // namespace fault
+}  // namespace sapla
+
+#if !defined(SAPLA_FAULT_DISABLED)
+
+#include <atomic>
+
+namespace sapla {
+namespace fault {
+
+namespace detail {
+/// Master switch; every macro site loads it relaxed before anything else.
+extern std::atomic<bool> g_enabled;
+/// Slow paths, entered only while enabled.
+bool HitSlow(const char* point);
+Status CheckSlow(const char* point);
+void DelaySlow(const char* point);
+}  // namespace detail
+
+/// Arms the framework with a master seed. Points still need Configure (or a
+/// spec) before they trigger. Thread-safe.
+void Enable(uint64_t seed);
+
+/// Disarms every macro site (config and stats are kept until Reset).
+void Disable();
+
+inline bool Enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Arms `point` with `config` (replacing any previous config and resetting
+/// its counters). Unknown names are fine — a point is just a string agreed
+/// between the site and the test.
+void Configure(const std::string& point, const PointConfig& config);
+
+/// Parses and applies a spec string (grammar in the file comment) and
+/// enables the framework. Returns InvalidArgument on malformed specs.
+Status ConfigureFromSpec(const std::string& spec);
+
+/// ConfigureFromSpec($SAPLA_FAULT_SPEC) when the variable is set and
+/// non-empty; OK no-op otherwise.
+Status InitFromEnv();
+
+/// Disables the framework and drops every point config and counter.
+void Reset();
+
+/// Snapshot of every configured point's counters, ordered by name.
+std::vector<PointStats> Stats();
+
+/// True and applies the configured delay when `point` triggers now.
+inline bool Hit(const char* point) {
+  return Enabled() && detail::HitSlow(point);
+}
+
+/// The injected Status (plus delay) when `point` triggers now, OK otherwise.
+inline Status Check(const char* point) {
+  if (!Enabled()) return Status::OK();
+  return detail::CheckSlow(point);
+}
+
+/// Applies the configured delay when `point` triggers now; never fails.
+inline void Delay(const char* point) {
+  if (Enabled()) detail::DelaySlow(point);
+}
+
+}  // namespace fault
+}  // namespace sapla
+
+/// Returns the injected Status from the enclosing function when the point
+/// triggers.
+#define SAPLA_FAULT_POINT(name)                                    \
+  do {                                                             \
+    ::sapla::Status _sapla_fault_st = ::sapla::fault::Check(name); \
+    if (!_sapla_fault_st.ok()) return _sapla_fault_st;             \
+  } while (0)
+
+/// Boolean expression: true when the point triggers.
+#define SAPLA_FAULT_HIT(name) (::sapla::fault::Hit(name))
+
+/// Latency-only injection: sleeps the configured delay when triggering.
+#define SAPLA_FAULT_DELAY(name) (::sapla::fault::Delay(name))
+
+#else  // SAPLA_FAULT_DISABLED: the whole framework compiles away.
+
+namespace sapla {
+namespace fault {
+
+inline void Enable(uint64_t) {}
+inline void Disable() {}
+inline constexpr bool Enabled() { return false; }
+inline void Configure(const std::string&, const PointConfig&) {}
+inline Status ConfigureFromSpec(const std::string&) {
+  return Status::Unimplemented("fault injection compiled out (SAPLA_FAULT=OFF)");
+}
+inline Status InitFromEnv() { return Status::OK(); }
+inline void Reset() {}
+inline std::vector<PointStats> Stats() { return {}; }
+inline constexpr bool Hit(const char*) { return false; }
+inline Status Check(const char*) { return Status::OK(); }
+inline void Delay(const char*) {}
+
+}  // namespace fault
+}  // namespace sapla
+
+#define SAPLA_FAULT_POINT(name) ((void)0)
+#define SAPLA_FAULT_HIT(name) (false)
+#define SAPLA_FAULT_DELAY(name) ((void)0)
+
+#endif  // SAPLA_FAULT_DISABLED
+
+#endif  // SAPLA_UTIL_FAULT_H_

@@ -5,6 +5,7 @@
 #include <exception>
 
 #include "obs/trace.h"
+#include "util/fault.h"
 
 namespace sapla {
 namespace {
@@ -112,6 +113,9 @@ void ParallelFor(size_t begin, size_t end,
 
   const auto run_chunk = [&](size_t c) {
     SAPLA_TRACE_SPAN("parallel/chunk");
+    // Fault point "parallel/worker": latency-only — simulates a slow worker
+    // without changing what the chunk computes.
+    SAPLA_FAULT_DELAY("parallel/worker");
     const auto [start, stop] = ParallelChunk(begin, end, chunks, c);
     t_in_parallel_for = true;
     try {

@@ -1,0 +1,212 @@
+// Fault-injection framework (util/fault.h): determinism (same seed => same
+// trigger schedule), probability/count/skip semantics, spec parsing, the
+// disabled fast path, and CRC32C vectors (util/crc32c.h).
+
+#include "util/fault.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/crc32c.h"
+
+namespace sapla {
+namespace {
+
+#ifndef SAPLA_FAULT_DISABLED
+
+class FaultTest : public ::testing::Test {
+ protected:
+  void TearDown() override { fault::Reset(); }
+};
+
+// Records which of `evals` evaluations of one point trigger.
+std::vector<bool> Schedule(const char* point, size_t evals) {
+  std::vector<bool> hits;
+  hits.reserve(evals);
+  for (size_t i = 0; i < evals; ++i) hits.push_back(SAPLA_FAULT_HIT(point));
+  return hits;
+}
+
+TEST_F(FaultTest, DisabledPointsNeverTrigger) {
+  EXPECT_FALSE(fault::Enabled());
+  EXPECT_FALSE(SAPLA_FAULT_HIT("never/armed"));
+  EXPECT_TRUE(fault::Check("never/armed").ok());
+
+  // Armed but not enabled: still silent.
+  fault::Configure("a/point", {});
+  EXPECT_FALSE(SAPLA_FAULT_HIT("a/point"));
+}
+
+TEST_F(FaultTest, UnconfiguredPointsNeverTriggerWhileEnabled) {
+  fault::Enable(1);
+  EXPECT_FALSE(SAPLA_FAULT_HIT("not/configured"));
+  EXPECT_TRUE(fault::Check("not/configured").ok());
+}
+
+TEST_F(FaultTest, ProbabilityOneAlwaysTriggers) {
+  fault::Enable(7);
+  fault::Configure("always", {});
+  for (int i = 0; i < 20; ++i) EXPECT_TRUE(SAPLA_FAULT_HIT("always"));
+}
+
+TEST_F(FaultTest, SameSeedSameSchedule) {
+  fault::PointConfig config;
+  config.probability = 0.3;
+
+  fault::Enable(42);
+  fault::Configure("p", config);
+  const std::vector<bool> first = Schedule("p", 500);
+
+  fault::Reset();
+  fault::Enable(42);
+  fault::Configure("p", config);
+  const std::vector<bool> second = Schedule("p", 500);
+  EXPECT_EQ(first, second);
+
+  fault::Reset();
+  fault::Enable(43);
+  fault::Configure("p", config);
+  const std::vector<bool> other_seed = Schedule("p", 500);
+  EXPECT_NE(first, other_seed);
+
+  // ~30% of 500 evaluations, with generous slack.
+  size_t hits = 0;
+  for (const bool h : first) hits += h;
+  EXPECT_GT(hits, 100u);
+  EXPECT_LT(hits, 220u);
+}
+
+TEST_F(FaultTest, DistinctPointsHaveIndependentSchedules) {
+  fault::PointConfig config;
+  config.probability = 0.5;
+  fault::Enable(9);
+  fault::Configure("left", config);
+  fault::Configure("right", config);
+  // Interleave so both see the same evaluation indices.
+  std::vector<bool> left, right;
+  for (size_t i = 0; i < 200; ++i) {
+    left.push_back(SAPLA_FAULT_HIT("left"));
+    right.push_back(SAPLA_FAULT_HIT("right"));
+  }
+  EXPECT_NE(left, right);
+}
+
+TEST_F(FaultTest, MaxTriggersCapsAndSkipFirstDelays) {
+  fault::Enable(5);
+  fault::PointConfig config;
+  config.max_triggers = 3;
+  config.skip_first = 2;
+  fault::Configure("capped", config);
+
+  const std::vector<bool> hits = Schedule("capped", 10);
+  const std::vector<bool> expected = {false, false, true, true, true,
+                                      false, false, false, false, false};
+  EXPECT_EQ(hits, expected);
+
+  const std::vector<fault::PointStats> stats = fault::Stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].name, "capped");
+  EXPECT_EQ(stats[0].evaluations, 10u);
+  EXPECT_EQ(stats[0].triggers, 3u);
+}
+
+TEST_F(FaultTest, CheckReturnsConfiguredStatusCode) {
+  fault::Enable(1);
+  fault::PointConfig config;
+  config.code = StatusCode::kUnavailable;
+  fault::Configure("svc", config);
+  const Status st = fault::Check("svc");
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+  EXPECT_NE(st.message().find("svc"), std::string::npos);
+}
+
+Status StatusSite() {
+  SAPLA_FAULT_POINT("status/site");
+  return Status::OK();
+}
+
+TEST_F(FaultTest, FaultPointMacroReturnsFromEnclosingFunction) {
+  EXPECT_TRUE(StatusSite().ok());
+  fault::Enable(1);
+  fault::Configure("status/site", {});
+  EXPECT_EQ(StatusSite().code(), StatusCode::kIOError);
+  fault::Disable();
+  EXPECT_TRUE(StatusSite().ok());
+}
+
+TEST_F(FaultTest, SpecStringConfiguresPointsAndSeed) {
+  const Status st = fault::ConfigureFromSpec(
+      "seed=11;io/write=p0.5;q/admit=p1,n2,s1,cunavailable,d0");
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_TRUE(fault::Enabled());
+
+  // q/admit: skip 1, then trigger twice, then exhausted.
+  EXPECT_FALSE(SAPLA_FAULT_HIT("q/admit"));
+  EXPECT_EQ(fault::Check("q/admit").code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(SAPLA_FAULT_HIT("q/admit"));
+  EXPECT_FALSE(SAPLA_FAULT_HIT("q/admit"));
+
+  // io/write: seeded schedule, deterministic against a fresh re-parse.
+  const std::vector<bool> first = Schedule("io/write", 100);
+  fault::Reset();
+  ASSERT_TRUE(fault::ConfigureFromSpec("seed=11;io/write=p0.5").ok());
+  EXPECT_EQ(first, Schedule("io/write", 100));
+}
+
+TEST_F(FaultTest, MalformedSpecsAreRejectedWithoutArming) {
+  EXPECT_FALSE(fault::ConfigureFromSpec("io/write").ok());
+  EXPECT_FALSE(fault::ConfigureFromSpec("=p1").ok());
+  EXPECT_FALSE(fault::ConfigureFromSpec("seed=abc").ok());
+  EXPECT_FALSE(fault::ConfigureFromSpec("p=x1").ok());
+  EXPECT_FALSE(fault::ConfigureFromSpec("p=p2.0").ok());
+  EXPECT_FALSE(fault::ConfigureFromSpec("p=cnonsense").ok());
+  EXPECT_FALSE(fault::Enabled());
+  EXPECT_TRUE(fault::Stats().empty());
+}
+
+#else  // SAPLA_FAULT_DISABLED
+
+TEST(FaultDisabled, MacrosAreFreeAndInert) {
+  EXPECT_FALSE(fault::Enabled());
+  EXPECT_FALSE(SAPLA_FAULT_HIT("anything"));
+  SAPLA_FAULT_DELAY("anything");
+  fault::Enable(1);
+  EXPECT_FALSE(fault::Enabled());
+  EXPECT_FALSE(fault::ConfigureFromSpec("a=p1").ok());
+}
+
+#endif  // SAPLA_FAULT_DISABLED
+
+TEST(Crc32c, KnownVectors) {
+  // RFC 3720 / common test vectors for CRC32C.
+  EXPECT_EQ(Crc32c("", 0), 0x00000000u);
+  EXPECT_EQ(Crc32c("123456789", 9), 0xE3069283u);
+  const std::string zeros(32, '\0');
+  EXPECT_EQ(Crc32c(zeros.data(), zeros.size()), 0x8A9136AAu);
+}
+
+TEST(Crc32c, ExtendMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  const uint32_t whole = Crc32c(data.data(), data.size());
+  for (const size_t split : {size_t{0}, size_t{1}, size_t{10}, data.size()}) {
+    const uint32_t part = Crc32c(data.data(), split);
+    EXPECT_EQ(Crc32cExtend(part, data.data() + split, data.size() - split),
+              whole)
+        << "split " << split;
+  }
+}
+
+TEST(Crc32c, DetectsSingleBitFlips) {
+  std::string data = "columnar archive section payload bytes";
+  const uint32_t good = Crc32c(data.data(), data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] ^= 0x01;
+    EXPECT_NE(Crc32c(data.data(), data.size()), good) << "byte " << i;
+    data[i] ^= 0x01;
+  }
+}
+
+}  // namespace
+}  // namespace sapla

@@ -1,0 +1,213 @@
+// Client-side retry layer (serve/retry.h): deterministic backoff schedules
+// (same seed => same schedule), the transient-only retryable set, the
+// never-retry-past-the-deadline rule, the clock-free retry budget, and the
+// RetryingClient end to end against a QueryService with injected admission
+// failures.
+
+#include "serve/retry.h"
+
+#include <chrono>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ts/synthetic_archive.h"
+#include "util/fault.h"
+
+namespace sapla {
+namespace {
+
+TEST(RetryBackoff, PureFunctionOfPolicyAttemptAndRequestId) {
+  RetryPolicy policy;
+  policy.seed = 42;
+  policy.jitter = 0.5;
+  for (uint32_t attempt = 1; attempt <= 6; ++attempt) {
+    const uint64_t a = BackoffUs(policy, attempt, /*request_id=*/7);
+    const uint64_t b = BackoffUs(policy, attempt, /*request_id=*/7);
+    EXPECT_EQ(a, b) << "attempt " << attempt;
+  }
+  // Different request ids jitter differently somewhere in the schedule.
+  bool differs = false;
+  for (uint32_t attempt = 1; attempt <= 6; ++attempt)
+    differs |= BackoffUs(policy, attempt, 7) != BackoffUs(policy, attempt, 8);
+  EXPECT_TRUE(differs);
+  // Different seeds too.
+  RetryPolicy other = policy;
+  other.seed = 43;
+  differs = false;
+  for (uint32_t attempt = 1; attempt <= 6; ++attempt)
+    differs |= BackoffUs(policy, attempt, 7) != BackoffUs(other, attempt, 7);
+  EXPECT_TRUE(differs);
+}
+
+TEST(RetryBackoff, JitterZeroIsExactExponentialWithCap) {
+  RetryPolicy policy;
+  policy.initial_backoff_us = 1000;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_us = 5000;
+  policy.jitter = 0.0;
+  EXPECT_EQ(BackoffUs(policy, 1, 0), 1000u);
+  EXPECT_EQ(BackoffUs(policy, 2, 0), 2000u);
+  EXPECT_EQ(BackoffUs(policy, 3, 0), 4000u);
+  EXPECT_EQ(BackoffUs(policy, 4, 0), 5000u);  // capped
+  EXPECT_EQ(BackoffUs(policy, 60, 0), 5000u);  // saturates, no overflow
+}
+
+TEST(RetryBackoff, JitterStaysWithinTheConfiguredBand) {
+  RetryPolicy policy;
+  policy.initial_backoff_us = 10000;
+  policy.jitter = 0.5;
+  for (uint64_t id = 0; id < 200; ++id) {
+    const uint64_t b = BackoffUs(policy, 1, id);
+    EXPECT_GE(b, 5000u) << id;
+    EXPECT_LT(b, 10000u) << id;
+  }
+}
+
+TEST(RetryPolicyTest, OnlyTransientCodesAreRetryable) {
+  RetryPolicy policy;
+  EXPECT_TRUE(IsRetryable(policy, StatusCode::kOverloaded));
+  EXPECT_FALSE(IsRetryable(policy, StatusCode::kUnavailable));
+  policy.retry_unavailable = true;
+  EXPECT_TRUE(IsRetryable(policy, StatusCode::kUnavailable));
+  for (const StatusCode code :
+       {StatusCode::kInvalidArgument, StatusCode::kIOError,
+        StatusCode::kDeadlineExceeded, StatusCode::kInternal,
+        StatusCode::kNotFound})
+    EXPECT_FALSE(IsRetryable(policy, code));
+}
+
+TEST(RetryPolicyTest, NeverRetriesPastTheDeadline) {
+  RetryPolicy policy;
+  policy.max_attempts = 10;
+  policy.initial_backoff_us = 1000;
+  policy.jitter = 0.0;
+
+  // No deadline: retry until attempts run out.
+  EXPECT_TRUE(ShouldRetry(policy, 1, StatusCode::kOverloaded, 999999, 0, 0));
+  EXPECT_FALSE(ShouldRetry(policy, 10, StatusCode::kOverloaded, 0, 0, 0));
+
+  // Deadline already passed.
+  EXPECT_FALSE(
+      ShouldRetry(policy, 1, StatusCode::kOverloaded, 5000, 5000, 0));
+  // The backoff alone would consume the remaining allowance.
+  EXPECT_FALSE(
+      ShouldRetry(policy, 1, StatusCode::kOverloaded, 4500, 5000, 0));
+  // Enough room left.
+  EXPECT_TRUE(ShouldRetry(policy, 1, StatusCode::kOverloaded, 1000, 5000, 0));
+
+  // Non-retryable codes are refused regardless of time.
+  EXPECT_FALSE(
+      ShouldRetry(policy, 1, StatusCode::kDeadlineExceeded, 0, 0, 0));
+}
+
+TEST(RetryBudgetTest, DrainsAndRefillsOnSuccess) {
+  RetryBudget budget(/*max_tokens=*/2.0, /*tokens_per_success=*/0.5);
+  EXPECT_TRUE(budget.TryAcquire());
+  EXPECT_TRUE(budget.TryAcquire());
+  EXPECT_FALSE(budget.TryAcquire());  // empty
+  budget.RecordSuccess();             // +0.5: still below one token
+  EXPECT_FALSE(budget.TryAcquire());
+  budget.RecordSuccess();
+  EXPECT_TRUE(budget.TryAcquire());  // back to one full token
+  // The bucket caps at max_tokens.
+  for (int i = 0; i < 100; ++i) budget.RecordSuccess();
+  EXPECT_EQ(budget.tokens(), 2.0);
+}
+
+#ifndef SAPLA_FAULT_DISABLED
+
+class RetryClientTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SyntheticOptions opt;
+    opt.length = 64;
+    opt.num_series = 30;
+    ds_ = MakeSyntheticDataset(5, opt);
+    index_ = std::make_unique<SimilarityIndex>(Method::kSapla, 10,
+                                               IndexKind::kRTree);
+    ASSERT_TRUE(index_->Build(ds_).ok());
+  }
+
+  void TearDown() override { fault::Reset(); }
+
+  ServeOptions FastServeOptions() const {
+    ServeOptions opt;
+    opt.max_batch = 1;
+    opt.max_delay_us = 0;
+    return opt;
+  }
+
+  Dataset ds_;
+  std::unique_ptr<SimilarityIndex> index_;
+};
+
+TEST_F(RetryClientTest, RetriesInjectedAdmissionFailureAndSucceeds) {
+  QueryService service(*index_, FastServeOptions());
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff_us = 100;
+  RetryingClient client(service, policy);
+
+  // The first TryPush fails like a full queue; the retry goes through.
+  fault::Enable(1);
+  fault::PointConfig config;
+  config.max_triggers = 1;
+  fault::Configure("queue/admit", config);
+
+  const std::vector<double>& q = ds_.series[3].values;
+  const ServeResponse r = client.Knn(q, 4);
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_EQ(r.result.neighbors, index_->Knn(q, 4).neighbors);
+  EXPECT_EQ(client.stats().retries.load(), 1u);
+  EXPECT_EQ(client.stats().attempts.load(), 2u);
+}
+
+TEST_F(RetryClientTest, ExhaustedBudgetStopsRetrying) {
+  QueryService service(*index_, FastServeOptions());
+  RetryPolicy policy;
+  policy.max_attempts = 10;
+  policy.initial_backoff_us = 10;
+  RetryBudget budget(/*max_tokens=*/1.0, /*tokens_per_success=*/0.0);
+  RetryingClient client(service, policy, &budget);
+
+  fault::Enable(1);
+  fault::Configure("queue/admit", {});  // every admission fails
+
+  const ServeResponse r = client.Knn(ds_.series[0].values, 3);
+  EXPECT_EQ(r.status.code(), StatusCode::kOverloaded);
+  // One retry bought by the single token, then the budget says stop.
+  EXPECT_EQ(client.stats().retries.load(), 1u);
+  EXPECT_EQ(client.stats().budget_denied.load(), 1u);
+  EXPECT_EQ(client.stats().attempts.load(), 2u);
+}
+
+TEST_F(RetryClientTest, DeadlineStopsRetriesBeforeTheBackoff) {
+  QueryService service(*index_, FastServeOptions());
+  RetryPolicy policy;
+  policy.max_attempts = 10;
+  policy.initial_backoff_us = 200'000;  // 200ms: never fits a 5ms deadline
+  policy.jitter = 0.0;
+  RetryingClient client(service, policy);
+
+  fault::Enable(1);
+  fault::Configure("queue/admit", {});  // every admission fails
+
+  const auto start = std::chrono::steady_clock::now();
+  const ServeResponse r =
+      client.Knn(ds_.series[0].values, 3, /*deadline_us=*/5000);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(r.status.code(), StatusCode::kOverloaded);
+  EXPECT_EQ(client.stats().retries.load(), 0u);
+  EXPECT_EQ(client.stats().deadline_denied.load(), 1u);
+  // The loop must not have slept the 200ms backoff.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            150);
+}
+
+#endif  // SAPLA_FAULT_DISABLED
+
+}  // namespace
+}  // namespace sapla

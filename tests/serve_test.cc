@@ -22,6 +22,7 @@
 #include <gtest/gtest.h>
 
 #include "ts/synthetic_archive.h"
+#include "util/fault.h"
 
 namespace sapla {
 namespace {
@@ -322,6 +323,218 @@ TEST_F(ServeFixture, ConcurrentClientsGetSerialAnswers) {
   EXPECT_EQ(snap.completed_ok, kClients * kPerClient);
   EXPECT_GT(snap.cache_hits, 0u);  // clients repeat query indices
 }
+
+TEST_F(ServeFixture, DeadlineRacingTheFlushIsAlwaysExactOrExpired) {
+  // Deadlines chosen to land right on the flush window: whether each
+  // request wins or loses its race is timing-dependent, but the outcome
+  // space is not — every response is either a bit-exact OK answer or a
+  // clean kDeadlineExceeded. Nothing in between, nothing torn.
+  ServeOptions opt;
+  opt.queue_capacity = 256;
+  opt.max_batch = 4;
+  opt.max_delay_us = 2'000;
+  opt.cache_capacity = 0;
+  opt.degraded_answers = false;
+  QueryService service(*index_, opt);
+
+  constexpr size_t kRequests = 200;
+  std::vector<std::future<ServeResponse>> futures;
+  std::vector<size_t> query_of;
+  for (size_t i = 0; i < kRequests; ++i) {
+    const size_t qi = (i * 17) % ds_.size();
+    query_of.push_back(qi);
+    futures.push_back(
+        service.SubmitKnn(ds_.series[qi].values, 3, /*deadline_us=*/2'000));
+  }
+
+  size_t ok = 0, expired = 0;
+  for (size_t i = 0; i < kRequests; ++i) {
+    const ServeResponse r = futures[i].get();
+    if (r.status.ok()) {
+      ++ok;
+      EXPECT_FALSE(r.approximate);
+      ExpectSameResult(index_->Knn(ds_.series[query_of[i]].values, 3),
+                       r.result, "raced q" + std::to_string(i));
+    } else {
+      ASSERT_EQ(r.status.code(), StatusCode::kDeadlineExceeded)
+          << r.status.ToString();
+      EXPECT_TRUE(r.result.neighbors.empty());
+      ++expired;
+    }
+  }
+  EXPECT_EQ(ok + expired, kRequests);
+  const ServeMetricsSnapshot snap = service.MetricsSnapshot();
+  EXPECT_EQ(snap.completed_ok, ok);
+  EXPECT_EQ(snap.deadline_exceeded, expired);
+}
+
+#ifndef SAPLA_FAULT_DISABLED
+
+// Health-ladder tests drive the service through injected flush failures
+// (util/fault.h point "serve/flush") — deterministic because probability 1
+// with a trigger cap fails exactly the first N flushes.
+class ServeHealthLadder : public ServeFixture {
+ protected:
+  void TearDown() override { fault::Reset(); }
+
+  // One flush per request so failure counting is exact; cache off so the
+  // ladder sees every request.
+  ServeOptions LadderOptions() {
+    ServeOptions opt;
+    opt.queue_capacity = 64;
+    opt.max_batch = 1;
+    opt.max_delay_us = 0;
+    opt.cache_capacity = 0;
+    opt.degraded_answers = true;
+    return opt;
+  }
+
+  void FailNextFlushes(uint64_t count) {
+    fault::Reset();
+    fault::Enable(/*seed=*/11);
+    fault::PointConfig cfg;
+    cfg.probability = 1.0;
+    cfg.max_triggers = count;
+    cfg.code = StatusCode::kUnavailable;
+    fault::Configure("serve/flush", cfg);
+  }
+};
+
+TEST_F(ServeHealthLadder, FlushFailuresDegradeThenCanaryRecovers) {
+  ServeOptions opt = LadderOptions();
+  opt.flush_failures_degraded = 2;
+  opt.flush_failures_unhealthy = 0;  // never unhealthy in this test
+  QueryService service(*index_, opt);
+  const std::vector<double>& q = ds_.series[5].values;
+
+  // Exactly the first three flushes fail: two to cross the degraded
+  // threshold, one more for the first canary probe.
+  FailNextFlushes(3);
+
+  EXPECT_EQ(service.Knn(q, 4).status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(service.health(), ServeHealth::kHealthy);  // streak 1 < 2
+  EXPECT_EQ(service.Knn(q, 4).status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(service.health(), ServeHealth::kDegraded);
+
+  // First degraded request is a canary (it still fails: third trigger).
+  EXPECT_EQ(service.Knn(q, 4).status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(service.health(), ServeHealth::kDegraded);
+
+  // The fault is exhausted, but degraded requests bypass the scheduler, so
+  // the service cannot observe recovery from them — they are answered
+  // inline from the lower-bound index, exact per KnnLowerBound.
+  const KnnResult lb = index_->KnnLowerBound(q, 4);
+  for (int i = 0; i < 7; ++i) {
+    const ServeResponse r = service.Knn(q, 4);
+    ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+    EXPECT_TRUE(r.approximate);
+    ExpectSameResult(lb, r.result, "degraded serve " + std::to_string(i));
+    EXPECT_EQ(service.health(), ServeHealth::kDegraded);
+  }
+
+  // The eighth ladder request is the next canary: it flows through the
+  // pipeline, the flush succeeds, the streak resets, health recovers.
+  const ServeResponse canary = service.Knn(q, 4);
+  ASSERT_TRUE(canary.status.ok()) << canary.status.ToString();
+  EXPECT_FALSE(canary.approximate);
+  ExpectSameResult(index_->Knn(q, 4), canary.result, "recovery canary");
+  EXPECT_EQ(service.health(), ServeHealth::kHealthy);
+
+  // And a fully healthy service serves exact answers again.
+  const ServeResponse after = service.Knn(q, 4);
+  ASSERT_TRUE(after.status.ok());
+  EXPECT_FALSE(after.approximate);
+
+  const ServeMetricsSnapshot snap = service.MetricsSnapshot();
+  EXPECT_EQ(snap.flush_failures, 3u);
+  EXPECT_EQ(snap.degraded_served, 7u);
+  EXPECT_EQ(snap.rejected_unhealthy, 0u);
+}
+
+TEST_F(ServeHealthLadder, PersistentFailuresGoUnhealthyAndReject) {
+  ServeOptions opt = LadderOptions();
+  opt.flush_failures_degraded = 1;
+  opt.flush_failures_unhealthy = 2;
+  QueryService service(*index_, opt);
+  const std::vector<double>& q = ds_.series[8].values;
+
+  FailNextFlushes(/*count=*/0);  // 0 = unlimited: every flush fails
+
+  // First failure -> degraded; the canary's failure -> unhealthy.
+  EXPECT_EQ(service.Knn(q, 4).status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(service.health(), ServeHealth::kDegraded);
+  EXPECT_EQ(service.Knn(q, 4).status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(service.health(), ServeHealth::kUnhealthy);
+
+  // Unhealthy sheds load: non-canary requests are rejected immediately
+  // without touching the queue or the index.
+  size_t rejected = 0;
+  for (int i = 0; i < 6; ++i) {
+    const ServeResponse r = service.Knn(q, 4);
+    ASSERT_FALSE(r.status.ok());
+    EXPECT_EQ(r.status.code(), StatusCode::kUnavailable);
+    if (r.status.message().find("unhealthy") != std::string::npos) ++rejected;
+  }
+  EXPECT_GT(rejected, 0u);
+  EXPECT_EQ(service.MetricsSnapshot().rejected_unhealthy, rejected);
+
+  // Once the fault clears, a canary probe heals the service.
+  fault::Reset();
+  bool healed = false;
+  for (int i = 0; i < 2 * 8 && !healed; ++i)
+    healed = service.Knn(q, 4).status.ok();
+  EXPECT_TRUE(healed);
+  EXPECT_EQ(service.health(), ServeHealth::kHealthy);
+  const ServeResponse after = service.Knn(q, 4);
+  ASSERT_TRUE(after.status.ok());
+  ExpectSameResult(index_->Knn(q, 4), after.result, "healed exact");
+}
+
+TEST_F(ServeHealthLadder, WatchdogFlagsAStalledSchedulerAndRecovers) {
+  // A 150ms stall is injected into the first flush while a second request
+  // waits in the queue; the watchdog (5ms interval, 30ms degraded
+  // threshold) must notice the stale heartbeat, degrade, and then recover
+  // once the scheduler comes back.
+  ServeOptions opt = LadderOptions();
+  opt.watchdog_interval_us = 5'000;
+  opt.stall_degraded_us = 30'000;
+  opt.stall_unhealthy_us = 10'000'000;
+  QueryService service(*index_, opt);
+
+  fault::Reset();
+  fault::Enable(/*seed=*/11);
+  fault::PointConfig stall;
+  stall.probability = 1.0;
+  stall.max_triggers = 1;
+  stall.delay_us = 150'000;
+  fault::Configure("serve/flush_stall", stall);
+
+  // First request enters the stalled flush; the second sits in the queue,
+  // which is what makes the staleness count as a stall.
+  auto stuck = service.SubmitKnn(ds_.series[0].values, 3);
+  auto queued = service.SubmitKnn(ds_.series[1].values, 3);
+
+  bool saw_degraded = false;
+  for (int i = 0; i < 400 && !saw_degraded; ++i) {
+    saw_degraded = service.health() != ServeHealth::kHealthy;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(saw_degraded) << "watchdog never flagged the stall";
+
+  // Both requests complete exactly once the stall passes, and the watchdog
+  // clears the stall level when the heartbeat freshens.
+  ASSERT_TRUE(stuck.get().status.ok());
+  ASSERT_TRUE(queued.get().status.ok());
+  bool recovered = false;
+  for (int i = 0; i < 400 && !recovered; ++i) {
+    recovered = service.health() == ServeHealth::kHealthy;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(recovered) << "health never returned to healthy";
+  EXPECT_GT(service.MetricsSnapshot().watchdog_stalls, 0u);
+}
+
+#endif  // SAPLA_FAULT_DISABLED
 
 }  // namespace
 }  // namespace sapla

@@ -1,0 +1,368 @@
+// Chaos harness: runs the serving stack under a deterministic injected
+// fault schedule (util/fault.h) and asserts the robustness invariants the
+// fault framework exists to enforce:
+//
+//   1. No crashes. The process finishing at all is the first assertion;
+//      CI runs this binary under ASan/UBSan so "finishing" is a strong one.
+//   2. Every OK exact response is bit-identical to the fault-free answer
+//      (serial SimilarityIndex::Knn / RangeSearch on the same index).
+//   3. Every OK approximate response — served while the degradation ladder
+//      is below healthy, or attached to a deadline miss — is bit-identical
+//      to the lower-bound-only answer (KnnLowerBound /
+//      RangeSearchLowerBound).
+//   4. Every failure carries one of the codes the serving contract allows:
+//      kOverloaded, kDeadlineExceeded, kUnavailable, kIOError.
+//   5. Crash-safe persistence: saves under injected I/O faults either
+//      succeed or leave the previous archive byte-identical; loads of
+//      whatever is on disk always succeed.
+//
+// The schedule is replayable: every trigger decision is a pure function of
+// (--seed, fault point, evaluation index), so a failing run reproduces
+// exactly from its command line. Per-point evaluation/trigger counts print
+// at the end — a chaos run where nothing triggered is visible, not a
+// silent pass.
+//
+//   sapla_chaos --seed=42 --queries=1000            # per Method x IndexKind
+//   sapla_chaos --spec='seed=1;serve/flush=p0.05'   # custom fault schedule
+//
+// Exit status: 0 = all invariants held, 1 = violations (printed), 2 = bad
+// usage. Requires a build with SAPLA_FAULT=ON (the default); prints a
+// clear error and exits 2 otherwise.
+
+#include <unistd.h>
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "index/index_backend.h"
+#include "reduction/representation.h"
+#include "reduction/representation_store.h"
+#include "search/knn.h"
+#include "serve/service.h"
+#include "ts/io.h"
+#include "ts/synthetic_archive.h"
+#include "util/fault.h"
+#include "util/rng.h"
+
+namespace sapla {
+namespace {
+
+struct Config {
+  uint64_t seed = 42;
+  size_t queries = 900;  // per Method x IndexKind combination
+  size_t series = 300;
+  size_t n = 128;
+  size_t m = 12;
+  size_t k = 5;
+  double radius = 8.0;
+  size_t pool = 24;          // distinct queries (exercises the cache)
+  size_t io_rounds = 200;    // save/load attempts under injected I/O faults
+  std::string spec;          // overrides the default fault schedule
+  bool verbose = false;
+};
+
+[[noreturn]] void Usage(const char* argv0) {
+  fprintf(stderr,
+          "usage: %s [--seed=S] [--queries=Q] [--series=N] [--n=LEN]\n"
+          "          [--m=M] [--k=K] [--pool=P] [--io-rounds=R]\n"
+          "          [--spec=FAULT_SPEC] [--verbose=0|1]\n",
+          argv0);
+  exit(2);
+}
+
+Config ParseFlags(int argc, char** argv) {
+  Config config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const size_t eq = arg.find('=');
+    if (arg.rfind("--", 0) != 0 || eq == std::string::npos) Usage(argv[0]);
+    const std::string key = arg.substr(2, eq - 2);
+    const std::string value = arg.substr(eq + 1);
+    const auto num = [&]() -> uint64_t {
+      char* end = nullptr;
+      const uint64_t v = std::strtoull(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0') Usage(argv[0]);
+      return v;
+    };
+    if (key == "seed") {
+      config.seed = num();
+    } else if (key == "queries") {
+      config.queries = num();
+    } else if (key == "series") {
+      config.series = num();
+    } else if (key == "n") {
+      config.n = num();
+    } else if (key == "m") {
+      config.m = num();
+    } else if (key == "k") {
+      config.k = num();
+    } else if (key == "pool") {
+      config.pool = num();
+    } else if (key == "io-rounds") {
+      config.io_rounds = num();
+    } else if (key == "spec") {
+      config.spec = value;
+    } else if (key == "verbose") {
+      config.verbose = value != "0";
+    } else {
+      Usage(argv[0]);
+    }
+  }
+  return config;
+}
+
+/// Violation log: every broken invariant is one printed line + one count.
+struct Violations {
+  uint64_t count = 0;
+
+  void Report(const std::string& what) {
+    ++count;
+    fprintf(stderr, "VIOLATION: %s\n", what.c_str());
+  }
+};
+
+bool SameResult(const KnnResult& a, const KnnResult& b) {
+  return a.neighbors == b.neighbors && a.num_measured == b.num_measured;
+}
+
+/// Tally of response outcomes for one Method x IndexKind case.
+struct Tally {
+  uint64_t ok_exact = 0;
+  uint64_t ok_cached = 0;
+  uint64_t ok_approximate = 0;
+  uint64_t overloaded = 0;
+  uint64_t deadline = 0;
+  uint64_t unavailable = 0;
+  uint64_t other = 0;
+};
+
+void RunServeCase(const Config& config, Method method, IndexKind kind,
+                  const Dataset& ds, Violations* violations, Tally* total) {
+  SimilarityIndex index(method, config.m, kind);
+  // Index build is fault-free: the serving invariants need a good index.
+  fault::Disable();
+  if (const Status st = index.Build(ds); !st.ok()) {
+    violations->Report("index build failed for " + MethodName(method) +
+                       ": " + st.ToString());
+    return;
+  }
+
+  // Fault-free baselines, computed serially before any injection starts.
+  std::vector<std::vector<double>> pool;
+  Rng rng(config.seed ^ 0xC4A05u);
+  for (size_t i = 0; i < config.pool; ++i) {
+    std::vector<double> q = ds.series[rng.UniformInt(ds.size())].values;
+    for (double& v : q) v += rng.Gaussian(0.0, 0.05);
+    pool.push_back(std::move(q));
+  }
+  std::vector<KnnResult> exact_knn, lb_knn, exact_range, lb_range;
+  for (const std::vector<double>& q : pool) {
+    exact_knn.push_back(index.Knn(q, config.k));
+    lb_knn.push_back(index.KnnLowerBound(q, config.k));
+    exact_range.push_back(index.RangeSearch(q, config.radius));
+    lb_range.push_back(index.RangeSearchLowerBound(q, config.radius));
+  }
+
+  ServeOptions options;
+  options.queue_capacity = 64;
+  options.max_batch = 8;
+  options.max_delay_us = 200;
+  options.cache_capacity = 32;
+  options.degraded_answers = true;
+  options.flush_failures_degraded = 2;
+  options.flush_failures_unhealthy = 6;
+  options.watchdog_interval_us = 5000;
+  options.stall_degraded_us = 100'000;
+  options.stall_unhealthy_us = 2'000'000;
+  QueryService service(index, options);
+
+  fault::Enable(config.seed);  // re-arm the schedule configured in Run()
+
+  const std::string label = MethodName(method) + "/" + IndexKindName(kind);
+  for (size_t i = 0; i < config.queries; ++i) {
+    const size_t qi = i % pool.size();
+    const bool knn = i % 2 == 0;
+    // Every 13th request carries a deadline too short to survive the
+    // batching window, keeping the deadline path under fault pressure too.
+    const uint64_t deadline_us = i % 13 == 0 ? 1 : 0;
+    const ServeResponse r =
+        knn ? service.Knn(pool[qi], config.k, deadline_us)
+            : service.Range(pool[qi], config.radius, deadline_us);
+    const std::string where =
+        label + " query " + std::to_string(i) + (knn ? " (knn)" : " (range)");
+
+    if (r.status.ok()) {
+      if (r.approximate) {
+        ++total->ok_approximate;
+        if (!SameResult(r.result, knn ? lb_knn[qi] : lb_range[qi]))
+          violations->Report(where +
+                             ": approximate answer != lower-bound baseline");
+      } else {
+        r.cache_hit ? ++total->ok_cached : ++total->ok_exact;
+        if (!SameResult(r.result, knn ? exact_knn[qi] : exact_range[qi]))
+          violations->Report(where + ": OK answer != fault-free baseline");
+      }
+      continue;
+    }
+    switch (r.status.code()) {
+      case StatusCode::kOverloaded:
+        ++total->overloaded;
+        break;
+      case StatusCode::kDeadlineExceeded:
+        ++total->deadline;
+        // With degraded_answers an attached approximate answer must still
+        // be the lower-bound baseline.
+        if (r.approximate &&
+            !SameResult(r.result, knn ? lb_knn[qi] : lb_range[qi]))
+          violations->Report(where +
+                             ": degraded answer != lower-bound baseline");
+        break;
+      case StatusCode::kUnavailable:
+        ++total->unavailable;
+        break;
+      case StatusCode::kIOError:
+        // Allowed by the contract, though the serve path never emits it.
+        break;
+      default:
+        ++total->other;
+        violations->Report(where + ": disallowed status " +
+                           r.status.ToString());
+    }
+  }
+  fault::Disable();
+  service.Stop();
+  if (config.verbose)
+    printf("  %-18s health at end: %s\n", label.c_str(),
+           ServeHealthName(service.health()));
+}
+
+/// Persistence under injected I/O failures: a failed save must leave the
+/// previous archive intact; whatever is on disk must always load.
+void RunIoCase(const Config& config, const Dataset& ds,
+               Violations* violations) {
+  const auto reducer = MakeReducer(Method::kSapla);
+  RepresentationStore store;
+  for (const TimeSeries& ts : ds.series)
+    reducer->ReduceInto(ts.values, config.m, &store);
+
+  const std::string path = "/tmp/sapla_chaos_store.bin";
+  std::remove(path.c_str());
+  fault::Disable();
+  if (const Status st = SaveRepresentationStore(path, store); !st.ok()) {
+    violations->Report("fault-free save failed: " + st.ToString());
+    return;
+  }
+  const std::string good = SerializeRepresentationStore(store);
+
+  fault::Enable(config.seed);
+  uint64_t failed_saves = 0;
+  for (size_t round = 0; round < config.io_rounds; ++round) {
+    const Status st = SaveRepresentationStore(path, store);
+    if (!st.ok()) {
+      ++failed_saves;
+      if (st.code() != StatusCode::kIOError)
+        violations->Report("save round " + std::to_string(round) +
+                           ": unexpected code " + st.ToString());
+    }
+    // The archive on disk is the old bytes or the new bytes — which are
+    // equal here — never a torn mix, regardless of where the save failed.
+    fault::Disable();
+    const auto loaded = LoadRepresentationStore(path);
+    if (!loaded.ok()) {
+      violations->Report("load after save round " + std::to_string(round) +
+                         " failed: " + loaded.status().ToString());
+    } else if (!(*loaded == store)) {
+      violations->Report("archive content changed after failed save round " +
+                         std::to_string(round));
+    }
+    fault::Enable(config.seed);
+  }
+  fault::Disable();
+  std::remove(path.c_str());
+  std::remove((path + ".tmp." + std::to_string(getpid())).c_str());
+  printf("persistence: %zu save rounds, %" PRIu64
+         " injected failures, archive intact\n",
+         config.io_rounds, failed_saves);
+}
+
+int Run(int argc, char** argv) {
+#ifdef SAPLA_FAULT_DISABLED
+  (void)argc;
+  (void)argv;
+  fprintf(stderr,
+          "sapla_chaos needs a build with SAPLA_FAULT=ON (fault injection "
+          "is compiled out)\n");
+  return 2;
+#else
+  const Config config = ParseFlags(argc, argv);
+
+  // Default schedule: every serving-layer fault point armed at ~1%, plus
+  // latency injection in the pool workers and the scheduler.
+  const std::string spec =
+      !config.spec.empty()
+          ? config.spec
+          : "seed=" + std::to_string(config.seed) +
+                ";queue/admit=p0.01"
+                ";serve/flush=p0.01"
+                ";serve/flush_stall=p0.002,d2000"
+                ";parallel/worker=p0.01,d100"
+                ";io/write=p0.05;io/fsync=p0.02;io/rename=p0.02";
+  if (const Status st = fault::ConfigureFromSpec(spec); !st.ok()) {
+    fprintf(stderr, "bad fault spec: %s\n", st.ToString().c_str());
+    return 2;
+  }
+  fault::Disable();  // armed per phase; baselines stay fault-free
+
+  SyntheticOptions opt;
+  opt.length = config.n;
+  opt.num_series = config.series;
+  const Dataset ds = MakeSyntheticDataset(17, opt);
+
+  Violations violations;
+  Tally tally;
+  size_t cases = 0;
+  for (const Method method : AllMethods()) {
+    for (const IndexKind kind : {IndexKind::kRTree, IndexKind::kDbchTree}) {
+      RunServeCase(config, method, kind, ds, &violations, &tally);
+      ++cases;
+    }
+  }
+  RunIoCase(config, ds, &violations);
+
+  const uint64_t responses = tally.ok_exact + tally.ok_cached +
+                             tally.ok_approximate + tally.overloaded +
+                             tally.deadline + tally.unavailable + tally.other;
+  printf("\nchaos run: seed=%" PRIu64 ", %zu cases x %zu queries = %" PRIu64
+         " responses\n",
+         config.seed, cases, config.queries, responses);
+  printf("  ok exact          %" PRIu64 "\n", tally.ok_exact);
+  printf("  ok cached         %" PRIu64 "\n", tally.ok_cached);
+  printf("  ok approximate    %" PRIu64 "\n", tally.ok_approximate);
+  printf("  overloaded        %" PRIu64 "\n", tally.overloaded);
+  printf("  deadline_exceeded %" PRIu64 "\n", tally.deadline);
+  printf("  unavailable       %" PRIu64 "\n", tally.unavailable);
+
+  printf("\nfault points (evaluations -> triggers):\n");
+  for (const fault::PointStats& p : fault::Stats())
+    printf("  %-22s %10" PRIu64 " -> %" PRIu64 "\n", p.name.c_str(),
+           p.evaluations, p.triggers);
+
+  fault::Reset();
+  if (violations.count != 0) {
+    fprintf(stderr, "\n%" PRIu64 " invariant violation(s)\n",
+            violations.count);
+    return 1;
+  }
+  printf("\nall invariants held\n");
+  return 0;
+#endif  // SAPLA_FAULT_DISABLED
+}
+
+}  // namespace
+}  // namespace sapla
+
+int main(int argc, char** argv) { return sapla::Run(argc, argv); }

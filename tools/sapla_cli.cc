@@ -21,6 +21,7 @@
 // (ts/synthetic_archive.h) so a pipeline can be exercised without the UCR
 // archive.
 
+#include <charconv>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -35,6 +36,7 @@
 #include "ts/io.h"
 #include "ts/synthetic_archive.h"
 #include "ts/ucr_loader.h"
+#include "util/fault.h"
 #include "util/parallel.h"
 #include "util/table.h"
 #include "util/timer.h"
@@ -49,6 +51,20 @@ namespace {
   exit(2);
 }
 
+/// Strict size_t parse: the whole token must be digits. A typo'd numeric
+/// flag is a hard error, never silently zero (the old strtoull behaviour).
+size_t ParseSizeOrDie(const std::string& key, const std::string& value) {
+  size_t parsed = 0;
+  const auto res =
+      std::from_chars(value.data(), value.data() + value.size(), parsed);
+  if (res.ec != std::errc() || res.ptr != value.data() + value.size()) {
+    fprintf(stderr, "--%s=%s is not a non-negative integer\n", key.c_str(),
+            value.c_str());
+    exit(2);
+  }
+  return parsed;
+}
+
 struct Args {
   std::string command;
   std::string file;
@@ -60,13 +76,18 @@ struct Args {
   }
   size_t GetSize(const std::string& key, size_t dflt) const {
     const auto it = flags.find(key);
-    return it == flags.end() ? dflt : std::strtoull(it->second.c_str(),
-                                                    nullptr, 10);
+    return it == flags.end() ? dflt : ParseSizeOrDie(key, it->second);
   }
 };
 
 Args Parse(int argc, char** argv) {
   if (argc < 3) Usage();
+  // Every flag any command understands; an unrecognized flag is a hard
+  // error instead of a silently ignored typo.
+  static const char* kKnownFlags[] = {
+      "length", "max-series", "znorm",  "method", "m",      "out",
+      "format", "query",      "queries", "k",     "tree",   "row",
+      "window", "stride",     "dataset", "series", "threads", "fault"};
   Args args;
   args.command = argv[1];
   args.file = argv[2];
@@ -74,7 +95,14 @@ Args Parse(int argc, char** argv) {
     const std::string arg = argv[i];
     const size_t eq = arg.find('=');
     if (arg.rfind("--", 0) != 0 || eq == std::string::npos) Usage();
-    args.flags[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+    const std::string key = arg.substr(2, eq - 2);
+    bool known = false;
+    for (const char* f : kKnownFlags) known |= key == f;
+    if (!known) {
+      fprintf(stderr, "unknown flag --%s\n", key.c_str());
+      exit(2);
+    }
+    args.flags[key] = arg.substr(eq + 1);
   }
   return args;
 }
@@ -162,13 +190,19 @@ int CmdReconstruct(const Args& args) {
   // v1 text; plain LoadRepresentations is the fallback for heterogeneous
   // v1 archives (which have no columnar form).
   std::vector<Representation> reps;
-  if (const auto store = LoadRepresentationStore(args.file); store.ok()) {
+  const auto store = LoadRepresentationStore(args.file);
+  if (store.ok()) {
     for (size_t i = 0; i < store->size(); ++i)
       reps.push_back(store->ToRepresentation(i));
   } else {
     const auto loaded = LoadRepresentations(args.file);
     if (!loaded.ok()) {
-      fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      // Neither reader accepted the file; show both diagnoses — the store
+      // error usually names the corrupt section, the v1 error the line.
+      fprintf(stderr, "cannot read %s as a store: %s\n", args.file.c_str(),
+              store.status().ToString().c_str());
+      fprintf(stderr, "cannot read %s as v1 text: %s\n", args.file.c_str(),
+              loaded.status().ToString().c_str());
       return 1;
     }
     reps = *loaded;
@@ -218,7 +252,7 @@ int CmdKnn(const Args& args) {
       const std::string tok = list.substr(
           start, comma == std::string::npos ? std::string::npos
                                             : comma - start);
-      query_rows.push_back(std::strtoull(tok.c_str(), nullptr, 10));
+      query_rows.push_back(ParseSizeOrDie("queries", tok));
       if (comma == std::string::npos) break;
       start = comma + 1;
     }
@@ -289,6 +323,14 @@ int CmdMotif(const Args& args) {
 int Run(int argc, char** argv) {
   const Args args = Parse(argc, argv);
   SetNumThreads(args.GetSize("threads", 1));  // 0 = hardware concurrency
+  // --fault=SPEC arms the fault-injection framework (util/fault.h) for
+  // ad-hoc failure-path testing; compiled out under SAPLA_FAULT=OFF.
+  if (const std::string spec = args.Get("fault", ""); !spec.empty()) {
+    if (const Status st = fault::ConfigureFromSpec(spec); !st.ok()) {
+      fprintf(stderr, "bad --fault spec: %s\n", st.ToString().c_str());
+      return 2;
+    }
+  }
   if (args.command == "info") return CmdInfo(args);
   if (args.command == "reduce") return CmdReduce(args);
   if (args.command == "reconstruct") return CmdReconstruct(args);

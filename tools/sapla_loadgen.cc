@@ -49,6 +49,7 @@
 #include "obs/trace.h"
 #include "serve/service.h"
 #include "ts/synthetic_archive.h"
+#include "util/fault.h"
 #include "util/parallel.h"
 #include "util/rng.h"
 #include "util/table.h"
@@ -88,6 +89,7 @@ struct Config {
   size_t cache = 0;
   size_t batch_threads = 0;
   bool degraded = false;
+  std::string fault_spec;    // arms util/fault.h fault injection
   std::string json_path;
   std::string metrics_path;  // Prometheus text exposition
   std::string trace_path;    // Chrome trace-event JSON
@@ -101,7 +103,8 @@ struct Config {
           "          [--n=N] [--m=M] [--method=SAPLA] [--tree=dbch|rtree]\n"
           "          [--max-batch=B] [--max-delay-us=U] [--queue=C]\n"
           "          [--cache=E] [--batch-threads=T] [--degraded=0|1]\n"
-          "          [--json=FILE] [--metrics-out=FILE] [--trace-out=FILE]\n",
+          "          [--fault=SPEC] [--json=FILE] [--metrics-out=FILE]\n"
+          "          [--trace-out=FILE]\n",
           argv0);
   exit(2);
 }
@@ -114,8 +117,28 @@ Config ParseFlags(int argc, char** argv) {
     if (arg.rfind("--", 0) != 0 || eq == std::string::npos) Usage(argv[0]);
     const std::string key = arg.substr(2, eq - 2);
     const std::string value = arg.substr(eq + 1);
-    auto num = [&] { return std::strtoull(value.c_str(), nullptr, 10); };
-    auto real = [&] { return std::strtod(value.c_str(), nullptr); };
+    // Strict numeric parsing: a malformed value is a usage error, never a
+    // silent zero.
+    auto num = [&]() -> uint64_t {
+      char* end = nullptr;
+      const uint64_t v = std::strtoull(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0') {
+        fprintf(stderr, "--%s=%s is not an integer\n", key.c_str(),
+                value.c_str());
+        exit(2);
+      }
+      return v;
+    };
+    auto real = [&]() -> double {
+      char* end = nullptr;
+      const double v = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0') {
+        fprintf(stderr, "--%s=%s is not a number\n", key.c_str(),
+                value.c_str());
+        exit(2);
+      }
+      return v;
+    };
     if (key == "mode") {
       if (value != "closed" && value != "open") Usage(argv[0]);
       config.mode = value;
@@ -171,6 +194,8 @@ Config ParseFlags(int argc, char** argv) {
       config.batch_threads = num();
     } else if (key == "degraded") {
       config.degraded = value != "0";
+    } else if (key == "fault") {
+      config.fault_spec = value;
     } else if (key == "json") {
       config.json_path = value;
     } else if (key == "metrics-out") {
@@ -180,6 +205,24 @@ Config ParseFlags(int argc, char** argv) {
     } else {
       Usage(argv[0]);
     }
+  }
+  // Reject configurations that would divide by zero or spin forever
+  // instead of failing deep inside a client thread.
+  if (config.threads == 0) {
+    fprintf(stderr, "--threads must be > 0\n");
+    exit(2);
+  }
+  if (config.pool == 0) {
+    fprintf(stderr, "--pool must be > 0\n");
+    exit(2);
+  }
+  if (config.mode == "open" && config.qps <= 0.0) {
+    fprintf(stderr, "--qps must be > 0 in open mode\n");
+    exit(2);
+  }
+  if (config.series == 0 || config.n < 2) {
+    fprintf(stderr, "--series must be > 0 and --n at least 2\n");
+    exit(2);
   }
   return config;
 }
@@ -286,6 +329,13 @@ int Run(int argc, char** argv) {
   SetNumThreads(config.batch_threads);
   std::signal(SIGINT, HandleSigint);
   if (!config.trace_path.empty()) obs::SetTraceEnabled(true);
+  if (!config.fault_spec.empty()) {
+    if (const Status st = fault::ConfigureFromSpec(config.fault_spec);
+        !st.ok()) {
+      fprintf(stderr, "bad --fault spec: %s\n", st.ToString().c_str());
+      return 2;
+    }
+  }
 
   SyntheticOptions opt;
   opt.length = config.n;

@@ -223,6 +223,12 @@ int Check(std::istream& in) {
       c.Fail(tag + " _count disagrees with the +Inf bucket", name);
   }
 
+  // An exposition with no families at all is a truncated or empty scrape,
+  // not a clean one — CI must not treat it as a pass.
+  if (types.empty()) {
+    fprintf(stderr, "no metric families found (empty or truncated file?)\n");
+    return 1;
+  }
   if (c.errors > 0) {
     fprintf(stderr, "%d problem(s) found\n", c.errors);
     return 1;
