@@ -19,10 +19,17 @@
 // snapshot (including the aggregated search counters) through the shared
 // obs/metrics.h JSON writer.
 //
+// `--shards=1,2,4` appends a second sweep: the same workload against a
+// ShardedIndex at each shard count (max_batch=8, answers bit-identical at
+// every count by the merge contract), emitted to `--shard-json` (default
+// BENCH_shard.json) so CI can track how partitioning moves the
+// throughput/latency needle.
+//
 //   bench_serve_throughput [--series=2000] [--n=256] [--m=16] [--k=16]
 //                          [--clients=8] [--requests=400] [--pool=64]
 //                          [--zipf=0.99] [--batches=1,8,32] [--cache=512]
 //                          [--method=SAPLA] [--tree=dbch] [--threads=0]
+//                          [--shards=1,2,4] [--shard-json=BENCH_shard.json]
 //                          [--csv=DIR] [--json=BENCH_serve.json]
 //                          [--metrics-json=FILE]
 
@@ -34,6 +41,7 @@
 #include <vector>
 
 #include "search/knn.h"
+#include "search/sharded_index.h"
 #include "obs/metrics.h"
 #include "serve/service.h"
 #include "ts/synthetic_archive.h"
@@ -58,10 +66,12 @@ struct Config {
   size_t cache = 512;      // result-cache capacity (entries)
   size_t threads = 0;      // batch fan-out (0 = hardware)
   std::vector<size_t> batches = {1, 8, 32};
+  std::vector<size_t> shards;  // non-empty enables the shard sweep
   Method method = Method::kSapla;
   IndexKind kind = IndexKind::kDbchTree;
   std::string csv_dir;
   std::string json_path = "BENCH_serve.json";
+  std::string shard_json_path = "BENCH_shard.json";
   std::string metrics_json_path;
 };
 
@@ -70,8 +80,8 @@ struct Config {
           "usage: %s [--series=S] [--n=N] [--m=M] [--k=K] [--clients=C]\n"
           "          [--requests=R] [--pool=P] [--zipf=Z] [--batches=1,8,32]\n"
           "          [--cache=E] [--method=SAPLA] [--tree=dbch|rtree]\n"
-          "          [--threads=T] [--csv=DIR] [--json=FILE]\n"
-          "          [--metrics-json=FILE]\n",
+          "          [--threads=T] [--shards=1,2,4] [--shard-json=FILE]\n"
+          "          [--csv=DIR] [--json=FILE] [--metrics-json=FILE]\n",
           argv0);
   exit(2);
 }
@@ -105,14 +115,16 @@ Config ParseFlags(int argc, char** argv) {
       config.cache = num();
     } else if (key == "threads") {
       config.threads = num();
-    } else if (key == "batches") {
-      config.batches.clear();
+    } else if (key == "batches" || key == "shards") {
+      std::vector<size_t>& list =
+          key == "batches" ? config.batches : config.shards;
+      list.clear();
       size_t start = 0;
       while (start <= value.size()) {
         const size_t comma = value.find(',', start);
         const std::string tok = value.substr(
             start, comma == std::string::npos ? comma : comma - start);
-        config.batches.push_back(std::strtoull(tok.c_str(), nullptr, 10));
+        list.push_back(std::strtoull(tok.c_str(), nullptr, 10));
         if (comma == std::string::npos) break;
         start = comma + 1;
       }
@@ -136,6 +148,8 @@ Config ParseFlags(int argc, char** argv) {
       config.csv_dir = value;
     } else if (key == "json") {
       config.json_path = value;
+    } else if (key == "shard-json") {
+      config.shard_json_path = value;
     } else if (key == "metrics-json") {
       config.metrics_json_path = value;
     } else {
@@ -170,7 +184,7 @@ struct RunStats {
 };
 
 /// Baseline: every client thread calls the index directly.
-RunStats RunDirect(const SimilarityIndex& index,
+RunStats RunDirect(const SearchIndex& index,
                    const std::vector<std::vector<double>>& pool,
                    const Config& config) {
   const ZipfSampler zipf(pool.size(), config.zipf);
@@ -196,7 +210,7 @@ RunStats RunDirect(const SimilarityIndex& index,
 }
 
 /// The service under one max_batch setting, closed-loop clients.
-RunStats RunService(const SimilarityIndex& index,
+RunStats RunService(const SearchIndex& index,
                     const std::vector<std::vector<double>>& pool,
                     const Config& config, size_t max_batch) {
   ServeOptions options;
@@ -288,6 +302,37 @@ int Run(int argc, char** argv) {
       !WriteMetricsJson(last_service.snapshot, config.metrics_json_path)) {
     fprintf(stderr, "could not write %s\n", config.metrics_json_path.c_str());
     return 1;
+  }
+
+  if (!config.shards.empty()) {
+    Table st("Shard sweep: same workload, ShardedIndex at max_batch=8");
+    st.SetHeader({"Shards", "QPS", "P50us", "P95us", "P99us", "MeanBatch",
+                  "CacheHitRate", "Errors"});
+    for (const size_t count : config.shards) {
+      ShardedIndex::Options shard_opt;
+      shard_opt.num_shards = count;
+      ShardedIndex sharded(config.method, config.m, config.kind, shard_opt);
+      if (Status s = sharded.Build(ds); !s.ok()) {
+        fprintf(stderr, "sharded build (%zu) failed: %s\n", count,
+                s.ToString().c_str());
+        return 1;
+      }
+      const RunStats s = RunService(sharded, pool, config, /*max_batch=*/8);
+      st.AddRow({std::to_string(sharded.num_shards()),
+                 Table::Num(s.wall_seconds > 0.0 ? total / s.wall_seconds
+                                                 : 0.0,
+                            5),
+                 Table::Num(s.latency.p50, 5), Table::Num(s.latency.p95, 5),
+                 Table::Num(s.latency.p99, 5), Table::Num(s.mean_batch, 3),
+                 Table::Num(s.cache_hit_rate, 3), std::to_string(s.errors)});
+    }
+    st.Print(config.csv_dir.empty() ? ""
+                                    : config.csv_dir + "/serve_shards.csv");
+    if (!config.shard_json_path.empty() &&
+        !st.WriteJson(config.shard_json_path)) {
+      fprintf(stderr, "could not write %s\n", config.shard_json_path.c_str());
+      return 1;
+    }
   }
   return 0;
 }

@@ -4,9 +4,15 @@
 #include <limits>
 #include <queue>
 
+#include "util/binio.h"
 #include "util/status.h"
 
 namespace sapla {
+
+namespace {
+// Format tag for serialized DbchTree bytes ("DBT1"); bumped on change.
+constexpr uint32_t kDbchBytesMagic = 0x31544244;
+}  // namespace
 
 DbchTree::DbchTree(PairDistFn pair_dist, const Options& options)
     : pair_dist_(std::move(pair_dist)), options_(options) {
@@ -44,6 +50,39 @@ void DbchTree::RecomputeHull(int node_id) {
         node.hull_a = cands[i];
         node.hull_b = cands[j];
       }
+    }
+  }
+  // Endpoint radii for the sound node-distance regime. Leaves measure every
+  // entry directly; internal nodes compose through each child's endpoints
+  // (d(a, x) <= d(a, child endpoint) + child radius for any x under the
+  // child, so the min over the two endpoints is still an upper bound).
+  // Children are always recomputed before their parent (insertion returns
+  // bottom-up), so child radii are fresh here.
+  node.radius_a = node.radius_b = 0.0;
+  if (node.leaf) {
+    for (const size_t id : node.entries) {
+      if (id != node.hull_a)
+        node.radius_a = std::max(node.radius_a, pair_dist_(node.hull_a, id));
+      if (id != node.hull_b)
+        node.radius_b = std::max(node.radius_b, pair_dist_(node.hull_b, id));
+    }
+  } else {
+    for (const int c : node.children) {
+      const Node& child = nodes_[static_cast<size_t>(c)];
+      const double via_a_a = pair_dist_(node.hull_a, child.hull_a);
+      const double via_a_b = child.hull_b == child.hull_a
+                                 ? via_a_a
+                                 : pair_dist_(node.hull_a, child.hull_b);
+      node.radius_a = std::max(node.radius_a,
+                               std::min(via_a_a + child.radius_a,
+                                        via_a_b + child.radius_b));
+      const double via_b_a = pair_dist_(node.hull_b, child.hull_a);
+      const double via_b_b = child.hull_b == child.hull_a
+                                 ? via_b_a
+                                 : pair_dist_(node.hull_b, child.hull_b);
+      node.radius_b = std::max(node.radius_b,
+                               std::min(via_b_a + child.radius_a,
+                                        via_b_b + child.radius_b));
     }
   }
 }
@@ -187,6 +226,17 @@ int DbchTree::SplitNode(int node_id) {
 
 double DbchTree::NodeDist(const Node& node,
                           const QueryDistFn& query_dist) const {
+  if (options_.sound_bounds) {
+    // Endpoint-radius bound: for any entry x under the node, the triangle
+    // inequality gives d(q, x) >= d(q, a) - d(a, x) >= d(q, a) - radius_a
+    // (and likewise through b). Requires the pairwise distance to be a
+    // metric; otherwise no node-level bound is valid and we never prune.
+    if (!options_.metric_pair_dist) return 0.0;
+    const double du = query_dist(node.hull_a);
+    const double dl =
+        node.hull_b == node.hull_a ? du : query_dist(node.hull_b);
+    return std::max({0.0, du - node.radius_a, dl - node.radius_b});
+  }
   // §5.3: inside the hull -> 0; outside -> the smaller hull distance.
   const double du = query_dist(node.hull_a);
   const double dl =
@@ -260,6 +310,111 @@ void DbchTree::BestFirstSearch(const QueryDistFn& query_dist,
       }
     }
   }
+}
+
+std::string DbchTree::Serialize() const {
+  std::string out;
+  binio::PutU32(&out, kDbchBytesMagic);
+  binio::PutU64(&out, num_entries_);
+  binio::PutI64(&out, root_);
+  binio::PutU64(&out, nodes_.size());
+  for (const Node& node : nodes_) {
+    binio::PutU32(&out, node.leaf ? 1 : 0);
+    binio::PutU64(&out, node.hull_a);
+    binio::PutU64(&out, node.hull_b);
+    binio::PutF64(&out, node.volume);
+    binio::PutF64(&out, node.radius_a);
+    binio::PutF64(&out, node.radius_b);
+    binio::PutU32(&out, static_cast<uint32_t>(node.count()));
+    if (node.leaf) {
+      for (const size_t id : node.entries) binio::PutU64(&out, id);
+    } else {
+      for (const int c : node.children) binio::PutI64(&out, c);
+    }
+  }
+  return out;
+}
+
+Status DbchTree::Restore(const std::string& bytes, size_t num_ids) {
+  const auto bad = [](const char* what) {
+    return Status::InvalidArgument(std::string("dbch restore: ") + what);
+  };
+  binio::Reader r(bytes);
+  if (r.ReadU32() != kDbchBytesMagic) return bad("bad magic");
+  const uint64_t num_data = r.ReadU64();
+  const int64_t root = r.ReadI64();
+  const uint64_t num_nodes = r.ReadU64();
+  if (!r.ok()) return bad("truncated header");
+  if (num_nodes == 0 || num_nodes > bytes.size()) return bad("node count");
+  if (root < 0 || static_cast<uint64_t>(root) >= num_nodes)
+    return bad("root out of range");
+
+  std::vector<Node> nodes(num_nodes);
+  for (Node& node : nodes) {
+    const uint32_t leaf = r.ReadU32();
+    node.hull_a = r.ReadU64();
+    node.hull_b = r.ReadU64();
+    node.volume = r.ReadF64();
+    node.radius_a = r.ReadF64();
+    node.radius_b = r.ReadF64();
+    const uint32_t count = r.ReadU32();
+    if (!r.ok() || leaf > 1) return bad("malformed node header");
+    node.leaf = leaf == 1;
+    if (count > r.remaining() / 8) return bad("entry count");
+    // The hull endpoints are corpus ids for leaves and internal nodes alike
+    // (internal hulls come from children's endpoints). An empty root —
+    // the pre-insert state — legitimately has hull ids of 0.
+    if (count > 0 && (node.hull_a >= num_ids || node.hull_b >= num_ids))
+      return bad("hull id out of range");
+    if (!(node.volume >= 0.0)) return bad("non-finite or negative volume");
+    if (!(node.radius_a >= 0.0) || !(node.radius_b >= 0.0))
+      return bad("non-finite or negative endpoint radius");
+    if (node.leaf) {
+      node.entries.resize(count);
+      for (size_t& id : node.entries) {
+        id = r.ReadU64();
+        if (!r.ok()) return bad("truncated entries");
+        if (id >= num_ids) return bad("entry id out of range");
+      }
+    } else {
+      if (count == 0) return bad("internal node without children");
+      node.children.resize(count);
+      for (int& c : node.children) {
+        c = static_cast<int>(r.ReadI64());
+        if (!r.ok()) return bad("truncated children");
+        if (c < 0 || static_cast<uint64_t>(c) >= num_nodes)
+          return bad("child node out of range");
+      }
+    }
+  }
+  if (r.remaining() != 0) return bad("trailing bytes");
+
+  // Reachability walk: the serialized tree must be exactly the reachable
+  // set with no cycles or shared children, and leaf entries must sum to the
+  // declared total.
+  std::vector<char> visited(num_nodes, 0);
+  std::vector<int64_t> stack = {root};
+  uint64_t seen_nodes = 0, seen_data = 0;
+  while (!stack.empty()) {
+    const int64_t id = stack.back();
+    stack.pop_back();
+    if (visited[static_cast<size_t>(id)]) return bad("node referenced twice");
+    visited[static_cast<size_t>(id)] = 1;
+    ++seen_nodes;
+    const Node& node = nodes[static_cast<size_t>(id)];
+    if (node.leaf) {
+      seen_data += node.entries.size();
+    } else {
+      for (const int c : node.children) stack.push_back(c);
+    }
+  }
+  if (seen_nodes != num_nodes) return bad("orphan nodes");
+  if (seen_data != num_data) return bad("entry total mismatch");
+
+  nodes_ = std::move(nodes);
+  root_ = static_cast<int>(root);
+  num_entries_ = static_cast<size_t>(num_data);
+  return Status::OK();
 }
 
 }  // namespace sapla

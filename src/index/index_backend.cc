@@ -45,6 +45,14 @@ class RTreeBackend : public IndexBackend {
 
   TreeStats ComputeStats() const override { return tree_.ComputeStats(); }
 
+  Result<std::string> SerializeTree() const override {
+    return tree_.Serialize();
+  }
+
+  Status RestoreTree(const std::string& bytes) override {
+    return tree_.Restore(bytes, ctx_.dataset->size());
+  }
+
  private:
   IndexBackendContext ctx_;
   FeatureMapper mapper_;
@@ -64,7 +72,12 @@ class DbchBackend : public IndexBackend {
               return LowerBoundDistanceView(ctx_.rep_view(a), ctx_.rep_view(b),
                                             &build_scratch_);
             },
-            DbchTree::Options{ctx.options.min_fill, ctx.options.max_fill}) {}
+            // SAX MINDIST violates the triangle inequality, so under sound
+            // bounds its node-level pruning must stay off (dbch_tree.h).
+            DbchTree::Options{ctx.options.min_fill, ctx.options.max_fill,
+                              ctx.options.dbch_sound_bounds,
+                              /*metric_pair_dist=*/ctx.method !=
+                                  Method::kSax}) {}
 
   std::string name() const override { return "dbch"; }
 
@@ -82,6 +95,14 @@ class DbchBackend : public IndexBackend {
   }
 
   TreeStats ComputeStats() const override { return tree_.ComputeStats(); }
+
+  Result<std::string> SerializeTree() const override {
+    return tree_.Serialize();
+  }
+
+  Status RestoreTree(const std::string& bytes) override {
+    return tree_.Restore(bytes, ctx_.dataset->size());
+  }
 
  private:
   IndexBackendContext ctx_;

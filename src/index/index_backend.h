@@ -49,6 +49,11 @@ struct IndexBackendOptions {
   /// (tests/store_parity_test.cc); this knob exists for that A/B
   /// validation and for migration benchmarking, not for production use.
   bool legacy_aos_corpus = false;
+  /// DBCH only: search with the sound endpoint-radius node distance instead
+  /// of the paper's §5.3 heuristic (see index/dbch_tree.h). Makes DBCH
+  /// answers exact (partition-invariant), which the sharded serving tier
+  /// requires; the default keeps the paper's measured behavior (Fig. 13b).
+  bool dbch_sound_bounds = false;
 };
 
 /// \brief What a backend is built over: the dataset, its reductions, and
@@ -100,6 +105,26 @@ class IndexBackend {
 
   /// Structural statistics (Figs. 15/16). Thread-safe after Build.
   virtual TreeStats ComputeStats() const = 0;
+
+  /// Serializes the built tree structure to bytes (search/snapshot.h embeds
+  /// them in the index-snapshot format). The encoding is deterministic for
+  /// a given tree, and Restore of the produced bytes reconstructs an
+  /// identical traversal order. Backends without persistence support
+  /// return Unimplemented (the snapshot layer then omits the tree and the
+  /// loader falls back to re-insertion).
+  virtual Result<std::string> SerializeTree() const {
+    return Status::Unimplemented("backend \"" + name() +
+                                 "\" does not serialize its tree");
+  }
+
+  /// Restores a tree previously produced by SerializeTree on an empty,
+  /// freshly constructed backend whose context describes the same corpus.
+  /// Validates structure (node/entry ids in range, box dims) and rejects
+  /// malformed bytes without modifying the backend.
+  virtual Status RestoreTree(const std::string& /*bytes*/) {
+    return Status::Unimplemented("backend \"" + name() +
+                                 "\" does not restore a serialized tree");
+  }
 };
 
 /// Creates a backend for one of the built-in kinds.

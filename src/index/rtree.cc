@@ -5,9 +5,15 @@
 #include <limits>
 #include <queue>
 
+#include "util/binio.h"
 #include "util/status.h"
 
 namespace sapla {
+
+namespace {
+// Format tag for serialized RTree bytes ("RTB1"); bumped on layout change.
+constexpr uint32_t kRTreeBytesMagic = 0x31425452;
+}  // namespace
 
 RTree::RTree(size_t dims, const Options& options)
     : dims_(dims), options_(options) {
@@ -323,6 +329,104 @@ void RTree::BestFirstSearch(const BoxDistFn& box_dist, const VisitFn& visit,
       }
     }
   }
+}
+
+std::string RTree::Serialize() const {
+  std::string out;
+  binio::PutU32(&out, kRTreeBytesMagic);
+  binio::PutU64(&out, dims_);
+  binio::PutU64(&out, num_entries_);
+  binio::PutI64(&out, root_);
+  binio::PutU64(&out, nodes_.size());
+  for (const Node& node : nodes_) {
+    binio::PutU32(&out, node.leaf ? 1 : 0);
+    binio::PutU32(&out, static_cast<uint32_t>(node.entries.size()));
+    for (const Entry& e : node.entries) {
+      binio::PutI64(&out, e.child);
+      binio::PutU64(&out, e.id);
+      for (const double v : e.lo) binio::PutF64(&out, v);
+      for (const double v : e.hi) binio::PutF64(&out, v);
+    }
+  }
+  return out;
+}
+
+Status RTree::Restore(const std::string& bytes, size_t num_ids) {
+  const auto bad = [](const char* what) {
+    return Status::InvalidArgument(std::string("rtree restore: ") + what);
+  };
+  binio::Reader r(bytes);
+  if (r.ReadU32() != kRTreeBytesMagic) return bad("bad magic");
+  const uint64_t dims = r.ReadU64();
+  const uint64_t num_data = r.ReadU64();
+  const int64_t root = r.ReadI64();
+  const uint64_t num_nodes = r.ReadU64();
+  if (!r.ok()) return bad("truncated header");
+  if (dims != dims_) return bad("dimensionality mismatch");
+  // Every node costs at least 8 bytes on the wire, so a plausible node
+  // count is bounded by the buffer size — rejects corrupt counts before
+  // any allocation.
+  if (num_nodes == 0 || num_nodes > bytes.size()) return bad("node count");
+  if (root < 0 || static_cast<uint64_t>(root) >= num_nodes)
+    return bad("root out of range");
+
+  const size_t entry_bytes = 8 + 8 + 2 * 8 * static_cast<size_t>(dims);
+  std::vector<Node> nodes(num_nodes);
+  for (Node& node : nodes) {
+    const uint32_t leaf = r.ReadU32();
+    const uint32_t count = r.ReadU32();
+    if (!r.ok() || leaf > 1) return bad("malformed node header");
+    if (count > r.remaining() / entry_bytes) return bad("entry count");
+    node.leaf = leaf == 1;
+    node.entries.resize(count);
+    for (Entry& e : node.entries) {
+      e.child = static_cast<int>(r.ReadI64());
+      e.id = r.ReadU64();
+      e.lo.resize(dims);
+      e.hi.resize(dims);
+      for (double& v : e.lo) v = r.ReadF64();
+      for (double& v : e.hi) v = r.ReadF64();
+      if (!r.ok()) return bad("truncated entry");
+      if (node.leaf) {
+        if (e.child != -1) return bad("leaf entry with a child link");
+        if (e.id >= num_ids) return bad("data id out of range");
+      } else {
+        if (e.child < 0 || static_cast<uint64_t>(e.child) >= num_nodes)
+          return bad("child node out of range");
+      }
+      for (size_t d = 0; d < dims; ++d)
+        if (!(e.lo[d] <= e.hi[d])) return bad("inverted or non-finite box");
+    }
+  }
+  if (r.remaining() != 0) return bad("trailing bytes");
+
+  // Reachability walk from the root: every node must be referenced exactly
+  // once (no cycles, no sharing, no orphans) and the data entries must sum
+  // to the declared total — a corrupted child link can never send a later
+  // traversal into a loop.
+  std::vector<char> visited(num_nodes, 0);
+  std::vector<int64_t> stack = {root};
+  uint64_t seen_nodes = 0, seen_data = 0;
+  while (!stack.empty()) {
+    const int64_t id = stack.back();
+    stack.pop_back();
+    if (visited[static_cast<size_t>(id)]) return bad("node referenced twice");
+    visited[static_cast<size_t>(id)] = 1;
+    ++seen_nodes;
+    const Node& node = nodes[static_cast<size_t>(id)];
+    if (node.leaf) {
+      seen_data += node.entries.size();
+    } else {
+      for (const Entry& e : node.entries) stack.push_back(e.child);
+    }
+  }
+  if (seen_nodes != num_nodes) return bad("orphan nodes");
+  if (seen_data != num_data) return bad("entry total mismatch");
+
+  nodes_ = std::move(nodes);
+  root_ = static_cast<int>(root);
+  num_entries_ = static_cast<size_t>(num_data);
+  return Status::OK();
 }
 
 }  // namespace sapla

@@ -13,10 +13,12 @@
 // MINDIST (APCA regions, PLA quadratic, CHEBY clamp).
 
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "index/tree_stats.h"
 #include "obs/counters.h"
+#include "util/status.h"
 
 namespace sapla {
 
@@ -75,6 +77,18 @@ class RTree {
   /// level and node-level pruning into it (obs/counters.h).
   void BestFirstSearch(const BoxDistFn& box_dist, const VisitFn& visit,
                        SearchCounters* counters = nullptr) const;
+
+  /// Deterministic byte encoding of the full tree structure (every node's
+  /// entries with their boxes, child links and data ids). Restore of the
+  /// produced bytes reconstructs a structurally identical tree.
+  std::string Serialize() const;
+
+  /// Replaces this tree's content with a previously serialized one. The
+  /// tree must have the same dims() as the serialized one; `num_ids`
+  /// bounds the valid data ids (the corpus size). Any inconsistency —
+  /// truncation, out-of-range node/data ids, wrong box dimensionality,
+  /// malformed lo/hi — is rejected without modifying the tree.
+  Status Restore(const std::string& bytes, size_t num_ids);
 
  private:
   struct Entry {

@@ -1,5 +1,6 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 
@@ -101,6 +102,11 @@ ServeMetricsSnapshot SnapshotMetrics(const ServeMetrics& metrics) {
   s.flush_failures = metrics.flush_failures.load();
   s.watchdog_stalls = metrics.watchdog_stalls.load();
   s.health = metrics.health.load();
+  const size_t shards = std::min<size_t>(metrics.shard_count.load(),
+                                         ServeMetrics::kMaxShardGauges);
+  s.shard_health.reserve(shards);
+  for (size_t i = 0; i < shards; ++i)
+    s.shard_health.push_back(metrics.shard_health[i].load());
   s.search = SnapshotSearchCounters(metrics.search);
   s.queue_wait_us = SnapshotHistogram(metrics.queue_wait_us);
   s.exec_us = SnapshotHistogram(metrics.exec_us);
@@ -146,6 +152,9 @@ Table MetricsToTable(const ServeMetricsSnapshot& snap,
   counter("flush_failures", snap.flush_failures);
   counter("watchdog_stalls", snap.watchdog_stalls);
   counter("health", snap.health);
+  for (size_t i = 0; i < snap.shard_health.size(); ++i)
+    counter("shard_health{shard=" + std::to_string(i) + "}",
+            snap.shard_health[i]);
   counter("search_queries", snap.search.queries);
   counter("search_nodes_visited_internal", snap.search.nodes_visited_internal);
   counter("search_nodes_visited_leaf", snap.search.nodes_visited_leaf);
@@ -282,6 +291,15 @@ std::string MetricsToPrometheus(const ServeMetrics& metrics,
               "Degradation-ladder position: 0 healthy, 1 degraded, "
               "2 unhealthy.",
               static_cast<double>(snap.health));
+  if (!snap.shard_health.empty()) {
+    out += "# HELP " + prefix +
+           "_shard_health Per-shard ladder position: 0 healthy, 1 degraded, "
+           "2 unhealthy.\n";
+    out += "# TYPE " + prefix + "_shard_health gauge\n";
+    for (size_t i = 0; i < snap.shard_health.size(); ++i)
+      out += prefix + "_shard_health{shard=\"" + U64(i) + "\"} " +
+             U64(snap.shard_health[i]) + "\n";
+  }
   AppendGauge(out, prefix, "search_pruning_power",
               "Live pruning power rho (Eq. 14); lower is better.",
               snap.search.PruningPower());
@@ -355,7 +373,12 @@ std::string MetricsToJson(const ServeMetricsSnapshot& snap) {
   counter("watchdog_stalls", snap.watchdog_stalls);
   counter("health", snap.health, /*last=*/true);
   out += "  },\n  \"cache_hit_rate\": " + Double(snap.CacheHitRate()) +
-         ",\n  \"search\": {\n";
+         ",\n  \"shard_health\": [";
+  for (size_t i = 0; i < snap.shard_health.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += U64(snap.shard_health[i]);
+  }
+  out += "],\n  \"search\": {\n";
   counter("queries", snap.search.queries);
   counter("candidates", snap.search.candidates);
   counter("nodes_visited_internal", snap.search.nodes_visited_internal);

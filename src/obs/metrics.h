@@ -45,9 +45,11 @@
 //   batch_size          requests per flushed micro-batch
 //   queue_depth         queue length observed after each admission
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "obs/counters.h"
 #include "util/histogram.h"
@@ -116,6 +118,14 @@ struct ServeMetrics {
   /// 2 unhealthy), kept up to date by the owning QueryService.
   std::atomic<uint64_t> health{0};
 
+  /// Per-shard health gauges (0 healthy, 1 degraded, 2 unhealthy), exported
+  /// as labeled `shard_health{shard="N"}` rows. Fixed capacity keeps the
+  /// registry allocation-free; fleets beyond kMaxShardGauges export the
+  /// first kMaxShardGauges shards. shard_count says how many are live.
+  static constexpr size_t kMaxShardGauges = 64;
+  std::atomic<uint64_t> shard_count{0};
+  std::array<std::atomic<uint64_t>, kMaxShardGauges> shard_health{};
+
   AtomicSearchCounters search;
 
   Histogram queue_wait_us;
@@ -153,6 +163,8 @@ struct ServeMetricsSnapshot {
   uint64_t flush_failures = 0;
   uint64_t watchdog_stalls = 0;
   uint64_t health = 0;
+  /// One ladder position per live shard (empty for a non-sharded service).
+  std::vector<uint64_t> shard_health;
 
   SearchCountersSnapshot search;
 

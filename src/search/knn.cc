@@ -157,6 +157,48 @@ Status SimilarityIndex::Build(const Dataset& dataset, BuildInfo* info) {
   return Status::OK();
 }
 
+Status SimilarityIndex::RestoreFromStore(const Dataset& dataset,
+                                         RepresentationStore store,
+                                         const std::string& tree_bytes) {
+  SAPLA_TRACE_SPAN("index/restore");
+  if (options_.legacy_aos_corpus)
+    return Status::InvalidArgument(
+        "RestoreFromStore requires the columnar corpus layout");
+  if (dataset.size() == 0) return Status::InvalidArgument("empty dataset");
+  if (store.method() != method_)
+    return Status::InvalidArgument("store method does not match the index");
+  if (store.size() != dataset.size())
+    return Status::InvalidArgument("store size does not match the dataset");
+  if (store.series_length() != dataset.length())
+    return Status::InvalidArgument(
+        "store series length does not match the dataset");
+  dataset_ = &dataset;
+  store_ = std::move(store);
+  reps_.clear();
+  reps_.shrink_to_fit();
+
+  IndexBackendContext ctx;
+  ctx.method = method_;
+  ctx.m = m_;
+  ctx.dataset = dataset_;
+  ctx.store = &store_;
+  ctx.options = options_;
+  auto backend = MakeIndexBackendByName(IndexKindName(kind_), ctx);
+  if (!backend.ok()) return backend.status();
+  backend_ = std::move(backend).ValueOrDie();
+  if (!tree_bytes.empty()) {
+    const Status restored = backend_->RestoreTree(tree_bytes);
+    if (!restored.ok()) return restored;
+  } else {
+    // Re-insert serially in id order — Build's exact procedure, so the tree
+    // shape (and hence every traversal counter) matches a fresh Build.
+    for (size_t i = 0; i < dataset.size(); ++i) backend_->Insert(i);
+  }
+  if (stats().entries != dataset.size())
+    return Status::Internal("restored tree entry count mismatch");
+  return Status::OK();
+}
+
 TreeStats SimilarityIndex::stats() const {
   return backend_ ? backend_->ComputeStats() : TreeStats{};
 }
@@ -323,12 +365,6 @@ KnnResult SimilarityIndex::RangeSearchLowerBound(
 
 std::vector<KnnResult> SimilarityIndex::KnnBatch(
     const std::vector<std::vector<double>>& queries, size_t k,
-    size_t num_threads) const {
-  return KnnBatch(queries, k, BatchOptions{num_threads, nullptr});
-}
-
-std::vector<KnnResult> SimilarityIndex::KnnBatch(
-    const std::vector<std::vector<double>>& queries, size_t k,
     const BatchOptions& options) const {
   std::vector<KnnResult> results(queries.size());
   ParallelFor(
@@ -339,12 +375,6 @@ std::vector<KnnResult> SimilarityIndex::KnnBatch(
       },
       options.num_threads);
   return results;
-}
-
-std::vector<KnnResult> SimilarityIndex::RangeSearchBatch(
-    const std::vector<std::vector<double>>& queries, double radius,
-    size_t num_threads) const {
-  return RangeSearchBatch(queries, radius, BatchOptions{num_threads, nullptr});
 }
 
 std::vector<KnnResult> SimilarityIndex::RangeSearchBatch(

@@ -21,30 +21,18 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "index/index_backend.h"
 #include "obs/counters.h"
 #include "reduction/representation.h"
 #include "reduction/representation_store.h"
+#include "search/search_index.h"
 #include "ts/time_series.h"
 #include "util/status.h"
 
 namespace sapla {
-
-/// One answer set: (exact distance, series id) ascending by distance,
-/// equal distances broken by ascending id (deterministic across thread
-/// counts and backends).
-struct KnnResult {
-  std::vector<std::pair<double, size_t>> neighbors;
-  /// Series whose raw distance was computed ("had to be measured").
-  size_t num_measured = 0;
-  /// Per-query work breakdown (obs/counters.h): node expansions by level,
-  /// entries pruned at node vs. leaf, lower-bound / exact evaluation counts
-  /// and tightness. Invariant: counters.exact_evaluations == num_measured.
-  /// Deterministic — identical between Knn and KnnBatch at any thread count.
-  SearchCounters counters;
-};
 
 /// Exact k-NN by full linear scan; num_measured == dataset size (0 when
 /// k == 0).
@@ -66,9 +54,10 @@ struct BuildInfo {
 using SimilarityIndexOptions = IndexBackendOptions;
 
 /// \brief A memory-resident similarity index over one dataset.
-class SimilarityIndex {
+class SimilarityIndex : public SearchIndex {
  public:
   using Options = SimilarityIndexOptions;
+  using BatchOptions = SearchBatchOptions;
 
   /// \param method reduction method used for every series and query.
   /// \param m representation-coefficient budget (Table 1).
@@ -83,9 +72,20 @@ class SimilarityIndex {
   /// serial (the trees are not concurrent structures).
   Status Build(const Dataset& dataset, BuildInfo* info = nullptr);
 
+  /// Warm restart: adopts an already-reduced columnar corpus instead of
+  /// re-running the reduction. `store` must describe `dataset` exactly
+  /// (same method, size and series length); `tree_bytes`, when non-empty,
+  /// is a serialized backend tree (IndexBackend::SerializeTree) restored
+  /// without a single distance evaluation. An empty `tree_bytes` rebuilds
+  /// the tree by the same serial id-order insertion Build uses — identical
+  /// shape, but O(n) insert work. The store keeps the fresh process-unique
+  /// id it was parsed with, so corpus_id() differs from the saved one.
+  Status RestoreFromStore(const Dataset& dataset, RepresentationStore store,
+                          const std::string& tree_bytes = {});
+
   /// Branch-and-bound k-NN for a raw query of the dataset's length.
   /// k == 0 returns an empty result without touching the index.
-  KnnResult Knn(const std::vector<double>& query, size_t k) const;
+  KnnResult Knn(const std::vector<double>& query, size_t k) const override;
 
   /// Approximate k-NN from the reduced representations only: every series
   /// is ranked by its lower-bounding filter distance to the query and no
@@ -93,71 +93,61 @@ class SimilarityIndex {
   /// lower bounds on the true distances, so the answer may differ from
   /// Knn's — this is the degraded fallback the serving layer returns for
   /// deadline-exceeded requests (serve/service.h).
-  KnnResult KnnLowerBound(const std::vector<double>& query, size_t k) const;
+  KnnResult KnnLowerBound(const std::vector<double>& query,
+                          size_t k) const override;
 
   /// Approximate range query from the lower bounds only: every series
   /// whose lower-bounding distance is <= radius (a superset of the exact
   /// answer ids, with lower-bound distances). num_measured == 0.
   KnnResult RangeSearchLowerBound(const std::vector<double>& query,
-                                  double radius) const;
+                                  double radius) const override;
 
   /// GEMINI epsilon-range query: every series whose exact Euclidean
   /// distance to `query` is <= radius, ascending by distance. Nodes and
   /// entries are pruned at `radius` by the same lower bounds as Knn.
-  KnnResult RangeSearch(const std::vector<double>& query, double radius) const;
+  KnnResult RangeSearch(const std::vector<double>& query,
+                        double radius) const override;
 
-  /// Controls one batch call.
-  struct BatchOptions {
-    /// Fan-out cap; 0 = the global default (see util/parallel.h).
-    size_t num_threads = 0;
-    /// Cooperative cancellation hook: when set, invoked with the query
-    /// index immediately before that query executes; returning true skips
-    /// the query, leaving results[i] empty (no neighbors, num_measured ==
-    /// 0). Must be thread-safe — it is called from pool workers. The
-    /// serving layer uses this to drop requests whose deadline passed
-    /// while the batch was queued.
-    std::function<bool(size_t)> cancel;
-  };
-
-  /// Batch k-NN: queries fan across the global thread pool (capped at
-  /// `num_threads`; 0 = the global default, see util/parallel.h).
-  /// results[i] is exactly Knn(queries[i], k) — same neighbors, same
-  /// num_measured — at every thread count.
-  std::vector<KnnResult> KnnBatch(
-      const std::vector<std::vector<double>>& queries, size_t k,
-      size_t num_threads = 0) const;
+  // The num_threads-only batch conveniences live on SearchIndex.
+  using SearchIndex::KnnBatch;
+  using SearchIndex::RangeSearchBatch;
 
   /// Batch k-NN with per-query cancellation; non-cancelled entries are
-  /// exactly Knn(queries[i], k).
+  /// exactly Knn(queries[i], k) — same neighbors, same num_measured — at
+  /// every thread count.
   std::vector<KnnResult> KnnBatch(
       const std::vector<std::vector<double>>& queries, size_t k,
-      const BatchOptions& options) const;
+      const BatchOptions& options) const override;
 
-  /// Batch range query; results[i] == RangeSearch(queries[i], radius).
+  /// Batch range query with per-query cancellation; non-cancelled entries
+  /// are exactly RangeSearch(queries[i], radius).
   std::vector<KnnResult> RangeSearchBatch(
       const std::vector<std::vector<double>>& queries, double radius,
-      size_t num_threads = 0) const;
+      const BatchOptions& options) const override;
 
-  /// Batch range query with per-query cancellation.
-  std::vector<KnnResult> RangeSearchBatch(
-      const std::vector<std::vector<double>>& queries, double radius,
-      const BatchOptions& options) const;
-
-  Method method() const { return method_; }
-  IndexKind kind() const { return kind_; }
+  Method method() const override { return method_; }
+  IndexKind kind() const override { return kind_; }
+  /// Representation-coefficient budget the index was built with.
+  size_t m() const { return m_; }
+  const Options& options() const { return options_; }
   /// Number of indexed series (0 before Build).
-  size_t dataset_size() const { return dataset_ ? dataset_->size() : 0; }
+  size_t dataset_size() const override { return dataset_ ? dataset_->size() : 0; }
   /// Length of the indexed series (0 before Build). The serving layer
   /// validates incoming query lengths against this.
-  size_t series_length() const { return dataset_ ? dataset_->length() : 0; }
+  size_t series_length() const override {
+    return dataset_ ? dataset_->length() : 0;
+  }
   /// The backend after Build (nullptr before); exposed for diagnostics.
   const IndexBackend* backend() const { return backend_.get(); }
+  /// The dataset passed to Build/RestoreFromStore (nullptr before); the
+  /// snapshot layer fingerprints it.
+  const Dataset* dataset() const { return dataset_; }
   /// The columnar corpus (empty before Build or with legacy_aos_corpus).
   const RepresentationStore& store() const { return store_; }
   /// Stable corpus identity: regenerated by every Build, so results cached
   /// under an old corpus (serve/result_cache.h) can never be served against
   /// a rebuilt index.
-  uint64_t corpus_id() const { return store_.id(); }
+  uint64_t corpus_id() const override { return store_.id(); }
   TreeStats stats() const;
 
  private:

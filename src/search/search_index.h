@@ -1,0 +1,157 @@
+#ifndef SAPLA_SEARCH_SEARCH_INDEX_H_
+#define SAPLA_SEARCH_SEARCH_INDEX_H_
+
+// Query-facing index abstraction shared by the single-shard SimilarityIndex
+// (search/knn.h) and the sharded tier (search/sharded_index.h).
+//
+// The serving layer (serve/service.h) programs against this interface only,
+// so one QueryService can front a standalone index or an N-shard fleet
+// without knowing which. The contract every implementation honours:
+//
+//  - Answers are deterministic: neighbors ascend by (distance, id), and the
+//    same query against the same corpus returns bit-identical results at
+//    every thread count.
+//  - corpus_id() changes whenever the served corpus changes (rebuild,
+//    snapshot restore, generation swap). The serve result cache keys on it,
+//    making stale hits structurally impossible.
+//  - After construction/Build the object is immutable from the query path's
+//    view; all query methods are const and safe to call concurrently.
+//    (ShardedIndex additionally supports live swaps — see its header for
+//    the publication protocol that preserves this guarantee per query.)
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "index/index_backend.h"
+#include "obs/counters.h"
+#include "reduction/representation.h"
+
+namespace sapla {
+
+/// One answer set: (exact distance, series id) ascending by distance,
+/// equal distances broken by ascending id (deterministic across thread
+/// counts, backends and shard counts).
+struct KnnResult {
+  std::vector<std::pair<double, size_t>> neighbors;
+  /// Series whose raw distance was computed ("had to be measured").
+  size_t num_measured = 0;
+  /// Per-query work breakdown (obs/counters.h): node expansions by level,
+  /// entries pruned at node vs. leaf, lower-bound / exact evaluation counts
+  /// and tightness. Invariant: counters.exact_evaluations == num_measured.
+  /// Deterministic — identical between Knn and KnnBatch at any thread count.
+  SearchCounters counters;
+  /// True when the answer was not computed by the full exact path — e.g. a
+  /// degraded shard contributed lower-bound-only candidates or an unhealthy
+  /// shard was excluded from the scatter. Approximate answers are never
+  /// inserted into the serve result cache.
+  bool approximate = false;
+};
+
+/// Controls one batch call (KnnBatch / RangeSearchBatch).
+struct SearchBatchOptions {
+  /// Fan-out cap; 0 = the global default (see util/parallel.h).
+  size_t num_threads = 0;
+  /// Cooperative cancellation hook: when set, invoked with the query
+  /// index immediately before that query executes; returning true skips
+  /// the query, leaving results[i] empty (no neighbors, num_measured ==
+  /// 0). Must be thread-safe — it is called from pool workers. The
+  /// serving layer uses this to drop requests whose deadline passed
+  /// while the batch was queued.
+  std::function<bool(size_t)> cancel;
+};
+
+/// Health of one shard as seen by the scatter layer. Mirrors the serving
+/// tier's degradation ladder (docs/ROBUSTNESS.md) at shard granularity.
+enum class ShardHealth : int {
+  kHealthy = 0,    ///< full exact search
+  kDegraded = 1,   ///< lower-bound-only answers (approximate)
+  kUnhealthy = 2,  ///< excluded from the scatter entirely
+};
+
+inline const char* ShardHealthName(ShardHealth h) {
+  switch (h) {
+    case ShardHealth::kHealthy:
+      return "healthy";
+    case ShardHealth::kDegraded:
+      return "degraded";
+    case ShardHealth::kUnhealthy:
+      return "unhealthy";
+  }
+  return "unknown";
+}
+
+/// \brief Abstract searchable corpus: the serving layer's only view of an
+/// index.
+class SearchIndex {
+ public:
+  using BatchOptions = SearchBatchOptions;
+
+  virtual ~SearchIndex() = default;
+
+  /// Branch-and-bound k-NN for a raw query of the dataset's length.
+  /// k == 0 returns an empty result without touching the index.
+  virtual KnnResult Knn(const std::vector<double>& query, size_t k) const = 0;
+
+  /// Approximate k-NN from the reduced representations only (lower-bound
+  /// distances, num_measured == 0); the degraded-mode fallback.
+  virtual KnnResult KnnLowerBound(const std::vector<double>& query,
+                                  size_t k) const = 0;
+
+  /// GEMINI epsilon-range query: exact distances <= radius, ascending.
+  virtual KnnResult RangeSearch(const std::vector<double>& query,
+                                double radius) const = 0;
+
+  /// Approximate range query from the lower bounds only (a superset of the
+  /// exact answer ids, with lower-bound distances). num_measured == 0.
+  virtual KnnResult RangeSearchLowerBound(const std::vector<double>& query,
+                                          double radius) const = 0;
+
+  /// Batch k-NN with per-query cancellation; non-cancelled entries are
+  /// exactly Knn(queries[i], k) at every thread count.
+  virtual std::vector<KnnResult> KnnBatch(
+      const std::vector<std::vector<double>>& queries, size_t k,
+      const BatchOptions& options) const = 0;
+
+  /// Batch range query with per-query cancellation; non-cancelled entries
+  /// are exactly RangeSearch(queries[i], radius).
+  virtual std::vector<KnnResult> RangeSearchBatch(
+      const std::vector<std::vector<double>>& queries, double radius,
+      const BatchOptions& options) const = 0;
+
+  /// Convenience overloads: fan across the pool capped at `num_threads`
+  /// (0 = global default), no cancellation.
+  std::vector<KnnResult> KnnBatch(
+      const std::vector<std::vector<double>>& queries, size_t k,
+      size_t num_threads = 0) const {
+    return KnnBatch(queries, k, BatchOptions{num_threads, nullptr});
+  }
+  std::vector<KnnResult> RangeSearchBatch(
+      const std::vector<std::vector<double>>& queries, double radius,
+      size_t num_threads = 0) const {
+    return RangeSearchBatch(queries, radius, BatchOptions{num_threads, nullptr});
+  }
+
+  virtual Method method() const = 0;
+  virtual IndexKind kind() const = 0;
+  /// Number of indexed series (0 before Build).
+  virtual size_t dataset_size() const = 0;
+  /// Length of the indexed series (0 before Build). The serving layer
+  /// validates incoming query lengths against this.
+  virtual size_t series_length() const = 0;
+  /// Stable corpus identity: changes on every rebuild, restore or swap, so
+  /// results cached under an old corpus (serve/result_cache.h) can never be
+  /// served against a new one.
+  virtual uint64_t corpus_id() const = 0;
+
+  /// Shard topology; a standalone index is one always-healthy shard.
+  virtual size_t num_shards() const { return 1; }
+  virtual ShardHealth shard_health(size_t /*shard*/) const {
+    return ShardHealth::kHealthy;
+  }
+};
+
+}  // namespace sapla
+
+#endif  // SAPLA_SEARCH_SEARCH_INDEX_H_

@@ -1,0 +1,347 @@
+#include "search/sharded_index.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/trace.h"
+#include "search/snapshot.h"
+#include "util/parallel.h"
+
+namespace sapla {
+namespace {
+
+// splitmix64 finalizer: folds per-shard corpus ids into one order-sensitive
+// fleet id.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+ShardedIndex::ShardedIndex(Method method, size_t m, IndexKind kind)
+    : ShardedIndex(method, m, kind, Options()) {}
+
+ShardedIndex::ShardedIndex(Method method, size_t m, IndexKind kind,
+                           const Options& options)
+    : method_(method), m_(m), kind_(kind), options_(options) {
+  // The merge contract demands per-shard answers that do not depend on the
+  // partition, which DBCH's default §5.3 node distance cannot give (it is
+  // knowingly approximate, index/dbch_tree.h). Force the sound regime on
+  // every shard regardless of what the caller passed.
+  options_.index.dbch_sound_bounds = true;
+}
+
+ShardedIndex::~ShardedIndex() = default;
+
+std::string ShardedIndex::ShardSnapshotPath(const std::string& prefix,
+                                            size_t shard) {
+  return prefix + ".shard" + std::to_string(shard) + ".snp";
+}
+
+Status ShardedIndex::InitShards(const Dataset& dataset,
+                                const std::string& snapshot_prefix) {
+  if (options_.index.legacy_aos_corpus)
+    return Status::InvalidArgument(
+        "sharded index requires the columnar corpus layout");
+  if (dataset.size() == 0) return Status::InvalidArgument("empty dataset");
+  const size_t n = dataset.size();
+  const size_t count =
+      std::min(std::max<size_t>(1, options_.num_shards), n);
+
+  // Build into a side vector so a failed shard leaves the index serving
+  // whatever it served before.
+  std::vector<std::unique_ptr<Shard>> shards;
+  shards.reserve(count);
+  for (size_t s = 0; s < count; ++s) {
+    const auto [lo, hi] = ParallelChunk(0, n, count, s);
+    auto gen = std::make_shared<Generation>();
+    gen->dataset.name = dataset.name;
+    gen->dataset.series.assign(dataset.series.begin() + lo,
+                               dataset.series.begin() + hi);
+    gen->index =
+        std::make_unique<SimilarityIndex>(method_, m_, kind_, options_.index);
+    const Status st =
+        snapshot_prefix.empty()
+            ? gen->index->Build(gen->dataset)
+            : LoadIndexSnapshot(ShardSnapshotPath(snapshot_prefix, s),
+                                gen->dataset, gen->index.get());
+    if (!st.ok()) return st;
+    auto shard = std::make_unique<Shard>();
+    shard->gen = std::move(gen);
+    shard->lo = lo;
+    shard->hi = hi;
+    shards.push_back(std::move(shard));
+  }
+  shards_ = std::move(shards);
+  total_size_ = n;
+  series_length_ = dataset.length();
+  return Status::OK();
+}
+
+Status ShardedIndex::Build(const Dataset& dataset) {
+  SAPLA_TRACE_SPAN("shard/build");
+  return InitShards(dataset, "");
+}
+
+Status ShardedIndex::Restore(const Dataset& dataset,
+                             const std::string& prefix) {
+  SAPLA_TRACE_SPAN("shard/restore");
+  if (prefix.empty())
+    return Status::InvalidArgument("empty snapshot prefix");
+  return InitShards(dataset, prefix);
+}
+
+std::pair<size_t, size_t> ShardedIndex::ShardRange(size_t shard) const {
+  if (shard >= shards_.size()) return {0, 0};
+  return {shards_[shard]->lo, shards_[shard]->hi};
+}
+
+Status ShardedIndex::SaveSnapshots(const std::string& prefix) const {
+  SAPLA_TRACE_SPAN("shard/save_snapshots");
+  if (shards_.empty())
+    return Status::InvalidArgument("sharded index is not built");
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    std::shared_ptr<const Generation> gen;
+    {
+      std::lock_guard<std::mutex> lock(shards_[s]->mu);
+      gen = shards_[s]->gen;
+    }
+    const Status st =
+        SaveIndexSnapshot(ShardSnapshotPath(prefix, s), *gen->index);
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
+void ShardedIndex::Publish(size_t shard,
+                           std::shared_ptr<const Generation> gen) {
+  Shard& sh = *shards_[shard];
+  {
+    std::lock_guard<std::mutex> lock(sh.mu);
+    sh.gen = std::move(gen);
+  }
+  sh.health.store(static_cast<int>(ShardHealth::kHealthy));
+}
+
+Status ShardedIndex::RebuildShard(size_t shard) {
+  SAPLA_TRACE_SPAN("shard/rebuild");
+  if (shard >= shards_.size())
+    return Status::InvalidArgument("shard out of range");
+  std::shared_ptr<const Generation> old;
+  {
+    std::lock_guard<std::mutex> lock(shards_[shard]->mu);
+    old = shards_[shard]->gen;
+  }
+  auto gen = std::make_shared<Generation>();
+  gen->dataset = old->dataset;
+  gen->index =
+      std::make_unique<SimilarityIndex>(method_, m_, kind_, options_.index);
+  const Status st = gen->index->Build(gen->dataset);
+  if (!st.ok()) return st;
+  Publish(shard, std::move(gen));
+  return Status::OK();
+}
+
+Status ShardedIndex::RestoreShard(size_t shard, const std::string& path) {
+  SAPLA_TRACE_SPAN("shard/restore_shard");
+  if (shard >= shards_.size())
+    return Status::InvalidArgument("shard out of range");
+  std::shared_ptr<const Generation> old;
+  {
+    std::lock_guard<std::mutex> lock(shards_[shard]->mu);
+    old = shards_[shard]->gen;
+  }
+  auto gen = std::make_shared<Generation>();
+  gen->dataset = old->dataset;
+  gen->index =
+      std::make_unique<SimilarityIndex>(method_, m_, kind_, options_.index);
+  const Status st = LoadIndexSnapshot(path, gen->dataset, gen->index.get());
+  if (!st.ok()) return st;
+  Publish(shard, std::move(gen));
+  return Status::OK();
+}
+
+void ShardedIndex::SetShardHealth(size_t shard, ShardHealth health) {
+  if (shard >= shards_.size()) return;
+  shards_[shard]->health.store(static_cast<int>(health));
+}
+
+ShardHealth ShardedIndex::shard_health(size_t shard) const {
+  if (shard >= shards_.size()) return ShardHealth::kUnhealthy;
+  return static_cast<ShardHealth>(shards_[shard]->health.load());
+}
+
+uint64_t ShardedIndex::shard_corpus_id(size_t shard) const {
+  if (shard >= shards_.size()) return 0;
+  std::lock_guard<std::mutex> lock(shards_[shard]->mu);
+  return shards_[shard]->gen->index->corpus_id();
+}
+
+uint64_t ShardedIndex::corpus_id() const {
+  if (shards_.empty()) return 0;
+  if (shards_.size() == 1) return shard_corpus_id(0);
+  uint64_t h = 0;
+  for (size_t s = 0; s < shards_.size(); ++s)
+    h = Mix64(h ^ shard_corpus_id(s));
+  return h;
+}
+
+std::vector<ShardedIndex::Pinned> ShardedIndex::PinShards() const {
+  std::vector<Pinned> pins(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    Shard& sh = *shards_[s];
+    {
+      std::lock_guard<std::mutex> lock(sh.mu);
+      pins[s].gen = sh.gen;
+    }
+    pins[s].health = static_cast<ShardHealth>(sh.health.load());
+    pins[s].lo = sh.lo;
+  }
+  return pins;
+}
+
+// Each query pins every shard's generation once, scatters (inline when
+// already inside a batch worker — ParallelFor nests safely), remaps local
+// ids to global by the shard's range start, sums the counters and sorts on
+// (distance, id). The per-shard answer sets are exact over disjoint
+// subsets, so the merge reproduces the single-index answer.
+KnnResult ShardedIndex::Knn(const std::vector<double>& query,
+                            size_t k) const {
+  SAPLA_TRACE_SPAN("shard/knn");
+  const std::vector<Pinned> pins = PinShards();
+  std::vector<KnnResult> parts(pins.size());
+  bool approximate = false;
+  for (const Pinned& p : pins)
+    if (p.health != ShardHealth::kHealthy) approximate = true;
+  ParallelFor(0, pins.size(), [&](size_t s) {
+    const Pinned& p = pins[s];
+    if (p.health == ShardHealth::kUnhealthy) return;
+    parts[s] = p.health == ShardHealth::kDegraded
+                   ? p.gen->index->KnnLowerBound(query, k)
+                   : p.gen->index->Knn(query, k);
+  });
+  KnnResult out;
+  for (size_t s = 0; s < pins.size(); ++s) {
+    for (const auto& [dist, id] : parts[s].neighbors)
+      out.neighbors.emplace_back(dist, id + pins[s].lo);
+    out.num_measured += parts[s].num_measured;
+    out.counters.Add(parts[s].counters);
+  }
+  std::sort(out.neighbors.begin(), out.neighbors.end());
+  if (out.neighbors.size() > k) out.neighbors.resize(k);
+  out.approximate = approximate;
+  return out;
+}
+
+KnnResult ShardedIndex::KnnLowerBound(const std::vector<double>& query,
+                                      size_t k) const {
+  SAPLA_TRACE_SPAN("shard/knn_lb");
+  const std::vector<Pinned> pins = PinShards();
+  std::vector<KnnResult> parts(pins.size());
+  bool approximate = false;
+  ParallelFor(0, pins.size(), [&](size_t s) {
+    if (pins[s].health == ShardHealth::kUnhealthy) return;
+    parts[s] = pins[s].gen->index->KnnLowerBound(query, k);
+  });
+  KnnResult out;
+  for (size_t s = 0; s < pins.size(); ++s) {
+    if (pins[s].health == ShardHealth::kUnhealthy) {
+      approximate = true;
+      continue;
+    }
+    for (const auto& [dist, id] : parts[s].neighbors)
+      out.neighbors.emplace_back(dist, id + pins[s].lo);
+    out.num_measured += parts[s].num_measured;
+    out.counters.Add(parts[s].counters);
+  }
+  std::sort(out.neighbors.begin(), out.neighbors.end());
+  if (out.neighbors.size() > k) out.neighbors.resize(k);
+  out.approximate = approximate;
+  return out;
+}
+
+KnnResult ShardedIndex::RangeSearch(const std::vector<double>& query,
+                                    double radius) const {
+  SAPLA_TRACE_SPAN("shard/range");
+  const std::vector<Pinned> pins = PinShards();
+  std::vector<KnnResult> parts(pins.size());
+  bool approximate = false;
+  for (const Pinned& p : pins)
+    if (p.health != ShardHealth::kHealthy) approximate = true;
+  ParallelFor(0, pins.size(), [&](size_t s) {
+    const Pinned& p = pins[s];
+    if (p.health == ShardHealth::kUnhealthy) return;
+    parts[s] = p.health == ShardHealth::kDegraded
+                   ? p.gen->index->RangeSearchLowerBound(query, radius)
+                   : p.gen->index->RangeSearch(query, radius);
+  });
+  KnnResult out;
+  for (size_t s = 0; s < pins.size(); ++s) {
+    for (const auto& [dist, id] : parts[s].neighbors)
+      out.neighbors.emplace_back(dist, id + pins[s].lo);
+    out.num_measured += parts[s].num_measured;
+    out.counters.Add(parts[s].counters);
+  }
+  std::sort(out.neighbors.begin(), out.neighbors.end());
+  out.approximate = approximate;
+  return out;
+}
+
+KnnResult ShardedIndex::RangeSearchLowerBound(const std::vector<double>& query,
+                                              double radius) const {
+  SAPLA_TRACE_SPAN("shard/range_lb");
+  const std::vector<Pinned> pins = PinShards();
+  std::vector<KnnResult> parts(pins.size());
+  bool approximate = false;
+  ParallelFor(0, pins.size(), [&](size_t s) {
+    if (pins[s].health == ShardHealth::kUnhealthy) return;
+    parts[s] = pins[s].gen->index->RangeSearchLowerBound(query, radius);
+  });
+  KnnResult out;
+  for (size_t s = 0; s < pins.size(); ++s) {
+    if (pins[s].health == ShardHealth::kUnhealthy) {
+      approximate = true;
+      continue;
+    }
+    for (const auto& [dist, id] : parts[s].neighbors)
+      out.neighbors.emplace_back(dist, id + pins[s].lo);
+    out.num_measured += parts[s].num_measured;
+    out.counters.Add(parts[s].counters);
+  }
+  std::sort(out.neighbors.begin(), out.neighbors.end());
+  out.approximate = approximate;
+  return out;
+}
+
+std::vector<KnnResult> ShardedIndex::KnnBatch(
+    const std::vector<std::vector<double>>& queries, size_t k,
+    const BatchOptions& options) const {
+  std::vector<KnnResult> results(queries.size());
+  ParallelFor(
+      0, queries.size(),
+      [&](size_t i) {
+        if (options.cancel && options.cancel(i)) return;
+        results[i] = Knn(queries[i], k);
+      },
+      options.num_threads);
+  return results;
+}
+
+std::vector<KnnResult> ShardedIndex::RangeSearchBatch(
+    const std::vector<std::vector<double>>& queries, double radius,
+    const BatchOptions& options) const {
+  std::vector<KnnResult> results(queries.size());
+  ParallelFor(
+      0, queries.size(),
+      [&](size_t i) {
+        if (options.cancel && options.cancel(i)) return;
+        results[i] = RangeSearch(queries[i], radius);
+      },
+      options.num_threads);
+  return results;
+}
+
+}  // namespace sapla

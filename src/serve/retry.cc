@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <future>
 #include <thread>
 
 namespace sapla {
@@ -103,6 +104,64 @@ RetryingClient::RetryingClient(QueryService& service,
     : service_(service), policy_(policy), budget_(budget) {}
 
 template <typename Issue>
+ServeResponse RetryingClient::Await(Issue& issue,
+                                    std::future<ServeResponse> primary,
+                                    Clock::time_point start,
+                                    uint64_t deadline_us) {
+  if (policy_.hedge_delay_us == 0) return primary.get();
+  if (primary.wait_for(std::chrono::microseconds(policy_.hedge_delay_us)) ==
+      std::future_status::ready)
+    return primary.get();
+
+  // The primary is slow; race a speculative duplicate against it. Hedges
+  // draw from the same budget as retries so they cannot amplify a
+  // brown-out.
+  if (budget_ != nullptr && !budget_->TryAcquire()) {
+    stats_.budget_denied.fetch_add(1);
+    return primary.get();
+  }
+  stats_.attempts.fetch_add(1);
+  stats_.hedges.fetch_add(1);
+  uint64_t hedge_deadline_us = 0;
+  if (deadline_us != 0) {
+    const uint64_t elapsed = ElapsedUs(start);
+    // The primary consumed part of the allowance waiting; give the hedge
+    // whatever remains (a floor of 1µs makes "already expired" resolve as
+    // kDeadlineExceeded inside the service rather than "no deadline").
+    hedge_deadline_us = elapsed >= deadline_us ? 1 : deadline_us - elapsed;
+  }
+  std::future<ServeResponse> hedge = issue(hedge_deadline_us);
+
+  // First OK wins; ties and double failures resolve to the primary so the
+  // outcome is deterministic given the two responses. The loser's future is
+  // simply dropped — QueryService owns the promise, so abandoning the
+  // future never blocks and the in-flight work finishes harmlessly.
+  for (;;) {
+    if (primary.wait_for(std::chrono::microseconds(0)) ==
+        std::future_status::ready) {
+      ServeResponse response = primary.get();
+      if (response.status.ok()) return response;
+      ServeResponse hedged = hedge.get();
+      if (!hedged.status.ok()) return response;
+      stats_.hedge_wins.fetch_add(1);
+      return hedged;
+    }
+    if (hedge.wait_for(std::chrono::microseconds(0)) ==
+        std::future_status::ready) {
+      ServeResponse hedged = hedge.get();
+      if (hedged.status.ok()) {
+        stats_.hedge_wins.fetch_add(1);
+        return hedged;
+      }
+      // Hedge failed first; the primary's answer (either way) is the
+      // attempt's answer.
+      return primary.get();
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+}
+
+template <typename Issue>
 ServeResponse RetryingClient::Run(Issue issue, uint64_t deadline_us,
                                   uint64_t request_id) {
   const Clock::time_point start = Clock::now();
@@ -122,7 +181,8 @@ ServeResponse RetryingClient::Run(Issue issue, uint64_t deadline_us,
       }
       attempt_deadline_us = deadline_us - elapsed;
     }
-    ServeResponse response = issue(attempt_deadline_us);
+    ServeResponse response =
+        Await(issue, issue(attempt_deadline_us), start, deadline_us);
     if (response.status.ok()) {
       if (budget_ != nullptr) budget_->RecordSuccess();
       return response;
@@ -150,7 +210,7 @@ ServeResponse RetryingClient::Knn(const std::vector<double>& query, size_t k,
                                   uint64_t deadline_us, uint64_t request_id) {
   return Run(
       [&](uint64_t attempt_deadline_us) {
-        return service_.Knn(query, k, attempt_deadline_us);
+        return service_.SubmitKnn(query, k, attempt_deadline_us);
       },
       deadline_us, request_id);
 }
@@ -160,7 +220,7 @@ ServeResponse RetryingClient::Range(const std::vector<double>& query,
                                     uint64_t request_id) {
   return Run(
       [&](uint64_t attempt_deadline_us) {
-        return service_.Range(query, radius, attempt_deadline_us);
+        return service_.SubmitRange(query, radius, attempt_deadline_us);
       },
       deadline_us, request_id);
 }

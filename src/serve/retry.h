@@ -24,9 +24,21 @@
 // them. The retry budget is clock-free (token bucket refilled by
 // *successes*, gRPC-throttling style), so its decisions are a pure function
 // of the request history too.
+//
+// Hedging: with `hedge_delay_us` set, an attempt that has not answered
+// within the delay launches ONE speculative duplicate ("hedge") of the same
+// idempotent request and the first OK answer wins. Hedges draw from the
+// same retry budget (one token each, denied when empty) so tail-chasing can
+// never amplify load during a brown-out, and the race is resolved
+// deterministically: when both responses are available the primary is
+// preferred, and when both fail the primary's status drives the retry
+// decision. The abandoned loser keeps running inside the service but its
+// future is promise-owned, so discarding it never blocks.
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <future>
 #include <mutex>
 #include <vector>
 
@@ -53,6 +65,10 @@ struct RetryPolicy {
   uint64_t seed = 0;
   /// Also retry kUnavailable (kOverloaded is always retryable).
   bool retry_unavailable = false;
+  /// Launch one speculative duplicate of an attempt that has not answered
+  /// within this many µs (0 disables hedging). Hedges cost one retry-budget
+  /// token; first OK response wins, primary preferred on ties.
+  uint64_t hedge_delay_us = 0;
 };
 
 /// Backoff in µs before retry number `attempt` (1-based: attempt 1 follows
@@ -104,18 +120,26 @@ class RetryBudget {
 
 /// \brief Counters for one RetryingClient (all monotonic, thread-safe).
 struct RetryStats {
+  /// Requests issued to the service, including hedges.
   std::atomic<uint64_t> attempts{0};
   std::atomic<uint64_t> retries{0};
+  /// Retries *or hedges* denied because the budget was empty.
   std::atomic<uint64_t> budget_denied{0};
   std::atomic<uint64_t> deadline_denied{0};
+  /// Speculative duplicates launched after hedge_delay_us without answer.
+  std::atomic<uint64_t> hedges{0};
+  /// Hedges whose response was the one returned (primary lost the race).
+  std::atomic<uint64_t> hedge_wins{0};
 };
 
 /// \brief Blocking QueryService client that applies a RetryPolicy.
 ///
-/// Wraps the blocking conveniences (Knn / Range); the per-call deadline
-/// spans the whole logical request including backoff sleeps. A shared
-/// RetryBudget may be plugged in; without one only attempts and deadlines
-/// limit retries. The service and budget must outlive the client.
+/// Issues attempts through the asynchronous submit path (so a hedge can
+/// race its primary) but presents the blocking Knn / Range surface; the
+/// per-call deadline spans the whole logical request including backoff
+/// sleeps and hedge waits. A shared RetryBudget may be plugged in; without
+/// one only attempts and deadlines limit retries (hedges are then
+/// unmetered). The service and budget must outlive the client.
 class RetryingClient {
  public:
   RetryingClient(QueryService& service, const RetryPolicy& policy,
@@ -134,8 +158,17 @@ class RetryingClient {
   const RetryPolicy& policy() const { return policy_; }
 
  private:
+  /// One logical request. `issue(attempt_deadline_us)` submits one attempt
+  /// and returns its future; Run layers deadlines, retries and hedging on
+  /// top.
   template <typename Issue>
   ServeResponse Run(Issue issue, uint64_t deadline_us, uint64_t request_id);
+
+  /// Resolves one attempt: waits on the primary, hedging per policy_.
+  template <typename Issue>
+  ServeResponse Await(Issue& issue, std::future<ServeResponse> primary,
+                      std::chrono::steady_clock::time_point start,
+                      uint64_t deadline_us);
 
   QueryService& service_;
   const RetryPolicy policy_;

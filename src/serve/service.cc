@@ -69,13 +69,14 @@ struct QueryService::Request {
   }
 };
 
-QueryService::QueryService(const SimilarityIndex& index,
+QueryService::QueryService(const SearchIndex& index,
                            const ServeOptions& options)
     : index_(index),
       options_(options),
       cache_(options.cache_capacity, options.cache_shards),
       queue_(options.queue_capacity) {
   heartbeat_us_.store(NowUs());
+  RefreshShardGauges();
   scheduler_ = std::thread([this] { SchedulerLoop(); });
   if (options_.watchdog_interval_us > 0)
     watchdog_ = std::thread([this] { WatchdogLoop(); });
@@ -115,12 +116,23 @@ void QueryService::RecomputeHealth() {
                         std::memory_order_relaxed);
 }
 
+void QueryService::RefreshShardGauges() const {
+  const size_t shards =
+      std::min<size_t>(index_.num_shards(), ServeMetrics::kMaxShardGauges);
+  metrics_.shard_count.store(shards, std::memory_order_relaxed);
+  for (size_t s = 0; s < shards; ++s)
+    metrics_.shard_health[s].store(
+        static_cast<uint64_t>(index_.shard_health(s)),
+        std::memory_order_relaxed);
+}
+
 void QueryService::WatchdogLoop() {
   std::unique_lock<std::mutex> lock(watchdog_mu_);
   while (!watchdog_stop_) {
     watchdog_cv_.wait_for(
         lock, std::chrono::microseconds(options_.watchdog_interval_us));
     if (watchdog_stop_) break;
+    RefreshShardGauges();
     // A stalled scheduler = work is waiting but the heartbeat is stale.
     // An idle scheduler (empty queue) is blocked in PopBatch by design and
     // never counts as stalled.
@@ -338,6 +350,13 @@ void QueryService::Flush(std::vector<std::unique_ptr<Request>> batch) {
   const Clock::time_point flush_start = Clock::now();
   metrics_.batches_flushed.fetch_add(1);
   metrics_.batch_size.Record(batch.size());
+  // Capture the corpus identity BEFORE any batch executes. A live shard
+  // swap between execution and cache insert would otherwise let a result
+  // computed from the old generation be cached under the new corpus id.
+  // With the id captured first, execution pins generations at least as new
+  // as the captured id, so a racing swap can only strand the entry under
+  // the superseded id — a dead cache line, never a stale answer.
+  const uint64_t corpus_id_at_flush = index_.corpus_id();
 
   // Fault point "serve/flush": the whole batch fails as one unit, the way
   // a real backend outage would fail it. Every request resolves with
@@ -386,7 +405,7 @@ void QueryService::Flush(std::vector<std::unique_ptr<Request>> batch) {
     queries.reserve(group.size());
     for (const Request* request : group) queries.push_back(request->query);
 
-    SimilarityIndex::BatchOptions batch_options;
+    SearchBatchOptions batch_options;
     batch_options.num_threads = options_.num_threads;
     batch_options.cancel = [&group](size_t i) {
       Request* request = group[i];
@@ -442,19 +461,23 @@ void QueryService::Flush(std::vector<std::unique_ptr<Request>> batch) {
         continue;
       }
       metrics_.search.Add(results[i].counters, index_.dataset_size());
-      if (cache_.capacity() > 0) {
+      // Only exact answers are cached (the cache's documented contract):
+      // an answer marked approximate (degraded/excluded shard) must not
+      // outlive the health condition that produced it.
+      if (cache_.capacity() > 0 && !results[i].approximate) {
         ResultCacheKey cache_key;
         cache_key.op = request->op;
         cache_key.k = request->k;
         cache_key.radius = request->radius;
         cache_key.method = index_.method();
         cache_key.kind = index_.kind();
-        cache_key.corpus_id = index_.corpus_id();
+        cache_key.corpus_id = corpus_id_at_flush;
         cache_key.query = request->query;
         cache_.Insert(cache_key, results[i]);
       }
       ServeResponse response;
       response.status = Status::OK();
+      response.approximate = results[i].approximate;
       response.result = std::move(results[i]);
       response.queue_us = request->queue_us;
       response.total_us = ElapsedUs(request->admitted, Clock::now());

@@ -4,8 +4,9 @@
 // Embedded query-serving subsystem.
 //
 // QueryService turns a stream of independent kNN / range requests from any
-// number of client threads into efficient micro-batched work on top of an
-// immutable SimilarityIndex, and owns the whole request lifecycle:
+// number of client threads into efficient micro-batched work on top of a
+// SearchIndex (a single SimilarityIndex or a sharded tier,
+// search/sharded_index.h), and owns the whole request lifecycle:
 //
 //   admission   A bounded MPMC queue (util/bounded_queue.h). When it is
 //               full the request is rejected immediately with kOverloaded —
@@ -43,9 +44,15 @@
 //               are exact and served in every state.
 //
 // Thread-safety: every public method may be called concurrently from any
-// thread. The index must outlive the service and stay immutable while the
-// service runs (rebuild => destroy the service, rebuild, recreate — and
-// InvalidateCache() if the old cache object is reused).
+// thread. The index must outlive the service. A plain SimilarityIndex must
+// also stay immutable while the service runs (rebuild => destroy the
+// service, rebuild, recreate — and InvalidateCache() if the old cache
+// object is reused). A ShardedIndex may swap shard generations live: the
+// cache key captures corpus_id() immediately before a batch executes, and
+// the execution pins generations at least that new, so a result can never
+// be cached under a corpus id newer than the data that produced it — a
+// swap strands old entries under the old id (dead, never served) instead
+// of ever serving a stale mix.
 
 #include <atomic>
 #include <condition_variable>
@@ -57,7 +64,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
-#include "search/knn.h"
+#include "search/search_index.h"
 #include "serve/result_cache.h"
 #include "util/bounded_queue.h"
 #include "util/status.h"
@@ -128,8 +135,9 @@ struct ServeResponse {
 /// \brief Thread-safe micro-batching query service over one index.
 class QueryService {
  public:
-  /// The index must be built and must outlive the service.
-  explicit QueryService(const SimilarityIndex& index,
+  /// The index must be built and must outlive the service. Accepts any
+  /// SearchIndex — a standalone SimilarityIndex or a ShardedIndex.
+  explicit QueryService(const SearchIndex& index,
                         const ServeOptions& options = {});
 
   /// Stops the service (drains the queue) before destruction.
@@ -167,11 +175,16 @@ class QueryService {
   /// joins the scheduler. Idempotent; later submissions get kUnavailable.
   void Stop();
 
-  /// Live metrics registry (wait-free readers, see obs/metrics.h).
-  const ServeMetrics& metrics() const { return metrics_; }
+  /// Live metrics registry (wait-free readers, see obs/metrics.h). The
+  /// per-shard health gauges are refreshed on the way out.
+  const ServeMetrics& metrics() const {
+    RefreshShardGauges();
+    return metrics_;
+  }
 
   /// Point-in-time snapshot of every counter and histogram.
   ServeMetricsSnapshot MetricsSnapshot() const {
+    RefreshShardGauges();
     return SnapshotMetrics(metrics_);
   }
 
@@ -192,11 +205,14 @@ class QueryService {
   void Beat();
   /// Re-derives health from the stall level and flush-failure streak.
   void RecomputeHealth();
+  /// Copies the index's per-shard health into the metrics gauges (wait-free
+  /// atomic stores; metrics_ is mutable so const readers stay current).
+  void RefreshShardGauges() const;
 
-  const SimilarityIndex& index_;
+  const SearchIndex& index_;
   const ServeOptions options_;
 
-  ServeMetrics metrics_;
+  mutable ServeMetrics metrics_;
   ResultCache cache_;
   BoundedQueue<std::unique_ptr<Request>> queue_;
   std::atomic<bool> stopped_{false};

@@ -1,0 +1,121 @@
+#ifndef SAPLA_UTIL_BINIO_H_
+#define SAPLA_UTIL_BINIO_H_
+
+// Minimal little-endian binary encode/decode helpers.
+//
+// Shared by the tree serializers (index/rtree.h, index/dbch_tree.h) and the
+// index-snapshot format (search/snapshot.h). Writers append to a
+// std::string; the Reader is bounds-checked — every Read* reports failure
+// instead of walking past the end, so a truncated or corrupted buffer is
+// always detected structurally (checksums catch flips, the Reader catches
+// short reads). Doubles are transported as their IEEE-754 bit patterns, so
+// encode -> decode is bit-exact including -0.0, denormals and NaN payloads.
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace sapla {
+namespace binio {
+
+inline void PutU32(std::string* out, uint32_t v) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  out->append(buf, 4);
+}
+
+inline void PutU64(std::string* out, uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  out->append(buf, 8);
+}
+
+inline void PutI64(std::string* out, int64_t v) {
+  PutU64(out, static_cast<uint64_t>(v));
+}
+
+inline void PutF64(std::string* out, double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+inline void PutString(std::string* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+/// \brief Bounds-checked sequential reader over a byte string. After any
+/// failed read `ok()` is false and every later read returns a zero value;
+/// callers check once at the end (or at structural decision points).
+class Reader {
+ public:
+  explicit Reader(const std::string& data) : data_(data) {}
+
+  bool ok() const { return ok_; }
+  size_t consumed() const { return pos_; }
+  size_t remaining() const { return data_.size() - pos_; }
+
+  uint32_t ReadU32() {
+    uint32_t v = 0;
+    if (!Take(4)) return 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<uint32_t>(
+               static_cast<unsigned char>(data_[pos_ - 4 + i]))
+           << (8 * i);
+    return v;
+  }
+
+  uint64_t ReadU64() {
+    uint64_t v = 0;
+    if (!Take(8)) return 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<uint64_t>(
+               static_cast<unsigned char>(data_[pos_ - 8 + i]))
+           << (8 * i);
+    return v;
+  }
+
+  int64_t ReadI64() { return static_cast<int64_t>(ReadU64()); }
+
+  double ReadF64() {
+    const uint64_t bits = ReadU64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  /// Length-prefixed string (PutString). Fails when the prefix runs past
+  /// the end of the buffer.
+  std::string ReadString() {
+    const uint32_t len = ReadU32();
+    if (!Take(len)) return {};
+    return data_.substr(pos_ - len, len);
+  }
+
+  /// Raw byte run of an explicit length.
+  std::string ReadBytes(size_t len) {
+    if (!Take(len)) return {};
+    return data_.substr(pos_ - len, len);
+  }
+
+ private:
+  bool Take(size_t n) {
+    if (!ok_ || n > data_.size() - pos_) {
+      ok_ = false;
+      return false;
+    }
+    pos_ += n;
+    return true;
+  }
+
+  const std::string& data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace binio
+}  // namespace sapla
+
+#endif  // SAPLA_UTIL_BINIO_H_

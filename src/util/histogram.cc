@@ -102,6 +102,20 @@ double Histogram::Quantile(double q) const {
   return static_cast<double>(Max());
 }
 
+void Histogram::Merge(const Histogram& other) {
+  for (size_t b = 0; b < kNumBuckets; ++b) {
+    const uint64_t n = other.counts_[b].load(std::memory_order_relaxed);
+    if (n != 0) counts_[b].fetch_add(n, std::memory_order_relaxed);
+  }
+  sum_.fetch_add(other.sum_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+  const uint64_t other_max = other.max_.load(std::memory_order_relaxed);
+  uint64_t prev = max_.load(std::memory_order_relaxed);
+  while (other_max > prev && !max_.compare_exchange_weak(
+                                 prev, other_max, std::memory_order_relaxed)) {
+  }
+}
+
 void Histogram::Reset() {
   for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
   sum_.store(0, std::memory_order_relaxed);

@@ -53,6 +53,14 @@ class Histogram {
   /// intended for between-run reuse, not mid-flight truncation.
   void Reset();
 
+  /// Adds `other`'s observations into this histogram (bucket-count sums,
+  /// sum of sums, max of maxes) — cross-shard latency aggregation. Because
+  /// the bucket boundaries are fixed and shared, quantiles of the merged
+  /// histogram equal quantiles recomputed from the union of the two
+  /// observation sets (tests/histogram_test.cc). Safe against concurrent
+  /// Record on either side; merging a histogram into itself doubles it.
+  void Merge(const Histogram& other);
+
   /// Bucket index for a value (exposed for tests).
   static size_t BucketFor(uint64_t value);
 

@@ -106,6 +106,51 @@ TEST(Histogram, BucketCountExposesRawBuckets) {
             h.BucketCount(Histogram::kNumBuckets - 1));
 }
 
+TEST(Histogram, MergeEqualsRecomputationFromTheUnion) {
+  // Two disjoint observation streams (different scales so they land in
+  // different buckets), merged one way and recomputed the other: because
+  // the bucket boundaries are fixed and shared, every derived statistic of
+  // the merged histogram must equal the one computed from the union.
+  std::vector<uint64_t> a, b;
+  for (uint64_t i = 0; i < 400; ++i) a.push_back(3 + (i * 17) % 250);
+  for (uint64_t i = 0; i < 300; ++i) b.push_back(1000 + (i * 31) % 9000);
+
+  Histogram ha, hb, hu;
+  for (const uint64_t v : a) {
+    ha.Record(v);
+    hu.Record(v);
+  }
+  for (const uint64_t v : b) {
+    hb.Record(v);
+    hu.Record(v);
+  }
+  ha.Merge(hb);
+
+  EXPECT_EQ(ha.Count(), hu.Count());
+  EXPECT_EQ(ha.Sum(), hu.Sum());
+  EXPECT_EQ(ha.Max(), hu.Max());
+  EXPECT_EQ(ha.Mean(), hu.Mean());
+  for (size_t bkt = 0; bkt < Histogram::kNumBuckets; ++bkt)
+    EXPECT_EQ(ha.BucketCount(bkt), hu.BucketCount(bkt)) << "bucket " << bkt;
+  for (const double q : {0.0, 0.1, 0.5, 0.9, 0.95, 0.99, 1.0})
+    EXPECT_EQ(ha.Quantile(q), hu.Quantile(q)) << "q " << q;
+}
+
+TEST(Histogram, MergeIntoEmptyAndOfEmptyBehave) {
+  Histogram empty, h;
+  h.Record(42);
+  h.Record(7);
+  h.Merge(empty);  // no-op
+  EXPECT_EQ(h.Count(), 2u);
+  EXPECT_EQ(h.Sum(), 49u);
+
+  Histogram sink;
+  sink.Merge(h);
+  EXPECT_EQ(sink.Count(), 2u);
+  EXPECT_EQ(sink.Max(), 42u);
+  EXPECT_EQ(sink.Quantile(0.5), h.Quantile(0.5));
+}
+
 TEST(Histogram, ConcurrentRecordLosesNothing) {
   Histogram h;
   constexpr size_t kThreads = 8;

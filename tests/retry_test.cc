@@ -207,6 +207,96 @@ TEST_F(RetryClientTest, DeadlineStopsRetriesBeforeTheBackoff) {
             150);
 }
 
+// ---------------------------------------------------------------------------
+// Hedged requests. The serve/flush_stall delay point makes the races
+// deterministic: a stalled attempt takes tens of milliseconds while an
+// unstalled one answers in well under one, so which side wins is forced by
+// the fault configuration, not by scheduling luck.
+
+TEST_F(RetryClientTest, SlowFailingPrimaryIsRescuedByTheHedge) {
+  QueryService service(*index_, FastServeOptions());
+  RetryPolicy policy;
+  policy.hedge_delay_us = 2000;  // 2ms, far below the primary's stall
+  RetryingClient client(service, policy);
+
+  // The primary's flush stalls 60ms and then fails as a unit; the hedge,
+  // launched at 2ms and queued behind it, flushes clean right after. One
+  // failure stays below the degradation threshold, so the hedge's answer
+  // is the exact one.
+  fault::Enable(1);
+  fault::PointConfig slow_fail;
+  slow_fail.max_triggers = 1;
+  slow_fail.delay_us = 60'000;
+  fault::Configure("serve/flush", slow_fail);
+
+  const std::vector<double>& q = ds_.series[5].values;
+  const ServeResponse r = client.Knn(q, 4);
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_EQ(r.result.neighbors, index_->Knn(q, 4).neighbors);
+  EXPECT_EQ(client.stats().hedges.load(), 1u);
+  EXPECT_EQ(client.stats().hedge_wins.load(), 1u);
+  EXPECT_EQ(client.stats().attempts.load(), 2u);  // primary + hedge
+  EXPECT_EQ(client.stats().retries.load(), 0u);  // the rescue was not a retry
+}
+
+TEST_F(RetryClientTest, FastPrimaryNeverHedges) {
+  QueryService service(*index_, FastServeOptions());
+  RetryPolicy policy;
+  policy.hedge_delay_us = 1'000'000;  // 1s: the answer always beats it
+  RetryingClient client(service, policy);
+
+  for (int i = 0; i < 5; ++i) {
+    const ServeResponse r = client.Knn(ds_.series[i].values, 3);
+    ASSERT_TRUE(r.status.ok());
+  }
+  EXPECT_EQ(client.stats().hedges.load(), 0u);
+  EXPECT_EQ(client.stats().attempts.load(), 5u);
+}
+
+TEST_F(RetryClientTest, SlowHedgeLosesToThePrimary) {
+  QueryService service(*index_, FastServeOptions());
+  RetryPolicy policy;
+  policy.hedge_delay_us = 2000;
+  RetryingClient client(service, policy);
+
+  // Every flush stalls 20ms. The hedge launches at 2ms but queues behind
+  // the primary on the single scheduler thread, so the primary is always
+  // ready first (~20ms vs ~40ms) and must be the one returned.
+  fault::Enable(1);
+  fault::PointConfig stall;
+  stall.delay_us = 20'000;
+  fault::Configure("serve/flush_stall", stall);
+
+  const std::vector<double>& q = ds_.series[7].values;
+  const ServeResponse r = client.Knn(q, 4);
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_EQ(r.result.neighbors, index_->Knn(q, 4).neighbors);
+  EXPECT_EQ(client.stats().hedges.load(), 1u);
+  EXPECT_EQ(client.stats().hedge_wins.load(), 0u);  // primary preferred
+}
+
+TEST_F(RetryClientTest, EmptyBudgetDeniesTheHedgeButTheRequestStillAnswers) {
+  QueryService service(*index_, FastServeOptions());
+  RetryPolicy policy;
+  policy.hedge_delay_us = 1000;
+  RetryBudget budget(/*max_tokens=*/0.0, /*tokens_per_success=*/0.0);
+  RetryingClient client(service, policy, &budget);
+
+  fault::Enable(1);
+  fault::PointConfig stall;
+  stall.max_triggers = 1;
+  stall.delay_us = 20'000;  // slow, not failing
+  fault::Configure("serve/flush_stall", stall);
+
+  const std::vector<double>& q = ds_.series[9].values;
+  const ServeResponse r = client.Knn(q, 4);
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_EQ(r.result.neighbors, index_->Knn(q, 4).neighbors);
+  EXPECT_EQ(client.stats().hedges.load(), 0u);
+  EXPECT_EQ(client.stats().budget_denied.load(), 1u);
+  EXPECT_EQ(client.stats().attempts.load(), 1u);
+}
+
 #endif  // SAPLA_FAULT_DISABLED
 
 }  // namespace

@@ -1,0 +1,628 @@
+// Sharded-vs-single parity: a ShardedIndex must answer every query with
+// the same neighbor ids and bit-identical distances as one SimilarityIndex
+// over the whole corpus — at every shard count (1/2/4/7), for every
+// Method x IndexKind, serially and batched at 1/2/8 threads. At one shard
+// the answer is bit-identical counters included; at more shards the merged
+// counters are the deterministic field-wise sum over the per-shard
+// traversals and keep the per-query invariants (obs/counters.h). On top of
+// the merge contract: snapshot save -> load -> query parity, corrupted
+// snapshots rejected byte-flip by byte-flip, live generation swaps that
+// change corpus_id() without changing answers, per-shard degradation, and
+// the serve-cache staleness guarantee across a swap.
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "search/knn.h"
+#include "search/sharded_index.h"
+#include "search/snapshot.h"
+#include "serve/service.h"
+#include "ts/synthetic_archive.h"
+
+namespace sapla {
+namespace {
+
+constexpr size_t kShardCounts[] = {1, 2, 4, 7};
+constexpr size_t kThreadCounts[] = {1, 2, 8};
+constexpr size_t kBudget = 12;
+constexpr size_t kK = 6;
+
+Dataset SmallDataset(size_t id = 41, size_t n = 128, size_t count = 60) {
+  SyntheticOptions opt;
+  opt.length = n;
+  opt.num_series = count;
+  return MakeSyntheticDataset(id, opt);
+}
+
+std::vector<std::vector<double>> SomeQueries(const Dataset& ds) {
+  std::vector<std::vector<double>> queries;
+  for (const size_t qi : {0u, 7u, 19u, 33u, 58u})
+    if (qi < ds.size()) queries.push_back(ds.series[qi].values);
+  return queries;
+}
+
+// Ids and distances must match bit for bit. num_measured and the counters
+// are checked separately: with shards > 1 each shard refines its own
+// candidate set, so the merged work counters are the (deterministic) sum
+// over N smaller trees, not the single tree's numbers.
+void ExpectSameAnswer(const KnnResult& sharded, const KnnResult& single,
+                      const std::string& label) {
+  ASSERT_EQ(sharded.neighbors.size(), single.neighbors.size()) << label;
+  for (size_t i = 0; i < sharded.neighbors.size(); ++i) {
+    EXPECT_EQ(sharded.neighbors[i].second, single.neighbors[i].second)
+        << label << " rank " << i;
+    EXPECT_EQ(sharded.neighbors[i].first, single.neighbors[i].first)
+        << label << " rank " << i;
+  }
+}
+
+void ExpectFullyIdentical(const KnnResult& a, const KnnResult& b,
+                          const std::string& label) {
+  ExpectSameAnswer(a, b, label);
+  EXPECT_EQ(a.num_measured, b.num_measured) << label;
+  EXPECT_TRUE(a.counters == b.counters) << label;
+}
+
+// The merge must preserve the per-query counter identities over the whole
+// corpus (each shard satisfies them over its slice; sums telescope).
+void ExpectCounterInvariants(const KnnResult& r, size_t dataset_size,
+                             const std::string& label) {
+  const SearchCounters& c = r.counters;
+  EXPECT_EQ(c.lb_evaluations, c.exact_evaluations + c.entries_pruned_leaf)
+      << label;
+  EXPECT_EQ(dataset_size, c.lb_evaluations + c.entries_pruned_node) << label;
+  EXPECT_EQ(c.exact_evaluations, r.num_measured) << label;
+}
+
+struct ShardCase {
+  Method method;
+  IndexKind kind;
+};
+
+class ShardSweep : public ::testing::TestWithParam<ShardCase> {
+ protected:
+  void Build() {
+    ds_ = SmallDataset();
+    const auto [method, kind] = GetParam();
+    // The single-index reference must search the same regime the shards are
+    // forced into (sound DBCH bounds) — the paper's default §5.3 node
+    // distance is knowingly approximate and would not be partition-invariant.
+    SimilarityIndex::Options exact;
+    exact.dbch_sound_bounds = true;
+    single_ = std::make_unique<SimilarityIndex>(method, kBudget, kind, exact);
+    ASSERT_TRUE(single_->Build(ds_).ok()) << MethodName(method);
+    for (const size_t shards : kShardCounts) {
+      ShardedIndex::Options options;
+      options.num_shards = shards;
+      auto index =
+          std::make_unique<ShardedIndex>(method, kBudget, kind, options);
+      ASSERT_TRUE(index->Build(ds_).ok())
+          << MethodName(method) << " shards " << shards;
+      ASSERT_EQ(index->num_shards(), shards);
+      sharded_.push_back(std::move(index));
+    }
+  }
+
+  std::string Label(const char* op, size_t shards) const {
+    return MethodName(GetParam().method) + " " + op + " shards " +
+           std::to_string(shards);
+  }
+
+  Dataset ds_;
+  std::unique_ptr<SimilarityIndex> single_;
+  std::vector<std::unique_ptr<ShardedIndex>> sharded_;
+};
+
+TEST_P(ShardSweep, ShardRangesTileTheCorpus) {
+  Build();
+  for (const auto& index : sharded_) {
+    size_t next = 0;
+    for (size_t s = 0; s < index->num_shards(); ++s) {
+      const auto [lo, hi] = index->ShardRange(s);
+      EXPECT_EQ(lo, next);
+      EXPECT_LT(lo, hi);
+      next = hi;
+    }
+    EXPECT_EQ(next, ds_.size());
+    EXPECT_EQ(index->dataset_size(), ds_.size());
+    EXPECT_EQ(index->series_length(), ds_.length());
+  }
+}
+
+TEST_P(ShardSweep, KnnMatchesSingleAtEveryShardCount) {
+  Build();
+  for (const auto& index : sharded_) {
+    const size_t shards = index->num_shards();
+    for (const std::vector<double>& q : SomeQueries(ds_)) {
+      const KnnResult single = single_->Knn(q, kK);
+      const KnnResult merged = index->Knn(q, kK);
+      if (shards == 1) {
+        // One shard holds the whole corpus: bit-identical, counters too.
+        ExpectFullyIdentical(merged, single, Label("knn", shards));
+      } else {
+        ExpectSameAnswer(merged, single, Label("knn", shards));
+        ExpectCounterInvariants(merged, ds_.size(), Label("knn", shards));
+        // The merged counters are deterministic: same query, same sum.
+        EXPECT_TRUE(merged.counters == index->Knn(q, kK).counters)
+            << Label("knn-determinism", shards);
+      }
+      EXPECT_FALSE(merged.approximate);
+    }
+  }
+}
+
+TEST_P(ShardSweep, KnnBatchMatchesAtEveryThreadAndShardCount) {
+  Build();
+  const auto queries = SomeQueries(ds_);
+  const std::vector<KnnResult> single = single_->KnnBatch(queries, kK, 1);
+  for (const auto& index : sharded_) {
+    const size_t shards = index->num_shards();
+    for (const size_t threads : kThreadCounts) {
+      const std::vector<KnnResult> batch =
+          index->KnnBatch(queries, kK, threads);
+      ASSERT_EQ(batch.size(), single.size());
+      for (size_t q = 0; q < queries.size(); ++q) {
+        const std::string label = Label("knn-batch", shards) + " q" +
+                                  std::to_string(q) + " threads " +
+                                  std::to_string(threads);
+        if (shards == 1) {
+          ExpectFullyIdentical(batch[q], single[q], label);
+        } else {
+          ExpectSameAnswer(batch[q], single[q], label);
+          // Batch execution must reproduce the serial merge exactly,
+          // counters included, at every thread count.
+          EXPECT_TRUE(batch[q].counters == index->Knn(queries[q], kK).counters)
+              << label;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(ShardSweep, RangeSearchMatchesAtEveryShardCount) {
+  Build();
+  for (const auto& index : sharded_) {
+    const size_t shards = index->num_shards();
+    for (const double radius : {4.0, 9.0, 100.0}) {
+      for (const std::vector<double>& q : SomeQueries(ds_)) {
+        const KnnResult single = single_->RangeSearch(q, radius);
+        const KnnResult merged = index->RangeSearch(q, radius);
+        if (shards == 1) {
+          ExpectFullyIdentical(merged, single, Label("range", shards));
+        } else {
+          ExpectSameAnswer(merged, single, Label("range", shards));
+          ExpectCounterInvariants(merged, ds_.size(), Label("range", shards));
+        }
+      }
+    }
+  }
+}
+
+TEST_P(ShardSweep, RangeSearchBatchMatchesAtEveryThreadAndShardCount) {
+  Build();
+  const double radius = 9.0;
+  const auto queries = SomeQueries(ds_);
+  const std::vector<KnnResult> single =
+      single_->RangeSearchBatch(queries, radius, 1);
+  for (const auto& index : sharded_) {
+    const size_t shards = index->num_shards();
+    for (const size_t threads : kThreadCounts) {
+      const std::vector<KnnResult> batch =
+          index->RangeSearchBatch(queries, radius, threads);
+      for (size_t q = 0; q < queries.size(); ++q)
+        ExpectSameAnswer(batch[q], single[q],
+                         Label("range-batch", shards) + " q" +
+                             std::to_string(q) + " threads " +
+                             std::to_string(threads));
+    }
+  }
+}
+
+TEST_P(ShardSweep, LowerBoundPathsMatchAtEveryShardCount) {
+  Build();
+  for (const auto& index : sharded_) {
+    const size_t shards = index->num_shards();
+    for (const std::vector<double>& q : SomeQueries(ds_)) {
+      ExpectSameAnswer(index->KnnLowerBound(q, kK),
+                       single_->KnnLowerBound(q, kK), Label("knn-lb", shards));
+      ExpectSameAnswer(index->RangeSearchLowerBound(q, 9.0),
+                       single_->RangeSearchLowerBound(q, 9.0),
+                       Label("range-lb", shards));
+    }
+  }
+}
+
+std::vector<ShardCase> AllShardCases() {
+  std::vector<ShardCase> cases;
+  for (const Method method : AllMethods())
+    for (const IndexKind kind : {IndexKind::kRTree, IndexKind::kDbchTree})
+      cases.push_back({method, kind});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MethodsTimesTrees, ShardSweep, ::testing::ValuesIn(AllShardCases()),
+    [](const ::testing::TestParamInfo<ShardCase>& info) {
+      return MethodName(info.param.method) +
+             (info.param.kind == IndexKind::kRTree ? "_RTree" : "_DbchTree");
+    });
+
+// ---------------------------------------------------------------------------
+// Snapshots: save -> load -> query parity and corruption rejection.
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  return bytes;
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+class SnapshotKinds : public ::testing::TestWithParam<IndexKind> {};
+
+TEST_P(SnapshotKinds, RoundTripServesIdenticalAnswers) {
+  const Dataset ds = SmallDataset(51);
+  SimilarityIndex saved(Method::kSapla, kBudget, GetParam());
+  ASSERT_TRUE(saved.Build(ds).ok());
+  const std::string path =
+      TempPath(std::string("snap_roundtrip_") + IndexKindName(GetParam()));
+  ASSERT_TRUE(SaveIndexSnapshot(path, saved).ok());
+
+  SimilarityIndex loaded(Method::kSapla, kBudget, GetParam());
+  const Status restored = LoadIndexSnapshot(path, ds, &loaded);
+  ASSERT_TRUE(restored.ok()) << restored.message();
+
+  // Same tree, same store: every answer is bit-identical, counters too.
+  const TreeStats a = saved.stats();
+  const TreeStats b = loaded.stats();
+  EXPECT_EQ(a.entries, b.entries);
+  EXPECT_EQ(a.height, b.height);
+  EXPECT_EQ(a.leaf_nodes, b.leaf_nodes);
+  EXPECT_EQ(a.internal_nodes, b.internal_nodes);
+  for (const std::vector<double>& q : SomeQueries(ds)) {
+    ExpectFullyIdentical(loaded.Knn(q, kK), saved.Knn(q, kK), "snap knn");
+    ExpectFullyIdentical(loaded.RangeSearch(q, 9.0), saved.RangeSearch(q, 9.0),
+                         "snap range");
+  }
+  // A fresh corpus id: serve caches from the saving process cannot alias.
+  EXPECT_NE(loaded.corpus_id(), saved.corpus_id());
+  std::remove(path.c_str());
+}
+
+TEST_P(SnapshotKinds, RejectsTheWrongDatasetAndWrongShape) {
+  const Dataset ds = SmallDataset(52);
+  SimilarityIndex saved(Method::kSapla, kBudget, GetParam());
+  ASSERT_TRUE(saved.Build(ds).ok());
+  const std::string path =
+      TempPath(std::string("snap_mismatch_") + IndexKindName(GetParam()));
+  ASSERT_TRUE(SaveIndexSnapshot(path, saved).ok());
+
+  // Different corpus, same shape: the fingerprint must catch it.
+  const Dataset other = SmallDataset(53);
+  SimilarityIndex target(Method::kSapla, kBudget, GetParam());
+  EXPECT_FALSE(LoadIndexSnapshot(path, other, &target).ok());
+
+  // Right corpus, wrong method / budget: the meta check must catch it.
+  SimilarityIndex wrong_method(Method::kPaa, kBudget, GetParam());
+  EXPECT_FALSE(LoadIndexSnapshot(path, ds, &wrong_method).ok());
+  SimilarityIndex wrong_budget(Method::kSapla, kBudget + 2, GetParam());
+  EXPECT_FALSE(LoadIndexSnapshot(path, ds, &wrong_budget).ok());
+  std::remove(path.c_str());
+}
+
+// Every bit flip anywhere in the file must be rejected (CRCs + bounds
+// checks), and a loader that rejects must leave the target unusable for
+// serving only in the "never built" sense — not crash. Mirrors the
+// store_io fuzz approach: flip one bit at a stride of positions.
+TEST_P(SnapshotKinds, RejectsEverySampledBitFlip) {
+  const Dataset ds = SmallDataset(54, 96, 30);
+  SimilarityIndex saved(Method::kSapla, kBudget, GetParam());
+  ASSERT_TRUE(saved.Build(ds).ok());
+  const std::string path =
+      TempPath(std::string("snap_fuzz_") + IndexKindName(GetParam()));
+  ASSERT_TRUE(SaveIndexSnapshot(path, saved).ok());
+  const std::string good = ReadFileBytes(path);
+  ASSERT_FALSE(good.empty());
+
+  const std::string flipped_path = path + ".flipped";
+  size_t rejected = 0, tried = 0;
+  for (size_t pos = 0; pos < good.size(); pos += 7) {
+    std::string bad = good;
+    bad[pos] = static_cast<char>(bad[pos] ^ 0x20);
+    WriteFileBytes(flipped_path, bad);
+    SimilarityIndex target(Method::kSapla, kBudget, GetParam());
+    ++tried;
+    if (!LoadIndexSnapshot(flipped_path, ds, &target).ok()) ++rejected;
+  }
+  EXPECT_EQ(rejected, tried) << "a corrupted snapshot loaded successfully";
+
+  // Truncations at every section boundary-ish prefix must be rejected too.
+  for (const size_t len : {size_t{0}, size_t{4}, size_t{17}, good.size() / 2,
+                           good.size() - 1}) {
+    WriteFileBytes(flipped_path, good.substr(0, len));
+    SimilarityIndex target(Method::kSapla, kBudget, GetParam());
+    EXPECT_FALSE(LoadIndexSnapshot(flipped_path, ds, &target).ok())
+        << "truncated to " << len;
+  }
+  std::remove(path.c_str());
+  std::remove(flipped_path.c_str());
+}
+
+TEST_P(SnapshotKinds, ShardedSaveRestoreServesIdenticalAnswers) {
+  const Dataset ds = SmallDataset(55);
+  ShardedIndex::Options options;
+  options.num_shards = 4;
+  ShardedIndex saved(Method::kSapla, kBudget, GetParam(), options);
+  ASSERT_TRUE(saved.Build(ds).ok());
+  const std::string prefix =
+      TempPath(std::string("snap_fleet_") + IndexKindName(GetParam()));
+  ASSERT_TRUE(saved.SaveSnapshots(prefix).ok());
+
+  ShardedIndex restored(Method::kSapla, kBudget, GetParam(), options);
+  const Status status = restored.Restore(ds, prefix);
+  ASSERT_TRUE(status.ok()) << status.message();
+  ASSERT_EQ(restored.num_shards(), saved.num_shards());
+  for (const std::vector<double>& q : SomeQueries(ds)) {
+    // Identical trees per shard: the merge is bit-identical incl. counters.
+    ExpectFullyIdentical(restored.Knn(q, kK), saved.Knn(q, kK), "fleet knn");
+    ExpectFullyIdentical(restored.RangeSearch(q, 9.0),
+                         saved.RangeSearch(q, 9.0), "fleet range");
+  }
+  EXPECT_NE(restored.corpus_id(), saved.corpus_id());
+
+  // A fleet restore with corrupted shard 2 must reject as a unit.
+  const std::string shard2 = ShardedIndex::ShardSnapshotPath(prefix, 2);
+  std::string bytes = ReadFileBytes(shard2);
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x01);
+  WriteFileBytes(shard2, bytes);
+  ShardedIndex rejected(Method::kSapla, kBudget, GetParam(), options);
+  EXPECT_FALSE(rejected.Restore(ds, prefix).ok());
+
+  for (size_t s = 0; s < saved.num_shards(); ++s)
+    std::remove(ShardedIndex::ShardSnapshotPath(prefix, s).c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(BothTrees, SnapshotKinds,
+                         ::testing::Values(IndexKind::kRTree,
+                                           IndexKind::kDbchTree),
+                         [](const ::testing::TestParamInfo<IndexKind>& info) {
+                           return std::string(IndexKindName(info.param));
+                         });
+
+// ---------------------------------------------------------------------------
+// Live generation swap.
+
+TEST(LiveSwap, RebuildShardChangesCorpusIdAndKeepsAnswers) {
+  const Dataset ds = SmallDataset(61);
+  ShardedIndex::Options options;
+  options.num_shards = 3;
+  ShardedIndex index(Method::kSapla, kBudget, IndexKind::kRTree, options);
+  ASSERT_TRUE(index.Build(ds).ok());
+
+  const uint64_t id_before = index.corpus_id();
+  const uint64_t shard1_before = index.shard_corpus_id(1);
+  std::vector<KnnResult> before;
+  for (const std::vector<double>& q : SomeQueries(ds))
+    before.push_back(index.Knn(q, kK));
+
+  ASSERT_TRUE(index.RebuildShard(1).ok());
+  EXPECT_NE(index.corpus_id(), id_before);
+  EXPECT_NE(index.shard_corpus_id(1), shard1_before);
+  // Other shards kept their generations.
+  EXPECT_EQ(index.shard_corpus_id(0), index.shard_corpus_id(0));
+
+  // Same slice data, same deterministic build: answers are unchanged.
+  size_t qi = 0;
+  for (const std::vector<double>& q : SomeQueries(ds))
+    ExpectFullyIdentical(index.Knn(q, kK), before[qi++], "post-swap knn");
+}
+
+TEST(LiveSwap, RestoreShardFromSnapshotSwapsLive) {
+  const Dataset ds = SmallDataset(62);
+  ShardedIndex::Options options;
+  options.num_shards = 2;
+  ShardedIndex index(Method::kSapla, kBudget, IndexKind::kDbchTree, options);
+  ASSERT_TRUE(index.Build(ds).ok());
+  const std::string prefix = TempPath("live_restore");
+  ASSERT_TRUE(index.SaveSnapshots(prefix).ok());
+
+  const KnnResult before = index.Knn(ds.series[3].values, kK);
+  const uint64_t id_before = index.corpus_id();
+  ASSERT_TRUE(
+      index.RestoreShard(0, ShardedIndex::ShardSnapshotPath(prefix, 0)).ok());
+  EXPECT_NE(index.corpus_id(), id_before);
+  ExpectFullyIdentical(index.Knn(ds.series[3].values, kK), before,
+                       "post-restore knn");
+  for (size_t s = 0; s < index.num_shards(); ++s)
+    std::remove(ShardedIndex::ShardSnapshotPath(prefix, s).c_str());
+}
+
+// The serve cache keys on corpus_id: a swap strands old entries, so a
+// cached answer can never cross generations — observable as cache_hit
+// dropping to false right after the swap, then re-warming under the new id.
+TEST(LiveSwap, ServeCacheNeverServesAcrossASwap) {
+  const Dataset ds = SmallDataset(63);
+  ShardedIndex::Options options;
+  options.num_shards = 2;
+  ShardedIndex index(Method::kSapla, kBudget, IndexKind::kRTree, options);
+  ASSERT_TRUE(index.Build(ds).ok());
+
+  ServeOptions serve;
+  serve.cache_capacity = 64;
+  serve.max_batch = 1;
+  QueryService service(index, serve);
+  const std::vector<double>& q = ds.series[5].values;
+
+  const ServeResponse first = service.Knn(q, kK);
+  ASSERT_TRUE(first.status.ok());
+  EXPECT_FALSE(first.cache_hit);
+  const ServeResponse warm = service.Knn(q, kK);
+  ASSERT_TRUE(warm.status.ok());
+  EXPECT_TRUE(warm.cache_hit);
+
+  ASSERT_TRUE(index.RebuildShard(0).ok());
+  const ServeResponse after = service.Knn(q, kK);
+  ASSERT_TRUE(after.status.ok());
+  EXPECT_FALSE(after.cache_hit) << "served a pre-swap cache entry";
+  ExpectFullyIdentical(after.result, first.result, "post-swap serve");
+  const ServeResponse rewarmed = service.Knn(q, kK);
+  ASSERT_TRUE(rewarmed.status.ok());
+  EXPECT_TRUE(rewarmed.cache_hit);
+  service.Stop();
+}
+
+// Swaps under concurrent load: every response is OK and bit-identical to
+// the reference (the slice data never changes, so any generation mixing or
+// stale cache entry would have to surface as a wrong or torn answer).
+TEST(LiveSwap, ConcurrentQueriesAcrossSwapsStayCorrect) {
+  const Dataset ds = SmallDataset(64, 96, 40);
+  ShardedIndex::Options options;
+  options.num_shards = 4;
+  ShardedIndex index(Method::kSapla, kBudget, IndexKind::kRTree, options);
+  ASSERT_TRUE(index.Build(ds).ok());
+
+  const auto queries = SomeQueries(ds);
+  std::vector<KnnResult> reference;
+  for (const auto& q : queries) reference.push_back(index.Knn(q, kK));
+
+  ServeOptions serve;
+  serve.cache_capacity = 32;
+  QueryService service(index, serve);
+
+  std::vector<std::thread> clients;
+  std::vector<int> failures(4, 0);
+  for (size_t t = 0; t < 4; ++t) {
+    clients.emplace_back([&, t] {
+      for (size_t i = 0; i < 40; ++i) {
+        const size_t qi = (t + i) % queries.size();
+        const ServeResponse r = service.Knn(queries[qi], kK);
+        if (!r.status.ok() ||
+            r.result.neighbors != reference[qi].neighbors ||
+            r.result.num_measured != reference[qi].num_measured)
+          ++failures[t];
+      }
+    });
+  }
+  for (size_t swap = 0; swap < 8; ++swap)
+    ASSERT_TRUE(index.RebuildShard(swap % index.num_shards()).ok());
+  for (auto& c : clients) c.join();
+  service.Stop();
+  for (size_t t = 0; t < failures.size(); ++t)
+    EXPECT_EQ(failures[t], 0) << "client " << t;
+}
+
+// ---------------------------------------------------------------------------
+// Per-shard health: degradation at shard granularity.
+
+TEST(ShardHealth, UnhealthyShardIsExcludedAndMarksApproximate) {
+  const Dataset ds = SmallDataset(71);
+  ShardedIndex::Options options;
+  options.num_shards = 4;
+  ShardedIndex index(Method::kSapla, kBudget, IndexKind::kRTree, options);
+  ASSERT_TRUE(index.Build(ds).ok());
+  SimilarityIndex single(Method::kSapla, kBudget, IndexKind::kRTree);
+  ASSERT_TRUE(single.Build(ds).ok());
+
+  index.SetShardHealth(2, ShardHealth::kUnhealthy);
+  EXPECT_EQ(index.shard_health(2), ShardHealth::kUnhealthy);
+  const auto [lo, hi] = index.ShardRange(2);
+
+  for (const std::vector<double>& q : SomeQueries(ds)) {
+    const KnnResult r = index.Knn(q, kK);
+    EXPECT_TRUE(r.approximate);
+    // No id from the excluded shard's range can appear...
+    for (const auto& [dist, id] : r.neighbors) {
+      EXPECT_TRUE(id < lo || id >= hi) << "id " << id << " from dead shard";
+    }
+    // ...and the rest must be the exact top-k over the surviving ids.
+    const KnnResult full = single.Knn(q, kK + (hi - lo));
+    std::vector<std::pair<double, size_t>> expected;
+    for (const auto& n : full.neighbors) {
+      if (n.second < lo || n.second >= hi) expected.push_back(n);
+      if (expected.size() == r.neighbors.size()) break;
+    }
+    EXPECT_EQ(r.neighbors, expected);
+  }
+
+  // Recovery: back to healthy, answers are exact again.
+  index.SetShardHealth(2, ShardHealth::kHealthy);
+  const KnnResult healed = index.Knn(ds.series[0].values, kK);
+  EXPECT_FALSE(healed.approximate);
+  ExpectSameAnswer(healed, single.Knn(ds.series[0].values, kK), "healed");
+}
+
+TEST(ShardHealth, DegradedShardServesLowerBoundsOnly) {
+  const Dataset ds = SmallDataset(72);
+  ShardedIndex::Options options;
+  options.num_shards = 3;
+  ShardedIndex index(Method::kSapla, kBudget, IndexKind::kDbchTree, options);
+  ASSERT_TRUE(index.Build(ds).ok());
+  SimilarityIndex::Options exact;
+  exact.dbch_sound_bounds = true;  // same regime the shards are forced into
+  SimilarityIndex single(Method::kSapla, kBudget, IndexKind::kDbchTree, exact);
+  ASSERT_TRUE(single.Build(ds).ok());
+
+  index.SetShardHealth(1, ShardHealth::kDegraded);
+  const std::vector<double>& q = ds.series[9].values;
+  const KnnResult r = index.Knn(q, kK);
+  EXPECT_TRUE(r.approximate);
+  // Deterministic: the same degraded query twice is identical.
+  ExpectFullyIdentical(index.Knn(q, kK), r, "degraded determinism");
+
+  // With every shard degraded the merge is exactly the lower-bound-only
+  // answer, which matches the single index's lower-bound path.
+  for (size_t s = 0; s < index.num_shards(); ++s)
+    index.SetShardHealth(s, ShardHealth::kDegraded);
+  const KnnResult all_lb = index.Knn(q, kK);
+  EXPECT_TRUE(all_lb.approximate);
+  ExpectSameAnswer(all_lb, single.KnnLowerBound(q, kK), "all-degraded == lb");
+  EXPECT_EQ(all_lb.num_measured, 0u);
+}
+
+TEST(ShardHealth, RebuildResetsHealthAndGaugesExport) {
+  const Dataset ds = SmallDataset(73);
+  ShardedIndex::Options options;
+  options.num_shards = 3;
+  ShardedIndex index(Method::kSapla, kBudget, IndexKind::kRTree, options);
+  ASSERT_TRUE(index.Build(ds).ok());
+
+  QueryService service(index, {});
+  index.SetShardHealth(0, ShardHealth::kDegraded);
+  index.SetShardHealth(2, ShardHealth::kUnhealthy);
+
+  const ServeMetricsSnapshot snap = service.MetricsSnapshot();
+  ASSERT_EQ(snap.shard_health.size(), 3u);
+  EXPECT_EQ(snap.shard_health[0], 1u);
+  EXPECT_EQ(snap.shard_health[1], 0u);
+  EXPECT_EQ(snap.shard_health[2], 2u);
+
+  // The Prometheus exposition carries one labeled gauge per shard.
+  const std::string prom = MetricsToPrometheus(service.metrics());
+  EXPECT_NE(prom.find("sapla_shard_health{shard=\"0\"} 1"), std::string::npos);
+  EXPECT_NE(prom.find("sapla_shard_health{shard=\"2\"} 2"), std::string::npos);
+
+  // A generation swap heals the shard.
+  ASSERT_TRUE(index.RebuildShard(2).ok());
+  EXPECT_EQ(index.shard_health(2), ShardHealth::kHealthy);
+  service.Stop();
+}
+
+}  // namespace
+}  // namespace sapla

@@ -22,8 +22,16 @@
 // at the end — a chaos run where nothing triggered is visible, not a
 // silent pass.
 //
+//   6. Shard kill/restart (--shards=N, N >= 2): with one shard marked
+//      unhealthy the fleet keeps answering — availability stays above a
+//      floor, every OK answer is approximate and bit-identical to the
+//      deterministic surviving-shards merge — retries stay within the
+//      client budget, and after every RestoreShard / RebuildShard the
+//      answers are bit-identical to the all-healthy baseline again.
+//
 //   sapla_chaos --seed=42 --queries=1000            # per Method x IndexKind
 //   sapla_chaos --spec='seed=1;serve/flush=p0.05'   # custom fault schedule
+//   sapla_chaos --shards=3 --shard-cycles=6         # + shard kill/restart
 //
 // Exit status: 0 = all invariants held, 1 = violations (printed), 2 = bad
 // usage. Requires a build with SAPLA_FAULT=ON (the default); prints a
@@ -42,6 +50,8 @@
 #include "reduction/representation.h"
 #include "reduction/representation_store.h"
 #include "search/knn.h"
+#include "search/sharded_index.h"
+#include "serve/retry.h"
 #include "serve/service.h"
 #include "ts/io.h"
 #include "ts/synthetic_archive.h"
@@ -61,6 +71,8 @@ struct Config {
   double radius = 8.0;
   size_t pool = 24;          // distinct queries (exercises the cache)
   size_t io_rounds = 200;    // save/load attempts under injected I/O faults
+  size_t shards = 0;         // >= 2 enables the shard kill/restart phase
+  size_t shard_cycles = 6;   // kill/restart rounds in that phase
   std::string spec;          // overrides the default fault schedule
   bool verbose = false;
 };
@@ -69,6 +81,7 @@ struct Config {
   fprintf(stderr,
           "usage: %s [--seed=S] [--queries=Q] [--series=N] [--n=LEN]\n"
           "          [--m=M] [--k=K] [--pool=P] [--io-rounds=R]\n"
+          "          [--shards=N] [--shard-cycles=C]\n"
           "          [--spec=FAULT_SPEC] [--verbose=0|1]\n",
           argv0);
   exit(2);
@@ -104,6 +117,10 @@ Config ParseFlags(int argc, char** argv) {
       config.pool = num();
     } else if (key == "io-rounds") {
       config.io_rounds = num();
+    } else if (key == "shards") {
+      config.shards = num();
+    } else if (key == "shard-cycles") {
+      config.shard_cycles = num();
     } else if (key == "spec") {
       config.spec = value;
     } else if (key == "verbose") {
@@ -289,6 +306,149 @@ void RunIoCase(const Config& config, const Dataset& ds,
          config.io_rounds, failed_saves);
 }
 
+/// Shard kill/restart chaos: a sharded fleet under injected admission
+/// faults with one shard periodically killed and brought back, via both
+/// snapshot restore and in-place rebuild. Availability, answer identity
+/// and retry amplification are all asserted against deterministic
+/// fault-free baselines.
+void RunShardCase(const Config& config, const Dataset& ds,
+                  Violations* violations) {
+  fault::Disable();
+  ShardedIndex::Options opt;
+  opt.num_shards = config.shards;
+  ShardedIndex index(Method::kSapla, config.m, IndexKind::kRTree, opt);
+  if (const Status st = index.Build(ds); !st.ok()) {
+    violations->Report("sharded build failed: " + st.ToString());
+    return;
+  }
+  const std::string prefix = "/tmp/sapla_chaos_shard";
+  if (const Status st = index.SaveSnapshots(prefix); !st.ok()) {
+    violations->Report("shard snapshot save failed: " + st.ToString());
+    return;
+  }
+
+  // Fault-free query pool + all-healthy baseline.
+  std::vector<std::vector<double>> pool;
+  Rng rng(config.seed ^ 0x5AA4Du);
+  for (size_t i = 0; i < config.pool; ++i) {
+    std::vector<double> q = ds.series[rng.UniformInt(ds.size())].values;
+    for (double& v : q) v += rng.Gaussian(0.0, 0.05);
+    pool.push_back(std::move(q));
+  }
+  std::vector<KnnResult> healthy_knn;
+  for (const std::vector<double>& q : pool)
+    healthy_knn.push_back(index.Knn(q, config.k));
+
+  ServeOptions serve;
+  serve.queue_capacity = 64;
+  serve.max_batch = 8;
+  serve.max_delay_us = 200;
+  serve.cache_capacity = 0;  // health is not part of the cache key
+  QueryService service(index, serve);
+
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.initial_backoff_us = 100;
+  policy.hedge_delay_us = 3000;
+  const double kBudgetTokens = 8.0, kTokensPerSuccess = 0.05;
+  RetryBudget budget(kBudgetTokens, kTokensPerSuccess);
+  RetryingClient client(service, policy, &budget);
+
+  uint64_t sent = 0, answered = 0;
+  const auto drive = [&](const std::vector<KnnResult>& baseline,
+                         bool expect_approximate, const std::string& where) {
+    fault::Enable(config.seed);
+    for (size_t i = 0; i < pool.size(); ++i) {
+      ++sent;
+      const ServeResponse r = client.Knn(pool[i], config.k);
+      if (!r.status.ok()) {
+        if (r.status.code() != StatusCode::kOverloaded &&
+            r.status.code() != StatusCode::kUnavailable &&
+            r.status.code() != StatusCode::kDeadlineExceeded)
+          violations->Report(where + " query " + std::to_string(i) +
+                             ": disallowed status " + r.status.ToString());
+        continue;
+      }
+      ++answered;
+      if (r.approximate != expect_approximate)
+        violations->Report(where + " query " + std::to_string(i) +
+                           ": approximate flag should be " +
+                           (expect_approximate ? "true" : "false"));
+      if (!SameResult(r.result, baseline[i]))
+        violations->Report(where + " query " + std::to_string(i) +
+                           ": answer != deterministic baseline");
+    }
+    fault::Disable();
+  };
+
+  for (size_t cycle = 0; cycle < config.shard_cycles; ++cycle) {
+    const size_t victim = cycle % index.num_shards();
+    const std::string tag = "shard cycle " + std::to_string(cycle);
+
+    drive(healthy_knn, /*expect_approximate=*/false, tag + " (all healthy)");
+
+    // Kill: the victim is excluded from the scatter; the surviving shards'
+    // merge is still deterministic, so its fault-free answers are the
+    // baseline for everything served while the shard is down.
+    index.SetShardHealth(victim, ShardHealth::kUnhealthy);
+    std::vector<KnnResult> down_knn;
+    for (const std::vector<double>& q : pool)
+      down_knn.push_back(index.Knn(q, config.k));
+    const auto [lo, hi] = index.ShardRange(victim);
+    for (size_t i = 0; i < down_knn.size(); ++i)
+      for (const auto& [dist, id] : down_knn[i].neighbors)
+        if (id >= lo && id < hi)
+          violations->Report(tag + ": dead shard id " + std::to_string(id) +
+                             " in the down baseline");
+    drive(down_knn, /*expect_approximate=*/true, tag + " (one shard down)");
+
+    // Restart, alternating the two recovery paths, then the fleet must be
+    // bit-identical to the all-healthy baseline again.
+    const Status st =
+        cycle % 2 == 0
+            ? index.RestoreShard(victim,
+                                 ShardedIndex::ShardSnapshotPath(prefix,
+                                                                 victim))
+            : index.RebuildShard(victim);
+    if (!st.ok()) {
+      violations->Report(tag + ": shard restart failed: " + st.ToString());
+      return;
+    }
+    for (size_t i = 0; i < pool.size(); ++i)
+      if (!SameResult(index.Knn(pool[i], config.k), healthy_knn[i]))
+        violations->Report(tag + ": post-restore answer " +
+                           std::to_string(i) + " != healthy baseline");
+  }
+
+  service.Stop();
+  for (size_t s = 0; s < index.num_shards(); ++s)
+    std::remove(ShardedIndex::ShardSnapshotPath(prefix, s).c_str());
+
+  // Availability floor: shard death must not take the fleet down. The
+  // injected admission faults fail a few percent of attempts; with retries
+  // the answered fraction stays comfortably above 95%.
+  const double availability =
+      sent == 0 ? 1.0 : static_cast<double>(answered) /
+                            static_cast<double>(sent);
+  // Retry amplification: every retry and hedge drew from the token bucket,
+  // so their total is bounded by the budget plus the refill earned from
+  // successes (+1 covers a fractional token in flight).
+  const uint64_t extra_attempts = client.stats().retries.load() +
+                                  client.stats().hedges.load();
+  const double amplification_cap =
+      kBudgetTokens + kTokensPerSuccess * static_cast<double>(answered) + 1.0;
+  printf("\nshard chaos: %zu shards x %zu cycles, %" PRIu64 " sent, %" PRIu64
+         " answered (%.1f%%), retries %" PRIu64 ", hedges %" PRIu64
+         " (cap %.1f)\n",
+         index.num_shards(), config.shard_cycles, sent, answered,
+         100.0 * availability, client.stats().retries.load(),
+         client.stats().hedges.load(), amplification_cap);
+  if (availability < 0.95)
+    violations->Report("availability below the 95% floor");
+  if (static_cast<double>(extra_attempts) > amplification_cap)
+    violations->Report("retry amplification exceeded the client budget");
+}
+
 int Run(int argc, char** argv) {
 #ifdef SAPLA_FAULT_DISABLED
   (void)argc;
@@ -332,6 +492,7 @@ int Run(int argc, char** argv) {
     }
   }
   RunIoCase(config, ds, &violations);
+  if (config.shards >= 2) RunShardCase(config, ds, &violations);
 
   const uint64_t responses = tally.ok_exact + tally.ok_cached +
                              tally.ok_approximate + tally.overloaded +
