@@ -1,0 +1,305 @@
+// Query latency under sustained ingest vs a quiescent controller.
+//
+// Builds one IngestController preloaded with the synthetic dataset, then
+// for each mutation rate in `--rates` (mutations/second; 0 = the no-ingest
+// baseline) runs `--clients` closed-loop query threads against a FRESH
+// preloaded controller while one paced writer thread inserts
+// noise-perturbed series (a `--delete-frac` fraction of mutations delete a
+// random live id instead). Every row reports sustained query QPS,
+// p50/p95/p99 latency, how many mutations the writer landed, and the
+// visible corpus size at the end of the row.
+//
+// The last line prints the p99 ratio of every non-zero rate against the
+// rate-0 baseline: the epoch-pinning design promises readers never block
+// on writers, so the ratio staying small (the CI tracking target is < 2x)
+// is the headline number. `--json` (default BENCH_ingest.json) emits the
+// table machine-readable so CI archives the trajectory across PRs.
+//
+//   bench_ingest_vs_query [--series=2000] [--n=256] [--m=16] [--k=16]
+//                         [--clients=8] [--requests=400] [--pool=64]
+//                         [--zipf=0.99] [--rates=0,500,2000]
+//                         [--delete-frac=0.2] [--method=SAPLA]
+//                         [--tree=dbch|rtree] [--shards=2]
+//                         [--csv=DIR] [--json=BENCH_ingest.json]
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ingest/ingest_controller.h"
+#include "search/knn.h"
+#include "ts/synthetic_archive.h"
+#include "util/histogram.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace sapla {
+namespace {
+
+struct Config {
+  size_t series = 2000;
+  size_t n = 256;
+  size_t m = 16;
+  size_t k = 16;
+  size_t clients = 8;
+  size_t requests = 400;  // per client
+  size_t pool = 64;
+  double zipf = 0.99;
+  std::vector<double> rates = {0.0, 500.0, 2000.0};  // mutations/second
+  double delete_frac = 0.2;
+  size_t shards = 2;
+  Method method = Method::kSapla;
+  IndexKind kind = IndexKind::kDbchTree;
+  std::string csv_dir;
+  std::string json_path = "BENCH_ingest.json";
+};
+
+[[noreturn]] void Usage(const char* argv0) {
+  fprintf(stderr,
+          "usage: %s [--series=S] [--n=N] [--m=M] [--k=K] [--clients=C]\n"
+          "          [--requests=R] [--pool=P] [--zipf=Z]\n"
+          "          [--rates=0,500,2000] [--delete-frac=F] [--shards=N]\n"
+          "          [--method=SAPLA] [--tree=dbch|rtree]\n"
+          "          [--csv=DIR] [--json=FILE]\n",
+          argv0);
+  exit(2);
+}
+
+Config ParseFlags(int argc, char** argv) {
+  Config config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const size_t eq = arg.find('=');
+    if (arg.rfind("--", 0) != 0 || eq == std::string::npos) Usage(argv[0]);
+    const std::string key = arg.substr(2, eq - 2);
+    const std::string value = arg.substr(eq + 1);
+    auto num = [&] { return std::strtoull(value.c_str(), nullptr, 10); };
+    if (key == "series") {
+      config.series = num();
+    } else if (key == "n") {
+      config.n = num();
+    } else if (key == "m") {
+      config.m = num();
+    } else if (key == "k") {
+      config.k = num();
+    } else if (key == "clients") {
+      config.clients = num();
+    } else if (key == "requests") {
+      config.requests = num();
+    } else if (key == "pool") {
+      config.pool = num();
+    } else if (key == "zipf") {
+      config.zipf = std::strtod(value.c_str(), nullptr);
+    } else if (key == "rates") {
+      config.rates.clear();
+      size_t start = 0;
+      while (start <= value.size()) {
+        const size_t comma = value.find(',', start);
+        const std::string tok = value.substr(
+            start, comma == std::string::npos ? comma : comma - start);
+        config.rates.push_back(std::strtod(tok.c_str(), nullptr));
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+    } else if (key == "delete-frac") {
+      config.delete_frac = std::strtod(value.c_str(), nullptr);
+    } else if (key == "shards") {
+      config.shards = num();
+    } else if (key == "method") {
+      bool found = false;
+      for (const Method m : AllMethods())
+        if (MethodName(m) == value) {
+          config.method = m;
+          found = true;
+        }
+      if (!found) Usage(argv[0]);
+    } else if (key == "tree") {
+      if (value == "dbch") {
+        config.kind = IndexKind::kDbchTree;
+      } else if (value == "rtree") {
+        config.kind = IndexKind::kRTree;
+      } else {
+        Usage(argv[0]);
+      }
+    } else if (key == "csv") {
+      config.csv_dir = value;
+    } else if (key == "json") {
+      config.json_path = value;
+    } else {
+      Usage(argv[0]);
+    }
+  }
+  if (config.delete_frac < 0.0 || config.delete_frac > 1.0) {
+    fprintf(stderr, "--delete-frac must be in [0, 1]\n");
+    exit(2);
+  }
+  return config;
+}
+
+std::vector<std::vector<double>> MakeQueryPool(const Dataset& ds,
+                                               const Config& config) {
+  Rng rng(0x5EEDF00D);
+  std::vector<std::vector<double>> pool;
+  pool.reserve(config.pool);
+  for (size_t q = 0; q < config.pool; ++q) {
+    std::vector<double> query = ds.series[rng.UniformInt(ds.size())].values;
+    for (double& v : query) v += rng.Gaussian(0.0, 0.05);
+    pool.push_back(std::move(query));
+  }
+  return pool;
+}
+
+struct RowStats {
+  double wall_seconds = 0.0;
+  HistogramSnapshot latency;  // per-query microseconds
+  uint64_t mutations = 0;     // writer-acked inserts + deletes
+  uint64_t visible = 0;       // corpus size when the row ended
+};
+
+/// One rate point: fresh preloaded controller, closed-loop query clients,
+/// and (rate > 0) one paced writer mutating underneath them.
+RowStats RunRate(const Dataset& ds,
+                 const std::vector<std::vector<double>>& pool,
+                 const Config& config, double rate) {
+  IngestOptions opt;
+  opt.num_shards = config.shards;
+  IngestController ingest(config.method, config.m, config.kind, config.n,
+                          opt);
+  for (const TimeSeries& ts : ds.series) {
+    if (const auto id = ingest.Insert(ts.values, ts.label); !id.ok()) {
+      fprintf(stderr, "preload failed: %s\n",
+              id.status().ToString().c_str());
+      exit(1);
+    }
+  }
+  // Start each row from a compacted main generation so rate 0 and rate R
+  // measure the same initial epoch shape.
+  if (const Status st = ingest.Seal(); !st.ok()) exit(1);
+  if (const Status st = ingest.Compact(); !st.ok()) exit(1);
+
+  std::atomic<bool> stop_writer{false};
+  std::atomic<uint64_t> mutations{0};
+  std::thread writer;
+  if (rate > 0.0) {
+    writer = std::thread([&] {
+      using Clock = std::chrono::steady_clock;
+      const auto interval = std::chrono::duration_cast<Clock::duration>(
+          std::chrono::duration<double>(1.0 / rate));
+      Rng rng(0x1D6E57);
+      std::vector<uint64_t> alive;
+      alive.reserve(ds.size());
+      for (uint64_t id = 0; id < ds.size(); ++id) alive.push_back(id);
+      size_t source = 0;
+      auto next = Clock::now() + interval;
+      while (!stop_writer.load()) {
+        std::this_thread::sleep_until(next);
+        next += interval;
+        if (!alive.empty() && rng.Uniform() < config.delete_frac) {
+          const size_t pos = rng.UniformInt(alive.size());
+          if (ingest.Delete(alive[pos]).ok()) {
+            mutations.fetch_add(1);
+            alive[pos] = alive.back();
+            alive.pop_back();
+          }
+        } else {
+          std::vector<double> values =
+              ds.series[source++ % ds.size()].values;
+          for (double& v : values) v += rng.Gaussian(0.0, 0.05);
+          if (const auto id = ingest.Insert(values); id.ok()) {
+            mutations.fetch_add(1);
+            alive.push_back(*id);
+          }
+        }
+      }
+    });
+  }
+
+  const ZipfSampler zipf(pool.size(), config.zipf);
+  Histogram latency;
+  WallTimer wall;
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < config.clients; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(0xC11E57 + c);
+      for (size_t r = 0; r < config.requests; ++r) {
+        WallTimer t;
+        const KnnResult result = ingest.Knn(pool[zipf.Sample(rng)], config.k);
+        (void)result;
+        latency.Record(static_cast<uint64_t>(t.Seconds() * 1e6));
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  const double wall_seconds = wall.Seconds();
+  if (writer.joinable()) {
+    stop_writer.store(true);
+    writer.join();
+  }
+
+  RowStats stats;
+  stats.wall_seconds = wall_seconds;
+  stats.latency = SnapshotHistogram(latency);
+  stats.mutations = mutations.load();
+  stats.visible = ingest.dataset_size();
+  return stats;
+}
+
+int Run(int argc, char** argv) {
+  const Config config = ParseFlags(argc, argv);
+
+  SyntheticOptions opt;
+  opt.length = config.n;
+  opt.num_series = config.series;
+  const Dataset ds = MakeSyntheticDataset(0, opt);
+  const std::vector<std::vector<double>> pool = MakeQueryPool(ds, config);
+
+  const size_t total = config.clients * config.requests;
+  Table t("Ingest vs query: " + std::to_string(config.clients) +
+          " closed-loop clients x " + std::to_string(config.requests) +
+          " x " + std::to_string(config.k) + "-NN over " +
+          std::to_string(config.series) + " preloaded series (" +
+          MethodName(config.method) + "/" +
+          (config.kind == IndexKind::kDbchTree ? "dbch" : "rtree") +
+          ", delete-frac " + Table::Num(config.delete_frac, 3) + ")");
+  t.SetHeader({"IngestRate", "QPS", "P50us", "P95us", "P99us", "Mutations",
+               "Visible"});
+
+  double baseline_p99 = 0.0;
+  std::vector<std::pair<double, double>> ratios;  // (rate, p99 ratio)
+  for (const double rate : config.rates) {
+    const RowStats s = RunRate(ds, pool, config, rate);
+    t.AddRow({Table::Num(rate, 5),
+              Table::Num(s.wall_seconds > 0.0 ? total / s.wall_seconds : 0.0,
+                         5),
+              Table::Num(s.latency.p50, 5), Table::Num(s.latency.p95, 5),
+              Table::Num(s.latency.p99, 5), std::to_string(s.mutations),
+              std::to_string(s.visible)});
+    if (rate == 0.0) {
+      baseline_p99 = s.latency.p99;
+    } else if (baseline_p99 > 0.0) {
+      ratios.emplace_back(rate, s.latency.p99 / baseline_p99);
+    }
+  }
+
+  t.Print(config.csv_dir.empty() ? ""
+                                 : config.csv_dir + "/ingest_vs_query.csv");
+  if (!config.json_path.empty() && !t.WriteJson(config.json_path)) {
+    fprintf(stderr, "could not write %s\n", config.json_path.c_str());
+    return 1;
+  }
+  for (const auto& [rate, ratio] : ratios)
+    printf("p99 under %.0f mutations/s = %.2fx the no-ingest baseline\n",
+           rate, ratio);
+  return 0;
+}
+
+}  // namespace
+}  // namespace sapla
+
+int main(int argc, char** argv) { return sapla::Run(argc, argv); }

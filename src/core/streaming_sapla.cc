@@ -12,6 +12,14 @@ namespace sapla {
 StreamingSapla::StreamingSapla(size_t max_segments)
     : max_segments_(std::max<size_t>(1, max_segments)) {}
 
+void StreamingSapla::Reset() {
+  count_ = 0;
+  segs_.clear();
+  open_ = Seg{};
+  has_open_ = false;
+  eta_.clear();
+}
+
 size_t StreamingSapla::num_segments() const {
   return segs_.size() + (has_open_ ? 1 : 0);
 }

@@ -37,6 +37,13 @@ class StreamingSapla {
   /// plus O(N) on the rare overflow merges.
   void Append(double value);
 
+  /// Discards all stream state (segments, open segment, threshold heap,
+  /// point count) so the instance can be re-seeded with a fresh stream.
+  /// After Reset() the object behaves exactly like a newly constructed
+  /// StreamingSapla(max_segments) — the ingest memtable reuses one instance
+  /// per arriving series instead of reallocating (src/ingest/).
+  void Reset();
+
   /// Points consumed so far.
   size_t size() const { return count_; }
 

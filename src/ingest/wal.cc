@@ -1,0 +1,210 @@
+#include "ingest/wal.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#include "ts/io.h"
+#include "util/binio.h"
+#include "util/crc32c.h"
+#include "util/fault.h"
+
+namespace sapla {
+
+namespace {
+
+constexpr char kMagic[] = "SAPLAWAL";  // 8 bytes, no terminator written
+constexpr size_t kMagicLen = 8;
+constexpr uint32_t kVersion = 1;
+constexpr size_t kHeaderLen = kMagicLen + 4;  // magic + u32 version
+
+// A frame's payload never legitimately exceeds this (a series of ~100M
+// points); anything larger is treated as corruption, not an allocation.
+constexpr uint32_t kMaxPayload = 1u << 30;
+
+std::string EncodeHeader() {
+  std::string out(kMagic, kMagicLen);
+  binio::PutU32(&out, kVersion);
+  return out;
+}
+
+std::string EncodePayload(const WalRecord& r) {
+  std::string p;
+  binio::PutU32(&p, static_cast<uint32_t>(r.kind));
+  binio::PutU64(&p, r.seq);
+  binio::PutU64(&p, r.id);
+  if (r.kind == WalRecord::Kind::kInsert) {
+    binio::PutI64(&p, r.label);
+    binio::PutU64(&p, r.expiry_seq);
+    binio::PutU64(&p, static_cast<uint64_t>(r.values.size()));
+    for (double v : r.values) binio::PutF64(&p, v);
+  }
+  return p;
+}
+
+/// Decodes one payload; false on any structural problem.
+bool DecodePayload(const std::string& payload, WalRecord* out) {
+  binio::Reader r(payload);
+  const uint32_t kind = r.ReadU32();
+  out->seq = r.ReadU64();
+  out->id = r.ReadU64();
+  if (kind == static_cast<uint32_t>(WalRecord::Kind::kInsert)) {
+    out->kind = WalRecord::Kind::kInsert;
+    out->label = r.ReadI64();
+    out->expiry_seq = r.ReadU64();
+    const uint64_t count = r.ReadU64();
+    if (!r.ok() || count * 8 != r.remaining()) return false;
+    out->values.resize(count);
+    for (uint64_t i = 0; i < count; ++i) out->values[i] = r.ReadF64();
+  } else if (kind == static_cast<uint32_t>(WalRecord::Kind::kDelete)) {
+    out->kind = WalRecord::Kind::kDelete;
+    out->label = 0;
+    out->expiry_seq = 0;
+    out->values.clear();
+    if (r.remaining() != 0) return false;
+  } else {
+    return false;
+  }
+  return r.ok();
+}
+
+}  // namespace
+
+WriteAheadLog::~WriteAheadLog() { Close(); }
+
+WriteAheadLog::WriteAheadLog(WriteAheadLog&& other) noexcept
+    : file_(other.file_),
+      path_(std::move(other.path_)),
+      bytes_appended_(other.bytes_appended_) {
+  other.file_ = nullptr;
+  other.bytes_appended_ = 0;
+}
+
+WriteAheadLog& WriteAheadLog::operator=(WriteAheadLog&& other) noexcept {
+  if (this != &other) {
+    Close();
+    file_ = other.file_;
+    path_ = std::move(other.path_);
+    bytes_appended_ = other.bytes_appended_;
+    other.file_ = nullptr;
+    other.bytes_appended_ = 0;
+  }
+  return *this;
+}
+
+void WriteAheadLog::Close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+Status WriteAheadLog::Open(const std::string& path) {
+  Close();
+  SAPLA_FAULT_POINT("ingest/wal_open");
+  // "a" keeps existing records; ftell says whether the header exists yet.
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (f == nullptr) {
+    return Status::IOError("wal: cannot open '" + path +
+                           "': " + std::strerror(errno));
+  }
+  const long pos = std::ftell(f);
+  if (pos < 0) {
+    std::fclose(f);
+    return Status::IOError("wal: ftell failed on '" + path + "'");
+  }
+  if (pos == 0) {
+    const std::string header = EncodeHeader();
+    if (std::fwrite(header.data(), 1, header.size(), f) != header.size() ||
+        std::fflush(f) != 0) {
+      std::fclose(f);
+      return Status::IOError("wal: cannot write header to '" + path + "'");
+    }
+  }
+  file_ = f;
+  path_ = path;
+  return Status::OK();
+}
+
+std::string WriteAheadLog::EncodeFrame(const WalRecord& record) {
+  const std::string payload = EncodePayload(record);
+  std::string frame;
+  binio::PutU32(&frame, static_cast<uint32_t>(payload.size()));
+  binio::PutU32(&frame, Crc32c(payload));
+  frame.append(payload);
+  return frame;
+}
+
+Status WriteAheadLog::Append(const WalRecord& record) {
+  if (file_ == nullptr) return Status::Internal("wal: append on closed log");
+  SAPLA_FAULT_POINT("ingest/wal_append");
+  const std::string frame = EncodeFrame(record);
+  if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size() ||
+      std::fflush(file_) != 0) {
+    return Status::IOError("wal: short append to '" + path_ + "'");
+  }
+  bytes_appended_ += frame.size();
+  return Status::OK();
+}
+
+Status WriteAheadLog::Sync() {
+  if (file_ == nullptr) return Status::Internal("wal: sync on closed log");
+  SAPLA_FAULT_POINT("ingest/wal_sync");
+  if (std::fflush(file_) != 0 || ::fsync(::fileno(file_)) != 0) {
+    return Status::IOError("wal: fsync failed on '" + path_ + "'");
+  }
+  return Status::OK();
+}
+
+Result<WalReplay> WriteAheadLog::Replay(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return WalReplay{};  // no log yet: empty history
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (in.bad()) return Status::IOError("wal: cannot read '" + path + "'");
+  if (data.empty()) return WalReplay{};
+  if (data.size() < kHeaderLen ||
+      data.compare(0, kMagicLen, kMagic, kMagicLen) != 0) {
+    return Status::InvalidArgument("wal: bad magic in '" + path + "'");
+  }
+  {
+    binio::Reader hdr(data);
+    hdr.ReadBytes(kMagicLen);
+    const uint32_t version = hdr.ReadU32();
+    if (version != kVersion) {
+      return Status::InvalidArgument("wal: unsupported version " +
+                                     std::to_string(version) + " in '" + path +
+                                     "'");
+    }
+  }
+
+  WalReplay out;
+  size_t pos = kHeaderLen;
+  while (pos + 8 <= data.size()) {
+    binio::Reader fr(data);
+    fr.ReadBytes(pos);
+    const uint32_t len = fr.ReadU32();
+    const uint32_t crc = fr.ReadU32();
+    if (len > kMaxPayload || pos + 8 + len > data.size()) break;
+    const std::string payload = data.substr(pos + 8, len);
+    if (Crc32c(payload) != crc) break;
+    WalRecord rec;
+    if (!DecodePayload(payload, &rec)) break;
+    out.records.push_back(std::move(rec));
+    pos += 8 + len;
+  }
+  out.dropped_bytes = data.size() - pos;
+  return out;
+}
+
+Status WriteAheadLog::Rewrite(const std::string& path,
+                              const std::vector<WalRecord>& records) {
+  std::string data = EncodeHeader();
+  for (const WalRecord& r : records) data.append(EncodeFrame(r));
+  return AtomicWriteFile(path, data);
+}
+
+}  // namespace sapla

@@ -1,0 +1,131 @@
+#ifndef SAPLA_INGEST_WAL_H_
+#define SAPLA_INGEST_WAL_H_
+
+// Write-ahead log for the ingest subsystem (src/ingest/ingest_controller.h).
+//
+// Every acknowledged mutation (insert or delete) is framed and appended to
+// one log file BEFORE the in-memory state changes, so a crash at any moment
+// loses at most the single un-acknowledged record being written. The frame
+// format follows the v3 persistence discipline (ts/io.h): fixed magic
+// header, then records framed as
+//
+//   u32 payload_length | u32 crc32c(payload) | payload
+//
+// with the payload encoded by the little-endian binio helpers. Replay walks
+// the frames sequentially and stops at the first structurally bad frame —
+// short length, CRC mismatch, or a payload the bounds-checked Reader cannot
+// parse. A torn tail (the crash-interrupted final append) is therefore
+// indistinguishable from end-of-log and never poisons the records before
+// it; Replay reports how many bytes were dropped so callers can surface it.
+//
+// Records carry their original mutation sequence number and, for inserts,
+// the ABSOLUTE TTL expiry sequence (0 = no TTL). Absolute expiries make
+// replay a pure function of the log contents: visibility after recovery
+// does not depend on when the records are re-applied (docs/INGEST.md).
+//
+// Durability: Append writes the frame with a single fwrite and fflushes it,
+// so the record is in the OS page cache when the call returns; Sync() adds
+// an fsync for power-loss durability. The controller calls Append per
+// mutation and Sync at seal/compact/checkpoint boundaries — the chaos
+// harness only simulates process kills, for which fflush suffices.
+//
+// Fault points: "ingest/wal_open", "ingest/wal_append" (util/fault.h).
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace sapla {
+
+/// \brief One logged mutation.
+struct WalRecord {
+  enum class Kind : uint32_t { kInsert = 1, kDelete = 2 };
+
+  Kind kind = Kind::kInsert;
+  /// Mutation sequence number assigned when the operation was first
+  /// acknowledged; preserved verbatim across checkpoint rewrites so TTL
+  /// visibility replays exactly.
+  uint64_t seq = 0;
+  /// Global series id.
+  uint64_t id = 0;
+  /// Insert only: class label of the arriving series.
+  int64_t label = 0;
+  /// Insert only: absolute expiry sequence (entry visible while the
+  /// epoch sequence is <= expiry_seq); 0 = never expires.
+  uint64_t expiry_seq = 0;
+  /// Insert only: the raw series values.
+  std::vector<double> values;
+
+  bool operator==(const WalRecord& o) const {
+    return kind == o.kind && seq == o.seq && id == o.id && label == o.label &&
+           expiry_seq == o.expiry_seq && values == o.values;
+  }
+};
+
+/// Result of replaying a log file.
+struct WalReplay {
+  std::vector<WalRecord> records;
+  /// Bytes discarded after the last good frame (torn tail / corruption);
+  /// 0 for a clean log.
+  uint64_t dropped_bytes = 0;
+};
+
+/// \brief Append-side handle on one log file.
+class WriteAheadLog {
+ public:
+  WriteAheadLog() = default;
+  ~WriteAheadLog();
+
+  WriteAheadLog(WriteAheadLog&& other) noexcept;
+  WriteAheadLog& operator=(WriteAheadLog&& other) noexcept;
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  /// Opens `path` for appending, writing the magic header when the file is
+  /// missing or empty. Any previously opened file is closed first.
+  Status Open(const std::string& path);
+
+  /// Frames and appends one record, then fflushes. The record is durable
+  /// against process death (not power loss — see Sync) when this returns
+  /// OK. Fails closed: on any error the caller must treat the mutation as
+  /// not logged and surface the status.
+  Status Append(const WalRecord& record);
+
+  /// fsyncs the underlying file descriptor.
+  Status Sync();
+
+  /// Closes the file (idempotent). Open() may be called again afterwards.
+  void Close();
+
+  bool is_open() const { return file_ != nullptr; }
+  /// Total bytes appended through this handle (frames only, not the
+  /// header); feeds the sapla_ingest_wal_bytes_total counter.
+  uint64_t bytes_appended() const { return bytes_appended_; }
+
+  /// Encodes one record as a frame (length + CRC + payload) — exposed so
+  /// Rewrite and the tests share the exact append encoding.
+  static std::string EncodeFrame(const WalRecord& record);
+
+  /// Replays `path`: header check, then sequential frames until the first
+  /// bad one. A missing file replays as empty (a fresh directory is not an
+  /// error); an unreadable file or bad header is.
+  static Result<WalReplay> Replay(const std::string& path);
+
+  /// Atomically replaces the log at `path` with exactly `records`
+  /// (checkpoint truncation). Goes through AtomicWriteFile, so a crash
+  /// leaves either the old or the new log, never a mix.
+  static Status Rewrite(const std::string& path,
+                        const std::vector<WalRecord>& records);
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  uint64_t bytes_appended_ = 0;
+};
+
+}  // namespace sapla
+
+#endif  // SAPLA_INGEST_WAL_H_

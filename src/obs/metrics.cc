@@ -409,4 +409,109 @@ bool WriteMetricsJson(const ServeMetricsSnapshot& snap,
   return fclose(f) == 0 && ok;
 }
 
+IngestMetricsSnapshot SnapshotIngestMetrics(const IngestMetrics& metrics) {
+  IngestMetricsSnapshot s;
+  s.inserts = metrics.inserts.load();
+  s.deletes = metrics.deletes.load();
+  s.rejected_overloaded = metrics.rejected_overloaded.load();
+  s.seals = metrics.seals.load();
+  s.compactions = metrics.compactions.load();
+  s.checkpoints = metrics.checkpoints.load();
+  s.wal_records = metrics.wal_records.load();
+  s.wal_bytes = metrics.wal_bytes.load();
+  s.wal_replayed = metrics.wal_replayed.load();
+  s.memtable_size = metrics.memtable_size.load();
+  s.sealed_minors = metrics.sealed_minors.load();
+  s.tombstones = metrics.tombstones.load();
+  s.visible_series = metrics.visible_series.load();
+  return s;
+}
+
+Table IngestMetricsToTable(const IngestMetricsSnapshot& snap,
+                           const std::string& title) {
+  Table t(title);
+  t.SetHeader({"Metric", "Value"});
+  const auto row = [&](const std::string& name, uint64_t value) {
+    t.AddRow({name, std::to_string(value)});
+  };
+  row("inserts", snap.inserts);
+  row("deletes", snap.deletes);
+  row("rejected_overloaded", snap.rejected_overloaded);
+  row("seals", snap.seals);
+  row("compactions", snap.compactions);
+  row("checkpoints", snap.checkpoints);
+  row("wal_records", snap.wal_records);
+  row("wal_bytes", snap.wal_bytes);
+  row("wal_replayed", snap.wal_replayed);
+  row("memtable_size", snap.memtable_size);
+  row("sealed_minors", snap.sealed_minors);
+  row("tombstones", snap.tombstones);
+  row("visible_series", snap.visible_series);
+  return t;
+}
+
+std::string IngestMetricsToPrometheus(const IngestMetrics& metrics,
+                                      const std::string& prefix) {
+  const IngestMetricsSnapshot snap = SnapshotIngestMetrics(metrics);
+  std::string out;
+  out.reserve(2048);
+  AppendCounter(out, prefix, "inserts", "Acknowledged series inserts.",
+                snap.inserts);
+  AppendCounter(out, prefix, "deletes", "Acknowledged series deletes.",
+                snap.deletes);
+  AppendCounter(out, prefix, "rejected_overloaded",
+                "Inserts refused by ingest admission control.",
+                snap.rejected_overloaded);
+  AppendCounter(out, prefix, "seals",
+                "Memtables frozen into minor generations.", snap.seals);
+  AppendCounter(out, prefix, "compactions",
+                "Minor+main merges into a fresh main generation.",
+                snap.compactions);
+  AppendCounter(out, prefix, "checkpoints",
+                "Manifest + snapshot + WAL-truncation cycles.",
+                snap.checkpoints);
+  AppendCounter(out, prefix, "wal_records",
+                "Frames appended to the write-ahead log.", snap.wal_records);
+  AppendCounter(out, prefix, "wal_bytes",
+                "Bytes appended to the write-ahead log.", snap.wal_bytes);
+  AppendCounter(out, prefix, "wal_replayed",
+                "Log records applied by recovery.", snap.wal_replayed);
+  AppendGauge(out, prefix, "memtable_size",
+              "Entries in the live (unsealed) memtable.",
+              static_cast<double>(snap.memtable_size));
+  AppendGauge(out, prefix, "sealed_minors",
+              "Minor generations awaiting compaction.",
+              static_cast<double>(snap.sealed_minors));
+  AppendGauge(out, prefix, "tombstones",
+              "Deleted or expired ids awaiting compaction.",
+              static_cast<double>(snap.tombstones));
+  AppendGauge(out, prefix, "visible_series",
+              "Series a query started now would see.",
+              static_cast<double>(snap.visible_series));
+  return out;
+}
+
+std::string IngestMetricsToJson(const IngestMetricsSnapshot& snap) {
+  std::string out = "{\n  \"ingest\": {\n";
+  const auto counter = [&](const char* name, uint64_t v, bool last = false) {
+    out += std::string("    \"") + name + "\": " + U64(v) +
+           (last ? "\n" : ",\n");
+  };
+  counter("inserts", snap.inserts);
+  counter("deletes", snap.deletes);
+  counter("rejected_overloaded", snap.rejected_overloaded);
+  counter("seals", snap.seals);
+  counter("compactions", snap.compactions);
+  counter("checkpoints", snap.checkpoints);
+  counter("wal_records", snap.wal_records);
+  counter("wal_bytes", snap.wal_bytes);
+  counter("wal_replayed", snap.wal_replayed);
+  counter("memtable_size", snap.memtable_size);
+  counter("sealed_minors", snap.sealed_minors);
+  counter("tombstones", snap.tombstones);
+  counter("visible_series", snap.visible_series, /*last=*/true);
+  out += "  }\n}\n";
+  return out;
+}
+
 }  // namespace sapla

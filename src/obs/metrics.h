@@ -213,6 +213,82 @@ std::string MetricsToJson(const ServeMetricsSnapshot& snap);
 bool WriteMetricsJson(const ServeMetricsSnapshot& snap,
                       const std::string& path);
 
+// ---------------------------------------------------------------------------
+// Ingest metrics (src/ingest/ingest_controller.h).
+//
+// Same wait-free discipline as ServeMetrics: the writer path (one mutation
+// at a time under the controller's writer lock, plus query threads reading
+// gauges) only touches relaxed atomics. Exported under the `sapla_ingest_`
+// prefix; tools/sapla_promcheck validates the families in CI.
+//
+// Glossary (docs/INGEST.md):
+//   inserts / deletes    acknowledged mutations (WAL-logged when durable)
+//   rejected_overloaded  inserts refused by admission control (too many
+//                        sealed minors awaiting compaction)
+//   seals                memtables frozen into minor generations
+//   compactions          minor+main merges into a fresh main generation
+//   checkpoints          manifest+snapshot+WAL-truncation cycles
+//   wal_records/bytes    frames appended to the write-ahead log
+//   wal_replayed         records applied by Recover()
+//   memtable_size        gauge: entries in the live memtable
+//   sealed_minors        gauge: minor generations awaiting compaction
+//   tombstones           gauge: deleted/expired ids awaiting compaction
+//   visible_series       gauge: series a query started now would see
+
+/// \brief Live, thread-safe metrics for one IngestController.
+struct IngestMetrics {
+  std::atomic<uint64_t> inserts{0};
+  std::atomic<uint64_t> deletes{0};
+  std::atomic<uint64_t> rejected_overloaded{0};
+  std::atomic<uint64_t> seals{0};
+  std::atomic<uint64_t> compactions{0};
+  std::atomic<uint64_t> checkpoints{0};
+  std::atomic<uint64_t> wal_records{0};
+  std::atomic<uint64_t> wal_bytes{0};
+  std::atomic<uint64_t> wal_replayed{0};
+
+  // Gauges, kept current by the controller.
+  std::atomic<uint64_t> memtable_size{0};
+  std::atomic<uint64_t> sealed_minors{0};
+  std::atomic<uint64_t> tombstones{0};
+  std::atomic<uint64_t> visible_series{0};
+};
+
+/// Point-in-time copy of every ingest metric.
+struct IngestMetricsSnapshot {
+  uint64_t inserts = 0;
+  uint64_t deletes = 0;
+  uint64_t rejected_overloaded = 0;
+  uint64_t seals = 0;
+  uint64_t compactions = 0;
+  uint64_t checkpoints = 0;
+  uint64_t wal_records = 0;
+  uint64_t wal_bytes = 0;
+  uint64_t wal_replayed = 0;
+  uint64_t memtable_size = 0;
+  uint64_t sealed_minors = 0;
+  uint64_t tombstones = 0;
+  uint64_t visible_series = 0;
+};
+
+/// Snapshots every ingest counter and gauge.
+IngestMetricsSnapshot SnapshotIngestMetrics(const IngestMetrics& metrics);
+
+/// Renders an ingest snapshot as a two-column table.
+Table IngestMetricsToTable(const IngestMetricsSnapshot& snap,
+                           const std::string& title = "Ingest metrics");
+
+/// Prometheus text exposition of the ingest registry: counters become
+/// `<prefix>_<name>_total`, gauges stay bare. Concatenates cleanly after
+/// MetricsToPrometheus output (distinct family names), which is how
+/// sapla_loadgen exports a combined serve+ingest scrape.
+std::string IngestMetricsToPrometheus(const IngestMetrics& metrics,
+                                      const std::string& prefix =
+                                          "sapla_ingest");
+
+/// One structured JSON document for the ingest snapshot.
+std::string IngestMetricsToJson(const IngestMetricsSnapshot& snap);
+
 }  // namespace sapla
 
 #endif  // SAPLA_OBS_METRICS_H_

@@ -1,0 +1,402 @@
+// Durability: the ingest write-ahead log and manifest/checkpoint recovery.
+// The contract under test is acked ⟺ durable: a mutation acknowledged to
+// the caller is recoverable after a kill at ANY point (the WAL append
+// happens before the in-memory commit and fails closed), a mutation that
+// errored is never resurrected, and replay after any crash — including
+// torn tails, bit flips, and kills between the checkpoint's manifest write
+// and WAL truncation — reproduces exactly the acknowledged visible set.
+
+#include "ingest/wal.h"
+
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ingest/ingest_controller.h"
+#include "ts/synthetic_archive.h"
+#include "util/fault.h"
+
+namespace sapla {
+namespace {
+
+constexpr size_t kBudget = 12;
+constexpr size_t kK = 5;
+
+std::string TempDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  std::remove((dir + "/wal.log").c_str());
+  std::remove((dir + "/manifest.bin").c_str());
+  // Best-effort cleanup of prior shard snapshots.
+  for (int s = 0; s < 8; ++s)
+    std::remove((dir + "/main.shard" + std::to_string(s) + ".snp").c_str());
+  ::mkdir(dir.c_str(), 0755);
+  return dir;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+WalRecord InsertRecord(uint64_t seq, uint64_t id,
+                       std::vector<double> values, uint64_t expiry = 0) {
+  WalRecord r;
+  r.kind = WalRecord::Kind::kInsert;
+  r.seq = seq;
+  r.id = id;
+  r.label = static_cast<int64_t>(id) - 3;
+  r.expiry_seq = expiry;
+  r.values = std::move(values);
+  return r;
+}
+
+WalRecord DeleteRecord(uint64_t seq, uint64_t id) {
+  WalRecord r;
+  r.kind = WalRecord::Kind::kDelete;
+  r.seq = seq;
+  r.id = id;
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Raw log framing.
+
+TEST(Wal, AppendReplayRoundTrip) {
+  const std::string dir = TempDir("wal_roundtrip");
+  const std::string path = dir + "/wal.log";
+  std::vector<WalRecord> written = {
+      InsertRecord(0, 0, {1.0, 2.0, 3.0}),
+      InsertRecord(1, 1, {4.5, -0.25, 1e300}, /*expiry=*/7),
+      DeleteRecord(2, 0),
+      InsertRecord(3, 2, {0.0, 0.0, 0.0}),
+  };
+  {
+    WriteAheadLog wal;
+    ASSERT_TRUE(wal.Open(path).ok());
+    for (const WalRecord& r : written) ASSERT_TRUE(wal.Append(r).ok());
+    ASSERT_TRUE(wal.Sync().ok());
+    EXPECT_GT(wal.bytes_appended(), 0u);
+  }
+  const auto replay = WriteAheadLog::Replay(path);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(replay.ValueOrDie().dropped_bytes, 0u);
+  ASSERT_EQ(replay.ValueOrDie().records.size(), written.size());
+  for (size_t i = 0; i < written.size(); ++i)
+    EXPECT_TRUE(replay.ValueOrDie().records[i] == written[i]) << i;
+
+  // Reopening appends after the existing records, never rewrites them.
+  {
+    WriteAheadLog wal;
+    ASSERT_TRUE(wal.Open(path).ok());
+    ASSERT_TRUE(wal.Append(DeleteRecord(4, 1)).ok());
+  }
+  const auto again = WriteAheadLog::Replay(path);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.ValueOrDie().records.size(), written.size() + 1);
+}
+
+TEST(Wal, MissingLogReplaysEmpty) {
+  const auto replay = WriteAheadLog::Replay(TempDir("wal_none") + "/wal.log");
+  ASSERT_TRUE(replay.ok());
+  EXPECT_TRUE(replay.ValueOrDie().records.empty());
+  EXPECT_EQ(replay.ValueOrDie().dropped_bytes, 0u);
+}
+
+TEST(Wal, TornTailIsDroppedNotFatal) {
+  const std::string path = TempDir("wal_torn") + "/wal.log";
+  {
+    WriteAheadLog wal;
+    ASSERT_TRUE(wal.Open(path).ok());
+    ASSERT_TRUE(wal.Append(InsertRecord(0, 0, {1.0, 2.0})).ok());
+    ASSERT_TRUE(wal.Append(InsertRecord(1, 1, {3.0, 4.0})).ok());
+  }
+  const std::string good = ReadFileBytes(path);
+  // Truncate at every byte boundary: replay must never fail, and must
+  // return exactly the records whose frames are fully present.
+  for (size_t len = 0; len <= good.size(); ++len) {
+    WriteFileBytes(path, good.substr(0, len));
+    const auto replay = WriteAheadLog::Replay(path);
+    if (len == 0) {
+      ASSERT_TRUE(replay.ok());
+      EXPECT_TRUE(replay.ValueOrDie().records.empty());
+      continue;
+    }
+    if (len < 12) {
+      // A partial header is indistinguishable from garbage: rejected.
+      EXPECT_FALSE(replay.ok()) << len;
+      continue;
+    }
+    ASSERT_TRUE(replay.ok()) << len;
+    const WalReplay& rep = replay.ValueOrDie();
+    EXPECT_LE(rep.records.size(), 2u) << len;
+    // Exact accounting: header + fully-parsed frames + dropped tail == len.
+    const size_t frame = (good.size() - 12) / 2;
+    EXPECT_EQ(12 + rep.records.size() * frame + rep.dropped_bytes, len) << len;
+    for (const WalRecord& r : rep.records)
+      EXPECT_EQ(r.values.size(), 2u) << len;
+  }
+}
+
+TEST(Wal, CorruptFrameStopsReplayAtLastGoodRecord) {
+  const std::string path = TempDir("wal_flip") + "/wal.log";
+  {
+    WriteAheadLog wal;
+    ASSERT_TRUE(wal.Open(path).ok());
+    for (uint64_t i = 0; i < 4; ++i)
+      ASSERT_TRUE(wal.Append(InsertRecord(i, i, {double(i), 1.0})).ok());
+  }
+  const std::string good = ReadFileBytes(path);
+  // Flip one bit somewhere in the third frame's payload.
+  std::string bad = good;
+  const size_t frame_len = (good.size() - 12) / 4;
+  const size_t pos = 12 + 2 * frame_len + frame_len / 2;
+  bad[pos] = static_cast<char>(bad[pos] ^ 0x10);
+  WriteFileBytes(path, bad);
+  const auto replay = WriteAheadLog::Replay(path);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(replay.ValueOrDie().records.size(), 2u);
+  EXPECT_GT(replay.ValueOrDie().dropped_bytes, 0u);
+}
+
+TEST(Wal, RewriteTruncatesAtomically) {
+  const std::string path = TempDir("wal_rewrite") + "/wal.log";
+  {
+    WriteAheadLog wal;
+    ASSERT_TRUE(wal.Open(path).ok());
+    for (uint64_t i = 0; i < 6; ++i)
+      ASSERT_TRUE(wal.Append(InsertRecord(i, i, {1.0, 2.0})).ok());
+  }
+  const std::vector<WalRecord> tail = {InsertRecord(5, 5, {1.0, 2.0})};
+  ASSERT_TRUE(WriteAheadLog::Rewrite(path, tail).ok());
+  const auto replay = WriteAheadLog::Replay(path);
+  ASSERT_TRUE(replay.ok());
+  ASSERT_EQ(replay.ValueOrDie().records.size(), 1u);
+  EXPECT_TRUE(replay.ValueOrDie().records[0] == tail[0]);
+}
+
+// ---------------------------------------------------------------------------
+// Controller-level recovery.
+
+Dataset SourceData(size_t id, size_t length = 48, size_t count = 60) {
+  SyntheticOptions opt;
+  opt.length = length;
+  opt.num_series = count;
+  return MakeSyntheticDataset(id, opt);
+}
+
+IngestOptions DurableOptions(const std::string& dir) {
+  IngestOptions options;
+  options.memtable_max = 5;
+  options.compact_min_minors = 3;
+  options.num_shards = 2;
+  options.durable_dir = dir;
+  return options;
+}
+
+std::unique_ptr<IngestController> MakeDurable(const std::string& dir,
+                                              size_t length = 48) {
+  auto ctrl = std::make_unique<IngestController>(
+      Method::kSapla, kBudget, IndexKind::kRTree, length, DurableOptions(dir));
+  EXPECT_TRUE(ctrl->Recover().ok());
+  return ctrl;
+}
+
+/// Recovery fidelity: the reborn controller sees the identical visible set
+/// and answers queries identically to the pre-kill controller.
+void ExpectSameWorld(IngestController& a, IngestController& b,
+                     const std::vector<std::vector<double>>& queries,
+                     const std::string& label) {
+  EXPECT_EQ(a.VisibleIds(), b.VisibleIds()) << label;
+  EXPECT_EQ(a.dataset_size(), b.dataset_size()) << label;
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const KnnResult ra = a.Knn(queries[qi], kK);
+    const KnnResult rb = b.Knn(queries[qi], kK);
+    EXPECT_EQ(ra.neighbors, rb.neighbors) << label << " q" << qi;
+    const KnnResult ga = a.RangeSearch(queries[qi], 9.0);
+    const KnnResult gb = b.RangeSearch(queries[qi], 9.0);
+    EXPECT_EQ(ga.neighbors, gb.neighbors) << label << " q" << qi;
+  }
+}
+
+std::vector<std::vector<double>> SomeQueries(const Dataset& ds) {
+  std::vector<std::vector<double>> queries;
+  for (const size_t qi : {0u, 11u, 23u, 37u})
+    if (qi < ds.size()) queries.push_back(ds.series[qi].values);
+  return queries;
+}
+
+TEST(IngestRecovery, ColdRestartReplaysEveryAcknowledgedMutation) {
+  const std::string dir = TempDir("ing_cold");
+  const Dataset src = SourceData(51);
+  const auto queries = SomeQueries(src);
+  auto a = MakeDurable(dir);
+  for (size_t i = 0; i < 23; ++i)
+    ASSERT_TRUE(a->Insert(src.series[i].values, src.series[i].label,
+                          i % 5 == 4 ? 40 : 0)
+                    .ok());
+  for (const uint64_t id : {3u, 7u, 15u}) ASSERT_TRUE(a->Delete(id).ok());
+
+  // Kill (no checkpoint, no shutdown hook — the WAL alone carries it).
+  auto b = MakeDurable(dir);
+  ExpectSameWorld(*a, *b, queries, "cold");
+  EXPECT_GE(SnapshotIngestMetrics(b->metrics()).wal_replayed, 26u);
+
+  // The reborn controller keeps going: fresh ids continue past the dead
+  // controller's, and further mutations are themselves durable.
+  const auto id = b->Insert(src.series[30].values);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(id.ValueOrDie(), 23u);
+  ASSERT_TRUE(b->Delete(0).ok());
+  auto c = MakeDurable(dir);
+  ExpectSameWorld(*b, *c, queries, "second life");
+}
+
+TEST(IngestRecovery, TtlVisibilityReplaysExactly) {
+  const std::string dir = TempDir("ing_ttl");
+  const Dataset src = SourceData(52);
+  auto a = MakeDurable(dir);
+  // expiry at seq 3: alive for its insert plus two more mutations.
+  ASSERT_TRUE(a->Insert(src.series[0].values, -1, 3).ok());
+  ASSERT_TRUE(a->Insert(src.series[1].values).ok());
+  ASSERT_TRUE(a->Insert(src.series[2].values).ok());
+  ASSERT_EQ(a->dataset_size(), 3u);
+
+  auto b = MakeDurable(dir);
+  // Replay restores the EXACT sequence clock, not just the data: entry 0
+  // must still be one mutation away from expiry, on both sides.
+  ASSERT_EQ(b->dataset_size(), 3u);
+  ASSERT_TRUE(a->Insert(src.series[3].values).ok());
+  ASSERT_TRUE(b->Insert(src.series[3].values).ok());
+  EXPECT_EQ(a->dataset_size(), 3u);  // 0 expired
+  EXPECT_EQ(b->dataset_size(), 3u);
+  EXPECT_EQ(a->VisibleIds(), b->VisibleIds());
+}
+
+TEST(IngestRecovery, CheckpointTruncatesWalAndRestoresFromSnapshots) {
+  const std::string dir = TempDir("ing_ckpt");
+  const Dataset src = SourceData(53);
+  const auto queries = SomeQueries(src);
+  auto a = MakeDurable(dir);
+  for (size_t i = 0; i < 31; ++i)
+    ASSERT_TRUE(a->Insert(src.series[i].values).ok());
+  for (const uint64_t id : {2u, 9u, 27u}) ASSERT_TRUE(a->Delete(id).ok());
+
+  const uint64_t wal_before = ReadFileBytes(dir + "/wal.log").size();
+  ASSERT_TRUE(a->Checkpoint().ok());
+  // The log now carries only the (small) memtable tail.
+  EXPECT_LT(ReadFileBytes(dir + "/wal.log").size(), wal_before);
+  EXPECT_EQ(SnapshotIngestMetrics(a->metrics()).checkpoints, 1u);
+
+  // Post-checkpoint traffic lands in the truncated log.
+  ASSERT_TRUE(a->Insert(src.series[40].values).ok());
+  ASSERT_TRUE(a->Delete(1).ok());
+
+  auto b = MakeDurable(dir);
+  ExpectSameWorld(*a, *b, queries, "checkpoint+tail");
+}
+
+TEST(IngestRecovery, KillBetweenManifestAndWalTruncationIsSafe) {
+  // The dangerous interleaving: checkpoint wrote snapshots + manifest but
+  // died before the WAL rewrite. Recovery sees the NEW manifest plus the
+  // FULL old log; replay must be idempotent (skip known ids, ignore
+  // deletes of already-compacted ids) and converge to the same world.
+  const std::string dir = TempDir("ing_interleave");
+  const Dataset src = SourceData(54);
+  const auto queries = SomeQueries(src);
+  auto a = MakeDurable(dir);
+  for (size_t i = 0; i < 17; ++i)
+    ASSERT_TRUE(a->Insert(src.series[i].values).ok());
+  ASSERT_TRUE(a->Delete(4).ok());
+
+  const std::string wal_full = ReadFileBytes(dir + "/wal.log");
+  ASSERT_TRUE(a->Checkpoint().ok());
+  // Undo the truncation: manifest is new, log is the full pre-checkpoint
+  // history — exactly what a kill in the gap leaves behind.
+  WriteFileBytes(dir + "/wal.log", wal_full);
+
+  auto b = MakeDurable(dir);
+  ExpectSameWorld(*a, *b, queries, "manifest+old-log");
+}
+
+TEST(IngestRecovery, TornWalTailIsTruncatedBeforeNewAppends) {
+  const std::string dir = TempDir("ing_torn");
+  const Dataset src = SourceData(55);
+  auto a = MakeDurable(dir);
+  for (size_t i = 0; i < 7; ++i)
+    ASSERT_TRUE(a->Insert(src.series[i].values).ok());
+  a.reset();
+  // Tear the tail mid-frame, as a kill mid-append would.
+  const std::string good = ReadFileBytes(dir + "/wal.log");
+  WriteFileBytes(dir + "/wal.log", good.substr(0, good.size() - 5));
+
+  auto b = MakeDurable(dir);
+  EXPECT_EQ(b->dataset_size(), 6u);  // the torn record was never acked
+  // New appends must land after the truncation point and survive another
+  // restart (an un-truncated torn tail would swallow them).
+  ASSERT_TRUE(b->Insert(src.series[10].values).ok());
+  auto c = MakeDurable(dir);
+  EXPECT_EQ(c->dataset_size(), 7u);
+  EXPECT_EQ(b->VisibleIds(), c->VisibleIds());
+}
+
+#if !defined(SAPLA_FAULT_DISABLED)
+TEST(IngestRecovery, FaultedAppendIsNeitherAckedNorReplayed) {
+  const std::string dir = TempDir("ing_fault_append");
+  const Dataset src = SourceData(56);
+  auto a = MakeDurable(dir);
+  ASSERT_TRUE(a->Insert(src.series[0].values).ok());
+
+  fault::Enable(7);
+  fault::PointConfig cfg;
+  cfg.max_triggers = 1;
+  fault::Configure("ingest/wal_append", cfg);
+  EXPECT_FALSE(a->Insert(src.series[1].values).ok());  // injected IO error
+  fault::Reset();
+
+  // The failed insert is gone from both the live controller and replay.
+  EXPECT_EQ(a->dataset_size(), 1u);
+  ASSERT_TRUE(a->Insert(src.series[2].values).ok());
+  auto b = MakeDurable(dir);
+  EXPECT_EQ(b->VisibleIds(), a->VisibleIds());
+}
+
+TEST(IngestRecovery, FaultedCheckpointLeavesARecoverableWorld) {
+  const std::string dir = TempDir("ing_fault_ckpt");
+  const Dataset src = SourceData(57);
+  const auto queries = SomeQueries(src);
+  auto a = MakeDurable(dir);
+  for (size_t i = 0; i < 12; ++i)
+    ASSERT_TRUE(a->Insert(src.series[i].values).ok());
+
+  fault::Enable(11);
+  fault::PointConfig cfg;
+  cfg.max_triggers = 1;
+  fault::Configure("ingest/checkpoint", cfg);
+  EXPECT_FALSE(a->Checkpoint().ok());
+  fault::Reset();
+
+  auto b = MakeDurable(dir);
+  ExpectSameWorld(*a, *b, queries, "failed checkpoint");
+  // And the next checkpoint succeeds.
+  ASSERT_TRUE(b->Checkpoint().ok());
+  auto c = MakeDurable(dir);
+  ExpectSameWorld(*b, *c, queries, "retried checkpoint");
+}
+#endif  // !SAPLA_FAULT_DISABLED
+
+}  // namespace
+}  // namespace sapla

@@ -129,6 +129,90 @@ TEST(StreamingSapla, DeterministicGivenSameStream) {
     EXPECT_EQ(ra.segments[i].r, rb.segments[i].r);
 }
 
+TEST(StreamingSapla, TrailingPartialSegmentIsSealedAsItsOwnLsFit) {
+  // A stream length that leaves the last segment partially filled when the
+  // snapshot "seals" it: the trailing points must still be covered, and
+  // their segment must be exactly the least-squares fit of that suffix —
+  // the ingest memtable relies on this when it reduces arrivals online.
+  const std::vector<double> v = RandomWalk(9, 257);
+  StreamingSapla stream(7);
+  for (const double x : v) stream.Append(x);
+  const Representation rep = stream.Snapshot();
+  EXPECT_EQ(rep.n, v.size());
+  ASSERT_FALSE(rep.segments.empty());
+  EXPECT_EQ(rep.segments.back().r, v.size() - 1);
+  PrefixFitter fitter(v);
+  const size_t last = rep.num_segments() - 1;
+  const Line line = fitter.Fit(rep.segment_start(last), v.size() - 1);
+  EXPECT_NEAR(rep.segments[last].a, line.a, 1e-7);
+  EXPECT_NEAR(rep.segments[last].b, line.b, 1e-7);
+
+  // Sealing mid-stream (snapshot, keep appending, snapshot again) must
+  // cover exactly the points seen so far each time.
+  StreamingSapla mid(7);
+  for (size_t i = 0; i < 130; ++i) mid.Append(v[i]);
+  const Representation early = mid.Snapshot();
+  EXPECT_EQ(early.n, 130u);
+  EXPECT_EQ(early.segments.back().r, 129u);
+  for (size_t i = 130; i < v.size(); ++i) mid.Append(v[i]);
+  EXPECT_EQ(mid.Snapshot().segments.back().r, v.size() - 1);
+}
+
+TEST(StreamingSapla, SinglePointSeriesSealsToOnePointSegment) {
+  StreamingSapla stream(4);
+  stream.Append(7.5);
+  const Representation rep = stream.Snapshot();
+  EXPECT_EQ(rep.n, 1u);
+  ASSERT_EQ(rep.segments.size(), 1u);
+  EXPECT_EQ(rep.segments[0].r, 0u);
+  // A one-point LS fit is the constant through the point.
+  EXPECT_DOUBLE_EQ(rep.segments[0].b, 7.5);
+  EXPECT_NEAR(rep.SumMaxDeviation({7.5}), 0.0, 1e-12);
+}
+
+TEST(StreamingSapla, ResetReseedsToAFreshInstance) {
+  // A Reset stream re-fed with a new series must be indistinguishable from
+  // a freshly constructed one — segment boundaries AND coefficients. The
+  // ingest controller reuses one streamer across all arrivals this way.
+  const std::vector<double> first = RandomWalk(10, 311);
+  const std::vector<double> second = RandomWalk(11, 400);
+  StreamingSapla reused(6);
+  for (const double x : first) reused.Append(x);
+  reused.Reset();
+  EXPECT_EQ(reused.size(), 0u);
+  EXPECT_EQ(reused.Snapshot().segments.size(), 0u);
+
+  StreamingSapla fresh(6);
+  for (const double x : second) {
+    reused.Append(x);
+    fresh.Append(x);
+  }
+  const Representation ra = reused.Snapshot(), rb = fresh.Snapshot();
+  EXPECT_EQ(ra.n, rb.n);
+  ASSERT_EQ(ra.segments.size(), rb.segments.size());
+  for (size_t i = 0; i < ra.segments.size(); ++i) {
+    EXPECT_EQ(ra.segments[i].r, rb.segments[i].r) << i;
+    EXPECT_DOUBLE_EQ(ra.segments[i].a, rb.segments[i].a) << i;
+    EXPECT_DOUBLE_EQ(ra.segments[i].b, rb.segments[i].b) << i;
+  }
+
+  // Reset out of every corner state: empty, single point, mid-merge.
+  StreamingSapla corner(3);
+  corner.Reset();  // reset of an empty stream is a no-op
+  corner.Append(1.0);
+  corner.Reset();  // reset after a single point
+  for (int i = 0; i < 100; ++i) corner.Append(0.5 * i);
+  const Representation rep = corner.Snapshot();
+  EXPECT_EQ(rep.n, 100u);
+  EXPECT_NEAR(rep.SumMaxDeviation(std::vector<double>(
+                  [] {
+                    std::vector<double> v;
+                    for (int i = 0; i < 100; ++i) v.push_back(0.5 * i);
+                    return v;
+                  }())),
+              0.0, 1e-7);
+}
+
 TEST(StreamingSapla, LongStreamBoundedState) {
   // 50k points through a budget of 10: must stay fast and bounded (this
   // test exists to catch accidental O(n) state growth; it finishes in

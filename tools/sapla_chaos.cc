@@ -29,24 +29,35 @@
 //      client budget, and after every RestoreShard / RebuildShard the
 //      answers are bit-identical to the all-healthy baseline again.
 //
+//   7. Ingest kill/restart (--ingest): a durable IngestController under
+//      injected WAL-append / seal / compact / checkpoint / io faults,
+//      killed without warning after every round of mutations, must recover
+//      to exactly the acknowledged history — visible ids and every
+//      query answer bit-identical to a fault-free controller that was fed
+//      only the acked operations. Un-acked mutations never reappear.
+//
 //   sapla_chaos --seed=42 --queries=1000            # per Method x IndexKind
 //   sapla_chaos --spec='seed=1;serve/flush=p0.05'   # custom fault schedule
 //   sapla_chaos --shards=3 --shard-cycles=6         # + shard kill/restart
+//   sapla_chaos --ingest --ingest-rounds=4          # + ingest kill/restart
 //
 // Exit status: 0 = all invariants held, 1 = violations (printed), 2 = bad
 // usage. Requires a build with SAPLA_FAULT=ON (the default); prints a
 // clear error and exits 2 otherwise.
 
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "index/index_backend.h"
+#include "ingest/ingest_controller.h"
 #include "reduction/representation.h"
 #include "reduction/representation_store.h"
 #include "search/knn.h"
@@ -73,6 +84,9 @@ struct Config {
   size_t io_rounds = 200;    // save/load attempts under injected I/O faults
   size_t shards = 0;         // >= 2 enables the shard kill/restart phase
   size_t shard_cycles = 6;   // kill/restart rounds in that phase
+  bool ingest = false;       // enables the ingest kill/restart phase
+  size_t ingest_rounds = 3;  // kill/restart cycles in that phase
+  size_t ingest_ops = 400;   // mutations attempted per cycle
   std::string spec;          // overrides the default fault schedule
   bool verbose = false;
 };
@@ -82,6 +96,7 @@ struct Config {
           "usage: %s [--seed=S] [--queries=Q] [--series=N] [--n=LEN]\n"
           "          [--m=M] [--k=K] [--pool=P] [--io-rounds=R]\n"
           "          [--shards=N] [--shard-cycles=C]\n"
+          "          [--ingest] [--ingest-rounds=R] [--ingest-ops=N]\n"
           "          [--spec=FAULT_SPEC] [--verbose=0|1]\n",
           argv0);
   exit(2);
@@ -91,6 +106,11 @@ Config ParseFlags(int argc, char** argv) {
   Config config;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    // The one boolean phase toggle also works bare, CI-style.
+    if (arg == "--ingest") {
+      config.ingest = true;
+      continue;
+    }
     const size_t eq = arg.find('=');
     if (arg.rfind("--", 0) != 0 || eq == std::string::npos) Usage(argv[0]);
     const std::string key = arg.substr(2, eq - 2);
@@ -121,6 +141,12 @@ Config ParseFlags(int argc, char** argv) {
       config.shards = num();
     } else if (key == "shard-cycles") {
       config.shard_cycles = num();
+    } else if (key == "ingest") {
+      config.ingest = value != "0";
+    } else if (key == "ingest-rounds") {
+      config.ingest_rounds = num();
+    } else if (key == "ingest-ops") {
+      config.ingest_ops = num();
     } else if (key == "spec") {
       config.spec = value;
     } else if (key == "verbose") {
@@ -449,6 +475,144 @@ void RunShardCase(const Config& config, const Dataset& ds,
     violations->Report("retry amplification exceeded the client budget");
 }
 
+/// Continuous-ingest kill/restart chaos: a durable IngestController takes
+/// mutations under injected WAL-append / seal / compact / checkpoint / io
+/// faults and is killed cold (destroyed, no checkpoint) after every round.
+/// The invariant is exactly the WAL contract: acked <=> logged. A
+/// fault-free, non-durable controller fed only the operations the durable
+/// one acknowledged is the oracle; after every restart the recovered
+/// visible id set and every kNN/range answer must match it bit for bit —
+/// un-acked mutations must never resurface, acked ones must never vanish.
+void RunIngestCase(const Config& config, const Dataset& ds,
+                   Violations* violations) {
+  fault::Disable();
+  const std::string dir = "/tmp/sapla_chaos_ingest";
+  ::mkdir(dir.c_str(), 0755);
+  const auto scrub = [&] {
+    std::remove((dir + "/wal.log").c_str());
+    std::remove((dir + "/manifest.bin").c_str());
+    for (size_t s = 0; s < 4; ++s)
+      std::remove((dir + "/main.shard" + std::to_string(s) + ".snp").c_str());
+  };
+  scrub();
+
+  IngestOptions opt;
+  opt.memtable_max = 6;  // small thresholds: many seals/compactions per round
+  opt.compact_min_minors = 2;
+  opt.num_shards = 2;
+  IngestController oracle(Method::kSapla, config.m, IndexKind::kRTree,
+                          config.n, opt);
+  IngestOptions durable = opt;
+  durable.durable_dir = dir;
+
+  std::vector<std::vector<double>> pool;
+  Rng rng(config.seed ^ 0x16E57u);
+  for (size_t i = 0; i < config.pool; ++i) {
+    std::vector<double> q = ds.series[rng.UniformInt(ds.size())].values;
+    for (double& v : q) v += rng.Gaussian(0.0, 0.05);
+    pool.push_back(std::move(q));
+  }
+
+  // The generation layouts legitimately differ (the durable side's seals
+  // fault), so only the representation-independent answer is compared:
+  // the (distance, id) neighbor lists, not traversal statistics.
+  const auto audit = [&](const IngestController& ctrl,
+                         const std::string& where) {
+    if (ctrl.VisibleIds() != oracle.VisibleIds()) {
+      violations->Report(where + ": recovered visible ids != acked history");
+      return;
+    }
+    for (size_t i = 0; i < pool.size(); ++i) {
+      if (ctrl.Knn(pool[i], config.k).neighbors !=
+          oracle.Knn(pool[i], config.k).neighbors)
+        violations->Report(where + ": knn answer " + std::to_string(i) +
+                           " != acked-history oracle");
+      if (ctrl.RangeSearch(pool[i], config.radius).neighbors !=
+          oracle.RangeSearch(pool[i], config.radius).neighbors)
+        violations->Report(where + ": range answer " + std::to_string(i) +
+                           " != acked-history oracle");
+    }
+  };
+
+  std::vector<uint64_t> alive;  // acked-inserted, not yet acked-deleted
+  uint64_t acked = 0, refused = 0, replayed = 0;
+  size_t source = 0;
+  for (size_t round = 0; round <= config.ingest_rounds; ++round) {
+    auto ctrl = std::make_unique<IngestController>(
+        Method::kSapla, config.m, IndexKind::kRTree, config.n, durable);
+    if (const Status st = ctrl->Recover(); !st.ok()) {
+      violations->Report("ingest round " + std::to_string(round) +
+                         ": recovery failed: " + st.ToString());
+      scrub();
+      return;
+    }
+    replayed = ctrl->metrics().wal_replayed.load();
+    audit(*ctrl, "ingest round " + std::to_string(round) +
+                     " (post-recovery)");
+    // The last rebirth only audits; rounds before it mutate then die.
+    if (round == config.ingest_rounds) break;
+
+    fault::Enable(config.seed);
+    for (size_t step = 0; step < config.ingest_ops; ++step) {
+      const double dice = rng.Uniform();
+      const std::string at = "ingest round " + std::to_string(round) +
+                             " step " + std::to_string(step);
+      if (dice < 0.16 && !alive.empty()) {
+        const size_t pos = rng.UniformInt(alive.size());
+        const uint64_t id = alive[pos];
+        const Status st = ctrl->Delete(id);
+        if (st.ok()) {
+          fault::Disable();  // oracle mutations never consume the schedule
+          if (!oracle.Delete(id).ok())
+            violations->Report(at + ": oracle refused an acked delete");
+          fault::Enable(config.seed);
+          ++acked;
+          alive[pos] = alive.back();
+          alive.pop_back();
+        } else if (st.code() == StatusCode::kNotFound) {
+          // TTL-expired — the oracle agrees (same mutation clock); stop
+          // retrying the id.
+          alive[pos] = alive.back();
+          alive.pop_back();
+        } else {
+          ++refused;
+        }
+      } else if (dice < 0.20) {
+        // Seal/compact/checkpoint are performance events: visibility is
+        // unchanged whether they succeed or fault, so no mirroring.
+        (void)ctrl->Seal();
+      } else if (dice < 0.24) {
+        (void)ctrl->Compact();
+      } else if (dice < 0.28) {
+        (void)ctrl->Checkpoint();
+      } else {
+        const TimeSeries& ts = ds.series[source++ % ds.size()];
+        const uint64_t ttl =
+            rng.Uniform() < 0.1 ? 5 + rng.UniformInt(40) : 0;
+        const auto id = ctrl->Insert(ts.values, ts.label, ttl);
+        if (id.ok()) {
+          fault::Disable();
+          const auto mirror = oracle.Insert(ts.values, ts.label, ttl);
+          if (!mirror.ok() || *mirror != *id)
+            violations->Report(at + ": oracle id drifted from durable log");
+          fault::Enable(config.seed);
+          ++acked;
+          alive.push_back(*id);
+        } else {
+          ++refused;
+        }
+      }
+    }
+    fault::Disable();
+    ctrl.reset();  // the kill: no checkpoint, no farewell — the WAL is truth
+  }
+
+  printf("\ningest chaos: %zu rounds x %zu ops, %" PRIu64 " acked, %" PRIu64
+         " refused by faults, %" PRIu64 " replayed on the final recovery\n",
+         config.ingest_rounds, config.ingest_ops, acked, refused, replayed);
+  scrub();
+}
+
 int Run(int argc, char** argv) {
 #ifdef SAPLA_FAULT_DISABLED
   (void)argc;
@@ -462,15 +626,19 @@ int Run(int argc, char** argv) {
 
   // Default schedule: every serving-layer fault point armed at ~1%, plus
   // latency injection in the pool workers and the scheduler.
-  const std::string spec =
-      !config.spec.empty()
-          ? config.spec
-          : "seed=" + std::to_string(config.seed) +
-                ";queue/admit=p0.01"
-                ";serve/flush=p0.01"
-                ";serve/flush_stall=p0.002,d2000"
-                ";parallel/worker=p0.01,d100"
-                ";io/write=p0.05;io/fsync=p0.02;io/rename=p0.02";
+  std::string spec = "seed=" + std::to_string(config.seed) +
+                     ";queue/admit=p0.01"
+                     ";serve/flush=p0.01"
+                     ";serve/flush_stall=p0.002,d2000"
+                     ";parallel/worker=p0.01,d100"
+                     ";io/write=p0.05;io/fsync=p0.02;io/rename=p0.02";
+  if (config.ingest)
+    spec +=
+        ";ingest/wal_append=p0.03"
+        ";ingest/seal=p0.05"
+        ";ingest/compact=p0.05"
+        ";ingest/checkpoint=p0.2";
+  if (!config.spec.empty()) spec = config.spec;
   if (const Status st = fault::ConfigureFromSpec(spec); !st.ok()) {
     fprintf(stderr, "bad fault spec: %s\n", st.ToString().c_str());
     return 2;
@@ -493,6 +661,7 @@ int Run(int argc, char** argv) {
   }
   RunIoCase(config, ds, &violations);
   if (config.shards >= 2) RunShardCase(config, ds, &violations);
+  if (config.ingest) RunIngestCase(config, ds, &violations);
 
   const uint64_t responses = tally.ok_exact + tally.ok_cached +
                              tally.ok_approximate + tally.overloaded +

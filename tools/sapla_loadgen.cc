@@ -11,6 +11,14 @@
 //                   can't keep up the queue fills and requests come back
 //                   kOverloaded instead of silently slowing the generator
 //
+// With `--ingest-qps` > 0 the service fronts a live IngestController
+// instead of a static index: a paced writer thread inserts noise-perturbed
+// synthetic series at that rate (a `--delete-frac` fraction of mutations
+// delete a random live id instead), so the query clients measure latency
+// under concurrent memtable growth, seals, and compactions. The run then
+// also prints the ingest metrics table, and `--metrics-out` carries the
+// serve and sapla_ingest_* families in one exposition.
+//
 // Queries are drawn zipfian-skewed (`--zipf`) from a fixed pool of
 // `--pool` distinct queries, so `--cache` > 0 produces realistic hit rates.
 // `--deadline-us` attaches a per-request deadline; with `--degraded=1`
@@ -29,6 +37,7 @@
 //   sapla_loadgen --mode=closed --threads=8 --requests=500 --cache=512
 //
 // Dataset/index knobs: --series --n --m --k --method --tree
+// Ingest knobs:        --ingest-qps --delete-frac
 // Service knobs:       --max-batch --max-delay-us --queue --cache
 //                      --batch-threads (fan-out of one flush; 0 = hardware)
 // Reproducibility:     --seed perturbs the query pool and every client's
@@ -39,11 +48,14 @@
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <future>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "ingest/ingest_controller.h"
 #include "search/knn.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -82,6 +94,9 @@ struct Config {
   size_t m = 16;
   Method method = Method::kSapla;
   IndexKind kind = IndexKind::kDbchTree;
+  // Ingest (0 = serve a static index, no writer thread).
+  double ingest_qps = 0.0;
+  double delete_frac = 0.0;  // fraction of mutations that are deletes
   // Service.
   size_t max_batch = 32;
   uint64_t max_delay_us = 200;
@@ -101,6 +116,7 @@ struct Config {
           "          [--duration-s=S] [--qps=Q] [--pool=P] [--zipf=Z]\n"
           "          [--seed=S] [--k=K] [--deadline-us=D] [--series=S]\n"
           "          [--n=N] [--m=M] [--method=SAPLA] [--tree=dbch|rtree]\n"
+          "          [--ingest-qps=Q] [--delete-frac=F]\n"
           "          [--max-batch=B] [--max-delay-us=U] [--queue=C]\n"
           "          [--cache=E] [--batch-threads=T] [--degraded=0|1]\n"
           "          [--fault=SPEC] [--json=FILE] [--metrics-out=FILE]\n"
@@ -182,6 +198,10 @@ Config ParseFlags(int argc, char** argv) {
       } else {
         Usage(argv[0]);
       }
+    } else if (key == "ingest-qps") {
+      config.ingest_qps = real();
+    } else if (key == "delete-frac") {
+      config.delete_frac = real();
     } else if (key == "max-batch") {
       config.max_batch = num();
     } else if (key == "max-delay-us") {
@@ -222,6 +242,14 @@ Config ParseFlags(int argc, char** argv) {
   }
   if (config.series == 0 || config.n < 2) {
     fprintf(stderr, "--series must be > 0 and --n at least 2\n");
+    exit(2);
+  }
+  if (config.delete_frac < 0.0 || config.delete_frac > 1.0) {
+    fprintf(stderr, "--delete-frac must be in [0, 1]\n");
+    exit(2);
+  }
+  if (config.delete_frac > 0.0 && config.ingest_qps <= 0.0) {
+    fprintf(stderr, "--delete-frac needs --ingest-qps > 0\n");
     exit(2);
   }
   return config;
@@ -343,14 +371,35 @@ int Run(int argc, char** argv) {
   const Dataset ds = MakeSyntheticDataset(0, opt);
   const std::vector<std::vector<double>> pool = MakeQueryPool(ds, config);
 
-  SimilarityIndex index(config.method, config.m, config.kind);
+  // Static index, or a live IngestController preloaded with the same
+  // dataset — QueryService only sees a SearchIndex either way.
+  std::unique_ptr<SimilarityIndex> static_index;
+  std::unique_ptr<IngestController> ingest;
+  const SearchIndex* backing = nullptr;
   WallTimer build_timer;
-  if (Status s = index.Build(ds); !s.ok()) {
-    fprintf(stderr, "build failed: %s\n", s.ToString().c_str());
-    return 1;
+  if (config.ingest_qps > 0.0) {
+    IngestOptions iopt;
+    iopt.num_shards = 2;
+    ingest = std::make_unique<IngestController>(config.method, config.m,
+                                                config.kind, config.n, iopt);
+    for (const TimeSeries& ts : ds.series) {
+      if (const auto id = ingest->Insert(ts.values, ts.label); !id.ok()) {
+        fprintf(stderr, "preload failed: %s\n", id.status().ToString().c_str());
+        return 1;
+      }
+    }
+    backing = ingest.get();
+  } else {
+    static_index =
+        std::make_unique<SimilarityIndex>(config.method, config.m, config.kind);
+    if (Status s = static_index->Build(ds); !s.ok()) {
+      fprintf(stderr, "build failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    backing = static_index.get();
   }
-  printf("index: %s/%s, %zu series of length %zu, M=%zu (built in %.2fs)\n",
-         MethodName(config.method).c_str(),
+  printf("%s: %s/%s, %zu series of length %zu, M=%zu (built in %.2fs)\n",
+         ingest ? "ingest" : "index", MethodName(config.method).c_str(),
          config.kind == IndexKind::kDbchTree ? "dbch" : "rtree", ds.size(),
          ds.length(), config.m, build_timer.Seconds());
 
@@ -362,12 +411,51 @@ int Run(int argc, char** argv) {
   options.cache_capacity = config.cache;
   options.default_deadline_us = 0;
   options.degraded_answers = config.degraded;
-  QueryService service(index, options);
+  QueryService service(*backing, options);
+
+  // Paced writer: one mutation every 1/ingest_qps seconds while the query
+  // clients run. Deletes pick a uniform live id; inserts perturb archive
+  // series so the corpus keeps drifting instead of repeating.
+  std::atomic<bool> stop_writer{false};
+  std::thread writer;
+  if (ingest) {
+    writer = std::thread([&] {
+      using Clock = std::chrono::steady_clock;
+      const auto interval = std::chrono::duration_cast<Clock::duration>(
+          std::chrono::duration<double>(1.0 / config.ingest_qps));
+      Rng rng(config.seed ^ 0x1D6E57ull);
+      std::vector<uint64_t> alive;
+      alive.reserve(ds.size());
+      for (uint64_t id = 0; id < ds.size(); ++id) alive.push_back(id);
+      size_t source = 0;
+      auto next = Clock::now() + interval;
+      while (!stop_writer.load() && !g_interrupted.load()) {
+        std::this_thread::sleep_until(next);
+        next += interval;
+        if (!alive.empty() && rng.Uniform() < config.delete_frac) {
+          const size_t pos = rng.UniformInt(alive.size());
+          if (ingest->Delete(alive[pos]).ok()) {
+            alive[pos] = alive.back();
+            alive.pop_back();
+          }
+        } else {
+          std::vector<double> values = ds.series[source++ % ds.size()].values;
+          for (double& v : values) v += rng.Gaussian(0.0, 0.05);
+          if (const auto id = ingest->Insert(values); id.ok())
+            alive.push_back(*id);
+        }
+      }
+    });
+  }
 
   Outcomes outcomes;
   const double wall = config.mode == "closed"
                           ? RunClosed(service, pool, config, &outcomes)
                           : RunOpen(service, pool, config, &outcomes);
+  if (writer.joinable()) {
+    stop_writer.store(true);
+    writer.join();
+  }
   service.Stop();
   if (g_interrupted.load())
     printf("\ninterrupted; reporting metrics for the partial run\n");
@@ -395,14 +483,29 @@ int Run(int argc, char** argv) {
                                            std::to_string(config.max_batch) +
                                            ")");
   t.Print();
+  if (ingest) {
+    const IngestMetricsSnapshot isnap = SnapshotIngestMetrics(ingest->metrics());
+    IngestMetricsToTable(
+        isnap, "Ingest metrics (target " +
+                   std::to_string(static_cast<long long>(config.ingest_qps)) +
+                   " mutations/s)")
+        .Print();
+  }
   if (!config.json_path.empty() && !t.WriteJson(config.json_path)) {
     fprintf(stderr, "could not write %s\n", config.json_path.c_str());
     return 1;
   }
-  if (!config.metrics_path.empty() &&
-      !WritePrometheus(service.metrics(), config.metrics_path)) {
-    fprintf(stderr, "could not write %s\n", config.metrics_path.c_str());
-    return 1;
+  if (!config.metrics_path.empty()) {
+    // One scrape: serve families first, then the sapla_ingest_* families
+    // (disjoint names, so the concatenation is valid exposition text).
+    std::string body = MetricsToPrometheus(service.metrics());
+    if (ingest) body += IngestMetricsToPrometheus(ingest->metrics());
+    std::ofstream out(config.metrics_path, std::ios::trunc);
+    out << body;
+    if (!out.good()) {
+      fprintf(stderr, "could not write %s\n", config.metrics_path.c_str());
+      return 1;
+    }
   }
   if (!config.trace_path.empty()) {
     obs::SetTraceEnabled(false);
