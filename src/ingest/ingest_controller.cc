@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -834,7 +835,40 @@ void AccumulateDirect(const KnnResult& part, KnnResult* out) {
 
 KnnResult IngestController::Knn(const std::vector<double>& query,
                                 size_t k) const {
+  return KnnWithExplain(query, k, nullptr);
+}
+
+KnnResult IngestController::KnnExplain(const std::vector<double>& query,
+                                       size_t k,
+                                       obs::QueryExplain* explain) const {
+  return KnnWithExplain(query, k, explain);
+}
+
+KnnResult IngestController::KnnWithExplain(const std::vector<double>& query,
+                                           size_t k,
+                                           obs::QueryExplain* explain) const {
   SAPLA_TRACE_SPAN("ingest/knn");
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto elapsed_us = [](std::chrono::steady_clock::time_point since) {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - since)
+            .count());
+  };
+  // One explain part per generation the query touches. The part counters
+  // come from the raw per-generation results — tombstone filtering drops
+  // neighbors, never counters — so their sum equals the merged counters.
+  const auto add_part = [explain](const char* name, const KnnResult& part,
+                                  uint64_t dur_us) {
+    if (explain == nullptr) return;
+    obs::ShardExplain p;
+    p.part = name;
+    p.dur_us = dur_us;
+    p.results = part.neighbors.size();
+    p.counters = part.counters;
+    explain->parts.push_back(std::move(p));
+  };
+
   KnnResult out;
   if (k == 0) return out;
   const auto e = PinEpoch();
@@ -842,15 +876,37 @@ KnnResult IngestController::Knn(const std::vector<double>& query,
   // entries still contains its top-k visible answers, so the filtered
   // union provably contains the global visible top-k.
   const size_t k_eff = k + e->tombstones.size();
-  if (e->main)
-    AccumulateFiltered(e->main->index->Knn(query, k_eff), e->main->ids,
-                       e->tombstones, &out);
-  for (const auto& minor : e->minors)
-    AccumulateFiltered(minor->index->Knn(query, k_eff), minor->ids,
-                       e->tombstones, &out);
-  AccumulateDirect(MemtableKnn(*e->memtable, e->tombstones, query, k), &out);
+  if (e->main) {
+    const auto g0 = std::chrono::steady_clock::now();
+    const KnnResult part = e->main->index->Knn(query, k_eff);
+    add_part("main", part, elapsed_us(g0));
+    AccumulateFiltered(part, e->main->ids, e->tombstones, &out);
+  }
+  for (size_t g = 0; g < e->minors.size(); ++g) {
+    const auto g0 = std::chrono::steady_clock::now();
+    const KnnResult part = e->minors[g]->index->Knn(query, k_eff);
+    if (explain != nullptr) {
+      const std::string name = "minor" + std::to_string(g);
+      add_part(name.c_str(), part, elapsed_us(g0));
+    }
+    AccumulateFiltered(part, e->minors[g]->ids, e->tombstones, &out);
+  }
+  {
+    const auto g0 = std::chrono::steady_clock::now();
+    const KnnResult part = MemtableKnn(*e->memtable, e->tombstones, query, k);
+    add_part("memtable", part, elapsed_us(g0));
+    AccumulateDirect(part, &out);
+  }
   std::sort(out.neighbors.begin(), out.neighbors.end());
   if (out.neighbors.size() > k) out.neighbors.resize(k);
+  if (explain != nullptr) {
+    explain->trace_id = obs::CurrentTraceContext().trace_id;
+    explain->total_us = elapsed_us(t0);
+    explain->epoch_seq = e->seq;
+    explain->approximate = out.approximate;
+    explain->counters = out.counters;
+    explain->stages.push_back({"generations", explain->total_us});
+  }
   return out;
 }
 
@@ -912,6 +968,9 @@ KnnResult IngestController::RangeSearchLowerBound(
   return out;
 }
 
+// Batch workers re-bind the per-request context before searching so each
+// query's spans stitch into its own submitter's trace tree (see
+// SearchBatchOptions::trace_of).
 std::vector<KnnResult> IngestController::KnnBatch(
     const std::vector<std::vector<double>>& queries, size_t k,
     const BatchOptions& options) const {
@@ -920,7 +979,14 @@ std::vector<KnnResult> IngestController::KnnBatch(
       0, queries.size(),
       [&](size_t i) {
         if (options.cancel && options.cancel(i)) return;
-        results[i] = Knn(queries[i], k);
+        const obs::TraceContext ctx = options.trace_of
+                                          ? options.trace_of(i)
+                                          : obs::CurrentTraceContext();
+        obs::TraceContextScope trace_scope(ctx);
+        SAPLA_TRACE_SPAN("batch/query");
+        obs::QueryExplain* explain =
+            options.explain_of ? options.explain_of(i) : nullptr;
+        results[i] = KnnWithExplain(queries[i], k, explain);
       },
       options.num_threads);
   return results;
@@ -934,6 +1000,11 @@ std::vector<KnnResult> IngestController::RangeSearchBatch(
       0, queries.size(),
       [&](size_t i) {
         if (options.cancel && options.cancel(i)) return;
+        const obs::TraceContext ctx = options.trace_of
+                                          ? options.trace_of(i)
+                                          : obs::CurrentTraceContext();
+        obs::TraceContextScope trace_scope(ctx);
+        SAPLA_TRACE_SPAN("batch/query");
         results[i] = RangeSearch(queries[i], radius);
       },
       options.num_threads);

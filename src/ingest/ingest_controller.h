@@ -165,6 +165,12 @@ class IngestController : public SearchIndex {
   // ---- SearchIndex: epoch-pinned scatter/merge over main + minors +
   // memtable with tombstone filtering. Never blocks on writers.
   KnnResult Knn(const std::vector<double>& query, size_t k) const override;
+  /// Knn plus per-generation attribution (obs/explain.h): one part per
+  /// generation the query touched (main, minorN, memtable) with wall time,
+  /// contributed neighbors and counters, plus the pinned epoch sequence.
+  /// Part counters sum exactly to the merged counters.
+  KnnResult KnnExplain(const std::vector<double>& query, size_t k,
+                       obs::QueryExplain* explain) const override;
   KnnResult KnnLowerBound(const std::vector<double>& query,
                           size_t k) const override;
   KnnResult RangeSearch(const std::vector<double>& query,
@@ -300,6 +306,11 @@ class IngestController : public SearchIndex {
                                   const std::vector<uint64_t>& tombstones,
                                   const std::vector<double>& query,
                                   size_t k) const;
+
+  /// Shared Knn body; fills `*explain` (when non-null) from the same
+  /// per-generation results it merges.
+  KnnResult KnnWithExplain(const std::vector<double>& query, size_t k,
+                           obs::QueryExplain* explain) const;
 
   const Method method_;
   const size_t m_;

@@ -107,12 +107,24 @@ ServeMetricsSnapshot SnapshotMetrics(const ServeMetrics& metrics) {
   s.shard_health.reserve(shards);
   for (size_t i = 0; i < shards; ++i)
     s.shard_health.push_back(metrics.shard_health[i].load());
+  s.slow_queries = metrics.slow_queries.load();
   s.search = SnapshotSearchCounters(metrics.search);
   s.queue_wait_us = SnapshotHistogram(metrics.queue_wait_us);
   s.exec_us = SnapshotHistogram(metrics.exec_us);
   s.total_us = SnapshotHistogram(metrics.total_us);
   s.batch_size = SnapshotHistogram(metrics.batch_size);
   s.queue_depth = SnapshotHistogram(metrics.queue_depth);
+  s.window_us = metrics.window_total_us.window_us();
+  {
+    Histogram merged;
+    metrics.window_total_us.MergeInto(&merged);
+    s.window_total_us = SnapshotHistogram(merged);
+  }
+  {
+    Histogram merged;
+    metrics.window_exec_us.MergeInto(&merged);
+    s.window_exec_us = SnapshotHistogram(merged);
+  }
   return s;
 }
 
@@ -151,6 +163,7 @@ Table MetricsToTable(const ServeMetricsSnapshot& snap,
   counter("rejected_unhealthy", snap.rejected_unhealthy);
   counter("flush_failures", snap.flush_failures);
   counter("watchdog_stalls", snap.watchdog_stalls);
+  counter("slow_queries", snap.slow_queries);
   counter("health", snap.health);
   for (size_t i = 0; i < snap.shard_health.size(); ++i)
     counter("shard_health{shard=" + std::to_string(i) + "}",
@@ -170,6 +183,9 @@ Table MetricsToTable(const ServeMetricsSnapshot& snap,
   hist("total_us", snap.total_us);
   hist("batch_size", snap.batch_size);
   hist("queue_depth", snap.queue_depth);
+  const std::string window_s = std::to_string(snap.window_us / 1'000'000);
+  hist("window_total_us[" + window_s + "s]", snap.window_total_us);
+  hist("window_exec_us[" + window_s + "s]", snap.window_exec_us);
   return t;
 }
 
@@ -257,6 +273,10 @@ std::string MetricsToPrometheus(const ServeMetrics& metrics,
   AppendCounter(out, prefix, "watchdog_stalls",
                 "Watchdog observations of a newly stalled scheduler.",
                 snap.watchdog_stalls);
+  AppendCounter(out, prefix, "slow_queries",
+                "Requests that crossed a slow-query threshold and were "
+                "logged.",
+                snap.slow_queries);
   AppendCounter(out, prefix, "search_queries",
                 "Index traversals aggregated into the search counters.",
                 snap.search.queries);
@@ -321,6 +341,38 @@ std::string MetricsToPrometheus(const ServeMetrics& metrics,
   AppendHistogram(out, prefix, "queue_depth",
                   "Queue length observed after each admission.",
                   metrics.queue_depth);
+  // Windowed tail-latency gauges: live quantiles over roughly the last
+  // window instead of the process lifetime. One family, labeled by stage
+  // (total = admission->resolution, exec = batch wall time) and quantile.
+  // Quantile rows are emitted only when the window saw traffic — an empty
+  // window has no percentiles, and 0 would masquerade as a measurement.
+  {
+    const std::string window_s = U64(snap.window_us / 1'000'000);
+    const std::string counts = prefix + "_window_requests";
+    out += "# HELP " + counts + " Requests observed in the last " + window_s +
+           "s window, per stage.\n";
+    out += "# TYPE " + counts + " gauge\n";
+    out += counts + "{stage=\"total\"} " + U64(snap.window_total_us.count) +
+           "\n";
+    out += counts + "{stage=\"exec\"} " + U64(snap.window_exec_us.count) +
+           "\n";
+    const std::string full = prefix + "_window_latency_us";
+    out += "# HELP " + full + " Latency quantiles over the last " + window_s +
+           "s (sliding window).\n";
+    out += "# TYPE " + full + " gauge\n";
+    const auto stage = [&](const char* name, const HistogramSnapshot& h) {
+      if (h.count == 0) return;
+      const auto q = [&](const char* quantile, double v) {
+        out += full + "{stage=\"" + name + "\",quantile=\"" + quantile +
+               "\"} " + Double(v) + "\n";
+      };
+      q("0.5", h.p50);
+      q("0.95", h.p95);
+      q("0.99", h.p99);
+    };
+    stage("total", snap.window_total_us);
+    stage("exec", snap.window_exec_us);
+  }
   return out;
 }
 
@@ -371,6 +423,7 @@ std::string MetricsToJson(const ServeMetricsSnapshot& snap) {
   counter("rejected_unhealthy", snap.rejected_unhealthy);
   counter("flush_failures", snap.flush_failures);
   counter("watchdog_stalls", snap.watchdog_stalls);
+  counter("slow_queries", snap.slow_queries);
   counter("health", snap.health, /*last=*/true);
   out += "  },\n  \"cache_hit_rate\": " + Double(snap.CacheHitRate()) +
          ",\n  \"shard_health\": [";
@@ -396,6 +449,10 @@ std::string MetricsToJson(const ServeMetricsSnapshot& snap) {
   AppendJsonHistogram(out, "total_us", snap.total_us, false);
   AppendJsonHistogram(out, "batch_size", snap.batch_size, false);
   AppendJsonHistogram(out, "queue_depth", snap.queue_depth, true);
+  out += "  },\n  \"window\": {\n    \"window_us\": " + U64(snap.window_us) +
+         ",\n";
+  AppendJsonHistogram(out, "total_us", snap.window_total_us, false);
+  AppendJsonHistogram(out, "exec_us", snap.window_exec_us, true);
   out += "  }\n}\n";
   return out;
 }

@@ -126,6 +126,10 @@ struct ServeMetrics {
   std::atomic<uint64_t> shard_count{0};
   std::array<std::atomic<uint64_t>, kMaxShardGauges> shard_health{};
 
+  /// Requests that crossed a slow-query threshold (serve/service.h) and
+  /// produced a slow-query log record.
+  std::atomic<uint64_t> slow_queries{0};
+
   AtomicSearchCounters search;
 
   Histogram queue_wait_us;
@@ -133,6 +137,13 @@ struct ServeMetrics {
   Histogram total_us;
   Histogram batch_size;
   Histogram queue_depth;
+
+  /// Sliding-window companions to total_us / exec_us
+  /// (util/histogram.h WindowedHistogram): quantiles over roughly the last
+  /// ServeOptions::window_us instead of the process lifetime. Exported as
+  /// `<prefix>_window_latency_us{stage=...,quantile=...}` gauges.
+  WindowedHistogram window_total_us;
+  WindowedHistogram window_exec_us;
 };
 
 /// One histogram, collapsed to the numbers reports care about. Quantiles
@@ -166,6 +177,8 @@ struct ServeMetricsSnapshot {
   /// One ladder position per live shard (empty for a non-sharded service).
   std::vector<uint64_t> shard_health;
 
+  uint64_t slow_queries = 0;
+
   SearchCountersSnapshot search;
 
   HistogramSnapshot queue_wait_us;
@@ -173,6 +186,12 @@ struct ServeMetricsSnapshot {
   HistogramSnapshot total_us;
   HistogramSnapshot batch_size;
   HistogramSnapshot queue_depth;
+
+  /// Live-window views of total_us / exec_us (see ServeMetrics); the
+  /// window length rides along so exports can label the semantics.
+  uint64_t window_us = 0;
+  HistogramSnapshot window_total_us;
+  HistogramSnapshot window_exec_us;
 
   /// cache_hits / (cache_hits + cache_misses); 0 with no lookups.
   double CacheHitRate() const;

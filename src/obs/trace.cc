@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <memory>
 #include <mutex>
+#include <unordered_map>
 
 namespace sapla {
 namespace obs {
@@ -17,6 +18,15 @@ using Clock = std::chrono::steady_clock;
 constexpr size_t kMaxEventsPerThread = 1 << 16;
 
 std::atomic<bool> g_enabled{false};
+
+// Process-unique id wells. Span ids start at 1 so 0 always means "no
+// sampled context"; trace ids likewise.
+std::atomic<uint64_t> g_next_trace_id{1};
+std::atomic<uint64_t> g_next_span_id{1};
+
+// The calling thread's ambient request context. Owner-thread only: scopes
+// install/restore it, ScopedSpan advances span_id for the nesting.
+thread_local TraceContext t_context;
 
 // The trace epoch: every timestamp is relative to the first trace use, so
 // exported numbers stay small and runs are comparable.
@@ -111,39 +121,125 @@ uint64_t TraceDroppedEvents() {
   return dropped;
 }
 
+TraceContext MintTraceContext() {
+  if (!g_enabled.load(std::memory_order_relaxed)) return TraceContext{};
+  TraceContext ctx;
+  ctx.trace_id = g_next_trace_id.fetch_add(1, std::memory_order_relaxed);
+  ctx.span_id = 0;  // root level: the first span becomes the tree root
+  ctx.sampled = true;
+  return ctx;
+}
+
+TraceContext CurrentTraceContext() { return t_context; }
+
+TraceContextScope::TraceContextScope(const TraceContext& ctx)
+    : saved_(t_context) {
+  t_context = ctx;
+}
+
+TraceContextScope::~TraceContextScope() { t_context = saved_; }
+
 std::string TraceToChromeJson() {
   const std::vector<TraceEvent> events = CollectTrace();
+  // Index span id -> event so cross-thread parent/child edges can be found
+  // for the flow pass. Span ids are process-unique, so collisions cannot
+  // happen.
+  std::unordered_map<uint64_t, const TraceEvent*> by_span;
+  by_span.reserve(events.size());
+  for (const TraceEvent& e : events)
+    if (e.span_id != 0) by_span.emplace(e.span_id, &e);
+
   std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
-  char line[256];
+  char line[384];
   bool first = true;
+  const auto append = [&](const char* text) {
+    if (!first) out += ',';
+    out += text;
+    first = false;
+  };
   for (const TraceEvent& e : events) {
     // Span names are code-side string literals (path-like identifiers), so
     // no JSON escaping is needed beyond trusting the taxonomy.
+    if (e.trace_id == 0) {
+      snprintf(line, sizeof(line),
+               "{\"name\":\"%s\",\"cat\":\"sapla\",\"ph\":\"X\",\"pid\":1,"
+               "\"tid\":%u,\"ts\":%llu,\"dur\":%llu}",
+               e.name, e.tid, static_cast<unsigned long long>(e.start_us),
+               static_cast<unsigned long long>(e.dur_us));
+    } else {
+      snprintf(line, sizeof(line),
+               "{\"name\":\"%s\",\"cat\":\"sapla\",\"ph\":\"X\",\"pid\":1,"
+               "\"tid\":%u,\"ts\":%llu,\"dur\":%llu,\"args\":{"
+               "\"trace\":%llu,\"span\":%llu,\"parent\":%llu}}",
+               e.name, e.tid, static_cast<unsigned long long>(e.start_us),
+               static_cast<unsigned long long>(e.dur_us),
+               static_cast<unsigned long long>(e.trace_id),
+               static_cast<unsigned long long>(e.span_id),
+               static_cast<unsigned long long>(e.parent_span_id));
+    }
+    append(line);
+  }
+  // Flow pass: one "s"/"f" pair per parent->child edge that crosses
+  // threads, id'd by the child span. The start binds to the parent slice
+  // (its own start ts lies inside it); the finish binds to the child's
+  // start with bp:"e" (bind point = enclosing slice).
+  for (const TraceEvent& e : events) {
+    if (e.parent_span_id == 0) continue;
+    const auto it = by_span.find(e.parent_span_id);
+    if (it == by_span.end() || it->second->tid == e.tid) continue;
+    const TraceEvent& p = *it->second;
     snprintf(line, sizeof(line),
-             "%s{\"name\":\"%s\",\"cat\":\"sapla\",\"ph\":\"X\",\"pid\":1,"
-             "\"tid\":%u,\"ts\":%llu,\"dur\":%llu}",
-             first ? "" : ",", e.name, e.tid,
-             static_cast<unsigned long long>(e.start_us),
-             static_cast<unsigned long long>(e.dur_us));
-    out += line;
-    first = false;
+             "{\"name\":\"ctx\",\"cat\":\"sapla\",\"ph\":\"s\",\"pid\":1,"
+             "\"tid\":%u,\"ts\":%llu,\"id\":%llu}",
+             p.tid, static_cast<unsigned long long>(p.start_us),
+             static_cast<unsigned long long>(e.span_id));
+    append(line);
+    snprintf(line, sizeof(line),
+             "{\"name\":\"ctx\",\"cat\":\"sapla\",\"ph\":\"f\",\"bp\":\"e\","
+             "\"pid\":1,\"tid\":%u,\"ts\":%llu,\"id\":%llu}",
+             e.tid, static_cast<unsigned long long>(e.start_us),
+             static_cast<unsigned long long>(e.span_id));
+    append(line);
   }
   out += "]}";
   return out;
 }
 
 bool WriteChromeTrace(const std::string& path) {
-  FILE* f = fopen(path.c_str(), "w");
+  // Stage + rename: the destination either keeps its old content or gets
+  // the complete new document — an interrupt mid-write (SIGINT while the
+  // array is streaming out) can never leave truncated JSON at `path`.
+  const std::string tmp = path + ".tmp";
+  FILE* f = fopen(tmp.c_str(), "w");
   if (f == nullptr) return false;
   const std::string json = TraceToChromeJson();
-  const bool ok = fwrite(json.data(), 1, json.size(), f) == json.size();
-  return fclose(f) == 0 && ok;
+  const bool wrote = fwrite(json.data(), 1, json.size(), f) == json.size();
+  const bool flushed = fflush(f) == 0;
+  if (fclose(f) != 0 || !wrote || !flushed) {
+    remove(tmp.c_str());
+    return false;
+  }
+  if (rename(tmp.c_str(), path.c_str()) != 0) {
+    remove(tmp.c_str());
+    return false;
+  }
+  return true;
 }
 
 ScopedSpan::ScopedSpan(const char* name) : name_(name) {
   if (!g_enabled.load(std::memory_order_relaxed)) return;
   active_ = true;
   ++LocalBuffer().live_depth;
+  // Bind into the ambient request context: remember the parent, take a
+  // fresh span id, and become the parent of anything nested (including
+  // chunks ParallelFor forwards to pool workers). Unsampled spans allocate
+  // nothing and record with zero ids.
+  trace_id_ = t_context.trace_id;
+  parent_span_id_ = t_context.span_id;
+  if (t_context.sampled) {
+    span_id_ = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+    t_context.span_id = span_id_;
+  }
   start_us_ = NowUs();
 }
 
@@ -151,12 +247,16 @@ ScopedSpan::~ScopedSpan() {
   if (!active_) return;
   const uint64_t end_us = NowUs();
   ThreadBuffer& buffer = LocalBuffer();
+  if (span_id_ != 0) t_context.span_id = parent_span_id_;
   TraceEvent event;
   event.name = name_;
   event.start_us = start_us_;
   event.dur_us = end_us - start_us_;
   event.tid = buffer.tid;
   event.depth = --buffer.live_depth;
+  event.trace_id = trace_id_;
+  event.span_id = span_id_;
+  event.parent_span_id = parent_span_id_;
   std::lock_guard<std::mutex> lock(buffer.mu);
   if (buffer.events.size() >= kMaxEventsPerThread) {
     ++buffer.dropped;

@@ -1,7 +1,8 @@
 #ifndef SAPLA_OBS_TRACE_H_
 #define SAPLA_OBS_TRACE_H_
 
-// Lightweight scoped tracing spans ("where did the microseconds go").
+// Lightweight scoped tracing spans ("where did the microseconds go") with
+// request-scoped context stitching.
 //
 // SAPLA_TRACE_SPAN("knn/query") opens a span that closes when the enclosing
 // scope exits. Completed spans are appended to a per-thread buffer (one
@@ -10,14 +11,32 @@
 // whole recording can be exported as Chrome trace-event JSON
 // (chrome://tracing or https://ui.perfetto.dev load the file directly).
 //
+// Request-scoped stitching: a TraceContext (trace id + current span id +
+// sampling decision) is minted once per logical request (QueryService
+// admission, or RetryingClient for hedged/retried requests) and installed on
+// whichever thread is doing that request's work via TraceContextScope.
+// Every span opened under a sampled context records the context's trace id,
+// a fresh process-unique span id, and its parent's span id — so all spans
+// of one request, across the admission thread, the scheduler, the batch
+// pool workers, the shard-scatter workers and hedge duplicates, stitch into
+// one tree. ParallelFor forwards the calling thread's context into its
+// chunk workers automatically; every other thread hop passes the context
+// explicitly. The Chrome export emits flow events ("s"/"f") binding each
+// cross-thread parent→child edge so the viewer draws the request as one
+// connected graph.
+//
 // Cost model, hot path:
-//   SAPLA_OBS=OFF (CMake)   the macro expands to nothing — zero cost.
+//   SAPLA_OBS=OFF (CMake)   the span macro expands to nothing — zero cost
+//                           at every span site. The context helpers remain
+//                           (trace ids still stitch slow-query records) but
+//                           no span is ever recorded.
 //   compiled in, disabled   one relaxed atomic load per span (the default;
 //                           bench_serve_throughput guards the <= 5% budget).
-//   enabled                 one clock read + buffer append per span. Spans
-//                           are placed per query / per batch / per chunk,
-//                           never per entry, so the recording overhead stays
-//                           far below the work it measures.
+//   enabled, unsampled      the relaxed load plus one thread-local read; no
+//                           span-id allocation.
+//   enabled, sampled        one clock read + span-id increment + buffer
+//                           append per span. Spans are placed per query /
+//                           per batch / per chunk, never per entry.
 //
 // Recording is bounded: each thread keeps at most kMaxEventsPerThread
 // completed spans and counts everything beyond that in DroppedEvents()
@@ -32,16 +51,41 @@
 namespace sapla {
 namespace obs {
 
+/// Request annotations carried by a TraceContext (bitmask). Set by the
+/// retry layer so the slow-query log can attribute an attempt even when
+/// tracing itself is off.
+constexpr uint32_t kTraceFlagRetry = 1u << 0;  ///< a retry, not the first try
+constexpr uint32_t kTraceFlagHedge = 1u << 1;  ///< a speculative duplicate
+
+/// \brief Identity of one logical request's trace.
+///
+/// `trace_id` groups every span of the request; `span_id` is the innermost
+/// open sampled span on the owning thread (0 = root level — the next span
+/// opened becomes a root of the tree); `sampled` gates span-id allocation.
+/// Plain value type: copy it across thread hops and reinstall with
+/// TraceContextScope.
+struct TraceContext {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint32_t flags = 0;
+  bool sampled = false;
+};
+
 /// One completed span. `start_us`/`dur_us` are microseconds relative to the
 /// process trace epoch (first trace use); `tid` is a small stable id
 /// assigned per thread in registration order; `depth` is the span's nesting
-/// level on its thread (0 = outermost) at the time it opened.
+/// level on its thread (0 = outermost) at the time it opened. `trace_id` /
+/// `span_id` / `parent_span_id` are 0 for spans recorded outside any
+/// sampled request context.
 struct TraceEvent {
   const char* name = nullptr;
   uint64_t start_us = 0;
   uint64_t dur_us = 0;
   uint32_t tid = 0;
   uint32_t depth = 0;
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;
 };
 
 /// Turns span recording on/off at runtime (off by default). Spans opened
@@ -62,10 +106,47 @@ std::vector<TraceEvent> CollectTrace();
 /// Spans not recorded because a thread buffer was full.
 uint64_t TraceDroppedEvents();
 
+/// Mints a fresh trace identity for one logical request: a process-unique
+/// trace id, root span level, sampled. When tracing is disabled (one
+/// relaxed atomic load) it returns a default (unsampled) context and
+/// allocates nothing.
+TraceContext MintTraceContext();
+
+/// The calling thread's ambient context ({} when none is installed).
+/// `span_id` tracks the innermost open sampled span, so capturing the
+/// current context inside a span and reinstalling it on another thread
+/// parents that thread's spans under this one.
+TraceContext CurrentTraceContext();
+
+/// \brief RAII installation of a TraceContext on the current thread.
+///
+/// Saves the ambient context, installs `ctx`, restores on destruction.
+/// Install at every explicit thread hop: the scheduler binding a request's
+/// context before executing it, a hedge issue, an ingest writer. (ParallelFor
+/// does this automatically for its chunk workers.)
+class TraceContextScope {
+ public:
+  explicit TraceContextScope(const TraceContext& ctx);
+  ~TraceContextScope();
+
+  TraceContextScope(const TraceContextScope&) = delete;
+  TraceContextScope& operator=(const TraceContextScope&) = delete;
+
+ private:
+  TraceContext saved_;
+};
+
 /// Chrome trace-event JSON ({"traceEvents": [...]}, "X" complete events).
+/// Spans carrying a trace id get args {trace, span, parent}, and every
+/// parent→child edge whose two spans live on different threads additionally
+/// emits a flow-event pair ("s" on the parent slice, "f" bound to the start
+/// of the child) so the viewer stitches the cross-thread tree.
 std::string TraceToChromeJson();
 
-/// Writes TraceToChromeJson() to `path`. Returns false on I/O failure.
+/// Writes TraceToChromeJson() to `path`. The file is staged as
+/// `path + ".tmp"` and atomically renamed into place, so an interrupt
+/// (SIGINT mid-write) can never leave a truncated JSON array at `path`.
+/// Returns false on I/O failure.
 bool WriteChromeTrace(const std::string& path);
 
 /// \brief RAII span; prefer the SAPLA_TRACE_SPAN macro.
@@ -82,6 +163,9 @@ class ScopedSpan {
  private:
   const char* name_;
   uint64_t start_us_ = 0;
+  uint64_t trace_id_ = 0;
+  uint64_t span_id_ = 0;         // 0 = not under a sampled context
+  uint64_t parent_span_id_ = 0;
   bool active_ = false;
 };
 

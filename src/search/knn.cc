@@ -1,6 +1,7 @@
 #include "search/knn.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <queue>
@@ -363,6 +364,9 @@ KnnResult SimilarityIndex::RangeSearchLowerBound(
   return result;
 }
 
+// Batch workers re-bind the per-request context (options.trace_of) before
+// searching: the batch mixes requests from many clients, and each query's
+// spans must stitch into its own submitter's trace tree.
 std::vector<KnnResult> SimilarityIndex::KnnBatch(
     const std::vector<std::vector<double>>& queries, size_t k,
     const BatchOptions& options) const {
@@ -371,7 +375,17 @@ std::vector<KnnResult> SimilarityIndex::KnnBatch(
       0, queries.size(),
       [&](size_t i) {
         if (options.cancel && options.cancel(i)) return;
-        results[i] = Knn(queries[i], k);
+        const obs::TraceContext ctx = options.trace_of
+                                          ? options.trace_of(i)
+                                          : obs::CurrentTraceContext();
+        obs::TraceContextScope trace_scope(ctx);
+        SAPLA_TRACE_SPAN("batch/query");
+        if (obs::QueryExplain* explain =
+                options.explain_of ? options.explain_of(i) : nullptr) {
+          results[i] = KnnExplain(queries[i], k, explain);
+        } else {
+          results[i] = Knn(queries[i], k);
+        }
       },
       options.num_threads);
   return results;
@@ -385,7 +399,32 @@ std::vector<KnnResult> SimilarityIndex::RangeSearchBatch(
       0, queries.size(),
       [&](size_t i) {
         if (options.cancel && options.cancel(i)) return;
+        const obs::TraceContext ctx = options.trace_of
+                                          ? options.trace_of(i)
+                                          : obs::CurrentTraceContext();
+        obs::TraceContextScope trace_scope(ctx);
+        SAPLA_TRACE_SPAN("batch/query");
+        obs::QueryExplain* explain =
+            options.explain_of ? options.explain_of(i) : nullptr;
+        const auto t0 = std::chrono::steady_clock::now();
         results[i] = RangeSearch(queries[i], radius);
+        if (explain != nullptr) {
+          const uint64_t dur_us = static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count());
+          explain->trace_id = ctx.trace_id;
+          explain->total_us = dur_us;
+          explain->approximate = results[i].approximate;
+          explain->counters = results[i].counters;
+          explain->stages.push_back({"search", dur_us});
+          obs::ShardExplain part;
+          part.part = "index";
+          part.dur_us = dur_us;
+          part.results = results[i].neighbors.size();
+          part.counters = results[i].counters;
+          explain->parts.push_back(std::move(part));
+        }
       },
       options.num_threads);
   return results;

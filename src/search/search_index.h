@@ -19,6 +19,7 @@
 //    (ShardedIndex additionally supports live swaps — see its header for
 //    the publication protocol that preserves this guarantee per query.)
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -26,6 +27,8 @@
 
 #include "index/index_backend.h"
 #include "obs/counters.h"
+#include "obs/explain.h"
+#include "obs/trace.h"
 #include "reduction/representation.h"
 
 namespace sapla {
@@ -60,6 +63,17 @@ struct SearchBatchOptions {
   /// serving layer uses this to drop requests whose deadline passed
   /// while the batch was queued.
   std::function<bool(size_t)> cancel;
+  /// Request-scoped trace context for query i (obs/trace.h): when set, the
+  /// worker executing query i installs it before searching, so per-query
+  /// spans stitch into the submitting request's trace tree instead of the
+  /// batch thread's ambient context. Must be thread-safe.
+  std::function<obs::TraceContext(size_t)> trace_of;
+  /// Explain sink for query i: when set and non-null for i, the worker
+  /// fills the per-part / per-stage breakdown (obs/explain.h) alongside the
+  /// normal result. The pointed-to QueryExplain must outlive the batch
+  /// call; each index is written by exactly one worker. Must be
+  /// thread-safe.
+  std::function<obs::QueryExplain*(size_t)> explain_of;
 };
 
 /// Health of one shard as seen by the scatter layer. Mirrors the serving
@@ -99,6 +113,35 @@ class SearchIndex {
   virtual KnnResult KnnLowerBound(const std::vector<double>& query,
                                   size_t k) const = 0;
 
+  /// Knn plus a per-part / per-stage breakdown into `*explain` (never
+  /// null). The base implementation attributes everything to one "index"
+  /// part; ShardedIndex and IngestController override it with the real
+  /// per-shard / per-generation attribution. Post-condition everywhere:
+  /// the part counters sum exactly to explain->counters, which equal the
+  /// returned result's counters.
+  virtual KnnResult KnnExplain(const std::vector<double>& query, size_t k,
+                               obs::QueryExplain* explain) const {
+    const auto t0 = std::chrono::steady_clock::now();
+    KnnResult result = Knn(query, k);
+    const uint64_t dur_us = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    explain->trace_id = obs::CurrentTraceContext().trace_id;
+    explain->total_us = dur_us;
+    explain->approximate = result.approximate;
+    explain->counters = result.counters;
+    explain->stages.push_back({"search", dur_us});
+    obs::ShardExplain part;
+    part.part = "index";
+    part.health = static_cast<int>(shard_health(0));
+    part.dur_us = dur_us;
+    part.results = result.neighbors.size();
+    part.counters = result.counters;
+    explain->parts.push_back(std::move(part));
+    return result;
+  }
+
   /// GEMINI epsilon-range query: exact distances <= radius, ascending.
   virtual KnnResult RangeSearch(const std::vector<double>& query,
                                 double radius) const = 0;
@@ -125,12 +168,16 @@ class SearchIndex {
   std::vector<KnnResult> KnnBatch(
       const std::vector<std::vector<double>>& queries, size_t k,
       size_t num_threads = 0) const {
-    return KnnBatch(queries, k, BatchOptions{num_threads, nullptr});
+    BatchOptions options;
+    options.num_threads = num_threads;
+    return KnnBatch(queries, k, options);
   }
   std::vector<KnnResult> RangeSearchBatch(
       const std::vector<std::vector<double>>& queries, double radius,
       size_t num_threads = 0) const {
-    return RangeSearchBatch(queries, radius, BatchOptions{num_threads, nullptr});
+    BatchOptions options;
+    options.num_threads = num_threads;
+    return RangeSearchBatch(queries, radius, options);
   }
 
   virtual Method method() const = 0;

@@ -1,6 +1,7 @@
 #include "search/sharded_index.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "obs/trace.h"
@@ -17,6 +18,15 @@ uint64_t Mix64(uint64_t x) {
   x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
   x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
   return x ^ (x >> 31);
+}
+
+using SteadyClock = std::chrono::steady_clock;
+
+uint64_t ElapsedUs(SteadyClock::time_point since) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          SteadyClock::now() - since)
+          .count());
 }
 
 }  // namespace
@@ -210,29 +220,74 @@ std::vector<ShardedIndex::Pinned> ShardedIndex::PinShards() const {
 // subsets, so the merge reproduces the single-index answer.
 KnnResult ShardedIndex::Knn(const std::vector<double>& query,
                             size_t k) const {
+  return KnnWithExplain(query, k, nullptr);
+}
+
+KnnResult ShardedIndex::KnnExplain(const std::vector<double>& query, size_t k,
+                                   obs::QueryExplain* explain) const {
+  return KnnWithExplain(query, k, explain);
+}
+
+KnnResult ShardedIndex::KnnWithExplain(const std::vector<double>& query,
+                                       size_t k,
+                                       obs::QueryExplain* explain) const {
   SAPLA_TRACE_SPAN("shard/knn");
+  const auto t0 = SteadyClock::now();
   const std::vector<Pinned> pins = PinShards();
   std::vector<KnnResult> parts(pins.size());
+  std::vector<uint64_t> part_us(explain == nullptr ? 0 : pins.size(), 0);
   bool approximate = false;
   for (const Pinned& p : pins)
     if (p.health != ShardHealth::kHealthy) approximate = true;
-  ParallelFor(0, pins.size(), [&](size_t s) {
-    const Pinned& p = pins[s];
-    if (p.health == ShardHealth::kUnhealthy) return;
-    parts[s] = p.health == ShardHealth::kDegraded
-                   ? p.gen->index->KnnLowerBound(query, k)
-                   : p.gen->index->Knn(query, k);
-  });
-  KnnResult out;
-  for (size_t s = 0; s < pins.size(); ++s) {
-    for (const auto& [dist, id] : parts[s].neighbors)
-      out.neighbors.emplace_back(dist, id + pins[s].lo);
-    out.num_measured += parts[s].num_measured;
-    out.counters.Add(parts[s].counters);
+  uint64_t scatter_us = 0;
+  {
+    SAPLA_TRACE_SPAN("shard/scatter");
+    const auto s0 = SteadyClock::now();
+    ParallelFor(0, pins.size(), [&](size_t s) {
+      SAPLA_TRACE_SPAN("shard/search");
+      const Pinned& p = pins[s];
+      if (p.health == ShardHealth::kUnhealthy) return;
+      const auto w0 = SteadyClock::now();
+      parts[s] = p.health == ShardHealth::kDegraded
+                     ? p.gen->index->KnnLowerBound(query, k)
+                     : p.gen->index->Knn(query, k);
+      if (explain != nullptr) part_us[s] = ElapsedUs(w0);
+    });
+    scatter_us = ElapsedUs(s0);
   }
-  std::sort(out.neighbors.begin(), out.neighbors.end());
-  if (out.neighbors.size() > k) out.neighbors.resize(k);
+  KnnResult out;
+  uint64_t merge_us = 0;
+  {
+    SAPLA_TRACE_SPAN("shard/merge");
+    const auto m0 = SteadyClock::now();
+    for (size_t s = 0; s < pins.size(); ++s) {
+      for (const auto& [dist, id] : parts[s].neighbors)
+        out.neighbors.emplace_back(dist, id + pins[s].lo);
+      out.num_measured += parts[s].num_measured;
+      out.counters.Add(parts[s].counters);
+    }
+    std::sort(out.neighbors.begin(), out.neighbors.end());
+    if (out.neighbors.size() > k) out.neighbors.resize(k);
+    merge_us = ElapsedUs(m0);
+  }
   out.approximate = approximate;
+  if (explain != nullptr) {
+    explain->trace_id = obs::CurrentTraceContext().trace_id;
+    explain->total_us = ElapsedUs(t0);
+    explain->approximate = out.approximate;
+    explain->counters = out.counters;
+    explain->stages.push_back({"scatter", scatter_us});
+    explain->stages.push_back({"merge", merge_us});
+    for (size_t s = 0; s < pins.size(); ++s) {
+      obs::ShardExplain part;
+      part.part = "shard" + std::to_string(s);
+      part.health = static_cast<int>(pins[s].health);
+      part.dur_us = part_us[s];
+      part.results = parts[s].neighbors.size();
+      part.counters = parts[s].counters;
+      explain->parts.push_back(std::move(part));
+    }
+  }
   return out;
 }
 
@@ -265,28 +320,68 @@ KnnResult ShardedIndex::KnnLowerBound(const std::vector<double>& query,
 
 KnnResult ShardedIndex::RangeSearch(const std::vector<double>& query,
                                     double radius) const {
+  return RangeSearchWithExplain(query, radius, nullptr);
+}
+
+KnnResult ShardedIndex::RangeSearchWithExplain(
+    const std::vector<double>& query, double radius,
+    obs::QueryExplain* explain) const {
   SAPLA_TRACE_SPAN("shard/range");
+  const auto t0 = SteadyClock::now();
   const std::vector<Pinned> pins = PinShards();
   std::vector<KnnResult> parts(pins.size());
+  std::vector<uint64_t> part_us(explain == nullptr ? 0 : pins.size(), 0);
   bool approximate = false;
   for (const Pinned& p : pins)
     if (p.health != ShardHealth::kHealthy) approximate = true;
-  ParallelFor(0, pins.size(), [&](size_t s) {
-    const Pinned& p = pins[s];
-    if (p.health == ShardHealth::kUnhealthy) return;
-    parts[s] = p.health == ShardHealth::kDegraded
-                   ? p.gen->index->RangeSearchLowerBound(query, radius)
-                   : p.gen->index->RangeSearch(query, radius);
-  });
-  KnnResult out;
-  for (size_t s = 0; s < pins.size(); ++s) {
-    for (const auto& [dist, id] : parts[s].neighbors)
-      out.neighbors.emplace_back(dist, id + pins[s].lo);
-    out.num_measured += parts[s].num_measured;
-    out.counters.Add(parts[s].counters);
+  uint64_t scatter_us = 0;
+  {
+    SAPLA_TRACE_SPAN("shard/scatter");
+    const auto s0 = SteadyClock::now();
+    ParallelFor(0, pins.size(), [&](size_t s) {
+      SAPLA_TRACE_SPAN("shard/search");
+      const Pinned& p = pins[s];
+      if (p.health == ShardHealth::kUnhealthy) return;
+      const auto w0 = SteadyClock::now();
+      parts[s] = p.health == ShardHealth::kDegraded
+                     ? p.gen->index->RangeSearchLowerBound(query, radius)
+                     : p.gen->index->RangeSearch(query, radius);
+      if (explain != nullptr) part_us[s] = ElapsedUs(w0);
+    });
+    scatter_us = ElapsedUs(s0);
   }
-  std::sort(out.neighbors.begin(), out.neighbors.end());
+  KnnResult out;
+  uint64_t merge_us = 0;
+  {
+    SAPLA_TRACE_SPAN("shard/merge");
+    const auto m0 = SteadyClock::now();
+    for (size_t s = 0; s < pins.size(); ++s) {
+      for (const auto& [dist, id] : parts[s].neighbors)
+        out.neighbors.emplace_back(dist, id + pins[s].lo);
+      out.num_measured += parts[s].num_measured;
+      out.counters.Add(parts[s].counters);
+    }
+    std::sort(out.neighbors.begin(), out.neighbors.end());
+    merge_us = ElapsedUs(m0);
+  }
   out.approximate = approximate;
+  if (explain != nullptr) {
+    explain->trace_id = obs::CurrentTraceContext().trace_id;
+    explain->total_us = ElapsedUs(t0);
+    explain->approximate = out.approximate;
+    explain->counters = out.counters;
+    explain->stages.push_back({"scatter", scatter_us});
+    explain->stages.push_back({"merge", merge_us});
+    for (size_t s = 0; s < pins.size(); ++s) {
+      obs::ShardExplain part;
+      part.part = "shard" + std::to_string(s);
+      part.health = static_cast<int>(pins[s].health);
+      part.dur_us = part_us[s];
+      part.results = parts[s].neighbors.size();
+      part.counters = parts[s].counters;
+      explain->parts.push_back(std::move(part));
+    }
+  }
   return out;
 }
 
@@ -316,6 +411,9 @@ KnnResult ShardedIndex::RangeSearchLowerBound(const std::vector<double>& query,
   return out;
 }
 
+// Batch workers re-bind the per-request context before touching the index:
+// the batch groups requests from many clients, so the worker's ambient
+// context (the scheduler's) is the wrong tree for every one of them.
 std::vector<KnnResult> ShardedIndex::KnnBatch(
     const std::vector<std::vector<double>>& queries, size_t k,
     const BatchOptions& options) const {
@@ -324,7 +422,14 @@ std::vector<KnnResult> ShardedIndex::KnnBatch(
       0, queries.size(),
       [&](size_t i) {
         if (options.cancel && options.cancel(i)) return;
-        results[i] = Knn(queries[i], k);
+        const obs::TraceContext ctx = options.trace_of
+                                          ? options.trace_of(i)
+                                          : obs::CurrentTraceContext();
+        obs::TraceContextScope trace_scope(ctx);
+        SAPLA_TRACE_SPAN("batch/query");
+        obs::QueryExplain* explain =
+            options.explain_of ? options.explain_of(i) : nullptr;
+        results[i] = KnnWithExplain(queries[i], k, explain);
       },
       options.num_threads);
   return results;
@@ -338,7 +443,14 @@ std::vector<KnnResult> ShardedIndex::RangeSearchBatch(
       0, queries.size(),
       [&](size_t i) {
         if (options.cancel && options.cancel(i)) return;
-        results[i] = RangeSearch(queries[i], radius);
+        const obs::TraceContext ctx = options.trace_of
+                                          ? options.trace_of(i)
+                                          : obs::CurrentTraceContext();
+        obs::TraceContextScope trace_scope(ctx);
+        SAPLA_TRACE_SPAN("batch/query");
+        obs::QueryExplain* explain =
+            options.explain_of ? options.explain_of(i) : nullptr;
+        results[i] = RangeSearchWithExplain(queries[i], radius, explain);
       },
       options.num_threads);
   return results;

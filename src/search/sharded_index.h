@@ -117,6 +117,12 @@ class ShardedIndex : public SearchIndex {
   // SearchIndex interface. Queries pin every shard's generation once at
   // entry; merged answers are deterministic as documented above.
   KnnResult Knn(const std::vector<double>& query, size_t k) const override;
+  /// Knn plus the real per-shard attribution (obs/explain.h): one part per
+  /// shard with its health, wall time, contributed neighbors and counters,
+  /// plus scatter/merge stage timings. The part counters sum exactly to the
+  /// merged counters — the merge already computes that sum.
+  KnnResult KnnExplain(const std::vector<double>& query, size_t k,
+                       obs::QueryExplain* explain) const override;
   KnnResult KnnLowerBound(const std::vector<double>& query,
                           size_t k) const override;
   KnnResult RangeSearch(const std::vector<double>& query,
@@ -171,6 +177,14 @@ class ShardedIndex : public SearchIndex {
   };
 
   std::vector<Pinned> PinShards() const;
+  /// Shared Knn body: scatter, per-shard search, merge; fills `*explain`
+  /// (when non-null) from the same per-shard results it merges.
+  KnnResult KnnWithExplain(const std::vector<double>& query, size_t k,
+                           obs::QueryExplain* explain) const;
+  /// Shared RangeSearch body, same explain contract.
+  KnnResult RangeSearchWithExplain(const std::vector<double>& query,
+                                   double radius,
+                                   obs::QueryExplain* explain) const;
   /// Shared Build/Restore body: partitions, then builds each shard or
   /// loads it from `snapshot_prefix` (empty = build).
   Status InitShards(const Dataset& dataset,

@@ -5,6 +5,8 @@
 #include <unordered_map>
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace sapla {
 namespace {
 
@@ -67,6 +69,7 @@ ResultCache::~ResultCache() = default;
 
 bool ResultCache::Lookup(const ResultCacheKey& key, KnnResult* out) {
   if (capacity_ == 0) return false;
+  SAPLA_TRACE_SPAN("cache/lookup");
   const uint64_t hash = key.Hash();
   Shard& shard = *shards_[hash % shards_.size()];
   std::lock_guard<std::mutex> lock(shard.mu);
@@ -79,6 +82,7 @@ bool ResultCache::Lookup(const ResultCacheKey& key, KnnResult* out) {
 
 void ResultCache::Insert(const ResultCacheKey& key, const KnnResult& result) {
   if (capacity_ == 0) return;
+  SAPLA_TRACE_SPAN("cache/insert");
   const uint64_t hash = key.Hash();
   Shard& shard = *shards_[hash % shards_.size()];
   std::lock_guard<std::mutex> lock(shard.mu);

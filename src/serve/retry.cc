@@ -6,6 +6,8 @@
 #include <future>
 #include <thread>
 
+#include "obs/trace.h"
+
 namespace sapla {
 namespace {
 
@@ -130,7 +132,18 @@ ServeResponse RetryingClient::Await(Issue& issue,
     // kDeadlineExceeded inside the service rather than "no deadline").
     hedge_deadline_us = elapsed >= deadline_us ? 1 : deadline_us - elapsed;
   }
-  std::future<ServeResponse> hedge = issue(hedge_deadline_us);
+  std::future<ServeResponse> hedge;
+  {
+    // The hedge is the same logical request: it inherits the ambient trace
+    // context (same trace id) and additionally carries the hedge flag, so
+    // its admission — and its slow-query record, even unsampled — is
+    // attributable as a speculative duplicate.
+    obs::TraceContext hedge_ctx = obs::CurrentTraceContext();
+    hedge_ctx.flags |= obs::kTraceFlagHedge;
+    obs::TraceContextScope hedge_scope(hedge_ctx);
+    SAPLA_TRACE_SPAN("retry/hedge");
+    hedge = issue(hedge_deadline_us);
+  }
 
   // First OK wins; ties and double failures resolve to the primary so the
   // outcome is deterministic given the two responses. The loser's future is
@@ -165,6 +178,15 @@ template <typename Issue>
 ServeResponse RetryingClient::Run(Issue issue, uint64_t deadline_us,
                                   uint64_t request_id) {
   const Clock::time_point start = Clock::now();
+  // One logical request = one trace. Mint the identity here (when the
+  // caller did not already install one) so every attempt and hedge of this
+  // request shares the trace id instead of each admission minting its own.
+  obs::TraceContext ctx = obs::CurrentTraceContext();
+  if (!ctx.sampled) {
+    const uint32_t flags = ctx.flags;
+    ctx = obs::MintTraceContext();  // unsampled no-op while tracing is off
+    ctx.flags |= flags;
+  }
   for (uint32_t attempt = 1;; ++attempt) {
     stats_.attempts.fetch_add(1);
     // Each attempt gets the *remaining* allowance, so the service-side
@@ -181,8 +203,17 @@ ServeResponse RetryingClient::Run(Issue issue, uint64_t deadline_us,
       }
       attempt_deadline_us = deadline_us - elapsed;
     }
-    ServeResponse response =
-        Await(issue, issue(attempt_deadline_us), start, deadline_us);
+    ServeResponse response;
+    {
+      // Re-tries carry the retry flag; the first attempt runs under the
+      // plain logical-request context. Await runs inside the scope so the
+      // hedge it may launch inherits this attempt's context.
+      obs::TraceContext attempt_ctx = ctx;
+      if (attempt > 1) attempt_ctx.flags |= obs::kTraceFlagRetry;
+      obs::TraceContextScope attempt_scope(attempt_ctx);
+      SAPLA_TRACE_SPAN("retry/attempt");
+      response = Await(issue, issue(attempt_deadline_us), start, deadline_us);
+    }
     if (response.status.ok()) {
       if (budget_ != nullptr) budget_->RecordSuccess();
       return response;

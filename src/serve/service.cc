@@ -62,6 +62,18 @@ struct QueryService::Request {
   /// deadline passes after grouping but before execution.
   std::atomic<bool> expired_mid_batch{false};
 
+  /// Request-scoped trace context, fixed at admission (adopted from the
+  /// caller or minted per ServeOptions::trace_sample_every). The batch
+  /// worker that executes this request re-installs it, so every span the
+  /// request touches — on the client thread, the scheduler, or a pool
+  /// worker — carries one trace id.
+  obs::TraceContext trace;
+  /// Fill `explain` during execution (set when slow-query logging is on —
+  /// tail sampling can only decide after the fact, so the breakdown must
+  /// be collected up front).
+  bool want_explain = false;
+  obs::QueryExplain explain;
+
   std::promise<ServeResponse> promise;
 
   bool DeadlinePassed(Clock::time_point now) const {
@@ -74,7 +86,10 @@ QueryService::QueryService(const SearchIndex& index,
     : index_(index),
       options_(options),
       cache_(options.cache_capacity, options.cache_shards),
+      slow_log_(options.slow_log_capacity),
       queue_(options.queue_capacity) {
+  metrics_.window_total_us.Configure(options_.window_us);
+  metrics_.window_exec_us.Configure(options_.window_us);
   heartbeat_us_.store(NowUs());
   RefreshShardGauges();
   scheduler_ = std::thread([this] { SchedulerLoop(); });
@@ -220,6 +235,32 @@ std::future<ServeResponse> QueryService::Submit(
         std::to_string(index_.series_length())));
   }
 
+  // Trace-context admission: adopt the caller's sampled context (a retry
+  // layer or an upstream span), otherwise mint one per trace_sample_every.
+  // Flags (retry/hedge attribution) survive either way — they ride along
+  // even when tracing is off so slow-query records can still mark hedged
+  // duplicates. With tracing disabled this whole block is one relaxed
+  // atomic load (TraceEnabled) past the thread-local read.
+  request->trace = obs::CurrentTraceContext();
+  if (!request->trace.sampled && obs::TraceEnabled() &&
+      options_.trace_sample_every != 0 &&
+      admit_seq_.fetch_add(1, std::memory_order_relaxed) %
+              options_.trace_sample_every ==
+          0) {
+    const uint64_t flags = request->trace.flags;
+    request->trace = obs::MintTraceContext();
+    request->trace.flags = flags;
+  }
+  // The admit span roots the request's tree: everything below — cache
+  // lookup here, batch/query on a pool worker, per-shard search — becomes
+  // its descendant. Re-read the context afterwards so the admit span's id
+  // is the parent the batch workers stitch to.
+  obs::TraceContextScope admit_scope(request->trace);
+  SAPLA_TRACE_SPAN("serve/admit");
+  request->trace = obs::CurrentTraceContext();
+  request->want_explain =
+      options_.slow_query_us != 0 || options_.slow_query_lb_evals != 0;
+
   // Cache lookup at admission: hits bypass the queue entirely, so repeated
   // queries cost neither capacity nor batching delay.
   if (cache_.capacity() > 0) {
@@ -238,9 +279,12 @@ std::future<ServeResponse> QueryService::Submit(
       response.status = Status::OK();
       response.result = std::move(cached);
       response.cache_hit = true;
+      response.trace_id = request->trace.trace_id;
       response.total_us = ElapsedUs(request->admitted, Clock::now());
       metrics_.total_us.Record(response.total_us);
+      metrics_.window_total_us.Record(response.total_us);
       metrics_.completed_ok.fetch_add(1);
+      MaybeLogSlowQuery(*request, response, "ok", /*degraded=*/false);
       request->promise.set_value(std::move(response));
       return future;
     }
@@ -307,6 +351,8 @@ void QueryService::SchedulerLoop() {
 void QueryService::ResolveDegraded(Request* request) {
   // Lower-bound-only answer from the reduced representations: cheap,
   // deterministic, and independent of the (possibly stalled) scheduler.
+  obs::TraceContextScope trace_scope(request->trace);
+  SAPLA_TRACE_SPAN("serve/degraded");
   ServeResponse response;
   response.status = Status::OK();
   response.result = request->op == ServeOp::kKnn
@@ -316,14 +362,19 @@ void QueryService::ResolveDegraded(Request* request) {
   response.approximate = true;
   metrics_.degraded_served.fetch_add(1);
   metrics_.search.Add(response.result.counters, index_.dataset_size());
+  response.trace_id = request->trace.trace_id;
   response.total_us = ElapsedUs(request->admitted, Clock::now());
   metrics_.total_us.Record(response.total_us);
+  metrics_.window_total_us.Record(response.total_us);
   metrics_.completed_ok.fetch_add(1);
+  MaybeLogSlowQuery(*request, response, "ok", /*degraded=*/true);
   request->promise.set_value(std::move(response));
 }
 
 void QueryService::ResolveExpired(Request* request) {
   metrics_.deadline_exceeded.fetch_add(1);
+  obs::TraceContextScope trace_scope(request->trace);
+  SAPLA_TRACE_SPAN("serve/expired");
   ServeResponse response;
   response.status = Status::DeadlineExceeded("deadline passed before the "
                                              "request could be executed");
@@ -337,8 +388,12 @@ void QueryService::ResolveExpired(Request* request) {
     metrics_.degraded.fetch_add(1);
     metrics_.search.Add(response.result.counters, index_.dataset_size());
   }
+  response.trace_id = request->trace.trace_id;
   response.total_us = ElapsedUs(request->admitted, Clock::now());
   metrics_.total_us.Record(response.total_us);
+  metrics_.window_total_us.Record(response.total_us);
+  MaybeLogSlowQuery(*request, response, "deadline_exceeded",
+                    /*degraded=*/response.approximate);
   request->promise.set_value(std::move(response));
 }
 
@@ -372,6 +427,7 @@ void QueryService::Flush(std::vector<std::unique_ptr<Request>> batch) {
       response.queue_us = ElapsedUs(request->admitted, flush_start);
       response.total_us = ElapsedUs(request->admitted, Clock::now());
       metrics_.total_us.Record(response.total_us);
+      metrics_.window_total_us.Record(response.total_us);
       request->promise.set_value(std::move(response));
     }
     return;
@@ -415,6 +471,13 @@ void QueryService::Flush(std::vector<std::unique_ptr<Request>> batch) {
       }
       return false;
     };
+    // Stitch each query's execution back to its submitter: the worker
+    // installs the request's admission context (not the scheduler's) and
+    // fills the explain breakdown for requests that asked for one.
+    batch_options.trace_of = [&group](size_t i) { return group[i]->trace; };
+    batch_options.explain_of = [&group](size_t i) -> obs::QueryExplain* {
+      return group[i]->want_explain ? &group[i]->explain : nullptr;
+    };
 
     const Clock::time_point exec_start = Clock::now();
     std::vector<KnnResult> results;
@@ -438,6 +501,7 @@ void QueryService::Flush(std::vector<std::unique_ptr<Request>> batch) {
         response.queue_us = request->queue_us;
         response.total_us = ElapsedUs(request->admitted, Clock::now());
         metrics_.total_us.Record(response.total_us);
+        metrics_.window_total_us.Record(response.total_us);
         request->promise.set_value(std::move(response));
       }
       continue;
@@ -456,6 +520,7 @@ void QueryService::Flush(std::vector<std::unique_ptr<Request>> batch) {
     for (size_t i = 0; i < group.size(); ++i) {
       Request* request = group[i];
       metrics_.exec_us.Record(exec_us);
+      metrics_.window_exec_us.Record(exec_us);
       if (request->expired_mid_batch.load()) {
         ResolveExpired(request);
         continue;
@@ -480,12 +545,45 @@ void QueryService::Flush(std::vector<std::unique_ptr<Request>> batch) {
       response.approximate = results[i].approximate;
       response.result = std::move(results[i]);
       response.queue_us = request->queue_us;
+      response.trace_id = request->trace.trace_id;
       response.total_us = ElapsedUs(request->admitted, Clock::now());
       metrics_.total_us.Record(response.total_us);
+      metrics_.window_total_us.Record(response.total_us);
       metrics_.completed_ok.fetch_add(1);
+      MaybeLogSlowQuery(*request, response, "ok", /*degraded=*/false);
       request->promise.set_value(std::move(response));
     }
   }
+}
+
+void QueryService::MaybeLogSlowQuery(const Request& request,
+                                     const ServeResponse& response,
+                                     const char* status_name, bool degraded) {
+  const bool by_time = options_.slow_query_us != 0 &&
+                       response.total_us >= options_.slow_query_us;
+  const bool by_work =
+      options_.slow_query_lb_evals != 0 &&
+      response.result.counters.lb_evaluations >= options_.slow_query_lb_evals;
+  if (!by_time && !by_work) return;
+  obs::SlowQueryRecord record;
+  record.trace_id = request.trace.trace_id;
+  record.op = request.op == ServeOp::kKnn ? "knn" : "range";
+  record.k = request.k;
+  record.radius = request.radius;
+  record.status = status_name;
+  record.cache_hit = response.cache_hit;
+  record.approximate = response.approximate;
+  record.degraded = degraded;
+  record.retry = (request.trace.flags & obs::kTraceFlagRetry) != 0;
+  record.hedge = (request.trace.flags & obs::kTraceFlagHedge) != 0;
+  record.queue_us = response.queue_us;
+  // The explain's wall time is the request's index-execution time (zero
+  // for cache hits and inline degraded answers, which never executed).
+  record.exec_us = request.explain.total_us;
+  record.total_us = response.total_us;
+  record.explain = request.explain;
+  metrics_.slow_queries.fetch_add(1);
+  slow_log_.Add(obs::SlowQueryRecordToJson(record));
 }
 
 }  // namespace sapla

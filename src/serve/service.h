@@ -63,6 +63,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/explain.h"
 #include "obs/metrics.h"
 #include "search/search_index.h"
 #include "serve/result_cache.h"
@@ -114,6 +115,26 @@ struct ServeOptions {
   uint64_t flush_failures_degraded = 3;
   /// Consecutive flush failures that flip health to unhealthy (0 = never).
   uint64_t flush_failures_unhealthy = 10;
+
+  // ---- Observability (docs/OBSERVABILITY.md).
+
+  /// Tail-sampled slow-query log: a request whose total latency reaches
+  /// this (µs) dumps a structured explain record into slow_query_log().
+  /// 0 disables the latency trigger.
+  uint64_t slow_query_us = 0;
+  /// Work-based trigger: a request whose lower-bound evaluation count
+  /// reaches this is logged even when it was fast (it burned corpus scans
+  /// the latency histogram hides under parallelism). 0 disables.
+  uint64_t slow_query_lb_evals = 0;
+  /// Retained slow-query records (oldest evicted beyond this).
+  size_t slow_log_capacity = 128;
+  /// With tracing enabled (obs::SetTraceEnabled), mint a trace context for
+  /// every Nth admitted request that arrives without one; 1 samples every
+  /// request, 0 never mints (only propagates caller-supplied contexts).
+  uint64_t trace_sample_every = 1;
+  /// Sliding window for the live tail-latency gauges
+  /// (window_total_us / window_exec_us in obs/metrics.h).
+  uint64_t window_us = 60'000'000;
 };
 
 /// \brief One request's outcome.
@@ -130,6 +151,10 @@ struct ServeResponse {
   uint64_t queue_us = 0;
   /// Admission -> response resolution (µs).
   uint64_t total_us = 0;
+  /// Trace id the request ran under (0 when unsampled): joins this
+  /// response to its span tree in a Chrome trace export and to its
+  /// slow-query record.
+  uint64_t trace_id = 0;
 };
 
 /// \brief Thread-safe micro-batching query service over one index.
@@ -188,6 +213,10 @@ class QueryService {
     return SnapshotMetrics(metrics_);
   }
 
+  /// Tail-sampled slow-query records (see ServeOptions::slow_query_us /
+  /// slow_query_lb_evals). Thread-safe.
+  const obs::SlowQueryLog& slow_query_log() const { return slow_log_; }
+
   const ServeOptions& options() const { return options_; }
 
  private:
@@ -200,6 +229,13 @@ class QueryService {
   /// Answers one request inline from the reduced representations only
   /// (degraded path; no scheduler involvement).
   void ResolveDegraded(Request* request);
+  /// Tail sampling: renders a slow-query record when the finished request
+  /// crossed a configured threshold. `status_name` is the response status
+  /// ("ok", "deadline_exceeded", ...); `degraded` marks degradation-path
+  /// answers.
+  void MaybeLogSlowQuery(const Request& request,
+                         const ServeResponse& response,
+                         const char* status_name, bool degraded);
   void WatchdogLoop();
   /// Stamps the scheduler heartbeat with "now".
   void Beat();
@@ -214,8 +250,11 @@ class QueryService {
 
   mutable ServeMetrics metrics_;
   ResultCache cache_;
+  obs::SlowQueryLog slow_log_;
   BoundedQueue<std::unique_ptr<Request>> queue_;
   std::atomic<bool> stopped_{false};
+  /// Admission counter driving ServeOptions::trace_sample_every.
+  std::atomic<uint64_t> admit_seq_{0};
 
   /// Degradation-ladder state. `heartbeat_us_` is the scheduler's last
   /// sign of life (steady-clock µs); the watchdog compares it against the

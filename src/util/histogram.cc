@@ -1,6 +1,7 @@
 #include "util/histogram.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 
@@ -120,6 +121,58 @@ void Histogram::Reset() {
   for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
   sum_.store(0, std::memory_order_relaxed);
   max_.store(0, std::memory_order_relaxed);
+}
+
+WindowedHistogram::WindowedHistogram(uint64_t window_us) {
+  Configure(window_us);
+}
+
+void WindowedHistogram::Configure(uint64_t window_us) {
+  if (window_us == 0) window_us = 60'000'000;
+  slot_us_ = std::max<uint64_t>(1, window_us / kSlots);
+}
+
+uint64_t WindowedHistogram::SteadyNowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void WindowedHistogram::Record(uint64_t value) {
+  RecordAt(value, SteadyNowUs());
+}
+
+void WindowedHistogram::RecordAt(uint64_t value, uint64_t now_us) {
+  const uint64_t epoch = now_us / slot_us_;
+  Slot& slot = slots_[epoch % kSlots];
+  if (slot.epoch.load(std::memory_order_acquire) != epoch) {
+    // First write into this slot's new occupancy: drop the samples it held
+    // a full window ago. The mutex only serializes the reset; once the
+    // epoch tag is published, concurrent writers take the fast path.
+    std::lock_guard<std::mutex> lock(slot.rotate_mu);
+    if (slot.epoch.load(std::memory_order_relaxed) != epoch) {
+      slot.hist.Reset();
+      slot.epoch.store(epoch, std::memory_order_release);
+    }
+  }
+  slot.hist.Record(value);
+}
+
+void WindowedHistogram::MergeInto(Histogram* out) const {
+  MergeIntoAt(out, SteadyNowUs());
+}
+
+void WindowedHistogram::MergeIntoAt(Histogram* out, uint64_t now_us) const {
+  const uint64_t epoch = now_us / slot_us_;
+  for (const Slot& slot : slots_) {
+    const uint64_t e = slot.epoch.load(std::memory_order_acquire);
+    // Live = stamped within the last full ring revolution. Anything older
+    // belongs to a previous window and is skipped (it will be reset by the
+    // next writer to land in that slot).
+    if (e == kIdle || e + kSlots <= epoch) continue;
+    out->Merge(slot.hist);
+  }
 }
 
 }  // namespace sapla

@@ -17,6 +17,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 
 namespace sapla {
 
@@ -75,6 +76,65 @@ class Histogram {
   std::array<std::atomic<uint64_t>, kNumBuckets> counts_;
   std::atomic<uint64_t> sum_{0};
   std::atomic<uint64_t> max_{0};
+};
+
+/// \brief Sliding-window histogram: a time-decaying ring of Histograms.
+///
+/// The window is split into kSlots equal time slots. Record lands in the
+/// slot owning "now"; a slot is reset the first time a write enters a new
+/// occupancy of it (the ring wraps), so at any moment the ring holds only
+/// observations from roughly the last window. MergeInto folds every live
+/// slot into one Histogram via Histogram::Merge — because the bucket
+/// bounds are fixed and shared, quantiles of the merged histogram equal
+/// quantiles over the union of the retained observations. This is how the
+/// serving layer exports live p50/p99 over the last N seconds instead of
+/// process-lifetime values (docs/OBSERVABILITY.md, windowed metrics).
+///
+/// Coverage is [window - slot, window + slot) depending on the phase of
+/// the current slot — monitoring semantics, not billing semantics. Record
+/// is wait-free except on the first write into a freshly rotated slot
+/// (one short mutex to serialize the reset). Readers run concurrently
+/// with writers; a reader racing a rotation may see a slot mid-reset,
+/// which under- or over-counts that slot's handful of samples, never
+/// corrupts the histogram.
+///
+/// The *At variants take an explicit steady-clock microsecond timestamp so
+/// tests drive rotation deterministically.
+class WindowedHistogram {
+ public:
+  static constexpr size_t kSlots = 8;
+
+  /// `window_us` = 0 falls back to 60 s.
+  explicit WindowedHistogram(uint64_t window_us = 60'000'000);
+
+  /// Re-sizes the window. Not thread-safe: call before the first Record
+  /// (QueryService configures its windows in the constructor).
+  void Configure(uint64_t window_us);
+
+  /// Records one observation at "now". Thread-safe.
+  void Record(uint64_t value);
+  void RecordAt(uint64_t value, uint64_t now_us);
+
+  /// Folds every slot still inside the window into `out`.
+  void MergeInto(Histogram* out) const;
+  void MergeIntoAt(Histogram* out, uint64_t now_us) const;
+
+  uint64_t window_us() const { return slot_us_ * kSlots; }
+
+ private:
+  struct Slot {
+    Histogram hist;
+    /// Rotation epoch (now / slot_us) the slot currently holds; kIdle
+    /// before first use.
+    std::atomic<uint64_t> epoch{kIdle};
+    std::mutex rotate_mu;
+  };
+  static constexpr uint64_t kIdle = ~uint64_t{0};
+
+  static uint64_t SteadyNowUs();
+
+  uint64_t slot_us_;
+  std::array<Slot, kSlots> slots_;
 };
 
 }  // namespace sapla

@@ -111,7 +111,12 @@ void ParallelFor(size_t begin, size_t end,
   size_t pending = chunks - 1;
   std::exception_ptr first_error;
 
+  // The caller's request context crosses into the pool with the work: each
+  // chunk reinstalls it so spans recorded by workers stitch into the same
+  // trace tree as the caller's (obs/trace.h). Free when no context is set.
+  const obs::TraceContext caller_ctx = obs::CurrentTraceContext();
   const auto run_chunk = [&](size_t c) {
+    obs::TraceContextScope trace_scope(caller_ctx);
     SAPLA_TRACE_SPAN("parallel/chunk");
     // Fault point "parallel/worker": latency-only — simulates a slow worker
     // without changing what the chunk computes.

@@ -165,5 +165,82 @@ TEST(Histogram, ConcurrentRecordLosesNothing) {
   EXPECT_EQ(h.Count(), kThreads * kPerThread);
 }
 
+// ---------------------------------------------------------------------------
+// WindowedHistogram: sliding-window aggregation over a slot ring. The *At
+// overloads take an explicit clock so the rotation logic is deterministic.
+
+TEST(WindowedHistogram, MergesEverySlotInsideTheWindow) {
+  WindowedHistogram w(8000);  // 8 slots of 1000 µs
+  ASSERT_EQ(w.window_us(), 8000u);
+  // One observation per slot, spread across the whole window.
+  for (uint64_t slot = 0; slot < WindowedHistogram::kSlots; ++slot)
+    w.RecordAt(100 * (slot + 1), slot * 1000);
+  Histogram merged;
+  w.MergeIntoAt(&merged, 7 * 1000);  // "now" = the newest slot
+  EXPECT_EQ(merged.Count(), WindowedHistogram::kSlots);
+  EXPECT_EQ(merged.Max(), 800u);
+}
+
+TEST(WindowedHistogram, ExpiredSlotsFallOutOfTheMerge) {
+  WindowedHistogram w(8000);
+  w.RecordAt(42, 0);  // slot epoch 0
+  Histogram in_window;
+  w.MergeIntoAt(&in_window, 7 * 1000);  // epoch 7: still within 8 slots
+  EXPECT_EQ(in_window.Count(), 1u);
+
+  Histogram expired;
+  w.MergeIntoAt(&expired, 8 * 1000);  // epoch 8: epoch 0 aged out
+  EXPECT_EQ(expired.Count(), 0u);
+}
+
+TEST(WindowedHistogram, SlotReuseDropsTheOldEpochsObservations) {
+  WindowedHistogram w(8000);
+  w.RecordAt(100, 0);  // epoch 0 -> slot 0
+  // One full ring later the same slot hosts epoch 8; the lazy reset must
+  // discard epoch 0's data rather than merging the two periods.
+  w.RecordAt(200, 8 * 1000);
+  Histogram merged;
+  w.MergeIntoAt(&merged, 8 * 1000);
+  EXPECT_EQ(merged.Count(), 1u);
+  EXPECT_EQ(merged.Max(), 200u);
+}
+
+TEST(WindowedHistogram, EmptyWindowMergesNothing) {
+  WindowedHistogram w(60'000'000);
+  Histogram merged;
+  w.MergeIntoAt(&merged, 123'456'789);
+  EXPECT_EQ(merged.Count(), 0u);
+  EXPECT_TRUE(std::isnan(merged.Quantile(0.5)));
+}
+
+TEST(WindowedHistogram, ConfigureZeroFallsBackToSixtySeconds) {
+  WindowedHistogram w(0);
+  EXPECT_EQ(w.window_us(), 60'000'000u);
+}
+
+TEST(WindowedHistogram, SteadyClockPathRecordsAndMerges) {
+  WindowedHistogram w;  // 60s window: "now" stays inside one test run
+  for (uint64_t v : {10u, 20u, 30u}) w.Record(v);
+  Histogram merged;
+  w.MergeInto(&merged);
+  EXPECT_EQ(merged.Count(), 3u);
+  EXPECT_EQ(merged.Sum(), 60u);
+}
+
+TEST(WindowedHistogram, ConcurrentRecordersLoseNothingWithinASlot) {
+  WindowedHistogram w(8'000'000);
+  constexpr size_t kThreads = 8, kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&w] {
+      for (size_t i = 0; i < kPerThread; ++i) w.RecordAt(i % 97, 1234);
+    });
+  }
+  for (auto& t : threads) t.join();
+  Histogram merged;
+  w.MergeIntoAt(&merged, 1234);
+  EXPECT_EQ(merged.Count(), kThreads * kPerThread);
+}
+
 }  // namespace
 }  // namespace sapla

@@ -1,0 +1,378 @@
+// sapla_benchdiff — regression gate over two bench JSON files.
+//
+//   sapla_benchdiff <baseline.json> <current.json>
+//                   [--tolerance=0.25] [--slack=0] [--metrics=QPS,P99us]
+//
+// Both inputs are the machine-readable output of util/table.h Table::ToJson
+// (what every bench_* binary writes via --json):
+//
+//   {"title": "...", "rows": [{"Mode": "direct", "QPS": 13000, ...}, ...]}
+//
+// Rows are matched between the two files by their *string-valued* cells
+// (the configuration axis: mode, method, shard count rendered as a label);
+// numeric cells present in both versions of a row are then compared. The
+// direction of "worse" is inferred from the column name:
+//
+//   higher is better   QPS, *throughput*, *rate*, *power*, *hit*
+//   lower is better    *us, *_s, *lat*, *err*, *drop*, *miss*, *dev*
+//   neither            informational only (never gates)
+//
+// A comparison fails when the current value is worse than the baseline by
+// more than `tolerance` (relative fraction) plus `slack` (absolute, same
+// unit as the column — use it to forgive scheduler jitter in µs columns).
+// A baseline row missing from the current file also fails: losing coverage
+// must be loud. New rows and improvements are reported but never fail.
+//
+// Exit code: 0 all gated comparisons within tolerance, 1 regression(s),
+// 2 usage or parse error. CI diffs a fresh bench run against the committed
+// baseline under bench/baselines/ with a generous tolerance — shared
+// runners are noisy, so the gate is for catastrophic regressions (an
+// accidental O(n^2), a disabled cache), not microbenchmark drift.
+//
+// Standalone by design (no sapla dependency): the parser accepts exactly
+// the JSON subset Table::ToJson emits.
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader for the Table::ToJson shape.
+
+struct Cell {
+  bool is_number = false;
+  double number = 0.0;
+  std::string text;
+};
+
+struct BenchFile {
+  std::string title;
+  // Insertion-ordered keys per row (column order matters for row identity).
+  std::vector<std::vector<std::pair<std::string, Cell>>> rows;
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  bool Parse(BenchFile* out, std::string* error) {
+    if (!Expect('{')) return Fail(error, "expected '{'");
+    bool first = true;
+    while (true) {
+      SkipWs();
+      if (Peek() == '}') { ++pos_; break; }
+      if (!first && !Expect(',')) return Fail(error, "expected ','");
+      first = false;
+      std::string key;
+      if (!ParseString(&key)) return Fail(error, "expected object key");
+      if (!Expect(':')) return Fail(error, "expected ':'");
+      if (key == "title") {
+        if (!ParseString(&out->title)) return Fail(error, "bad title");
+      } else if (key == "rows") {
+        if (!ParseRows(out, error)) return false;
+      } else {
+        return Fail(error, "unknown top-level key '" + key + "'");
+      }
+    }
+    SkipWs();
+    if (pos_ != text_.size()) return Fail(error, "trailing characters");
+    return true;
+  }
+
+ private:
+  bool ParseRows(BenchFile* out, std::string* error) {
+    if (!Expect('[')) return Fail(error, "expected '['");
+    SkipWs();
+    if (Peek() == ']') { ++pos_; return true; }
+    while (true) {
+      std::vector<std::pair<std::string, Cell>> row;
+      if (!ParseRow(&row, error)) return false;
+      out->rows.push_back(std::move(row));
+      SkipWs();
+      if (Peek() == ',') { ++pos_; continue; }
+      if (Peek() == ']') { ++pos_; return true; }
+      return Fail(error, "expected ',' or ']' in rows");
+    }
+  }
+
+  bool ParseRow(std::vector<std::pair<std::string, Cell>>* row,
+                std::string* error) {
+    if (!Expect('{')) return Fail(error, "expected '{' for row");
+    SkipWs();
+    if (Peek() == '}') { ++pos_; return true; }
+    while (true) {
+      std::string key;
+      if (!ParseString(&key)) return Fail(error, "expected row key");
+      if (!Expect(':')) return Fail(error, "expected ':' in row");
+      Cell cell;
+      if (!ParseCell(&cell, error)) return false;
+      row->emplace_back(std::move(key), std::move(cell));
+      SkipWs();
+      if (Peek() == ',') { ++pos_; continue; }
+      if (Peek() == '}') { ++pos_; return true; }
+      return Fail(error, "expected ',' or '}' in row");
+    }
+  }
+
+  bool ParseCell(Cell* cell, std::string* error) {
+    SkipWs();
+    const char c = Peek();
+    if (c == '"') {
+      cell->is_number = false;
+      return ParseString(&cell->text) || Fail(error, "bad string cell");
+    }
+    // Number (Table::ToJson never emits true/false/null/objects in cells).
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E'))
+      ++pos_;
+    if (pos_ == start) return Fail(error, "expected string or number cell");
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    cell->number = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size())
+      return Fail(error, "bad number '" + token + "'");
+    cell->is_number = true;
+    cell->text = token;
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    SkipWs();
+    if (Peek() != '"') return false;
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case 'u': {
+            // Table::JsonQuote only emits \u00XX for control bytes.
+            if (pos_ + 4 > text_.size()) return false;
+            c = static_cast<char>(
+                std::strtol(text_.substr(pos_, 4).c_str(), nullptr, 16));
+            pos_ += 4;
+            break;
+          }
+          default: c = esc;
+        }
+      }
+      out->push_back(c);
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+  char Peek() { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  bool Expect(char c) {
+    SkipWs();
+    if (Peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+  bool Fail(std::string* error, const std::string& what) {
+    *error = what + " at offset " + std::to_string(pos_);
+    return false;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+bool LoadBenchFile(const std::string& path, BenchFile* out) {
+  std::ifstream f(path);
+  if (!f) {
+    fprintf(stderr, "benchdiff: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  const std::string text = buf.str();
+  std::string error;
+  if (!Parser(text).Parse(out, &error)) {
+    fprintf(stderr, "benchdiff: %s: %s\n", path.c_str(), error.c_str());
+    return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Diff.
+
+std::string Lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+bool Contains(const std::string& haystack, const char* needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+bool EndsWith(const std::string& s, const char* suffix) {
+  const size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+/// +1 = higher is better, -1 = lower is better, 0 = informational.
+int Direction(const std::string& column) {
+  const std::string c = Lower(column);
+  if (Contains(c, "qps") || Contains(c, "throughput") || Contains(c, "rate") ||
+      Contains(c, "power") || Contains(c, "hit"))
+    return +1;
+  if (EndsWith(c, "us") || EndsWith(c, "_s") || EndsWith(c, "ms") ||
+      Contains(c, "lat") || Contains(c, "err") || Contains(c, "drop") ||
+      Contains(c, "miss") || Contains(c, "dev"))
+    return -1;
+  return 0;
+}
+
+/// Row identity: its string-valued cells, in column order ("Mode=direct").
+/// Numeric cells are measurements; string cells are the config axis.
+std::string RowIdentity(const std::vector<std::pair<std::string, Cell>>& row) {
+  std::string id;
+  for (const auto& [key, cell] : row) {
+    if (cell.is_number) continue;
+    if (!id.empty()) id += ", ";
+    id += key + "=" + cell.text;
+  }
+  return id.empty() ? "<row>" : id;
+}
+
+const Cell* FindCell(const std::vector<std::pair<std::string, Cell>>& row,
+                     const std::string& key) {
+  for (const auto& [k, cell] : row)
+    if (k == key) return &cell;
+  return nullptr;
+}
+
+struct Options {
+  std::string baseline_path;
+  std::string current_path;
+  double tolerance = 0.25;
+  double slack = 0.0;
+  std::vector<std::string> metrics;  // empty = every directional column
+};
+
+bool GatedMetric(const Options& opt, const std::string& column) {
+  if (opt.metrics.empty()) return true;
+  for (const std::string& m : opt.metrics)
+    if (m == column) return true;
+  return false;
+}
+
+int RunDiff(const Options& opt) {
+  BenchFile base, cur;
+  if (!LoadBenchFile(opt.baseline_path, &base)) return 2;
+  if (!LoadBenchFile(opt.current_path, &cur)) return 2;
+  if (base.title != cur.title)
+    printf("note: titles differ (config change?)\n  baseline: %s\n  current:  %s\n",
+           base.title.c_str(), cur.title.c_str());
+
+  // Index current rows by identity; duplicates take the first occurrence.
+  std::map<std::string, const std::vector<std::pair<std::string, Cell>>*> by_id;
+  for (const auto& row : cur.rows) by_id.emplace(RowIdentity(row), &row);
+
+  size_t regressions = 0, compared = 0, improved = 0;
+  for (const auto& row : base.rows) {
+    const std::string id = RowIdentity(row);
+    const auto it = by_id.find(id);
+    if (it == by_id.end()) {
+      printf("FAIL  [%s] missing from current output\n", id.c_str());
+      ++regressions;
+      continue;
+    }
+    for (const auto& [key, cell] : row) {
+      if (!cell.is_number || !GatedMetric(opt, key)) continue;
+      const int dir = Direction(key);
+      if (dir == 0) continue;
+      const Cell* other = FindCell(*it->second, key);
+      if (other == nullptr || !other->is_number) continue;
+      ++compared;
+      const double b = cell.number, c = other->number;
+      const double allowance = std::fabs(b) * opt.tolerance + opt.slack;
+      const bool worse = dir > 0 ? c < b - allowance : c > b + allowance;
+      const bool better = dir > 0 ? c > b + allowance : c < b - allowance;
+      if (worse) {
+        printf("FAIL  [%s] %s: %.6g -> %.6g (%s, tolerance %.0f%%%s)\n",
+               id.c_str(), key.c_str(), b, c,
+               dir > 0 ? "higher is better" : "lower is better",
+               opt.tolerance * 100.0,
+               opt.slack > 0 ? ", plus slack" : "");
+        ++regressions;
+      } else if (better) {
+        ++improved;
+      }
+    }
+  }
+  printf("benchdiff: %zu comparison(s), %zu regression(s), %zu improvement(s)\n",
+         compared, regressions, improved);
+  return regressions == 0 ? 0 : 1;
+}
+
+[[noreturn]] void Usage() {
+  fprintf(stderr,
+          "usage: sapla_benchdiff <baseline.json> <current.json> "
+          "[--tolerance=0.25] [--slack=0] [--metrics=QPS,P99us]\n");
+  exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional.push_back(arg);
+      continue;
+    }
+    const size_t eq = arg.find('=');
+    if (eq == std::string::npos) Usage();
+    const std::string key = arg.substr(2, eq - 2);
+    const std::string value = arg.substr(eq + 1);
+    if (key == "tolerance") {
+      opt.tolerance = std::strtod(value.c_str(), nullptr);
+    } else if (key == "slack") {
+      opt.slack = std::strtod(value.c_str(), nullptr);
+    } else if (key == "metrics") {
+      size_t start = 0;
+      while (start <= value.size()) {
+        const size_t comma = value.find(',', start);
+        opt.metrics.push_back(value.substr(
+            start,
+            comma == std::string::npos ? std::string::npos : comma - start));
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+    } else {
+      Usage();
+    }
+  }
+  if (positional.size() != 2) Usage();
+  opt.baseline_path = positional[0];
+  opt.current_path = positional[1];
+  return RunDiff(opt);
+}

@@ -8,6 +8,8 @@
 //                       [--method=SAPLA] [--m=24] [--tree=dbch|rtree]
 //   sapla_cli motif     <data.tsv> [--row=0] [--window=64] [--m=24]
 //   sapla_cli synth     <out.tsv> [--dataset=0] [--length=256] [--series=40]
+//   sapla_cli explain   <data.tsv> [--query=0] [--k=5] [--method=SAPLA]
+//                       [--m=24] [--shards=1] [--json=0] [--trace-out=t.json]
 //
 // Every command accepts --threads=T (default 1): the index build fans the
 // per-series reduction across T threads, and `knn` with --queries runs the
@@ -30,7 +32,10 @@
 #include <vector>
 
 #include "core/sapla.h"
+#include "obs/explain.h"
+#include "obs/trace.h"
 #include "search/knn.h"
+#include "search/sharded_index.h"
 #include "search/metrics.h"
 #include "search/subsequence.h"
 #include "ts/io.h"
@@ -46,8 +51,8 @@ namespace {
 
 [[noreturn]] void Usage() {
   fprintf(stderr,
-          "usage: sapla_cli <info|reduce|reconstruct|knn|motif|synth> <file> "
-          "[--key=value ...]\n");
+          "usage: sapla_cli <info|reduce|reconstruct|knn|motif|synth|explain> "
+          "<file> [--key=value ...]\n");
   exit(2);
 }
 
@@ -87,7 +92,8 @@ Args Parse(int argc, char** argv) {
   static const char* kKnownFlags[] = {
       "length", "max-series", "znorm",  "method", "m",      "out",
       "format", "query",      "queries", "k",     "tree",   "row",
-      "window", "stride",     "dataset", "series", "threads", "fault"};
+      "window", "stride",     "dataset", "series", "threads", "fault",
+      "shards", "json",       "trace-out"};
   Args args;
   args.command = argv[1];
   args.file = argv[2];
@@ -296,6 +302,68 @@ int CmdKnn(const Args& args) {
   return 0;
 }
 
+int CmdExplain(const Args& args) {
+  const Dataset ds = LoadOrDie(args);
+  const Method method = ParseMethod(args.Get("method", "SAPLA"));
+  const size_t m = args.GetSize("m", 24);
+  const size_t k = args.GetSize("k", 5);
+  const size_t row = args.GetSize("query", 0);
+  const size_t shards = args.GetSize("shards", 1);
+  const bool json = args.Get("json", "0") != "0";
+  const std::string trace_out = args.Get("trace-out", "");
+  if (row >= ds.size()) {
+    fprintf(stderr, "query row %zu out of range\n", row);
+    return 1;
+  }
+
+  ShardedIndex::Options opt;
+  opt.num_shards = shards == 0 ? 1 : shards;
+  ShardedIndex index(method, m, IndexKind::kDbchTree, opt);
+  if (Status s = index.Build(ds); !s.ok()) {
+    fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  if (!trace_out.empty()) obs::SetTraceEnabled(true);
+  obs::QueryExplain explain;
+  {
+    obs::TraceContextScope scope(obs::MintTraceContext());
+    SAPLA_TRACE_SPAN("cli/explain");
+    (void)index.KnnExplain(ds.series[row].values, k, &explain);
+  }
+  if (!trace_out.empty()) {
+    obs::SetTraceEnabled(false);
+    if (!obs::WriteChromeTrace(trace_out))
+      fprintf(stderr, "cannot write %s\n", trace_out.c_str());
+  }
+
+  if (json) {
+    printf("%s\n", QueryExplainToJson(explain).c_str());
+    return 0;
+  }
+  printf("query row %zu, k=%zu, %s (M=%zu), %zu shard(s)\n", row, k,
+         MethodName(method).c_str(), m, index.num_shards());
+  printf("trace_id %llu, total %llu us, epoch %llu, approximate %s\n",
+         static_cast<unsigned long long>(explain.trace_id),
+         static_cast<unsigned long long>(explain.total_us),
+         static_cast<unsigned long long>(explain.epoch_seq),
+         explain.approximate ? "yes" : "no");
+  for (const obs::StageExplain& stage : explain.stages)
+    printf("  stage %-12s %8llu us\n", stage.stage.c_str(),
+           static_cast<unsigned long long>(stage.dur_us));
+  for (const obs::ShardExplain& part : explain.parts)
+    printf("  part  %-12s %8llu us  %s  %zu results  %llu lb evals  "
+           "%llu measured\n",
+           part.part.c_str(), static_cast<unsigned long long>(part.dur_us),
+           obs::ExplainHealthName(part.health), part.results,
+           static_cast<unsigned long long>(part.counters.lb_evaluations),
+           static_cast<unsigned long long>(part.counters.exact_evaluations));
+  printf("totals: %llu lb evals, %llu raw distances\n",
+         static_cast<unsigned long long>(explain.counters.lb_evaluations),
+         static_cast<unsigned long long>(explain.counters.exact_evaluations));
+  return 0;
+}
+
 int CmdMotif(const Args& args) {
   const Dataset ds = LoadOrDie(args);
   const size_t row = args.GetSize("row", 0);
@@ -337,6 +405,7 @@ int Run(int argc, char** argv) {
   if (args.command == "knn") return CmdKnn(args);
   if (args.command == "motif") return CmdMotif(args);
   if (args.command == "synth") return CmdSynth(args);
+  if (args.command == "explain") return CmdExplain(args);
   Usage();
 }
 

@@ -31,7 +31,18 @@
 //   --json=FILE         the metrics table, machine-readable
 //   --metrics-out=FILE  Prometheus text exposition of every serve metric
 //   --trace-out=FILE    enables tracing and writes a Chrome trace-event
-//                       JSON (load in chrome://tracing or Perfetto)
+//                       JSON (load in chrome://tracing or Perfetto). The
+//                       export covers every thread that did request work —
+//                       client threads, the scheduler, pool workers, and
+//                       the ingest writer thread (each mutation runs under
+//                       its own trace context, so its ingest/insert or
+//                       ingest/delete span stitches under loadgen/mutation).
+//                       The file is staged and atomically renamed, so a
+//                       SIGINT mid-write never leaves truncated JSON.
+//   --slow-query-us=N   tail-sample requests slower than N µs into the
+//                       service's slow-query log (serve/service.h)
+//   --slow-log-out=FILE write the retained slow-query records as one JSON
+//                       array (same staged+rename discipline)
 //
 //   sapla_loadgen --mode=open --qps=2000 --threads=4 --deadline-us=5000
 //   sapla_loadgen --mode=closed --threads=8 --requests=500 --cache=512
@@ -108,6 +119,8 @@ struct Config {
   std::string json_path;
   std::string metrics_path;  // Prometheus text exposition
   std::string trace_path;    // Chrome trace-event JSON
+  uint64_t slow_query_us = 0;   // tail-sampling latency threshold
+  std::string slow_log_path;    // slow-query records, one JSON array
 };
 
 [[noreturn]] void Usage(const char* argv0) {
@@ -120,7 +133,8 @@ struct Config {
           "          [--max-batch=B] [--max-delay-us=U] [--queue=C]\n"
           "          [--cache=E] [--batch-threads=T] [--degraded=0|1]\n"
           "          [--fault=SPEC] [--json=FILE] [--metrics-out=FILE]\n"
-          "          [--trace-out=FILE]\n",
+          "          [--trace-out=FILE] [--slow-query-us=N]\n"
+          "          [--slow-log-out=FILE]\n",
           argv0);
   exit(2);
 }
@@ -222,6 +236,10 @@ Config ParseFlags(int argc, char** argv) {
       config.metrics_path = value;
     } else if (key == "trace-out") {
       config.trace_path = value;
+    } else if (key == "slow-query-us") {
+      config.slow_query_us = num();
+    } else if (key == "slow-log-out") {
+      config.slow_log_path = value;
     } else {
       Usage(argv[0]);
     }
@@ -411,6 +429,7 @@ int Run(int argc, char** argv) {
   options.cache_capacity = config.cache;
   options.default_deadline_us = 0;
   options.degraded_answers = config.degraded;
+  options.slow_query_us = config.slow_query_us;
   QueryService service(*backing, options);
 
   // Paced writer: one mutation every 1/ingest_qps seconds while the query
@@ -432,6 +451,12 @@ int Run(int argc, char** argv) {
       while (!stop_writer.load() && !g_interrupted.load()) {
         std::this_thread::sleep_until(next);
         next += interval;
+        // Each mutation is one logical request of its own: a minted trace
+        // context + wrapping span makes the writer thread's work (and the
+        // ingest/insert / ingest/delete spans beneath it) show up stitched
+        // in the --trace-out export instead of as orphan slices.
+        obs::TraceContextScope mutation_scope(obs::MintTraceContext());
+        SAPLA_TRACE_SPAN("loadgen/mutation");
         if (!alive.empty() && rng.Uniform() < config.delete_frac) {
           const size_t pos = rng.UniformInt(alive.size());
           if (ingest->Delete(alive[pos]).ok()) {
@@ -509,12 +534,26 @@ int Run(int argc, char** argv) {
   }
   if (!config.trace_path.empty()) {
     obs::SetTraceEnabled(false);
+    // WriteChromeTrace stages to a .tmp and renames, so even a SIGINT that
+    // lands mid-write leaves either no file or a complete one — never a
+    // truncated JSON array that chrome://tracing rejects.
     if (!obs::WriteChromeTrace(config.trace_path)) {
       fprintf(stderr, "could not write %s\n", config.trace_path.c_str());
       return 1;
     }
     printf("trace: %zu events -> %s (load in chrome://tracing)\n",
            obs::CollectTrace().size(), config.trace_path.c_str());
+  }
+  if (!config.slow_log_path.empty()) {
+    if (!service.slow_query_log().WriteJsonArray(config.slow_log_path)) {
+      fprintf(stderr, "could not write %s\n", config.slow_log_path.c_str());
+      return 1;
+    }
+    printf("slow-query log: %llu record(s) logged, %zu retained -> %s\n",
+           static_cast<unsigned long long>(
+               service.slow_query_log().total_logged()),
+           service.slow_query_log().Records().size(),
+           config.slow_log_path.c_str());
   }
   return 0;
 }

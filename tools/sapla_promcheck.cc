@@ -6,6 +6,12 @@
 //     `<name>[{labels}] <value>` with a valid metric name and finite or
 //     +Inf/-Inf/NaN value
 //   - every sample belongs to a family announced by a preceding # TYPE
+//   - a family is announced at most once, and never re-announced with a
+//     conflicting type (a gauge in one exporter and a counter in another
+//     concatenated into the same scrape)
+//   - no two samples share a name and label set (labels compare as a set —
+//     {a="1",b="2"} duplicates {b="2",a="1"}); Prometheus drops the whole
+//     scrape on such duplicates
 //   - counter sample names end in _total
 //   - histograms: have _bucket/_sum/_count series, bucket `le` labels parse
 //     and strictly increase, cumulative bucket counts never decrease, the
@@ -18,12 +24,14 @@
 // label values and exemplars are out of scope because the exporter never
 // emits them.
 
+#include <algorithm>
 #include <cctype>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -70,6 +78,32 @@ bool ParseValue(const std::string& text, double* out) {
   return end != nullptr && *end == '\0' && end != text.c_str();
 }
 
+// Canonical form of a label string: pairs sorted, whitespace trimmed, so
+// two series that differ only in label order still collide. Our exporters
+// never emit commas or escapes inside label values (documented out of
+// scope above), so splitting on ',' is exact for everything checked here.
+std::string NormalizeLabels(const std::string& labels) {
+  std::vector<std::string> pairs;
+  size_t start = 0;
+  while (start <= labels.size()) {
+    const size_t comma = labels.find(',', start);
+    std::string pair = labels.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    while (!pair.empty() && pair.front() == ' ') pair.erase(pair.begin());
+    while (!pair.empty() && pair.back() == ' ') pair.pop_back();
+    if (!pair.empty()) pairs.push_back(std::move(pair));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  std::sort(pairs.begin(), pairs.end());
+  std::string out;
+  for (const std::string& pair : pairs) {
+    if (!out.empty()) out += ',';
+    out += pair;
+  }
+  return out;
+}
+
 // Strips a histogram-series suffix to recover the family name.
 std::string FamilyOf(const std::string& sample_name) {
   for (const char* suffix : {"_bucket", "_sum", "_count"}) {
@@ -93,6 +127,7 @@ int Check(std::istream& in) {
   Checker c;
   std::map<std::string, std::string> types;  // family -> counter/gauge/...
   std::map<std::string, HistogramSeen> histograms;
+  std::set<std::string> seen_series;  // "name{normalized labels}"
   std::string line;
   while (std::getline(in, line)) {
     ++c.line_no;
@@ -118,7 +153,14 @@ int Check(std::istream& in) {
           c.Fail("unknown metric type \"" + type + "\"", line);
           continue;
         }
-        if (types.count(name)) c.Fail("duplicate # TYPE for family", line);
+        const auto existing = types.find(name);
+        if (existing != types.end()) {
+          c.Fail(existing->second != type
+                     ? "family re-announced with conflicting type (was " +
+                           existing->second + ", now " + type + ")"
+                     : "duplicate # TYPE for family",
+                 line);
+        }
         types[name] = type;
       }
       continue;
@@ -156,6 +198,10 @@ int Check(std::istream& in) {
       c.Fail("unparseable sample value", line);
       continue;
     }
+
+    if (!seen_series.insert(sample_name + "{" + NormalizeLabels(labels) + "}")
+             .second)
+      c.Fail("duplicate series (same name and label set)", line);
 
     const std::string family = FamilyOf(sample_name);
     const auto type_it =
