@@ -141,9 +141,12 @@ int Run(int argc, char** argv) {
     }
 
     auto add = [&](const char* kernel, const KernelResult& r) {
+      // The speedup stays numeric (no "x" suffix): benchdiff keys row
+      // identity on string cells, and a run-dependent label would make
+      // every row unique.
       t.AddRow({kernel, std::to_string(m), Table::Num(r.per_pair_mps, 3),
                 Table::Num(r.view_mps, 3), Table::Num(r.batched_mps, 3),
-                Table::Num(r.batched_mps / r.per_pair_mps, 2) + "x"});
+                Table::Num(r.batched_mps / r.per_pair_mps, 2)});
     };
     add("Dist_PAR", par);
     add("Dist_LB", lb);

@@ -225,6 +225,20 @@ void FilterDistanceBatch(const PrefixFitter& query_fitter, const RepView& q,
                          const RepresentationStore& store, const size_t* ids,
                          size_t count, double* out, DistanceScratch* scratch) {
   if (count == 0) return;
+  if (store.cold()) {
+    // Cold store: the columns are not resident, so stream through pinned
+    // frame views instead. Ascending ids touch each decoded frame once
+    // (one decode per frame of series), and the per-view kernel computes
+    // the identical expression in the identical order, so out[j] is
+    // bit-identical to the hot column walk below.
+    StoreReadPin pin;
+    for (size_t j = 0; j < count; ++j) {
+      const size_t id = ids ? ids[j] : j;
+      out[j] = FilterDistanceView(query_fitter, q, store.view(id, &pin),
+                                  scratch);
+    }
+    return;
+  }
   const Method method = store.method();
   const bool segment_family = method != Method::kCheby &&
                               method != Method::kDft && method != Method::kSax;
@@ -273,6 +287,15 @@ void LowerBoundDistanceBatch(const RepView& q, const RepresentationStore& store,
                              const size_t* ids, size_t count, double* out,
                              DistanceScratch* scratch) {
   if (count == 0) return;
+  if (store.cold()) {
+    // Frame-decode path, same rationale as FilterDistanceBatch above.
+    StoreReadPin pin;
+    for (size_t j = 0; j < count; ++j) {
+      const size_t id = ids ? ids[j] : j;
+      out[j] = LowerBoundDistanceView(q, store.view(id, &pin), scratch);
+    }
+    return;
+  }
   const Method method = store.method();
   const bool segment_family = method != Method::kCheby &&
                               method != Method::kDft && method != Method::kSax;

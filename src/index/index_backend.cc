@@ -28,17 +28,23 @@ class RTreeBackend : public IndexBackend {
   std::string name() const override { return "rtree"; }
 
   void Insert(size_t id) override {
+    StoreReadPin pin;  // keeps a cold store's frame alive through MapBox
     const FeatureMapper::Box box =
-        mapper_.MapBox(ctx_.rep_view(id), ctx_.dataset->series[id].values);
+        mapper_.MapBox(ctx_.rep_view(id, &pin), ctx_.dataset->series[id].values);
     tree_.InsertBox(box.lo, box.hi, id);
   }
 
   void BestFirstSearch(const std::vector<double>& query_raw,
                        const RepView& query_rep, const VisitFn& visit,
                        SearchCounters* counters) const override {
+    // Over a quantized corpus MINDIST lower-bounds the *quantized* leaf
+    // bound, which may exceed the true one by up to the store's recorded
+    // slack — loosen node bounds by that much so pruning stays sound.
+    const double slack = ctx_.max_lb_slack();
     tree_.BestFirstSearch(
         [&](const std::vector<double>& lo, const std::vector<double>& hi) {
-          return mapper_.MinDist(query_raw, query_rep, lo, hi);
+          const double d = mapper_.MinDist(query_raw, query_rep, lo, hi);
+          return slack > 0.0 ? std::max(0.0, d - slack) : d;
         },
         visit, counters);
   }
@@ -69,7 +75,13 @@ class DbchBackend : public IndexBackend {
             [this](size_t a, size_t b) {
               // Build-time only (single-threaded Insert), so one scratch
               // amortizes the Dist_PAR endpoint buffer across the build.
-              return LowerBoundDistanceView(ctx_.rep_view(a), ctx_.rep_view(b),
+              // The pair distance deliberately stays UNADJUSTED by any
+              // quantization slack: it defines center/radius geometry in
+              // the quantized metric space, and the query-side closure
+              // below absorbs the whole slack once.
+              StoreReadPin pa, pb;
+              return LowerBoundDistanceView(ctx_.rep_view(a, &pa),
+                                            ctx_.rep_view(b, &pb),
                                             &build_scratch_);
             },
             // SAX MINDIST violates the triangle inequality, so under sound
@@ -87,9 +99,18 @@ class DbchBackend : public IndexBackend {
                        const RepView& query_rep, const VisitFn& visit,
                        SearchCounters* counters) const override {
     DistanceScratch scratch;  // per-query, lives on this caller's stack
+    // Node bounds derive from d(query, center) - radius, both measured in
+    // the quantized metric. The quantized query-center distance can
+    // overstate the true leaf lower bound by at most the store's slack
+    // (the build radii are consistent quantized-space measurements and
+    // need no adjustment), so subtracting it here keeps pruning sound.
+    const double slack = ctx_.max_lb_slack();
     tree_.BestFirstSearch(
         [&](size_t id) {
-          return LowerBoundDistanceView(query_rep, ctx_.rep_view(id), &scratch);
+          StoreReadPin pin;
+          const double d =
+              LowerBoundDistanceView(query_rep, ctx_.rep_view(id, &pin), &scratch);
+          return slack > 0.0 ? std::max(0.0, d - slack) : d;
         },
         visit, counters);
   }

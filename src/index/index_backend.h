@@ -70,8 +70,26 @@ struct IndexBackendContext {
   IndexBackendOptions options;
 
   /// View of series `id`'s reduction, over whichever corpus layout is set.
+  /// Valid for hot stores and the AoS layout only; cold (mmap-backed)
+  /// stores require the pinned overload below.
   RepView rep_view(size_t id) const {
     return store != nullptr ? store->view(id) : RepView::Of((*reps)[id]);
+  }
+
+  /// Pin-aware view: works for every residency. For cold stores `pin`
+  /// keeps the decoded frame alive for as long as the returned view is
+  /// used; for hot stores and the AoS layout it is left untouched.
+  RepView rep_view(size_t id, StoreReadPin* pin) const {
+    return store != nullptr ? store->view(id, pin) : RepView::Of((*reps)[id]);
+  }
+
+  /// Largest per-series lower-bound slack across the corpus (0 for
+  /// lossless stores and the AoS layout). Node-level bounds measured
+  /// against quantized representations can exceed the true lower bound by
+  /// up to this much, so backends must subtract it before pruning
+  /// (reduction/column_codec.h explains the soundness argument).
+  double max_lb_slack() const {
+    return store != nullptr ? store->max_lb_slack() : 0.0;
   }
 };
 

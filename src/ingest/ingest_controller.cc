@@ -647,7 +647,8 @@ Status IngestController::Checkpoint() {
   if (!st.ok()) return st;
   SAPLA_FAULT_POINT("ingest/checkpoint");
   if (main_) {
-    st = main_->index->SaveSnapshots(SnapshotPrefix());
+    st = main_->index->SaveSnapshots(SnapshotPrefix(),
+                                     options_.snapshot_codec);
     if (!st.ok()) return st;
   }
   st = WriteManifestLocked();
@@ -1024,6 +1025,15 @@ ShardHealth IngestController::shard_health(size_t shard) const {
   const auto e = PinEpoch();
   return e->main ? e->main->index->shard_health(shard)
                  : ShardHealth::kHealthy;
+}
+
+StoreFootprint IngestController::footprint() const {
+  const auto e = PinEpoch();
+  StoreFootprint total;
+  if (e->main) total += e->main->index->footprint();
+  for (const auto& minor : e->minors) total += minor->index->footprint();
+  total += e->memtable->store.footprint();
+  return total;
 }
 
 IngestController::EpochStats IngestController::GetEpochStats() const {

@@ -115,6 +115,11 @@ struct IngestOptions {
   /// Directory for WAL + checkpoints; empty = no durability. The caller
   /// creates the directory and calls Recover() once before use.
   std::string durable_dir;
+  /// Codec for checkpointed shard snapshots (search/snapshot.h): a lossy
+  /// step writes quantized v4 store sections — smaller checkpoints, and a
+  /// recovered controller still answers id-identically (slack-adjusted
+  /// pruning + raw refinement). Default: lossless, byte-stable v3.
+  SnapshotWriteOptions snapshot_codec;
 };
 
 /// \brief Live-mutable searchable corpus behind the SearchIndex interface.
@@ -199,6 +204,8 @@ class IngestController : public SearchIndex {
   /// Main generation's topology (1 / healthy while no main exists).
   size_t num_shards() const override;
   ShardHealth shard_health(size_t shard) const override;
+  /// Sum over the pinned epoch: main shards + minors + memtable store.
+  StoreFootprint footprint() const override;
 
   // ---- Introspection (tests, tools, benches).
 

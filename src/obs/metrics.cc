@@ -107,6 +107,10 @@ ServeMetricsSnapshot SnapshotMetrics(const ServeMetrics& metrics) {
   s.shard_health.reserve(shards);
   for (size_t i = 0; i < shards; ++i)
     s.shard_health.push_back(metrics.shard_health[i].load());
+  s.store_resident_bytes = metrics.store_resident_bytes.load();
+  s.store_mapped_bytes = metrics.store_mapped_bytes.load();
+  s.store_frame_hits = metrics.store_frame_hits.load();
+  s.store_frame_misses = metrics.store_frame_misses.load();
   s.slow_queries = metrics.slow_queries.load();
   s.search = SnapshotSearchCounters(metrics.search);
   s.queue_wait_us = SnapshotHistogram(metrics.queue_wait_us);
@@ -168,6 +172,10 @@ Table MetricsToTable(const ServeMetricsSnapshot& snap,
   for (size_t i = 0; i < snap.shard_health.size(); ++i)
     counter("shard_health{shard=" + std::to_string(i) + "}",
             snap.shard_health[i]);
+  counter("store_resident_bytes", snap.store_resident_bytes);
+  counter("store_mapped_bytes", snap.store_mapped_bytes);
+  counter("store_frame_hits", snap.store_frame_hits);
+  counter("store_frame_misses", snap.store_frame_misses);
   counter("search_queries", snap.search.queries);
   counter("search_nodes_visited_internal", snap.search.nodes_visited_internal);
   counter("search_nodes_visited_leaf", snap.search.nodes_visited_leaf);
@@ -320,6 +328,19 @@ std::string MetricsToPrometheus(const ServeMetrics& metrics,
       out += prefix + "_shard_health{shard=\"" + U64(i) + "\"} " +
              U64(snap.shard_health[i]) + "\n";
   }
+  AppendGauge(out, prefix, "store_resident_bytes",
+              "Corpus representation bytes decoded/resident in memory.",
+              static_cast<double>(snap.store_resident_bytes));
+  AppendGauge(out, prefix, "store_mapped_bytes",
+              "Corpus representation bytes served from mmap'd cold columns.",
+              static_cast<double>(snap.store_mapped_bytes));
+  AppendGauge(out, prefix, "store_frame_hits",
+              "Cold-tier decode-cache hits (cumulative).",
+              static_cast<double>(snap.store_frame_hits));
+  AppendGauge(out, prefix, "store_frame_misses",
+              "Cold-tier decode-cache misses, i.e. frame decodes "
+              "(cumulative).",
+              static_cast<double>(snap.store_frame_misses));
   AppendGauge(out, prefix, "search_pruning_power",
               "Live pruning power rho (Eq. 14); lower is better.",
               snap.search.PruningPower());
@@ -424,6 +445,10 @@ std::string MetricsToJson(const ServeMetricsSnapshot& snap) {
   counter("flush_failures", snap.flush_failures);
   counter("watchdog_stalls", snap.watchdog_stalls);
   counter("slow_queries", snap.slow_queries);
+  counter("store_resident_bytes", snap.store_resident_bytes);
+  counter("store_mapped_bytes", snap.store_mapped_bytes);
+  counter("store_frame_hits", snap.store_frame_hits);
+  counter("store_frame_misses", snap.store_frame_misses);
   counter("health", snap.health, /*last=*/true);
   out += "  },\n  \"cache_hit_rate\": " + Double(snap.CacheHitRate()) +
          ",\n  \"shard_health\": [";

@@ -37,6 +37,9 @@
 //   flush_failures      micro-batches that failed as a unit
 //   watchdog_stalls     watchdog observations of a newly stalled scheduler
 //   health              gauge: degradation-ladder position (0/1/2)
+//   store_resident_bytes gauge: corpus bytes decoded/resident in memory
+//   store_mapped_bytes  gauge: corpus bytes served from mmap'd cold columns
+//   store_frame_hits/misses gauges: cold-tier decode-cache traffic
 //   cache_hits/misses   result-cache outcome at admission time
 //   batches_flushed     micro-batches executed
 //   queue_wait_us       admission -> start of the request's flush
@@ -126,6 +129,16 @@ struct ServeMetrics {
   std::atomic<uint64_t> shard_count{0};
   std::array<std::atomic<uint64_t>, kMaxShardGauges> shard_health{};
 
+  /// Corpus residency gauges (SearchIndex::footprint), refreshed alongside
+  /// the shard-health gauges: bytes of representation data resident in
+  /// memory vs. served from mmap-backed cold columns, and the cold tier's
+  /// cumulative frame-cache traffic. All zero for a fully hot index except
+  /// store_resident_bytes.
+  std::atomic<uint64_t> store_resident_bytes{0};
+  std::atomic<uint64_t> store_mapped_bytes{0};
+  std::atomic<uint64_t> store_frame_hits{0};
+  std::atomic<uint64_t> store_frame_misses{0};
+
   /// Requests that crossed a slow-query threshold (serve/service.h) and
   /// produced a slow-query log record.
   std::atomic<uint64_t> slow_queries{0};
@@ -176,6 +189,11 @@ struct ServeMetricsSnapshot {
   uint64_t health = 0;
   /// One ladder position per live shard (empty for a non-sharded service).
   std::vector<uint64_t> shard_health;
+
+  uint64_t store_resident_bytes = 0;
+  uint64_t store_mapped_bytes = 0;
+  uint64_t store_frame_hits = 0;
+  uint64_t store_frame_misses = 0;
 
   uint64_t slow_queries = 0;
 

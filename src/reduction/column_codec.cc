@@ -1,0 +1,389 @@
+#include "reduction/column_codec.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "distance/kernels.h"
+#include "util/binio.h"
+
+namespace sapla {
+namespace colcodec {
+namespace {
+
+// Blob header: [u32 codec id][u64 value count][u64 payload length].
+void PutBlobHeader(std::string* out, ColumnCodecId id, uint64_t count,
+                   uint64_t payload_len) {
+  binio::PutU32(out, static_cast<uint32_t>(id));
+  binio::PutU64(out, count);
+  binio::PutU64(out, payload_len);
+}
+
+bool ReadRaw(Cursor* c, void* dst, size_t n) {
+  if (c->remaining() < n) return false;
+  std::memcpy(dst, c->p, n);
+  c->p += n;
+  return true;
+}
+
+bool ReadU32(Cursor* c, uint32_t* v) {
+  unsigned char b[4];
+  if (!ReadRaw(c, b, 4)) return false;
+  *v = static_cast<uint32_t>(b[0]) | static_cast<uint32_t>(b[1]) << 8 |
+       static_cast<uint32_t>(b[2]) << 16 | static_cast<uint32_t>(b[3]) << 24;
+  return true;
+}
+
+bool ReadU64(Cursor* c, uint64_t* v) {
+  unsigned char b[8];
+  if (!ReadRaw(c, b, 8)) return false;
+  *v = 0;
+  for (int i = 0; i < 8; ++i) *v |= static_cast<uint64_t>(b[i]) << (8 * i);
+  return true;
+}
+
+bool ReadF64(Cursor* c, double* v) {
+  uint64_t bits;
+  if (!ReadU64(c, &bits)) return false;
+  std::memcpy(v, &bits, sizeof(*v));
+  return true;
+}
+
+Status BadBlob(const char* what) {
+  return Status::InvalidArgument(std::string("column codec: ") + what);
+}
+
+Status ReadBlobHeader(Cursor* c, uint32_t* id, uint64_t* count,
+                      Cursor* payload) {
+  uint64_t payload_len = 0;
+  if (!ReadU32(c, id) || !ReadU64(c, count) || !ReadU64(c, &payload_len))
+    return BadBlob("truncated blob header");
+  if (payload_len > c->remaining()) return BadBlob("payload overruns buffer");
+  payload->p = c->p;
+  payload->end = c->p + payload_len;
+  c->p += payload_len;
+  return Status::OK();
+}
+
+// True iff v round-trips bit-exactly through fixed-point at `step`.
+bool ExactlyQuantized(double v, double step, int64_t* k_out) {
+  if (!std::isfinite(v)) return false;
+  const double q = v / step;
+  if (!(std::fabs(q) <= kMaxQuantMagnitude)) return false;
+  const int64_t k = std::llround(q);
+  const double back = static_cast<double>(k) * step;
+  uint64_t vb, bb;
+  std::memcpy(&vb, &v, sizeof(vb));
+  std::memcpy(&bb, &back, sizeof(bb));
+  if (vb != bb) return false;
+  *k_out = k;
+  return true;
+}
+
+}  // namespace
+
+void PutVarint(std::string* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+bool GetVarint(const char** p, const char* end, uint64_t* v) {
+  *v = 0;
+  int shift = 0;
+  while (*p < end && shift < 64) {
+    const unsigned char byte = static_cast<unsigned char>(**p);
+    ++*p;
+    *v |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return true;
+    shift += 7;
+  }
+  return false;  // truncated or > 64 bits
+}
+
+void EncodeF64Column(const double* v, size_t count, double step,
+                     std::string* out) {
+  if (step > 0.0 && std::isfinite(step)) {
+    std::string payload;
+    binio::PutF64(&payload, step);
+    int64_t prev = 0;
+    bool exact = true;
+    for (size_t i = 0; i < count; ++i) {
+      int64_t k = 0;
+      if (!ExactlyQuantized(v[i], step, &k)) {
+        exact = false;
+        break;
+      }
+      PutVarint(&payload, ZigzagEncode(k - prev));
+      prev = k;
+    }
+    if (exact) {
+      PutBlobHeader(out, ColumnCodecId::kDeltaFixedF64, count,
+                    payload.size());
+      out->append(payload);
+      return;
+    }
+  }
+  PutBlobHeader(out, ColumnCodecId::kRawF64, count, count * 8);
+  for (size_t i = 0; i < count; ++i) binio::PutF64(out, v[i]);
+}
+
+void EncodeIntColumn(const int64_t* v, size_t count, std::string* out) {
+  std::string payload;
+  int64_t prev = 0;
+  for (size_t i = 0; i < count; ++i) {
+    PutVarint(&payload, ZigzagEncode(v[i] - prev));
+    prev = v[i];
+  }
+  PutBlobHeader(out, ColumnCodecId::kDeltaVarInt, count, payload.size());
+  out->append(payload);
+}
+
+Status DecodeF64Column(Cursor* c, size_t expect_count,
+                       std::vector<double>* out, double* step_out) {
+  uint32_t id = 0;
+  uint64_t count = 0;
+  Cursor payload;
+  SAPLA_RETURN_NOT_OK(ReadBlobHeader(c, &id, &count, &payload));
+  if (count != expect_count) return BadBlob("f64 column count mismatch");
+  out->clear();
+  out->reserve(expect_count);
+  if (step_out != nullptr) *step_out = 0.0;
+  switch (static_cast<ColumnCodecId>(id)) {
+    case ColumnCodecId::kRawF64: {
+      if (payload.remaining() != count * 8)
+        return BadBlob("raw f64 payload size mismatch");
+      for (uint64_t i = 0; i < count; ++i) {
+        double v;
+        ReadF64(&payload, &v);
+        out->push_back(v);
+      }
+      return Status::OK();
+    }
+    case ColumnCodecId::kDeltaFixedF64: {
+      double step = 0.0;
+      if (!ReadF64(&payload, &step)) return BadBlob("missing step");
+      if (!(step > 0.0) || !std::isfinite(step))
+        return BadBlob("invalid fixed-point step");
+      if (step_out != nullptr) *step_out = step;
+      int64_t k = 0;
+      for (uint64_t i = 0; i < count; ++i) {
+        uint64_t zz = 0;
+        if (!GetVarint(&payload.p, payload.end, &zz))
+          return BadBlob("truncated fixed-point delta");
+        k += ZigzagDecode(zz);
+        if (!(std::fabs(static_cast<double>(k)) <= kMaxQuantMagnitude))
+          return BadBlob("fixed-point magnitude out of range");
+        out->push_back(static_cast<double>(k) * step);
+      }
+      if (payload.remaining() != 0) return BadBlob("trailing payload bytes");
+      return Status::OK();
+    }
+    default:
+      return BadBlob("unknown f64 codec id");
+  }
+}
+
+Status DecodeIntColumn(Cursor* c, size_t expect_count,
+                       std::vector<int64_t>* out) {
+  uint32_t id = 0;
+  uint64_t count = 0;
+  Cursor payload;
+  SAPLA_RETURN_NOT_OK(ReadBlobHeader(c, &id, &count, &payload));
+  if (static_cast<ColumnCodecId>(id) != ColumnCodecId::kDeltaVarInt)
+    return BadBlob("unknown int codec id");
+  if (count != expect_count) return BadBlob("int column count mismatch");
+  out->clear();
+  out->reserve(expect_count);
+  int64_t v = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t zz = 0;
+    if (!GetVarint(&payload.p, payload.end, &zz))
+      return BadBlob("truncated int delta");
+    const int64_t delta = ZigzagDecode(zz);
+    // Overflow-safe accumulate: the columns we persist (offsets, u32
+    // endpoints, symbols) never approach the i64 edge, so treat wraparound
+    // as corruption rather than UB.
+    if ((delta > 0 && v > std::numeric_limits<int64_t>::max() - delta) ||
+        (delta < 0 && v < std::numeric_limits<int64_t>::min() - delta))
+      return BadBlob("int delta overflow");
+    v += delta;
+    out->push_back(v);
+  }
+  if (payload.remaining() != 0) return BadBlob("trailing payload bytes");
+  return Status::OK();
+}
+
+std::string EncodeStoreFrame(const RepresentationStore& store, size_t first,
+                             size_t count) {
+  SAPLA_DCHECK(!store.cold());
+  SAPLA_DCHECK(first + count <= store.size());
+  std::string out;
+  binio::PutU32(&out, static_cast<uint32_t>(count));
+
+  const auto& seg_off = store.seg_offsets();
+  const auto& coeff_off = store.coeff_offsets();
+  const auto& sym_off = store.symbol_offsets();
+  std::vector<int64_t> tmp(count + 1);
+  const auto put_local_offsets = [&](const std::vector<uint64_t>& off) {
+    for (size_t i = 0; i <= count; ++i)
+      tmp[i] = static_cast<int64_t>(off[first + i] - off[first]);
+    EncodeIntColumn(tmp.data(), count + 1, &out);
+  };
+  put_local_offsets(seg_off);
+  put_local_offsets(coeff_off);
+  put_local_offsets(sym_off);
+
+  const size_t s0 = seg_off[first], s1 = seg_off[first + count];
+  const size_t c0 = coeff_off[first], c1 = coeff_off[first + count];
+  const size_t y0 = sym_off[first], y1 = sym_off[first + count];
+  const double ab_step = store.codec().ab_step;
+  const double coeff_step = store.codec().coeff_step;
+  EncodeF64Column(store.a_column().data() + s0, s1 - s0, ab_step, &out);
+  EncodeF64Column(store.b_column().data() + s0, s1 - s0, ab_step, &out);
+  std::vector<int64_t> ints(s1 - s0);
+  for (size_t i = 0; i < ints.size(); ++i)
+    ints[i] = static_cast<int64_t>(store.r_column()[s0 + i]);
+  EncodeIntColumn(ints.data(), ints.size(), &out);
+  EncodeF64Column(store.coeff_column().data() + c0, c1 - c0, coeff_step,
+                  &out);
+  ints.resize(y1 - y0);
+  for (size_t i = 0; i < ints.size(); ++i)
+    ints[i] = static_cast<int64_t>(store.symbol_column()[y0 + i]);
+  EncodeIntColumn(ints.data(), ints.size(), &out);
+  return out;
+}
+
+Status DecodeStoreFrame(const char* p, size_t len, size_t first_id,
+                        size_t series_length, storedetail::DecodedFrame* out) {
+  Cursor c{p, p + len};
+  uint32_t count32 = 0;
+  if (!ReadU32(&c, &count32)) return BadBlob("truncated frame header");
+  const size_t count = count32;
+
+  std::vector<int64_t> seg_off, coeff_off, sym_off;
+  SAPLA_RETURN_NOT_OK(DecodeIntColumn(&c, count + 1, &seg_off));
+  SAPLA_RETURN_NOT_OK(DecodeIntColumn(&c, count + 1, &coeff_off));
+  SAPLA_RETURN_NOT_OK(DecodeIntColumn(&c, count + 1, &sym_off));
+  const auto check_offsets = [](const std::vector<int64_t>& off,
+                                const char* name) {
+    if (off.front() != 0)
+      return BadBlob("frame offsets must start at 0");
+    for (size_t i = 0; i + 1 < off.size(); ++i)
+      if (off[i] > off[i + 1]) return BadBlob("frame offsets must be nondecreasing");
+    (void)name;
+    return Status::OK();
+  };
+  SAPLA_RETURN_NOT_OK(check_offsets(seg_off, "segment"));
+  SAPLA_RETURN_NOT_OK(check_offsets(coeff_off, "coefficient"));
+  SAPLA_RETURN_NOT_OK(check_offsets(sym_off, "symbol"));
+
+  const size_t total_segs = static_cast<size_t>(seg_off.back());
+  const size_t total_coeffs = static_cast<size_t>(coeff_off.back());
+  const size_t total_syms = static_cast<size_t>(sym_off.back());
+
+  std::vector<double> a, b, coeffs;
+  std::vector<int64_t> r64, sym64;
+  SAPLA_RETURN_NOT_OK(DecodeF64Column(&c, total_segs, &a, nullptr));
+  SAPLA_RETURN_NOT_OK(DecodeF64Column(&c, total_segs, &b, nullptr));
+  SAPLA_RETURN_NOT_OK(DecodeIntColumn(&c, total_segs, &r64));
+  SAPLA_RETURN_NOT_OK(DecodeF64Column(&c, total_coeffs, &coeffs, nullptr));
+  SAPLA_RETURN_NOT_OK(DecodeIntColumn(&c, total_syms, &sym64));
+  if (c.remaining() != 0) return BadBlob("trailing frame bytes");
+
+  std::vector<uint32_t> r(total_segs);
+  for (size_t i = 0; i < total_segs; ++i) {
+    if (r64[i] < 0 ||
+        r64[i] > static_cast<int64_t>(std::numeric_limits<uint32_t>::max()))
+      return BadBlob("endpoint out of u32 range");
+    r[i] = static_cast<uint32_t>(r64[i]);
+  }
+  std::vector<int> symbols(total_syms);
+  for (size_t i = 0; i < total_syms; ++i) {
+    if (sym64[i] < std::numeric_limits<int>::min() ||
+        sym64[i] > std::numeric_limits<int>::max())
+      return BadBlob("symbol out of int range");
+    symbols[i] = static_cast<int>(sym64[i]);
+  }
+  // Per-series segment structure: mirrors FromColumns' validation.
+  for (size_t i = 0; i < count; ++i) {
+    const size_t lo = static_cast<size_t>(seg_off[i]);
+    const size_t hi = static_cast<size_t>(seg_off[i + 1]);
+    for (size_t j = lo + 1; j < hi; ++j)
+      if (r[j - 1] >= r[j])
+        return BadBlob("frame endpoints must be strictly increasing");
+    if (hi > lo && series_length > 0 && r[hi - 1] != series_length - 1)
+      return BadBlob("frame segments do not cover the series");
+  }
+
+  out->first_id = first_id;
+  out->count = count;
+  out->seg_off.assign(seg_off.begin(), seg_off.end());
+  out->coeff_off.assign(coeff_off.begin(), coeff_off.end());
+  out->sym_off.assign(sym_off.begin(), sym_off.end());
+  out->a = std::move(a);
+  out->b = std::move(b);
+  out->r = std::move(r);
+  out->coeffs = std::move(coeffs);
+  out->symbols = std::move(symbols);
+  return Status::OK();
+}
+
+}  // namespace colcodec
+
+namespace {
+
+// Fixed-point value transform of QuantizeStore: values the codec cannot
+// represent exactly pass through unchanged (and later force their frame
+// column to the raw codec).
+double QuantizeValue(double v, double step) {
+  if (!(step > 0.0) || !std::isfinite(v)) return v;
+  const double q = v / step;
+  if (!(std::fabs(q) <= colcodec::kMaxQuantMagnitude)) return v;
+  return static_cast<double>(std::llround(q)) * step;
+}
+
+}  // namespace
+
+Result<RepresentationStore> QuantizeStore(const RepresentationStore& store,
+                                          const StoreCodecOptions& codec) {
+  if (store.cold())
+    return Status::InvalidArgument("quantize: cold stores are immutable");
+  if (codec.ab_step < 0.0 || codec.coeff_step < 0.0 ||
+      !std::isfinite(codec.ab_step) || !std::isfinite(codec.coeff_step))
+    return Status::InvalidArgument("quantize: steps must be finite and >= 0");
+
+  std::vector<double> a = store.a_column();
+  std::vector<double> b = store.b_column();
+  std::vector<double> coeffs = store.coeff_column();
+  for (double& v : a) v = QuantizeValue(v, codec.ab_step);
+  for (double& v : b) v = QuantizeValue(v, codec.ab_step);
+  for (double& v : coeffs) v = QuantizeValue(v, codec.coeff_step);
+
+  Result<RepresentationStore> built = RepresentationStore::FromColumns(
+      store.method(), store.series_length(), store.alphabet(),
+      store.seg_offsets(), store.coeff_offsets(), store.symbol_offsets(),
+      std::move(a), std::move(b), store.r_column(), std::move(coeffs),
+      store.symbol_column());
+  if (!built.ok()) return built.status();
+  RepresentationStore quantized = std::move(built).ValueOrDie();
+
+  // Per-series slack: LB distance between the original and quantized view
+  // in the method's own filter norm (see header comment). The tiny
+  // relative inflation absorbs floating-point rounding between this
+  // computation and the query-time kernels; source slack (an already-
+  // quantized input) accumulates by the triangle inequality.
+  std::vector<double> slack(store.size(), 0.0);
+  DistanceScratch scratch;
+  for (size_t i = 0; i < store.size(); ++i) {
+    const double d =
+        LowerBoundDistanceView(store.view(i), quantized.view(i), &scratch);
+    slack[i] = store.lb_slack(i) + d * (1.0 + 1e-9);
+  }
+  quantized.SetCodecState(codec, std::move(slack));
+  return quantized;
+}
+
+}  // namespace sapla

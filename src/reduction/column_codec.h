@@ -1,0 +1,137 @@
+#ifndef SAPLA_REDUCTION_COLUMN_CODEC_H_
+#define SAPLA_REDUCTION_COLUMN_CODEC_H_
+
+// Pluggable column codecs for the representation store's persistence and
+// cold tiers, plus the store quantizer that makes compression safe for
+// GEMINI pruning.
+//
+// Three codec families (docs/ARCHITECTURE.md "Storage tiers & column
+// codecs"):
+//
+//   kRawF64       f64 passthrough — 8 bytes/value, bit-exact. Fallback for
+//                 columns with non-finite values or magnitudes too large
+//                 to quantize exactly.
+//   kDeltaFixedF64  fixed-point quantization: k_i = llround(v_i / step),
+//                 stored as zigzag-varint deltas of the integer stream;
+//                 decode is v'_i = k_i * step, so the max abs error is
+//                 step / 2 and re-encoding a decoded column is lossless
+//                 (idempotent — v4 save/load/save is byte-identical).
+//   kDeltaVarInt  frame-of-reference / delta varint for the integer
+//                 columns (offset tables, r endpoints, SAX symbols) —
+//                 always lossless.
+//
+// Every encoded column is a self-contained blob:
+//   [u32 codec id][u64 value count][u64 payload length][payload]
+// so a decoder needs no out-of-band metadata and a corrupted codec id or
+// count fails structurally (on top of the archive's CRCs).
+//
+// The quantizer (QuantizeStore) only ever touches the float columns: the
+// segmentation (r), SAX symbols and offsets are preserved bit-for-bit.
+// Because the original and quantized representation of a series share one
+// segmentation, the triangle inequality in the method's filter norm gives
+// a per-series bound on how far ANY query's filter value can move:
+//
+//   |LB(q, c') - LB(q, c)| <= LowerBoundDistance(c, c')  =: lb_slack
+//
+// which QuantizeStore computes with the production kernel
+// (LowerBoundDistanceView) and stores per series. The search layer
+// subtracts the slack before pruning (src/search/knn.cc, both backends),
+// so compressed pruning can only be *looser* than full precision — never
+// drops a true neighbor (tests/compressed_parity_test.cc).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "reduction/column_residency.h"
+#include "reduction/representation_store.h"
+#include "util/status.h"
+
+namespace sapla {
+namespace colcodec {
+
+/// Persisted codec ids (v4 SAPLACOL column blobs). Values are stable.
+enum class ColumnCodecId : uint32_t {
+  kRawF64 = 0,
+  kDeltaFixedF64 = 1,
+  kDeltaVarInt = 2,
+};
+
+/// LEB128 varint append / bounds-checked read.
+void PutVarint(std::string* out, uint64_t v);
+bool GetVarint(const char** p, const char* end, uint64_t* v);
+
+inline uint64_t ZigzagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^
+         static_cast<uint64_t>(v >> 63);
+}
+inline int64_t ZigzagDecode(uint64_t v) {
+  return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+/// Largest |k| the fixed-point codec will produce: well inside the range
+/// where k * step -> llround(v / step) round-trips exactly, so encode of
+/// an already-quantized column is provably lossless.
+inline constexpr double kMaxQuantMagnitude = 1e15;
+
+/// Appends one encoded f64 column. step > 0 selects kDeltaFixedF64 when
+/// every value round-trips bit-exactly through k = llround(v / step),
+/// v' = k * step (true by construction for QuantizeStore output); any
+/// non-finite, out-of-magnitude or inexact value makes the whole column
+/// fall back to kRawF64. Either way encode -> decode is bit-exact: the
+/// codec layer is lossless, lossiness lives only in QuantizeStore (which
+/// accounts for it via lb_slack).
+void EncodeF64Column(const double* v, size_t count, double step,
+                     std::string* out);
+
+/// Appends one encoded integer column (always lossless kDeltaVarInt).
+void EncodeIntColumn(const int64_t* v, size_t count, std::string* out);
+
+/// \brief Bounds-checked cursor over encoded bytes (decode side).
+struct Cursor {
+  const char* p = nullptr;
+  const char* end = nullptr;
+  size_t remaining() const { return static_cast<size_t>(end - p); }
+};
+
+/// Decodes one f64 column blob; fails structurally on a bad codec id,
+/// count mismatch with `expect_count`, or truncated payload. When the blob
+/// is kDeltaFixedF64, *step_out (optional) receives its stored step.
+Status DecodeF64Column(Cursor* c, size_t expect_count,
+                       std::vector<double>* out, double* step_out);
+
+/// Decodes one integer column blob into i64.
+Status DecodeIntColumn(Cursor* c, size_t expect_count,
+                       std::vector<int64_t>* out);
+
+/// Encodes series [first, first + count) of a HOT store as one
+/// self-contained frame blob (the v4 cold tier's unit of decode).
+std::string EncodeStoreFrame(const RepresentationStore& store, size_t first,
+                             size_t count);
+
+/// Decodes one frame blob, re-validating structure (offset monotonicity,
+/// strictly increasing endpoints, coverage of series_length) exactly like
+/// RepresentationStore::FromColumns. first_id seeds DecodedFrame::first_id.
+Status DecodeStoreFrame(const char* p, size_t len, size_t first_id,
+                        size_t series_length,
+                        storedetail::DecodedFrame* out);
+
+}  // namespace colcodec
+
+/// \brief Fixed-point-quantizes a hot store's float columns.
+///
+/// Returns a new hot store with identical structure (offsets, endpoints,
+/// symbols bit-for-bit) whose a/b and transform-coefficient values are
+/// rounded to multiples of the respective step, with quantized() == true
+/// and the per-series lb_slack column filled in (see file comment for the
+/// soundness argument). Values the codec cannot represent exactly
+/// (non-finite, |v/step| > kMaxQuantMagnitude) pass through unchanged and
+/// contribute 0 to the slack. Quantizing an already-quantized store with
+/// the same steps is the identity (modulo store id).
+Result<RepresentationStore> QuantizeStore(const RepresentationStore& store,
+                                          const StoreCodecOptions& codec);
+
+}  // namespace sapla
+
+#endif  // SAPLA_REDUCTION_COLUMN_CODEC_H_

@@ -1,0 +1,71 @@
+#include "reduction/column_residency.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "reduction/column_codec.h"
+
+namespace sapla {
+namespace storedetail {
+
+std::shared_ptr<const DecodedFrame> ColdColumns::Frame(size_t id) const {
+  const size_t fi = frame_of(id);
+  SAPLA_DCHECK(fi < frames.size());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(fi);
+    if (it != cache_.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      return it->second.frame;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  // Decode outside the lock. Two threads missing the same frame decode it
+  // twice; the loser's copy is dropped when it finds the winner's entry —
+  // both copies are identical and either is safe to read through a pin.
+  const FrameMeta& meta = frames[fi];
+  auto frame = std::make_shared<DecodedFrame>();
+  const Status st = colcodec::DecodeStoreFrame(
+      frames_base + meta.offset, static_cast<size_t>(meta.length),
+      static_cast<size_t>(meta.first_id), series_length, frame.get());
+  if (!st.ok() || frame->count != meta.count) {
+    // The archive's CRCs were verified at open; a structural failure here
+    // means the mapping changed underneath us or the directory lied.
+    // Fail-stop rather than serve garbage bounds.
+    std::fprintf(stderr,
+                 "sapla: cold frame %zu decode failed after CRC-verified "
+                 "open: %s\n",
+                 fi, st.ok() ? "count mismatch" : st.ToString().c_str());
+    std::abort();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cache_.find(fi);
+  if (it != cache_.end()) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return it->second.frame;
+  }
+  lru_.push_front(fi);
+  cache_[fi] = CacheEntry{frame, lru_.begin()};
+  cache_bytes_ += frame->bytes();
+  // Bounded cache: evict LRU frames past capacity but always retain one.
+  // Pinned readers keep evicted frames alive through their shared_ptr.
+  while (cache_bytes_ > cache_capacity_bytes && cache_.size() > 1) {
+    const size_t victim = lru_.back();
+    lru_.pop_back();
+    auto vit = cache_.find(victim);
+    SAPLA_DCHECK(vit != cache_.end());
+    cache_bytes_ -= vit->second.frame->bytes();
+    cache_.erase(vit);
+  }
+  return frame;
+}
+
+size_t ColdColumns::cached_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_bytes_;
+}
+
+}  // namespace storedetail
+}  // namespace sapla

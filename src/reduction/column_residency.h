@@ -1,0 +1,111 @@
+#ifndef SAPLA_REDUCTION_COLUMN_RESIDENCY_H_
+#define SAPLA_REDUCTION_COLUMN_RESIDENCY_H_
+
+// Cold residency tier of the representation store.
+//
+// A cold store does not hold decoded arenas; it holds an mmap of a v4
+// SAPLACOL archive (util/mmap_file.h) plus a frame directory. Series are
+// grouped into fixed-size frames (kDefaultFrameSeries per frame); each
+// frame is an independently decodable blob (reduction/column_codec.h).
+// On first touch a frame is decoded into a DecodedFrame and kept in a
+// bounded LRU cache; readers pin frames via StoreReadPin
+// (representation_store.h), so an evicted frame stays alive until its
+// last reader drops the pin — eviction only bounds the cache's own
+// accounting, never invalidates outstanding views.
+//
+// Thread safety: the cache (map + LRU list + byte count) is guarded by
+// `mu`; hit/miss counters are relaxed atomics so footprint sampling never
+// takes the lock. Decoded frames are immutable after insertion.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "reduction/representation_store.h"
+#include "util/mmap_file.h"
+
+namespace sapla {
+namespace storedetail {
+
+/// Series per frame in a v4 archive (the serializer's default; the file
+/// header records the actual value used).
+inline constexpr size_t kDefaultFrameSeries = 256;
+
+/// One decoded frame: frame-local offset tables (count + 1 entries each,
+/// starting at 0) plus the decoded column slices for series
+/// [first_id, first_id + count).
+struct DecodedFrame {
+  size_t first_id = 0;
+  size_t count = 0;
+  std::vector<uint64_t> seg_off, coeff_off, sym_off;
+  std::vector<double> a, b, coeffs;
+  std::vector<uint32_t> r;
+  std::vector<int> symbols;
+
+  /// Heap bytes held by the decoded columns (cache accounting).
+  size_t bytes() const {
+    return (seg_off.size() + coeff_off.size() + sym_off.size()) *
+               sizeof(uint64_t) +
+           (a.size() + b.size() + coeffs.size()) * sizeof(double) +
+           r.size() * sizeof(uint32_t) + symbols.size() * sizeof(int) +
+           sizeof(DecodedFrame);
+  }
+};
+
+/// Directory entry for one encoded frame blob.
+struct FrameMeta {
+  uint64_t offset = 0;  ///< byte offset of the blob within the frame area
+  uint64_t length = 0;  ///< blob length in bytes
+  uint64_t first_id = 0;
+  uint64_t count = 0;
+};
+
+/// \brief The cold tier: one mapping + directory + bounded decode cache.
+struct ColdColumns {
+  MmapFile file;
+  /// Encoded frame area within the mapping (directory offsets are relative
+  /// to this base).
+  const char* frames_base = nullptr;
+  size_t frames_size = 0;
+  std::vector<FrameMeta> frames;
+  /// Series per frame (every frame but the last has exactly this many).
+  size_t frame_series = kDefaultFrameSeries;
+  /// Series length n — frame decode re-validates coverage against it.
+  size_t series_length = 0;
+  /// Decode-cache capacity; at least one frame is always retained.
+  size_t cache_capacity_bytes = 64u << 20;
+
+  /// Fetches (decoding on miss) the frame containing series `id`. The
+  /// archive's CRCs were verified at open, so a decode failure here is a
+  /// broken invariant: fail-stop with a diagnostic.
+  std::shared_ptr<const DecodedFrame> Frame(size_t id) const;
+
+  size_t frame_of(size_t id) const { return id / frame_series; }
+
+  /// Current decode-cache bytes (lock-taken snapshot).
+  size_t cached_bytes() const;
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+
+ private:
+  struct CacheEntry {
+    std::shared_ptr<const DecodedFrame> frame;
+    std::list<size_t>::iterator lru_it;
+  };
+  mutable std::mutex mu_;
+  mutable std::unordered_map<size_t, CacheEntry> cache_;
+  mutable std::list<size_t> lru_;  // front = most recently used
+  mutable size_t cache_bytes_ = 0;
+  mutable std::atomic<uint64_t> hits_{0};
+  mutable std::atomic<uint64_t> misses_{0};
+};
+
+}  // namespace storedetail
+}  // namespace sapla
+
+#endif  // SAPLA_REDUCTION_COLUMN_RESIDENCY_H_

@@ -1,8 +1,12 @@
 #include "reduction/representation_store.h"
 
+#include <algorithm>
 #include <atomic>
 #include <limits>
 #include <string>
+#include <utility>
+
+#include "reduction/column_residency.h"
 
 namespace sapla {
 namespace {
@@ -14,9 +18,68 @@ uint64_t NextStoreId() {
 
 }  // namespace
 
+StoreReadPin::StoreReadPin() = default;
+StoreReadPin::~StoreReadPin() = default;
+StoreReadPin::StoreReadPin(StoreReadPin&&) noexcept = default;
+StoreReadPin& StoreReadPin::operator=(StoreReadPin&&) noexcept = default;
+
+void StoreReadPin::Release() {
+  frame_.reset();
+  first_ = 0;
+  count_ = 0;
+}
+
 RepresentationStore::RepresentationStore() : store_id_(NextStoreId()) {}
 
+// Copies take a fresh store id: id() keys the serve result cache, and two
+// live store objects must never alias an entry (the pre-fix defaulted copy
+// duplicated the id — store_codec_test.cc's regression test).
+RepresentationStore::RepresentationStore(const RepresentationStore& other)
+    : method_(other.method_),
+      n_(other.n_),
+      alphabet_(other.alphabet_),
+      num_series_(other.num_series_),
+      seg_off_(other.seg_off_),
+      coeff_off_(other.coeff_off_),
+      sym_off_(other.sym_off_),
+      a_(other.a_),
+      b_(other.b_),
+      r_(other.r_),
+      coeffs_(other.coeffs_),
+      symbols_(other.symbols_),
+      quantized_(other.quantized_),
+      codec_(other.codec_),
+      lb_slack_(other.lb_slack_),
+      max_lb_slack_(other.max_lb_slack_),
+      cold_(other.cold_),
+      store_id_(NextStoreId()) {}
+
+RepresentationStore& RepresentationStore::operator=(
+    const RepresentationStore& other) {
+  if (this == &other) return *this;
+  method_ = other.method_;
+  n_ = other.n_;
+  alphabet_ = other.alphabet_;
+  num_series_ = other.num_series_;
+  seg_off_ = other.seg_off_;
+  coeff_off_ = other.coeff_off_;
+  sym_off_ = other.sym_off_;
+  a_ = other.a_;
+  b_ = other.b_;
+  r_ = other.r_;
+  coeffs_ = other.coeffs_;
+  symbols_ = other.symbols_;
+  quantized_ = other.quantized_;
+  codec_ = other.codec_;
+  lb_slack_ = other.lb_slack_;
+  max_lb_slack_ = other.max_lb_slack_;
+  cold_ = other.cold_;
+  store_id_ = NextStoreId();
+  return *this;
+}
+
 size_t RepresentationStore::Append(const Representation& rep) {
+  SAPLA_DCHECK(cold_ == nullptr);
   if (num_series_ == 0) {
     method_ = rep.method;
     n_ = rep.n;
@@ -41,6 +104,19 @@ size_t RepresentationStore::Append(const Representation& rep) {
 
 Representation RepresentationStore::ToRepresentation(size_t id) const {
   SAPLA_DCHECK(id < num_series_);
+  if (cold_ != nullptr) {
+    StoreReadPin pin;
+    const RepView v = view(id, &pin);
+    Representation rep;
+    rep.method = method_;
+    rep.n = n_;
+    rep.alphabet = alphabet_;
+    for (size_t i = 0; i < v.num_segments(); ++i)
+      rep.segments.push_back({v.seg_a(i), v.seg_b(i), v.seg_r(i)});
+    rep.coeffs.assign(v.coeffs(), v.coeffs() + v.num_coeffs());
+    rep.symbols.assign(v.symbols(), v.symbols() + v.num_symbols());
+    return rep;
+  }
   Representation rep;
   rep.method = method_;
   rep.n = n_;
@@ -52,6 +128,35 @@ Representation RepresentationStore::ToRepresentation(size_t id) const {
   rep.symbols.assign(symbols_.begin() + static_cast<ptrdiff_t>(sym_off_[id]),
                      symbols_.begin() + static_cast<ptrdiff_t>(sym_off_[id + 1]));
   return rep;
+}
+
+RepView RepresentationStore::ColdView(size_t id, StoreReadPin* pin) const {
+  SAPLA_DCHECK(id < num_series_);
+  SAPLA_DCHECK(pin != nullptr);
+  const storedetail::DecodedFrame* f = pin->frame_.get();
+  if (f == nullptr || id < pin->first_ || id >= pin->first_ + pin->count_) {
+    pin->frame_ = cold_->Frame(id);
+    pin->first_ = pin->frame_->first_id;
+    pin->count_ = pin->frame_->count;
+    f = pin->frame_.get();
+  }
+  const size_t local = id - f->first_id;
+  RepView v;
+  v.method_ = method_;
+  v.n_ = n_;
+  v.alphabet_ = alphabet_;
+  const uint64_t s0 = f->seg_off[local];
+  v.num_segments_ = static_cast<size_t>(f->seg_off[local + 1] - s0);
+  v.a_ = f->a.data() + s0;
+  v.b_ = f->b.data() + s0;
+  v.r_ = f->r.data() + s0;
+  const uint64_t c0 = f->coeff_off[local];
+  v.num_coeffs_ = static_cast<size_t>(f->coeff_off[local + 1] - c0);
+  v.coeffs_ = v.num_coeffs_ > 0 ? f->coeffs.data() + c0 : nullptr;
+  const uint64_t y0 = f->sym_off[local];
+  v.num_symbols_ = static_cast<size_t>(f->sym_off[local + 1] - y0);
+  v.symbols_ = v.num_symbols_ > 0 ? f->symbols.data() + y0 : nullptr;
+  return v;
 }
 
 void RepresentationStore::Reset() {
@@ -67,6 +172,11 @@ void RepresentationStore::Reset() {
   r_.clear();
   coeffs_.clear();
   symbols_.clear();
+  quantized_ = false;
+  codec_ = StoreCodecOptions();
+  lb_slack_.clear();
+  max_lb_slack_ = 0.0;
+  cold_.reset();
   store_id_ = NextStoreId();
 }
 
@@ -77,6 +187,58 @@ void RepresentationStore::Reserve(size_t num_series, size_t total_segments) {
   a_.reserve(total_segments);
   b_.reserve(total_segments);
   r_.reserve(total_segments);
+}
+
+void RepresentationStore::SetCodecState(const StoreCodecOptions& codec,
+                                        std::vector<double> lb_slack) {
+  SAPLA_DCHECK(lb_slack.empty() || lb_slack.size() == num_series_);
+  codec_ = codec;
+  lb_slack_ = std::move(lb_slack);
+  max_lb_slack_ = 0.0;
+  for (double s : lb_slack_) max_lb_slack_ = std::max(max_lb_slack_, s);
+  quantized_ = !codec_.lossless() || max_lb_slack_ > 0.0;
+  // Normalize: a lossless store with an all-zero slack column is the same
+  // store as one with no slack column — keep one canonical form so
+  // save/load round trips compare equal.
+  if (!quantized_) lb_slack_.clear();
+}
+
+StoreFootprint RepresentationStore::footprint() const {
+  StoreFootprint fp;
+  fp.resident_bytes =
+      (seg_off_.size() + coeff_off_.size() + sym_off_.size()) *
+          sizeof(uint64_t) +
+      (a_.size() + b_.size() + coeffs_.size() + lb_slack_.size()) *
+          sizeof(double) +
+      r_.size() * sizeof(uint32_t) + symbols_.size() * sizeof(int);
+  if (cold_ != nullptr) {
+    fp.resident_bytes += cold_->cached_bytes();
+    if (cold_->file.mapped()) {
+      fp.mapped_bytes = cold_->file.size();
+    } else {
+      fp.resident_bytes += cold_->file.size();  // heap fallback: be honest
+    }
+    fp.frame_hits = cold_->hits();
+    fp.frame_misses = cold_->misses();
+  }
+  return fp;
+}
+
+RepresentationStore RepresentationStore::FromColdColumns(
+    Method method, size_t n, size_t alphabet, size_t num_series,
+    std::shared_ptr<storedetail::ColdColumns> cold,
+    const StoreCodecOptions& codec, std::vector<double> lb_slack) {
+  RepresentationStore store;
+  store.method_ = method;
+  store.n_ = n;
+  store.alphabet_ = alphabet;
+  store.num_series_ = num_series;
+  store.seg_off_.clear();
+  store.coeff_off_.clear();
+  store.sym_off_.clear();
+  store.cold_ = std::move(cold);
+  store.SetCodecState(codec, std::move(lb_slack));
+  return store;
 }
 
 Result<RepresentationStore> RepresentationStore::FromColumns(
@@ -140,11 +302,16 @@ Result<RepresentationStore> RepresentationStore::FromColumns(
 }
 
 bool operator==(const RepresentationStore& x, const RepresentationStore& y) {
+  SAPLA_DCHECK(x.cold_ == nullptr && y.cold_ == nullptr);
   return x.method_ == y.method_ && x.n_ == y.n_ && x.alphabet_ == y.alphabet_ &&
          x.num_series_ == y.num_series_ && x.seg_off_ == y.seg_off_ &&
          x.coeff_off_ == y.coeff_off_ && x.sym_off_ == y.sym_off_ &&
          x.a_ == y.a_ && x.b_ == y.b_ && x.r_ == y.r_ &&
-         x.coeffs_ == y.coeffs_ && x.symbols_ == y.symbols_;
+         x.coeffs_ == y.coeffs_ && x.symbols_ == y.symbols_ &&
+         x.quantized_ == y.quantized_ &&
+         x.codec_.ab_step == y.codec_.ab_step &&
+         x.codec_.coeff_step == y.codec_.coeff_step &&
+         x.lb_slack_ == y.lb_slack_;
 }
 
 }  // namespace sapla

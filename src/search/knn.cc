@@ -222,11 +222,18 @@ KnnResult SimilarityIndex::Knn(const std::vector<double>& query,
   TopK top(k);
   // Leaf-entry handler, backend-agnostic: lower-bound filter (Dist_LB
   // against the raw query for segment methods — rigorous), then the exact
-  // (counted) refinement on the raw series.
+  // (counted) refinement on the raw series. Over a quantized corpus the
+  // filter distance is measured against the *quantized* representation,
+  // which can exceed the true lower bound by the store's per-series slack;
+  // subtracting it restores a sound bound (so no true neighbor is ever
+  // pruned), and the exact refinement below is untouched by quantization.
   SearchCounters& c = result.counters;
+  StoreReadPin pin;  // keeps the current cold frame decoded across visits
+  const bool has_slack = !options_.legacy_aos_corpus && store_.quantized();
   const auto visit = [&](size_t id, double bound) {
-    const double lb =
-        FilterDistanceView(query_fitter, query_rep, corpus_view(id), &scratch);
+    double lb = FilterDistanceView(query_fitter, query_rep,
+                                   corpus_view(id, &pin), &scratch);
+    if (has_slack) lb = std::max(0.0, lb - store_.lb_slack(id));
     ++c.lb_evaluations;
     if (lb <= bound) {
       const double exact =
@@ -268,9 +275,12 @@ KnnResult SimilarityIndex::RangeSearch(const std::vector<double>& query,
   // The pruning bound is the fixed radius: visit never tightens it, so the
   // traversal enumerates exactly the nodes/entries within range.
   SearchCounters& c = result.counters;
+  StoreReadPin pin;
+  const bool has_slack = !options_.legacy_aos_corpus && store_.quantized();
   const auto visit = [&](size_t id, double /*bound*/) {
-    const double lb =
-        FilterDistanceView(query_fitter, query_rep, corpus_view(id), &scratch);
+    double lb = FilterDistanceView(query_fitter, query_rep,
+                                   corpus_view(id, &pin), &scratch);
+    if (has_slack) lb = std::max(0.0, lb - store_.lb_slack(id));
     ++c.lb_evaluations;
     if (lb <= radius) {
       const double exact =
@@ -319,11 +329,17 @@ KnnResult SimilarityIndex::KnnLowerBound(const std::vector<double>& query,
                                    RepView::Of(reps_[id]), &scratch),
                 id);
   } else {
-    // Full-corpus scan: the batched kernel streams the store's columns.
+    // Full-corpus scan: the batched kernel streams the store's columns
+    // (or decodes frame-by-frame for a cold store). A quantized corpus's
+    // bounds are loosened by the per-series slack so the reported
+    // distances remain true lower bounds.
     DistanceScratch scratch;
     std::vector<double> lbs(num);
     FilterDistanceBatch(query_fitter, query_rep, store_, nullptr, num,
                         lbs.data(), &scratch);
+    if (store_.quantized())
+      for (size_t id = 0; id < num; ++id)
+        lbs[id] = std::max(0.0, lbs[id] - store_.lb_slack(id));
     for (size_t id = 0; id < num; ++id) top.Offer(lbs[id], id);
   }
   result.neighbors = top.Sorted();
@@ -355,6 +371,9 @@ KnnResult SimilarityIndex::RangeSearchLowerBound(
     std::vector<double> lbs(num);
     FilterDistanceBatch(query_fitter, query_rep, store_, nullptr, num,
                         lbs.data(), &scratch);
+    if (store_.quantized())
+      for (size_t id = 0; id < num; ++id)
+        lbs[id] = std::max(0.0, lbs[id] - store_.lb_slack(id));
     for (size_t id = 0; id < num; ++id)
       if (lbs[id] <= radius) result.neighbors.emplace_back(lbs[id], id);
   }

@@ -148,13 +148,18 @@ class SimilarityIndex : public SearchIndex {
   /// under an old corpus (serve/result_cache.h) can never be served against
   /// a rebuilt index.
   uint64_t corpus_id() const override { return store_.id(); }
+  /// Resident-vs-mapped bytes of the corpus store (cold stores report
+  /// their frame-cache hit/miss counters too).
+  StoreFootprint footprint() const override { return store_.footprint(); }
   TreeStats stats() const;
 
  private:
-  /// View of series `id`'s reduction over the active corpus layout.
-  RepView corpus_view(size_t id) const {
+  /// View of series `id`'s reduction over the active corpus layout; `pin`
+  /// keeps a cold store's decoded frame alive while the view is in use
+  /// (untouched for hot stores and the AoS layout).
+  RepView corpus_view(size_t id, StoreReadPin* pin) const {
     return options_.legacy_aos_corpus ? RepView::Of(reps_[id])
-                                      : store_.view(id);
+                                      : store_.view(id, pin);
   }
 
   Method method_;

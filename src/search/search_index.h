@@ -197,6 +197,12 @@ class SearchIndex {
   virtual ShardHealth shard_health(size_t /*shard*/) const {
     return ShardHealth::kHealthy;
   }
+
+  /// Memory residency of the served corpus (resident vs. mmap-backed
+  /// bytes, frame-cache hit/miss counters; representation_store.h). The
+  /// serving layer exports these as gauges. Implementations sum across
+  /// shards/generations; the default reports nothing.
+  virtual StoreFootprint footprint() const { return StoreFootprint{}; }
 };
 
 }  // namespace sapla

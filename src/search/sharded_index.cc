@@ -52,7 +52,8 @@ std::string ShardedIndex::ShardSnapshotPath(const std::string& prefix,
 }
 
 Status ShardedIndex::InitShards(const Dataset& dataset,
-                                const std::string& snapshot_prefix) {
+                                const std::string& snapshot_prefix,
+                                const SnapshotLoadOptions& load_options) {
   if (options_.index.legacy_aos_corpus)
     return Status::InvalidArgument(
         "sharded index requires the columnar corpus layout");
@@ -77,7 +78,7 @@ Status ShardedIndex::InitShards(const Dataset& dataset,
         snapshot_prefix.empty()
             ? gen->index->Build(gen->dataset)
             : LoadIndexSnapshot(ShardSnapshotPath(snapshot_prefix, s),
-                                gen->dataset, gen->index.get());
+                                gen->dataset, gen->index.get(), load_options);
     if (!st.ok()) return st;
     auto shard = std::make_unique<Shard>();
     shard->gen = std::move(gen);
@@ -93,15 +94,15 @@ Status ShardedIndex::InitShards(const Dataset& dataset,
 
 Status ShardedIndex::Build(const Dataset& dataset) {
   SAPLA_TRACE_SPAN("shard/build");
-  return InitShards(dataset, "");
+  return InitShards(dataset, "", SnapshotLoadOptions{});
 }
 
-Status ShardedIndex::Restore(const Dataset& dataset,
-                             const std::string& prefix) {
+Status ShardedIndex::Restore(const Dataset& dataset, const std::string& prefix,
+                             const SnapshotLoadOptions& load_options) {
   SAPLA_TRACE_SPAN("shard/restore");
   if (prefix.empty())
     return Status::InvalidArgument("empty snapshot prefix");
-  return InitShards(dataset, prefix);
+  return InitShards(dataset, prefix, load_options);
 }
 
 std::pair<size_t, size_t> ShardedIndex::ShardRange(size_t shard) const {
@@ -109,7 +110,8 @@ std::pair<size_t, size_t> ShardedIndex::ShardRange(size_t shard) const {
   return {shards_[shard]->lo, shards_[shard]->hi};
 }
 
-Status ShardedIndex::SaveSnapshots(const std::string& prefix) const {
+Status ShardedIndex::SaveSnapshots(
+    const std::string& prefix, const SnapshotWriteOptions& write_options) const {
   SAPLA_TRACE_SPAN("shard/save_snapshots");
   if (shards_.empty())
     return Status::InvalidArgument("sharded index is not built");
@@ -119,8 +121,8 @@ Status ShardedIndex::SaveSnapshots(const std::string& prefix) const {
       std::lock_guard<std::mutex> lock(shards_[s]->mu);
       gen = shards_[s]->gen;
     }
-    const Status st =
-        SaveIndexSnapshot(ShardSnapshotPath(prefix, s), *gen->index);
+    const Status st = SaveIndexSnapshot(ShardSnapshotPath(prefix, s),
+                                        *gen->index, write_options);
     if (!st.ok()) return st;
   }
   return Status::OK();
@@ -155,7 +157,8 @@ Status ShardedIndex::RebuildShard(size_t shard) {
   return Status::OK();
 }
 
-Status ShardedIndex::RestoreShard(size_t shard, const std::string& path) {
+Status ShardedIndex::RestoreShard(size_t shard, const std::string& path,
+                                  const SnapshotLoadOptions& load_options) {
   SAPLA_TRACE_SPAN("shard/restore_shard");
   if (shard >= shards_.size())
     return Status::InvalidArgument("shard out of range");
@@ -168,7 +171,8 @@ Status ShardedIndex::RestoreShard(size_t shard, const std::string& path) {
   gen->dataset = old->dataset;
   gen->index =
       std::make_unique<SimilarityIndex>(method_, m_, kind_, options_.index);
-  const Status st = LoadIndexSnapshot(path, gen->dataset, gen->index.get());
+  const Status st =
+      LoadIndexSnapshot(path, gen->dataset, gen->index.get(), load_options);
   if (!st.ok()) return st;
   Publish(shard, std::move(gen));
   return Status::OK();
@@ -188,6 +192,20 @@ uint64_t ShardedIndex::shard_corpus_id(size_t shard) const {
   if (shard >= shards_.size()) return 0;
   std::lock_guard<std::mutex> lock(shards_[shard]->mu);
   return shards_[shard]->gen->index->corpus_id();
+}
+
+StoreFootprint ShardedIndex::footprint() const {
+  StoreFootprint total;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    std::shared_ptr<const Generation> gen;
+    {
+      std::lock_guard<std::mutex> lock(shards_[s]->mu);
+      gen = shards_[s]->gen;
+    }
+    if (gen != nullptr && gen->index != nullptr)
+      total += gen->index->footprint();
+  }
+  return total;
 }
 
 uint64_t ShardedIndex::corpus_id() const {

@@ -50,6 +50,7 @@
 
 #include "search/knn.h"
 #include "search/search_index.h"
+#include "search/snapshot.h"
 #include "ts/time_series.h"
 #include "util/status.h"
 
@@ -87,7 +88,11 @@ class ShardedIndex : public SearchIndex {
 
   /// Saves every shard's snapshot (search/snapshot.h) under
   /// ShardSnapshotPath(prefix, shard), atomically per file.
-  Status SaveSnapshots(const std::string& prefix) const;
+  /// `write_options` applies per shard: a lossy codec writes quantized v4
+  /// store sections (answers stay id-identical after reload; see
+  /// SnapshotWriteOptions).
+  Status SaveSnapshots(const std::string& prefix,
+                       const SnapshotWriteOptions& write_options = {}) const;
 
   /// "<prefix>.shard<shard>.snp" — where SaveSnapshots puts shard files.
   static std::string ShardSnapshotPath(const std::string& prefix,
@@ -97,7 +102,10 @@ class ShardedIndex : public SearchIndex {
   /// restores every shard from its snapshot instead of rebuilding.
   /// Topology (shard count, ranges, method, m, kind) must match the saved
   /// one; any mismatch or corruption rejects the whole restore.
-  Status Restore(const Dataset& dataset, const std::string& prefix);
+  /// `load_options.cold_store` serves every shard's store mmap-backed
+  /// (requires v4 store sections).
+  Status Restore(const Dataset& dataset, const std::string& prefix,
+                 const SnapshotLoadOptions& load_options = {});
 
   /// Live swap: rebuilds `shard`'s generation from its retained slice and
   /// publishes it atomically under running queries. The shard's corpus id
@@ -108,7 +116,8 @@ class ShardedIndex : public SearchIndex {
   /// Live swap from disk: loads the snapshot at `path` into a fresh
   /// generation for `shard` (validated against the shard's retained slice)
   /// and publishes it atomically. Also resets the shard to healthy.
-  Status RestoreShard(size_t shard, const std::string& path);
+  Status RestoreShard(size_t shard, const std::string& path,
+                      const SnapshotLoadOptions& load_options = {});
 
   /// Sets one shard's health (the serving layer and the chaos harness
   /// drive this). Takes effect for queries that start afterwards.
@@ -153,6 +162,10 @@ class ShardedIndex : public SearchIndex {
   /// The live corpus id of one shard (diagnostics and swap tests).
   uint64_t shard_corpus_id(size_t shard) const;
 
+  /// Sum of the live generations' store footprints (resident vs. mapped
+  /// bytes, frame-cache traffic).
+  StoreFootprint footprint() const override;
+
  private:
   /// One immutable served generation: the shard's slice of the corpus and
   /// the index built over it. The Dataset lives at a stable address inside
@@ -187,8 +200,8 @@ class ShardedIndex : public SearchIndex {
                                    obs::QueryExplain* explain) const;
   /// Shared Build/Restore body: partitions, then builds each shard or
   /// loads it from `snapshot_prefix` (empty = build).
-  Status InitShards(const Dataset& dataset,
-                    const std::string& snapshot_prefix);
+  Status InitShards(const Dataset& dataset, const std::string& snapshot_prefix,
+                    const SnapshotLoadOptions& load_options);
   /// Atomically swaps in a shard's next generation and resets its health.
   void Publish(size_t shard, std::shared_ptr<const Generation> gen);
 

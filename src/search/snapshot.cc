@@ -45,8 +45,8 @@ uint64_t DatasetFingerprint(const Dataset& dataset) {
          (static_cast<uint64_t>(dataset.length()) << 32) ^ crc;
 }
 
-Status SaveIndexSnapshot(const std::string& path,
-                         const SimilarityIndex& index) {
+Status SaveIndexSnapshot(const std::string& path, const SimilarityIndex& index,
+                         const SnapshotWriteOptions& options) {
   SAPLA_TRACE_SPAN("snapshot/save");
   if (index.dataset() == nullptr) return Bad("index is not built");
   if (index.options().legacy_aos_corpus)
@@ -54,7 +54,19 @@ Status SaveIndexSnapshot(const std::string& path,
   if (index.store().size() != index.dataset_size())
     return Bad("store does not cover the dataset");
 
-  const std::string store_bytes = SerializeRepresentationStore(index.store());
+  std::string store_bytes;
+  if (options.codec.lossless()) {
+    store_bytes =
+        SerializeRepresentationStore(index.store(), options.store_format);
+  } else {
+    // Lossy compression happens at snapshot time, never in the serving
+    // index: quantize a copy, record its slack, and persist that.
+    Result<RepresentationStore> quantized =
+        QuantizeStore(index.store(), options.codec);
+    if (!quantized.ok()) return quantized.status();
+    store_bytes = SerializeRepresentationStore(
+        std::move(quantized).ValueOrDie(), options.store_format);
+  }
   // Unimplemented tree serialization is not an error: the snapshot simply
   // omits the tree and the loader re-inserts.
   std::string tree_bytes;
@@ -90,7 +102,8 @@ Status SaveIndexSnapshot(const std::string& path,
 }
 
 Status LoadIndexSnapshot(const std::string& path, const Dataset& dataset,
-                         SimilarityIndex* index) {
+                         SimilarityIndex* index,
+                         const SnapshotLoadOptions& options) {
   SAPLA_TRACE_SPAN("snapshot/load");
   Result<std::string> file = ReadFileBytes(path);
   if (!file.ok()) return file.status();
@@ -145,6 +158,7 @@ Status LoadIndexSnapshot(const std::string& path, const Dataset& dataset,
     return Bad("dataset fingerprint mismatch (snapshot belongs to a "
                "different corpus)");
 
+  const size_t store_begin = r.consumed();
   const std::string store_bytes = r.ReadBytes(store_len);
   const std::string tree_bytes = r.ReadBytes(tree_len);
   if (!r.ok() || r.remaining() != 0) return Bad("section length mismatch");
@@ -153,7 +167,16 @@ Status LoadIndexSnapshot(const std::string& path, const Dataset& dataset,
   if (Crc32c(tree_bytes) != crc_tree)
     return Bad("tree section checksum mismatch");
 
-  Result<RepresentationStore> store = ParseRepresentationStore(store_bytes);
+  Result<RepresentationStore> store =
+      options.cold_store
+          // Cold: re-map the validated store section straight from the
+          // file — only the directory/slack metadata goes resident, and
+          // frames decode lazily. (The full-file read above is transient
+          // load-time memory; steady-state residency is what cold bounds.)
+          ? OpenColdRepresentationStoreAt(
+                path, store_begin, static_cast<size_t>(store_len),
+                ColdStoreOptions{options.cold_cache_bytes})
+          : ParseRepresentationStore(store_bytes);
   if (!store.ok()) return store.status();
   return index->RestoreFromStore(dataset, std::move(store).ValueOrDie(),
                                  tree_bytes);

@@ -36,7 +36,9 @@
 #include <cstdint>
 #include <string>
 
+#include "reduction/column_codec.h"
 #include "search/knn.h"
+#include "ts/io.h"
 #include "ts/time_series.h"
 #include "util/status.h"
 
@@ -48,19 +50,51 @@ namespace sapla {
 /// any other.
 uint64_t DatasetFingerprint(const Dataset& dataset);
 
+/// Controls how a snapshot's store section is written.
+struct SnapshotWriteOptions {
+  /// When non-lossless (a positive step set), the store is quantized
+  /// through QuantizeStore before serialization: coefficients snap to the
+  /// step grid and the per-series lower-bound slack is recorded, so the
+  /// loaded index still never drops a true neighbor (its exact distances
+  /// are refined from the raw dataset and answers stay id-identical;
+  /// only pruning counters may differ). Default: lossless passthrough.
+  StoreCodecOptions codec;
+  /// On-disk store revision; kAuto writes v4 exactly when the (possibly
+  /// quantized) store is quantized. Force kV4 to make an unquantized
+  /// snapshot cold-loadable (cold residency needs the framed v4 layout).
+  StoreFormat store_format = StoreFormat::kAuto;
+};
+
+/// Controls how a snapshot's store section is loaded.
+struct SnapshotLoadOptions {
+  /// Serve the store COLD: mmap the snapshot's store section and decode
+  /// frames lazily into a bounded cache instead of materializing every
+  /// column resident. Requires a v4 store section (see
+  /// SnapshotWriteOptions::store_format). The tree section still loads
+  /// resident.
+  bool cold_store = false;
+  /// Cold decode-cache capacity (at least one frame is always retained).
+  size_t cold_cache_bytes = 64u << 20;
+};
+
 /// Persists `index` (built, columnar corpus) to `path` atomically.
 /// Fails with InvalidArgument on an unbuilt or legacy-AoS index; IO
 /// failures come back from AtomicWriteFile with the failing step named.
-Status SaveIndexSnapshot(const std::string& path, const SimilarityIndex& index);
+Status SaveIndexSnapshot(const std::string& path, const SimilarityIndex& index,
+                         const SnapshotWriteOptions& options = {});
 
 /// Restores `index` from the snapshot at `path`, attaching `dataset` as
 /// the raw corpus. `index` must be freshly constructed with the same
 /// (method, m, kind) the snapshot was saved with — mismatches, fingerprint
 /// mismatches and corruption are all rejected with InvalidArgument before
 /// the index is touched. On success the index serves bit-identical answers
-/// to the one that saved the snapshot, under a fresh corpus_id.
+/// to the one that saved the snapshot, under a fresh corpus_id (for a
+/// snapshot written with a lossy codec, answers are id- and
+/// distance-identical to the pre-quantization index; pruning counters may
+/// differ).
 Status LoadIndexSnapshot(const std::string& path, const Dataset& dataset,
-                         SimilarityIndex* index);
+                         SimilarityIndex* index,
+                         const SnapshotLoadOptions& options = {});
 
 }  // namespace sapla
 

@@ -139,6 +139,14 @@ void QueryService::RefreshShardGauges() const {
     metrics_.shard_health[s].store(
         static_cast<uint64_t>(index_.shard_health(s)),
         std::memory_order_relaxed);
+  const StoreFootprint fp = index_.footprint();
+  metrics_.store_resident_bytes.store(fp.resident_bytes,
+                                      std::memory_order_relaxed);
+  metrics_.store_mapped_bytes.store(fp.mapped_bytes,
+                                    std::memory_order_relaxed);
+  metrics_.store_frame_hits.store(fp.frame_hits, std::memory_order_relaxed);
+  metrics_.store_frame_misses.store(fp.frame_misses,
+                                    std::memory_order_relaxed);
 }
 
 void QueryService::WatchdogLoop() {

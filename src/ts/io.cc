@@ -3,16 +3,22 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <charconv>
+#include <cmath>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <system_error>
+#include <utility>
 
+#include "reduction/column_codec.h"
+#include "reduction/column_residency.h"
 #include "util/crc32c.h"
 #include "util/fault.h"
+#include "util/mmap_file.h"
 
 namespace sapla {
 namespace {
@@ -20,7 +26,8 @@ namespace {
 constexpr char kMagicV1[] = "SAPLA-REP v1";
 constexpr char kMagicV2[] = "SAPLACOL";  // 8 bytes, no terminator on disk
 constexpr uint32_t kVersionV2 = 2;       // legacy: no section checksums
-constexpr uint32_t kVersionV3 = 3;       // current: CRC32C per section
+constexpr uint32_t kVersionV3 = 3;       // CRC32C per section
+constexpr uint32_t kVersionV4 = 4;       // framed + per-column codecs
 
 // Sanity bounds applied to declared sizes in parsed archives: large enough
 // for any real corpus, small enough that a corrupt or hostile header cannot
@@ -92,6 +99,12 @@ void PutU64(std::string* out, uint64_t v) {
   out->append(reinterpret_cast<const char*>(&v), sizeof(v));
 }
 
+void PutF64(std::string* out, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
 template <typename T>
 void PutArray(std::string* out, const std::vector<T>& v) {
   if (!v.empty())
@@ -102,10 +115,15 @@ void Pad8(std::string* out) {
   while (out->size() % 8 != 0) out->push_back('\0');
 }
 
-// Bounds-checked sequential reader over the serialized bytes.
+// Bounds-checked sequential reader over serialized bytes — a std::string
+// or (for the cold path, which parses straight out of an mmap) any raw
+// byte range.
 class ByteReader {
  public:
-  explicit ByteReader(const std::string& data) : p_(data.data()), end_(p_ + data.size()) {}
+  explicit ByteReader(const std::string& data)
+      : begin_(data.data()), p_(data.data()), end_(p_ + data.size()) {}
+  ByteReader(const char* data, size_t size)
+      : begin_(data), p_(data), end_(data + size) {}
 
   bool Read(void* out, size_t len) {
     if (static_cast<size_t>(end_ - p_) < len) return false;
@@ -116,6 +134,12 @@ class ByteReader {
 
   bool ReadU32(uint32_t* v) { return Read(v, sizeof(*v)); }
   bool ReadU64(uint64_t* v) { return Read(v, sizeof(*v)); }
+  bool ReadF64(double* v) {
+    uint64_t bits;
+    if (!ReadU64(&bits)) return false;
+    std::memcpy(v, &bits, sizeof(*v));
+    return true;
+  }
 
   template <typename T>
   bool ReadArray(std::vector<T>* v, uint64_t count) {
@@ -133,11 +157,10 @@ class ByteReader {
     return true;
   }
 
-  size_t consumed(const std::string& data) const {
-    return static_cast<size_t>(p_ - data.data());
-  }
+  size_t consumed() const { return static_cast<size_t>(p_ - begin_); }
 
  private:
+  const char* begin_;
   const char* p_;
   const char* end_;
 };
@@ -359,7 +382,232 @@ Result<std::vector<Representation>> LoadRepresentations(
   return ParseRepresentations(*data);
 }
 
-std::string SerializeRepresentationStore(const RepresentationStore& store) {
+namespace {
+
+// v4 writer: framed, per-column codecs, slack metadata. Deterministic.
+std::string SerializeStoreV4(const RepresentationStore& store) {
+  SAPLA_DCHECK(!store.cold());
+  const size_t num_series = store.size();
+  const size_t frame_series = storedetail::kDefaultFrameSeries;
+  const size_t num_frames =
+      num_series == 0 ? 0 : (num_series + frame_series - 1) / frame_series;
+
+  std::vector<std::string> blobs(num_frames);
+  for (size_t f = 0; f < num_frames; ++f) {
+    const size_t first = f * frame_series;
+    const size_t count = std::min(frame_series, num_series - first);
+    blobs[f] = colcodec::EncodeStoreFrame(store, first, count);
+  }
+
+  std::string out;
+  out.append(kMagicV2, 8);
+  PutU32(&out, kVersionV4);
+  PutU32(&out, 0);  // flags (reserved)
+  const size_t crc_pos = out.size();
+  PutU32(&out, 0);  // crc_header, patched below
+  PutU32(&out, 0);  // crc_directory
+  PutU32(&out, 0);  // crc_frames
+  PutU32(&out, 0);  // reserved; keeps the header section 8-aligned
+
+  const size_t header_begin = out.size();
+  const std::string method = MethodName(store.method());
+  PutU32(&out, static_cast<uint32_t>(method.size()));
+  out += method;
+  Pad8(&out);
+  PutU64(&out, store.series_length());
+  PutU64(&out, store.alphabet());
+  PutU64(&out, num_series);
+  PutF64(&out, store.codec().ab_step);
+  PutF64(&out, store.codec().coeff_step);
+  PutU64(&out, frame_series);
+  PutU64(&out, num_frames);
+
+  const size_t directory_begin = out.size();
+  uint64_t rel = 0;
+  for (size_t f = 0; f < num_frames; ++f) {
+    PutU64(&out, rel);
+    PutU64(&out, blobs[f].size());
+    rel += (blobs[f].size() + 7) / 8 * 8;  // blobs are padded to 8 on disk
+  }
+  for (size_t i = 0; i < num_series; ++i) PutF64(&out, store.lb_slack(i));
+
+  const size_t frames_begin = out.size();
+  for (size_t f = 0; f < num_frames; ++f) {
+    out += blobs[f];
+    Pad8(&out);
+  }
+
+  const uint32_t crcs[3] = {
+      Crc32c(out.data() + header_begin, directory_begin - header_begin),
+      Crc32c(out.data() + directory_begin, frames_begin - directory_begin),
+      Crc32c(out.data() + frames_begin, out.size() - frames_begin)};
+  std::memcpy(out.data() + crc_pos, crcs, sizeof(crcs));
+  return out;
+}
+
+// v4 reader, shared between the hot loader and the cold open: parses and
+// CRC-verifies the header + directory, locates the frame area and verifies
+// its CRC. Frame *contents* are decoded by the caller (eagerly for hot,
+// lazily for cold — safe because the area checksum already ran).
+struct V4Parsed {
+  Method method = Method::kSapla;
+  size_t n = 0;
+  size_t alphabet = 0;
+  size_t num_series = 0;
+  StoreCodecOptions codec;
+  size_t frame_series = 0;
+  std::vector<storedetail::FrameMeta> frames;
+  std::vector<double> lb_slack;
+  size_t frames_begin = 0;  // offset of the frame area from archive start
+  size_t frames_size = 0;
+};
+
+Status ParseV4Common(const char* data, size_t size, V4Parsed* out) {
+  auto corrupt = [](const std::string& what) {
+    return Status::InvalidArgument("corrupt store file: " + what);
+  };
+  ByteReader r(data, size);
+  char magic[8];
+  uint32_t version = 0, flags = 0, reserved = 0;
+  uint32_t crc_header = 0, crc_directory = 0, crc_frames = 0;
+  if (!r.Read(magic, 8) || std::memcmp(magic, kMagicV2, 8) != 0)
+    return corrupt("bad magic");
+  if (!r.ReadU32(&version) || version != kVersionV4)
+    return corrupt("not a v4 archive");
+  if (!r.ReadU32(&flags) || !r.ReadU32(&crc_header) ||
+      !r.ReadU32(&crc_directory) || !r.ReadU32(&crc_frames) ||
+      !r.ReadU32(&reserved))
+    return corrupt("truncated checksum block");
+  if (flags != 0) return corrupt("unknown flags " + std::to_string(flags));
+  const auto section_crc = [&](size_t begin, size_t end) {
+    return Crc32c(data + begin, end - begin);
+  };
+
+  const size_t header_begin = r.consumed();
+  uint32_t name_len = 0;
+  if (!r.ReadU32(&name_len) || name_len > 64) return corrupt("bad method name");
+  std::string method_name(name_len, '\0');
+  if (!r.Read(method_name.data(), name_len)) return corrupt("bad method name");
+  if (!r.SkipPad8(r.consumed())) return corrupt("truncated padding");
+  uint64_t n = 0, alphabet = 0, num_series = 0;
+  uint64_t frame_series = 0, num_frames = 0;
+  double ab_step = 0.0, coeff_step = 0.0;
+  if (!r.ReadU64(&n) || !r.ReadU64(&alphabet) || !r.ReadU64(&num_series) ||
+      !r.ReadF64(&ab_step) || !r.ReadF64(&coeff_step) ||
+      !r.ReadU64(&frame_series) || !r.ReadU64(&num_frames))
+    return corrupt("truncated header");
+  const size_t directory_begin = r.consumed();
+  if (section_crc(header_begin, directory_begin) != crc_header)
+    return corrupt("header section checksum mismatch (torn write or "
+                   "bit flip)");
+  // Header values are trusted past the checksum; still range-check them —
+  // the checksum authenticates the writer's bytes, not its sanity.
+  const Result<Method> method = MethodFromString(method_name);
+  SAPLA_RETURN_NOT_OK(method.status());
+  if (n > kMaxSeriesLength || alphabet > kMaxAlphabet)
+    return corrupt("implausible n/alphabet");
+  if (!(ab_step >= 0.0) || !(coeff_step >= 0.0) || !std::isfinite(ab_step) ||
+      !std::isfinite(coeff_step))
+    return corrupt("invalid quantization steps");
+  if (frame_series == 0 || frame_series > (uint64_t{1} << 32))
+    return corrupt("invalid frame size");
+  const uint64_t expect_frames =
+      num_series == 0 ? 0 : (num_series + frame_series - 1) / frame_series;
+  if (num_frames != expect_frames) return corrupt("frame count mismatch");
+
+  std::vector<uint64_t> dir;
+  std::vector<double> slack;
+  if (!r.ReadArray(&dir, num_frames * 2))
+    return corrupt("truncated frame directory");
+  if (!r.ReadArray(&slack, num_series)) return corrupt("truncated slack column");
+  const size_t frames_begin = r.consumed();
+  if (section_crc(directory_begin, frames_begin) != crc_directory)
+    return corrupt("directory section checksum mismatch (torn write or "
+                   "bit flip)");
+  const size_t frames_size = size - frames_begin;
+  if (section_crc(frames_begin, size) != crc_frames)
+    return corrupt("frame section checksum mismatch (torn write or "
+                   "bit flip)");
+  for (double s : slack)
+    if (!(s >= 0.0) || !std::isfinite(s))
+      return corrupt("invalid slack value");
+
+  out->frames.clear();
+  out->frames.reserve(num_frames);
+  for (uint64_t f = 0; f < num_frames; ++f) {
+    storedetail::FrameMeta meta;
+    meta.offset = dir[2 * f];
+    meta.length = dir[2 * f + 1];
+    meta.first_id = f * frame_series;
+    meta.count = std::min<uint64_t>(frame_series, num_series - meta.first_id);
+    if (meta.offset > frames_size || meta.length > frames_size - meta.offset)
+      return corrupt("frame blob overruns the frame area");
+    out->frames.push_back(meta);
+  }
+  out->method = *method;
+  out->n = static_cast<size_t>(n);
+  out->alphabet = static_cast<size_t>(alphabet);
+  out->num_series = static_cast<size_t>(num_series);
+  out->codec.ab_step = ab_step;
+  out->codec.coeff_step = coeff_step;
+  out->frame_series = static_cast<size_t>(frame_series);
+  out->lb_slack = std::move(slack);
+  out->frames_begin = frames_begin;
+  out->frames_size = frames_size;
+  return Status::OK();
+}
+
+// Hot v4 load: decode every frame and concatenate into resident arenas.
+Result<RepresentationStore> ParseStoreV4Hot(const char* data, size_t size) {
+  V4Parsed h;
+  SAPLA_RETURN_NOT_OK(ParseV4Common(data, size, &h));
+  std::vector<uint64_t> seg_off{0}, coeff_off{0}, sym_off{0};
+  std::vector<double> a, b, coeffs;
+  std::vector<uint32_t> rr;
+  std::vector<int> symbols;
+  storedetail::DecodedFrame df;
+  for (const storedetail::FrameMeta& meta : h.frames) {
+    Status st = colcodec::DecodeStoreFrame(
+        data + h.frames_begin + meta.offset, static_cast<size_t>(meta.length),
+        static_cast<size_t>(meta.first_id), h.n, &df);
+    if (!st.ok())
+      return Status::InvalidArgument("corrupt store file: " + st.message());
+    if (df.count != meta.count)
+      return Status::InvalidArgument(
+          "corrupt store file: frame series count mismatch");
+    const uint64_t seg_base = a.size();
+    const uint64_t coeff_base = coeffs.size();
+    const uint64_t sym_base = symbols.size();
+    for (size_t i = 1; i <= df.count; ++i) {
+      seg_off.push_back(seg_base + df.seg_off[i]);
+      coeff_off.push_back(coeff_base + df.coeff_off[i]);
+      sym_off.push_back(sym_base + df.sym_off[i]);
+    }
+    a.insert(a.end(), df.a.begin(), df.a.end());
+    b.insert(b.end(), df.b.begin(), df.b.end());
+    rr.insert(rr.end(), df.r.begin(), df.r.end());
+    coeffs.insert(coeffs.end(), df.coeffs.begin(), df.coeffs.end());
+    symbols.insert(symbols.end(), df.symbols.begin(), df.symbols.end());
+  }
+  Result<RepresentationStore> built = RepresentationStore::FromColumns(
+      h.method, h.n, h.alphabet, std::move(seg_off), std::move(coeff_off),
+      std::move(sym_off), std::move(a), std::move(b), std::move(rr),
+      std::move(coeffs), std::move(symbols));
+  if (!built.ok())
+    return Status::InvalidArgument("corrupt store file: " +
+                                   built.status().message());
+  RepresentationStore store = std::move(built).ValueOrDie();
+  store.SetCodecState(h.codec, std::move(h.lb_slack));
+  return store;
+}
+
+}  // namespace
+
+std::string SerializeRepresentationStore(const RepresentationStore& store,
+                                         StoreFormat format) {
+  if (format == StoreFormat::kV4 ||
+      (format == StoreFormat::kAuto && store.quantized()))
+    return SerializeStoreV4(store);
   std::string out;
   out.append(kMagicV2, 8);
   PutU32(&out, kVersionV3);
@@ -436,6 +684,7 @@ Result<RepresentationStore> ParseRepresentationStore(const std::string& data) {
   r.Read(magic, 8);
   uint32_t version = 0;
   if (!r.ReadU32(&version)) return corrupt("truncated header");
+  if (version == kVersionV4) return ParseStoreV4Hot(data.data(), data.size());
   if (version != kVersionV2 && version != kVersionV3)
     return Status::InvalidArgument("unsupported store version " +
                                    std::to_string(version));
@@ -457,12 +706,12 @@ Result<RepresentationStore> ParseRepresentationStore(const std::string& data) {
     return Crc32c(data.data() + begin, end - begin);
   };
 
-  const size_t header_begin = r.consumed(data);
+  const size_t header_begin = r.consumed();
   uint32_t name_len = 0;
   if (!r.ReadU32(&name_len) || name_len > 64) return corrupt("bad method name");
   std::string method_name(name_len, '\0');
   if (!r.Read(method_name.data(), name_len)) return corrupt("bad method name");
-  if (!r.SkipPad8(r.consumed(data))) return corrupt("truncated padding");
+  if (!r.SkipPad8(r.consumed())) return corrupt("truncated padding");
 
   uint64_t n = 0, alphabet = 0, num_series = 0;
   uint64_t num_segments = 0, num_coeffs = 0, num_symbols = 0;
@@ -470,7 +719,7 @@ Result<RepresentationStore> ParseRepresentationStore(const std::string& data) {
       !r.ReadU64(&num_segments) || !r.ReadU64(&num_coeffs) ||
       !r.ReadU64(&num_symbols))
     return corrupt("truncated header");
-  const size_t offsets_begin = r.consumed(data);
+  const size_t offsets_begin = r.consumed();
   if (has_crc && section_crc(header_begin, offsets_begin) != crc_header)
     return corrupt("header section checksum mismatch (torn write or "
                    "bit flip)");
@@ -487,16 +736,16 @@ Result<RepresentationStore> ParseRepresentationStore(const std::string& data) {
       !r.ReadArray(&coeff_off, num_series + 1) ||
       !r.ReadArray(&sym_off, num_series + 1))
     return corrupt("truncated offset tables");
-  const size_t columns_begin = r.consumed(data);
+  const size_t columns_begin = r.consumed();
   if (has_crc && section_crc(offsets_begin, columns_begin) != crc_offsets)
     return corrupt("offset-table section checksum mismatch (torn write or "
                    "bit flip)");
   if (!r.ReadArray(&a, num_segments) || !r.ReadArray(&b, num_segments) ||
-      !r.ReadArray(&rr, num_segments) || !r.SkipPad8(r.consumed(data)) ||
+      !r.ReadArray(&rr, num_segments) || !r.SkipPad8(r.consumed()) ||
       !r.ReadArray(&coeffs, num_coeffs) ||
-      !r.ReadArray(&symbols, num_symbols) || !r.SkipPad8(r.consumed(data)))
+      !r.ReadArray(&symbols, num_symbols) || !r.SkipPad8(r.consumed()))
     return corrupt("truncated columns");
-  if (r.consumed(data) != data.size()) return corrupt("trailing bytes");
+  if (r.consumed() != data.size()) return corrupt("trailing bytes");
   if (has_crc && section_crc(columns_begin, data.size()) != crc_columns)
     return corrupt("column section checksum mismatch (torn write or "
                    "bit flip)");
@@ -513,14 +762,62 @@ Result<RepresentationStore> ParseRepresentationStore(const std::string& data) {
 }
 
 Status SaveRepresentationStore(const std::string& path,
-                               const RepresentationStore& store) {
-  return AtomicWriteFile(path, SerializeRepresentationStore(store));
+                               const RepresentationStore& store,
+                               StoreFormat format) {
+  return AtomicWriteFile(path, SerializeRepresentationStore(store, format));
 }
 
 Result<RepresentationStore> LoadRepresentationStore(const std::string& path) {
   Result<std::string> data = ReadFileToString(path);
   SAPLA_RETURN_NOT_OK(data.status());
   return ParseRepresentationStore(*data);
+}
+
+Result<RepresentationStore> OpenColdRepresentationStore(
+    const std::string& path, const ColdStoreOptions& options) {
+  Result<MmapFile> file = MmapFile::Open(path);
+  SAPLA_RETURN_NOT_OK(file.status());
+  return OpenColdRepresentationStoreAt(path, 0, file->size(), options);
+}
+
+Result<RepresentationStore> OpenColdRepresentationStoreAt(
+    const std::string& path, size_t offset, size_t length,
+    const ColdStoreOptions& options) {
+  Result<MmapFile> opened = MmapFile::Open(path);
+  SAPLA_RETURN_NOT_OK(opened.status());
+  MmapFile file = std::move(opened).ValueOrDie();
+  if (offset > file.size() || length > file.size() - offset)
+    return Status::InvalidArgument("cold open: section exceeds file size");
+  const char* base = file.data() + offset;
+  // Cold residency needs the framed layout; steer older archives to the
+  // resident loader instead of half-supporting them here.
+  {
+    ByteReader r(base, length);
+    char magic[8];
+    uint32_t version = 0;
+    if (!r.Read(magic, 8) || std::memcmp(magic, kMagicV2, 8) != 0 ||
+        !r.ReadU32(&version))
+      return Status::InvalidArgument(
+          "cold open: not a SAPLACOL archive: " + path);
+    if (version != kVersionV4)
+      return Status::InvalidArgument(
+          "cold open requires a v4 archive (got version " +
+          std::to_string(version) +
+          "); use LoadRepresentationStore for a resident load");
+  }
+  V4Parsed h;
+  SAPLA_RETURN_NOT_OK(ParseV4Common(base, length, &h));
+  auto cold = std::make_shared<storedetail::ColdColumns>();
+  cold->file = std::move(file);
+  cold->frames_base = cold->file.data() + offset + h.frames_begin;
+  cold->frames_size = h.frames_size;
+  cold->frames = std::move(h.frames);
+  cold->frame_series = h.frame_series;
+  cold->series_length = h.n;
+  cold->cache_capacity_bytes = options.cache_bytes > 0 ? options.cache_bytes : 1;
+  return RepresentationStore::FromColdColumns(
+      h.method, h.n, h.alphabet, h.num_series, std::move(cold), h.codec,
+      std::move(h.lb_slack));
 }
 
 Status SaveDatasetTsv(const std::string& path, const Dataset& dataset) {

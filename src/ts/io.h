@@ -38,6 +38,35 @@
 //   a[] f64, b[] f64, r[] u32 (padded), coeffs[] f64, symbols[] i32
 //   (padded).
 // Version 2 files (the same layout without the flags/crc words) still load.
+//
+// v4 — binary columnar with per-column codecs and frames (version = 4):
+// series are grouped into fixed-size frames, each an independently
+// decodable blob whose columns carry a codec id (raw f64 passthrough,
+// fixed-point delta for quantized floats with the step — the max-error
+// bound — stored per column, delta-varint for integers; see
+// reduction/column_codec.h). The archive records the store's quantization
+// steps and the per-series lower-bound slack column, so pruning soundness
+// survives a save/load cycle:
+//   magic "SAPLACOL" (8 bytes), u32 version = 4, u32 flags = 0,
+//   u32 crc_header, u32 crc_directory, u32 crc_frames, u32 reserved = 0,
+//   -- header section (crc_header) --
+//   u32 method-name length + bytes (zero-padded to 8),
+//   u64 n, u64 alphabet, u64 num_series,
+//   f64 ab_step, f64 coeff_step,
+//   u64 frame_series, u64 num_frames,
+//   -- directory section (crc_directory) --
+//   per frame: u64 blob offset (relative to the frame area), u64 blob
+//   length; then lb_slack[] f64 (num_series — resident even when the
+//   frames are served cold),
+//   -- frame area (crc_frames) --
+//   frame blobs, each zero-padded to 8.
+// SerializeRepresentationStore picks v4 automatically for quantized
+// stores (v3 cannot carry the slack metadata) and keeps unquantized
+// stores on v3, so existing byte-identity expectations hold; StoreFormat
+// forces either. A v4 archive can also be opened COLD
+// (OpenColdRepresentationStore): the file is mmap'd, CRCs are verified
+// once, and frames decode lazily into a bounded cache on first touch.
+//
 // LoadRepresentationStore auto-detects every format: v1 files migrate by
 // appending each parsed representation into a store (they must be
 // homogeneous), so existing archives read transparently.
@@ -80,22 +109,58 @@ Status SaveRepresentations(const std::string& path,
 Result<std::vector<Representation>> LoadRepresentations(
     const std::string& path);
 
-/// Serializes a store to the v2 binary columnar format. Deterministic:
-/// equal stores produce byte-identical output.
-std::string SerializeRepresentationStore(const RepresentationStore& store);
+/// On-disk revision selector for store serialization. kAuto writes v4
+/// when the store is quantized (v3 has nowhere to put the codec/slack
+/// metadata) and v3 otherwise.
+enum class StoreFormat : uint32_t {
+  kAuto = 0,
+  kV3 = 3,
+  kV4 = 4,
+};
 
-/// Parses a serialized store: v2 binary, or v1 text migrated through
+/// Serializes a hot store to the binary columnar format (see StoreFormat).
+/// Deterministic: equal stores produce byte-identical output, and a
+/// v4 save -> load -> save round trip is byte-identical (the codec layer
+/// is lossless; see reduction/column_codec.h).
+std::string SerializeRepresentationStore(
+    const RepresentationStore& store, StoreFormat format = StoreFormat::kAuto);
+
+/// Parses a serialized store: v2/v3/v4 binary, or v1 text migrated through
 /// RepresentationStore::Append (v1 input must be homogeneous and
 /// non-empty). Structural validation goes through
-/// RepresentationStore::FromColumns.
+/// RepresentationStore::FromColumns; v4 additionally restores the
+/// quantization steps and slack column.
 Result<RepresentationStore> ParseRepresentationStore(const std::string& data);
 
-/// Writes a store to a v2 binary file.
+/// Writes a store to a binary file (format selection as above).
 Status SaveRepresentationStore(const std::string& path,
-                               const RepresentationStore& store);
+                               const RepresentationStore& store,
+                               StoreFormat format = StoreFormat::kAuto);
 
-/// Reads a store from a v2 binary file, or migrates a v1 text file.
+/// Reads a store from a binary file, or migrates a v1 text file. Always
+/// returns a hot (fully resident) store.
 Result<RepresentationStore> LoadRepresentationStore(const std::string& path);
+
+/// Cold-open configuration (see OpenColdRepresentationStore).
+struct ColdStoreOptions {
+  /// Decode-cache capacity; at least one frame is always retained.
+  size_t cache_bytes = 64u << 20;
+};
+
+/// Opens a v4 archive as a COLD store: the file is mmap'd read-only, the
+/// header/directory/frame CRCs are verified once, the slack column is
+/// loaded resident, and frames decode lazily on first touch
+/// (RepresentationStore::view(id, &pin)). Non-v4 inputs are rejected —
+/// cold residency needs the framed layout; use LoadRepresentationStore
+/// for a resident load of any version.
+Result<RepresentationStore> OpenColdRepresentationStore(
+    const std::string& path, const ColdStoreOptions& options = {});
+
+/// Cold-opens a v4 store section embedded at [offset, offset + length) of
+/// a larger file (the index-snapshot container, search/snapshot.h).
+Result<RepresentationStore> OpenColdRepresentationStoreAt(
+    const std::string& path, size_t offset, size_t length,
+    const ColdStoreOptions& options = {});
 
 /// Writes a dataset in UCR TSV format (label + values per line), readable
 /// by LoadUcrDataset.

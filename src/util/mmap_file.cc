@@ -1,0 +1,132 @@
+#include "util/mmap_file.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#if defined(_WIN32)
+#define SAPLA_HAVE_MMAP 0
+#else
+#define SAPLA_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace sapla {
+namespace {
+
+// Heap fallback: read the whole file into a malloc'd buffer. Returns OK
+// with *buf == nullptr, *size == 0 for an empty file.
+Status ReadWhole(const std::string& path, char** buf, size_t* size) {
+  *buf = nullptr;
+  *size = 0;
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("open failed: " + path);
+  std::fseek(f, 0, SEEK_END);
+  const long end = std::ftell(f);
+  if (end < 0) {
+    std::fclose(f);
+    return Status::IOError("ftell failed: " + path);
+  }
+  std::fseek(f, 0, SEEK_SET);
+  const size_t n = static_cast<size_t>(end);
+  if (n == 0) {
+    std::fclose(f);
+    return Status::OK();
+  }
+  char* p = static_cast<char*>(malloc(n));
+  if (p == nullptr) {
+    std::fclose(f);
+    return Status::IOError("alloc failed for: " + path);
+  }
+  const size_t got = std::fread(p, 1, n, f);
+  std::fclose(f);
+  if (got != n) {
+    free(p);
+    return Status::IOError("short read: " + path);
+  }
+  *buf = p;
+  *size = n;
+  return Status::OK();
+}
+
+}  // namespace
+
+MmapFile::~MmapFile() { Release(); }
+
+MmapFile::MmapFile(MmapFile&& other) noexcept
+    : data_(other.data_), size_(other.size_), mapped_(other.mapped_) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.mapped_ = false;
+}
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    Release();
+    data_ = other.data_;
+    size_ = other.size_;
+    mapped_ = other.mapped_;
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.mapped_ = false;
+  }
+  return *this;
+}
+
+void MmapFile::Release() {
+  if (data_ == nullptr) return;
+#if SAPLA_HAVE_MMAP
+  if (mapped_) {
+    munmap(const_cast<char*>(data_), size_);
+  } else {
+    free(const_cast<char*>(data_));
+  }
+#else
+  free(const_cast<char*>(data_));
+#endif
+  data_ = nullptr;
+  size_ = 0;
+  mapped_ = false;
+}
+
+Result<MmapFile> MmapFile::Open(const std::string& path) {
+  MmapFile out;
+#if SAPLA_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    struct stat st;
+    if (fstat(fd, &st) != 0) {
+      ::close(fd);
+      return Status::IOError("fstat failed: " + path);
+    }
+    const size_t size = static_cast<size_t>(st.st_size);
+    if (size == 0) {
+      ::close(fd);
+      return out;  // empty file: valid, nothing to map
+    }
+    void* addr = mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);
+    if (addr != MAP_FAILED) {
+      out.data_ = static_cast<const char*>(addr);
+      out.size_ = size;
+      out.mapped_ = true;
+      return out;
+    }
+    // fall through to the heap path on mmap failure
+  }
+#endif
+  char* buf = nullptr;
+  size_t size = 0;
+  Status st = ReadWhole(path, &buf, &size);
+  if (!st.ok()) return st;
+  out.data_ = buf;
+  out.size_ = size;
+  out.mapped_ = false;
+  return out;
+}
+
+}  // namespace sapla

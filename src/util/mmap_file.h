@@ -1,0 +1,56 @@
+#ifndef SAPLA_UTIL_MMAP_FILE_H_
+#define SAPLA_UTIL_MMAP_FILE_H_
+
+// Read-only memory-mapped file.
+//
+// Backs the cold residency tier of the representation store
+// (reduction/representation_store.h): a v4 SAPLACOL archive is mapped once
+// and frames are decoded lazily, so the kernel's page cache — not the
+// process heap — holds the encoded columns. When mmap(2) is unavailable
+// (or the platform lacks it) Open falls back to reading the file into an
+// anonymous heap buffer, preserving behaviour at the cost of residency;
+// `mapped()` reports which path was taken so footprint gauges stay honest.
+
+#include <cstddef>
+#include <string>
+
+#include "util/status.h"
+
+namespace sapla {
+
+/// \brief Immutable byte view of a file, mmap-backed when possible.
+///
+/// Movable, non-copyable; unmaps (or frees) in the destructor. The mapping
+/// is private/read-only: the file may be concurrently replaced via
+/// rename(2) (AtomicWriteFile) without affecting an open mapping.
+class MmapFile {
+ public:
+  MmapFile() = default;
+  ~MmapFile();
+
+  MmapFile(MmapFile&& other) noexcept;
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  /// Maps `path` read-only. An empty file yields data() == nullptr,
+  /// size() == 0 and is not an error.
+  static Result<MmapFile> Open(const std::string& path);
+
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+  /// True when the bytes live in a real mmap (counted as mapped, not
+  /// resident, by store footprint accounting); false for the heap fallback.
+  bool mapped() const { return mapped_; }
+
+ private:
+  void Release();
+
+  const char* data_ = nullptr;
+  size_t size_ = 0;
+  bool mapped_ = false;
+};
+
+}  // namespace sapla
+
+#endif  // SAPLA_UTIL_MMAP_FILE_H_

@@ -13,7 +13,7 @@
 // numeric cells present in both versions of a row are then compared. The
 // direction of "worse" is inferred from the column name:
 //
-//   higher is better   QPS, *throughput*, *rate*, *power*, *hit*
+//   higher is better   QPS, *throughput*, *rate*, *power*, *hit*, *"/s"*
 //   lower is better    *us, *_s, *lat*, *err*, *drop*, *miss*, *dev*
 //   neither            informational only (never gates)
 //
@@ -239,7 +239,7 @@ bool EndsWith(const std::string& s, const char* suffix) {
 int Direction(const std::string& column) {
   const std::string c = Lower(column);
   if (Contains(c, "qps") || Contains(c, "throughput") || Contains(c, "rate") ||
-      Contains(c, "power") || Contains(c, "hit"))
+      Contains(c, "power") || Contains(c, "hit") || Contains(c, "/s"))
     return +1;
   if (EndsWith(c, "us") || EndsWith(c, "_s") || EndsWith(c, "ms") ||
       Contains(c, "lat") || Contains(c, "err") || Contains(c, "drop") ||
@@ -248,16 +248,28 @@ int Direction(const std::string& column) {
   return 0;
 }
 
-/// Row identity: its string-valued cells, in column order ("Mode=direct").
-/// Numeric cells are measurements; string cells are the config axis.
-std::string RowIdentity(const std::vector<std::pair<std::string, Cell>>& row) {
-  std::string id;
-  for (const auto& [key, cell] : row) {
-    if (cell.is_number) continue;
-    if (!id.empty()) id += ", ";
-    id += key + "=" + cell.text;
+/// Row identities for a whole file: each row's string-valued cells, in
+/// column order ("Mode=direct"). Numeric cells are measurements; string
+/// cells are the config axis. Rows that share the same string cells (or
+/// have none at all — an all-numeric table like the ingest bench) are
+/// disambiguated by occurrence order, so they match positionally instead
+/// of all collapsing onto the first row.
+std::vector<std::string> RowIdentities(const BenchFile& file) {
+  std::vector<std::string> ids;
+  std::map<std::string, size_t> seen;
+  for (const auto& row : file.rows) {
+    std::string id;
+    for (const auto& [key, cell] : row) {
+      if (cell.is_number) continue;
+      if (!id.empty()) id += ", ";
+      id += key + "=" + cell.text;
+    }
+    if (id.empty()) id = "<row>";
+    const size_t n = seen[id]++;
+    if (n > 0) id += " #" + std::to_string(n);
+    ids.push_back(std::move(id));
   }
-  return id.empty() ? "<row>" : id;
+  return ids;
 }
 
 const Cell* FindCell(const std::vector<std::pair<std::string, Cell>>& row,
@@ -292,11 +304,15 @@ int RunDiff(const Options& opt) {
 
   // Index current rows by identity; duplicates take the first occurrence.
   std::map<std::string, const std::vector<std::pair<std::string, Cell>>*> by_id;
-  for (const auto& row : cur.rows) by_id.emplace(RowIdentity(row), &row);
+  const std::vector<std::string> cur_ids = RowIdentities(cur);
+  for (size_t i = 0; i < cur.rows.size(); ++i)
+    by_id.emplace(cur_ids[i], &cur.rows[i]);
 
+  const std::vector<std::string> base_ids = RowIdentities(base);
   size_t regressions = 0, compared = 0, improved = 0;
-  for (const auto& row : base.rows) {
-    const std::string id = RowIdentity(row);
+  for (size_t i = 0; i < base.rows.size(); ++i) {
+    const auto& row = base.rows[i];
+    const std::string& id = base_ids[i];
     const auto it = by_id.find(id);
     if (it == by_id.end()) {
       printf("FAIL  [%s] missing from current output\n", id.c_str());

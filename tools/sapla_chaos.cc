@@ -84,6 +84,7 @@ struct Config {
   size_t io_rounds = 200;    // save/load attempts under injected I/O faults
   size_t shards = 0;         // >= 2 enables the shard kill/restart phase
   size_t shard_cycles = 6;   // kill/restart rounds in that phase
+  bool compressed_snapshots = false;  // shard snapshots use quantized columns
   bool ingest = false;       // enables the ingest kill/restart phase
   size_t ingest_rounds = 3;  // kill/restart cycles in that phase
   size_t ingest_ops = 400;   // mutations attempted per cycle
@@ -96,6 +97,7 @@ struct Config {
           "usage: %s [--seed=S] [--queries=Q] [--series=N] [--n=LEN]\n"
           "          [--m=M] [--k=K] [--pool=P] [--io-rounds=R]\n"
           "          [--shards=N] [--shard-cycles=C]\n"
+          "          [--compressed-snapshots[=0|1]]\n"
           "          [--ingest] [--ingest-rounds=R] [--ingest-ops=N]\n"
           "          [--spec=FAULT_SPEC] [--verbose=0|1]\n",
           argv0);
@@ -106,9 +108,13 @@ Config ParseFlags(int argc, char** argv) {
   Config config;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    // The one boolean phase toggle also works bare, CI-style.
+    // Boolean toggles also work bare, CI-style.
     if (arg == "--ingest") {
       config.ingest = true;
+      continue;
+    }
+    if (arg == "--compressed-snapshots") {
+      config.compressed_snapshots = true;
       continue;
     }
     const size_t eq = arg.find('=');
@@ -141,6 +147,8 @@ Config ParseFlags(int argc, char** argv) {
       config.shards = num();
     } else if (key == "shard-cycles") {
       config.shard_cycles = num();
+    } else if (key == "compressed-snapshots") {
+      config.compressed_snapshots = value != "0";
     } else if (key == "ingest") {
       config.ingest = value != "0";
     } else if (key == "ingest-rounds") {
@@ -348,7 +356,15 @@ void RunShardCase(const Config& config, const Dataset& ds,
     return;
   }
   const std::string prefix = "/tmp/sapla_chaos_shard";
-  if (const Status st = index.SaveSnapshots(prefix); !st.ok()) {
+  SnapshotWriteOptions write_options;
+  if (config.compressed_snapshots) {
+    // Lossy quantized columns: restores below must still answer exactly,
+    // because pruning adds the stored slack and distances are refined
+    // against raw values.
+    write_options.codec.ab_step = 1e-4;
+    write_options.codec.coeff_step = 1e-4;
+  }
+  if (const Status st = index.SaveSnapshots(prefix, write_options); !st.ok()) {
     violations->Report("shard snapshot save failed: " + st.ToString());
     return;
   }
@@ -364,6 +380,31 @@ void RunShardCase(const Config& config, const Dataset& ds,
   std::vector<KnnResult> healthy_knn;
   for (const std::vector<double>& q : pool)
     healthy_knn.push_back(index.Knn(q, config.k));
+
+  if (config.compressed_snapshots) {
+    // Swap every shard to its quantized snapshot up front, then prove the
+    // compressed fleet returns id- and distance-identical neighbors. The
+    // measured-candidate counters may legitimately differ (slack loosens
+    // the filter), so the healthy baseline is re-taken from the compressed
+    // fleet before the kill/restart cycles.
+    for (size_t s = 0; s < index.num_shards(); ++s) {
+      const Status st =
+          index.RestoreShard(s, ShardedIndex::ShardSnapshotPath(prefix, s));
+      if (!st.ok()) {
+        violations->Report("compressed shard restore failed: " +
+                           st.ToString());
+        return;
+      }
+    }
+    std::vector<KnnResult> compressed_knn;
+    for (const std::vector<double>& q : pool)
+      compressed_knn.push_back(index.Knn(q, config.k));
+    for (size_t i = 0; i < pool.size(); ++i)
+      if (compressed_knn[i].neighbors != healthy_knn[i].neighbors)
+        violations->Report("compressed fleet answer " + std::to_string(i) +
+                           " != raw-store neighbors");
+    healthy_knn = std::move(compressed_knn);
+  }
 
   ServeOptions serve;
   serve.queue_capacity = 64;
@@ -429,9 +470,11 @@ void RunShardCase(const Config& config, const Dataset& ds,
     drive(down_knn, /*expect_approximate=*/true, tag + " (one shard down)");
 
     // Restart, alternating the two recovery paths, then the fleet must be
-    // bit-identical to the all-healthy baseline again.
+    // bit-identical to the all-healthy baseline again. With compressed
+    // snapshots only the restore path keeps the fleet's stores (and thus
+    // its counters) homogeneous, so the rebuild leg is skipped.
     const Status st =
-        cycle % 2 == 0
+        cycle % 2 == 0 || config.compressed_snapshots
             ? index.RestoreShard(victim,
                                  ShardedIndex::ShardSnapshotPath(prefix,
                                                                  victim))
@@ -463,9 +506,10 @@ void RunShardCase(const Config& config, const Dataset& ds,
                                   client.stats().hedges.load();
   const double amplification_cap =
       kBudgetTokens + kTokensPerSuccess * static_cast<double>(answered) + 1.0;
-  printf("\nshard chaos: %zu shards x %zu cycles, %" PRIu64 " sent, %" PRIu64
-         " answered (%.1f%%), retries %" PRIu64 ", hedges %" PRIu64
-         " (cap %.1f)\n",
+  printf("\nshard chaos (%s snapshots): %zu shards x %zu cycles, %" PRIu64
+         " sent, %" PRIu64 " answered (%.1f%%), retries %" PRIu64
+         ", hedges %" PRIu64 " (cap %.1f)\n",
+         config.compressed_snapshots ? "compressed" : "raw",
          index.num_shards(), config.shard_cycles, sent, answered,
          100.0 * availability, client.stats().retries.load(),
          client.stats().hedges.load(), amplification_cap);

@@ -2,7 +2,8 @@
 //
 //   sapla_cli info      <data.tsv>
 //   sapla_cli reduce    <data.tsv> [--method=SAPLA] [--m=24] [--out=reps.txt]
-//                       [--format=v1|v2]
+//                       [--format=v1|v2|v4] [--quant-ab=STEP]
+//                       [--quant-coeff=STEP]
 //   sapla_cli reconstruct <reps.txt|reps.bin> [--out=recon.tsv]
 //   sapla_cli knn       <data.tsv> [--query=0 | --queries=0,3,7] [--k=5]
 //                       [--method=SAPLA] [--m=24] [--tree=dbch|rtree]
@@ -18,7 +19,10 @@
 // Data files are UCR2018 format: one series per line, label first,
 // tab/comma separated. Representation files use the ts/io.h formats:
 // --format=v1 writes the per-representation text format, --format=v2 the
-// binary columnar RepresentationStore format; `reconstruct` auto-detects
+// binary columnar RepresentationStore format, --format=v4 the framed
+// codec format (required for --quant-ab/--quant-coeff fixed-point
+// quantization, which records per-series lower-bound slack so quantized
+// archives still prune soundly); `reconstruct` auto-detects
 // both. `synth` materializes a deterministic synthetic dataset
 // (ts/synthetic_archive.h) so a pipeline can be exercised without the UCR
 // archive.
@@ -32,6 +36,7 @@
 #include <vector>
 
 #include "core/sapla.h"
+#include "reduction/column_codec.h"
 #include "obs/explain.h"
 #include "obs/trace.h"
 #include "search/knn.h"
@@ -83,6 +88,18 @@ struct Args {
     const auto it = flags.find(key);
     return it == flags.end() ? dflt : ParseSizeOrDie(key, it->second);
   }
+  double GetDouble(const std::string& key, double dflt) const {
+    const auto it = flags.find(key);
+    if (it == flags.end()) return dflt;
+    char* end = nullptr;
+    const double parsed = strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0' || !(parsed >= 0.0)) {
+      fprintf(stderr, "--%s=%s is not a non-negative number\n", key.c_str(),
+              it->second.c_str());
+      exit(2);
+    }
+    return parsed;
+  }
 };
 
 Args Parse(int argc, char** argv) {
@@ -93,7 +110,7 @@ Args Parse(int argc, char** argv) {
       "length", "max-series", "znorm",  "method", "m",      "out",
       "format", "query",      "queries", "k",     "tree",   "row",
       "window", "stride",     "dataset", "series", "threads", "fault",
-      "shards", "json",       "trace-out"};
+      "shards", "json",       "trace-out", "quant-ab", "quant-coeff"};
   Args args;
   args.command = argv[1];
   args.file = argv[2];
@@ -157,8 +174,19 @@ int CmdReduce(const Args& args) {
   const std::string out = args.Get("out", "reps.txt");
 
   const std::string format = args.Get("format", "v1");
-  if (format != "v1" && format != "v2") {
-    fprintf(stderr, "unknown --format '%s' (v1 or v2)\n", format.c_str());
+  if (format != "v1" && format != "v2" && format != "v4") {
+    fprintf(stderr, "unknown --format '%s' (v1, v2 or v4)\n", format.c_str());
+    return 2;
+  }
+  // Optional fixed-point quantization (reduction/column_codec.h): snaps
+  // segment coefficients / transform coefficients to the grid and records
+  // the lower-bound slack. Forces the v4 archive (v1/v2 cannot carry the
+  // slack column).
+  StoreCodecOptions codec;
+  codec.ab_step = args.GetDouble("quant-ab", 0.0);
+  codec.coeff_step = args.GetDouble("quant-coeff", 0.0);
+  if (!codec.lossless() && format != "v4") {
+    fprintf(stderr, "--quant-ab/--quant-coeff require --format=v4\n");
     return 2;
   }
 
@@ -173,10 +201,19 @@ int CmdReduce(const Args& args) {
     dev += reps[i].SumMaxDeviation(ds.series[i].values);
   const double seconds = timer.Seconds();
   Status saved = Status::OK();
-  if (format == "v2") {
+  if (format == "v2" || format == "v4") {
     RepresentationStore store;
     for (const Representation& rep : reps) store.Append(rep);
-    saved = SaveRepresentationStore(out, store);
+    if (!codec.lossless()) {
+      auto quantized = QuantizeStore(store, codec);
+      if (!quantized.ok()) {
+        fprintf(stderr, "%s\n", quantized.status().ToString().c_str());
+        return 1;
+      }
+      store = std::move(quantized).ValueOrDie();
+    }
+    saved = SaveRepresentationStore(
+        out, store, format == "v4" ? StoreFormat::kV4 : StoreFormat::kAuto);
   } else {
     saved = SaveRepresentations(out, reps);
   }
