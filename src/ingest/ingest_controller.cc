@@ -111,7 +111,12 @@ IngestController::IngestController(Method method, size_t m, IndexKind kind,
   PublishLocked();
 }
 
-IngestController::~IngestController() = default;
+IngestController::~IngestController() {
+  // Everything metered here dies with the controller; hand the bytes back
+  // so the shared budget's other consumers see the room.
+  if (options_.memory_budget && budget_accounted_ > 0)
+    options_.memory_budget->Release(budget_accounted_);
+}
 
 std::string IngestController::WalPath() const {
   return options_.durable_dir + "/wal.log";
@@ -164,9 +169,64 @@ void IngestController::PublishLocked() {
   metrics_.sealed_minors.store(minors_.size(), std::memory_order_relaxed);
   metrics_.tombstones.store(e->tombstones.size(), std::memory_order_relaxed);
   metrics_.visible_series.store(e->visible, std::memory_order_relaxed);
+  UpdateBudgetLocked();
 
   std::lock_guard<std::mutex> lock(epoch_mu_);
   epoch_ = std::move(e);
+}
+
+void IngestController::UpdateBudgetLocked() {
+  if (!options_.memory_budget) return;
+  // Memtable: raw values + entry bookkeeping + the reduced store; minors
+  // carry their seal-time figure. The main generation is deliberately
+  // unmetered — compaction moving bytes into it is what FREES budget,
+  // which is exactly the graded response AdmitInsertLocked forces.
+  size_t bytes = memtable_->entries.size() *
+                     (series_length_ * sizeof(double) + sizeof(MemEntry)) +
+                 memtable_->store.footprint().resident_bytes;
+  for (const auto& minor : minors_) bytes += minor->budget_bytes;
+  if (bytes > budget_accounted_)
+    options_.memory_budget->ForceReserve(bytes - budget_accounted_);
+  else if (bytes < budget_accounted_)
+    options_.memory_budget->Release(budget_accounted_ - bytes);
+  budget_accounted_ = bytes;
+  metrics_.budget_bytes.store(bytes, std::memory_order_relaxed);
+}
+
+Status IngestController::AdmitInsertLocked() {
+  if (!options_.memory_budget) return Status::OK();
+  BudgetPressure pressure = options_.memory_budget->pressure_up();
+  if (pressure != BudgetPressure::kNone && seq_ != last_relief_seq_) {
+    // Graded response, step one: move what ingest owns out of the metered
+    // tiers — seal the memtable, compact the minors into the main. Soft
+    // pressure only bothers when there is real freeable mass (a half-full
+    // memtable or any sealed minor); hard pressure frees whatever exists.
+    // At most one attempt per mutation sequence, so a burst of rejected
+    // inserts cannot pay a compaction each.
+    const bool hard = pressure == BudgetPressure::kHard;
+    const bool freeable =
+        !minors_.empty() ||
+        (hard ? !memtable_->entries.empty()
+              : memtable_->entries.size() >=
+                    std::max<size_t>(1, options_.memtable_max / 2));
+    if (freeable) {
+      last_relief_seq_ = seq_;
+      const Status seal_st = SealLocked();
+      (void)seal_st;
+      const Status compact_st = CompactLocked();
+      (void)compact_st;
+      metrics_.budget_forced_compactions.fetch_add(1,
+                                                   std::memory_order_relaxed);
+      pressure = options_.memory_budget->pressure_up();
+    }
+  }
+  if (pressure == BudgetPressure::kHard) {
+    // Step two: shed the write. The caller retries after pressure lifts.
+    metrics_.rejected_budget.fetch_add(1, std::memory_order_relaxed);
+    return Status::Overloaded(
+        "ingest: memory budget exhausted; shedding writes");
+  }
+  return Status::OK();
 }
 
 void IngestController::ReduceIntoLocked(const std::vector<double>& values,
@@ -231,6 +291,7 @@ Result<uint64_t> IngestController::Insert(const std::vector<double>& values,
     return Status::Overloaded(
         "ingest: too many sealed minors awaiting compaction");
   }
+  SAPLA_RETURN_NOT_OK(AdmitInsertLocked());
 
   MemEntry entry;
   entry.id = next_id_;
@@ -339,6 +400,11 @@ Status IngestController::SealLocked() {
   const Status st = minor->index->RestoreFromStore(
       minor->dataset, RepresentationStore(memtable_->store));
   if (!st.ok()) return st;
+
+  minor->budget_bytes =
+      minor->ids.size() * (series_length_ * sizeof(double) +
+                           sizeof(TimeSeries) + sizeof(uint64_t)) +
+      minor->index->footprint().resident_bytes;
 
   for (const MemEntry& e : memtable_->entries) live_[e.id] = Loc::kSealed;
   minors_.push_back(std::move(minor));

@@ -86,6 +86,7 @@
 #include "search/search_index.h"
 #include "search/sharded_index.h"
 #include "ts/time_series.h"
+#include "util/resource_budget.h"
 #include "util/status.h"
 
 namespace sapla {
@@ -120,6 +121,14 @@ struct IngestOptions {
   /// recovered controller still answers id-identically (slack-adjusted
   /// pruning + raw refinement). Default: lossless, byte-stable v3.
   SnapshotWriteOptions snapshot_codec;
+  /// Memory governance (util/resource_budget.h): the controller accounts
+  /// the memtable's and every sealed minor's approximate bytes against
+  /// this budget (force-reserved — the data already exists; overflow is
+  /// what surfaces as pressure). Under soft/hard pressure inserts first
+  /// force a seal + compaction (moving bytes into the unmetered main
+  /// generation); inserts arriving while pressure is still hard are shed
+  /// with kOverloaded. Null = no metering.
+  std::shared_ptr<ResourceBudget> memory_budget;
 };
 
 /// \brief Live-mutable searchable corpus behind the SearchIndex interface.
@@ -253,6 +262,9 @@ class IngestController : public SearchIndex {
     Dataset dataset;            // ascending by global id
     std::vector<uint64_t> ids;  // local -> global
     std::unique_ptr<SimilarityIndex> index;
+    /// Approximate bytes this generation pins (budget accounting), fixed
+    /// at seal time.
+    size_t budget_bytes = 0;
   };
 
   /// Immutable main generation (product of the last compaction).
@@ -290,6 +302,13 @@ class IngestController : public SearchIndex {
   void ApplyDeleteLocked(uint64_t id, bool in_memtable);
   Status SealLocked();
   Status CompactLocked();
+  /// Re-accounts memtable + minor bytes against Options::memory_budget
+  /// (force-reserve/release of the delta). Caller holds mu_.
+  void UpdateBudgetLocked();
+  /// Graded pressure response at insert admission: returns kOverloaded
+  /// when the budget is hard-saturated even after a forced seal +
+  /// compaction. Caller holds mu_.
+  Status AdmitInsertLocked();
   /// True when `id` is present and unexpired at the current sequence.
   bool VisibleLocked(uint64_t id) const;
 
@@ -347,6 +366,11 @@ class IngestController : public SearchIndex {
   std::unique_ptr<StreamingSapla> streamer_;  // streaming_reduction only
   WriteAheadLog wal_;
   bool recovering_ = false;  // Recover() applies without re-logging
+  /// Bytes currently force-reserved on Options::memory_budget.
+  size_t budget_accounted_ = 0;
+  /// Sequence of the last forced seal/compact pressure response, so a
+  /// burst of rejected inserts pays at most one relief attempt.
+  uint64_t last_relief_seq_ = UINT64_MAX;
 
   /// Publication lock: one pointer copy per pin, one store per publish.
   mutable std::mutex epoch_mu_;

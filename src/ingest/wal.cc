@@ -78,9 +78,11 @@ WriteAheadLog::~WriteAheadLog() { Close(); }
 WriteAheadLog::WriteAheadLog(WriteAheadLog&& other) noexcept
     : file_(other.file_),
       path_(std::move(other.path_)),
-      bytes_appended_(other.bytes_appended_) {
+      bytes_appended_(other.bytes_appended_),
+      good_size_(other.good_size_) {
   other.file_ = nullptr;
   other.bytes_appended_ = 0;
+  other.good_size_ = 0;
 }
 
 WriteAheadLog& WriteAheadLog::operator=(WriteAheadLog&& other) noexcept {
@@ -89,8 +91,10 @@ WriteAheadLog& WriteAheadLog::operator=(WriteAheadLog&& other) noexcept {
     file_ = other.file_;
     path_ = std::move(other.path_);
     bytes_appended_ = other.bytes_appended_;
+    good_size_ = other.good_size_;
     other.file_ = nullptr;
     other.bytes_appended_ = 0;
+    other.good_size_ = 0;
   }
   return *this;
 }
@@ -124,8 +128,20 @@ Status WriteAheadLog::Open(const std::string& path) {
       return Status::IOError("wal: cannot write header to '" + path + "'");
     }
   }
+  // Track the end of the last fully flushed frame so a failed append can
+  // truncate back to it instead of leaving a torn tail on disk.
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    std::fclose(f);
+    return Status::IOError("wal: seek failed on '" + path + "'");
+  }
+  const long end = std::ftell(f);
+  if (end < 0) {
+    std::fclose(f);
+    return Status::IOError("wal: ftell failed on '" + path + "'");
+  }
   file_ = f;
   path_ = path;
+  good_size_ = static_cast<uint64_t>(end);
   return Status::OK();
 }
 
@@ -141,11 +157,44 @@ std::string WriteAheadLog::EncodeFrame(const WalRecord& record) {
 Status WriteAheadLog::Append(const WalRecord& record) {
   if (file_ == nullptr) return Status::Internal("wal: append on closed log");
   SAPLA_FAULT_POINT("ingest/wal_append");
+  SAPLA_FAULT_POINT("ingest/wal_full");
   const std::string frame = EncodeFrame(record);
-  if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size() ||
+  SAPLA_RETURN_NOT_OK(PreflightDiskSpace(path_, frame.size()));
+
+  // "ingest/wal_torn" simulates a crash mid-append: only half the frame
+  // reaches the file, and the append must still fail CLEANLY — the torn
+  // bytes are truncated away so the log ends at the last good frame.
+  size_t to_write = frame.size();
+  const Status torn = fault::Check("ingest/wal_torn");
+  if (!torn.ok()) to_write = frame.size() / 2;
+
+  Status st = torn;
+  if (std::fwrite(frame.data(), 1, to_write, file_) != to_write ||
       std::fflush(file_) != 0) {
-    return Status::IOError("wal: short append to '" + path_ + "'");
+    const int err = errno;
+    const std::string msg =
+        "wal: short append to '" + path_ + "': " + std::strerror(err);
+    st = (err == ENOSPC || err == EDQUOT) ? Status::ResourceExhausted(msg)
+                                          : Status::IOError(msg);
   }
+  if (!st.ok()) {
+    // Roll the file back to the last fully flushed frame. The stream's
+    // buffer is unreliable after a failed flush, so drop the handle first
+    // (ignoring the close's own flush errors), truncate by path, and
+    // reopen. If the rollback itself fails the log stays closed and the
+    // controller fails subsequent mutations closed — it never appends
+    // after a tear.
+    std::fclose(file_);
+    file_ = nullptr;
+    if (::truncate(path_.c_str(), static_cast<off_t>(good_size_)) != 0) {
+      return Status::IOError("wal: failed to roll back torn append to '" +
+                             path_ + "'; log closed");
+    }
+    std::FILE* reopened = std::fopen(path_.c_str(), "ab");
+    if (reopened != nullptr) file_ = reopened;
+    return st;
+  }
+  good_size_ += frame.size();
   bytes_appended_ += frame.size();
   return Status::OK();
 }

@@ -29,7 +29,13 @@
 // mutation and Sync at seal/compact/checkpoint boundaries — the chaos
 // harness only simulates process kills, for which fflush suffices.
 //
-// Fault points: "ingest/wal_open", "ingest/wal_append" (util/fault.h).
+// Fault points (util/fault.h): "ingest/wal_open", "ingest/wal_append",
+// "ingest/wal_full" (disk-full refusal before any byte is written; pair
+// with code `exhausted`), and "ingest/wal_torn" (writes half the frame,
+// then the append rolls the file back to the last good frame and fails —
+// exercising the ENOSPC/short-write recovery path). Append also runs a
+// statvfs free-space preflight (PreflightDiskSpace in ts/io.h), so a truly
+// full disk is refused cleanly as kResourceExhausted with the log intact.
 
 #include <cstdint>
 #include <cstdio>
@@ -124,6 +130,9 @@ class WriteAheadLog {
   std::FILE* file_ = nullptr;
   std::string path_;
   uint64_t bytes_appended_ = 0;
+  /// File size after the last fully flushed frame; a failed append
+  /// truncates back to this so the on-disk log never ends in a torn frame.
+  uint64_t good_size_ = 0;
 };
 
 }  // namespace sapla

@@ -101,6 +101,9 @@ ServeMetricsSnapshot SnapshotMetrics(const ServeMetrics& metrics) {
   s.rejected_unhealthy = metrics.rejected_unhealthy.load();
   s.flush_failures = metrics.flush_failures.load();
   s.watchdog_stalls = metrics.watchdog_stalls.load();
+  s.shed_early = metrics.shed_early.load();
+  s.budget_cache_shrinks = metrics.budget_cache_shrinks.load();
+  s.budget_degraded = metrics.budget_degraded.load();
   s.health = metrics.health.load();
   const size_t shards = std::min<size_t>(metrics.shard_count.load(),
                                          ServeMetrics::kMaxShardGauges);
@@ -168,6 +171,9 @@ Table MetricsToTable(const ServeMetricsSnapshot& snap,
   counter("flush_failures", snap.flush_failures);
   counter("watchdog_stalls", snap.watchdog_stalls);
   counter("slow_queries", snap.slow_queries);
+  counter("shed_early", snap.shed_early);
+  counter("budget_cache_shrinks", snap.budget_cache_shrinks);
+  counter("budget_degraded", snap.budget_degraded);
   counter("health", snap.health);
   for (size_t i = 0; i < snap.shard_health.size(); ++i)
     counter("shard_health{shard=" + std::to_string(i) + "}",
@@ -285,6 +291,17 @@ std::string MetricsToPrometheus(const ServeMetrics& metrics,
                 "Requests that crossed a slow-query threshold and were "
                 "logged.",
                 snap.slow_queries);
+  AppendCounter(out, prefix, "shed_early",
+                "Requests shed at admission by queue-delay adaptive "
+                "control.",
+                snap.shed_early);
+  AppendCounter(out, prefix, "budget_cache_shrinks",
+                "Result-cache shrinks forced by soft memory pressure.",
+                snap.budget_cache_shrinks);
+  AppendCounter(out, prefix, "budget_degraded",
+                "Requests degraded to lower-bound answers by hard memory "
+                "pressure.",
+                snap.budget_degraded);
   AppendCounter(out, prefix, "search_queries",
                 "Index traversals aggregated into the search counters.",
                 snap.search.queries);
@@ -445,6 +462,9 @@ std::string MetricsToJson(const ServeMetricsSnapshot& snap) {
   counter("flush_failures", snap.flush_failures);
   counter("watchdog_stalls", snap.watchdog_stalls);
   counter("slow_queries", snap.slow_queries);
+  counter("shed_early", snap.shed_early);
+  counter("budget_cache_shrinks", snap.budget_cache_shrinks);
+  counter("budget_degraded", snap.budget_degraded);
   counter("store_resident_bytes", snap.store_resident_bytes);
   counter("store_mapped_bytes", snap.store_mapped_bytes);
   counter("store_frame_hits", snap.store_frame_hits);
@@ -502,10 +522,13 @@ IngestMetricsSnapshot SnapshotIngestMetrics(const IngestMetrics& metrics) {
   s.wal_records = metrics.wal_records.load();
   s.wal_bytes = metrics.wal_bytes.load();
   s.wal_replayed = metrics.wal_replayed.load();
+  s.rejected_budget = metrics.rejected_budget.load();
+  s.budget_forced_compactions = metrics.budget_forced_compactions.load();
   s.memtable_size = metrics.memtable_size.load();
   s.sealed_minors = metrics.sealed_minors.load();
   s.tombstones = metrics.tombstones.load();
   s.visible_series = metrics.visible_series.load();
+  s.budget_bytes = metrics.budget_bytes.load();
   return s;
 }
 
@@ -525,10 +548,13 @@ Table IngestMetricsToTable(const IngestMetricsSnapshot& snap,
   row("wal_records", snap.wal_records);
   row("wal_bytes", snap.wal_bytes);
   row("wal_replayed", snap.wal_replayed);
+  row("rejected_budget", snap.rejected_budget);
+  row("budget_forced_compactions", snap.budget_forced_compactions);
   row("memtable_size", snap.memtable_size);
   row("sealed_minors", snap.sealed_minors);
   row("tombstones", snap.tombstones);
   row("visible_series", snap.visible_series);
+  row("budget_bytes", snap.budget_bytes);
   return t;
 }
 
@@ -558,6 +584,13 @@ std::string IngestMetricsToPrometheus(const IngestMetrics& metrics,
                 "Bytes appended to the write-ahead log.", snap.wal_bytes);
   AppendCounter(out, prefix, "wal_replayed",
                 "Log records applied by recovery.", snap.wal_replayed);
+  AppendCounter(out, prefix, "rejected_budget",
+                "Writes shed because the memory budget stayed "
+                "hard-saturated.",
+                snap.rejected_budget);
+  AppendCounter(out, prefix, "budget_forced_compactions",
+                "Seal+compact cycles forced by budget pressure.",
+                snap.budget_forced_compactions);
   AppendGauge(out, prefix, "memtable_size",
               "Entries in the live (unsealed) memtable.",
               static_cast<double>(snap.memtable_size));
@@ -570,6 +603,10 @@ std::string IngestMetricsToPrometheus(const IngestMetrics& metrics,
   AppendGauge(out, prefix, "visible_series",
               "Series a query started now would see.",
               static_cast<double>(snap.visible_series));
+  AppendGauge(out, prefix, "budget_bytes",
+              "Bytes accounted against the ingest memory budget "
+              "(memtable + sealed minors).",
+              static_cast<double>(snap.budget_bytes));
   return out;
 }
 
@@ -588,12 +625,74 @@ std::string IngestMetricsToJson(const IngestMetricsSnapshot& snap) {
   counter("wal_records", snap.wal_records);
   counter("wal_bytes", snap.wal_bytes);
   counter("wal_replayed", snap.wal_replayed);
+  counter("rejected_budget", snap.rejected_budget);
+  counter("budget_forced_compactions", snap.budget_forced_compactions);
   counter("memtable_size", snap.memtable_size);
   counter("sealed_minors", snap.sealed_minors);
   counter("tombstones", snap.tombstones);
-  counter("visible_series", snap.visible_series, /*last=*/true);
+  counter("visible_series", snap.visible_series);
+  counter("budget_bytes", snap.budget_bytes, /*last=*/true);
   out += "  }\n}\n";
   return out;
+}
+
+std::string BudgetMetricsToPrometheus(const ResourceBudget& root,
+                                      const std::string& prefix) {
+  const std::vector<ResourceBudget::Snapshot> nodes = root.SnapshotTree();
+  std::string out;
+  out.reserve(1024);
+  const auto family = [&](const std::string& name, const char* type,
+                          const char* help,
+                          uint64_t (*value)(
+                              const ResourceBudget::Snapshot&)) {
+    const std::string full = prefix + "_" + name;
+    out += "# HELP " + full + " " + help + "\n";
+    out += "# TYPE " + full + " " + type + "\n";
+    for (const auto& node : nodes)
+      out += full + "{component=\"" + node.name + "\"} " + U64(value(node)) +
+             "\n";
+  };
+  family("capacity_bytes", "gauge",
+         "Byte capacity of this budget (0 = locally unlimited).",
+         [](const ResourceBudget::Snapshot& n) -> uint64_t {
+           return n.capacity;
+         });
+  family("used_bytes", "gauge", "Bytes currently reserved on this budget.",
+         [](const ResourceBudget::Snapshot& n) -> uint64_t { return n.used; });
+  family("peak_used_bytes", "gauge",
+         "High-water mark of reserved bytes since creation.",
+         [](const ResourceBudget::Snapshot& n) -> uint64_t {
+           return n.peak_used;
+         });
+  family("pressure", "gauge",
+         "Watermark position: 0 none, 1 soft, 2 hard.",
+         [](const ResourceBudget::Snapshot& n) -> uint64_t {
+           return static_cast<uint64_t>(n.pressure);
+         });
+  family("rejections_total", "counter",
+         "Reservations refused at the hard watermark.",
+         [](const ResourceBudget::Snapshot& n) -> uint64_t {
+           return n.rejections;
+         });
+  family("overflows_total", "counter",
+         "Forced reservations that pushed usage past capacity.",
+         [](const ResourceBudget::Snapshot& n) -> uint64_t {
+           return n.overflows;
+         });
+  return out;
+}
+
+Table BudgetMetricsToTable(const ResourceBudget& root,
+                           const std::string& title) {
+  Table t(title);
+  t.SetHeader({"Budget", "Used", "Capacity", "Peak", "Pressure", "Rejections",
+               "Overflows"});
+  for (const auto& node : root.SnapshotTree()) {
+    t.AddRow({node.name, U64(node.used), U64(node.capacity),
+              U64(node.peak_used), BudgetPressureName(node.pressure),
+              U64(node.rejections), U64(node.overflows)});
+  }
+  return t;
 }
 
 }  // namespace sapla

@@ -56,6 +56,7 @@
 
 #include "obs/counters.h"
 #include "util/histogram.h"
+#include "util/resource_budget.h"
 #include "util/table.h"
 
 namespace sapla {
@@ -143,6 +144,16 @@ struct ServeMetrics {
   /// produced a slow-query log record.
   std::atomic<uint64_t> slow_queries{0};
 
+  // Resource governance (util/resource_budget.h, docs/ROBUSTNESS.md).
+  /// Requests shed at admission by queue-delay adaptive control (oldest
+  /// queued arrival older than the target; low-priority work bounced).
+  std::atomic<uint64_t> shed_early{0};
+  /// Result-cache shrinks forced by soft memory pressure.
+  std::atomic<uint64_t> budget_cache_shrinks{0};
+  /// Requests degraded to lower-bound-only answers by hard memory
+  /// pressure (as opposed to scheduler-stall degradation).
+  std::atomic<uint64_t> budget_degraded{0};
+
   AtomicSearchCounters search;
 
   Histogram queue_wait_us;
@@ -186,6 +197,9 @@ struct ServeMetricsSnapshot {
   uint64_t rejected_unhealthy = 0;
   uint64_t flush_failures = 0;
   uint64_t watchdog_stalls = 0;
+  uint64_t shed_early = 0;
+  uint64_t budget_cache_shrinks = 0;
+  uint64_t budget_degraded = 0;
   uint64_t health = 0;
   /// One ladder position per live shard (empty for a non-sharded service).
   std::vector<uint64_t> shard_health;
@@ -283,12 +297,21 @@ struct IngestMetrics {
   std::atomic<uint64_t> wal_records{0};
   std::atomic<uint64_t> wal_bytes{0};
   std::atomic<uint64_t> wal_replayed{0};
+  /// Writes shed because the memory budget stayed hard-saturated after a
+  /// forced seal/compaction (util/resource_budget.h).
+  std::atomic<uint64_t> rejected_budget{0};
+  /// Seal+compact cycles forced by budget pressure rather than the normal
+  /// memtable_max / compact_min_minors triggers.
+  std::atomic<uint64_t> budget_forced_compactions{0};
 
   // Gauges, kept current by the controller.
   std::atomic<uint64_t> memtable_size{0};
   std::atomic<uint64_t> sealed_minors{0};
   std::atomic<uint64_t> tombstones{0};
   std::atomic<uint64_t> visible_series{0};
+  /// Bytes the controller currently accounts against its memory budget
+  /// (memtable + sealed minors).
+  std::atomic<uint64_t> budget_bytes{0};
 };
 
 /// Point-in-time copy of every ingest metric.
@@ -302,10 +325,13 @@ struct IngestMetricsSnapshot {
   uint64_t wal_records = 0;
   uint64_t wal_bytes = 0;
   uint64_t wal_replayed = 0;
+  uint64_t rejected_budget = 0;
+  uint64_t budget_forced_compactions = 0;
   uint64_t memtable_size = 0;
   uint64_t sealed_minors = 0;
   uint64_t tombstones = 0;
   uint64_t visible_series = 0;
+  uint64_t budget_bytes = 0;
 };
 
 /// Snapshots every ingest counter and gauge.
@@ -325,6 +351,20 @@ std::string IngestMetricsToPrometheus(const IngestMetrics& metrics,
 
 /// One structured JSON document for the ingest snapshot.
 std::string IngestMetricsToJson(const IngestMetricsSnapshot& snap);
+
+/// Prometheus text exposition of a ResourceBudget tree
+/// (util/resource_budget.h): one labeled row per budget node, keyed by
+/// `component="<name>"`, under `<prefix>_{capacity_bytes, used_bytes,
+/// peak_used_bytes, pressure}` gauges and `<prefix>_{rejections,
+/// overflows}_total` counters. Concatenates cleanly after the serve and
+/// ingest expositions (distinct family names).
+std::string BudgetMetricsToPrometheus(const ResourceBudget& root,
+                                      const std::string& prefix =
+                                          "sapla_budget");
+
+/// Renders a budget tree as a table (one row per node).
+Table BudgetMetricsToTable(const ResourceBudget& root,
+                           const std::string& title = "Resource budgets");
 
 }  // namespace sapla
 

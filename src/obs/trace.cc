@@ -8,6 +8,8 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "ts/io.h"
+
 namespace sapla {
 namespace obs {
 namespace {
@@ -205,25 +207,16 @@ std::string TraceToChromeJson() {
   return out;
 }
 
+Status WriteChromeTraceStatus(const std::string& path) {
+  // AtomicWriteFile stages to a temp file in the destination directory,
+  // fsyncs, and renames — an interrupt mid-write (SIGINT while the array
+  // is streaming out) can never leave truncated JSON at `path`, and a
+  // full disk is refused as kResourceExhausted with the old file intact.
+  return AtomicWriteFile(path, TraceToChromeJson());
+}
+
 bool WriteChromeTrace(const std::string& path) {
-  // Stage + rename: the destination either keeps its old content or gets
-  // the complete new document — an interrupt mid-write (SIGINT while the
-  // array is streaming out) can never leave truncated JSON at `path`.
-  const std::string tmp = path + ".tmp";
-  FILE* f = fopen(tmp.c_str(), "w");
-  if (f == nullptr) return false;
-  const std::string json = TraceToChromeJson();
-  const bool wrote = fwrite(json.data(), 1, json.size(), f) == json.size();
-  const bool flushed = fflush(f) == 0;
-  if (fclose(f) != 0 || !wrote || !flushed) {
-    remove(tmp.c_str());
-    return false;
-  }
-  if (rename(tmp.c_str(), path.c_str()) != 0) {
-    remove(tmp.c_str());
-    return false;
-  }
-  return true;
+  return WriteChromeTraceStatus(path).ok();
 }
 
 ScopedSpan::ScopedSpan(const char* name) : name_(name) {

@@ -48,6 +48,8 @@
 #include <string>
 #include <vector>
 
+#include "util/status.h"
+
 namespace sapla {
 namespace obs {
 
@@ -143,10 +145,14 @@ class TraceContextScope {
 /// of the child) so the viewer stitches the cross-thread tree.
 std::string TraceToChromeJson();
 
-/// Writes TraceToChromeJson() to `path`. The file is staged as
-/// `path + ".tmp"` and atomically renamed into place, so an interrupt
-/// (SIGINT mid-write) can never leave a truncated JSON array at `path`.
-/// Returns false on I/O failure.
+/// Writes TraceToChromeJson() to `path` via AtomicWriteFile (ts/io.h):
+/// staged temp file + fsync + rename, with the free-space preflight — so
+/// an interrupt mid-write never leaves a truncated JSON array, and a full
+/// disk comes back as kResourceExhausted with any previous export intact.
+Status WriteChromeTraceStatus(const std::string& path);
+
+/// Bool convenience over WriteChromeTraceStatus (legacy callers). Prefer
+/// the Status variant in tools: it says WHY the export failed.
 bool WriteChromeTrace(const std::string& path);
 
 /// \brief RAII span; prefer the SAPLA_TRACE_SPAN macro.

@@ -8,6 +8,12 @@
 namespace sapla {
 namespace storedetail {
 
+ColdColumns::~ColdColumns() {
+  // Every cached frame's bytes are accounted on the shared budget (via
+  // TryReserve or the force-accounted retained frame); hand them back.
+  if (budget && cache_bytes_ > 0) budget->Release(cache_bytes_);
+}
+
 std::shared_ptr<const DecodedFrame> ColdColumns::Frame(size_t id) const {
   const size_t fi = frame_of(id);
   SAPLA_DCHECK(fi < frames.size());
@@ -46,19 +52,32 @@ std::shared_ptr<const DecodedFrame> ColdColumns::Frame(size_t id) const {
     lru_.splice(lru_.begin(), lru_, it->second.lru_it);
     return it->second.frame;
   }
+  const size_t frame_bytes = frame->bytes();
   lru_.push_front(fi);
   cache_[fi] = CacheEntry{frame, lru_.begin()};
-  cache_bytes_ += frame->bytes();
-  // Bounded cache: evict LRU frames past capacity but always retain one.
-  // Pinned readers keep evicted frames alive through their shared_ptr.
-  while (cache_bytes_ > cache_capacity_bytes && cache_.size() > 1) {
+  cache_bytes_ += frame_bytes;
+  // Bounded cache: evict LRU frames past the local capacity — or past the
+  // shared budget, which N stores draw on together — but always retain
+  // one. Pinned readers keep evicted frames alive through their
+  // shared_ptr.
+  bool reserved = budget == nullptr || budget->TryReserve(frame_bytes);
+  while ((cache_bytes_ > cache_capacity_bytes || !reserved) &&
+         cache_.size() > 1) {
     const size_t victim = lru_.back();
     lru_.pop_back();
     auto vit = cache_.find(victim);
     SAPLA_DCHECK(vit != cache_.end());
-    cache_bytes_ -= vit->second.frame->bytes();
+    const size_t victim_bytes = vit->second.frame->bytes();
+    cache_bytes_ -= victim_bytes;
     cache_.erase(vit);
+    if (budget) {
+      budget->Release(victim_bytes);
+      if (!reserved) reserved = budget->TryReserve(frame_bytes);
+    }
   }
+  // The single frame a store must keep resident is accounted even when
+  // the budget is saturated — overflow is what surfaces as pressure.
+  if (!reserved) budget->ForceReserve(frame_bytes);
   return frame;
 }
 

@@ -16,6 +16,15 @@
 // Thread safety: the cache (map + LRU list + byte count) is guarded by
 // `mu`; hit/miss counters are relaxed atomics so footprint sampling never
 // takes the lock. Decoded frames are immutable after insertion.
+//
+// Budget sharing: when several shards each open a cold store, the local
+// `cache_capacity_bytes` caps bound each shard independently — N shards
+// could collectively hold N× the intended resident bytes. Constructing
+// each ColdColumns with one shared ResourceBudget fixes that: every
+// cached frame's bytes are reserved on the shared budget (evicting LRU
+// frames across *this* store until the reservation fits; the one frame a
+// store must retain is force-accounted) and released on eviction or
+// destruction, so the fleet's decode caches are bounded globally.
 
 #include <atomic>
 #include <cstddef>
@@ -28,6 +37,7 @@
 
 #include "reduction/representation_store.h"
 #include "util/mmap_file.h"
+#include "util/resource_budget.h"
 
 namespace sapla {
 namespace storedetail {
@@ -67,6 +77,16 @@ struct FrameMeta {
 
 /// \brief The cold tier: one mapping + directory + bounded decode cache.
 struct ColdColumns {
+  ColdColumns() = default;
+  /// Cold store whose decode cache draws on a budget shared with other
+  /// stores (the cross-shard frame-cache budget).
+  explicit ColdColumns(std::shared_ptr<ResourceBudget> shared_budget)
+      : budget(std::move(shared_budget)) {}
+  ~ColdColumns();
+
+  ColdColumns(const ColdColumns&) = delete;
+  ColdColumns& operator=(const ColdColumns&) = delete;
+
   MmapFile file;
   /// Encoded frame area within the mapping (directory offsets are relative
   /// to this base).
@@ -79,6 +99,9 @@ struct ColdColumns {
   size_t series_length = 0;
   /// Decode-cache capacity; at least one frame is always retained.
   size_t cache_capacity_bytes = 64u << 20;
+  /// Optional shared frame-cache budget (see file comment). Null = the
+  /// local capacity alone bounds this store.
+  std::shared_ptr<ResourceBudget> budget;
 
   /// Fetches (decoding on miss) the frame containing series `id`. The
   /// archive's CRCs were verified at open, so a decode failure here is a

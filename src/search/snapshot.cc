@@ -175,7 +175,8 @@ Status LoadIndexSnapshot(const std::string& path, const Dataset& dataset,
           // load-time memory; steady-state residency is what cold bounds.)
           ? OpenColdRepresentationStoreAt(
                 path, store_begin, static_cast<size_t>(store_len),
-                ColdStoreOptions{options.cold_cache_bytes})
+                ColdStoreOptions{options.cold_cache_bytes,
+                                 options.cold_budget})
           : ParseRepresentationStore(store_bytes);
   if (!store.ok()) return store.status();
   return index->RestoreFromStore(dataset, std::move(store).ValueOrDie(),

@@ -34,6 +34,7 @@
 // old process can never alias the new corpus.
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "reduction/column_codec.h"
@@ -75,6 +76,10 @@ struct SnapshotLoadOptions {
   bool cold_store = false;
   /// Cold decode-cache capacity (at least one frame is always retained).
   size_t cold_cache_bytes = 64u << 20;
+  /// Optional shared frame-cache budget for the cold tier: pass the same
+  /// handle to every shard's Restore so the fleet's decoded frames are
+  /// bounded globally instead of `shards × cold_cache_bytes`.
+  std::shared_ptr<ResourceBudget> cold_budget;
 };
 
 /// Persists `index` (built, columnar corpus) to `path` atomically.

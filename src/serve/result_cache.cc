@@ -1,5 +1,7 @@
 #include "serve/result_cache.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <list>
 #include <unordered_map>
@@ -19,6 +21,15 @@ uint64_t FnvMix(uint64_t h, const void* data, size_t len) {
     h *= 0x100000001B3ULL;
   }
   return h;
+}
+
+// Approximate heap footprint of one cache entry: the query copy inside
+// the key, the neighbor list, and fixed map/list bookkeeping. Counters
+// are flat members (no heap), so a constant overhead covers them.
+size_t EntryBytes(const ResultCacheKey& key, const KnnResult& result) {
+  return key.query.size() * sizeof(double) +
+         result.neighbors.size() * sizeof(std::pair<double, size_t>) +
+         sizeof(ResultCacheKey) + sizeof(KnnResult) + 128;
 }
 
 }  // namespace
@@ -48,15 +59,32 @@ bool ResultCacheKey::operator==(const ResultCacheKey& other) const {
 }
 
 struct ResultCache::Shard {
-  using Entry = std::pair<ResultCacheKey, KnnResult>;
+  struct Entry {
+    ResultCacheKey key;
+    KnnResult result;
+    size_t bytes = 0;
+  };
 
   std::mutex mu;
   std::list<Entry> lru;  // front = most recently used
   std::unordered_map<uint64_t, std::list<Entry>::iterator> map;
+  size_t bytes = 0;
+
+  // Drops the LRU tail entry; returns its byte footprint. Caller holds mu
+  // and releases the bytes from the budget outside if one is attached.
+  size_t EvictTail() {
+    if (lru.empty()) return 0;
+    const size_t freed = lru.back().bytes;
+    map.erase(lru.back().key.Hash());
+    lru.pop_back();
+    bytes -= freed;
+    return freed;
+  }
 };
 
-ResultCache::ResultCache(size_t capacity, size_t shards)
-    : capacity_(capacity) {
+ResultCache::ResultCache(size_t capacity, size_t shards,
+                         std::shared_ptr<ResourceBudget> budget)
+    : capacity_(capacity), budget_(std::move(budget)) {
   if (shards == 0) shards = 1;
   if (shards > capacity && capacity > 0) shards = capacity;
   per_shard_capacity_ = capacity == 0 ? 0 : (capacity + shards - 1) / shards;
@@ -65,7 +93,7 @@ ResultCache::ResultCache(size_t capacity, size_t shards)
     shards_.push_back(std::make_unique<Shard>());
 }
 
-ResultCache::~ResultCache() = default;
+ResultCache::~ResultCache() { Invalidate(); }
 
 bool ResultCache::Lookup(const ResultCacheKey& key, KnnResult* out) {
   if (capacity_ == 0) return false;
@@ -74,9 +102,9 @@ bool ResultCache::Lookup(const ResultCacheKey& key, KnnResult* out) {
   Shard& shard = *shards_[hash % shards_.size()];
   std::lock_guard<std::mutex> lock(shard.mu);
   const auto it = shard.map.find(hash);
-  if (it == shard.map.end() || !(it->second->first == key)) return false;
+  if (it == shard.map.end() || !(it->second->key == key)) return false;
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-  *out = it->second->second;
+  *out = it->second->result;
   return true;
 }
 
@@ -84,31 +112,66 @@ void ResultCache::Insert(const ResultCacheKey& key, const KnnResult& result) {
   if (capacity_ == 0) return;
   SAPLA_TRACE_SPAN("cache/insert");
   const uint64_t hash = key.Hash();
+  const size_t new_bytes = EntryBytes(key, result);
   Shard& shard = *shards_[hash % shards_.size()];
   std::lock_guard<std::mutex> lock(shard.mu);
   const auto it = shard.map.find(hash);
   if (it != shard.map.end()) {
-    // Refresh in place; a hash collision overwrites the older key, which
-    // is a capacity decision, not a correctness one (Lookup re-verifies).
-    it->second->first = key;
-    it->second->second = result;
-    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-    return;
+    // Refresh drops the old entry outright and re-inserts fresh; a hash
+    // collision overwrites the older key, which is a capacity decision,
+    // not a correctness one (Lookup re-verifies).
+    if (budget_) budget_->Release(it->second->bytes);
+    shard.bytes -= it->second->bytes;
+    shard.lru.erase(it->second);
+    shard.map.erase(it);
   }
-  shard.lru.emplace_front(key, result);
+  // Admission: every resident entry holds a budget reservation, so evict
+  // the LRU tail (returning its bytes) until the new entry fits; if the
+  // budget still says no with the shard empty, skip the optional insert.
+  bool reserved = budget_ == nullptr || budget_->TryReserve(new_bytes);
+  while (!reserved && !shard.lru.empty()) {
+    budget_->Release(shard.EvictTail());
+    reserved = budget_->TryReserve(new_bytes);
+  }
+  if (!reserved) return;
+  shard.lru.push_front(Shard::Entry{key, result, new_bytes});
   shard.map[hash] = shard.lru.begin();
+  shard.bytes += new_bytes;
+  // per_shard_capacity_ >= 1 whenever the cache is enabled, so the count
+  // cap can never evict the entry just inserted at the front.
   while (shard.lru.size() > per_shard_capacity_) {
-    shard.map.erase(shard.lru.back().first.Hash());
-    shard.lru.pop_back();
+    const size_t freed = shard.EvictTail();
+    if (budget_) budget_->Release(freed);
   }
 }
 
 void ResultCache::Invalidate() {
+  size_t released = 0;
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
+    released += shard->bytes;
+    shard->bytes = 0;
     shard->lru.clear();
     shard->map.clear();
   }
+  if (budget_ && released > 0) budget_->Release(released);
+}
+
+size_t ResultCache::Shrink(double fraction) {
+  fraction = std::min(std::max(fraction, 0.0), 1.0);
+  size_t evicted = 0;
+  size_t released = 0;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    size_t drop = static_cast<size_t>(
+        std::ceil(static_cast<double>(shard->lru.size()) * fraction));
+    for (; drop > 0 && !shard->lru.empty(); --drop) {
+      released += shard->EvictTail();
+      ++evicted;
+    }
+  }
+  if (budget_ && released > 0) budget_->Release(released);
+  return evicted;
 }
 
 size_t ResultCache::size() const {
@@ -116,6 +179,15 @@ size_t ResultCache::size() const {
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
     total += shard->lru.size();
+  }
+  return total;
+}
+
+size_t ResultCache::bytes() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->bytes;
   }
   return total;
 }

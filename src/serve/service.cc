@@ -50,6 +50,7 @@ struct QueryService::Request {
   std::vector<double> query;
   size_t k = 0;
   double radius = 0.0;
+  ServePriority priority = ServePriority::kNormal;
 
   Clock::time_point admitted;
   Clock::time_point deadline;
@@ -85,9 +86,17 @@ QueryService::QueryService(const SearchIndex& index,
                            const ServeOptions& options)
     : index_(index),
       options_(options),
-      cache_(options.cache_capacity, options.cache_shards),
+      cache_budget_(options.memory_budget
+                        ? ResourceBudget::MakeChild(options.memory_budget,
+                                                    "serve/cache")
+                        : nullptr),
+      queue_budget_(options.memory_budget
+                        ? ResourceBudget::MakeChild(options.memory_budget,
+                                                    "serve/queue")
+                        : nullptr),
+      cache_(options.cache_capacity, options.cache_shards, cache_budget_),
       slow_log_(options.slow_log_capacity),
-      queue_(options.queue_capacity) {
+      queue_(options.queue_capacity, queue_budget_) {
   metrics_.window_total_us.Configure(options_.window_us);
   metrics_.window_exec_us.Configure(options_.window_us);
   heartbeat_us_.store(NowUs());
@@ -124,8 +133,9 @@ void QueryService::RecomputeHealth() {
   else if (options_.flush_failures_degraded != 0 &&
            streak >= options_.flush_failures_degraded)
     flush_level = 1;
-  const int level =
-      std::max(flush_level, stall_level_.load(std::memory_order_relaxed));
+  const int level = std::max(
+      {flush_level, stall_level_.load(std::memory_order_relaxed),
+       pressure_level_.load(std::memory_order_relaxed)});
   health_.store(level, std::memory_order_relaxed);
   metrics_.health.store(static_cast<uint64_t>(level),
                         std::memory_order_relaxed);
@@ -180,11 +190,13 @@ void QueryService::InvalidateCache() { cache_.Invalidate(); }
 
 std::future<ServeResponse> QueryService::SubmitKnn(std::vector<double> query,
                                                    size_t k,
-                                                   uint64_t deadline_us) {
+                                                   uint64_t deadline_us,
+                                                   ServePriority priority) {
   auto request = std::make_unique<Request>();
   request->op = ServeOp::kKnn;
   request->query = std::move(query);
   request->k = k;
+  request->priority = priority;
   if (deadline_us == 0) deadline_us = options_.default_deadline_us;
   if (deadline_us != 0) {
     request->has_deadline = true;
@@ -196,11 +208,13 @@ std::future<ServeResponse> QueryService::SubmitKnn(std::vector<double> query,
 
 std::future<ServeResponse> QueryService::SubmitRange(std::vector<double> query,
                                                      double radius,
-                                                     uint64_t deadline_us) {
+                                                     uint64_t deadline_us,
+                                                     ServePriority priority) {
   auto request = std::make_unique<Request>();
   request->op = ServeOp::kRange;
   request->query = std::move(query);
   request->radius = radius;
+  request->priority = priority;
   if (deadline_us == 0) deadline_us = options_.default_deadline_us;
   if (deadline_us != 0) {
     request->has_deadline = true;
@@ -299,6 +313,31 @@ std::future<ServeResponse> QueryService::Submit(
     metrics_.cache_misses.fetch_add(1);
   }
 
+  // Memory-budget pressure (docs/ROBUSTNESS.md): the graded response runs
+  // at admission so it reacts within one request of the budget moving.
+  // Soft pressure sheds the most reclaimable bytes first — half the result
+  // cache, once per episode (re-armed only after pressure fully lifts, so
+  // a budget hovering at the watermark cannot thrash the cache). Hard
+  // pressure raises pressure_level_, which RecomputeHealth folds into the
+  // ladder: reads degrade to inline lower-bound answers until the budget
+  // drains, and recovery is automatic because this block re-reads the
+  // budget on every submission.
+  if (options_.memory_budget != nullptr) {
+    const BudgetPressure pressure = options_.memory_budget->pressure_up();
+    if (pressure != BudgetPressure::kNone) {
+      if (!shrunk_this_episode_.exchange(true)) {
+        cache_.Shrink(0.5);
+        metrics_.budget_cache_shrinks.fetch_add(1);
+      }
+    } else {
+      shrunk_this_episode_.store(false);
+    }
+    const int pressure_level = pressure == BudgetPressure::kHard ? 1 : 0;
+    if (pressure_level !=
+        pressure_level_.exchange(pressure_level, std::memory_order_relaxed))
+      RecomputeHealth();
+  }
+
   // Degradation ladder (docs/ROBUSTNESS.md). Checked after the cache —
   // cached answers are exact and involve no scheduler, so they are served
   // in every state. One request in kCanaryEvery still takes the normal
@@ -311,6 +350,8 @@ std::future<ServeResponse> QueryService::Submit(
       break;
     case ServeHealth::kDegraded: {
       if (ladder_seq_.fetch_add(1) % kCanaryEvery != 0) {
+        if (pressure_level_.load(std::memory_order_relaxed) != 0)
+          metrics_.budget_degraded.fetch_add(1);
         ResolveDegraded(request.get());
         return future;
       }
@@ -327,9 +368,35 @@ std::future<ServeResponse> QueryService::Submit(
     }
   }
 
+  // Adaptive admission control: queueing delay is the overload signal —
+  // it rises well before the queue fills, so shedding on it keeps latency
+  // bounded instead of letting every admitted request inherit the backlog.
+  if (options_.admission_target_delay_us != 0 &&
+      request->priority != ServePriority::kHigh) {
+    const uint64_t limit = request->priority == ServePriority::kLow
+                               ? options_.admission_target_delay_us
+                               : 2 * options_.admission_target_delay_us;
+    const uint64_t oldest_wait_us = queue_.OldestWaitUs();
+    if (oldest_wait_us > limit) {
+      metrics_.shed_early.fetch_add(1);
+      return reject(Status::Overloaded(
+          "shedding " +
+          std::string(request->priority == ServePriority::kLow ? "low"
+                                                               : "normal") +
+          "-priority request: oldest queued request has waited " +
+          std::to_string(oldest_wait_us) + "us (target " +
+          std::to_string(options_.admission_target_delay_us) +
+          "us); retry later"));
+    }
+  }
+
   // A failed TryPush does not consume the request, so the promise can
-  // still be resolved here.
-  if (!queue_.TryPush(std::move(request))) {
+  // still be resolved here. The queue charges the payload against the
+  // memory budget and refuses at the hard watermark, so a saturated
+  // budget reads as ordinary overload to the client.
+  const size_t request_bytes =
+      request->query.size() * sizeof(double) + sizeof(Request) + 64;
+  if (!queue_.TryPush(std::move(request), request_bytes)) {
     if (queue_.closed()) {
       metrics_.rejected_shutdown.fetch_add(1);
       return reject(Status::Unavailable("query service is stopped"));
@@ -337,7 +404,7 @@ std::future<ServeResponse> QueryService::Submit(
     metrics_.rejected_overloaded.fetch_add(1);
     return reject(Status::Overloaded(
         "admission queue full (" + std::to_string(queue_.capacity()) +
-        " pending); retry later"));
+        " pending) or serve memory budget exhausted; retry later"));
   }
   metrics_.admitted.fetch_add(1);
   metrics_.queue_depth.Record(queue_.size());

@@ -10,7 +10,12 @@
 //
 //   admission   A bounded MPMC queue (util/bounded_queue.h). When it is
 //               full the request is rejected immediately with kOverloaded —
-//               explicit backpressure, never unbounded growth.
+//               explicit backpressure, never unbounded growth. With a
+//               memory budget the queue also charges each request's payload
+//               bytes and rejects at the hard watermark; with
+//               admission_target_delay_us set, queueing delay sheds
+//               low-priority requests before the queue fills (adaptive
+//               admission control, docs/ROBUSTNESS.md).
 //   batching    A dedicated scheduler thread coalesces queued requests and
 //               flushes a micro-batch when either `max_batch` requests are
 //               pending or the oldest has waited `max_delay_us`. Each flush
@@ -68,6 +73,7 @@
 #include "search/search_index.h"
 #include "serve/result_cache.h"
 #include "util/bounded_queue.h"
+#include "util/resource_budget.h"
 #include "util/status.h"
 
 namespace sapla {
@@ -81,6 +87,13 @@ enum class ServeHealth : int {
 
 /// "healthy" / "degraded" / "unhealthy".
 const char* ServeHealthName(ServeHealth health);
+
+/// \brief Request priority for adaptive admission control (ordered: higher
+/// sheds later). With ServeOptions::admission_target_delay_us set, kLow
+/// requests shed once the oldest queued request has waited past the target,
+/// kNormal past twice the target, and kHigh never sheds early (it still
+/// gets kOverloaded when the queue itself is full).
+enum class ServePriority : int { kLow = 0, kNormal = 1, kHigh = 2 };
 
 /// \brief Tuning knobs for one QueryService.
 struct ServeOptions {
@@ -135,6 +148,24 @@ struct ServeOptions {
   /// Sliding window for the live tail-latency gauges
   /// (window_total_us / window_exec_us in obs/metrics.h).
   uint64_t window_us = 60'000'000;
+
+  // ---- Resource governance (docs/ROBUSTNESS.md).
+
+  /// Memory budget this service charges its result cache and queued
+  /// request payloads against (util/resource_budget.h). The service makes
+  /// its own attribution children ("serve/cache", "serve/queue") under
+  /// this node, so pass the process root (or a shared serving budget) and
+  /// the exposition shows who holds what. Pressure on the budget drives a
+  /// graded response at admission: soft -> the cache is shrunk to half
+  /// once per pressure episode; hard -> reads degrade to inline
+  /// lower-bound answers (approximate=true) until pressure lifts.
+  /// nullptr disables governance.
+  std::shared_ptr<ResourceBudget> memory_budget;
+  /// Adaptive admission control: target queueing delay (µs). When the
+  /// oldest queued request has waited longer, new kLow requests shed with
+  /// kOverloaded; past twice the target kNormal sheds too. kHigh never
+  /// sheds early. 0 disables delay-based shedding.
+  uint64_t admission_target_delay_us = 0;
 };
 
 /// \brief One request's outcome.
@@ -173,14 +204,16 @@ class QueryService {
 
   /// Asynchronous k-NN. `deadline_us` counts from admission; 0 uses the
   /// service default (which may be "none"). Rejections (overload, stopped,
-  /// bad query length) resolve the future immediately.
-  std::future<ServeResponse> SubmitKnn(std::vector<double> query, size_t k,
-                                       uint64_t deadline_us = 0);
+  /// bad query length) resolve the future immediately. `priority` only
+  /// matters with admission_target_delay_us set (see ServePriority).
+  std::future<ServeResponse> SubmitKnn(
+      std::vector<double> query, size_t k, uint64_t deadline_us = 0,
+      ServePriority priority = ServePriority::kNormal);
 
   /// Asynchronous range query; same lifecycle as SubmitKnn.
-  std::future<ServeResponse> SubmitRange(std::vector<double> query,
-                                         double radius,
-                                         uint64_t deadline_us = 0);
+  std::future<ServeResponse> SubmitRange(
+      std::vector<double> query, double radius, uint64_t deadline_us = 0,
+      ServePriority priority = ServePriority::kNormal);
 
   /// Blocking conveniences for closed-loop clients.
   ServeResponse Knn(std::vector<double> query, size_t k,
@@ -247,6 +280,17 @@ class QueryService {
 
   const SearchIndex& index_;
   const ServeOptions options_;
+
+  /// Attribution children under options_.memory_budget (null when
+  /// governance is off). Declared before cache_/queue_ so they exist when
+  /// those members construct and outlive them at destruction.
+  std::shared_ptr<ResourceBudget> cache_budget_;
+  std::shared_ptr<ResourceBudget> queue_budget_;
+  /// One cache shrink per pressure episode: armed when pressure appears,
+  /// reset when it fully lifts.
+  std::atomic<bool> shrunk_this_episode_{false};
+  /// 1 while the budget is hard-saturated (feeds RecomputeHealth).
+  std::atomic<int> pressure_level_{0};
 
   mutable ServeMetrics metrics_;
   ResultCache cache_;

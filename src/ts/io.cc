@@ -1,6 +1,7 @@
 #include "ts/io.h"
 
 #include <fcntl.h>
+#include <sys/statvfs.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -36,7 +37,12 @@ constexpr uint64_t kMaxSeriesLength = uint64_t{1} << 24;
 constexpr uint64_t kMaxAlphabet = uint64_t{1} << 20;
 
 Status ErrnoStatus(const std::string& what) {
-  return Status::IOError(what + ": " + std::strerror(errno));
+  const int err = errno;
+  const std::string msg = what + ": " + std::strerror(err);
+  // A full disk (or exhausted quota) is a resource condition the caller can
+  // recover from by freeing space, not a generic I/O fault.
+  if (err == ENOSPC || err == EDQUOT) return Status::ResourceExhausted(msg);
+  return Status::IOError(msg);
 }
 
 Result<Method> MethodFromString(const std::string& name) {
@@ -197,7 +203,29 @@ Result<std::string> ReadFileToString(const std::string& path) {
 
 }  // namespace
 
+Status PreflightDiskSpace(const std::string& path, uint64_t bytes) {
+  SAPLA_FAULT_POINT("io/disk_full");
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? std::string(".")
+                                                     : path.substr(0, slash);
+  struct statvfs vfs;
+  if (::statvfs(dir.empty() ? "/" : dir.c_str(), &vfs) != 0)
+    return Status::OK();
+  const uint64_t free_bytes =
+      static_cast<uint64_t>(vfs.f_bavail) * vfs.f_frsize;
+  // Slack covers directory metadata and the rename; an exact-fit write
+  // would fail mid-stream anyway.
+  constexpr uint64_t kSlack = 1u << 16;
+  if (free_bytes < bytes + kSlack) {
+    return Status::ResourceExhausted(
+        "disk full: " + std::to_string(bytes) + " bytes do not fit in " +
+        std::to_string(free_bytes) + " free under " + dir);
+  }
+  return Status::OK();
+}
+
 Status AtomicWriteFile(const std::string& path, const std::string& data) {
+  SAPLA_RETURN_NOT_OK(PreflightDiskSpace(path, data.size()));
   SAPLA_FAULT_POINT("io/open_write");
   // The temp file lives next to the target so the rename stays within one
   // filesystem (rename(2) is only atomic then).
@@ -807,7 +835,7 @@ Result<RepresentationStore> OpenColdRepresentationStoreAt(
   }
   V4Parsed h;
   SAPLA_RETURN_NOT_OK(ParseV4Common(base, length, &h));
-  auto cold = std::make_shared<storedetail::ColdColumns>();
+  auto cold = std::make_shared<storedetail::ColdColumns>(options.budget);
   cold->file = std::move(file);
   cold->frames_base = cold->file.data() + offset + h.frames_begin;
   cold->frames_size = h.frames_size;

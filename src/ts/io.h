@@ -77,21 +77,34 @@
 // old file or the new file, never a torn mix; a failed save never clobbers
 // an existing archive.
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "reduction/representation.h"
 #include "reduction/representation_store.h"
 #include "ts/time_series.h"
+#include "util/resource_budget.h"
 #include "util/status.h"
 
 namespace sapla {
 
+/// Free-space preflight for writing `bytes` into the filesystem that holds
+/// `path` (the file need not exist; its directory is consulted). Returns
+/// kResourceExhausted when the write clearly cannot fit, OK otherwise —
+/// including when statvfs itself fails, so an exotic filesystem degrades to
+/// the write path's own error handling instead of false rejections. Fault
+/// point: io/disk_full (inject with code `exhausted` to simulate a full
+/// disk without filling one).
+Status PreflightDiskSpace(const std::string& path, uint64_t bytes);
+
 /// Writes `data` to `path` atomically: temp file + fsync + rename. On any
 /// failure the temp file is removed, a preexisting `path` is untouched, and
 /// the returned Status says which step failed (open/write/fsync/rename).
-/// Fault points (util/fault.h): io/open_write, io/write, io/fsync,
-/// io/rename.
+/// A full disk — preflight refusal or ENOSPC mid-write — comes back as
+/// kResourceExhausted with the old file intact.
+/// Fault points (util/fault.h): io/disk_full, io/open_write, io/write,
+/// io/fsync, io/rename.
 Status AtomicWriteFile(const std::string& path, const std::string& data);
 
 /// Serializes one representation (appendable; see v1 format above).
@@ -145,6 +158,10 @@ Result<RepresentationStore> LoadRepresentationStore(const std::string& path);
 struct ColdStoreOptions {
   /// Decode-cache capacity; at least one frame is always retained.
   size_t cache_bytes = 64u << 20;
+  /// Optional frame-cache budget shared across stores/shards
+  /// (reduction/column_residency.h): cached frame bytes reserve on it, so
+  /// a fleet's decode caches are bounded globally, not per store.
+  std::shared_ptr<ResourceBudget> budget;
 };
 
 /// Opens a v4 archive as a COLD store: the file is mmap'd read-only, the

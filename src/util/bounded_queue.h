@@ -13,18 +13,28 @@
 // slot) while the window is open, so a full queue genuinely means
 // "max_items + capacity requests in flight" and overload is observable.
 //
+// Byte-budget admission: an optional ResourceBudget meters queued payload
+// bytes. TryPush reserves the item's declared bytes before enqueueing and
+// fails like a full queue when the budget's hard watermark rejects the
+// reservation; the bytes ride with the item and are released when PopBatch
+// removes it (or when the queue is destroyed with items still queued), so
+// a rejected or cancelled request can never leak a reservation.
+//
 // Close() wakes everything: producers fail fast, PopBatch drains what is
 // left and then returns empty batches forever.
 
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <utility>
 #include <vector>
 
 #include "util/fault.h"
+#include "util/resource_budget.h"
 
 namespace sapla {
 
@@ -32,23 +42,37 @@ namespace sapla {
 template <typename T>
 class BoundedQueue {
  public:
-  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {}
+  explicit BoundedQueue(size_t capacity,
+                        std::shared_ptr<ResourceBudget> budget = nullptr)
+      : capacity_(capacity), budget_(std::move(budget)) {}
 
   BoundedQueue(const BoundedQueue&) = delete;
   BoundedQueue& operator=(const BoundedQueue&) = delete;
 
-  /// Enqueues `item` unless the queue is full or closed; returns whether
-  /// the item was admitted. Never blocks. On failure `item` is NOT
-  /// consumed — the caller keeps ownership (the serving layer resolves the
-  /// rejected request's promise through it).
-  bool TryPush(T&& item) {
+  ~BoundedQueue() {
+    // Items never drained still hold reservations; return them.
+    if (budget_) {
+      for (const Entry& entry : items_) budget_->Release(entry.bytes);
+    }
+  }
+
+  /// Enqueues `item` unless the queue is full, closed, or `bytes` is
+  /// rejected by the byte budget; returns whether the item was admitted.
+  /// Never blocks. On failure `item` is NOT consumed — the caller keeps
+  /// ownership (the serving layer resolves the rejected request's promise
+  /// through it) — and no budget bytes stay reserved.
+  bool TryPush(T&& item, size_t bytes = 0) {
     // Fault point "queue/admit": a trigger behaves exactly like a full
     // queue, so callers exercise their backpressure path on demand.
     if (SAPLA_FAULT_HIT("queue/admit")) return false;
+    if (budget_ && !budget_->TryReserve(bytes)) return false;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      if (closed_ || items_.size() >= capacity_) return false;
-      items_.emplace_back(std::move(item), Clock::now());
+      if (closed_ || items_.size() >= capacity_) {
+        if (budget_) budget_->Release(bytes);
+        return false;
+      }
+      items_.push_back(Entry{std::move(item), Clock::now(), bytes});
     }
     cv_.notify_all();
     return true;
@@ -59,23 +83,27 @@ class BoundedQueue {
   /// oldest queued item has waited `max_delay` since its arrival,
   /// whichever comes first — so no admitted item waits longer than
   /// `max_delay` for its flush to start. Returns an empty vector only when
-  /// the queue is closed and fully drained.
+  /// the queue is closed and fully drained. Budget bytes for the removed
+  /// items are released here (the queue meters *queued* payloads).
   std::vector<T> PopBatch(size_t max_items,
                           std::chrono::microseconds max_delay) {
     std::unique_lock<std::mutex> lock(mu_);
     cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
     if (items_.empty()) return {};  // closed and drained
-    const auto deadline = items_.front().second + max_delay;
+    const auto deadline = items_.front().arrival + max_delay;
     cv_.wait_until(lock, deadline,
                    [&] { return closed_ || items_.size() >= max_items; });
     std::vector<T> batch;
     const size_t take = items_.size() < max_items ? items_.size() : max_items;
     batch.reserve(take);
+    size_t released = 0;
     for (size_t i = 0; i < take; ++i) {
-      batch.push_back(std::move(items_.front().first));
+      batch.push_back(std::move(items_.front().item));
+      released += items_.front().bytes;
       items_.pop_front();
     }
     lock.unlock();
+    if (budget_ && released > 0) budget_->Release(released);
     cv_.notify_all();  // free slots for blocked producers' next TryPush
     return batch;
   }
@@ -100,16 +128,38 @@ class BoundedQueue {
     return items_.size();
   }
 
+  /// Age of the oldest queued item in microseconds (0 when empty): the
+  /// queue-delay signal for adaptive admission control — when this exceeds
+  /// the target, newly arriving low-priority work is shed at the door
+  /// instead of timing out after queueing.
+  uint64_t OldestWaitUs() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) return 0;
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            Clock::now() - items_.front().arrival)
+            .count());
+  }
+
   size_t capacity() const { return capacity_; }
+
+  const std::shared_ptr<ResourceBudget>& budget() const { return budget_; }
 
  private:
   using Clock = std::chrono::steady_clock;
 
+  /// The front entry's arrival anchors the batch window.
+  struct Entry {
+    T item;
+    Clock::time_point arrival;
+    size_t bytes;
+  };
+
   const size_t capacity_;
+  const std::shared_ptr<ResourceBudget> budget_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  /// (item, arrival time); the front arrival anchors the batch window.
-  std::deque<std::pair<T, Clock::time_point>> items_;
+  std::deque<Entry> items_;
   bool closed_ = false;
 };
 

@@ -113,6 +113,7 @@ const char* CodeName(StatusCode code) {
     case StatusCode::kOverloaded: return "injected overload";
     case StatusCode::kDeadlineExceeded: return "injected deadline expiry";
     case StatusCode::kUnavailable: return "injected unavailability";
+    case StatusCode::kResourceExhausted: return "injected resource exhaustion";
     case StatusCode::kInternal: return "injected internal error";
     case StatusCode::kInvalidArgument: return "injected invalid argument";
     case StatusCode::kNotFound: return "injected not-found";
@@ -214,6 +215,7 @@ bool ParseCode(const std::string& name, StatusCode* out) {
   else if (name == "internal") *out = StatusCode::kInternal;
   else if (name == "invalid") *out = StatusCode::kInvalidArgument;
   else if (name == "notfound") *out = StatusCode::kNotFound;
+  else if (name == "exhausted") *out = StatusCode::kResourceExhausted;
   else return false;
   return true;
 }

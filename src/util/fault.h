@@ -34,7 +34,7 @@
 //
 // Per point: p<probability>, n<max triggers>, s<skip first N evaluations>,
 // d<delay microseconds>, c<code: io|overloaded|deadline|unavailable|
-// internal|invalid|notfound>. Points not configured never trigger.
+// internal|invalid|notfound|exhausted>. Points not configured never trigger.
 //
 // Cost. Compiled in but disabled (the default): one relaxed atomic load per
 // macro site. -DSAPLA_FAULT=OFF removes the framework entirely — the macros

@@ -1,0 +1,194 @@
+#include "util/resource_budget.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace sapla {
+
+const char* BudgetPressureName(BudgetPressure pressure) {
+  switch (pressure) {
+    case BudgetPressure::kNone:
+      return "none";
+    case BudgetPressure::kSoft:
+      return "soft";
+    case BudgetPressure::kHard:
+      return "hard";
+  }
+  return "unknown";
+}
+
+std::shared_ptr<ResourceBudget> ResourceBudget::MakeRoot(std::string name,
+                                                         size_t capacity_bytes,
+                                                         double soft_fraction) {
+  return std::shared_ptr<ResourceBudget>(new ResourceBudget(
+      std::move(name), capacity_bytes, soft_fraction, nullptr));
+}
+
+std::shared_ptr<ResourceBudget> ResourceBudget::MakeChild(
+    std::shared_ptr<ResourceBudget> parent, std::string name,
+    size_t capacity_bytes, double soft_fraction) {
+  SAPLA_DCHECK(parent != nullptr);
+  auto child = std::shared_ptr<ResourceBudget>(new ResourceBudget(
+      std::move(name), capacity_bytes, soft_fraction, parent));
+  if (parent) {
+    std::lock_guard<std::mutex> lock(parent->children_mu_);
+    parent->children_.push_back(child.get());
+  }
+  return child;
+}
+
+ResourceBudget::ResourceBudget(std::string name, size_t capacity_bytes,
+                               double soft_fraction,
+                               std::shared_ptr<ResourceBudget> parent)
+    : name_(std::move(name)),
+      soft_fraction_(std::min(std::max(soft_fraction, 0.0), 1.0)),
+      capacity_(capacity_bytes),
+      parent_(std::move(parent)) {}
+
+ResourceBudget::~ResourceBudget() {
+  if (parent_) {
+    std::lock_guard<std::mutex> lock(parent_->children_mu_);
+    auto& siblings = parent_->children_;
+    siblings.erase(std::remove(siblings.begin(), siblings.end(), this),
+                   siblings.end());
+  }
+  // A well-behaved consumer releases everything before dropping its
+  // budget; if it did not, the ancestors' usage would dangle forever, so
+  // return whatever is still accounted here.
+  const size_t leftover = used_.load(std::memory_order_relaxed);
+  if (leftover > 0 && parent_) parent_->Release(leftover);
+}
+
+void ResourceBudget::UpdatePeak(size_t candidate) {
+  size_t prev = peak_.load(std::memory_order_relaxed);
+  while (candidate > prev &&
+         !peak_.compare_exchange_weak(prev, candidate,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+bool ResourceBudget::ReserveLocal(size_t bytes) {
+  const size_t cap = capacity_.load(std::memory_order_relaxed);
+  size_t cur = used_.load(std::memory_order_relaxed);
+  do {
+    if (cap != 0 && (bytes > cap || cur > cap - bytes)) {
+      rejections_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+  } while (!used_.compare_exchange_weak(cur, cur + bytes,
+                                        std::memory_order_relaxed));
+  UpdatePeak(cur + bytes);
+  return true;
+}
+
+void ResourceBudget::AccountLocal(size_t bytes, bool forced) {
+  const size_t after = used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  UpdatePeak(after);
+  const size_t cap = capacity_.load(std::memory_order_relaxed);
+  if (forced && cap != 0 && after > cap)
+    overflows_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ResourceBudget::ReleaseLocal(size_t bytes) {
+  size_t cur = used_.load(std::memory_order_relaxed);
+  size_t next;
+  do {
+    SAPLA_DCHECK(cur >= bytes && "ResourceBudget::Release underflow");
+    next = cur >= bytes ? cur - bytes : 0;
+  } while (!used_.compare_exchange_weak(cur, next,
+                                        std::memory_order_relaxed));
+}
+
+bool ResourceBudget::TryReserve(size_t bytes) {
+  if (bytes == 0) return true;
+  if (!ReserveLocal(bytes)) return false;
+  if (parent_ && !parent_->TryReserve(bytes)) {
+    ReleaseLocal(bytes);
+    return false;
+  }
+  return true;
+}
+
+void ResourceBudget::ForceReserve(size_t bytes) {
+  if (bytes == 0) return;
+  AccountLocal(bytes, /*forced=*/true);
+  if (parent_) parent_->ForceReserve(bytes);
+}
+
+void ResourceBudget::Release(size_t bytes) {
+  if (bytes == 0) return;
+  ReleaseLocal(bytes);
+  if (parent_) parent_->Release(bytes);
+}
+
+void ResourceBudget::SetCapacity(size_t capacity_bytes) {
+  capacity_.store(capacity_bytes, std::memory_order_relaxed);
+}
+
+BudgetPressure ResourceBudget::pressure() const {
+  const size_t cap = capacity_.load(std::memory_order_relaxed);
+  if (cap == 0) return BudgetPressure::kNone;
+  const size_t cur = used_.load(std::memory_order_relaxed);
+  if (cur >= cap) return BudgetPressure::kHard;
+  const size_t soft =
+      static_cast<size_t>(static_cast<double>(cap) * soft_fraction_);
+  if (cur >= soft) return BudgetPressure::kSoft;
+  return BudgetPressure::kNone;
+}
+
+BudgetPressure ResourceBudget::pressure_up() const {
+  BudgetPressure worst = pressure();
+  for (const ResourceBudget* b = parent_.get(); b != nullptr;
+       b = b->parent_.get()) {
+    worst = std::max(worst, b->pressure());
+  }
+  return worst;
+}
+
+void ResourceBudget::AppendSnapshots(std::vector<Snapshot>* out) const {
+  Snapshot snap;
+  snap.name = name_;
+  snap.used = used();
+  snap.capacity = capacity();
+  snap.peak_used = peak_used();
+  snap.rejections = rejections();
+  snap.overflows = overflows();
+  snap.pressure = pressure();
+  out->push_back(std::move(snap));
+  std::lock_guard<std::mutex> lock(children_mu_);
+  for (const ResourceBudget* child : children_) child->AppendSnapshots(out);
+}
+
+std::vector<ResourceBudget::Snapshot> ResourceBudget::SnapshotTree() const {
+  std::vector<Snapshot> out;
+  AppendSnapshots(&out);
+  return out;
+}
+
+BudgetLease BudgetLease::TryAcquire(std::shared_ptr<ResourceBudget> budget,
+                                    size_t bytes) {
+  BudgetLease lease;
+  if (!budget) {
+    lease.ok_ = true;
+    return lease;
+  }
+  if (!budget->TryReserve(bytes)) return lease;
+  lease.budget_ = std::move(budget);
+  lease.bytes_ = bytes;
+  lease.ok_ = true;
+  return lease;
+}
+
+BudgetLease BudgetLease::Acquire(std::shared_ptr<ResourceBudget> budget,
+                                 size_t bytes) {
+  BudgetLease lease;
+  lease.ok_ = true;
+  if (!budget) return lease;
+  budget->ForceReserve(bytes);
+  lease.budget_ = std::move(budget);
+  lease.bytes_ = bytes;
+  return lease;
+}
+
+}  // namespace sapla

@@ -1,0 +1,205 @@
+#ifndef SAPLA_UTIL_RESOURCE_BUDGET_H_
+#define SAPLA_UTIL_RESOURCE_BUDGET_H_
+
+// Hierarchical byte-budget accountant for process-wide resource governance.
+//
+// A ResourceBudget meters one consumer (ingest memtable + minors, the
+// cold-tier frame cache, the serve result cache, admission-queue payloads)
+// against a byte capacity. Budgets form a tree: every reservation on a
+// child also lands on its ancestors, so a single root capacity bounds the
+// whole process no matter how the children carve it up. A child with
+// capacity 0 is locally unlimited and bounded only by its ancestors —
+// that is the common wiring: one root with the global budget, one
+// capacity-0 child per consumer for attribution.
+//
+// Two reservation flavors:
+//   - TryReserve: fails (and counts a rejection) when the bytes would
+//     exceed this budget's or any ancestor's capacity. Nothing is
+//     reserved on failure — the reserve-up-the-tree is all-or-nothing.
+//     Use for admission decisions (queue payloads, cache inserts).
+//   - ForceReserve: always succeeds, counting an overflow when it pushes
+//     usage past capacity. Use for bytes that already exist and must be
+//     accounted (memtable contents, the one frame a cold store must keep
+//     resident) — overflow is what *creates* pressure and drives the
+//     graded responses.
+//
+// Pressure is graded per budget from its own usage vs. its watermarks:
+//   kNone  — below the soft watermark (soft_fraction * capacity).
+//   kSoft  — at/above soft, below capacity. Consumers respond by
+//            shrinking caches and forcing seal/compaction.
+//   kHard  — at/above capacity. Consumers shed writes (kOverloaded) and
+//            degrade reads.
+// pressure_up() folds in the ancestors, so a consumer sitting under a
+// saturated root sees kHard even when its own child budget is unlimited.
+//
+// All accounting is lock-free (relaxed atomics + a CAS loop in
+// TryReserve); the child registry for SnapshotTree takes a mutex but is
+// touched only at construction/destruction/snapshot time. Approximate
+// cross-field reads (used vs. capacity during a concurrent resize) are
+// fine: budgets bound working sets, they are not allocators.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sapla {
+
+/// Graded budget pressure; higher is worse. Compare with < / >.
+enum class BudgetPressure { kNone = 0, kSoft = 1, kHard = 2 };
+
+/// Human-readable pressure name ("none" / "soft" / "hard").
+const char* BudgetPressureName(BudgetPressure pressure);
+
+class ResourceBudget {
+ public:
+  /// Point-in-time state of one budget (see SnapshotTree).
+  struct Snapshot {
+    std::string name;          ///< Budget name, unique per tree by convention.
+    size_t used = 0;           ///< Currently reserved bytes.
+    size_t capacity = 0;       ///< Byte capacity; 0 = locally unlimited.
+    size_t peak_used = 0;      ///< High-water mark of `used` since creation.
+    uint64_t rejections = 0;   ///< Failed TryReserve calls.
+    uint64_t overflows = 0;    ///< ForceReserve calls that exceeded capacity.
+    BudgetPressure pressure = BudgetPressure::kNone;
+  };
+
+  /// Creates a root budget. `capacity_bytes` 0 means unlimited (pure
+  /// accounting). `soft_fraction` places the soft watermark.
+  static std::shared_ptr<ResourceBudget> MakeRoot(std::string name,
+                                                  size_t capacity_bytes,
+                                                  double soft_fraction = 0.85);
+
+  /// Creates a child of `parent` (which must be non-null). The child keeps
+  /// its parent alive. `capacity_bytes` 0 = bounded only by ancestors.
+  static std::shared_ptr<ResourceBudget> MakeChild(
+      std::shared_ptr<ResourceBudget> parent, std::string name,
+      size_t capacity_bytes = 0, double soft_fraction = 0.85);
+
+  ~ResourceBudget();
+
+  ResourceBudget(const ResourceBudget&) = delete;
+  ResourceBudget& operator=(const ResourceBudget&) = delete;
+
+  /// Reserves `bytes` on this budget and every ancestor, all-or-nothing.
+  /// Returns false (reserving nothing, counting one rejection on the
+  /// budget whose capacity was hit) if any level would exceed capacity.
+  bool TryReserve(size_t bytes);
+
+  /// Reserves `bytes` unconditionally on this budget and every ancestor.
+  /// Counts an overflow on each level pushed past its capacity.
+  void ForceReserve(size_t bytes);
+
+  /// Returns `bytes` previously reserved (either flavor) on this budget
+  /// and every ancestor. Releasing more than was reserved clamps to zero
+  /// (and trips a DCHECK in debug builds).
+  void Release(size_t bytes);
+
+  /// Live-resizes the capacity (e.g. lifting pressure in a chaos round).
+  /// Existing reservations are untouched; a shrink below current usage
+  /// simply puts the budget at kHard until consumers release.
+  void SetCapacity(size_t capacity_bytes);
+
+  size_t used() const { return used_.load(std::memory_order_relaxed); }
+  size_t capacity() const { return capacity_.load(std::memory_order_relaxed); }
+  size_t peak_used() const { return peak_.load(std::memory_order_relaxed); }
+  uint64_t rejections() const {
+    return rejections_.load(std::memory_order_relaxed);
+  }
+  uint64_t overflows() const {
+    return overflows_.load(std::memory_order_relaxed);
+  }
+  const std::string& name() const { return name_; }
+  const std::shared_ptr<ResourceBudget>& parent() const { return parent_; }
+
+  /// This budget's own pressure (usage vs. its watermarks; capacity 0
+  /// never reports pressure).
+  BudgetPressure pressure() const;
+
+  /// Worst pressure over this budget and all ancestors — what a consumer
+  /// should act on.
+  BudgetPressure pressure_up() const;
+
+  /// Snapshots this budget and every descendant, pre-order (self first).
+  std::vector<Snapshot> SnapshotTree() const;
+
+ private:
+  ResourceBudget(std::string name, size_t capacity_bytes, double soft_fraction,
+                 std::shared_ptr<ResourceBudget> parent);
+
+  bool ReserveLocal(size_t bytes);
+  void AccountLocal(size_t bytes, bool forced);
+  void ReleaseLocal(size_t bytes);
+  void UpdatePeak(size_t candidate);
+  void AppendSnapshots(std::vector<Snapshot>* out) const;
+
+  const std::string name_;
+  const double soft_fraction_;
+  std::atomic<size_t> capacity_;
+  std::atomic<size_t> used_{0};
+  std::atomic<size_t> peak_{0};
+  std::atomic<uint64_t> rejections_{0};
+  std::atomic<uint64_t> overflows_{0};
+
+  const std::shared_ptr<ResourceBudget> parent_;
+  mutable std::mutex children_mu_;
+  std::vector<const ResourceBudget*> children_;
+};
+
+/// Move-only RAII reservation: releases its bytes on destruction, so a
+/// request bounced with kOverloaded (or cancelled mid-queue) can never
+/// leak its admission-queue reservation.
+class BudgetLease {
+ public:
+  BudgetLease() = default;
+
+  /// Tries to reserve `bytes` on `budget`; the returned lease is empty
+  /// (ok() == false) on rejection. A null budget yields an always-ok
+  /// zero-byte lease so callers need no null checks.
+  static BudgetLease TryAcquire(std::shared_ptr<ResourceBudget> budget,
+                                size_t bytes);
+
+  /// Force-reserves `bytes` (always ok()).
+  static BudgetLease Acquire(std::shared_ptr<ResourceBudget> budget,
+                             size_t bytes);
+
+  BudgetLease(BudgetLease&& other) noexcept { *this = std::move(other); }
+  BudgetLease& operator=(BudgetLease&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      budget_ = std::move(other.budget_);
+      bytes_ = other.bytes_;
+      ok_ = other.ok_;
+      other.budget_ = nullptr;
+      other.bytes_ = 0;
+      other.ok_ = false;
+    }
+    return *this;
+  }
+  BudgetLease(const BudgetLease&) = delete;
+  BudgetLease& operator=(const BudgetLease&) = delete;
+  ~BudgetLease() { Reset(); }
+
+  /// Releases the reservation now (idempotent).
+  void Reset() {
+    if (budget_ && bytes_ > 0) budget_->Release(bytes_);
+    budget_ = nullptr;
+    bytes_ = 0;
+    ok_ = false;
+  }
+
+  bool ok() const { return ok_; }
+  size_t bytes() const { return bytes_; }
+
+ private:
+  std::shared_ptr<ResourceBudget> budget_;
+  size_t bytes_ = 0;
+  bool ok_ = false;
+};
+
+}  // namespace sapla
+
+#endif  // SAPLA_UTIL_RESOURCE_BUDGET_H_

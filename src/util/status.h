@@ -30,6 +30,9 @@ enum class StatusCode {
   kDeadlineExceeded,
   /// Serving layer: the service is stopped and accepts no new requests.
   kUnavailable,
+  /// Resource governance: a memory or disk budget is exhausted (full disk,
+  /// byte budget at its hard watermark). Retry after pressure lifts.
+  kResourceExhausted,
 };
 
 /// \brief Outcome of a fallible operation.
@@ -71,6 +74,9 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

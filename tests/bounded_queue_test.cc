@@ -1,7 +1,9 @@
 // Tests for the bounded MPMC admission queue (util/bounded_queue.h):
 // capacity enforcement, the micro-batch window (size trigger, delay
-// trigger, backlog fast-path), close/drain semantics, and concurrent
-// producers/consumers losing nothing.
+// trigger, backlog fast-path), close/drain semantics, byte-budget
+// admission (reject at the hard watermark, release on dequeue, no leaked
+// reservations across rejected pushes / close / destruction), and
+// concurrent producers/consumers losing nothing.
 
 #include "util/bounded_queue.h"
 
@@ -77,6 +79,110 @@ TEST(BoundedQueue, PopBatchBlocksUntilFirstItemArrives) {
   const auto batch = q.PopBatch(4, microseconds(1000));
   producer.join();
   EXPECT_EQ(batch, (std::vector<int>{5}));
+}
+
+TEST(BoundedQueue, BudgetRejectsAtHardWatermarkWithoutConsumingItem) {
+  auto budget = ResourceBudget::MakeRoot("queue", 100);
+  BoundedQueue<int> q(16, budget);
+  int a = 1, b = 2, c = 3;
+  EXPECT_TRUE(q.TryPush(std::move(a), 60));
+  EXPECT_TRUE(q.TryPush(std::move(b), 40));
+  EXPECT_EQ(budget->used(), 100u);
+  // Slots remain (capacity 16) but the byte budget is exhausted: the push
+  // fails like a full queue, the item is not consumed, and no bytes stay
+  // reserved from the failed attempt.
+  EXPECT_FALSE(q.TryPush(std::move(c), 1));
+  EXPECT_EQ(c, 3);
+  EXPECT_EQ(budget->used(), 100u);
+  EXPECT_EQ(budget->rejections(), 1u);
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(BoundedQueue, BudgetReleasesOnDequeue) {
+  auto budget = ResourceBudget::MakeRoot("queue", 100);
+  BoundedQueue<int> q(16, budget);
+  int a = 1, b = 2;
+  ASSERT_TRUE(q.TryPush(std::move(a), 70));
+  ASSERT_TRUE(q.TryPush(std::move(b), 30));
+  ASSERT_EQ(budget->used(), 100u);
+  EXPECT_EQ(q.PopBatch(1, microseconds(0)), (std::vector<int>{1}));
+  EXPECT_EQ(budget->used(), 30u);  // only the still-queued item is metered
+  int c = 3;
+  EXPECT_TRUE(q.TryPush(std::move(c), 70));  // freed bytes are reusable
+  EXPECT_EQ(budget->used(), 100u);
+  (void)q.PopBatch(8, microseconds(0));
+  EXPECT_EQ(budget->used(), 0u);
+}
+
+TEST(BoundedQueue, OldestWaitTracksHeadAge) {
+  BoundedQueue<int> q(8);
+  EXPECT_EQ(q.OldestWaitUs(), 0u);  // empty queue: no delay signal
+  int v = 1;
+  ASSERT_TRUE(q.TryPush(std::move(v)));
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_GE(q.OldestWaitUs(), 3000u);
+  (void)q.PopBatch(8, microseconds(0));
+  EXPECT_EQ(q.OldestWaitUs(), 0u);
+}
+
+TEST(BoundedQueue, BudgetNotLeakedWhenQueueIsFullOrClosed) {
+  auto budget = ResourceBudget::MakeRoot("queue", 1000);
+  {
+    BoundedQueue<int> q(1, budget);
+    int a = 1, b = 2;
+    ASSERT_TRUE(q.TryPush(std::move(a), 10));
+    // Budget admits but the slot check refuses: the reservation made
+    // before taking the lock must be rolled back.
+    EXPECT_FALSE(q.TryPush(std::move(b), 10));
+    EXPECT_EQ(budget->used(), 10u);
+    q.Close();
+    int c = 3;
+    EXPECT_FALSE(q.TryPush(std::move(c), 10));  // closed: same rollback
+    EXPECT_EQ(budget->used(), 10u);
+    // The queue dies with one undrained item; its bytes come back in the
+    // destructor.
+  }
+  EXPECT_EQ(budget->used(), 0u);
+}
+
+TEST(BoundedQueue, BudgetedConcurrentProducersLeakNothing) {
+  constexpr size_t kProducers = 8;
+  constexpr int kPerProducer = 400;
+  constexpr size_t kItemBytes = 16;
+  // Budget tighter than the slot capacity so both admission paths trip.
+  auto budget = ResourceBudget::MakeRoot("queue", 4 * kItemBytes);
+  BoundedQueue<int> q(16, budget);
+
+  std::vector<std::thread> producers;
+  for (size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        int item = static_cast<int>(p) * kPerProducer + i;
+        while (!q.TryPush(std::move(item), kItemBytes))
+          std::this_thread::yield();
+      }
+    });
+  }
+
+  std::vector<int> all;
+  std::thread consumer([&q, &all] {
+    for (;;) {
+      const auto batch = q.PopBatch(4, microseconds(100));
+      if (batch.empty()) return;
+      all.insert(all.end(), batch.begin(), batch.end());
+    }
+  });
+
+  for (auto& t : producers) t.join();
+  q.Close();
+  consumer.join();
+
+  std::sort(all.begin(), all.end());
+  ASSERT_EQ(all.size(), kProducers * kPerProducer);
+  for (size_t i = 0; i < all.size(); ++i)
+    ASSERT_EQ(all[i], static_cast<int>(i));
+  EXPECT_EQ(budget->used(), 0u);  // every reservation was paired
+  EXPECT_LE(budget->peak_used(), 4 * kItemBytes);
 }
 
 TEST(BoundedQueue, ConcurrentProducersConsumersLoseNothing) {

@@ -354,6 +354,100 @@ TEST(IngestRecovery, TornWalTailIsTruncatedBeforeNewAppends) {
 }
 
 #if !defined(SAPLA_FAULT_DISABLED)
+
+// ---------------------------------------------------------------------------
+// Disk guard: ENOSPC and torn appends must fail closed (docs/ROBUSTNESS.md).
+
+TEST(Wal, DiskFullAppendIsResourceExhaustedAndLeavesLogIntact) {
+  const std::string path = TempDir("wal_diskfull") + "/wal.log";
+  WriteAheadLog wal;
+  ASSERT_TRUE(wal.Open(path).ok());
+  ASSERT_TRUE(wal.Append(InsertRecord(0, 0, {1.0, 2.0})).ok());
+  ASSERT_TRUE(wal.Append(InsertRecord(1, 1, {3.0, 4.0})).ok());
+  const std::string before = ReadFileBytes(path);
+
+  fault::Enable(13);
+  fault::PointConfig cfg;
+  cfg.max_triggers = 1;
+  cfg.code = StatusCode::kResourceExhausted;
+  fault::Configure("ingest/wal_full", cfg);
+  const Status st = wal.Append(InsertRecord(2, 2, {5.0, 6.0}));
+  fault::Reset();
+
+  // The refusal is typed (callers distinguish "disk full" from "disk
+  // broken") and nothing reached the file.
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted) << st.ToString();
+  EXPECT_EQ(ReadFileBytes(path), before);
+
+  // Space came back: the same record appends cleanly and replay sees all
+  // three — the log never wedges after a refused append.
+  ASSERT_TRUE(wal.Append(InsertRecord(2, 2, {5.0, 6.0})).ok());
+  const auto replay = WriteAheadLog::Replay(path);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(replay.ValueOrDie().records.size(), 3u);
+  EXPECT_EQ(replay.ValueOrDie().dropped_bytes, 0u);
+}
+
+TEST(Wal, TornAppendRollsBackToLastGoodFrame) {
+  const std::string path = TempDir("wal_torn_append") + "/wal.log";
+  WriteAheadLog wal;
+  ASSERT_TRUE(wal.Open(path).ok());
+  ASSERT_TRUE(wal.Append(InsertRecord(0, 0, {1.0, 2.0})).ok());
+  ASSERT_TRUE(wal.Append(InsertRecord(1, 1, {3.0, 4.0})).ok());
+  const std::string good = ReadFileBytes(path);
+
+  // The fault writes only half the third frame — a crash mid-append. The
+  // append must fail AND truncate the torn bytes so the file ends exactly
+  // at the last fully flushed frame.
+  fault::Enable(13);
+  fault::PointConfig torn;
+  torn.max_triggers = 1;
+  fault::Configure("ingest/wal_torn", torn);
+  EXPECT_FALSE(wal.Append(InsertRecord(2, 2, {5.0, 6.0})).ok());
+  fault::Reset();
+  EXPECT_EQ(ReadFileBytes(path), good);
+
+  // Replay is already clean (no dropped tail), and the log keeps working:
+  // the retried append lands after the rollback point.
+  const auto mid = WriteAheadLog::Replay(path);
+  ASSERT_TRUE(mid.ok());
+  EXPECT_EQ(mid.ValueOrDie().records.size(), 2u);
+  EXPECT_EQ(mid.ValueOrDie().dropped_bytes, 0u);
+  ASSERT_TRUE(wal.Append(InsertRecord(2, 2, {5.0, 6.0})).ok());
+  const auto replay = WriteAheadLog::Replay(path);
+  ASSERT_TRUE(replay.ok());
+  ASSERT_EQ(replay.ValueOrDie().records.size(), 3u);
+  EXPECT_EQ(replay.ValueOrDie().dropped_bytes, 0u);
+  EXPECT_TRUE(replay.ValueOrDie().records[2] ==
+              InsertRecord(2, 2, {5.0, 6.0}));
+}
+
+TEST(IngestRecovery, DiskFullInsertIsRefusedNotAckedAndRecovers) {
+  // Controller-level acked ⟺ logged under ENOSPC: a refused insert is
+  // visible nowhere, and once space returns the controller keeps going.
+  const std::string dir = TempDir("ing_diskfull");
+  const Dataset src = SourceData(58);
+  auto a = MakeDurable(dir);
+  ASSERT_TRUE(a->Insert(src.series[0].values).ok());
+
+  fault::Enable(17);
+  fault::PointConfig cfg;
+  cfg.max_triggers = 1;
+  cfg.code = StatusCode::kResourceExhausted;
+  fault::Configure("ingest/wal_full", cfg);
+  const auto refused = a->Insert(src.series[1].values);
+  fault::Reset();
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(a->dataset_size(), 1u);
+
+  ASSERT_TRUE(a->Insert(src.series[2].values).ok());
+  auto b = MakeDurable(dir);
+  EXPECT_EQ(b->VisibleIds(), a->VisibleIds());
+  EXPECT_EQ(b->dataset_size(), 2u);
+}
+
 TEST(IngestRecovery, FaultedAppendIsNeitherAckedNorReplayed) {
   const std::string dir = TempDir("ing_fault_append");
   const Dataset src = SourceData(56);

@@ -1,0 +1,214 @@
+// Tests for the hierarchical byte-budget accountant
+// (util/resource_budget.h): TryReserve / ForceReserve / Release semantics,
+// all-or-nothing rollup through the ancestor chain, graded pressure
+// watermarks, live capacity changes, SnapshotTree, the BudgetLease RAII
+// wrapper, and leak-freedom under concurrent reserve/release.
+
+#include "util/resource_budget.h"
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace sapla {
+namespace {
+
+TEST(ResourceBudget, TryReserveReleaseRoundTrips) {
+  auto root = ResourceBudget::MakeRoot("root", 1000);
+  EXPECT_TRUE(root->TryReserve(400));
+  EXPECT_EQ(root->used(), 400u);
+  EXPECT_TRUE(root->TryReserve(600));
+  EXPECT_EQ(root->used(), 1000u);
+  // At capacity: the next byte is refused and nothing changes.
+  EXPECT_FALSE(root->TryReserve(1));
+  EXPECT_EQ(root->used(), 1000u);
+  EXPECT_EQ(root->rejections(), 1u);
+  root->Release(1000);
+  EXPECT_EQ(root->used(), 0u);
+  EXPECT_EQ(root->peak_used(), 1000u);
+}
+
+TEST(ResourceBudget, ZeroCapacityIsPureAccounting) {
+  auto root = ResourceBudget::MakeRoot("root", 0);
+  EXPECT_TRUE(root->TryReserve(1u << 30));
+  EXPECT_EQ(root->pressure(), BudgetPressure::kNone);
+  EXPECT_EQ(root->rejections(), 0u);
+  root->Release(1u << 30);
+  EXPECT_EQ(root->used(), 0u);
+}
+
+TEST(ResourceBudget, ChildReservationRollsUpToParent) {
+  auto root = ResourceBudget::MakeRoot("root", 1000);
+  auto a = ResourceBudget::MakeChild(root, "a");
+  auto b = ResourceBudget::MakeChild(root, "b");
+  EXPECT_TRUE(a->TryReserve(600));
+  EXPECT_EQ(root->used(), 600u);
+  // b is locally unlimited but the shared root caps the pair: this is the
+  // "N shards can't collectively exceed the budget" wiring.
+  EXPECT_FALSE(b->TryReserve(500));
+  EXPECT_EQ(b->used(), 0u);
+  EXPECT_EQ(root->used(), 600u);  // failed reserve left no residue anywhere
+  EXPECT_TRUE(b->TryReserve(400));
+  EXPECT_EQ(root->used(), 1000u);
+  a->Release(600);
+  b->Release(400);
+  EXPECT_EQ(root->used(), 0u);
+}
+
+TEST(ResourceBudget, TryReserveIsAllOrNothingWhenChildCapIsHit) {
+  auto root = ResourceBudget::MakeRoot("root", 1000);
+  auto child = ResourceBudget::MakeChild(root, "child", 100);
+  EXPECT_FALSE(child->TryReserve(200));  // child cap refuses
+  EXPECT_EQ(child->used(), 0u);
+  EXPECT_EQ(root->used(), 0u);  // nothing stranded on the ancestor
+  EXPECT_TRUE(child->TryReserve(100));
+  EXPECT_EQ(root->used(), 100u);
+}
+
+TEST(ResourceBudget, ForceReserveAlwaysLandsAndCountsOverflow) {
+  auto root = ResourceBudget::MakeRoot("root", 100);
+  root->ForceReserve(150);
+  EXPECT_EQ(root->used(), 150u);
+  EXPECT_EQ(root->overflows(), 1u);
+  EXPECT_EQ(root->pressure(), BudgetPressure::kHard);
+  root->Release(150);
+  EXPECT_EQ(root->used(), 0u);
+}
+
+TEST(ResourceBudget, PressureWatermarksAreGraded) {
+  // soft watermark at 0.85 * 1000 = 850.
+  auto root = ResourceBudget::MakeRoot("root", 1000);
+  EXPECT_TRUE(root->TryReserve(800));
+  EXPECT_EQ(root->pressure(), BudgetPressure::kNone);
+  EXPECT_TRUE(root->TryReserve(50));
+  EXPECT_EQ(root->pressure(), BudgetPressure::kSoft);
+  EXPECT_TRUE(root->TryReserve(150));
+  EXPECT_EQ(root->pressure(), BudgetPressure::kHard);
+  root->Release(500);
+  EXPECT_EQ(root->pressure(), BudgetPressure::kNone);
+}
+
+TEST(ResourceBudget, PressureUpFoldsAncestors) {
+  auto root = ResourceBudget::MakeRoot("root", 100);
+  auto child = ResourceBudget::MakeChild(root, "child");  // unlimited itself
+  EXPECT_EQ(child->pressure_up(), BudgetPressure::kNone);
+  child->ForceReserve(100);
+  EXPECT_EQ(child->pressure(), BudgetPressure::kNone);  // own cap is 0
+  EXPECT_EQ(child->pressure_up(), BudgetPressure::kHard);
+  child->Release(100);
+  EXPECT_EQ(child->pressure_up(), BudgetPressure::kNone);
+}
+
+TEST(ResourceBudget, SetCapacityLiftsAndReimposesPressure) {
+  auto root = ResourceBudget::MakeRoot("root", 100);
+  root->ForceReserve(100);
+  EXPECT_EQ(root->pressure(), BudgetPressure::kHard);
+  root->SetCapacity(0);  // chaos "lift": unlimited again
+  EXPECT_EQ(root->pressure(), BudgetPressure::kNone);
+  EXPECT_TRUE(root->TryReserve(1u << 20));
+  root->SetCapacity(50);  // shrink below usage: hard until consumers release
+  EXPECT_EQ(root->pressure(), BudgetPressure::kHard);
+  EXPECT_FALSE(root->TryReserve(1));
+}
+
+TEST(ResourceBudget, SnapshotTreeIsPreOrderWithLiveCounters) {
+  auto root = ResourceBudget::MakeRoot("root", 1000);
+  auto cache = ResourceBudget::MakeChild(root, "cache");
+  auto queue = ResourceBudget::MakeChild(root, "queue");
+  ASSERT_TRUE(cache->TryReserve(300));
+  ASSERT_TRUE(queue->TryReserve(200));
+  ASSERT_FALSE(queue->TryReserve(1000));
+
+  const auto snaps = root->SnapshotTree();
+  ASSERT_EQ(snaps.size(), 3u);
+  EXPECT_EQ(snaps[0].name, "root");
+  EXPECT_EQ(snaps[0].used, 500u);
+  EXPECT_EQ(snaps[0].capacity, 1000u);
+  // Children in registration order after the root.
+  EXPECT_EQ(snaps[1].name, "cache");
+  EXPECT_EQ(snaps[1].used, 300u);
+  EXPECT_EQ(snaps[2].name, "queue");
+  EXPECT_EQ(snaps[2].used, 200u);
+  // The rejection is charged to the budget whose capacity was hit (root).
+  EXPECT_EQ(snaps[0].rejections, 1u);
+  EXPECT_EQ(snaps[2].rejections, 0u);
+}
+
+TEST(ResourceBudget, DestroyedChildUnregistersFromSnapshots) {
+  auto root = ResourceBudget::MakeRoot("root", 0);
+  {
+    auto child = ResourceBudget::MakeChild(root, "ephemeral");
+    EXPECT_EQ(root->SnapshotTree().size(), 2u);
+  }
+  EXPECT_EQ(root->SnapshotTree().size(), 1u);
+}
+
+TEST(BudgetLeaseTest, ReleasesOnDestructionAndMove) {
+  auto root = ResourceBudget::MakeRoot("root", 100);
+  {
+    BudgetLease lease = BudgetLease::TryAcquire(root, 60);
+    ASSERT_TRUE(lease.ok());
+    EXPECT_EQ(root->used(), 60u);
+    BudgetLease moved = std::move(lease);
+    EXPECT_TRUE(moved.ok());
+    EXPECT_FALSE(lease.ok());
+    EXPECT_EQ(root->used(), 60u);  // move transfers, never double-releases
+  }
+  EXPECT_EQ(root->used(), 0u);
+
+  BudgetLease refused = BudgetLease::TryAcquire(root, 200);
+  EXPECT_FALSE(refused.ok());
+  EXPECT_EQ(root->used(), 0u);
+
+  BudgetLease forced = BudgetLease::Acquire(root, 200);
+  EXPECT_TRUE(forced.ok());
+  EXPECT_EQ(root->used(), 200u);
+  EXPECT_EQ(root->overflows(), 1u);
+  forced.Reset();
+  EXPECT_EQ(root->used(), 0u);
+  forced.Reset();  // idempotent
+  EXPECT_EQ(root->used(), 0u);
+}
+
+TEST(BudgetLeaseTest, NullBudgetIsAlwaysOk) {
+  BudgetLease lease = BudgetLease::TryAcquire(nullptr, 1u << 20);
+  EXPECT_TRUE(lease.ok());
+}
+
+TEST(ResourceBudget, ConcurrentReserveReleaseIsLeakFree) {
+  constexpr size_t kThreads = 8;
+  constexpr int kIters = 2000;
+  auto root = ResourceBudget::MakeRoot("root", kThreads * 64);
+  auto child = ResourceBudget::MakeChild(root, "worker");
+
+  std::atomic<uint64_t> admitted{0};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        // Mix both flavors so the CAS path and the unconditional path race.
+        if (i % 4 == 0) {
+          child->ForceReserve(64);
+          admitted.fetch_add(1, std::memory_order_relaxed);
+          child->Release(64);
+        } else if (child->TryReserve(64)) {
+          admitted.fetch_add(1, std::memory_order_relaxed);
+          child->Release(64);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_GT(admitted.load(), 0u);
+  EXPECT_EQ(child->used(), 0u);
+  EXPECT_EQ(root->used(), 0u);
+  EXPECT_LE(root->peak_used(), root->capacity() + kThreads * 64);
+}
+
+}  // namespace
+}  // namespace sapla

@@ -239,6 +239,28 @@ TEST_F(AtomicWriteFaults, FailedSaveLeavesExistingFileByteIdentical) {
   }
 }
 
+TEST_F(AtomicWriteFaults, DiskFullIsResourceExhaustedWithOldFileIntact) {
+  // The free-space preflight refuses before the temp file is even staged:
+  // a full disk must read as a clean kResourceExhausted, never a torn or
+  // missing destination.
+  const std::string original(512, 'A');
+  ASSERT_TRUE(AtomicWriteFile(path_, original).ok());
+  fault::Reset();
+  fault::Enable(/*seed=*/7);
+  fault::PointConfig cfg;
+  cfg.max_triggers = 1;
+  cfg.code = StatusCode::kResourceExhausted;
+  fault::Configure("io/disk_full", cfg);
+  const Status st = AtomicWriteFile(path_, std::string(4096, 'B'));
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted) << st.ToString();
+  EXPECT_EQ(ReadAll(path_), original);
+  EXPECT_FALSE(Exists(tmp_));
+  // Space freed up (the fault is exhausted): the retry lands.
+  EXPECT_TRUE(AtomicWriteFile(path_, std::string(4096, 'B')).ok());
+  fault::Disable();
+}
+
 TEST_F(AtomicWriteFaults, FailedFirstSaveLeavesNoFileAtAll) {
   Arm("io/write");
   EXPECT_FALSE(AtomicWriteFile(path_, "payload").ok());

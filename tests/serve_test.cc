@@ -368,6 +368,168 @@ TEST_F(ServeFixture, DeadlineRacingTheFlushIsAlwaysExactOrExpired) {
   EXPECT_EQ(snap.deadline_exceeded, expired);
 }
 
+// ---- Resource governance (util/resource_budget.h, docs/ROBUSTNESS.md).
+
+TEST_F(ServeFixture, BudgetMetersCacheAndQueueAndReleasesOnDestruction) {
+  auto budget = ResourceBudget::MakeRoot("process", 0);  // pure accounting
+  {
+    ServeOptions opt;
+    opt.max_batch = 1;
+    opt.max_delay_us = 0;
+    opt.cache_capacity = 64;
+    opt.memory_budget = budget;
+    QueryService service(*index_, opt);
+
+    for (size_t i = 0; i < 8; ++i)
+      ASSERT_TRUE(service.Knn(ds_.series[i].values, 4).status.ok());
+    // Cached results are charged to the service's attribution child.
+    EXPECT_GT(budget->used(), 0u);
+    bool saw_cache = false, saw_queue = false;
+    for (const auto& snap : budget->SnapshotTree()) {
+      if (snap.name == "serve/cache") {
+        saw_cache = true;
+        EXPECT_GT(snap.used, 0u);
+      }
+      if (snap.name == "serve/queue") saw_queue = true;
+    }
+    EXPECT_TRUE(saw_cache);
+    EXPECT_TRUE(saw_queue);
+  }
+  // The service died: every reservation must have been returned.
+  EXPECT_EQ(budget->used(), 0u);
+}
+
+TEST_F(ServeFixture, SoftPressureShrinksCacheOncePerEpisode) {
+  constexpr size_t kCapacity = 1u << 20;
+  auto budget = ResourceBudget::MakeRoot("process", kCapacity);
+  ServeOptions opt;
+  opt.max_batch = 1;
+  opt.max_delay_us = 0;
+  opt.cache_capacity = 64;
+  opt.memory_budget = budget;
+  QueryService service(*index_, opt);
+
+  // An external consumer pushes the root past the soft watermark (0.85 *
+  // capacity) but keeps it below hard.
+  budget->ForceReserve(900 * 1024);
+  ASSERT_EQ(budget->pressure(), BudgetPressure::kSoft);
+
+  const ServeResponse r1 = service.Knn(ds_.series[0].values, 4);
+  ASSERT_TRUE(r1.status.ok());
+  EXPECT_FALSE(r1.approximate);  // soft never degrades answers
+  EXPECT_EQ(service.health(), ServeHealth::kHealthy);
+  EXPECT_EQ(service.MetricsSnapshot().budget_cache_shrinks, 1u);
+
+  // Still under pressure: the episode's shrink already happened, a budget
+  // hovering at the watermark must not thrash the cache.
+  ASSERT_TRUE(service.Knn(ds_.series[1].values, 4).status.ok());
+  EXPECT_EQ(service.MetricsSnapshot().budget_cache_shrinks, 1u);
+
+  // Pressure lifts (one request observes it and re-arms), then returns:
+  // the next episode gets its own shrink.
+  budget->Release(900 * 1024);
+  ASSERT_TRUE(service.Knn(ds_.series[2].values, 4).status.ok());
+  budget->ForceReserve(900 * 1024);
+  ASSERT_TRUE(service.Knn(ds_.series[3].values, 4).status.ok());
+  EXPECT_EQ(service.MetricsSnapshot().budget_cache_shrinks, 2u);
+  budget->Release(900 * 1024);
+}
+
+TEST_F(ServeFixture, HardPressureDegradesReadsAndRecovers) {
+  constexpr size_t kCapacity = 1u << 20;
+  auto budget = ResourceBudget::MakeRoot("process", kCapacity);
+  ServeOptions opt;
+  opt.max_batch = 1;
+  opt.max_delay_us = 0;
+  opt.cache_capacity = 0;
+  opt.degraded_answers = true;
+  opt.memory_budget = budget;
+  QueryService service(*index_, opt);
+
+  budget->ForceReserve(kCapacity);  // hard saturation
+  ASSERT_EQ(budget->pressure(), BudgetPressure::kHard);
+
+  const std::vector<double>& q = ds_.series[5].values;
+  const KnnResult lb = index_->KnnLowerBound(q, 4);
+  size_t degraded_ok = 0, bounced = 0;
+  for (int i = 0; i < 9; ++i) {
+    const ServeResponse r = service.Knn(q, 4);
+    EXPECT_EQ(service.health(), ServeHealth::kDegraded);
+    if (r.status.ok()) {
+      // Diverted read: lower-bound-only, bit-exact per KnnLowerBound.
+      EXPECT_TRUE(r.approximate);
+      ExpectSameResult(lb, r.result, "pressure degraded " + std::to_string(i));
+      ++degraded_ok;
+    } else {
+      // Canary probes still try the pipeline, where the saturated budget
+      // refuses the queue reservation: ordinary overload, never a crash.
+      EXPECT_EQ(r.status.code(), StatusCode::kOverloaded)
+          << r.status.ToString();
+      ++bounced;
+    }
+  }
+  // Every eighth ladder request is a canary (the first and the ninth).
+  EXPECT_EQ(degraded_ok, 7u);
+  EXPECT_EQ(bounced, 2u);
+  const ServeMetricsSnapshot under = service.MetricsSnapshot();
+  EXPECT_EQ(under.budget_degraded, degraded_ok);
+  EXPECT_EQ(under.rejected_overloaded, bounced);
+
+  // Pressure lifts: the next request re-reads the budget, health recovers,
+  // and answers are exact again — no restart, no manual reset.
+  budget->Release(kCapacity);
+  const ServeResponse after = service.Knn(q, 4);
+  ASSERT_TRUE(after.status.ok()) << after.status.ToString();
+  EXPECT_FALSE(after.approximate);
+  ExpectSameResult(index_->Knn(q, 4), after.result, "recovered exact");
+  EXPECT_EQ(service.health(), ServeHealth::kHealthy);
+}
+
+TEST_F(ServeFixture, AdmissionDelayShedsLowPriorityFirst) {
+  ServeOptions opt;
+  opt.queue_capacity = 64;
+  // Nothing flushes during the test: the size trigger is out of reach and
+  // the delay window far exceeds it, so the first request ages in place.
+  opt.max_batch = 1 << 20;
+  opt.max_delay_us = 300'000;
+  opt.admission_target_delay_us = 1'000;
+  QueryService service(*index_, opt);
+
+  auto first = service.SubmitKnn(ds_.series[0].values, 3);  // queue was empty
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  // The oldest queued request has now waited ~20x the target: low sheds at
+  // 1x, normal at 2x, high never sheds early.
+  auto low = service.SubmitKnn(ds_.series[1].values, 3, 0, ServePriority::kLow);
+  auto normal = service.SubmitKnn(ds_.series[2].values, 3);
+  auto high =
+      service.SubmitKnn(ds_.series[3].values, 3, 0, ServePriority::kHigh);
+
+  ASSERT_EQ(low.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  ASSERT_EQ(normal.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(high.wait_for(std::chrono::seconds(0)),
+            std::future_status::timeout);
+
+  const ServeResponse low_r = low.get();
+  EXPECT_EQ(low_r.status.code(), StatusCode::kOverloaded);
+  EXPECT_NE(low_r.status.message().find("shedding low"), std::string::npos)
+      << low_r.status.message();
+  const ServeResponse normal_r = normal.get();
+  EXPECT_EQ(normal_r.status.code(), StatusCode::kOverloaded);
+  EXPECT_NE(normal_r.status.message().find("shedding normal"),
+            std::string::npos)
+      << normal_r.status.message();
+  EXPECT_EQ(service.MetricsSnapshot().shed_early, 2u);
+
+  // Stop drains the admitted requests; shedding never corrupted them.
+  service.Stop();
+  ASSERT_TRUE(first.get().status.ok());
+  const ServeResponse high_r = high.get();
+  ASSERT_TRUE(high_r.status.ok()) << high_r.status.ToString();
+  ExpectSameResult(index_->Knn(ds_.series[3].values, 3), high_r.result,
+                   "high priority drained");
+}
+
 #ifndef SAPLA_FAULT_DISABLED
 
 // Health-ladder tests drive the service through injected flush failures

@@ -67,6 +67,7 @@
 #include "ts/io.h"
 #include "ts/synthetic_archive.h"
 #include "util/fault.h"
+#include "util/resource_budget.h"
 #include "util/rng.h"
 
 namespace sapla {
@@ -88,6 +89,8 @@ struct Config {
   bool ingest = false;       // enables the ingest kill/restart phase
   size_t ingest_rounds = 3;  // kill/restart cycles in that phase
   size_t ingest_ops = 400;   // mutations attempted per cycle
+  bool mem_pressure = false;  // enables the memory-budget pressure phase
+  bool disk_full = false;     // enables the disk-full (ENOSPC) phase
   std::string spec;          // overrides the default fault schedule
   bool verbose = false;
 };
@@ -99,6 +102,7 @@ struct Config {
           "          [--shards=N] [--shard-cycles=C]\n"
           "          [--compressed-snapshots[=0|1]]\n"
           "          [--ingest] [--ingest-rounds=R] [--ingest-ops=N]\n"
+          "          [--mem-pressure] [--disk-full]\n"
           "          [--spec=FAULT_SPEC] [--verbose=0|1]\n",
           argv0);
   exit(2);
@@ -115,6 +119,14 @@ Config ParseFlags(int argc, char** argv) {
     }
     if (arg == "--compressed-snapshots") {
       config.compressed_snapshots = true;
+      continue;
+    }
+    if (arg == "--mem-pressure") {
+      config.mem_pressure = true;
+      continue;
+    }
+    if (arg == "--disk-full") {
+      config.disk_full = true;
       continue;
     }
     const size_t eq = arg.find('=');
@@ -155,6 +167,10 @@ Config ParseFlags(int argc, char** argv) {
       config.ingest_rounds = num();
     } else if (key == "ingest-ops") {
       config.ingest_ops = num();
+    } else if (key == "mem-pressure") {
+      config.mem_pressure = value != "0";
+    } else if (key == "disk-full") {
+      config.disk_full = value != "0";
     } else if (key == "spec") {
       config.spec = value;
     } else if (key == "verbose") {
@@ -657,6 +673,330 @@ void RunIngestCase(const Config& config, const Dataset& ds,
   scrub();
 }
 
+/// Memory-budget pressure chaos (no injected faults — the pressure is
+/// real): the serving and ingest tiers run against a global ResourceBudget
+/// capped at HALF the working set an unpressured run actually used. The
+/// graded responses (cache shrink, forced compaction, write shedding,
+/// degraded reads) must keep the process alive, every OK answer must stay
+/// bit-identical to the unpressured oracle, failures must stay within
+/// {kOverloaded, kUnavailable, kResourceExhausted}, and after the cap is
+/// lifted the stack must recover fully — health back to healthy, caches
+/// re-warming, no leaked reservations.
+void RunMemPressureCase(const Config& config, const Dataset& ds,
+                        Violations* violations) {
+  fault::Disable();
+  SimilarityIndex index(Method::kSapla, config.m, IndexKind::kRTree);
+  if (const Status st = index.Build(ds); !st.ok()) {
+    violations->Report("mem-pressure: index build failed: " + st.ToString());
+    return;
+  }
+
+  std::vector<std::vector<double>> pool;
+  Rng rng(config.seed ^ 0xB4D6Eu);
+  for (size_t i = 0; i < config.pool; ++i) {
+    std::vector<double> q = ds.series[rng.UniformInt(ds.size())].values;
+    for (double& v : q) v += rng.Gaussian(0.0, 0.05);
+    pool.push_back(std::move(q));
+  }
+  std::vector<KnnResult> exact_knn, lb_knn;
+  for (const std::vector<double>& q : pool) {
+    exact_knn.push_back(index.Knn(q, config.k));
+    lb_knn.push_back(index.KnnLowerBound(q, config.k));
+  }
+
+  ServeOptions serve;
+  serve.queue_capacity = 64;
+  serve.max_batch = 8;
+  serve.max_delay_us = 200;
+  serve.cache_capacity = 64;
+
+  // Phase 1 — measure: an unlimited budget observes the natural serving
+  // working set (queued payloads + a warm cache).
+  auto probe = ResourceBudget::MakeRoot("chaos", 0);
+  {
+    ServeOptions measured = serve;
+    measured.memory_budget = probe;
+    QueryService service(index, measured);
+    for (size_t i = 0; i < config.queries; ++i)
+      (void)service.Knn(pool[i % pool.size()], config.k);
+    service.Stop();
+  }
+  const uint64_t peak = probe->peak_used();
+  if (probe->used() != 0) {
+    violations->Report("mem-pressure: " + std::to_string(probe->used()) +
+                       " bytes leaked after the unpressured serve run");
+  }
+  if (peak == 0) {
+    violations->Report("mem-pressure: unpressured run reserved nothing — "
+                       "the budget is not wired");
+    return;
+  }
+
+  // Phase 2 — serve at 50% of the natural working set.
+  auto budget = ResourceBudget::MakeRoot("chaos", peak / 2);
+  ServeOptions pressured = serve;
+  pressured.memory_budget = budget;
+  QueryService service(index, pressured);
+  uint64_t ok_exact = 0, ok_approx = 0, shed = 0;
+  const auto drive = [&](const char* tag, uint64_t* exact_out) {
+    for (size_t i = 0; i < config.queries; ++i) {
+      const size_t qi = i % pool.size();
+      const ServeResponse r = service.Knn(pool[qi], config.k);
+      const std::string where = std::string("mem-pressure ") + tag +
+                                " query " + std::to_string(i);
+      if (r.status.ok()) {
+        if (r.approximate) {
+          ++ok_approx;
+          if (!SameResult(r.result, lb_knn[qi]))
+            violations->Report(where +
+                               ": approximate answer != lower-bound oracle");
+        } else {
+          ++*exact_out;
+          if (!SameResult(r.result, exact_knn[qi]))
+            violations->Report(where + ": OK answer != unpressured oracle");
+        }
+      } else if (r.status.code() != StatusCode::kOverloaded &&
+                 r.status.code() != StatusCode::kUnavailable &&
+                 r.status.code() != StatusCode::kResourceExhausted) {
+        violations->Report(where + ": disallowed status " +
+                           r.status.ToString());
+      } else {
+        ++shed;
+      }
+    }
+  };
+  drive("capped", &ok_exact);
+  const uint64_t shrinks = service.metrics().budget_cache_shrinks.load();
+  const uint64_t degraded = service.metrics().budget_degraded.load();
+
+  // Phase 3 — lift the cap; the stack must return to fully exact service.
+  budget->SetCapacity(0);
+  uint64_t recovered_exact = 0;
+  drive("post-lift", &recovered_exact);
+  // One extra pass so cache re-warming is observable after recovery.
+  const uint64_t hits_before = service.metrics().cache_hits.load();
+  for (size_t i = 0; i < pool.size(); ++i)
+    (void)service.Knn(pool[i], config.k);
+  const uint64_t hits_after = service.metrics().cache_hits.load();
+  if (service.health() != ServeHealth::kHealthy)
+    violations->Report("mem-pressure: health did not return to healthy "
+                       "after the cap was lifted");
+  if (recovered_exact == 0)
+    violations->Report("mem-pressure: no exact answers after recovery");
+  if (hits_after <= hits_before)
+    violations->Report("mem-pressure: cache did not re-warm after recovery");
+  service.Stop();
+
+  // Phase 4 — ingest under the same 50% discipline: a capped controller
+  // sheds some writes but every acked mutation stays queryable, matching
+  // an uncapped oracle fed only the acked operations.
+  IngestOptions iopt;
+  iopt.memtable_max = 8;
+  iopt.compact_min_minors = 2;
+  auto iprobe = ResourceBudget::MakeRoot("chaos-ingest", 0);
+  {
+    IngestOptions measured = iopt;
+    measured.memory_budget = iprobe;
+    IngestController ctrl(Method::kSapla, config.m, IndexKind::kRTree,
+                          config.n, measured);
+    for (size_t i = 0; i < ds.size(); ++i)
+      (void)ctrl.Insert(ds.series[i].values, ds.series[i].label);
+  }
+  if (iprobe->used() != 0)
+    violations->Report("mem-pressure: ingest leaked " +
+                       std::to_string(iprobe->used()) + " budget bytes");
+  auto ibudget =
+      ResourceBudget::MakeRoot("chaos-ingest", iprobe->peak_used() / 2);
+  IngestOptions capped = iopt;
+  capped.memory_budget = ibudget;
+  IngestController ctrl(Method::kSapla, config.m, IndexKind::kRTree,
+                        config.n, capped);
+  IngestController oracle(Method::kSapla, config.m, IndexKind::kRTree,
+                          config.n, iopt);
+  uint64_t acked = 0, refused = 0;
+  for (size_t i = 0; i < ds.size(); ++i) {
+    const auto id = ctrl.Insert(ds.series[i].values, ds.series[i].label);
+    if (id.ok()) {
+      ++acked;
+      const auto mirror = oracle.Insert(ds.series[i].values,
+                                        ds.series[i].label);
+      if (!mirror.ok() || *mirror != *id)
+        violations->Report("mem-pressure: ingest oracle id drifted");
+    } else if (id.status().code() == StatusCode::kOverloaded) {
+      ++refused;
+    } else {
+      violations->Report("mem-pressure: insert " + std::to_string(i) +
+                         " failed with disallowed status " +
+                         id.status().ToString());
+    }
+  }
+  if (ctrl.VisibleIds() != oracle.VisibleIds())
+    violations->Report("mem-pressure: capped ingest visible ids != oracle");
+  for (size_t i = 0; i < pool.size(); ++i)
+    if (ctrl.Knn(pool[i], config.k).neighbors !=
+        oracle.Knn(pool[i], config.k).neighbors)
+      violations->Report("mem-pressure: capped ingest answer " +
+                         std::to_string(i) + " != acked-history oracle");
+  // Lift the cap: shedding must stop.
+  ibudget->SetCapacity(0);
+  uint64_t post_lift_acked = 0;
+  for (size_t i = 0; i < 16; ++i) {
+    const TimeSeries& ts = ds.series[i % ds.size()];
+    const auto id = ctrl.Insert(ts.values, ts.label);
+    if (id.ok()) {
+      ++post_lift_acked;
+      (void)oracle.Insert(ts.values, ts.label);
+    }
+  }
+  if (post_lift_acked != 16)
+    violations->Report("mem-pressure: inserts still shed after the ingest "
+                       "cap was lifted");
+  const uint64_t forced = ctrl.metrics().budget_forced_compactions.load();
+
+  printf("\nmem-pressure chaos: serve peak %" PRIu64 " B capped to %" PRIu64
+         " B: %" PRIu64 " exact, %" PRIu64 " degraded, %" PRIu64
+         " shed, %" PRIu64 " cache shrinks, %" PRIu64
+         " budget-degraded; ingest: %" PRIu64 " acked, %" PRIu64
+         " shed, %" PRIu64 " forced compactions\n",
+         peak, peak / 2, ok_exact + recovered_exact, ok_approx, shed,
+         shrinks, degraded, acked, refused, forced);
+}
+
+/// Disk-full chaos: the durable ingest path runs with ENOSPC-style faults
+/// armed on the WAL and every atomic writer ("io/disk_full",
+/// "ingest/wal_full" with code `exhausted`, plus "ingest/wal_torn" short
+/// writes). A full disk must surface as a clean refusal — the acknowledged
+/// history and the on-disk artifacts stay intact through kill/recover —
+/// and once space "returns" (faults disabled) the stack works again.
+void RunDiskFullCase(const Config& config, const Dataset& ds,
+                     Violations* violations) {
+  // Drop the serving-phase schedule entirely: this phase arms only the
+  // ENOSPC-flavoured points, so every refusal is attributable to "disk
+  // full" and the expected-code assertions stay exact.
+  fault::Reset();
+  const std::string disk_spec =
+      "seed=" + std::to_string(config.seed) +
+      ";io/disk_full=p0.25,cexhausted"
+      ";ingest/wal_full=p0.1,cexhausted"
+      ";ingest/wal_torn=p0.08";
+  if (const Status st = fault::ConfigureFromSpec(disk_spec); !st.ok()) {
+    violations->Report("disk-full: bad spec: " + st.ToString());
+    return;
+  }
+  fault::Disable();
+
+  // Archive saves under disk-full faults: failures must be
+  // kResourceExhausted and the previous archive must stay intact.
+  {
+    const auto reducer = MakeReducer(Method::kSapla);
+    RepresentationStore store;
+    for (const TimeSeries& ts : ds.series)
+      reducer->ReduceInto(ts.values, config.m, &store);
+    const std::string path = "/tmp/sapla_chaos_diskfull_store.bin";
+    std::remove(path.c_str());
+    if (const Status st = SaveRepresentationStore(path, store); !st.ok()) {
+      violations->Report("disk-full: fault-free save failed: " +
+                         st.ToString());
+      return;
+    }
+    fault::Enable(config.seed);
+    uint64_t refused_saves = 0;
+    for (size_t round = 0; round < config.io_rounds; ++round) {
+      const Status st = SaveRepresentationStore(path, store);
+      if (!st.ok()) {
+        ++refused_saves;
+        if (st.code() != StatusCode::kResourceExhausted)
+          violations->Report("disk-full: save round " +
+                             std::to_string(round) + ": expected "
+                             "kResourceExhausted, got " + st.ToString());
+      }
+      fault::Disable();
+      const auto loaded = LoadRepresentationStore(path);
+      if (!loaded.ok() || !(*loaded == store))
+        violations->Report("disk-full: archive damaged after save round " +
+                           std::to_string(round));
+      fault::Enable(config.seed);
+    }
+    fault::Disable();
+    std::remove(path.c_str());
+    printf("\ndisk-full chaos: %zu save rounds, %" PRIu64
+           " refused cleanly\n",
+           config.io_rounds, refused_saves);
+  }
+
+  // Durable ingest with the disk intermittently "full": acked <=> logged
+  // must hold through every kill/recover, exactly as in the ingest phase.
+  const std::string dir = "/tmp/sapla_chaos_diskfull";
+  ::mkdir(dir.c_str(), 0755);
+  const auto scrub = [&] {
+    std::remove((dir + "/wal.log").c_str());
+    std::remove((dir + "/manifest.bin").c_str());
+    for (size_t s = 0; s < 4; ++s)
+      std::remove((dir + "/main.shard" + std::to_string(s) + ".snp").c_str());
+  };
+  scrub();
+  IngestOptions opt;
+  opt.memtable_max = 6;
+  opt.compact_min_minors = 2;
+  IngestController oracle(Method::kSapla, config.m, IndexKind::kRTree,
+                          config.n, opt);
+  IngestOptions durable = opt;
+  durable.durable_dir = dir;
+
+  uint64_t acked = 0, refused = 0;
+  size_t source = 0;
+  for (size_t round = 0; round <= config.ingest_rounds; ++round) {
+    auto ctrl = std::make_unique<IngestController>(
+        Method::kSapla, config.m, IndexKind::kRTree, config.n, durable);
+    if (const Status st = ctrl->Recover(); !st.ok()) {
+      violations->Report("disk-full round " + std::to_string(round) +
+                         ": recovery failed: " + st.ToString());
+      scrub();
+      return;
+    }
+    if (ctrl->VisibleIds() != oracle.VisibleIds())
+      violations->Report("disk-full round " + std::to_string(round) +
+                         ": recovered ids != acked history");
+    const bool last = round == config.ingest_rounds;
+    // The final round mutates fault-free: with space back, everything must
+    // ack again and the WAL must accept appends (full recovery).
+    if (!last) fault::Enable(config.seed);
+    const size_t ops = last ? 32 : config.ingest_ops;
+    uint64_t round_acked = 0;
+    for (size_t step = 0; step < ops; ++step) {
+      const TimeSeries& ts = ds.series[source++ % ds.size()];
+      const auto id = ctrl->Insert(ts.values, ts.label);
+      if (id.ok()) {
+        fault::Disable();
+        const auto mirror = oracle.Insert(ts.values, ts.label);
+        if (!mirror.ok() || *mirror != *id)
+          violations->Report("disk-full: oracle id drifted at round " +
+                             std::to_string(round));
+        if (!last) fault::Enable(config.seed);
+        ++acked;
+        ++round_acked;
+      } else if (id.status().code() == StatusCode::kResourceExhausted ||
+                 id.status().code() == StatusCode::kIOError ||
+                 id.status().code() == StatusCode::kUnavailable) {
+        ++refused;  // clean refusal; the mutation was never acked
+      } else {
+        violations->Report("disk-full round " + std::to_string(round) +
+                           ": disallowed status " + id.status().ToString());
+      }
+      if (!last && step % 16 == 9) (void)ctrl->Checkpoint();
+    }
+    fault::Disable();
+    if (last && round_acked != ops)
+      violations->Report("disk-full: writes still refused after the disk "
+                         "faults were lifted");
+    ctrl.reset();  // kill without checkpoint; the WAL is truth
+  }
+  printf("disk-full chaos: %zu rounds, %" PRIu64 " acked, %" PRIu64
+         " refused cleanly, history intact\n",
+         config.ingest_rounds, acked, refused);
+  scrub();
+}
+
 int Run(int argc, char** argv) {
 #ifdef SAPLA_FAULT_DISABLED
   (void)argc;
@@ -706,6 +1046,9 @@ int Run(int argc, char** argv) {
   RunIoCase(config, ds, &violations);
   if (config.shards >= 2) RunShardCase(config, ds, &violations);
   if (config.ingest) RunIngestCase(config, ds, &violations);
+  if (config.mem_pressure) RunMemPressureCase(config, ds, &violations);
+  // Last: it re-arms its own fault schedule (ENOSPC-flavoured points).
+  if (config.disk_full) RunDiskFullCase(config, ds, &violations);
 
   const uint64_t responses = tally.ok_exact + tally.ok_cached +
                              tally.ok_approximate + tally.overloaded +

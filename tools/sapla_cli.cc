@@ -370,8 +370,11 @@ int CmdExplain(const Args& args) {
   }
   if (!trace_out.empty()) {
     obs::SetTraceEnabled(false);
-    if (!obs::WriteChromeTrace(trace_out))
-      fprintf(stderr, "cannot write %s\n", trace_out.c_str());
+    if (Status s = obs::WriteChromeTraceStatus(trace_out); !s.ok()) {
+      fprintf(stderr, "cannot write %s: %s\n", trace_out.c_str(),
+              s.ToString().c_str());
+      return 1;
+    }
   }
 
   if (json) {

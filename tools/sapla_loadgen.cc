@@ -71,9 +71,11 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serve/service.h"
+#include "ts/io.h"
 #include "ts/synthetic_archive.h"
 #include "util/fault.h"
 #include "util/parallel.h"
+#include "util/resource_budget.h"
 #include "util/rng.h"
 #include "util/table.h"
 #include "util/timer.h"
@@ -115,6 +117,10 @@ struct Config {
   size_t cache = 0;
   size_t batch_threads = 0;
   bool degraded = false;
+  // Resource governance (docs/ROBUSTNESS.md).
+  size_t mem_budget_mb = 0;       // 0 = no budget; else global byte budget
+  double pressure_phase_s = 0.0;  // mid-run hard-pressure episode length
+  uint64_t admission_target_us = 0;  // queue-delay shedding target
   std::string fault_spec;    // arms util/fault.h fault injection
   std::string json_path;
   std::string metrics_path;  // Prometheus text exposition
@@ -132,6 +138,8 @@ struct Config {
           "          [--ingest-qps=Q] [--delete-frac=F]\n"
           "          [--max-batch=B] [--max-delay-us=U] [--queue=C]\n"
           "          [--cache=E] [--batch-threads=T] [--degraded=0|1]\n"
+          "          [--mem-budget-mb=N] [--pressure-phase-s=S]\n"
+          "          [--admission-target-us=N]\n"
           "          [--fault=SPEC] [--json=FILE] [--metrics-out=FILE]\n"
           "          [--trace-out=FILE] [--slow-query-us=N]\n"
           "          [--slow-log-out=FILE]\n",
@@ -228,6 +236,12 @@ Config ParseFlags(int argc, char** argv) {
       config.batch_threads = num();
     } else if (key == "degraded") {
       config.degraded = value != "0";
+    } else if (key == "mem-budget-mb") {
+      config.mem_budget_mb = num();
+    } else if (key == "pressure-phase-s") {
+      config.pressure_phase_s = real();
+    } else if (key == "admission-target-us") {
+      config.admission_target_us = num();
     } else if (key == "fault") {
       config.fault_spec = value;
     } else if (key == "json") {
@@ -268,6 +282,10 @@ Config ParseFlags(int argc, char** argv) {
   }
   if (config.delete_frac > 0.0 && config.ingest_qps <= 0.0) {
     fprintf(stderr, "--delete-frac needs --ingest-qps > 0\n");
+    exit(2);
+  }
+  if (config.pressure_phase_s > 0.0 && config.mem_budget_mb == 0) {
+    fprintf(stderr, "--pressure-phase-s needs --mem-budget-mb > 0\n");
     exit(2);
   }
   return config;
@@ -389,6 +407,14 @@ int Run(int argc, char** argv) {
   const Dataset ds = MakeSyntheticDataset(0, opt);
   const std::vector<std::vector<double>> pool = MakeQueryPool(ds, config);
 
+  // Global resource budget: the serve tier (cache + queue) and the ingest
+  // tier charge one root, so the exposition shows who holds what and
+  // pressure anywhere triggers the graded ladder everywhere.
+  std::shared_ptr<ResourceBudget> budget;
+  if (config.mem_budget_mb > 0)
+    budget = ResourceBudget::MakeRoot(
+        "process", static_cast<uint64_t>(config.mem_budget_mb) << 20);
+
   // Static index, or a live IngestController preloaded with the same
   // dataset — QueryService only sees a SearchIndex either way.
   std::unique_ptr<SimilarityIndex> static_index;
@@ -398,6 +424,7 @@ int Run(int argc, char** argv) {
   if (config.ingest_qps > 0.0) {
     IngestOptions iopt;
     iopt.num_shards = 2;
+    if (budget) iopt.memory_budget = ResourceBudget::MakeChild(budget, "ingest");
     ingest = std::make_unique<IngestController>(config.method, config.m,
                                                 config.kind, config.n, iopt);
     for (const TimeSeries& ts : ds.series) {
@@ -430,7 +457,50 @@ int Run(int argc, char** argv) {
   options.default_deadline_us = 0;
   options.degraded_answers = config.degraded;
   options.slow_query_us = config.slow_query_us;
+  options.memory_budget = budget;
+  options.admission_target_delay_us = config.admission_target_us;
   QueryService service(*backing, options);
+
+  // Pressure phase: mid-run the budget collapses to a sliver, forcing the
+  // hard-pressure ladder (shed writes, degrade reads); after
+  // `pressure_phase_s` it lifts, and the time until the service answers
+  // exactly again is the recovery latency this mode exists to measure.
+  std::atomic<bool> stop_pressure{false};
+  std::atomic<int64_t> recovery_us{-1};
+  std::thread pressure;
+  if (config.pressure_phase_s > 0.0) {
+    pressure = std::thread([&] {
+      using Clock = std::chrono::steady_clock;
+      const uint64_t full_capacity = budget->capacity();
+      // Let the run reach steady state first.
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          std::max(0.25, config.pressure_phase_s / 2)));
+      if (stop_pressure.load() || g_interrupted.load()) return;
+      const uint64_t sliver = std::max<uint64_t>(1, budget->used() / 4);
+      budget->SetCapacity(sliver);
+      printf("pressure phase: capacity %llu -> %llu bytes for %.1fs\n",
+             static_cast<unsigned long long>(full_capacity),
+             static_cast<unsigned long long>(sliver),
+             config.pressure_phase_s);
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(config.pressure_phase_s));
+      budget->SetCapacity(full_capacity);
+      const auto lifted = Clock::now();
+      // Recovery latency: poll with probe queries until an exact OK answer
+      // comes back and health reads healthy again.
+      while (!stop_pressure.load() && !g_interrupted.load()) {
+        const ServeResponse r = service.Knn(pool[0], config.k);
+        if (r.status.ok() && !r.approximate &&
+            service.health() == ServeHealth::kHealthy) {
+          recovery_us.store(std::chrono::duration_cast<std::chrono::microseconds>(
+                                Clock::now() - lifted)
+                                .count());
+          return;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+  }
 
   // Paced writer: one mutation every 1/ingest_qps seconds while the query
   // clients run. Deletes pick a uniform live id; inserts perturb archive
@@ -481,6 +551,18 @@ int Run(int argc, char** argv) {
     stop_writer.store(true);
     writer.join();
   }
+  if (pressure.joinable()) {
+    stop_pressure.store(true);
+    pressure.join();
+  }
+  if (config.pressure_phase_s > 0.0) {
+    if (recovery_us.load() >= 0)
+      printf("pressure phase: recovered to exact healthy service %.2fms "
+             "after the budget lifted\n",
+             recovery_us.load() / 1000.0);
+    else
+      printf("pressure phase: recovery not observed before shutdown\n");
+  }
   service.Stop();
   if (g_interrupted.load())
     printf("\ninterrupted; reporting metrics for the partial run\n");
@@ -516,29 +598,35 @@ int Run(int argc, char** argv) {
                    " mutations/s)")
         .Print();
   }
+  if (budget) BudgetMetricsToTable(*budget).Print();
   if (!config.json_path.empty() && !t.WriteJson(config.json_path)) {
     fprintf(stderr, "could not write %s\n", config.json_path.c_str());
     return 1;
   }
   if (!config.metrics_path.empty()) {
-    // One scrape: serve families first, then the sapla_ingest_* families
-    // (disjoint names, so the concatenation is valid exposition text).
+    // One scrape: serve families first, then the sapla_ingest_* and
+    // sapla_budget_* families (disjoint names, so the concatenation is
+    // valid exposition text). Written atomically: a failure (e.g. full
+    // disk) leaves any previous exposition intact and exits non-zero.
     std::string body = MetricsToPrometheus(service.metrics());
     if (ingest) body += IngestMetricsToPrometheus(ingest->metrics());
-    std::ofstream out(config.metrics_path, std::ios::trunc);
-    out << body;
-    if (!out.good()) {
-      fprintf(stderr, "could not write %s\n", config.metrics_path.c_str());
+    if (budget) body += BudgetMetricsToPrometheus(*budget);
+    if (const Status st = AtomicWriteFile(config.metrics_path, body);
+        !st.ok()) {
+      fprintf(stderr, "could not write %s: %s\n", config.metrics_path.c_str(),
+              st.ToString().c_str());
       return 1;
     }
   }
   if (!config.trace_path.empty()) {
     obs::SetTraceEnabled(false);
-    // WriteChromeTrace stages to a .tmp and renames, so even a SIGINT that
-    // lands mid-write leaves either no file or a complete one — never a
+    // The export is staged and renamed, so even a SIGINT that lands
+    // mid-write leaves either no file or a complete one — never a
     // truncated JSON array that chrome://tracing rejects.
-    if (!obs::WriteChromeTrace(config.trace_path)) {
-      fprintf(stderr, "could not write %s\n", config.trace_path.c_str());
+    if (Status st = obs::WriteChromeTraceStatus(config.trace_path);
+        !st.ok()) {
+      fprintf(stderr, "could not write %s: %s\n", config.trace_path.c_str(),
+              st.ToString().c_str());
       return 1;
     }
     printf("trace: %zu events -> %s (load in chrome://tracing)\n",
